@@ -1,0 +1,31 @@
+//! Regenerates every experiment table (EXPERIMENTS.md content):
+//! `cargo run --release -p biocheck-bench --bin report`.
+
+use biocheck_bench as exp;
+use std::time::Instant;
+
+fn run(name: &str, f: impl FnOnce() -> Vec<exp::Row>) -> Vec<exp::Row> {
+    let t0 = Instant::now();
+    let rows = f();
+    eprintln!("{name}: {:?}", t0.elapsed());
+    rows
+}
+
+fn main() {
+    let mut all = Vec::new();
+    all.extend(run("E1", exp::e1_cardiac_falsification));
+    all.extend(run("E2", exp::e2_parameter_synthesis));
+    all.extend(run("E3", exp::e3_prostate));
+    all.extend(run("E4", exp::e4_radiation));
+    all.extend(run("E5", exp::e5_robustness));
+    all.extend(run("E6", exp::e6_lyapunov));
+    all.extend(run("E7", exp::e7_smc));
+    all.extend(run("E8", || exp::e8_delta_sweep(&[1e-1, 1e-2, 1e-3])));
+    all.extend(run("E9", || exp::e9_depth_scaling(3)));
+    println!("{}", exp::to_markdown(&all));
+    let holds = all.iter().filter(|r| r.holds).count();
+    println!("\n{holds}/{} rows match the paper's shape.", all.len());
+    if let Ok(json) = serde_json::to_string_pretty(&all) {
+        let _ = std::fs::write("experiment_results.json", json);
+    }
+}

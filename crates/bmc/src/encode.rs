@@ -1,0 +1,191 @@
+//! Shared step-indexed unrolling machinery.
+
+use biocheck_expr::{Atom, Context, NodeId, VarId};
+use biocheck_hybrid::HybridAutomaton;
+use std::collections::HashMap;
+
+/// The fresh variables of one unrolled step `i`: entry state `x_i^0`,
+/// exit state `x_i^t`, and dwell time `t_i` (Section III-C's encoding
+/// introduces exactly these).
+#[derive(Clone, Debug)]
+pub struct StepVars {
+    /// Entry-state variables, one per automaton state variable.
+    pub entry: Vec<VarId>,
+    /// Exit-state variables.
+    pub exit: Vec<VarId>,
+    /// Dwell-time variable.
+    pub tau: VarId,
+}
+
+/// A path encoding: fresh variables for `steps` mode dwells plus the
+/// substitution maps used to instantiate model formulas at each step.
+#[derive(Clone, Debug)]
+pub struct PathEncoding {
+    /// Per-step fresh variables.
+    pub steps: Vec<StepVars>,
+}
+
+impl PathEncoding {
+    /// Allocates variables for `n_steps` dwells in `cx`.
+    pub fn allocate(cx: &mut Context, states: &[VarId], n_steps: usize) -> PathEncoding {
+        let mut steps = Vec::with_capacity(n_steps);
+        for i in 0..n_steps {
+            let entry = states
+                .iter()
+                .map(|&s| cx.intern_var(&format!("@{i}_0_{}", cx_name(cx, s))))
+                .collect();
+            let exit = states
+                .iter()
+                .map(|&s| cx.intern_var(&format!("@{i}_t_{}", cx_name(cx, s))))
+                .collect();
+            let tau = cx.intern_var(&format!("@{i}_tau"));
+            steps.push(StepVars { entry, exit, tau });
+        }
+        PathEncoding { steps }
+    }
+
+    /// Substitution map sending model state variables to step-`i` entry
+    /// variables.
+    pub fn entry_map(&self, cx: &mut Context, states: &[VarId], i: usize) -> HashMap<VarId, NodeId> {
+        states
+            .iter()
+            .zip(&self.steps[i].entry)
+            .map(|(&s, &v)| (s, cx.var_node(v)))
+            .collect()
+    }
+
+    /// Substitution map sending model state variables to step-`i` exit
+    /// variables.
+    pub fn exit_map(&self, cx: &mut Context, states: &[VarId], i: usize) -> HashMap<VarId, NodeId> {
+        states
+            .iter()
+            .zip(&self.steps[i].exit)
+            .map(|(&s, &v)| (s, cx.var_node(v)))
+            .collect()
+    }
+
+    /// Instantiates `atoms` (over model state vars) at step `i`'s entry.
+    pub fn atoms_at_entry(
+        &self,
+        cx: &mut Context,
+        states: &[VarId],
+        atoms: &[Atom],
+        i: usize,
+    ) -> Vec<Atom> {
+        let map = self.entry_map(cx, states, i);
+        atoms
+            .iter()
+            .map(|a| Atom::new(cx.subst(a.expr, &map), a.op))
+            .collect()
+    }
+
+    /// Instantiates `atoms` at step `i`'s exit.
+    pub fn atoms_at_exit(
+        &self,
+        cx: &mut Context,
+        states: &[VarId],
+        atoms: &[Atom],
+        i: usize,
+    ) -> Vec<Atom> {
+        let map = self.exit_map(cx, states, i);
+        atoms
+            .iter()
+            .map(|a| Atom::new(cx.subst(a.expr, &map), a.op))
+            .collect()
+    }
+
+    /// Reset equalities gluing step `i`'s exit to step `i+1`'s entry for
+    /// the given jump (identity where the jump has no reset).
+    pub fn glue_atoms(
+        &self,
+        ha: &HybridAutomaton,
+        cx: &mut Context,
+        jump_idx: usize,
+        i: usize,
+    ) -> Vec<Atom> {
+        let jump = &ha.jumps[jump_idx];
+        let exit_map = self.exit_map(cx, &ha.states, i);
+        let mut atoms = Vec::new();
+        for (si, &s) in ha.states.iter().enumerate() {
+            let next_entry = cx.var_node(self.steps[i + 1].entry[si]);
+            let rhs = match jump.resets.iter().find(|(v, _)| *v == s) {
+                Some(&(_, expr)) => cx.subst(expr, &exit_map),
+                None => cx.var_node(self.steps[i].exit[si]),
+            };
+            atoms.push(Atom::eq(cx, next_entry, rhs));
+        }
+        atoms
+    }
+}
+
+fn cx_name(cx: &Context, v: VarId) -> String {
+    cx.var_name(v).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::RelOp;
+
+    #[test]
+    fn allocation_creates_fresh_vars() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let y = cx.intern_var("y");
+        let before = cx.num_vars();
+        let enc = PathEncoding::allocate(&mut cx, &[x, y], 3);
+        assert_eq!(enc.steps.len(), 3);
+        assert_eq!(cx.num_vars(), before + 3 * (2 + 2 + 1));
+        // All fresh vars distinct.
+        let mut seen = std::collections::HashSet::new();
+        for s in &enc.steps {
+            for &v in s.entry.iter().chain(&s.exit) {
+                assert!(seen.insert(v));
+            }
+            assert!(seen.insert(s.tau));
+        }
+    }
+
+    #[test]
+    fn substitution_targets_step_vars() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let e = cx.parse("x + 1").unwrap();
+        let enc = PathEncoding::allocate(&mut cx, &[x], 2);
+        let atoms = enc.atoms_at_exit(&mut cx, &[x], &[Atom::new(e, RelOp::Ge)], 1);
+        let vars = cx.vars_of(atoms[0].expr);
+        assert!(vars.contains(&enc.steps[1].exit[0]));
+        assert!(!vars.contains(&x));
+    }
+
+    #[test]
+    fn glue_identity_and_reset() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let y = cx.intern_var("y");
+        let one = cx.constant(1.0);
+        let rhs = cx.parse("x + 1").unwrap();
+        let mut ha = HybridAutomaton::new(cx, vec![x, y]);
+        let m = ha.add_mode("m", vec![one, one], vec![]);
+        // jump resets x := x + 1 and leaves y alone.
+        ha.add_jump(m, m, vec![], vec![(x, rhs)]);
+        ha.set_init(m, vec![]);
+        let mut cx2 = ha.cx.clone();
+        let enc = PathEncoding::allocate(&mut cx2, &ha.states, 2);
+        let glue = enc.glue_atoms(&ha, &mut cx2, 0, 0);
+        assert_eq!(glue.len(), 2);
+        // Both atoms are equalities over the step vars.
+        for a in &glue {
+            assert_eq!(a.op, RelOp::Eq);
+        }
+        // Evaluate: entry₁ = exit₀ + 1 for x, entry₁ = exit₀ for y.
+        let mut env = vec![0.0; cx2.num_vars()];
+        env[enc.steps[0].exit[0].index()] = 5.0; // x exit
+        env[enc.steps[0].exit[1].index()] = 7.0; // y exit
+        env[enc.steps[1].entry[0].index()] = 6.0; // x entry = 5 + 1 ✓
+        env[enc.steps[1].entry[1].index()] = 7.0; // y entry = 7 ✓
+        for a in &glue {
+            assert!(cx2.eval(a.expr, &env).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! The BioCheck framework — the paper's primary contribution (Fig. 2):
+//! a δ-decision–based workflow for modeling and analyzing single- and
+//! multi-mode biological systems.
+//!
+//! ```text
+//!  ODE / hybrid model ──► δ-decision parameter synthesis ──► δ-sat ──► calibrated model
+//!         ▲                        │ unsat                          │
+//!         │                        ▼                                ▼
+//!   model refinement ◄── falsification (hypothesis rejected)   validation
+//!         ▲                                                        │
+//!         │ new hypotheses (SMC-based analysis)                    ▼
+//!         └──────────────────────────────────────── stability & therapy synthesis
+//! ```
+//!
+//! * [`calibrate`] — BioPSy-style guaranteed parameter synthesis from
+//!   time-series data (Sec. IV-A): each data point becomes a reachability
+//!   band linked by validated flow constraints.
+//! * [`falsify`] — model falsification: an `unsat` answer proves *no*
+//!   parameter values can produce the desired behavior (the
+//!   Fenton–Karma "spike-and-dome" argument).
+//! * [`therapy`] — therapeutic strategy identification over multi-mode
+//!   automata (Sec. IV-B): shortest successful mode path + thresholds.
+//! * [`stability`] — Lyapunov stability analysis (Sec. IV-C) with
+//!   interval-Newton equilibrium localization.
+
+pub mod calibrate;
+pub mod falsify;
+pub mod stability;
+pub mod therapy;
+
+pub use calibrate::{synthesize_parameters, CalibrationProblem, Dataset};
+pub use falsify::{falsify_reachability, FalsificationOutcome};
+pub use stability::{verify_stability, StabilityReport};
+pub use therapy::{synthesize_therapy, TherapyPlan};

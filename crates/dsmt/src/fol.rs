@@ -1,0 +1,206 @@
+//! Quantifier-free first-order formulas over theory atoms, with NNF
+//! normalization (the ¬-pushing rules of the paper's Definition 1).
+
+use crate::solver::FlagId;
+use biocheck_expr::{Atom, RelOp};
+
+/// A quantifier-free LRF-formula (Boolean combinations of atoms), plus
+/// contractor flags for guarded ODE constraints.
+#[derive(Clone, Debug)]
+pub enum Fol {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// A theory atom `t ⋈ 0`.
+    Atom(Atom),
+    /// The activation flag of a guarded contractor (see
+    /// [`crate::DeltaSmt::add_contractor`]).
+    Flag(FlagId),
+    /// Conjunction.
+    And(Vec<Fol>),
+    /// Disjunction.
+    Or(Vec<Fol>),
+    /// Negation.
+    Not(Box<Fol>),
+}
+
+impl Fol {
+    /// Conjunction helper.
+    pub fn and(fs: Vec<Fol>) -> Fol {
+        Fol::And(fs)
+    }
+
+    /// Disjunction helper.
+    pub fn or(fs: Vec<Fol>) -> Fol {
+        Fol::Or(fs)
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Fol) -> Fol {
+        Fol::Not(Box::new(f))
+    }
+
+    /// Implication `a → b` as `¬a ∨ b` (the paper's definition).
+    pub fn implies(a: Fol, b: Fol) -> Fol {
+        Fol::Or(vec![Fol::not(a), b])
+    }
+
+    /// Negation-normal form: negations pushed to atoms and eliminated
+    /// there by relation flipping; `¬(t = 0)` expands to `t > 0 ∨ t < 0`
+    /// so equalities only ever occur positively.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negated contractor flag: the complement of a flow
+    /// constraint is not a constraint the theory solver can check.
+    pub fn nnf(&self) -> Fol {
+        self.nnf_inner(false)
+    }
+
+    fn nnf_inner(&self, negate: bool) -> Fol {
+        match self {
+            Fol::True => {
+                if negate {
+                    Fol::False
+                } else {
+                    Fol::True
+                }
+            }
+            Fol::False => {
+                if negate {
+                    Fol::True
+                } else {
+                    Fol::False
+                }
+            }
+            Fol::Atom(a) => {
+                if !negate {
+                    return Fol::Atom(*a);
+                }
+                match a.op {
+                    RelOp::Eq => Fol::Or(vec![
+                        Fol::Atom(Atom::new(a.expr, RelOp::Gt)),
+                        Fol::Atom(Atom::new(a.expr, RelOp::Lt)),
+                    ]),
+                    _ => {
+                        // negate() only fails on Eq, handled above.
+                        let mut dummy = biocheck_expr::Context::new();
+                        Fol::Atom(a.negate(&mut dummy).expect("non-Eq atom negates"))
+                    }
+                }
+            }
+            Fol::Flag(f) => {
+                assert!(
+                    !negate,
+                    "cannot negate a contractor flag: flow constraints have no complement"
+                );
+                Fol::Flag(*f)
+            }
+            Fol::And(fs) => {
+                let inner: Vec<Fol> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Fol::Or(inner)
+                } else {
+                    Fol::And(inner)
+                }
+            }
+            Fol::Or(fs) => {
+                let inner: Vec<Fol> = fs.iter().map(|f| f.nnf_inner(negate)).collect();
+                if negate {
+                    Fol::And(inner)
+                } else {
+                    Fol::Or(inner)
+                }
+            }
+            Fol::Not(f) => f.nnf_inner(!negate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::Context;
+
+    fn atom(cx: &mut Context, src: &str, op: RelOp) -> Atom {
+        let e = cx.parse(src).unwrap();
+        Atom::new(e, op)
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let mut cx = Context::new();
+        let a = atom(&mut cx, "x", RelOp::Ge);
+        let b = atom(&mut cx, "y", RelOp::Gt);
+        // ¬(a ∧ ¬b) = ¬a ∨ b
+        let f = Fol::not(Fol::and(vec![Fol::Atom(a), Fol::not(Fol::Atom(b))]));
+        match f.nnf() {
+            Fol::Or(fs) => {
+                assert_eq!(fs.len(), 2);
+                match (&fs[0], &fs[1]) {
+                    (Fol::Atom(na), Fol::Atom(bb)) => {
+                        assert_eq!(na.op, RelOp::Lt); // ¬(x ≥ 0) = x < 0
+                        assert_eq!(bb.op, RelOp::Gt);
+                    }
+                    other => panic!("unexpected NNF {other:?}"),
+                }
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_equality_becomes_disjunction() {
+        let mut cx = Context::new();
+        let a = atom(&mut cx, "x - 1", RelOp::Eq);
+        match Fol::not(Fol::Atom(a)).nnf() {
+            Fol::Or(fs) => {
+                assert_eq!(fs.len(), 2);
+                let ops: Vec<RelOp> = fs
+                    .iter()
+                    .map(|f| match f {
+                        Fol::Atom(a) => a.op,
+                        _ => panic!("atom expected"),
+                    })
+                    .collect();
+                assert!(ops.contains(&RelOp::Gt) && ops.contains(&RelOp::Lt));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut cx = Context::new();
+        let a = atom(&mut cx, "x", RelOp::Gt);
+        match Fol::not(Fol::not(Fol::Atom(a))).nnf() {
+            Fol::Atom(res) => assert_eq!(res.op, RelOp::Gt),
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_flip() {
+        assert!(matches!(Fol::not(Fol::True).nnf(), Fol::False));
+        assert!(matches!(Fol::not(Fol::False).nnf(), Fol::True));
+    }
+
+    #[test]
+    fn implication_definition() {
+        let mut cx = Context::new();
+        let a = atom(&mut cx, "x", RelOp::Gt);
+        let b = atom(&mut cx, "y", RelOp::Gt);
+        match Fol::implies(Fol::Atom(a), Fol::Atom(b)).nnf() {
+            Fol::Or(fs) => assert_eq!(fs.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot negate a contractor flag")]
+    fn negated_flag_rejected() {
+        let _ = Fol::not(Fol::Flag(FlagId(0))).nnf();
+    }
+}

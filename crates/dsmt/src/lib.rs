@@ -1,0 +1,53 @@
+//! The δ-complete SMT solver: a lazy DPLL(T) loop over the CDCL SAT core
+//! (`biocheck-sat`) and the ICP theory solver (`biocheck-icp`) — BioCheck's
+//! reimplementation of dReal (Section III of the paper, Theorem 1).
+//!
+//! First-order structure is expressed with [`Fol`] formulas over
+//! [`biocheck_expr::Atom`]s; bounded quantification is implicit in the
+//! variable bounds attached to the solver (Definition 3: bounded
+//! LRF-sentences). The solving loop:
+//!
+//! 1. abstract the Boolean skeleton (Tseitin encoding),
+//! 2. enumerate Boolean models with CDCL,
+//! 3. check each model's conjunction of theory literals with
+//!    branch-and-prune ICP (plus any *guarded contractors* — validated ODE
+//!    flows switched on by their Boolean flag),
+//! 4. on theory conflict, learn the blocking clause and continue;
+//!    on theory δ-sat, return the witness.
+//!
+//! Guarantees are one-sided exactly as in the paper: `unsat` is exact,
+//! `δ-sat` holds for the δ-weakened formula.
+//!
+//! # Examples
+//!
+//! ```
+//! use biocheck_dsmt::{DeltaSmt, Fol};
+//! use biocheck_expr::{Atom, Context, RelOp};
+//! use biocheck_interval::Interval;
+//!
+//! let mut cx = Context::new();
+//! let e1 = cx.parse("x^2 - 4").unwrap();
+//! let e2 = cx.parse("x - 10").unwrap();
+//! let mut smt = DeltaSmt::new(cx, 1e-3);
+//! smt.bound("x", Interval::new(-5.0, 5.0));
+//! // (x² = 4) ∧ ¬(x ≥ 10)
+//! smt.assert(Fol::and(vec![
+//!     Fol::Atom(Atom::new(e1, RelOp::Eq)),
+//!     Fol::not(Fol::Atom(Atom::new(e2, RelOp::Ge))),
+//! ]));
+//! let result = smt.check();
+//! assert!(result.is_delta_sat());
+//! let x = result.witness().unwrap().point[0];
+//! assert!((x.abs() - 2.0).abs() < 0.05);
+//! ```
+
+mod fol;
+mod solver;
+
+pub use fol::Fol;
+pub use icp_reexport::*;
+pub use solver::{DeltaSmt, FlagId};
+
+mod icp_reexport {
+    pub use biocheck_icp::{DeltaResult, Witness};
+}

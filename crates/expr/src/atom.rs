@@ -1,0 +1,267 @@
+//! Atomic formulas `t ⋈ 0` of the LRF language and their δ-weakening.
+
+use crate::context::{Context, NodeId};
+use biocheck_interval::Interval;
+
+/// Relation of an atomic formula against zero.
+///
+/// The paper's core language has only `t > 0` and `t ≥ 0` (Definition 1);
+/// `<`, `≤` are normalized by negating the term and `=` abbreviates the
+/// conjunction `t ≥ 0 ∧ -t ≥ 0`. We keep all five for convenience.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RelOp {
+    /// `t > 0`
+    Gt,
+    /// `t ≥ 0`
+    Ge,
+    /// `t = 0`
+    Eq,
+    /// `t ≤ 0`
+    Le,
+    /// `t < 0`
+    Lt,
+}
+
+impl RelOp {
+    /// The symbol used in diagnostics.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+            RelOp::Eq => "=",
+            RelOp::Le => "<=",
+            RelOp::Lt => "<",
+        }
+    }
+}
+
+/// An atomic constraint `expr ⋈ 0` over a shared [`Context`].
+///
+/// # Examples
+///
+/// ```
+/// use biocheck_expr::{Atom, Context, RelOp};
+///
+/// let mut cx = Context::new();
+/// let lhs = cx.parse("x^2 + y^2").unwrap();
+/// let rhs = cx.parse("1").unwrap();
+/// // x² + y² ≤ 1
+/// let inside = Atom::le(&mut cx, lhs, rhs);
+/// assert_eq!(inside.op, RelOp::Le);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The left-hand term (compared against zero).
+    pub expr: NodeId,
+    /// The relation.
+    pub op: RelOp,
+}
+
+impl Atom {
+    /// Creates `expr ⋈ 0` directly.
+    pub fn new(expr: NodeId, op: RelOp) -> Atom {
+        Atom { expr, op }
+    }
+
+    /// Builds `lhs > rhs` as `lhs - rhs > 0`.
+    pub fn gt(cx: &mut Context, lhs: NodeId, rhs: NodeId) -> Atom {
+        Atom::new(cx.sub(lhs, rhs), RelOp::Gt)
+    }
+
+    /// Builds `lhs ≥ rhs`.
+    pub fn ge(cx: &mut Context, lhs: NodeId, rhs: NodeId) -> Atom {
+        Atom::new(cx.sub(lhs, rhs), RelOp::Ge)
+    }
+
+    /// Builds `lhs = rhs`.
+    pub fn eq(cx: &mut Context, lhs: NodeId, rhs: NodeId) -> Atom {
+        Atom::new(cx.sub(lhs, rhs), RelOp::Eq)
+    }
+
+    /// Builds `lhs ≤ rhs`.
+    pub fn le(cx: &mut Context, lhs: NodeId, rhs: NodeId) -> Atom {
+        Atom::new(cx.sub(lhs, rhs), RelOp::Le)
+    }
+
+    /// Builds `lhs < rhs`.
+    pub fn lt(cx: &mut Context, lhs: NodeId, rhs: NodeId) -> Atom {
+        Atom::new(cx.sub(lhs, rhs), RelOp::Lt)
+    }
+
+    /// The logical negation, following the paper's inductive definition
+    /// (`¬(t > 0) := -t ≥ 0`, `¬(t ≥ 0) := -t > 0`).
+    ///
+    /// Returns `None` for equalities, whose negation (`t ≠ 0`) is a
+    /// disjunction and therefore not an atom.
+    pub fn negate(&self, cx: &mut Context) -> Option<Atom> {
+        let op = match self.op {
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Eq => return None,
+        };
+        let _ = cx; // expr unchanged: we flip the relation instead of negating the term
+        Some(Atom {
+            expr: self.expr,
+            op,
+        })
+    }
+
+    /// The set of admissible term values under the δ-weakening of this
+    /// atom (Definition 4). With `δ = 0` this is the exact admissible set
+    /// (up to topological closure of strict relations, which is the sound
+    /// direction for pruning).
+    pub fn projection(&self, delta: f64) -> Interval {
+        debug_assert!(delta >= 0.0);
+        match self.op {
+            RelOp::Gt | RelOp::Ge => Interval::new(-delta, f64::INFINITY),
+            RelOp::Eq => Interval::new(-delta, delta),
+            RelOp::Le | RelOp::Lt => Interval::new(f64::NEG_INFINITY, delta),
+        }
+    }
+
+    /// Does the point value `v` of the term satisfy the δ-weakened atom?
+    pub fn holds_at(&self, v: f64, delta: f64) -> bool {
+        match self.op {
+            RelOp::Gt => v > -delta,
+            RelOp::Ge => v >= -delta,
+            RelOp::Eq => v.abs() <= delta,
+            RelOp::Le => v <= delta,
+            RelOp::Lt => v < delta,
+        }
+    }
+
+    /// Does an enclosure `iv` of the term *refute* the original atom
+    /// (no point of `iv` satisfies it)?
+    pub fn refuted_by(&self, iv: Interval) -> bool {
+        if iv.is_empty() {
+            return true;
+        }
+        match self.op {
+            RelOp::Gt => iv.hi() <= 0.0,
+            RelOp::Ge => iv.hi() < 0.0,
+            RelOp::Eq => !iv.contains(0.0),
+            RelOp::Le => iv.lo() > 0.0,
+            RelOp::Lt => iv.lo() >= 0.0,
+        }
+    }
+
+    /// Does every point of the enclosure `iv` satisfy the δ-weakened atom?
+    pub fn delta_holds_on(&self, iv: Interval, delta: f64) -> bool {
+        if iv.is_empty() {
+            return false;
+        }
+        match self.op {
+            RelOp::Gt => iv.lo() > -delta,
+            RelOp::Ge => iv.lo() >= -delta,
+            RelOp::Eq => -delta <= iv.lo() && iv.hi() <= delta,
+            RelOp::Le => iv.hi() <= delta,
+            RelOp::Lt => iv.hi() < delta,
+        }
+    }
+
+    /// Renders the atom as `term ⋈ 0`.
+    pub fn display(&self, cx: &Context) -> String {
+        format!("{} {} 0", cx.display(self.expr), self.op.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Context, Atom) {
+        let mut cx = Context::new();
+        let lhs = cx.parse("x - 1").unwrap();
+        let zero = cx.constant(0.0);
+        let a = Atom::ge(&mut cx, lhs, zero); // x - 1 ≥ 0
+        (cx, a)
+    }
+
+    #[test]
+    fn builders_normalize_to_zero_comparison() {
+        let mut cx = Context::new();
+        let x = cx.var("x");
+        let one = cx.constant(1.0);
+        let a = Atom::le(&mut cx, x, one); // x ≤ 1 ⇒ x - 1 ≤ 0
+        assert_eq!(a.op, RelOp::Le);
+        assert_eq!(cx.eval(a.expr, &[3.0]), 2.0);
+    }
+
+    #[test]
+    fn holds_at_delta_weakening() {
+        let (_cx, a) = setup();
+        assert!(a.holds_at(0.5, 0.0)); // x-1 = 0.5 ≥ 0
+        assert!(!a.holds_at(-0.5, 0.0));
+        assert!(a.holds_at(-0.5, 0.5)); // weakened to ≥ -0.5
+        let eq = Atom::new(a.expr, RelOp::Eq);
+        assert!(eq.holds_at(0.0, 0.0));
+        assert!(eq.holds_at(0.3, 0.5));
+        assert!(!eq.holds_at(0.6, 0.5));
+    }
+
+    #[test]
+    fn refutation_by_interval() {
+        let (_cx, a) = setup();
+        assert!(a.refuted_by(Interval::new(-2.0, -0.1))); // term < 0 everywhere
+        assert!(!a.refuted_by(Interval::new(-1.0, 1.0)));
+        let strict = Atom::new(a.expr, RelOp::Gt);
+        assert!(strict.refuted_by(Interval::new(-1.0, 0.0))); // t > 0 impossible
+        let eq = Atom::new(a.expr, RelOp::Eq);
+        assert!(eq.refuted_by(Interval::new(0.5, 1.0)));
+        assert!(!eq.refuted_by(Interval::new(-0.5, 0.5)));
+        assert!(eq.refuted_by(Interval::EMPTY));
+    }
+
+    #[test]
+    fn delta_holds_on_whole_interval() {
+        let (_cx, a) = setup();
+        assert!(a.delta_holds_on(Interval::new(0.0, 5.0), 0.0));
+        assert!(!a.delta_holds_on(Interval::new(-0.1, 5.0), 0.0));
+        assert!(a.delta_holds_on(Interval::new(-0.1, 5.0), 0.2));
+        assert!(!a.delta_holds_on(Interval::EMPTY, 1.0));
+    }
+
+    #[test]
+    fn projection_sets() {
+        let (_cx, a) = setup();
+        let p = a.projection(0.1);
+        assert_eq!(p.lo(), -0.1);
+        assert_eq!(p.hi(), f64::INFINITY);
+        let eq = Atom::new(a.expr, RelOp::Eq).projection(0.25);
+        assert_eq!(eq, Interval::new(-0.25, 0.25));
+        let lt = Atom::new(a.expr, RelOp::Lt).projection(0.0);
+        assert_eq!(lt.hi(), 0.0);
+    }
+
+    #[test]
+    fn negation_flips_relation() {
+        let mut cx = Context::new();
+        let x = cx.var("x");
+        for (op, want) in [
+            (RelOp::Gt, RelOp::Le),
+            (RelOp::Ge, RelOp::Lt),
+            (RelOp::Le, RelOp::Gt),
+            (RelOp::Lt, RelOp::Ge),
+        ] {
+            let a = Atom::new(x, op);
+            let n = a.negate(&mut cx).unwrap();
+            assert_eq!(n.op, want);
+            assert_eq!(n.expr, x);
+            // A point satisfies exactly one of atom/negation (δ = 0, v ≠ 0).
+            for v in [-1.0, 2.0] {
+                assert_ne!(a.holds_at(v, 0.0), n.holds_at(v, 0.0));
+            }
+        }
+        assert!(Atom::new(x, RelOp::Eq).negate(&mut cx).is_none());
+    }
+
+    #[test]
+    fn display_contains_symbol() {
+        let (cx, a) = setup();
+        let s = a.display(&cx);
+        assert!(s.contains(">="), "{s}");
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,303 @@
+//! Symbolic differentiation on the expression DAG.
+
+use crate::context::{BinOp, Context, Node, NodeId, UnaryOp, VarId};
+
+impl Context {
+    /// Symbolic partial derivative `∂ id / ∂ v`.
+    ///
+    /// Differentiation proceeds bottom-up over the reachable sub-DAG, so
+    /// shared subterms are differentiated once. The result is built through
+    /// the smart constructors and therefore inherits their simplifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the expression contains `min`, `max` or `abs`, which are
+    /// not differentiable; Lie derivatives and Jacobians in BioCheck are
+    /// only taken of smooth kinetic laws.
+    pub fn diff(&mut self, id: NodeId, v: VarId) -> NodeId {
+        // Collect reachable node ids in ascending (topological) order.
+        let mut reach = vec![false; id.index() + 1];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if reach[n.index()] {
+                continue;
+            }
+            reach[n.index()] = true;
+            match *self.node(n) {
+                Node::Unary(_, a) | Node::PowI(a, _) => stack.push(a),
+                Node::Binary(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        let mut d: Vec<Option<NodeId>> = vec![None; id.index() + 1];
+        for i in 0..=id.index() {
+            if !reach[i] {
+                continue;
+            }
+            let nid = NodeId(i as u32);
+            let node = *self.node(nid);
+            let dn = match node {
+                Node::Const(_) => self.constant(0.0),
+                Node::Var(u) => {
+                    if u == v {
+                        self.constant(1.0)
+                    } else {
+                        self.constant(0.0)
+                    }
+                }
+                Node::Unary(op, a) => {
+                    let da = d[a.index()].expect("child before parent");
+                    self.diff_unary(op, a, da)
+                }
+                Node::Binary(op, a, b) => {
+                    let da = d[a.index()].expect("child before parent");
+                    let db = d[b.index()].expect("child before parent");
+                    self.diff_binary(op, a, b, da, db)
+                }
+                Node::PowI(a, k) => {
+                    // d(aᵏ) = k·aᵏ⁻¹·da
+                    let da = d[a.index()].expect("child before parent");
+                    let kc = self.constant(k as f64);
+                    let p = self.powi(a, k - 1);
+                    let t = self.mul(kc, p);
+                    self.mul(t, da)
+                }
+            };
+            d[i] = Some(dn);
+        }
+        d[id.index()].expect("root derivative computed")
+    }
+
+    fn diff_unary(&mut self, op: UnaryOp, a: NodeId, da: NodeId) -> NodeId {
+        match op {
+            UnaryOp::Neg => self.neg(da),
+            UnaryOp::Sqrt => {
+                // da / (2·sqrt a)
+                let s = self.sqrt(a);
+                let two = self.constant(2.0);
+                let den = self.mul(two, s);
+                self.div(da, den)
+            }
+            UnaryOp::Exp => {
+                let e = self.exp(a);
+                self.mul(e, da)
+            }
+            UnaryOp::Ln => self.div(da, a),
+            UnaryOp::Sin => {
+                let c = self.cos(a);
+                self.mul(c, da)
+            }
+            UnaryOp::Cos => {
+                let s = self.sin(a);
+                let ns = self.neg(s);
+                self.mul(ns, da)
+            }
+            UnaryOp::Tan => {
+                // (1 + tan² a)·da
+                let t = self.tan(a);
+                let t2 = self.powi(t, 2);
+                let one = self.constant(1.0);
+                let f = self.add(one, t2);
+                self.mul(f, da)
+            }
+            UnaryOp::Asin => {
+                // da / sqrt(1 - a²)
+                let a2 = self.powi(a, 2);
+                let one = self.constant(1.0);
+                let r = self.sub(one, a2);
+                let s = self.sqrt(r);
+                self.div(da, s)
+            }
+            UnaryOp::Acos => {
+                let a2 = self.powi(a, 2);
+                let one = self.constant(1.0);
+                let r = self.sub(one, a2);
+                let s = self.sqrt(r);
+                let q = self.div(da, s);
+                self.neg(q)
+            }
+            UnaryOp::Atan => {
+                let a2 = self.powi(a, 2);
+                let one = self.constant(1.0);
+                let den = self.add(one, a2);
+                self.div(da, den)
+            }
+            UnaryOp::Sinh => {
+                let c = self.unary(UnaryOp::Cosh, a);
+                self.mul(c, da)
+            }
+            UnaryOp::Cosh => {
+                let s = self.unary(UnaryOp::Sinh, a);
+                self.mul(s, da)
+            }
+            UnaryOp::Tanh => {
+                // (1 - tanh² a)·da
+                let t = self.tanh(a);
+                let t2 = self.powi(t, 2);
+                let one = self.constant(1.0);
+                let f = self.sub(one, t2);
+                self.mul(f, da)
+            }
+            UnaryOp::Abs => panic!("abs is not differentiable; rewrite the model without it"),
+        }
+    }
+
+    fn diff_binary(&mut self, op: BinOp, a: NodeId, b: NodeId, da: NodeId, db: NodeId) -> NodeId {
+        match op {
+            BinOp::Add => self.add(da, db),
+            BinOp::Sub => self.sub(da, db),
+            BinOp::Mul => {
+                let t1 = self.mul(da, b);
+                let t2 = self.mul(a, db);
+                self.add(t1, t2)
+            }
+            BinOp::Div => {
+                // (da·b - a·db) / b²
+                let t1 = self.mul(da, b);
+                let t2 = self.mul(a, db);
+                let num = self.sub(t1, t2);
+                let den = self.powi(b, 2);
+                self.div(num, den)
+            }
+            BinOp::Pow => {
+                // a^b·(db·ln a + b·da/a)
+                let p = self.pow(a, b);
+                let la = self.ln(a);
+                let t1 = self.mul(db, la);
+                let q = self.div(da, a);
+                let t2 = self.mul(b, q);
+                let s = self.add(t1, t2);
+                self.mul(p, s)
+            }
+            BinOp::Min | BinOp::Max => {
+                panic!("min/max are not differentiable; rewrite the model without them")
+            }
+        }
+    }
+
+    /// Gradient with respect to the given variables.
+    pub fn gradient(&mut self, id: NodeId, vars: &[VarId]) -> Vec<NodeId> {
+        vars.iter().map(|&v| self.diff(id, v)).collect()
+    }
+
+    /// Jacobian matrix `J[i][j] = ∂ exprs[i] / ∂ vars[j]`.
+    pub fn jacobian(&mut self, exprs: &[NodeId], vars: &[VarId]) -> Vec<Vec<NodeId>> {
+        exprs.iter().map(|&e| self.gradient(e, vars)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(cx: &Context, e: NodeId, env: &[f64], i: usize) -> f64 {
+        let h = 1e-6 * (1.0 + env[i].abs());
+        let mut lo = env.to_vec();
+        let mut hi = env.to_vec();
+        lo[i] -= h;
+        hi[i] += h;
+        (cx.eval(e, &hi) - cx.eval(e, &lo)) / (2.0 * h)
+    }
+
+    fn check(src: &str, env: &[f64]) {
+        let mut cx = Context::new();
+        let e = cx.parse(src).unwrap();
+        for i in 0..env.len() {
+            let v = VarId::from_index(i);
+            if cx.num_vars() <= i {
+                continue;
+            }
+            let d = cx.diff(e, v);
+            let sym = cx.eval(d, env);
+            let num = fd(&cx, e, env, i);
+            assert!(
+                (sym - num).abs() <= 1e-4 * (1.0 + num.abs()),
+                "d/d{}[{src}] at {env:?}: symbolic {sym} vs numeric {num}",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_derivatives() {
+        check("3*x^2 - 2*x + 7", &[1.3]);
+        check("x^5", &[0.9]);
+        check("(x + y)^3", &[0.5, -0.4]);
+    }
+
+    #[test]
+    fn rational_derivatives() {
+        check("1 / (1 + x^2)", &[0.7]);
+        check("x / y", &[2.0, 3.0]);
+        check("(x^2 - y) / (x + y^2)", &[1.1, 0.3]);
+    }
+
+    #[test]
+    fn transcendental_derivatives() {
+        check("exp(x)", &[0.2]);
+        check("ln(x)", &[1.5]);
+        check("sin(x) * cos(x)", &[0.8]);
+        check("tan(x)", &[0.4]);
+        check("atan(x)", &[1.0]);
+        check("asin(x)", &[0.3]);
+        check("acos(x)", &[0.3]);
+        check("sqrt(x)", &[2.5]);
+        check("sinh(x) + cosh(x)", &[0.6]);
+        check("tanh(x)", &[0.9]);
+        check("exp(-x^2 / 2)", &[0.77]);
+    }
+
+    #[test]
+    fn real_power_derivative() {
+        check("x ^ 2.5", &[1.7]);
+        check("pow(x, y)", &[1.5, 2.2]);
+    }
+
+    #[test]
+    fn michaelis_menten_rate() {
+        // d/dS [Vmax·S/(Km+S)] = Vmax·Km/(Km+S)²
+        let mut cx = Context::new();
+        let e = cx.parse("2.0 * s / (0.5 + s)").unwrap();
+        let s = cx.var_id("s").unwrap();
+        let d = cx.diff(e, s);
+        let got = cx.eval(d, &[1.0]);
+        let expect = 2.0 * 0.5 / (1.5f64 * 1.5);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_and_jacobian() {
+        let mut cx = Context::new();
+        let f1 = cx.parse("x*y").unwrap();
+        let f2 = cx.parse("x + y^2").unwrap();
+        let x = cx.var_id("x").unwrap();
+        let y = cx.var_id("y").unwrap();
+        let j = cx.jacobian(&[f1, f2], &[x, y]);
+        let env = [2.0, 3.0];
+        assert_eq!(cx.eval(j[0][0], &env), 3.0); // ∂(xy)/∂x = y
+        assert_eq!(cx.eval(j[0][1], &env), 2.0);
+        assert_eq!(cx.eval(j[1][0], &env), 1.0);
+        assert_eq!(cx.eval(j[1][1], &env), 6.0); // 2y
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let mut cx = Context::new();
+        let e = cx.parse("4.2").unwrap();
+        let v = cx.intern_var("x");
+        let d = cx.diff(e, v);
+        assert_eq!(cx.as_const(d), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not differentiable")]
+    fn min_rejected() {
+        let mut cx = Context::new();
+        let e = cx.parse("min(x, y)").unwrap();
+        let x = cx.var_id("x").unwrap();
+        let _ = cx.diff(e, x);
+    }
+}

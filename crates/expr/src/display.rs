@@ -1,0 +1,139 @@
+//! Precedence-aware pretty-printing of expressions.
+
+use crate::context::{BinOp, Context, Node, NodeId, UnaryOp};
+use std::fmt::Write;
+
+/// Operator precedence levels for printing (higher binds tighter).
+fn prec(node: &Node) -> u8 {
+    match node {
+        Node::Const(v) if *v < 0.0 => 3,
+        Node::Const(_) | Node::Var(_) => 10,
+        Node::Unary(UnaryOp::Neg, _) => 3,
+        Node::Unary(_, _) => 10, // named function calls self-delimit
+        Node::Binary(BinOp::Add | BinOp::Sub, _, _) => 1,
+        Node::Binary(BinOp::Mul | BinOp::Div, _, _) => 2,
+        Node::Binary(BinOp::Pow, _, _) | Node::PowI(_, _) => 4,
+        Node::Binary(BinOp::Min | BinOp::Max, _, _) => 10,
+    }
+}
+
+impl Context {
+    /// Renders the expression in the surface syntax accepted by
+    /// [`Context::parse`] (a print→parse round trip is value-preserving).
+    pub fn display(&self, id: NodeId) -> String {
+        let mut s = String::new();
+        self.write_expr(&mut s, id, 0);
+        s
+    }
+
+    fn write_expr(&self, out: &mut String, id: NodeId, min_prec: u8) {
+        let node = self.node(id);
+        let p = prec(node);
+        let need_paren = p < min_prec;
+        if need_paren {
+            out.push('(');
+        }
+        match *node {
+            Node::Const(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Node::Var(v) => out.push_str(self.var_name(v)),
+            Node::Unary(UnaryOp::Neg, a) => {
+                out.push('-');
+                self.write_expr(out, a, 4);
+            }
+            Node::Unary(op, a) => {
+                out.push_str(op.name());
+                out.push('(');
+                self.write_expr(out, a, 0);
+                out.push(')');
+            }
+            Node::Binary(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => {
+                    out.push_str(if op == BinOp::Min { "min" } else { "max" });
+                    out.push('(');
+                    self.write_expr(out, a, 0);
+                    out.push_str(", ");
+                    self.write_expr(out, b, 0);
+                    out.push(')');
+                }
+                _ => {
+                    let (sym, lp, rp) = match op {
+                        BinOp::Add => (" + ", 1, 1),
+                        BinOp::Sub => (" - ", 1, 2),
+                        BinOp::Mul => ("*", 2, 2),
+                        BinOp::Div => ("/", 2, 3),
+                        BinOp::Pow => ("^", 5, 4),
+                        _ => unreachable!(),
+                    };
+                    self.write_expr(out, a, lp);
+                    out.push_str(sym);
+                    self.write_expr(out, b, rp);
+                }
+            },
+            Node::PowI(a, k) => {
+                self.write_expr(out, a, 5);
+                let _ = write!(out, "^{k}");
+            }
+        }
+        if need_paren {
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str, env: &[f64]) {
+        let mut cx = Context::new();
+        let e = cx.parse(src).unwrap();
+        let printed = cx.display(e);
+        let e2 = cx
+            .parse(&printed)
+            .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+        let v1 = cx.eval(e, env);
+        let v2 = cx.eval(e2, env);
+        assert!(
+            (v1 - v2).abs() <= 1e-12 * (1.0 + v1.abs()),
+            "`{src}` → `{printed}`: {v1} vs {v2}"
+        );
+    }
+
+    #[test]
+    fn simple_forms() {
+        let mut cx = Context::new();
+        let e = cx.parse("x + y*z").unwrap();
+        assert_eq!(cx.display(e), "x + y*z");
+        let e = cx.parse("(x + y)*z").unwrap();
+        assert_eq!(cx.display(e), "(x + y)*z");
+        let e = cx.parse("x^2").unwrap();
+        assert_eq!(cx.display(e), "x^2");
+    }
+
+    #[test]
+    fn roundtrips_preserve_value() {
+        roundtrip("x - (y - z)", &[5.0, 3.0, 1.0]);
+        roundtrip("x / (y / z)", &[12.0, 4.0, 2.0]);
+        roundtrip("-(x + y)", &[1.0, 2.0]);
+        roundtrip("-x^2", &[3.0]);
+        roundtrip("(x*y)^3", &[1.2, 0.7]);
+        roundtrip("2^x^2", &[1.5]);
+        roundtrip("sin(x)*cos(y) - exp(-x)", &[0.4, 0.9]);
+        roundtrip("min(x, max(y, 1)) + abs(x - y)", &[2.0, -1.0]);
+        roundtrip("x/(1 + y^2)/2", &[3.0, 0.5]);
+        roundtrip("pow(x, y)", &[2.0, 1.3]);
+    }
+
+    #[test]
+    fn negative_constant_parenthesized_in_products() {
+        let mut cx = Context::new();
+        let x = cx.var("x");
+        let c = cx.constant(-2.0);
+        let e = cx.mul(c, x);
+        let s = cx.display(e);
+        let e2 = cx.parse(&s).unwrap();
+        assert_eq!(cx.eval(e2, &[3.0]), -6.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! Evaluation of expressions over `f64` points and interval boxes, plus
+//! [`Program`], a compiled form for hot loops (ODE right-hand sides).
+
+use crate::context::{eval_unary_f64, BinOp, Context, Node, NodeId, UnaryOp};
+use biocheck_interval::{IBox, Interval};
+
+impl Context {
+    /// Evaluates `id` at the point `env` (indexed by [`crate::VarId`]).
+    ///
+    /// Returns NaN when the point lies outside a partial function's domain
+    /// (e.g. `ln` of a negative number).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` is shorter than the number of declared variables
+    /// referenced by the expression.
+    pub fn eval(&self, id: NodeId, env: &[f64]) -> f64 {
+        let mut buf = vec![0.0f64; id.index() + 1];
+        self.eval_prefix(id, env, &mut buf);
+        buf[id.index()]
+    }
+
+    /// Evaluates several roots sharing one arena scan.
+    pub fn eval_many(&self, ids: &[NodeId], env: &[f64]) -> Vec<f64> {
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let max = ids.iter().map(|i| i.index()).max().unwrap();
+        let mut buf = vec![0.0f64; max + 1];
+        self.eval_prefix(NodeId((max) as u32), env, &mut buf);
+        ids.iter().map(|i| buf[i.index()]).collect()
+    }
+
+    fn eval_prefix(&self, id: NodeId, env: &[f64], buf: &mut [f64]) {
+        for (i, node) in self.nodes()[..=id.index()].iter().enumerate() {
+            buf[i] = match *node {
+                Node::Const(v) => v,
+                Node::Var(v) => env[v.index()],
+                Node::Unary(op, a) => eval_unary_f64(op, buf[a.index()]),
+                Node::Binary(op, a, b) => eval_binary_f64(op, buf[a.index()], buf[b.index()]),
+                Node::PowI(a, n) => buf[a.index()].powi(n),
+            };
+        }
+    }
+
+    /// Evaluates `id` over the box `env`, producing a sound enclosure of
+    /// the range of the expression on the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `env` has fewer dimensions than referenced variables.
+    pub fn eval_interval(&self, id: NodeId, env: &IBox) -> Interval {
+        let mut buf = vec![Interval::ZERO; id.index() + 1];
+        self.eval_interval_prefix(id, env, &mut buf);
+        buf[id.index()]
+    }
+
+    fn eval_interval_prefix(&self, id: NodeId, env: &IBox, buf: &mut [Interval]) {
+        for (i, node) in self.nodes()[..=id.index()].iter().enumerate() {
+            buf[i] = match *node {
+                Node::Const(v) => Interval::point(v),
+                Node::Var(v) => env[v.index()],
+                Node::Unary(op, a) => eval_unary_interval(op, buf[a.index()]),
+                Node::Binary(op, a, b) => {
+                    eval_binary_interval(op, buf[a.index()], buf[b.index()])
+                }
+                Node::PowI(a, n) => buf[a.index()].powi(n),
+            };
+        }
+    }
+}
+
+/// Scalar semantics of binary ops.
+/// Applies a binary operation to scalars (public for downstream solvers).
+pub fn eval_binary_f64(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Pow => a.powf(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+/// Interval semantics of unary ops.
+/// Applies a unary operation to an interval (public for downstream solvers).
+pub fn eval_unary_interval(op: UnaryOp, x: Interval) -> Interval {
+    match op {
+        UnaryOp::Neg => -x,
+        UnaryOp::Abs => x.abs(),
+        UnaryOp::Sqrt => x.sqrt(),
+        UnaryOp::Exp => x.exp(),
+        UnaryOp::Ln => x.ln(),
+        UnaryOp::Sin => x.sin(),
+        UnaryOp::Cos => x.cos(),
+        UnaryOp::Tan => x.tan(),
+        UnaryOp::Asin => x.asin(),
+        UnaryOp::Acos => x.acos(),
+        UnaryOp::Atan => x.atan(),
+        UnaryOp::Sinh => x.sinh(),
+        UnaryOp::Cosh => x.cosh(),
+        UnaryOp::Tanh => x.tanh(),
+    }
+}
+
+/// Interval semantics of binary ops.
+/// Applies a binary operation to intervals (public for downstream solvers).
+pub fn eval_binary_interval(op: BinOp, a: Interval, b: Interval) -> Interval {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Pow => a.powf(&b),
+        BinOp::Min => a.min_i(&b),
+        BinOp::Max => a.max_i(&b),
+    }
+}
+
+/// A compiled, self-contained evaluation program for a set of expression
+/// roots: only the reachable nodes, remapped to dense slots.
+///
+/// `Program` decouples hot evaluation loops (ODE integration takes millions
+/// of right-hand-side evaluations) from the growing [`Context`] arena.
+///
+/// # Examples
+///
+/// ```
+/// use biocheck_expr::{Context, Program};
+///
+/// let mut cx = Context::new();
+/// let f = cx.parse("x * y + 1").unwrap();
+/// let g = cx.parse("x - y").unwrap();
+/// let prog = Program::compile(&cx, &[f, g]);
+/// let mut out = [0.0; 2];
+/// prog.eval_into(&[2.0, 3.0], &mut out);
+/// assert_eq!(out, [7.0, -1.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Reachable nodes with child references rewritten to slot indices.
+    nodes: Vec<Node>,
+    /// Slot of each root, in the order given at compile time.
+    roots: Vec<u32>,
+}
+
+impl Program {
+    /// Compiles the sub-DAG reachable from `roots`.
+    pub fn compile(cx: &Context, roots: &[NodeId]) -> Program {
+        // Mark reachable nodes.
+        let n = cx.num_nodes();
+        let mut reach = vec![false; n];
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if reach[id.index()] {
+                continue;
+            }
+            reach[id.index()] = true;
+            match *cx.node(id) {
+                Node::Unary(_, a) | Node::PowI(a, _) => stack.push(a),
+                Node::Binary(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        // Remap in ascending id order (preserves topological order).
+        let mut slot = vec![u32::MAX; n];
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            if !reach[i] {
+                continue;
+            }
+            let remap = |c: NodeId| NodeId(slot[c.index()]);
+            let node = match *cx.node(NodeId(i as u32)) {
+                Node::Unary(op, a) => Node::Unary(op, remap(a)),
+                Node::Binary(op, a, b) => Node::Binary(op, remap(a), remap(b)),
+                Node::PowI(a, k) => Node::PowI(remap(a), k),
+                leaf => leaf,
+            };
+            slot[i] = nodes.len() as u32;
+            nodes.push(node);
+        }
+        Program {
+            nodes,
+            roots: roots.iter().map(|r| slot[r.index()]).collect(),
+        }
+    }
+
+    /// Number of roots (outputs).
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Number of compiled instructions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for a program with no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates all roots at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_roots()`.
+    pub fn eval_into(&self, env: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
+        let mut vals = vec![0.0f64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match *node {
+                Node::Const(v) => v,
+                Node::Var(v) => env[v.index()],
+                Node::Unary(op, a) => eval_unary_f64(op, vals[a.index()]),
+                Node::Binary(op, a, b) => eval_binary_f64(op, vals[a.index()], vals[b.index()]),
+                Node::PowI(a, k) => vals[a.index()].powi(k),
+            };
+        }
+        for (o, &r) in out.iter_mut().zip(&self.roots) {
+            *o = vals[r as usize];
+        }
+    }
+
+    /// Evaluates all roots over a box, giving sound range enclosures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_roots()`.
+    pub fn eval_interval_into(&self, env: &IBox, out: &mut [Interval]) {
+        assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
+        let mut vals = vec![Interval::ZERO; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match *node {
+                Node::Const(v) => Interval::point(v),
+                Node::Var(v) => env[v.index()],
+                Node::Unary(op, a) => eval_unary_interval(op, vals[a.index()]),
+                Node::Binary(op, a, b) => {
+                    eval_binary_interval(op, vals[a.index()], vals[b.index()])
+                }
+                Node::PowI(a, k) => vals[a.index()].powi(k),
+            };
+        }
+        for (o, &r) in out.iter_mut().zip(&self.roots) {
+            *o = vals[r as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_polynomial() {
+        let mut cx = Context::new();
+        let e = cx.parse("3*x^2 - 2*x + 1").unwrap();
+        assert_eq!(cx.eval(e, &[2.0]), 9.0);
+        assert_eq!(cx.eval(e, &[0.0]), 1.0);
+    }
+
+    #[test]
+    fn eval_transcendental() {
+        let mut cx = Context::new();
+        let e = cx.parse("exp(x) + sin(y) * cos(y)").unwrap();
+        let v = cx.eval(e, &[1.0, 0.5]);
+        let expected = 1.0f64.exp() + 0.5f64.sin() * 0.5f64.cos();
+        assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_many_shares_scan() {
+        let mut cx = Context::new();
+        let a = cx.parse("x + y").unwrap();
+        let b = cx.parse("x * y").unwrap();
+        let vs = cx.eval_many(&[a, b], &[2.0, 5.0]);
+        assert_eq!(vs, vec![7.0, 10.0]);
+        assert!(cx.eval_many(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn interval_eval_encloses_points() {
+        let mut cx = Context::new();
+        let e = cx.parse("x^2 - y / (1 + x^2)").unwrap();
+        let bx = IBox::new(vec![Interval::new(-1.0, 2.0), Interval::new(0.0, 3.0)]);
+        let enc = cx.eval_interval(e, &bx);
+        for &x in &[-1.0, 0.0, 0.5, 2.0] {
+            for &y in &[0.0, 1.5, 3.0] {
+                let v = cx.eval(e, &[x, y]);
+                assert!(enc.contains(v), "{enc:?} missing {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn interval_eval_respects_domains() {
+        let mut cx = Context::new();
+        let e = cx.parse("sqrt(x)").unwrap();
+        let bad = cx.eval_interval(e, &IBox::new(vec![Interval::new(-2.0, -1.0)]));
+        assert!(bad.is_empty());
+        let clipped = cx.eval_interval(e, &IBox::new(vec![Interval::new(-1.0, 4.0)]));
+        assert!(clipped.contains(2.0) && clipped.lo() >= 0.0);
+    }
+
+    #[test]
+    fn program_matches_context_eval() {
+        let mut cx = Context::new();
+        let f = cx.parse("x*sin(y) + exp(-x^2)").unwrap();
+        let g = cx.parse("min(x, y) + max(x, 0)").unwrap();
+        let p = Program::compile(&cx, &[f, g]);
+        assert_eq!(p.num_roots(), 2);
+        assert!(p.len() <= cx.num_nodes());
+        let env = [0.7, -1.3];
+        let mut out = [0.0f64; 2];
+        p.eval_into(&env, &mut out);
+        assert!((out[0] - cx.eval(f, &env)).abs() < 1e-15);
+        assert!((out[1] - cx.eval(g, &env)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn program_interval_matches() {
+        let mut cx = Context::new();
+        let f = cx.parse("x / (1 + y^2)").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        let bx = IBox::new(vec![Interval::new(1.0, 2.0), Interval::new(-1.0, 1.0)]);
+        let mut out = [Interval::ZERO; 1];
+        p.eval_interval_into(&bx, &mut out);
+        assert_eq!(out[0], cx.eval_interval(f, &bx));
+    }
+
+    #[test]
+    fn program_prunes_unreachable() {
+        let mut cx = Context::new();
+        let _unrelated = cx.parse("sin(cos(tan(q + r + s)))").unwrap();
+        let f = cx.parse("x + 1").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        assert!(p.len() <= 3);
+    }
+
+    #[test]
+    fn shared_roots_identical_slots() {
+        let mut cx = Context::new();
+        let f = cx.parse("x + 1").unwrap();
+        let p = Program::compile(&cx, &[f, f]);
+        let mut out = [0.0f64; 2];
+        p.eval_into(&[41.0], &mut out);
+        assert_eq!(out, [42.0, 42.0]);
+    }
+}

@@ -1,0 +1,456 @@
+//! A small recursive-descent parser for the expression surface syntax.
+//!
+//! Grammar (usual precedence, `^` binds tightest and is right-associative):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor (('*' | '/') factor)*
+//! factor  := unary ('^' factor)?
+//! unary   := '-' unary | primary
+//! primary := NUMBER | IDENT | IDENT '(' expr (',' expr)* ')' | '(' expr ')'
+//! ```
+//!
+//! Recognized functions: `sqrt exp ln log sin cos tan asin acos atan sinh
+//! cosh tanh abs min max pow`.
+
+use crate::context::{Context, NodeId, UnaryOp};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error occurred.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                toks.push((i, Tok::Plus));
+                i += 1;
+            }
+            '-' => {
+                toks.push((i, Tok::Minus));
+                i += 1;
+            }
+            '*' => {
+                toks.push((i, Tok::Star));
+                i += 1;
+            }
+            '/' => {
+                toks.push((i, Tok::Slash));
+                i += 1;
+            }
+            '^' => {
+                toks.push((i, Tok::Caret));
+                i += 1;
+            }
+            '(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.') {
+                    i += 1;
+                }
+                // exponent part
+                if i < bytes.len() && matches!(bytes[i] as char, 'e' | 'E') {
+                    let save = i;
+                    i += 1;
+                    if i < bytes.len() && matches!(bytes[i] as char, '+' | '-') {
+                        i += 1;
+                    }
+                    if i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save; // not an exponent after all (e.g. `2*e`)
+                    }
+                }
+                let text = &src[start..i];
+                let v: f64 = text.parse().map_err(|_| ParseError {
+                    position: start,
+                    message: format!("invalid number literal `{text}`"),
+                })?;
+                toks.push((start, Tok::Num(v)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || matches!(bytes[i] as char, '_' | '\''))
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    cx: &'a mut Context,
+    strict: bool,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                position: self.here(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = self.cx.add(lhs, rhs);
+                }
+                Some(Tok::Minus) => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = self.cx.sub(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<NodeId, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.pos += 1;
+                    let rhs = self.factor()?;
+                    lhs = self.cx.mul(lhs, rhs);
+                }
+                Some(Tok::Slash) => {
+                    self.pos += 1;
+                    let rhs = self.factor()?;
+                    lhs = self.cx.div(lhs, rhs);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// `factor := '-' factor | power` — exponentiation binds tighter than
+    /// unary minus, so `-2^2` parses as `-(2^2)`.
+    fn factor(&mut self) -> Result<NodeId, ParseError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.pos += 1;
+            let inner = self.factor()?;
+            Ok(self.cx.neg(inner))
+        } else {
+            self.power()
+        }
+    }
+
+    fn power(&mut self) -> Result<NodeId, ParseError> {
+        let base = self.primary()?;
+        if self.peek() == Some(&Tok::Caret) {
+            self.pos += 1;
+            let exp = self.factor()?; // right-associative; allows 2^-3
+            Ok(self.cx.pow(base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<NodeId, ParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Num(v)) => Ok(self.cx.constant(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut args = vec![self.expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.pos += 1;
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen, "`)` after function arguments")?;
+                    self.apply(&name, args, at)
+                } else {
+                    if self.strict && self.cx.var_id(&name).is_none() {
+                        return Err(ParseError {
+                            position: at,
+                            message: format!("unknown variable `{name}`"),
+                        });
+                    }
+                    Ok(self.cx.var(&name))
+                }
+            }
+            _ => Err(ParseError {
+                position: at,
+                message: "expected a number, variable, function call, or `(`".into(),
+            }),
+        }
+    }
+
+    fn apply(&mut self, name: &str, args: Vec<NodeId>, at: usize) -> Result<NodeId, ParseError> {
+        let unary = |op: UnaryOp| (op, 1usize);
+        let op1 = match name {
+            "sqrt" => Some(unary(UnaryOp::Sqrt)),
+            "exp" => Some(unary(UnaryOp::Exp)),
+            "ln" | "log" => Some(unary(UnaryOp::Ln)),
+            "sin" => Some(unary(UnaryOp::Sin)),
+            "cos" => Some(unary(UnaryOp::Cos)),
+            "tan" => Some(unary(UnaryOp::Tan)),
+            "asin" | "arcsin" => Some(unary(UnaryOp::Asin)),
+            "acos" | "arccos" => Some(unary(UnaryOp::Acos)),
+            "atan" | "arctan" => Some(unary(UnaryOp::Atan)),
+            "sinh" => Some(unary(UnaryOp::Sinh)),
+            "cosh" => Some(unary(UnaryOp::Cosh)),
+            "tanh" => Some(unary(UnaryOp::Tanh)),
+            "abs" => Some(unary(UnaryOp::Abs)),
+            _ => None,
+        };
+        if let Some((op, arity)) = op1 {
+            if args.len() != arity {
+                return Err(ParseError {
+                    position: at,
+                    message: format!("`{name}` takes {arity} argument(s), got {}", args.len()),
+                });
+            }
+            return Ok(self.cx.unary(op, args[0]));
+        }
+        match name {
+            "min" | "max" | "pow" => {
+                if args.len() != 2 {
+                    return Err(ParseError {
+                        position: at,
+                        message: format!("`{name}` takes 2 arguments, got {}", args.len()),
+                    });
+                }
+                Ok(match name {
+                    "min" => self.cx.min(args[0], args[1]),
+                    "max" => self.cx.max(args[0], args[1]),
+                    _ => self.cx.pow(args[0], args[1]),
+                })
+            }
+            _ => Err(ParseError {
+                position: at,
+                message: format!("unknown function `{name}`"),
+            }),
+        }
+    }
+}
+
+impl Context {
+    /// Parses an expression, auto-declaring any new variables it mentions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first syntax error.
+    pub fn parse(&mut self, src: &str) -> Result<NodeId, ParseError> {
+        self.parse_inner(src, false)
+    }
+
+    /// Parses an expression; mentioning an undeclared variable is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on syntax errors or unknown variables.
+    pub fn parse_strict(&mut self, src: &str) -> Result<NodeId, ParseError> {
+        self.parse_inner(src, true)
+    }
+
+    fn parse_inner(&mut self, src: &str, strict: bool) -> Result<NodeId, ParseError> {
+        let toks = lex(src)?;
+        let mut p = Parser {
+            toks,
+            pos: 0,
+            cx: self,
+            strict,
+            src_len: src.len(),
+        };
+        let e = p.expr()?;
+        if p.pos != p.toks.len() {
+            return Err(ParseError {
+                position: p.here(),
+                message: "trailing input after expression".into(),
+            });
+        }
+        Ok(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let mut cx = Context::new();
+        let e = cx.parse("1 + 2 * 3").unwrap();
+        assert_eq!(cx.as_const(e), Some(7.0));
+        let e = cx.parse("(1 + 2) * 3").unwrap();
+        assert_eq!(cx.as_const(e), Some(9.0));
+        let e = cx.parse("2 ^ 3 ^ 2").unwrap(); // right assoc: 2^9
+        assert_eq!(cx.as_const(e), Some(512.0));
+        let e = cx.parse("-2^2").unwrap(); // -(2^2)
+        assert_eq!(cx.as_const(e), Some(-4.0));
+        let e = cx.parse("6 / 2 / 3").unwrap(); // left assoc
+        assert_eq!(cx.as_const(e), Some(1.0));
+        let e = cx.parse("1 - 2 - 3").unwrap();
+        assert_eq!(cx.as_const(e), Some(-4.0));
+    }
+
+    #[test]
+    fn numbers() {
+        let mut cx = Context::new();
+        for (src, want) in [
+            ("1.5e3", 1500.0),
+            ("2E-2", 0.02),
+            (".5", 0.5),
+            ("1e+1", 10.0),
+        ] {
+            let e = cx.parse(src).unwrap();
+            assert_eq!(cx.as_const(e), Some(want), "{src}");
+        }
+    }
+
+    #[test]
+    fn functions() {
+        let mut cx = Context::new();
+        let e = cx.parse("sin(0) + cos(0)").unwrap();
+        assert_eq!(cx.as_const(e), Some(1.0));
+        let e = cx.parse("min(3, 5) + max(3, 5)").unwrap();
+        assert_eq!(cx.as_const(e), Some(8.0));
+        let e = cx.parse("pow(2, 10)").unwrap();
+        assert_eq!(cx.as_const(e), Some(1024.0));
+        let e = cx.parse("abs(-3)").unwrap();
+        assert_eq!(cx.as_const(e), Some(3.0));
+    }
+
+    #[test]
+    fn variables_autodeclared() {
+        let mut cx = Context::new();
+        let e = cx.parse("k_on * A' - k_off").unwrap();
+        assert_eq!(cx.num_vars(), 3);
+        let v = cx.eval(e, &[2.0, 3.0, 1.0]);
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn strict_mode_rejects_unknown() {
+        let mut cx = Context::new();
+        cx.intern_var("x");
+        assert!(cx.parse_strict("x + 1").is_ok());
+        let err = cx.parse_strict("x + yy").unwrap_err();
+        assert!(err.message.contains("unknown variable"));
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn error_positions() {
+        let mut cx = Context::new();
+        let err = cx.parse("1 + ").unwrap_err();
+        assert_eq!(err.position, 4);
+        let err = cx.parse("(1 + 2").unwrap_err();
+        assert!(err.message.contains(")"));
+        let err = cx.parse("1 ? 2").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        let err = cx.parse("sin(1, 2)").unwrap_err();
+        assert!(err.message.contains("argument"));
+        let err = cx.parse("frob(1)").unwrap_err();
+        assert!(err.message.contains("unknown function"));
+        let err = cx.parse("1 2").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn ident_e_not_swallowed_by_exponent() {
+        // `2*e` must lex as NUM(2) STAR IDENT(e), not a malformed exponent.
+        let mut cx = Context::new();
+        let e = cx.parse("2*e").unwrap();
+        assert_eq!(cx.num_vars(), 1);
+        assert_eq!(cx.eval(e, &[3.0]), 6.0);
+        // A bare `2e` is NUM(2) followed by trailing IDENT(e): an error.
+        assert!(cx.parse("2e").is_err());
+    }
+}

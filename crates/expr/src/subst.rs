@@ -1,0 +1,199 @@
+//! Substitution and variable-support queries.
+
+use crate::context::{Context, Node, NodeId, VarId};
+use std::collections::{BTreeSet, HashMap};
+
+impl Context {
+    /// Capture-free substitution: replaces every occurrence of the mapped
+    /// variables by the given expressions, rebuilding through the smart
+    /// constructors.
+    ///
+    /// This is the workhorse of the BMC unroller, which instantiates the
+    /// same flow/jump template at every step with step-indexed variables.
+    pub fn subst(&mut self, id: NodeId, map: &HashMap<VarId, NodeId>) -> NodeId {
+        if map.is_empty() {
+            return id;
+        }
+        let mut reach = vec![false; id.index() + 1];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if reach[n.index()] {
+                continue;
+            }
+            reach[n.index()] = true;
+            match *self.node(n) {
+                Node::Unary(_, a) | Node::PowI(a, _) => stack.push(a),
+                Node::Binary(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        let mut out: Vec<Option<NodeId>> = vec![None; id.index() + 1];
+        for i in 0..=id.index() {
+            if !reach[i] {
+                continue;
+            }
+            let nid = NodeId(i as u32);
+            let new = match *self.node(nid) {
+                Node::Var(v) => match map.get(&v) {
+                    Some(&rep) => rep,
+                    None => nid,
+                },
+                Node::Const(_) => nid,
+                Node::Unary(op, a) => {
+                    let a2 = out[a.index()].expect("child before parent");
+                    if a2 == a {
+                        nid
+                    } else {
+                        self.unary(op, a2)
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    let a2 = out[a.index()].expect("child before parent");
+                    let b2 = out[b.index()].expect("child before parent");
+                    if a2 == a && b2 == b {
+                        nid
+                    } else {
+                        self.binary(op, a2, b2)
+                    }
+                }
+                Node::PowI(a, k) => {
+                    let a2 = out[a.index()].expect("child before parent");
+                    if a2 == a {
+                        nid
+                    } else {
+                        self.powi(a2, k)
+                    }
+                }
+            };
+            out[i] = Some(new);
+        }
+        out[id.index()].expect("root substituted")
+    }
+
+    /// Renames variables (a special case of [`Context::subst`]).
+    pub fn rename_vars(&mut self, id: NodeId, map: &HashMap<VarId, VarId>) -> NodeId {
+        let node_map: HashMap<VarId, NodeId> = map
+            .iter()
+            .map(|(&from, &to)| (from, self.var_node(to)))
+            .collect();
+        self.subst(id, &node_map)
+    }
+
+    /// The set of variables occurring in the expression.
+    pub fn vars_of(&self, id: NodeId) -> BTreeSet<VarId> {
+        let mut vars = BTreeSet::new();
+        let mut seen = vec![false; id.index() + 1];
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            match *self.node(n) {
+                Node::Var(v) => {
+                    vars.insert(v);
+                }
+                Node::Unary(_, a) | Node::PowI(a, _) => stack.push(a),
+                Node::Binary(_, a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                _ => {}
+            }
+        }
+        vars
+    }
+
+    /// Does the expression mention variable `v`?
+    pub fn depends_on(&self, id: NodeId, v: VarId) -> bool {
+        self.vars_of(id).contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subst_replaces_vars() {
+        let mut cx = Context::new();
+        let e = cx.parse("x^2 + y").unwrap();
+        let x = cx.var_id("x").unwrap();
+        let rep = cx.parse("z + 1").unwrap();
+        let map = HashMap::from([(x, rep)]);
+        let e2 = cx.subst(e, &map);
+        // (z+1)^2 + y at z=2, y=10 → 19 (env order: x,y,z)
+        let v = cx.eval(e2, &[0.0, 10.0, 2.0]);
+        assert_eq!(v, 19.0);
+        // original untouched
+        assert_eq!(cx.eval(e, &[3.0, 1.0, 0.0]), 10.0);
+    }
+
+    #[test]
+    fn subst_empty_map_is_identity() {
+        let mut cx = Context::new();
+        let e = cx.parse("sin(x)*y").unwrap();
+        assert_eq!(cx.subst(e, &HashMap::new()), e);
+    }
+
+    #[test]
+    fn subst_preserves_unmapped() {
+        let mut cx = Context::new();
+        let e = cx.parse("x + y").unwrap();
+        let y = cx.var_id("y").unwrap();
+        let c = cx.constant(5.0);
+        let e2 = cx.subst(e, &HashMap::from([(y, c)]));
+        assert_eq!(cx.eval(e2, &[2.0, 0.0]), 7.0);
+    }
+
+    #[test]
+    fn subst_shares_structure_when_unchanged() {
+        let mut cx = Context::new();
+        let e = cx.parse("exp(x) + exp(x)").unwrap();
+        let z = cx.intern_var("z");
+        let c = cx.constant(1.0);
+        let e2 = cx.subst(e, &HashMap::from([(z, c)]));
+        assert_eq!(e2, e, "substituting an absent variable is a no-op");
+    }
+
+    #[test]
+    fn rename_vars_works() {
+        let mut cx = Context::new();
+        let e = cx.parse("a * b").unwrap();
+        let a = cx.var_id("a").unwrap();
+        let a2 = cx.intern_var("a_next");
+        let e2 = cx.rename_vars(e, &HashMap::from([(a, a2)]));
+        // env order: a, b, a_next
+        assert_eq!(cx.eval(e2, &[0.0, 3.0, 7.0]), 21.0);
+    }
+
+    #[test]
+    fn vars_of_collects_support() {
+        let mut cx = Context::new();
+        let e = cx.parse("x * sin(y) + x").unwrap();
+        let vars = cx.vars_of(e);
+        assert_eq!(vars.len(), 2);
+        let x = cx.var_id("x").unwrap();
+        let y = cx.var_id("y").unwrap();
+        assert!(vars.contains(&x) && vars.contains(&y));
+        assert!(cx.depends_on(e, x));
+        let c = cx.constant(1.0);
+        assert!(cx.vars_of(c).is_empty());
+    }
+
+    #[test]
+    fn nested_substitution_chains() {
+        // BMC-style: step variables x0 -> x1 -> x2.
+        let mut cx = Context::new();
+        let step = cx.parse("x * 2").unwrap(); // next = 2·current
+        let x = cx.var_id("x").unwrap();
+        let mut cur = cx.var_node(x);
+        for _ in 0..5 {
+            cur = cx.subst(step, &HashMap::from([(x, cur)]));
+        }
+        assert_eq!(cx.eval(cur, &[1.0]), 32.0);
+    }
+}

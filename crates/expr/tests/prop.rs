@@ -1,0 +1,165 @@
+//! Property tests: interval evaluation encloses point evaluation on random
+//! expressions; printing round-trips; differentiation matches finite
+//! differences; substitution preserves semantics.
+
+use biocheck_expr::{Context, NodeId};
+use biocheck_interval::{IBox, Interval};
+use proptest::prelude::*;
+
+/// A machine-generatable expression sketch over two variables.
+#[derive(Clone, Debug)]
+enum Gen {
+    X,
+    Y,
+    C(f64),
+    Add(Box<Gen>, Box<Gen>),
+    Sub(Box<Gen>, Box<Gen>),
+    Mul(Box<Gen>, Box<Gen>),
+    Sin(Box<Gen>),
+    Cos(Box<Gen>),
+    Exp(Box<Gen>),
+    Tanh(Box<Gen>),
+    PowI(Box<Gen>, i32),
+}
+
+fn gen_expr() -> impl Strategy<Value = Gen> {
+    let leaf = prop_oneof![
+        Just(Gen::X),
+        Just(Gen::Y),
+        (-2.0..2.0f64).prop_map(Gen::C),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Gen::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Gen::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Gen::Mul(a.into(), b.into())),
+            inner.clone().prop_map(|a| Gen::Sin(a.into())),
+            inner.clone().prop_map(|a| Gen::Cos(a.into())),
+            inner.clone().prop_map(|a| Gen::Exp(a.into())),
+            inner.clone().prop_map(|a| Gen::Tanh(a.into())),
+            (inner, 1..4i32).prop_map(|(a, n)| Gen::PowI(a.into(), n)),
+        ]
+    })
+}
+
+fn materialize(cx: &mut Context, g: &Gen) -> NodeId {
+    match g {
+        Gen::X => cx.var("x"),
+        Gen::Y => cx.var("y"),
+        Gen::C(v) => cx.constant(*v),
+        Gen::Add(a, b) => {
+            let (a, b) = (materialize(cx, a), materialize(cx, b));
+            cx.add(a, b)
+        }
+        Gen::Sub(a, b) => {
+            let (a, b) = (materialize(cx, a), materialize(cx, b));
+            cx.sub(a, b)
+        }
+        Gen::Mul(a, b) => {
+            let (a, b) = (materialize(cx, a), materialize(cx, b));
+            cx.mul(a, b)
+        }
+        Gen::Sin(a) => {
+            let a = materialize(cx, a);
+            cx.sin(a)
+        }
+        Gen::Cos(a) => {
+            let a = materialize(cx, a);
+            cx.cos(a)
+        }
+        Gen::Exp(a) => {
+            let a = materialize(cx, a);
+            cx.exp(a)
+        }
+        Gen::Tanh(a) => {
+            let a = materialize(cx, a);
+            cx.tanh(a)
+        }
+        Gen::PowI(a, n) => {
+            let a = materialize(cx, a);
+            cx.powi(a, *n)
+        }
+    }
+}
+
+fn fresh(g: &Gen) -> (Context, NodeId) {
+    let mut cx = Context::new();
+    // Pin variable order: x = 0, y = 1 regardless of occurrence order.
+    cx.intern_var("x");
+    cx.intern_var("y");
+    let id = materialize(&mut cx, g);
+    (cx, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interval_eval_encloses_point_eval(
+        g in gen_expr(),
+        x0 in -1.5..1.5f64, w0 in 0.0..0.8f64,
+        y0 in -1.5..1.5f64, w1 in 0.0..0.8f64,
+        tx in 0.0..1.0f64, ty in 0.0..1.0f64,
+    ) {
+        let (cx, id) = fresh(&g);
+        let bx = IBox::new(vec![
+            Interval::new(x0, x0 + w0),
+            Interval::new(y0, y0 + w1),
+        ]);
+        let enc = cx.eval_interval(id, &bx);
+        let px = x0 + tx * w0;
+        let py = y0 + ty * w1;
+        let v = cx.eval(id, &[px, py]);
+        prop_assert!(v.is_finite());
+        prop_assert!(enc.contains(v), "enclosure {enc:?} missing {v}");
+    }
+
+    #[test]
+    fn print_parse_roundtrip(g in gen_expr(), px in -1.0..1.0f64, py in -1.0..1.0f64) {
+        let (mut cx, id) = fresh(&g);
+        let printed = cx.display(id);
+        let id2 = cx.parse(&printed).unwrap();
+        let v1 = cx.eval(id, &[px, py]);
+        let v2 = cx.eval(id2, &[px, py]);
+        prop_assert!(
+            (v1 - v2).abs() <= 1e-9 * (1.0 + v1.abs()),
+            "`{printed}`: {v1} vs {v2}"
+        );
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference(g in gen_expr(), px in -1.0..1.0f64, py in -1.0..1.0f64) {
+        let (mut cx, id) = fresh(&g);
+        let x = cx.var_id("x").unwrap();
+        let d = cx.diff(id, x);
+        let env = [px, py];
+        let sym = cx.eval(d, &env);
+        let h = 1e-5;
+        let num = (cx.eval(id, &[px + h, py]) - cx.eval(id, &[px - h, py])) / (2.0 * h);
+        // Generated expressions are smooth; tolerate growth from products.
+        prop_assert!(
+            (sym - num).abs() <= 1e-3 * (1.0 + sym.abs().max(num.abs())),
+            "symbolic {sym} vs numeric {num}"
+        );
+    }
+
+    #[test]
+    fn subst_with_self_is_identity(g in gen_expr(), px in -1.0..1.0f64, py in -1.0..1.0f64) {
+        let (mut cx, id) = fresh(&g);
+        let x = cx.var_id("x").unwrap();
+        let xn = cx.var_node(x);
+        let id2 = cx.subst(id, &std::collections::HashMap::from([(x, xn)]));
+        prop_assert_eq!(id2, id);
+        let _ = (px, py);
+    }
+
+    #[test]
+    fn program_agrees_with_context(g in gen_expr(), px in -1.0..1.0f64, py in -1.0..1.0f64) {
+        let (cx, id) = fresh(&g);
+        let prog = biocheck_expr::Program::compile(&cx, &[id]);
+        let mut out = [0.0f64];
+        prog.eval_into(&[px, py], &mut out);
+        let direct = cx.eval(id, &[px, py]);
+        prop_assert!((out[0] - direct).abs() <= 1e-12 * (1.0 + direct.abs()));
+    }
+}

@@ -1,0 +1,261 @@
+//! The hybrid automaton data model.
+
+use biocheck_expr::{Atom, Context, NodeId, VarId};
+use biocheck_interval::Interval;
+use biocheck_ode::OdeSystem;
+use std::fmt::Write as _;
+
+/// Index of a mode within an automaton.
+pub type ModeId = usize;
+
+/// A discrete control mode: flow dynamics plus invariant (Definition 6's
+/// `flow_q` and `inv_q` predicates).
+#[derive(Clone, Debug)]
+pub struct Mode {
+    /// Human-readable mode name.
+    pub name: String,
+    /// Right-hand sides `dx/dt`, one per automaton state variable.
+    pub rhs: Vec<NodeId>,
+    /// Invariant atoms that must hold while the system dwells here.
+    pub invariants: Vec<Atom>,
+}
+
+/// A jump (Definition 6's `jump_{q→q'}` predicate): guard atoms trigger
+/// the transition; resets map exit values to entry values (identity for
+/// unlisted variables).
+#[derive(Clone, Debug)]
+pub struct Jump {
+    /// Source mode.
+    pub from: ModeId,
+    /// Target mode.
+    pub to: ModeId,
+    /// Conjunction of guard atoms.
+    pub guards: Vec<Atom>,
+    /// Reset assignments `var := expr(x⁻)`.
+    pub resets: Vec<(VarId, NodeId)>,
+}
+
+/// A hybrid automaton `H = ⟨X, Q, flow, jump, inv, init⟩` with an
+/// LRF-representation, parameterized by its parameter variables
+/// (Definition 12).
+///
+/// The automaton owns the expression [`Context`]; solvers extend it (e.g.
+/// with step-indexed variables for BMC) through [`HybridAutomaton::cx`].
+#[derive(Clone, Debug)]
+pub struct HybridAutomaton {
+    /// The expression arena all formulas live in.
+    pub cx: Context,
+    /// Continuous state variables (fixing the state-vector order).
+    pub states: Vec<VarId>,
+    /// Parameter variables with their synthesis ranges.
+    pub params: Vec<(VarId, Interval)>,
+    /// Modes, indexed by [`ModeId`].
+    pub modes: Vec<Mode>,
+    /// Jumps (any order).
+    pub jumps: Vec<Jump>,
+    /// The single initial mode `q0`.
+    pub init_mode: ModeId,
+    /// Initial-state constraints `init_{q0}(x)`.
+    pub init: Vec<Atom>,
+}
+
+impl HybridAutomaton {
+    /// Creates an automaton over the given state variables.
+    pub fn new(cx: Context, states: Vec<VarId>) -> HybridAutomaton {
+        HybridAutomaton {
+            cx,
+            states,
+            params: Vec::new(),
+            modes: Vec::new(),
+            jumps: Vec::new(),
+            init_mode: 0,
+            init: Vec::new(),
+        }
+    }
+
+    /// State-space dimension.
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Declares a parameter with its range; returns its variable.
+    pub fn add_param(&mut self, name: &str, range: Interval) -> VarId {
+        let v = self.cx.intern_var(name);
+        self.params.push((v, range));
+        v
+    }
+
+    /// Adds a mode; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs` does not match the state dimension.
+    pub fn add_mode(
+        &mut self,
+        name: impl Into<String>,
+        rhs: Vec<NodeId>,
+        invariants: Vec<Atom>,
+    ) -> ModeId {
+        assert_eq!(rhs.len(), self.states.len(), "one rhs per state variable");
+        self.modes.push(Mode {
+            name: name.into(),
+            rhs,
+            invariants,
+        });
+        self.modes.len() - 1
+    }
+
+    /// Adds a jump.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range mode ids.
+    pub fn add_jump(
+        &mut self,
+        from: ModeId,
+        to: ModeId,
+        guards: Vec<Atom>,
+        resets: Vec<(VarId, NodeId)>,
+    ) {
+        assert!(from < self.modes.len() && to < self.modes.len());
+        self.jumps.push(Jump {
+            from,
+            to,
+            guards,
+            resets,
+        });
+    }
+
+    /// Sets the initial mode and constraints.
+    pub fn set_init(&mut self, mode: ModeId, init: Vec<Atom>) {
+        assert!(mode < self.modes.len());
+        self.init_mode = mode;
+        self.init = init;
+    }
+
+    /// Looks up a mode id by name.
+    pub fn mode_by_name(&self, name: &str) -> Option<ModeId> {
+        self.modes.iter().position(|m| m.name == name)
+    }
+
+    /// The jumps leaving `mode`.
+    pub fn jumps_from(&self, mode: ModeId) -> impl Iterator<Item = (usize, &Jump)> {
+        self.jumps
+            .iter()
+            .enumerate()
+            .filter(move |(_, j)| j.from == mode)
+    }
+
+    /// The flow of a mode as an [`OdeSystem`] over the automaton's states.
+    pub fn flow_system(&self, mode: ModeId) -> OdeSystem {
+        OdeSystem::new(self.states.clone(), self.modes[mode].rhs.clone())
+    }
+
+    /// Graphviz DOT rendering of the mode graph (the Fig. 3 artifact).
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph hybrid {\n  rankdir=LR;\n");
+        for (i, m) in self.modes.iter().enumerate() {
+            let shape = if i == self.init_mode {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let _ = writeln!(s, "  m{i} [label=\"{}\", shape={shape}];", m.name);
+        }
+        for j in &self.jumps {
+            let guard = j
+                .guards
+                .iter()
+                .map(|g| g.display(&self.cx))
+                .collect::<Vec<_>>()
+                .join(" ∧ ");
+            let _ = writeln!(s, "  m{} -> m{} [label=\"{guard}\"];", j.from, j.to);
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// A default full-context environment: parameters at range midpoints,
+    /// everything else zero. Useful as the base for simulation.
+    pub fn default_env(&self) -> Vec<f64> {
+        let mut env = vec![0.0; self.cx.num_vars()];
+        for &(v, range) in &self.params {
+            env[v.index()] = range.mid();
+        }
+        env
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::RelOp;
+
+    fn two_mode() -> HybridAutomaton {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let up = cx.parse("1").unwrap();
+        let down = cx.parse("0 - 1").unwrap();
+        let guard_hi = cx.parse("x - 5").unwrap();
+        let guard_lo = cx.parse("1 - x").unwrap();
+        let mut ha = HybridAutomaton::new(cx, vec![x]);
+        let rise = ha.add_mode("rise", vec![up], vec![]);
+        let fall = ha.add_mode("fall", vec![down], vec![]);
+        ha.add_jump(rise, fall, vec![Atom::new(guard_hi, RelOp::Ge)], vec![]);
+        ha.add_jump(fall, rise, vec![Atom::new(guard_lo, RelOp::Ge)], vec![]);
+        ha.set_init(rise, vec![]);
+        ha
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let ha = two_mode();
+        assert_eq!(ha.dim(), 1);
+        assert_eq!(ha.modes.len(), 2);
+        assert_eq!(ha.mode_by_name("fall"), Some(1));
+        assert_eq!(ha.mode_by_name("nope"), None);
+        assert_eq!(ha.jumps_from(0).count(), 1);
+        assert_eq!(ha.jumps_from(1).count(), 1);
+        assert_eq!(ha.init_mode, 0);
+    }
+
+    #[test]
+    fn flow_system_extraction() {
+        let ha = two_mode();
+        let sys = ha.flow_system(0);
+        assert_eq!(sys.dim(), 1);
+        let compiled = sys.compile(&ha.cx);
+        let mut env = vec![0.0; ha.cx.num_vars()];
+        let mut out = [0.0];
+        compiled.deriv(&mut env, &[0.0], 0.0, &mut out);
+        assert_eq!(out[0], 1.0);
+    }
+
+    #[test]
+    fn params_and_env() {
+        let mut ha = two_mode();
+        let k = ha.add_param("k", Interval::new(2.0, 4.0));
+        let env = ha.default_env();
+        assert_eq!(env[k.index()], 3.0);
+        assert_eq!(ha.params.len(), 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_modes_and_guards() {
+        let ha = two_mode();
+        let dot = ha.to_dot();
+        assert!(dot.contains("rise"));
+        assert!(dot.contains("fall"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("doublecircle")); // init mode highlighted
+    }
+
+    #[test]
+    #[should_panic(expected = "one rhs per state")]
+    fn wrong_rhs_arity() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let mut ha = HybridAutomaton::new(cx, vec![x]);
+        ha.add_mode("bad", vec![], vec![]);
+    }
+}

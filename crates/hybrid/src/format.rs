@@ -1,0 +1,447 @@
+//! The `.bha` textual model format — BioCheck's analogue of dReach's
+//! `.drh` input language.
+//!
+//! ```text
+//! // comments run to end of line
+//! state x, v;
+//! param k = [0.5, 1.5];        // synthesis range
+//! param g = 9.8;               // fixed value (degenerate range)
+//! mode fall {
+//!   inv: x >= 0;
+//!   flow: x' = v; v' = -g;
+//!   jump to fall when x <= 0, v <= 0 with v := -k * v;
+//! }
+//! init fall: x = 10; v = 0;
+//! ```
+//!
+//! Init constraints accept `var = value`, `var = [lo, hi]` (range), or a
+//! general relation `expr ⋈ expr`.
+
+use crate::automaton::HybridAutomaton;
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_interval::Interval;
+use std::error::Error;
+use std::fmt;
+
+/// A `.bha` parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BhaError {
+    /// 1-based line of the offending statement (best effort).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for BhaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bha parse error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl Error for BhaError {}
+
+fn err(line: usize, message: impl Into<String>) -> BhaError {
+    BhaError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Splits `text` into trimmed statements terminated by `;`, tracking line
+/// numbers, and stripping `//` comments.
+fn statements(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut cur_line = 1;
+    let mut started = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = match raw.find("//") {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        for c in line.chars() {
+            if c == ';' {
+                let s = cur.trim().to_string();
+                if !s.is_empty() {
+                    out.push((cur_line, s));
+                }
+                cur.clear();
+                started = false;
+            } else {
+                if !started && !c.is_whitespace() {
+                    started = true;
+                    cur_line = ln + 1;
+                }
+                cur.push(c);
+            }
+        }
+        cur.push(' ');
+    }
+    let s = cur.trim().to_string();
+    if !s.is_empty() {
+        out.push((cur_line, s));
+    }
+    out
+}
+
+/// Parses `lhs REL rhs` into an [`Atom`].
+fn parse_relation(cx: &mut Context, s: &str, line: usize) -> Result<Atom, BhaError> {
+    for (pat, op) in [
+        ("<=", RelOp::Le),
+        (">=", RelOp::Ge),
+        ("==", RelOp::Eq),
+        ("<", RelOp::Lt),
+        (">", RelOp::Gt),
+        ("=", RelOp::Eq),
+    ] {
+        if let Some(i) = s.find(pat) {
+            let lhs = cx
+                .parse(&s[..i])
+                .map_err(|e| err(line, format!("bad lhs in `{s}`: {e}")))?;
+            let rhs = cx
+                .parse(&s[i + pat.len()..])
+                .map_err(|e| err(line, format!("bad rhs in `{s}`: {e}")))?;
+            let diff = cx.sub(lhs, rhs);
+            return Ok(Atom::new(diff, op));
+        }
+    }
+    Err(err(line, format!("no relation operator in `{s}`")))
+}
+
+/// Parses a `[lo, hi]` range literal.
+fn parse_range(s: &str) -> Option<Interval> {
+    let s = s.trim();
+    let inner = s.strip_prefix('[')?.strip_suffix(']')?;
+    let mut parts = inner.splitn(2, ',');
+    let lo: f64 = parts.next()?.trim().parse().ok()?;
+    let hi: f64 = parts.next()?.trim().parse().ok()?;
+    Interval::checked(lo, hi)
+}
+
+impl HybridAutomaton {
+    /// Parses a `.bha` model (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BhaError`] encountered.
+    pub fn parse_bha(text: &str) -> Result<HybridAutomaton, BhaError> {
+        // Phase 1: extract mode blocks so `;` inside braces do not confuse
+        // the statement splitter at top level.
+        let mut top = String::new();
+        let mut blocks: Vec<(usize, String, String)> = Vec::new(); // (line, name, body)
+        let mut rest = text;
+        let mut consumed_lines = 0usize;
+        loop {
+            match rest.find('{') {
+                None => {
+                    top.push_str(rest);
+                    break;
+                }
+                Some(open) => {
+                    let head = &rest[..open];
+                    let close = rest[open..]
+                        .find('}')
+                        .map(|i| open + i)
+                        .ok_or_else(|| err(consumed_lines + 1, "unclosed `{`"))?;
+                    // The mode header is the last `mode <name>` in head.
+                    let header_start = head
+                        .rfind("mode")
+                        .ok_or_else(|| err(consumed_lines + 1, "`{` without `mode` header"))?;
+                    top.push_str(&head[..header_start]);
+                    let name = head[header_start + 4..].trim().to_string();
+                    if name.is_empty() {
+                        return Err(err(consumed_lines + 1, "mode needs a name"));
+                    }
+                    let line0 = consumed_lines + rest[..open].matches('\n').count() + 1;
+                    blocks.push((line0, name, rest[open + 1..close].to_string()));
+                    consumed_lines += rest[..close].matches('\n').count();
+                    rest = &rest[close + 1..];
+                }
+            }
+        }
+
+        let mut cx = Context::new();
+        let mut state_names: Vec<String> = Vec::new();
+        let mut params: Vec<(String, Interval)> = Vec::new();
+        let mut init_stmt: Option<(usize, String)> = None;
+        let mut extra_init: Vec<(usize, String)> = Vec::new();
+        for (line, stmt) in statements(&top) {
+            if init_stmt.is_some() {
+                // Everything after `init` is a further init constraint
+                // (the statement splitter cut them apart at `;`).
+                extra_init.push((line, stmt));
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("state ") {
+                for name in rest.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(err(line, "empty state name"));
+                    }
+                    state_names.push(name.to_string());
+                }
+            } else if let Some(rest) = stmt.strip_prefix("param ") {
+                let (name, val) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(line, "param needs `= value` or `= [lo, hi]`"))?;
+                let name = name.trim().to_string();
+                let range = match parse_range(val) {
+                    Some(r) => r,
+                    None => {
+                        let v: f64 = val
+                            .trim()
+                            .parse()
+                            .map_err(|_| err(line, format!("bad param value `{val}`")))?;
+                        Interval::point(v)
+                    }
+                };
+                params.push((name, range));
+            } else if stmt.starts_with("init") {
+                init_stmt = Some((line, stmt));
+            } else {
+                return Err(err(line, format!("unrecognized statement `{stmt}`")));
+            }
+        }
+        if state_names.is_empty() {
+            return Err(err(1, "no `state` declaration"));
+        }
+        let states: Vec<_> = state_names.iter().map(|n| cx.intern_var(n)).collect();
+        let mut ha = HybridAutomaton::new(cx, states);
+        for (name, range) in params {
+            ha.add_param(&name, range);
+        }
+
+        // Phase 2: declare all modes first (forward jump references).
+        for (line, name, _) in &blocks {
+            if ha.mode_by_name(name).is_some() {
+                return Err(err(*line, format!("duplicate mode `{name}`")));
+            }
+            let zero = ha.cx.constant(0.0);
+            ha.add_mode(name.clone(), vec![zero; ha.dim()], vec![]);
+        }
+
+        // Phase 3: fill in flows, invariants, jumps.
+        for (line0, name, body) in &blocks {
+            let mid = ha.mode_by_name(name).expect("declared above");
+            let mut rhs = vec![None; ha.dim()];
+            let mut invariants = Vec::new();
+            for (line, stmt) in statements(body) {
+                let line = line0 + line - 1;
+                if let Some(rest) = stmt.strip_prefix("inv:") {
+                    invariants.push(parse_relation(&mut ha.cx, rest, line)?);
+                } else if let Some(rest) = stmt.strip_prefix("flow:") {
+                    // One `x' = expr` per statement (they were ;-split).
+                    let (lhs, expr) = rest
+                        .split_once('=')
+                        .ok_or_else(|| err(line, "flow needs `x' = expr`"))?;
+                    let var = lhs.trim().trim_end_matches('\'').trim();
+                    let idx = state_names
+                        .iter()
+                        .position(|n| n == var)
+                        .ok_or_else(|| err(line, format!("unknown state `{var}`")))?;
+                    let e = ha
+                        .cx
+                        .parse(expr)
+                        .map_err(|e| err(line, format!("bad flow expr: {e}")))?;
+                    rhs[idx] = Some(e);
+                } else if let Some(ft) = stmt.strip_prefix("jump to ") {
+                    let (target, rest) = ft
+                        .split_once(" when ")
+                        .ok_or_else(|| err(line, "jump needs `when <guards>`"))?;
+                    let to = ha
+                        .mode_by_name(target.trim())
+                        .ok_or_else(|| err(line, format!("unknown mode `{}`", target.trim())))?;
+                    let (guard_src, resets_src) = match rest.split_once(" with ") {
+                        Some((g, r)) => (g, Some(r)),
+                        None => (rest, None),
+                    };
+                    let mut guards = Vec::new();
+                    for g in guard_src.split(',') {
+                        guards.push(parse_relation(&mut ha.cx, g, line)?);
+                    }
+                    let mut resets = Vec::new();
+                    if let Some(rs) = resets_src {
+                        for r in rs.split(',') {
+                            let (lhs, expr) = r
+                                .split_once(":=")
+                                .ok_or_else(|| err(line, "reset needs `x := expr`"))?;
+                            let var = ha
+                                .cx
+                                .var_id(lhs.trim())
+                                .ok_or_else(|| err(line, format!("unknown var `{}`", lhs.trim())))?;
+                            let e = ha
+                                .cx
+                                .parse(expr)
+                                .map_err(|e| err(line, format!("bad reset expr: {e}")))?;
+                            resets.push((var, e));
+                        }
+                    }
+                    ha.add_jump(mid, to, guards, resets);
+                } else {
+                    // Bare `x' = expr` is accepted as flow shorthand.
+                    if let Some((lhs, expr)) = stmt.split_once('=') {
+                        let var = lhs.trim().trim_end_matches('\'').trim();
+                        if let Some(idx) = state_names.iter().position(|n| n == var) {
+                            let e = ha
+                                .cx
+                                .parse(expr)
+                                .map_err(|e| err(line, format!("bad flow expr: {e}")))?;
+                            rhs[idx] = Some(e);
+                            continue;
+                        }
+                    }
+                    return Err(err(line, format!("unrecognized mode statement `{stmt}`")));
+                }
+            }
+            let zero = ha.cx.constant(0.0);
+            ha.modes[mid].rhs = rhs.into_iter().map(|r| r.unwrap_or(zero)).collect();
+            ha.modes[mid].invariants = invariants;
+        }
+
+        // Phase 4: init.
+        let (line, stmt) = init_stmt.ok_or_else(|| err(1, "missing `init` statement"))?;
+        let rest = stmt.strip_prefix("init").unwrap().trim();
+        let (mode_name, constraints) = rest
+            .split_once(':')
+            .ok_or_else(|| err(line, "init needs `init <mode>: ...`"))?;
+        let m0 = ha
+            .mode_by_name(mode_name.trim())
+            .ok_or_else(|| err(line, format!("unknown init mode `{}`", mode_name.trim())))?;
+        let mut atoms = Vec::new();
+        let mut all_constraints = vec![(line, constraints.to_string())];
+        all_constraints.extend(extra_init);
+        for (line, c) in all_constraints {
+            let c = c.trim();
+            if c.is_empty() {
+                continue;
+            }
+            // `var = [lo, hi]` becomes two atoms.
+            if let Some((lhs, rhs)) = c.split_once('=') {
+                if let Some(range) = parse_range(rhs) {
+                    let v = ha
+                        .cx
+                        .parse(lhs)
+                        .map_err(|e| err(line, format!("bad init lhs: {e}")))?;
+                    let lo = ha.cx.constant(range.lo());
+                    let hi = ha.cx.constant(range.hi());
+                    atoms.push(Atom::ge(&mut ha.cx, v, lo));
+                    atoms.push(Atom::le(&mut ha.cx, v, hi));
+                    continue;
+                }
+            }
+            atoms.push(parse_relation(&mut ha.cx, c, line)?);
+        }
+        ha.set_init(m0, atoms);
+        Ok(ha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNCE: &str = r#"
+    // bouncing ball
+    state x, v;
+    param g = 9.8;
+    param c = [0.5, 0.9];
+    mode fall {
+      inv: x >= 0;
+      flow: x' = v; v' = -g;
+      jump to fall when x <= 0, v <= 0 with v := -c * v;
+    }
+    init fall: x = 10; v = 0;
+    "#;
+
+    #[test]
+    fn parses_bouncing_ball() {
+        let ha = HybridAutomaton::parse_bha(BOUNCE).unwrap();
+        assert_eq!(ha.dim(), 2);
+        assert_eq!(ha.modes.len(), 1);
+        assert_eq!(ha.jumps.len(), 1);
+        assert_eq!(ha.params.len(), 2);
+        assert_eq!(ha.modes[0].invariants.len(), 1);
+        assert_eq!(ha.jumps[0].guards.len(), 2);
+        assert_eq!(ha.jumps[0].resets.len(), 1);
+        assert_eq!(ha.init.len(), 2);
+    }
+
+    #[test]
+    fn bouncing_ball_simulates() {
+        let ha = HybridAutomaton::parse_bha(BOUNCE).unwrap();
+        let traj = ha.simulate_default(&[10.0, 0.0], 5.0).unwrap();
+        assert!(traj.segments.len() >= 2, "ball must bounce");
+        // Height stays (numerically) above the floor.
+        for (_, s) in traj.iter() {
+            assert!(s[0] > -0.05, "x = {}", s[0]);
+        }
+        // Energy decreases across the first bounce (restitution < 1).
+        let v_before = traj.segments[0].trace.last_state()[1].abs();
+        let v_after = traj.segments[1].trace.state(0)[1].abs();
+        assert!(v_after < v_before);
+    }
+
+    #[test]
+    fn two_modes_and_ranges() {
+        let src = r#"
+        state x;
+        mode a {
+          flow: x' = 1;
+          jump to b when x >= 2;
+        }
+        mode b {
+          flow: x' = -1;
+          jump to a when x <= 1;
+        }
+        init a: x = [1, 1.5];
+        "#;
+        let ha = HybridAutomaton::parse_bha(src).unwrap();
+        assert_eq!(ha.modes.len(), 2);
+        assert_eq!(ha.init.len(), 2); // range becomes two atoms
+        assert_eq!(ha.init_mode, 0);
+        let traj = ha.simulate_default(&[1.2], 6.0).unwrap();
+        assert!(traj.mode_path().len() >= 3);
+    }
+
+    #[test]
+    fn forward_jump_reference() {
+        let src = r#"
+        state x;
+        mode first { flow: x' = 1; jump to second when x >= 1; }
+        mode second { flow: x' = 0; }
+        init first: x = 0;
+        "#;
+        let ha = HybridAutomaton::parse_bha(src).unwrap();
+        assert_eq!(ha.jumps[0].to, 1);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let e = HybridAutomaton::parse_bha("mode a { flow: x' = 1; }").unwrap_err();
+        assert!(e.message.contains("state"), "{e}");
+        let e = HybridAutomaton::parse_bha("state x; init a: x = 0;").unwrap_err();
+        assert!(e.message.contains("unknown init mode"), "{e}");
+        let e =
+            HybridAutomaton::parse_bha("state x; mode a { flow: y' = 1; } init a: x = 0;")
+                .unwrap_err();
+        assert!(e.message.contains("unknown state"), "{e}");
+        let e = HybridAutomaton::parse_bha("state x; mode a { flow: x' = 1; }").unwrap_err();
+        assert!(e.message.contains("init"), "{e}");
+        let e = HybridAutomaton::parse_bha("state x; frob; init a: x=0;").unwrap_err();
+        assert!(e.message.contains("unrecognized"), "{e}");
+    }
+
+    #[test]
+    fn default_flow_is_zero() {
+        // Unlisted state derivatives default to 0.
+        let src = r#"
+        state x, y;
+        mode a { flow: x' = 1; }
+        init a: x = 0; y = 5;
+        "#;
+        let ha = HybridAutomaton::parse_bha(src).unwrap();
+        let traj = ha.simulate_default(&[0.0, 5.0], 2.0).unwrap();
+        assert!((traj.final_state()[0] - 2.0).abs() < 1e-9);
+        assert!((traj.final_state()[1] - 5.0).abs() < 1e-12);
+    }
+}

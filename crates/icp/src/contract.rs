@@ -1,0 +1,108 @@
+//! The [`Contractor`] abstraction.
+
+use biocheck_interval::IBox;
+
+/// Result of applying a contractor to a box.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The box became empty: no solution exists inside it.
+    Empty,
+    /// At least one dimension was narrowed.
+    Reduced,
+    /// Nothing changed.
+    Unchanged,
+}
+
+impl Outcome {
+    /// Combines two successive outcomes.
+    pub fn and_then(self, later: Outcome) -> Outcome {
+        match (self, later) {
+            (Outcome::Empty, _) | (_, Outcome::Empty) => Outcome::Empty,
+            (Outcome::Reduced, _) | (_, Outcome::Reduced) => Outcome::Reduced,
+            _ => Outcome::Unchanged,
+        }
+    }
+}
+
+/// A solution-preserving box-shrinking operator.
+///
+/// Implementations must be *sound*: every point of the input box that
+/// satisfies the contractor's underlying constraint must remain in the
+/// output box. They need not be optimal.
+///
+/// Implementors in BioCheck: [`crate::Hc4`] (algebraic atoms),
+/// [`crate::Newton`] (equality systems), and the validated-ODE flow
+/// contractor in `biocheck-ode`.
+pub trait Contractor {
+    /// Shrinks `bx` in place, reporting what happened.
+    fn contract(&self, bx: &mut IBox) -> Outcome;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "contractor"
+    }
+}
+
+impl<T: Contractor + ?Sized> Contractor for Box<T> {
+    fn contract(&self, bx: &mut IBox) -> Outcome {
+        (**self).contract(bx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: Contractor + ?Sized> Contractor for &T {
+    fn contract(&self, bx: &mut IBox) -> Outcome {
+        (**self).contract(bx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_interval::Interval;
+
+    struct Halver;
+    impl Contractor for Halver {
+        fn contract(&self, bx: &mut IBox) -> Outcome {
+            let d = bx[0];
+            let (l, _) = d.bisect();
+            if l == d {
+                Outcome::Unchanged
+            } else {
+                bx[0] = l;
+                Outcome::Reduced
+            }
+        }
+        fn name(&self) -> &str {
+            "halver"
+        }
+    }
+
+    #[test]
+    fn outcome_combination() {
+        use Outcome::*;
+        assert_eq!(Empty.and_then(Reduced), Empty);
+        assert_eq!(Reduced.and_then(Unchanged), Reduced);
+        assert_eq!(Unchanged.and_then(Unchanged), Unchanged);
+        assert_eq!(Unchanged.and_then(Empty), Empty);
+    }
+
+    #[test]
+    fn trait_objects_and_refs_work() {
+        let h = Halver;
+        let boxed: Box<dyn Contractor> = Box::new(Halver);
+        let mut bx = IBox::new(vec![Interval::new(0.0, 4.0)]);
+        assert_eq!(h.contract(&mut bx), Outcome::Reduced);
+        assert_eq!(bx[0], Interval::new(0.0, 2.0));
+        assert_eq!(boxed.contract(&mut bx), Outcome::Reduced);
+        assert_eq!(bx[0], Interval::new(0.0, 1.0));
+        assert_eq!(boxed.name(), "halver");
+        let r: &dyn Contractor = &h;
+        assert_eq!(r.name(), "halver");
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixpoint propagation over a family of contractors.
+
+use crate::contract::{Contractor, Outcome};
+use biocheck_interval::IBox;
+
+/// Runs a round-robin schedule of contractors until the box stops shrinking
+/// meaningfully.
+///
+/// A round is "meaningful" when the total box width drops by more than
+/// `tol` (relative). `max_rounds` bounds the work per call; both knobs only
+/// affect tightness, never soundness.
+#[derive(Clone, Debug)]
+pub struct Propagator {
+    /// Minimum relative total-width reduction to schedule another round.
+    pub tol: f64,
+    /// Hard cap on propagation rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for Propagator {
+    fn default() -> Propagator {
+        Propagator {
+            tol: 1e-3,
+            max_rounds: 64,
+        }
+    }
+}
+
+impl Propagator {
+    /// Creates a propagator with the default schedule.
+    pub fn new() -> Propagator {
+        Propagator::default()
+    }
+
+    /// Applies all contractors to a fixpoint.
+    pub fn fixpoint<C: Contractor + ?Sized>(&self, contractors: &[&C], bx: &mut IBox) -> Outcome {
+        let mut overall = Outcome::Unchanged;
+        for _ in 0..self.max_rounds {
+            let before = bx.total_width();
+            let mut round = Outcome::Unchanged;
+            for c in contractors {
+                match c.contract(bx) {
+                    Outcome::Empty => return Outcome::Empty,
+                    o => round = round.and_then(o),
+                }
+            }
+            overall = overall.and_then(round);
+            if round == Outcome::Unchanged {
+                break;
+            }
+            let after = bx.total_width();
+            if !before.is_finite() {
+                // Can't measure progress on unbounded boxes; keep going
+                // only while contractors report reductions.
+                continue;
+            }
+            if after > before * (1.0 - self.tol) {
+                break; // diminishing returns
+            }
+        }
+        overall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hc4::Hc4;
+    use biocheck_expr::{Atom, Context, RelOp};
+    use biocheck_interval::Interval;
+
+    #[test]
+    fn fixpoint_chains_constraints() {
+        // x = 2 ∧ y = x + 1 ∧ z = y + 1 needs multiple rounds to pin z.
+        let mut cx = Context::new();
+        let a1 = cx.parse("x - 2").unwrap();
+        let a2 = cx.parse("y - x - 1").unwrap();
+        let a3 = cx.parse("z - y - 1").unwrap();
+        let cs: Vec<Hc4> = [a1, a2, a3]
+            .into_iter()
+            .map(|e| Hc4::new(&cx, Atom::new(e, RelOp::Eq)))
+            .collect();
+        let refs: Vec<&Hc4> = cs.iter().collect();
+        let mut bx = IBox::uniform(3, Interval::new(-100.0, 100.0));
+        let out = Propagator::new().fixpoint(&refs, &mut bx);
+        assert_eq!(out, Outcome::Reduced);
+        assert!(bx[0].contains(2.0) && bx[0].width() < 1e-6);
+        assert!(bx[1].contains(3.0) && bx[1].width() < 1e-6);
+        assert!(bx[2].contains(4.0) && bx[2].width() < 1e-6);
+    }
+
+    #[test]
+    fn fixpoint_detects_conflict() {
+        // x ≥ 1 ∧ x ≤ -1 is empty.
+        let mut cx = Context::new();
+        let ge = cx.parse("x - 1").unwrap();
+        let le = cx.parse("x + 1").unwrap();
+        let c1 = Hc4::new(&cx, Atom::new(ge, RelOp::Ge));
+        let c2 = Hc4::new(&cx, Atom::new(le, RelOp::Le));
+        let refs: Vec<&Hc4> = vec![&c1, &c2];
+        let mut bx = IBox::uniform(1, Interval::new(-10.0, 10.0));
+        assert_eq!(Propagator::new().fixpoint(&refs, &mut bx), Outcome::Empty);
+    }
+
+    #[test]
+    fn fixpoint_unchanged_when_constraints_loose() {
+        let mut cx = Context::new();
+        let e = cx.parse("x - 100").unwrap();
+        let c = Hc4::new(&cx, Atom::new(e, RelOp::Le));
+        let refs: Vec<&Hc4> = vec![&c];
+        let mut bx = IBox::uniform(1, Interval::new(0.0, 1.0));
+        assert_eq!(
+            Propagator::new().fixpoint(&refs, &mut bx),
+            Outcome::Unchanged
+        );
+        assert_eq!(bx[0], Interval::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn max_rounds_bounds_work() {
+        // A pathological pair that keeps shaving slivers: the round cap
+        // must end the loop.
+        let mut cx = Context::new();
+        let e1 = cx.parse("x - y*0.99999").unwrap();
+        let e2 = cx.parse("y - x*0.99999").unwrap();
+        let c1 = Hc4::new(&cx, Atom::new(e1, RelOp::Le));
+        let c2 = Hc4::new(&cx, Atom::new(e2, RelOp::Le));
+        let refs: Vec<&Hc4> = vec![&c1, &c2];
+        let prop = Propagator {
+            tol: 0.0,
+            max_rounds: 5,
+        };
+        let mut bx = IBox::uniform(2, Interval::new(0.0, 1.0));
+        let _ = prop.fixpoint(&refs, &mut bx);
+        // No assertion on the value: the point is termination.
+    }
+}

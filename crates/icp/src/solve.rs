@@ -1,0 +1,374 @@
+//! Branch-and-prune: the δ-complete existential decision procedure
+//! (Theorem 1 of the paper, realized as in the dReal implementation).
+
+use crate::contract::{Contractor, Outcome};
+use crate::hc4::Hc4;
+use crate::propagate::Propagator;
+use biocheck_expr::{Atom, Context};
+use biocheck_interval::IBox;
+
+/// Answer of the δ-decision procedure.
+///
+/// The guarantee is one-sided, exactly as in Theorem 1: `Unsat` means the
+/// original formula has **no** solution in the initial box; `DeltaSat`
+/// means the δ-weakened formula is satisfiable (the original may or may
+/// not be). `Unknown` is returned only when the split budget is exhausted
+/// — a resource bound, not a logical answer.
+#[derive(Clone, Debug)]
+pub enum DeltaResult {
+    /// The conjunction is unsatisfiable over the initial box (exact).
+    Unsat,
+    /// The δ-weakened conjunction is satisfiable; a witness is attached.
+    DeltaSat(Witness),
+    /// The split budget ran out with `remaining` boxes undecided.
+    Unknown {
+        /// Number of boxes still on the stack when the budget ran out.
+        remaining: usize,
+    },
+}
+
+impl DeltaResult {
+    /// Returns `true` for `DeltaSat`.
+    pub fn is_delta_sat(&self) -> bool {
+        matches!(self, DeltaResult::DeltaSat(_))
+    }
+
+    /// Returns `true` for `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, DeltaResult::Unsat)
+    }
+
+    /// The witness, if δ-sat.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            DeltaResult::DeltaSat(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// A δ-sat witness: the surviving box, its midpoint, and whether the
+/// midpoint was verified to satisfy every algebraic atom δ-weakened.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The undecided/satisfying box.
+    pub boxx: IBox,
+    /// The box midpoint (a concrete candidate assignment).
+    pub point: Vec<f64>,
+    /// `true` when the midpoint checks out on all algebraic atoms.
+    pub certified: bool,
+}
+
+/// An inner/outer paving of a constraint set, for guaranteed parameter-set
+/// synthesis (BioPSy-style).
+#[derive(Clone, Debug, Default)]
+pub struct Paving {
+    /// Boxes proven to satisfy *all* constraints everywhere (inner boxes).
+    pub sat: Vec<IBox>,
+    /// Boxes at resolution `ε` that could not be decided either way.
+    pub undecided: Vec<IBox>,
+}
+
+impl Paving {
+    /// Total width-sum of inner boxes (a crude measure of the sat region).
+    pub fn sat_measure(&self) -> f64 {
+        self.sat.iter().map(IBox::total_width).sum()
+    }
+
+    /// Does any inner box contain the point?
+    pub fn sat_contains(&self, p: &[f64]) -> bool {
+        self.sat.iter().any(|b| b.contains_point(p))
+    }
+}
+
+/// The branch-and-prune δ-decision solver for conjunctions of atoms plus
+/// arbitrary extra contractors (e.g. validated ODE flow constraints).
+///
+/// Pruning always uses the original constraints; δ only enters the
+/// termination test, which keeps `Unsat` exact (see the crate docs).
+#[derive(Clone, Debug)]
+pub struct BranchAndPrune {
+    /// The δ of the δ-decision problem.
+    pub delta: f64,
+    /// Box resolution: boxes with max width ≤ ε are answered δ-sat.
+    pub eps: f64,
+    /// Budget on the number of box splits.
+    pub max_splits: usize,
+    /// Propagation schedule.
+    pub propagator: Propagator,
+}
+
+impl BranchAndPrune {
+    /// Creates a solver with `ε = δ/4` and a generous split budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta <= 0`.
+    pub fn new(delta: f64) -> BranchAndPrune {
+        assert!(delta > 0.0, "delta must be positive, got {delta}");
+        BranchAndPrune {
+            delta,
+            eps: (delta / 4.0).max(1e-12),
+            max_splits: 200_000,
+            propagator: Propagator::default(),
+        }
+    }
+
+    /// Decides `⋀ atoms ∧ ⋀ extra` over `init`.
+    ///
+    /// `extra` contractors carry constraints that are not algebraic atoms
+    /// (ODE flows); they participate in pruning but not in the δ-weakened
+    /// satisfaction test (their boxes are accepted at resolution ε, as in
+    /// dReach).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `init` has an unbounded dimension — bounded quantifiers
+    /// are a standing assumption of δ-decidability (Definition 3).
+    pub fn solve(
+        &self,
+        cx: &Context,
+        atoms: &[Atom],
+        extra: &[&dyn Contractor],
+        init: &IBox,
+    ) -> DeltaResult {
+        assert!(
+            init.iter().all(|d| d.is_bounded()),
+            "initial box must be bounded (bounded LRF sentences)"
+        );
+        let hc4s: Vec<Hc4> = atoms.iter().map(|&a| Hc4::new(cx, a)).collect();
+        let mut contractors: Vec<&dyn Contractor> = Vec::new();
+        for h in &hc4s {
+            contractors.push(h);
+        }
+        contractors.extend_from_slice(extra);
+
+        let mut stack = vec![init.clone()];
+        let mut splits = 0usize;
+        while let Some(mut bx) = stack.pop() {
+            if self.propagator.fixpoint(&contractors, &mut bx) == Outcome::Empty {
+                continue;
+            }
+            // Whole box satisfies every δ-weakened atom and no extra
+            // contractors are pending decisions → δ-sat.
+            let all_hold = atoms
+                .iter()
+                .all(|a| a.delta_holds_on(cx.eval_interval(a.expr, &bx), self.delta));
+            if (all_hold && extra.is_empty()) || bx.max_width() <= self.eps {
+                return DeltaResult::DeltaSat(self.witness(cx, atoms, bx));
+            }
+            if splits >= self.max_splits {
+                return DeltaResult::Unknown {
+                    remaining: stack.len() + 1,
+                };
+            }
+            splits += 1;
+            let (l, r) = bx.bisect();
+            stack.push(r);
+            stack.push(l);
+        }
+        DeltaResult::Unsat
+    }
+
+    /// Paves `init` into inner (certainly-sat) and undecided boxes —
+    /// guaranteed parameter-set synthesis over the atoms.
+    pub fn pave(&self, cx: &Context, atoms: &[Atom], init: &IBox) -> Paving {
+        assert!(
+            init.iter().all(|d| d.is_bounded()),
+            "initial box must be bounded"
+        );
+        let hc4s: Vec<Hc4> = atoms.iter().map(|&a| Hc4::new(cx, a)).collect();
+        let contractors: Vec<&dyn Contractor> = hc4s.iter().map(|h| h as &dyn Contractor).collect();
+        let mut paving = Paving::default();
+        let mut stack = vec![init.clone()];
+        let mut splits = 0usize;
+        while let Some(mut bx) = stack.pop() {
+            if self.propagator.fixpoint(&contractors, &mut bx) == Outcome::Empty {
+                continue;
+            }
+            // Inner test with δ = 0: every point of the box satisfies the
+            // original constraints.
+            let inner = atoms
+                .iter()
+                .all(|a| a.delta_holds_on(cx.eval_interval(a.expr, &bx), 0.0));
+            if inner {
+                paving.sat.push(bx);
+                continue;
+            }
+            if bx.max_width() <= self.eps || splits >= self.max_splits {
+                paving.undecided.push(bx);
+                continue;
+            }
+            splits += 1;
+            let (l, r) = bx.bisect();
+            stack.push(r);
+            stack.push(l);
+        }
+        paving
+    }
+
+    fn witness(&self, cx: &Context, atoms: &[Atom], bx: IBox) -> Witness {
+        let point = bx.midpoint();
+        let certified = atoms.iter().all(|a| {
+            let v = cx.eval(a.expr, &point);
+            !v.is_nan() && a.holds_at(v, self.delta)
+        });
+        Witness {
+            boxx: bx,
+            point,
+            certified,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::RelOp;
+    use biocheck_interval::Interval;
+
+    fn solve_conj(srcs: &[(&str, RelOp)], dims: usize, range: (f64, f64), delta: f64) -> DeltaResult {
+        let mut cx = Context::new();
+        let atoms: Vec<Atom> = srcs
+            .iter()
+            .map(|(s, op)| {
+                let e = cx.parse(s).unwrap();
+                Atom::new(e, *op)
+            })
+            .collect();
+        let init = IBox::uniform(dims, Interval::new(range.0, range.1));
+        BranchAndPrune::new(delta).solve(&cx, &atoms, &[], &init)
+    }
+
+    #[test]
+    fn simple_sat() {
+        let r = solve_conj(&[("x - 1", RelOp::Eq)], 1, (-5.0, 5.0), 1e-3);
+        let w = r.witness().expect("δ-sat");
+        assert!((w.point[0] - 1.0).abs() < 1e-2);
+        assert!(w.certified);
+    }
+
+    #[test]
+    fn simple_unsat() {
+        let r = solve_conj(
+            &[("x - 10", RelOp::Ge), ("x + 10", RelOp::Le)],
+            1,
+            (-5.0, 5.0),
+            1e-3,
+        );
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn circle_line_intersection() {
+        // x² + y² = 1 ∧ x = y → x = y = ±1/√2.
+        let r = solve_conj(
+            &[("x^2 + y^2 - 1", RelOp::Eq), ("x - y", RelOp::Eq)],
+            2,
+            (-2.0, 2.0),
+            1e-4,
+        );
+        let w = r.witness().expect("δ-sat");
+        let c = 1.0 / 2.0f64.sqrt();
+        let (x, y) = (w.point[0], w.point[1]);
+        assert!(((x.abs() - c).abs() < 1e-2) && ((y.abs() - c).abs() < 1e-2));
+    }
+
+    #[test]
+    fn disjoint_circle_line_unsat() {
+        // x² + y² = 1 ∧ x + y = 10 has no solution in [-2,2]².
+        let r = solve_conj(
+            &[("x^2 + y^2 - 1", RelOp::Eq), ("x + y - 10", RelOp::Eq)],
+            2,
+            (-2.0, 2.0),
+            1e-3,
+        );
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn transcendental_sat() {
+        // sin x = 1/2 with x ∈ [0, π/2] → x = π/6.
+        let r = solve_conj(&[("sin(x) - 0.5", RelOp::Eq)], 1, (0.0, 1.6), 1e-5);
+        let w = r.witness().expect("δ-sat");
+        assert!((w.point[0] - std::f64::consts::FRAC_PI_6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn transcendental_unsat() {
+        // exp(x) ≤ 0 is impossible.
+        let r = solve_conj(&[("exp(x)", RelOp::Le)], 1, (-5.0, 5.0), 1e-3);
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn strict_vs_nonstrict_boundary() {
+        // x ≥ 5 on [0,5] is sat exactly at the endpoint.
+        let r = solve_conj(&[("x - 5", RelOp::Ge)], 1, (0.0, 5.0), 1e-3);
+        assert!(r.is_delta_sat());
+        // x > 5 on [0,5] has no solution, but its δ-weakening (x > 5-δ)
+        // does: δ-sat is the correct one-sided answer.
+        let r = solve_conj(&[("x - 5", RelOp::Gt)], 1, (0.0, 5.0), 1e-3);
+        assert!(r.is_delta_sat());
+        // x ≥ 5 + tiny is unsat even δ-weakened... for tiny >> δ.
+        let r = solve_conj(&[("x - 5.1", RelOp::Ge)], 1, (0.0, 5.0), 1e-3);
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget() {
+        let mut cx = Context::new();
+        let e = cx.parse("sin(10*x) - y").unwrap();
+        let atoms = vec![Atom::new(e, RelOp::Eq)];
+        let mut solver = BranchAndPrune::new(1e-9);
+        solver.max_splits = 3;
+        let init = IBox::uniform(2, Interval::new(-1.0, 1.0));
+        match solver.solve(&cx, &atoms, &[], &init) {
+            DeltaResult::Unknown { remaining } => assert!(remaining > 0),
+            DeltaResult::DeltaSat(w) => {
+                // Acceptable alternative: found a satisfying whole-box early.
+                assert!(w.boxx.max_width() > 0.0);
+            }
+            DeltaResult::Unsat => panic!("sin(10x)=y is satisfiable"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded")]
+    fn unbounded_box_rejected() {
+        let cx = Context::new();
+        let solver = BranchAndPrune::new(1e-3);
+        let init = IBox::entire(1);
+        let _ = solver.solve(&cx, &[], &[], &init);
+    }
+
+    #[test]
+    fn pave_ring() {
+        // 0.5 ≤ x² + y² ≤ 1: paving should find inner boxes and its inner
+        // region must be a subset of the true region.
+        let mut cx = Context::new();
+        let lo = cx.parse("x^2 + y^2 - 0.25").unwrap();
+        let hi = cx.parse("x^2 + y^2 - 1").unwrap();
+        let atoms = vec![Atom::new(lo, RelOp::Ge), Atom::new(hi, RelOp::Le)];
+        let mut solver = BranchAndPrune::new(0.05);
+        solver.eps = 0.05;
+        let paving = solver.pave(&cx, &atoms, &IBox::uniform(2, Interval::new(-1.5, 1.5)));
+        assert!(!paving.sat.is_empty(), "ring has positive area");
+        for b in &paving.sat {
+            let p = b.midpoint();
+            let r2 = p[0] * p[0] + p[1] * p[1];
+            assert!((0.25..=1.0).contains(&r2), "inner box center outside ring");
+        }
+        // A point well inside the ring is covered by sat ∪ undecided.
+        let probe = [0.7, 0.0];
+        let covered = paving.sat_contains(&probe)
+            || paving.undecided.iter().any(|b| b.contains_point(&probe));
+        assert!(covered);
+    }
+
+    #[test]
+    fn delta_result_accessors() {
+        let r = DeltaResult::Unsat;
+        assert!(r.is_unsat() && !r.is_delta_sat() && r.witness().is_none());
+    }
+}

@@ -1,0 +1,412 @@
+//! Axis-aligned interval boxes ([`IBox`]), the working state of ICP.
+
+use crate::interval::Interval;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An axis-aligned box in ℝⁿ: one [`Interval`] per dimension.
+///
+/// A box is *empty* when any of its dimensions is empty. Boxes are the
+/// search-state of branch-and-prune and the witness format returned by
+/// δ-sat answers.
+///
+/// # Examples
+///
+/// ```
+/// use biocheck_interval::{IBox, Interval};
+///
+/// let b = IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(-1.0, 1.0)]);
+/// assert_eq!(b.len(), 2);
+/// assert!(b.contains_point(&[0.5, 0.0]));
+/// let (l, r) = b.bisect();
+/// assert_eq!(l[1].hi(), 0.0);
+/// assert_eq!(r[1].lo(), 0.0);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct IBox {
+    dims: Vec<Interval>,
+}
+
+impl IBox {
+    /// Creates a box from per-dimension intervals.
+    pub fn new(dims: Vec<Interval>) -> IBox {
+        IBox { dims }
+    }
+
+    /// Creates an `n`-dimensional box with every dimension set to `iv`.
+    pub fn uniform(n: usize, iv: Interval) -> IBox {
+        IBox {
+            dims: vec![iv; n],
+        }
+    }
+
+    /// Creates the whole space `ℝⁿ`.
+    pub fn entire(n: usize) -> IBox {
+        IBox::uniform(n, Interval::ENTIRE)
+    }
+
+    /// Creates the degenerate box around a point.
+    pub fn from_point(p: &[f64]) -> IBox {
+        IBox {
+            dims: p.iter().map(|&v| Interval::point(v)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns `true` when the box has no dimensions.
+    pub fn is_unit(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Returns `true` when the box contains no point (any dimension empty).
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Interval::is_empty)
+    }
+
+    /// Shared view of the dimensions.
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// Mutable view of the dimensions.
+    pub fn dims_mut(&mut self) -> &mut [Interval] {
+        &mut self.dims
+    }
+
+    /// Iterates over the dimensions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.dims.iter()
+    }
+
+    /// The largest dimension width.
+    pub fn max_width(&self) -> f64 {
+        self.dims
+            .iter()
+            .map(Interval::width)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the widest dimension (ties broken by lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-dimensional box.
+    pub fn widest_dim(&self) -> usize {
+        assert!(!self.dims.is_empty(), "widest_dim on 0-dimensional box");
+        let mut best = 0;
+        let mut best_w = f64::NEG_INFINITY;
+        for (i, d) in self.dims.iter().enumerate() {
+            let w = d.width();
+            if w > best_w {
+                best_w = w;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The center point (uses [`Interval::mid`] per dimension).
+    pub fn midpoint(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::mid).collect()
+    }
+
+    /// Returns `true` when `p` lies inside the box.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        p.len() == self.dims.len()
+            && self
+                .dims
+                .iter()
+                .zip(p)
+                .all(|(d, &v)| d.contains(v))
+    }
+
+    /// Returns `true` when `other` is a subset of `self`.
+    pub fn contains_box(&self, other: &IBox) -> bool {
+        other.is_empty()
+            || (self.dims.len() == other.dims.len()
+                && self
+                    .dims
+                    .iter()
+                    .zip(&other.dims)
+                    .all(|(a, b)| a.contains_interval(b)))
+    }
+
+    /// Per-dimension intersection; empty if any dimension becomes empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn intersect(&self, other: &IBox) -> IBox {
+        assert_eq!(self.len(), other.len(), "box dimension mismatch");
+        IBox {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect(b))
+                .collect(),
+        }
+    }
+
+    /// Per-dimension convex hull.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn hull(&self, other: &IBox) -> IBox {
+        assert_eq!(self.len(), other.len(), "box dimension mismatch");
+        IBox {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Splits the widest dimension at its midpoint.
+    pub fn bisect(&self) -> (IBox, IBox) {
+        self.bisect_dim(self.widest_dim())
+    }
+
+    /// Splits dimension `i` at its midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the dimension is empty.
+    pub fn bisect_dim(&self, i: usize) -> (IBox, IBox) {
+        let (l, r) = self.dims[i].bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.dims[i] = l;
+        right.dims[i] = r;
+        (left, right)
+    }
+
+    /// Inflates every dimension outward by `eps`.
+    pub fn inflate(&self, eps: f64) -> IBox {
+        IBox {
+            dims: self.dims.iter().map(|d| d.inflate(eps)).collect(),
+        }
+    }
+
+    /// Sum of dimension widths (L1 "perimeter" measure, robust to zero
+    /// widths unlike volume).
+    pub fn total_width(&self) -> f64 {
+        self.dims.iter().map(Interval::width).sum()
+    }
+
+    /// log₂ of the box volume; `-inf` for degenerate boxes.
+    pub fn log2_volume(&self) -> f64 {
+        self.dims.iter().map(|d| d.width().log2()).sum()
+    }
+
+    /// Appends a dimension and returns its index.
+    pub fn push(&mut self, iv: Interval) -> usize {
+        self.dims.push(iv);
+        self.dims.len() - 1
+    }
+
+    /// Concatenates two boxes (cartesian product).
+    pub fn concat(&self, other: &IBox) -> IBox {
+        let mut dims = self.dims.clone();
+        dims.extend_from_slice(&other.dims);
+        IBox { dims }
+    }
+
+    /// The sub-box given by `indices` (in order).
+    pub fn project(&self, indices: &[usize]) -> IBox {
+        IBox {
+            dims: indices.iter().map(|&i| self.dims[i]).collect(),
+        }
+    }
+}
+
+impl Index<usize> for IBox {
+    type Output = Interval;
+    fn index(&self, i: usize) -> &Interval {
+        &self.dims[i]
+    }
+}
+
+impl IndexMut<usize> for IBox {
+    fn index_mut(&mut self, i: usize) -> &mut Interval {
+        &mut self.dims[i]
+    }
+}
+
+impl From<Vec<Interval>> for IBox {
+    fn from(dims: Vec<Interval>) -> IBox {
+        IBox { dims }
+    }
+}
+
+impl FromIterator<Interval> for IBox {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> IBox {
+        IBox {
+            dims: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Interval> for IBox {
+    fn extend<T: IntoIterator<Item = Interval>>(&mut self, iter: T) {
+        self.dims.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a IBox {
+    type Item = &'a Interval;
+    type IntoIter = std::slice::Iter<'a, Interval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.dims.iter()
+    }
+}
+
+impl IntoIterator for IBox {
+    type Item = Interval;
+    type IntoIter = std::vec::IntoIter<Interval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.dims.into_iter()
+    }
+}
+
+impl fmt::Debug for IBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(&self.dims).finish()
+    }
+}
+
+impl fmt::Display for IBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit2() -> IBox {
+        IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)])
+    }
+
+    #[test]
+    fn construction() {
+        let b = unit2();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        let u = IBox::uniform(3, Interval::new(-1.0, 1.0));
+        assert_eq!(u.len(), 3);
+        assert_eq!(u[2], Interval::new(-1.0, 1.0));
+        let e = IBox::entire(2);
+        assert!(e.contains_box(&b));
+        let p = IBox::from_point(&[1.0, 2.0]);
+        assert!(p[0].is_point() && p[1].is_point());
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut b = unit2();
+        assert!(!b.is_empty());
+        b[1] = Interval::EMPTY;
+        assert!(b.is_empty());
+        assert!(IBox::new(vec![]).is_unit());
+    }
+
+    #[test]
+    fn widest_and_bisect() {
+        let b = IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 4.0)]);
+        assert_eq!(b.widest_dim(), 1);
+        assert_eq!(b.max_width(), 4.0);
+        let (l, r) = b.bisect();
+        assert_eq!(l[1], Interval::new(0.0, 2.0));
+        assert_eq!(r[1], Interval::new(2.0, 4.0));
+        assert_eq!(l[0], b[0]);
+    }
+
+    #[test]
+    fn containment() {
+        let b = unit2();
+        assert!(b.contains_point(&[0.5, 0.5]));
+        assert!(!b.contains_point(&[1.5, 0.5]));
+        assert!(!b.contains_point(&[0.5])); // wrong arity
+        let small = IBox::uniform(2, Interval::new(0.25, 0.75));
+        assert!(b.contains_box(&small));
+        assert!(!small.contains_box(&b));
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = unit2();
+        let b = IBox::uniform(2, Interval::new(0.5, 2.0));
+        let i = a.intersect(&b);
+        assert_eq!(i[0], Interval::new(0.5, 1.0));
+        let h = a.hull(&b);
+        assert_eq!(h[0], Interval::new(0.0, 2.0));
+        let disj = a.intersect(&IBox::uniform(2, Interval::new(3.0, 4.0)));
+        assert!(disj.is_empty());
+    }
+
+    #[test]
+    fn measures() {
+        let b = IBox::new(vec![Interval::new(0.0, 2.0), Interval::new(0.0, 4.0)]);
+        assert_eq!(b.total_width(), 6.0);
+        assert_eq!(b.log2_volume(), 3.0); // log2(2*4)
+        assert_eq!(b.midpoint(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn concat_project_push() {
+        let mut a = unit2();
+        let b = IBox::uniform(1, Interval::new(5.0, 6.0));
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[2], Interval::new(5.0, 6.0));
+        let p = c.project(&[2, 0]);
+        assert_eq!(p[0], Interval::new(5.0, 6.0));
+        assert_eq!(p[1], Interval::new(0.0, 1.0));
+        let idx = a.push(Interval::ZERO);
+        assert_eq!(idx, 2);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn iterators_and_collect() {
+        let b: IBox = (0..3).map(|i| Interval::point(i as f64)).collect();
+        assert_eq!(b.len(), 3);
+        let widths: Vec<f64> = b.iter().map(Interval::width).collect();
+        assert_eq!(widths, vec![0.0; 3]);
+        let mut c = IBox::default();
+        c.extend(b.clone());
+        assert_eq!(c, b);
+        let total: f64 = (&b).into_iter().map(|iv| iv.lo()).sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let b = unit2();
+        let s = format!("{b}");
+        assert!(s.contains('×'));
+        assert!(!format!("{b:?}").is_empty());
+    }
+
+    #[test]
+    fn inflate_box() {
+        let b = unit2().inflate(0.5);
+        assert!(b[0].lo() <= -0.5 && b[0].hi() >= 1.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! Interval arithmetic with outward rounding, the numeric substrate of
+//! BioCheck's δ-decision procedures.
+//!
+//! Every operation returns an interval that is guaranteed to contain the
+//! exact real result for all real inputs drawn from the operand intervals
+//! (*enclosure soundness*). Soundness is obtained by computing each endpoint
+//! in round-to-nearest and then widening outward by one unit in the last
+//! place (two for transcendental functions, whose library implementations
+//! are only faithfully rounded). This costs a sliver of tightness and buys
+//! portability: no `fesetround` or platform intrinsics are needed.
+//!
+//! The two central types are:
+//!
+//! * [`Interval`] — a closed, possibly empty or unbounded real interval.
+//! * [`IBox`] — an axis-aligned box (vector of intervals), the state of the
+//!   ICP solver and the witness format of δ-sat answers.
+//!
+//! # Examples
+//!
+//! ```
+//! use biocheck_interval::Interval;
+//!
+//! let x = Interval::new(1.0, 2.0);
+//! let y = (x * x - Interval::point(1.0)).sqrt();
+//! assert!(y.contains(3.0f64.sqrt()));
+//! ```
+
+mod ibox;
+mod interval;
+mod round;
+mod transcendental;
+
+pub use ibox::IBox;
+pub use interval::Interval;
+pub use round::{next_down, next_up};

@@ -1,0 +1,80 @@
+//! Directed-rounding helpers.
+//!
+//! We do not change the FPU rounding mode; instead every computed endpoint
+//! is nudged outward by one representable step. For the four basic
+//! operations the round-to-nearest result is within 0.5 ulp of the exact
+//! value, so one step outward is a sound (if slightly loose) bound.
+
+/// Returns the largest float strictly less than `x` (identity on `-inf`).
+///
+/// Unlike [`f64::next_down`], this maps `+inf` to `+inf` so that already
+/// infinite bounds stay infinite rather than becoming `f64::MAX`.
+#[inline]
+pub fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY || x == f64::INFINITY {
+        x
+    } else {
+        x.next_down()
+    }
+}
+
+/// Returns the smallest float strictly greater than `x` (identity on `+inf`).
+///
+/// Unlike [`f64::next_up`], this maps `-inf` to `-inf` so that already
+/// infinite bounds stay infinite rather than becoming `f64::MIN`.
+#[inline]
+pub fn next_up(x: f64) -> f64 {
+    if x.is_nan() || x == f64::INFINITY || x == f64::NEG_INFINITY {
+        x
+    } else {
+        x.next_up()
+    }
+}
+
+/// Nudges a lower bound down `n` steps.
+#[inline]
+pub(crate) fn down_n(mut x: f64, n: u32) -> f64 {
+    for _ in 0..n {
+        x = next_down(x);
+    }
+    x
+}
+
+/// Nudges an upper bound up `n` steps.
+#[inline]
+pub(crate) fn up_n(mut x: f64, n: u32) -> f64 {
+    for _ in 0..n {
+        x = next_up(x);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_up_basic() {
+        assert!(next_up(1.0) > 1.0);
+        assert!(next_down(1.0) < 1.0);
+        assert_eq!(next_up(f64::INFINITY), f64::INFINITY);
+        assert_eq!(next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        // Infinite endpoints must not collapse to finite values.
+        assert_eq!(next_down(f64::INFINITY), f64::INFINITY);
+        assert_eq!(next_up(f64::NEG_INFINITY), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn next_up_crosses_zero() {
+        assert!(next_up(0.0) > 0.0);
+        assert!(next_down(0.0) < 0.0);
+        assert!(next_up(-f64::MIN_POSITIVE) <= 0.0);
+    }
+
+    #[test]
+    fn n_step_widening() {
+        let x = 2.0;
+        assert!(down_n(x, 2) < next_down(x));
+        assert!(up_n(x, 2) > next_up(x));
+    }
+}

@@ -1,0 +1,361 @@
+//! Elementary transcendental functions on [`Interval`].
+//!
+//! Standard-library float functions are faithfully rounded (error ≤ ~1 ulp)
+//! on all mainstream platforms; we widen every computed endpoint by two
+//! ulps, which strictly dominates that error. Trigonometric range reduction
+//! additionally uses a conservative slack when deciding whether an extremum
+//! lies inside the argument interval, so a borderline case yields a wider
+//! (still sound) result.
+
+use crate::interval::Interval;
+use crate::round::{down_n, up_n};
+
+/// Number of outward ulp steps applied after a libm call.
+const T_ULPS: u32 = 2;
+
+/// Does `{ offset + k·period : k ∈ ℤ }` intersect `[lo, hi]`?
+///
+/// Conservative: may answer `true` for near misses (which only widens
+/// results), never `false` for a genuine hit.
+fn contains_grid_point(lo: f64, hi: f64, offset: f64, period: f64) -> bool {
+    if !lo.is_finite() || !hi.is_finite() {
+        return true;
+    }
+    let t0 = (lo - offset) / period;
+    let t1 = (hi - offset) / period;
+    let slack = 1e-9 * (1.0 + t0.abs().max(t1.abs()));
+    (t1 + slack).floor() >= (t0 - slack).ceil()
+}
+
+impl Interval {
+    /// Natural exponential `eˣ`. Always a subset of `[0, +inf]`.
+    pub fn exp(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let lo = down_n(self.lo().exp(), T_ULPS).max(0.0);
+        let hi = up_n(self.hi().exp(), T_ULPS);
+        Interval::exact(lo, hi)
+    }
+
+    /// Natural logarithm. The domain is intersected with `(0, +inf)`;
+    /// returns `EMPTY` when the interval has no positive part.
+    pub fn ln(&self) -> Interval {
+        if self.is_empty() || self.hi() <= 0.0 {
+            return Interval::EMPTY;
+        }
+        let lo = if self.lo() <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            down_n(self.lo().ln(), T_ULPS)
+        };
+        let hi = up_n(self.hi().ln(), T_ULPS);
+        Interval::exact(lo, hi)
+    }
+
+    /// Square root. The domain is intersected with `[0, +inf)`;
+    /// returns `EMPTY` when the interval is entirely negative.
+    pub fn sqrt(&self) -> Interval {
+        if self.is_empty() || self.hi() < 0.0 {
+            return Interval::EMPTY;
+        }
+        let lo = if self.lo() <= 0.0 {
+            0.0
+        } else {
+            down_n(self.lo().sqrt(), 1).max(0.0)
+        };
+        let hi = up_n(self.hi().sqrt(), 1);
+        Interval::exact(lo, hi)
+    }
+
+    /// Real power `x^y = exp(y·ln x)` on the domain `x > 0` (with a sound
+    /// extension to `x = 0`). Use [`Interval::powi`] for integer exponents,
+    /// which also handles negative bases.
+    pub fn powf(&self, e: &Interval) -> Interval {
+        if self.is_empty() || e.is_empty() {
+            return Interval::EMPTY;
+        }
+        let base = self.intersect(&Interval::new(0.0, f64::INFINITY));
+        if base.is_empty() {
+            return Interval::EMPTY;
+        }
+        (base.ln() * *e).exp()
+    }
+
+    /// Sine.
+    pub fn sin(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let (lo, hi) = (self.lo(), self.hi());
+        if !lo.is_finite() || !hi.is_finite() || hi - lo >= Interval::TWO_PI.hi() {
+            return Interval::new(-1.0, 1.0);
+        }
+        let pi = std::f64::consts::PI;
+        let two_pi = 2.0 * pi;
+        let slo = lo.sin();
+        let shi = hi.sin();
+        let mut out_lo = down_n(slo.min(shi), T_ULPS);
+        let mut out_hi = up_n(slo.max(shi), T_ULPS);
+        if contains_grid_point(lo, hi, pi / 2.0, two_pi) {
+            out_hi = 1.0;
+        }
+        if contains_grid_point(lo, hi, -pi / 2.0, two_pi) {
+            out_lo = -1.0;
+        }
+        Interval::exact(out_lo.max(-1.0), out_hi.min(1.0))
+    }
+
+    /// Cosine.
+    pub fn cos(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let (lo, hi) = (self.lo(), self.hi());
+        if !lo.is_finite() || !hi.is_finite() || hi - lo >= Interval::TWO_PI.hi() {
+            return Interval::new(-1.0, 1.0);
+        }
+        let pi = std::f64::consts::PI;
+        let two_pi = 2.0 * pi;
+        let clo = lo.cos();
+        let chi = hi.cos();
+        let mut out_lo = down_n(clo.min(chi), T_ULPS);
+        let mut out_hi = up_n(clo.max(chi), T_ULPS);
+        if contains_grid_point(lo, hi, 0.0, two_pi) {
+            out_hi = 1.0;
+        }
+        if contains_grid_point(lo, hi, pi, two_pi) {
+            out_lo = -1.0;
+        }
+        Interval::exact(out_lo.max(-1.0), out_hi.min(1.0))
+    }
+
+    /// Tangent. Returns `ENTIRE` when the interval may contain a pole.
+    pub fn tan(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let (lo, hi) = (self.lo(), self.hi());
+        let pi = std::f64::consts::PI;
+        if !lo.is_finite()
+            || !hi.is_finite()
+            || hi - lo >= pi
+            || contains_grid_point(lo, hi, pi / 2.0, pi)
+        {
+            return Interval::ENTIRE;
+        }
+        Interval::exact(down_n(lo.tan(), T_ULPS), up_n(hi.tan(), T_ULPS))
+    }
+
+    /// Arc sine on the domain `[-1, 1]` (intersected).
+    pub fn asin(&self) -> Interval {
+        let d = self.intersect(&Interval::new(-1.0, 1.0));
+        if d.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::exact(
+            down_n(d.lo().asin(), T_ULPS).max(-Interval::HALF_PI.hi()),
+            up_n(d.hi().asin(), T_ULPS).min(Interval::HALF_PI.hi()),
+        )
+    }
+
+    /// Arc cosine on the domain `[-1, 1]` (intersected).
+    pub fn acos(&self) -> Interval {
+        let d = self.intersect(&Interval::new(-1.0, 1.0));
+        if d.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::exact(
+            down_n(d.hi().acos(), T_ULPS).max(0.0),
+            up_n(d.lo().acos(), T_ULPS).min(Interval::PI.hi()),
+        )
+    }
+
+    /// Arc tangent (monotone, total).
+    pub fn atan(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::exact(
+            down_n(self.lo().atan(), T_ULPS).max(-Interval::HALF_PI.hi()),
+            up_n(self.hi().atan(), T_ULPS).min(Interval::HALF_PI.hi()),
+        )
+    }
+
+    /// Hyperbolic sine (monotone, total).
+    pub fn sinh(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::exact(down_n(self.lo().sinh(), T_ULPS), up_n(self.hi().sinh(), T_ULPS))
+    }
+
+    /// Hyperbolic cosine (even, minimum 1 at 0).
+    pub fn cosh(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        let a = self.lo().cosh();
+        let b = self.hi().cosh();
+        let lo = if self.contains(0.0) {
+            1.0
+        } else {
+            down_n(a.min(b), T_ULPS).max(1.0)
+        };
+        Interval::exact(lo, up_n(a.max(b), T_ULPS))
+    }
+
+    /// Hyperbolic tangent (monotone, bounded in `[-1, 1]`).
+    pub fn tanh(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        Interval::exact(
+            down_n(self.lo().tanh(), T_ULPS).max(-1.0),
+            up_n(self.hi().tanh(), T_ULPS).min(1.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_encloses(i: Interval, v: f64) {
+        assert!(
+            i.contains(v),
+            "{i:?} should contain {v}"
+        );
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let x = Interval::new(0.5, 2.0);
+        let y = x.exp().ln();
+        assert!(y.contains_interval(&x));
+        assert_encloses(Interval::point(1.0).exp(), std::f64::consts::E);
+        assert_encloses(Interval::point(std::f64::consts::E).ln(), 1.0);
+    }
+
+    #[test]
+    fn exp_stays_nonnegative() {
+        let y = Interval::new(-1e9, -700.0).exp();
+        assert!(y.lo() >= 0.0);
+        assert!(y.hi() < 1e-300);
+    }
+
+    #[test]
+    fn ln_domain_clipping() {
+        assert!(Interval::new(-2.0, -1.0).ln().is_empty());
+        let y = Interval::new(-1.0, 1.0).ln();
+        assert_eq!(y.lo(), f64::NEG_INFINITY);
+        assert!(y.hi() >= 0.0);
+        assert_eq!(Interval::new(0.0, 0.0).ln().is_empty(), true);
+    }
+
+    #[test]
+    fn sqrt_basic() {
+        let y = Interval::new(4.0, 9.0).sqrt();
+        assert_encloses(y, 2.0);
+        assert_encloses(y, 3.0);
+        assert!(Interval::new(-3.0, -1.0).sqrt().is_empty());
+        let clipped = Interval::new(-1.0, 4.0).sqrt();
+        assert_eq!(clipped.lo(), 0.0);
+        assert!(clipped.hi() >= 2.0);
+    }
+
+    #[test]
+    fn powf_matches_scalar() {
+        let x = Interval::new(2.0, 3.0);
+        let e = Interval::point(2.5);
+        let y = x.powf(&e);
+        assert_encloses(y, 2.0f64.powf(2.5));
+        assert_encloses(y, 3.0f64.powf(2.5));
+        assert_encloses(y, 2.5f64.powf(2.5));
+    }
+
+    #[test]
+    fn sin_contains_extrema() {
+        use std::f64::consts::PI;
+        let y = Interval::new(0.0, PI).sin();
+        assert_eq!(y.hi(), 1.0);
+        assert!(y.lo() <= 0.0);
+        let z = Interval::new(-PI, 0.0).sin();
+        assert_eq!(z.lo(), -1.0);
+        // No extremum inside a narrow monotone window.
+        let w = Interval::new(0.1, 0.2).sin();
+        assert!(w.hi() < 0.21 && w.lo() > 0.09);
+        // Huge intervals collapse to [-1,1].
+        assert_eq!(Interval::new(0.0, 100.0).sin(), Interval::new(-1.0, 1.0));
+    }
+
+    #[test]
+    fn cos_contains_extrema() {
+        use std::f64::consts::PI;
+        let y = Interval::new(-0.5, 0.5).cos();
+        assert_eq!(y.hi(), 1.0);
+        let z = Interval::new(3.0, 3.3).cos();
+        assert_eq!(z.lo(), -1.0);
+        assert_encloses(Interval::point(PI / 3.0).cos(), 0.5);
+    }
+
+    #[test]
+    fn sin_point_samples() {
+        for k in 0..50 {
+            let x = -7.0 + 0.29 * k as f64;
+            assert_encloses(Interval::point(x).sin(), x.sin());
+            assert_encloses(Interval::point(x).cos(), x.cos());
+        }
+    }
+
+    #[test]
+    fn tan_pole_detection() {
+        use std::f64::consts::PI;
+        assert_eq!(Interval::new(1.0, 2.0).tan(), Interval::ENTIRE); // contains pi/2
+        let y = Interval::new(-0.5, 0.5).tan();
+        assert!(y.is_bounded());
+        assert_encloses(y, 0.0);
+        assert_eq!(Interval::new(0.0, PI).tan(), Interval::ENTIRE);
+    }
+
+    #[test]
+    fn inverse_trig() {
+        let y = Interval::new(-1.0, 1.0).asin();
+        assert!(y.contains(std::f64::consts::FRAC_PI_2 - 1e-12));
+        assert!(y.contains(-std::f64::consts::FRAC_PI_2 + 1e-12));
+        let z = Interval::new(-2.0, 2.0).acos();
+        assert!(z.lo() <= 1e-12 && z.hi() >= std::f64::consts::PI - 1e-12);
+        let a = Interval::ENTIRE.atan();
+        assert!(a.is_bounded());
+        assert!(a.width() <= std::f64::consts::PI + 1e-9);
+    }
+
+    #[test]
+    fn hyperbolics() {
+        let x = Interval::new(-1.0, 2.0);
+        assert_encloses(x.sinh(), 0.0);
+        assert_encloses(x.sinh(), 2.0f64.sinh());
+        assert_eq!(x.cosh().lo(), 1.0);
+        assert_encloses(x.cosh(), 2.0f64.cosh());
+        let t = Interval::ENTIRE.tanh();
+        assert!(t.lo() >= -1.0 && t.hi() <= 1.0);
+        let nz = Interval::new(1.0, 2.0).cosh();
+        assert!(nz.lo() > 1.0);
+    }
+
+    #[test]
+    fn empties_propagate() {
+        let e = Interval::EMPTY;
+        assert!(e.exp().is_empty());
+        assert!(e.ln().is_empty());
+        assert!(e.sqrt().is_empty());
+        assert!(e.sin().is_empty());
+        assert!(e.cos().is_empty());
+        assert!(e.tan().is_empty());
+        assert!(e.atan().is_empty());
+        assert!(e.tanh().is_empty());
+        assert!(e.sinh().is_empty());
+        assert!(e.cosh().is_empty());
+        assert!(e.powf(&Interval::ONE).is_empty());
+    }
+}

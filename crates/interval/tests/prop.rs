@@ -1,0 +1,191 @@
+//! Property-based soundness tests: every interval operation must enclose
+//! the corresponding exact pointwise operation.
+
+use biocheck_interval::{IBox, Interval};
+use proptest::prelude::*;
+
+/// A strategy for modest finite floats where libm is well-behaved.
+fn small_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6..1e6f64,
+        -10.0..10.0f64,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+/// An interval with ordered random endpoints plus a point inside it.
+/// Returns (interval, inner point).
+fn interval_with_point() -> impl Strategy<Value = (Interval, f64)> {
+    (small_f64(), small_f64(), 0.0..1.0f64).prop_map(|(a, b, t)| {
+        let lo = a.min(b);
+        let hi = a.max(b);
+        let p = lo + t * (hi - lo);
+        (Interval::new(lo, hi), p.clamp(lo, hi))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_encloses((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        prop_assert!((x + y).contains(px + py));
+    }
+
+    #[test]
+    fn sub_encloses((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        prop_assert!((x - y).contains(px - py));
+    }
+
+    #[test]
+    fn mul_encloses((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        prop_assert!((x * y).contains(px * py));
+    }
+
+    #[test]
+    fn div_encloses((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        if py != 0.0 && !(y.lo() == 0.0 && y.hi() == 0.0) {
+            let q = x / y;
+            let exact = px / py;
+            if exact.is_finite() {
+                prop_assert!(q.contains(exact), "{x:?}/{y:?}={q:?} missing {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqr_encloses((x, px) in interval_with_point()) {
+        prop_assert!(x.sqr().contains(px * px));
+    }
+
+    #[test]
+    fn sqr_subset_of_mul((x, _) in interval_with_point()) {
+        prop_assert!((x * x).contains_interval(&x.sqr()));
+    }
+
+    #[test]
+    fn powi_encloses((x, px) in interval_with_point(), n in 0i32..6) {
+        let v = px.powi(n);
+        if v.is_finite() {
+            prop_assert!(x.powi(n).contains(v));
+        }
+    }
+
+    #[test]
+    fn abs_encloses((x, px) in interval_with_point()) {
+        prop_assert!(x.abs().contains(px.abs()));
+    }
+
+    #[test]
+    fn min_max_enclose((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        prop_assert!(x.min_i(&y).contains(px.min(py)));
+        prop_assert!(x.max_i(&y).contains(px.max(py)));
+    }
+
+    #[test]
+    fn exp_encloses(p in -30.0..30.0f64, w in 0.0..5.0f64) {
+        let x = Interval::new(p, p + w);
+        for t in [0.0, 0.3, 0.7, 1.0] {
+            let v = p + t * w;
+            prop_assert!(x.exp().contains(v.exp()));
+        }
+    }
+
+    #[test]
+    fn ln_encloses(p in 1e-6..1e6f64, w in 0.0..10.0f64) {
+        let x = Interval::new(p, p + w);
+        for t in [0.0, 0.5, 1.0] {
+            let v = p + t * w;
+            prop_assert!(x.ln().contains(v.ln()));
+        }
+    }
+
+    #[test]
+    fn sqrt_encloses(p in 0.0..1e9f64, w in 0.0..100.0f64) {
+        let x = Interval::new(p, p + w);
+        for t in [0.0, 0.5, 1.0] {
+            let v = p + t * w;
+            prop_assert!(x.sqrt().contains(v.sqrt()));
+        }
+    }
+
+    #[test]
+    fn trig_encloses(p in -50.0..50.0f64, w in 0.0..10.0f64) {
+        let x = Interval::new(p, p + w);
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = p + t * w;
+            prop_assert!(x.sin().contains(v.sin()), "sin {x:?} missing sin({v})");
+            prop_assert!(x.cos().contains(v.cos()), "cos {x:?} missing cos({v})");
+            prop_assert!(x.tan().contains(v.tan()) || !v.tan().is_finite());
+            prop_assert!(x.atan().contains(v.atan()));
+            prop_assert!(x.tanh().contains(v.tanh()));
+        }
+    }
+
+    #[test]
+    fn hyperbolic_encloses(p in -20.0..20.0f64, w in 0.0..4.0f64) {
+        let x = Interval::new(p, p + w);
+        for t in [0.0, 0.5, 1.0] {
+            let v = p + t * w;
+            prop_assert!(x.sinh().contains(v.sinh()));
+            prop_assert!(x.cosh().contains(v.cosh()));
+        }
+    }
+
+    #[test]
+    fn intersect_hull_laws((x, px) in interval_with_point(), (y, _) in interval_with_point()) {
+        let h = x.hull(&y);
+        prop_assert!(h.contains_interval(&x) && h.contains_interval(&y));
+        let i = x.intersect(&y);
+        prop_assert!(x.contains_interval(&i) && y.contains_interval(&i));
+        if y.contains(px) {
+            prop_assert!(i.contains(px));
+        }
+    }
+
+    #[test]
+    fn bisect_covers((x, px) in interval_with_point()) {
+        let (l, r) = x.bisect();
+        prop_assert!(l.contains(px) || r.contains(px));
+        prop_assert!(x.contains_interval(&l) && x.contains_interval(&r));
+    }
+
+    #[test]
+    fn box_bisect_covers(
+        (x, px) in interval_with_point(),
+        (y, py) in interval_with_point()
+    ) {
+        let b = IBox::new(vec![x, y]);
+        let (l, r) = b.bisect();
+        prop_assert!(l.contains_point(&[px, py]) || r.contains_point(&[px, py]));
+    }
+
+    #[test]
+    fn mid_is_inside((x, _) in interval_with_point()) {
+        prop_assert!(x.contains(x.mid()));
+    }
+
+    #[test]
+    fn recip_encloses((x, px) in interval_with_point()) {
+        if px != 0.0 && !(x.lo() == 0.0 && x.hi() == 0.0) {
+            let r = x.recip();
+            let exact = 1.0 / px;
+            if exact.is_finite() {
+                prop_assert!(r.contains(exact));
+            }
+        }
+    }
+
+    #[test]
+    fn div_extended_covers((x, px) in interval_with_point(), (y, py) in interval_with_point()) {
+        if py != 0.0 {
+            let exact = px / py;
+            if exact.is_finite() {
+                let (a, b) = x.div_extended(&y);
+                let hit = a.map_or(false, |i| i.contains(exact))
+                    || b.map_or(false, |i| i.contains(exact));
+                prop_assert!(hit, "extended division lost {exact}");
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Cardiac action-potential models (Sec. IV-A/IV-C of the paper; the
+//! CMSB'14 companion study "Parameter synthesis for cardiac cell hybrid
+//! models using δ-decisions").
+//!
+//! Heaviside gate functions `H(x)` are replaced by the steep sigmoid
+//! `0.5·(1 + tanh(κ·x))` with κ = 50, keeping the right-hand sides inside
+//! the smooth LRF fragment (required by symbolic Jacobians and validated
+//! integration). The substitution changes the dynamics only in an
+//! `O(1/κ)` neighborhood of each threshold.
+
+use crate::OdeModel;
+use biocheck_expr::Context;
+use biocheck_hybrid::HybridAutomaton;
+use biocheck_ode::OdeSystem;
+
+/// Steep-sigmoid Heaviside replacement as a source-text fragment.
+fn heav(arg: &str) -> String {
+    format!("(0.5*(1 + tanh(50*({arg}))))")
+}
+
+/// The Fenton–Karma 3-variable model (1998), epicardial-like parameter
+/// set. States: `u` (transmembrane potential, dimensionless), `v` (fast
+/// gate), `w` (slow gate). The stimulus current is the parameter
+/// `I_stim` (0 at rest).
+///
+/// This model famously *cannot* reproduce the epicardial
+/// "spike-and-dome" AP morphology — the falsification case of Sec. IV-A.
+pub fn fenton_karma() -> OdeModel {
+    let mut cx = Context::new();
+    let u = cx.intern_var("u");
+    let v = cx.intern_var("v");
+    let w = cx.intern_var("w");
+    let _stim = cx.intern_var("I_stim");
+    // FK parameters (as parseable constants; u_c = 0.13, u_v = 0.04).
+    let tau_d = 0.395; // fast inward depolarization
+    let tau_r = 33.0; // repolarization
+    let tau_0 = 9.0;
+    let tau_si = 29.0;
+    let tau_v_plus = 3.33;
+    let tau_v1_minus = 1250.0;
+    let tau_v2_minus = 19.6;
+    let tau_w_plus = 870.0;
+    let tau_w_minus = 41.0;
+    let u_c = 0.13;
+    let u_v = 0.04;
+    let u_csi = 0.85;
+    let k = 10.0;
+    let h_uc = heav(&format!("u - {u_c}"));
+    let h_uv = heav(&format!("u - {u_v}"));
+    // J_fi = -v·H(u-uc)·(1-u)·(u-uc)/tau_d
+    // J_so = u·(1-H(u-uc))/tau_0 + H(u-uc)/tau_r
+    // J_si = -w·(1+tanh(k(u-u_csi)))/(2·tau_si)
+    let du = format!(
+        "v*{h_uc}*(1-u)*(u-{u_c})/{tau_d} \
+         - (u*(1-{h_uc})/{tau_0} + {h_uc}/{tau_r}) \
+         + w*(1+tanh({k}*(u-{u_csi})))/(2*{tau_si}) + I_stim"
+    );
+    // tau_v_minus blends via H(u - u_v). The additive form
+    // τ₂ + (τ₁-τ₂)·H keeps the interval enclosure away from zero (the
+    // product form h·τ₁ + (1-h)·τ₂ decorrelates and spans 0).
+    let dv = format!(
+        "(1-{h_uc})*(1-v)/({tau_v2_minus} + ({tau_v1_minus} - {tau_v2_minus})*{h_uv}) \
+         - {h_uc}*v/{tau_v_plus}"
+    );
+    let dw = format!(
+        "(1-{h_uc})*(1-w)/{tau_w_minus} - {h_uc}*w/{tau_w_plus}"
+    );
+    let du = cx.parse(&du).unwrap();
+    let dv = cx.parse(&dv).unwrap();
+    let dw = cx.parse(&dw).unwrap();
+    let sys = OdeSystem::new(vec![u, v, w], vec![du, dv, dw]);
+    let mut env = vec![0.0; cx.num_vars()];
+    let stim_idx = cx.var_id("I_stim").unwrap().index();
+    env[stim_idx] = 0.0;
+    OdeModel {
+        cx,
+        sys,
+        init: vec![0.0, 1.0, 1.0],
+        env,
+    }
+}
+
+/// The Bueno-Cherry-Fenton "minimal model" (2008), epicardial parameter
+/// set. States: `u` (potential), `v`, `w`, `s`. Parameter `I_stim`
+/// injects the stimulus; `tau_si` (slow inward) is exposed for synthesis,
+/// matching the CMSB'14 experiments on tachycardia-inducing ranges.
+pub fn bueno_cherry_fenton() -> OdeModel {
+    let mut cx = Context::new();
+    let u = cx.intern_var("u");
+    let v = cx.intern_var("v");
+    let w = cx.intern_var("w");
+    let s = cx.intern_var("s");
+    let _stim = cx.intern_var("I_stim");
+    let _tau_si = cx.intern_var("tau_si"); // nominal 1.8867 (epi)
+    // Epicardial constants (Bueno-Orovio et al. 2008, Table 1).
+    let u_o = 0.0;
+    let u_u = 1.55;
+    let th_v = 0.3;
+    let th_w = 0.13;
+    let th_v_m = 0.006;
+    let th_o = 0.006;
+    let tau_v1_m = 60.0;
+    let tau_v2_m = 1150.0;
+    let tau_v_p = 1.4506;
+    let tau_w1_m = 60.0;
+    let tau_w2_m = 15.0;
+    let k_w_m = 65.0;
+    let u_w_m = 0.03;
+    let tau_w_p = 200.0;
+    let tau_fi = 0.11;
+    let tau_o1 = 400.0;
+    let tau_o2 = 6.0;
+    let tau_so1 = 30.0181;
+    let tau_so2 = 0.9957;
+    let k_so = 2.0458;
+    let u_so = 0.65;
+    let tau_s1 = 2.7342;
+    let tau_s2 = 16.0;
+    let k_s = 2.0994;
+    let u_s = 0.9087;
+    let tau_w_inf = 0.07;
+    let w_inf_star = 0.94;
+    let h_thv = heav(&format!("u - {th_v}"));
+    let h_thw = heav(&format!("u - {th_w}"));
+    let h_thvm = heav(&format!("u - {th_v_m}"));
+    let h_tho = heav(&format!("u - {th_o}"));
+    // Currents.
+    let j_fi = format!("-v*{h_thv}*(u - {th_v})*({u_u} - u)/{tau_fi}");
+    let tau_o = format!("((1-{h_tho})*{tau_o1} + {h_tho}*{tau_o2})");
+    let tau_so = format!(
+        "({tau_so1} + ({tau_so2} - {tau_so1})*(1 + tanh({k_so}*(u - {u_so})))/2)"
+    );
+    let j_so = format!("(u - {u_o})*(1 - {h_thw})/{tau_o} + {h_thw}/{tau_so}");
+    let j_si = format!("-{h_thw}*w*s/tau_si");
+    let du = format!("-({j_fi}) - ({j_so}) - ({j_si}) + I_stim");
+    // Gates.
+    let tau_v_m = format!("((1-{h_thvm})*{tau_v1_m} + {h_thvm}*{tau_v2_m})");
+    let v_inf = format!("(1 - {h_thvm})"); // v∞ = 1 below θv⁻, 0 above
+    let dv = format!(
+        "(1-{h_thv})*({v_inf} - v)/{tau_v_m} - {h_thv}*v/{tau_v_p}"
+    );
+    let tau_w_m = format!(
+        "({tau_w1_m} + ({tau_w2_m} - {tau_w1_m})*(1 + tanh({k_w_m}*(u - {u_w_m})))/2)"
+    );
+    let w_inf = format!(
+        "((1-{h_tho})*(1 - u/{tau_w_inf}) + {h_tho}*{w_inf_star})"
+    );
+    let dw = format!(
+        "(1-{h_thw})*({w_inf} - w)/{tau_w_m} - {h_thw}*w/{tau_w_p}"
+    );
+    let ds = format!(
+        "((1 + tanh({k_s}*(u - {u_s})))/2 - s)/((1-{h_thw})*{tau_s1} + {h_thw}*{tau_s2})"
+    );
+    let du = cx.parse(&du).unwrap();
+    let dv = cx.parse(&dv).unwrap();
+    let dw = cx.parse(&dw).unwrap();
+    let ds = cx.parse(&ds).unwrap();
+    let sys = OdeSystem::new(vec![u, v, w, s], vec![du, dv, dw, ds]);
+    let mut env = vec![0.0; cx.num_vars()];
+    env[cx.var_id("tau_si").unwrap().index()] = 1.8867;
+    OdeModel {
+        cx,
+        sys,
+        init: vec![0.0, 1.0, 1.0, 0.0],
+        env,
+    }
+}
+
+/// Wraps a cardiac model in a two-mode stimulus-protocol automaton:
+/// mode `stim` applies `amplitude` for `duration` time units (clock state
+/// `c`), then jumps to mode `rest` with the stimulus off.
+pub fn with_stimulus(model: &OdeModel, amplitude: f64, duration: f64) -> HybridAutomaton {
+    let mut cx = model.cx.clone();
+    // Carry the model's nominal parameter values into the automaton as
+    // point-range parameters (so `default_env` reproduces them).
+    let carried: Vec<(String, f64)> = model
+        .env
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| {
+            v != 0.0 && !model.sys.states.iter().any(|s| s.index() == i)
+        })
+        .map(|(i, &v)| (cx.var_names()[i].clone(), v))
+        .collect();
+    let clock = cx.intern_var("c");
+    let one = cx.constant(1.0);
+    let mut states = model.sys.states.clone();
+    states.push(clock);
+    // Substitute I_stim by the amplitude (stim mode) or 0 (rest mode).
+    let istim = cx.var_id("I_stim").expect("cardiac models define I_stim");
+    let amp = cx.constant(amplitude);
+    let zero = cx.constant(0.0);
+    let map_on = std::collections::HashMap::from([(istim, amp)]);
+    let map_off = std::collections::HashMap::from([(istim, zero)]);
+    let mut rhs_on: Vec<_> = model
+        .sys
+        .rhs
+        .iter()
+        .map(|&r| cx.subst(r, &map_on))
+        .collect();
+    rhs_on.push(one);
+    let mut rhs_off: Vec<_> = model
+        .sys
+        .rhs
+        .iter()
+        .map(|&r| cx.subst(r, &map_off))
+        .collect();
+    rhs_off.push(one);
+    let guard_expr = cx.parse(&format!("c - {duration}")).unwrap();
+    // Invariant: the stimulus mode cannot outlast its duration (makes the
+    // jump effectively urgent for reachability analyses too).
+    let inv_expr = cx.parse(&format!("{duration} - c")).unwrap();
+    let stim_inv = vec![biocheck_expr::Atom::new(inv_expr, biocheck_expr::RelOp::Ge)];
+    let mut ha = HybridAutomaton::new(cx, states);
+    for (name, v) in carried {
+        ha.add_param(&name, biocheck_interval::Interval::point(v));
+    }
+    let stim = ha.add_mode("stim", rhs_on, stim_inv);
+    let rest = ha.add_mode("rest", rhs_off, vec![]);
+    ha.add_jump(
+        stim,
+        rest,
+        vec![biocheck_expr::Atom::new(guard_expr, biocheck_expr::RelOp::Ge)],
+        vec![],
+    );
+    // Pin the initial state to the model's rest state (clock at 0) so
+    // reachability starts from physiology, not from an arbitrary box.
+    let mut init_atoms = Vec::new();
+    let mut init_vals = model.init.clone();
+    init_vals.push(0.0);
+    for (i, &s) in ha.states.clone().iter().enumerate() {
+        let sn = ha.cx.var_node(s);
+        let c = ha.cx.constant(init_vals[i]);
+        init_atoms.push(biocheck_expr::Atom::eq(&mut ha.cx, sn, c));
+    }
+    ha.set_init(stim, init_atoms);
+    ha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fk_rest_state_is_stable() {
+        let m = fenton_karma();
+        let tr = m.simulate(50.0).unwrap();
+        // Without stimulus u stays near 0.
+        assert!(tr.max_abs(0) < 0.05, "u drifted to {}", tr.max_abs(0));
+    }
+
+    #[test]
+    fn fk_suprathreshold_stimulus_fires_ap() {
+        let m = fenton_karma();
+        let ha = with_stimulus(&m, 0.3, 2.0);
+        let mut init = m.init.clone();
+        init.push(0.0); // clock
+        let traj = ha.simulate_default(&init, 500.0).unwrap();
+        let peak = traj
+            .iter()
+            .map(|(_, s)| s[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 0.8, "AP upstroke expected, peak = {peak}");
+        // And repolarizes by the end.
+        assert!(traj.final_state()[0] < 0.3, "u_end = {}", traj.final_state()[0]);
+    }
+
+    #[test]
+    fn fk_subthreshold_stimulus_filtered() {
+        let m = fenton_karma();
+        let ha = with_stimulus(&m, 0.02, 2.0);
+        let mut init = m.init.clone();
+        init.push(0.0);
+        let traj = ha.simulate_default(&init, 60.0).unwrap();
+        let peak = traj
+            .iter()
+            .map(|(_, s)| s[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak < 0.3, "small stimulus must not trigger an AP, peak = {peak}");
+    }
+
+    #[test]
+    fn bcf_fires_and_repolarizes() {
+        let m = bueno_cherry_fenton();
+        let ha = with_stimulus(&m, 0.5, 2.0);
+        let mut init = m.init.clone();
+        init.push(0.0);
+        let traj = ha.simulate_default(&init, 400.0).unwrap();
+        let peak = traj
+            .iter()
+            .map(|(_, s)| s[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 1.0, "BCF AP peak ≈ 1.4, got {peak}");
+        assert!(traj.final_state()[0] < 0.2, "must repolarize");
+    }
+
+    #[test]
+    fn bcf_ap_duration_reasonable() {
+        // Epicardial APD at this stimulus should be on the order of
+        // 200–350 time units (ms in the paper's units).
+        let m = bueno_cherry_fenton();
+        let ha = with_stimulus(&m, 0.5, 2.0);
+        let mut init = m.init.clone();
+        init.push(0.0);
+        let traj = ha.simulate_default(&init, 500.0).unwrap();
+        let mut above = 0.0;
+        let mut prev_t: Option<f64> = None;
+        for (t, s) in traj.iter() {
+            if let Some(pt) = prev_t {
+                if s[0] > 0.1 {
+                    above += t - pt;
+                }
+            }
+            prev_t = Some(t);
+        }
+        assert!(above > 100.0 && above < 450.0, "APD proxy = {above}");
+    }
+
+    #[test]
+    fn state_indices() {
+        let m = fenton_karma();
+        assert_eq!(m.state_index("u"), Some(0));
+        assert_eq!(m.state_index("w"), Some(2));
+        assert_eq!(m.state_index("zzz"), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! Classic small pathway models used as calibration, SMC, and stability
+//! workloads.
+
+use crate::OdeModel;
+use biocheck_expr::Context;
+use biocheck_ode::OdeSystem;
+
+/// Michaelis–Menten substrate→product conversion: `S' = -Vmax·S/(Km+S)`,
+/// `P' = +Vmax·S/(Km+S)`. Parameters `Vmax`, `Km` exposed for synthesis
+/// (the BioPSy-style calibration workload, experiment E2).
+pub fn michaelis_menten() -> OdeModel {
+    let mut cx = Context::new();
+    let s = cx.intern_var("S");
+    let p = cx.intern_var("P");
+    let _ = cx.intern_var("Vmax");
+    let _ = cx.intern_var("Km");
+    let rate = cx.parse("Vmax*S/(Km + S)").unwrap();
+    let ds = cx.neg(rate);
+    let sys = OdeSystem::new(vec![s, p], vec![ds, rate]);
+    let mut env = vec![0.0; cx.num_vars()];
+    env[cx.var_id("Vmax").unwrap().index()] = 1.0;
+    env[cx.var_id("Km").unwrap().index()] = 0.5;
+    OdeModel {
+        cx,
+        sys,
+        init: vec![10.0, 0.0],
+        env,
+    }
+}
+
+/// The Gardner–Cantor–Collins genetic toggle switch:
+/// `u' = a/(1+v^n) - u`, `v' = a/(1+u^n) - v` — bistable for `a = 4`,
+/// `n = 3`. SMC workload: which basin a random initial state falls into.
+pub fn toggle_switch() -> OdeModel {
+    let mut cx = Context::new();
+    let u = cx.intern_var("u");
+    let v = cx.intern_var("v");
+    let du = cx.parse("4/(1 + v^3) - u").unwrap();
+    let dv = cx.parse("4/(1 + u^3) - v").unwrap();
+    let sys = OdeSystem::new(vec![u, v], vec![du, dv]);
+    OdeModel {
+        env: vec![0.0; cx.num_vars()],
+        cx,
+        sys,
+        init: vec![2.0, 1.0],
+    }
+}
+
+/// The Elowitz–Leibler repressilator (protein-only reduction, 3 species):
+/// `x' = a/(1+z^n) - x` cyclically — sustained oscillations for `a = 10`,
+/// `n = 3`.
+pub fn repressilator() -> OdeModel {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let y = cx.intern_var("y");
+    let z = cx.intern_var("z");
+    let dx = cx.parse("10/(1 + z^3) - x").unwrap();
+    let dy = cx.parse("10/(1 + x^3) - y").unwrap();
+    let dz = cx.parse("10/(1 + y^3) - z").unwrap();
+    let sys = OdeSystem::new(vec![x, y, z], vec![dx, dy, dz]);
+    OdeModel {
+        env: vec![0.0; cx.num_vars()],
+        cx,
+        sys,
+        init: vec![1.0, 1.5, 2.0],
+    }
+}
+
+/// A p53–Mdm2 negative-feedback loop (Geva-Zatorsky model-I style):
+/// `p' = bp - ak·m·p/(p + k)`, `m' = bm·p - am·m`. With the nominal
+/// rates the loop relaxes through damped oscillations — the SMC workload
+/// asks for the probability of an overshoot above a threshold.
+pub fn p53_mdm2() -> OdeModel {
+    let mut cx = Context::new();
+    let p = cx.intern_var("p53");
+    let m = cx.intern_var("mdm2");
+    let dp = cx.parse("0.9 - 1.7*mdm2*p53/(p53 + 0.01)").unwrap();
+    let dm = cx.parse("1.1*p53 - 0.8*mdm2").unwrap();
+    let sys = OdeSystem::new(vec![p, m], vec![dp, dm]);
+    OdeModel {
+        env: vec![0.0; cx.num_vars()],
+        cx,
+        sys,
+        init: vec![0.1, 0.1],
+    }
+}
+
+/// A kinetic-proofreading chain of length `n` (McKeithan): complexes
+/// `c_i` with forward modification rate `kf` and uniform dissociation
+/// `koff`; the input flux into `c_0` is constant. Linear, globally
+/// stable — the Lyapunov workload of experiment E6.
+pub fn kinetic_proofreading(n: usize, kf: f64, koff: f64, input: f64) -> OdeModel {
+    assert!(n >= 1, "chain length must be at least 1");
+    let mut cx = Context::new();
+    let vars: Vec<_> = (0..n)
+        .map(|i| cx.intern_var(&format!("c{i}")))
+        .collect();
+    let mut rhs = Vec::with_capacity(n);
+    for i in 0..n {
+        let src = if i == 0 {
+            format!("{input} - {}*c0", kf + koff)
+        } else {
+            format!("{kf}*c{} - {}*c{i}", i - 1, kf + koff)
+        };
+        rhs.push(cx.parse(&src).unwrap());
+    }
+    let sys = OdeSystem::new(vars, rhs);
+    OdeModel {
+        env: vec![0.0; cx.num_vars()],
+        cx,
+        sys,
+        init: vec![0.0; n],
+    }
+}
+
+/// A Goldbeter–Koshland ultrasensitive switch (ERK-like single-site
+/// activation): `x' = k1·(1-x)/(K1 + 1 - x) - k2·x/(K2 + x)` with `x`
+/// the active fraction. Monostable for the nominal rates — a nonlinear
+/// Lyapunov workload after shifting the equilibrium.
+pub fn goldbeter_koshland() -> OdeModel {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let dx = cx
+        .parse("0.6*(1 - x)/(0.2 + 1 - x) - 1.0*x/(0.2 + x)")
+        .unwrap();
+    let sys = OdeSystem::new(vec![x], vec![dx]);
+    OdeModel {
+        env: vec![0.0; cx.num_vars()],
+        cx,
+        sys,
+        init: vec![0.1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn michaelis_menten_conserves_mass() {
+        let m = michaelis_menten();
+        let tr = m.simulate(20.0).unwrap();
+        let end = tr.last_state();
+        assert!((end[0] + end[1] - 10.0).abs() < 1e-6);
+        assert!(end[0] < 1.0, "substrate mostly consumed");
+    }
+
+    #[test]
+    fn toggle_switch_is_bistable() {
+        let m = toggle_switch();
+        let ode = m.sys.compile(&m.cx);
+        // Start near the u-high basin and the v-high basin.
+        let hi_u = ode.integrate(&m.env, &[2.0, 0.1], (0.0, 50.0)).unwrap();
+        let hi_v = ode.integrate(&m.env, &[0.1, 2.0], (0.0, 50.0)).unwrap();
+        assert!(hi_u.last_state()[0] > 3.0 && hi_u.last_state()[1] < 1.0);
+        assert!(hi_v.last_state()[1] > 3.0 && hi_v.last_state()[0] < 1.0);
+    }
+
+    #[test]
+    fn repressilator_oscillates() {
+        let m = repressilator();
+        let tr = m.simulate(60.0).unwrap();
+        // Count maxima of x over the trace (coarse peak detector).
+        let xs: Vec<f64> = tr.iter().map(|(_, s)| s[0]).collect();
+        let mut peaks = 0;
+        for w in xs.windows(3) {
+            if w[1] > w[0] && w[1] > w[2] && w[1] > 1.5 {
+                peaks += 1;
+            }
+        }
+        assert!(peaks >= 3, "sustained oscillation expected, peaks = {peaks}");
+    }
+
+    #[test]
+    fn p53_loop_stays_positive_and_bounded() {
+        let m = p53_mdm2();
+        let tr = m.simulate(100.0).unwrap();
+        for (_, s) in tr.iter() {
+            assert!(s[0] > -1e-9 && s[1] > -1e-9);
+            assert!(s[0] < 10.0 && s[1] < 10.0);
+        }
+        // p53 overshoots above its steady level early on.
+        let peak = tr.iter().map(|(_, s)| s[0]).fold(0.0, f64::max);
+        let end = tr.last_state()[0];
+        assert!(peak > end, "damped overshoot expected");
+    }
+
+    #[test]
+    fn proofreading_chain_reaches_steady_state() {
+        let m = kinetic_proofreading(3, 1.0, 0.5, 1.0);
+        let tr = m.simulate(40.0).unwrap();
+        let end = tr.last_state();
+        // Steady state: c0 = input/(kf+koff); c_{i} = c_{i-1}·kf/(kf+koff).
+        let c0 = 1.0 / 1.5;
+        assert!((end[0] - c0).abs() < 1e-6);
+        assert!((end[1] - c0 * (1.0 / 1.5)).abs() < 1e-6);
+        assert!(end[2] < end[1] && end[1] < end[0], "attenuating chain");
+    }
+
+    #[test]
+    fn goldbeter_koshland_monostable() {
+        let m = goldbeter_koshland();
+        let ode = m.sys.compile(&m.cx);
+        let a = ode.integrate(&m.env, &[0.05], (0.0, 100.0)).unwrap();
+        let b = ode.integrate(&m.env, &[0.95], (0.0, 100.0)).unwrap();
+        assert!(
+            (a.last_state()[0] - b.last_state()[0]).abs() < 1e-4,
+            "both starts converge to the unique steady state"
+        );
+    }
+}

@@ -1,0 +1,484 @@
+//! Runge–Kutta integrators: classic fixed-step RK4 and the adaptive
+//! Dormand–Prince 5(4) embedded pair.
+
+use crate::system::CompiledOde;
+use crate::trace::Trace;
+use std::error::Error;
+use std::fmt;
+
+/// Integration failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OdeError {
+    /// The right-hand side produced NaN/∞ at time `t`.
+    NonFinite {
+        /// Time at which the derivative blew up.
+        t: f64,
+    },
+    /// Adaptive step control shrank the step below the minimum.
+    StepUnderflow {
+        /// Time at which progress stalled.
+        t: f64,
+    },
+    /// The step budget was exhausted before reaching the end time.
+    TooManySteps {
+        /// Time reached when the budget ran out.
+        t: f64,
+    },
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::NonFinite { t } => write!(f, "non-finite derivative at t = {t}"),
+            OdeError::StepUnderflow { t } => write!(f, "step size underflow at t = {t}"),
+            OdeError::TooManySteps { t } => write!(f, "step budget exhausted at t = {t}"),
+        }
+    }
+}
+
+impl Error for OdeError {}
+
+/// Classic fixed-step fourth-order Runge–Kutta.
+#[derive(Clone, Debug)]
+pub struct Rk4 {
+    /// Step size.
+    pub step: f64,
+}
+
+impl Rk4 {
+    /// Creates an RK4 integrator with the given step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step <= 0`.
+    pub fn new(step: f64) -> Rk4 {
+        assert!(step > 0.0, "step must be positive");
+        Rk4 { step }
+    }
+
+    /// Integrates `ode` from `y0` over `tspan`.
+    ///
+    /// # Errors
+    ///
+    /// [`OdeError::NonFinite`] when the derivative blows up.
+    pub fn integrate(
+        &self,
+        ode: &CompiledOde,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+    ) -> Result<Trace, OdeError> {
+        let (t0, t_end) = tspan;
+        assert!(t_end >= t0, "time span must be forward");
+        let n = ode.dim();
+        let mut env = base_env.to_vec();
+        env.resize(ode.env_len().max(env.len()), 0.0);
+        let mut y = y0.to_vec();
+        let mut t = t0;
+        let mut k1 = vec![0.0; n];
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut tmp = vec![0.0; n];
+
+        ode.deriv(&mut env, &y, t, &mut k1);
+        let mut times = vec![t0];
+        let mut states = vec![y.clone()];
+        let mut derivs = vec![k1.clone()];
+
+        while t < t_end {
+            if t_end - t <= 1e-13 * (1.0 + t_end.abs()) {
+                break;
+            }
+            let h = self.step.min(t_end - t);
+            ode.deriv(&mut env, &y, t, &mut k1);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * h * k1[i];
+            }
+            ode.deriv(&mut env, &tmp, t + 0.5 * h, &mut k2);
+            for i in 0..n {
+                tmp[i] = y[i] + 0.5 * h * k2[i];
+            }
+            ode.deriv(&mut env, &tmp, t + 0.5 * h, &mut k3);
+            for i in 0..n {
+                tmp[i] = y[i] + h * k3[i];
+            }
+            ode.deriv(&mut env, &tmp, t + h, &mut k4);
+            for i in 0..n {
+                y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            }
+            t += h;
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(OdeError::NonFinite { t });
+            }
+            ode.deriv(&mut env, &y, t, &mut k1);
+            times.push(t);
+            states.push(y.clone());
+            derivs.push(k1.clone());
+        }
+        Ok(Trace::new(times, states, derivs))
+    }
+}
+
+/// Dormand–Prince 5(4): adaptive embedded Runge–Kutta with FSAL.
+///
+/// The de-facto standard non-stiff integrator (`ode45`). Tolerances are
+/// combined as `atol + rtol·|y|` per component.
+#[derive(Clone, Debug)]
+pub struct DormandPrince {
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Absolute tolerance.
+    pub atol: f64,
+    /// Initial step (`None` = heuristic).
+    pub h0: Option<f64>,
+    /// Smallest allowed step before reporting [`OdeError::StepUnderflow`].
+    pub h_min: f64,
+    /// Largest allowed step.
+    pub h_max: f64,
+    /// Step budget.
+    pub max_steps: usize,
+}
+
+impl Default for DormandPrince {
+    fn default() -> DormandPrince {
+        DormandPrince {
+            rtol: 1e-8,
+            atol: 1e-10,
+            h0: None,
+            h_min: 1e-12,
+            h_max: f64::INFINITY,
+            max_steps: 10_000_000,
+        }
+    }
+}
+
+// Butcher tableau (Dormand–Prince 5(4)).
+const C: [f64; 7] = [0.0, 1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
+const A: [[f64; 6]; 7] = [
+    [0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+    [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
+    [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
+    [
+        19372.0 / 6561.0,
+        -25360.0 / 2187.0,
+        64448.0 / 6561.0,
+        -212.0 / 729.0,
+        0.0,
+        0.0,
+    ],
+    [
+        9017.0 / 3168.0,
+        -355.0 / 33.0,
+        46732.0 / 5247.0,
+        49.0 / 176.0,
+        -5103.0 / 18656.0,
+        0.0,
+    ],
+    [
+        35.0 / 384.0,
+        0.0,
+        500.0 / 1113.0,
+        125.0 / 192.0,
+        -2187.0 / 6784.0,
+        11.0 / 84.0,
+    ],
+];
+/// 5th-order weights (same as the last A row — FSAL).
+const B5: [f64; 7] = [
+    35.0 / 384.0,
+    0.0,
+    500.0 / 1113.0,
+    125.0 / 192.0,
+    -2187.0 / 6784.0,
+    11.0 / 84.0,
+    0.0,
+];
+/// 4th-order (embedded) weights.
+const B4: [f64; 7] = [
+    5179.0 / 57600.0,
+    0.0,
+    7571.0 / 16695.0,
+    393.0 / 640.0,
+    -92097.0 / 339200.0,
+    187.0 / 2100.0,
+    1.0 / 40.0,
+];
+
+impl DormandPrince {
+    /// Creates an integrator with the given tolerances.
+    pub fn with_tolerances(rtol: f64, atol: f64) -> DormandPrince {
+        DormandPrince {
+            rtol,
+            atol,
+            ..DormandPrince::default()
+        }
+    }
+
+    /// Integrates `ode` from `y0` over `tspan`, returning a dense trace of
+    /// the accepted steps.
+    ///
+    /// # Errors
+    ///
+    /// See [`OdeError`].
+    pub fn integrate(
+        &self,
+        ode: &CompiledOde,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+    ) -> Result<Trace, OdeError> {
+        let (t0, t_end) = tspan;
+        assert!(t_end >= t0, "time span must be forward");
+        let n = ode.dim();
+        let mut env = base_env.to_vec();
+        env.resize(ode.env_len().max(env.len()), 0.0);
+        let mut y = y0.to_vec();
+        let mut t = t0;
+
+        let mut k: Vec<Vec<f64>> = vec![vec![0.0; n]; 7];
+        let mut tmp = vec![0.0; n];
+        ode.deriv(&mut env, &y, t, &mut k[0]);
+        if k[0].iter().any(|v| !v.is_finite()) {
+            return Err(OdeError::NonFinite { t });
+        }
+
+        let mut h = self.h0.unwrap_or_else(|| {
+            // Simple heuristic initial step.
+            let span = (t_end - t0).max(1e-12);
+            (span / 100.0).min(self.h_max).max(self.h_min * 10.0)
+        });
+
+        let mut times = vec![t0];
+        let mut states = vec![y.clone()];
+        let mut derivs = vec![k[0].clone()];
+
+        if t_end == t0 {
+            return Ok(Trace::new(times, states, derivs));
+        }
+
+        let mut steps = 0usize;
+        while t < t_end {
+            // Done up to roundoff: a sub-h_min sliver is not an error.
+            if t_end - t <= 1e-13 * (1.0 + t_end.abs()) {
+                break;
+            }
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(OdeError::TooManySteps { t });
+            }
+            h = h.min(t_end - t).min(self.h_max);
+            if h < self.h_min {
+                return Err(OdeError::StepUnderflow { t });
+            }
+            // Stages 2..7 (stage 1 = FSAL from previous step).
+            for s in 1..7 {
+                for i in 0..n {
+                    let mut acc = 0.0;
+                    for (j, kj) in k.iter().enumerate().take(s) {
+                        acc += A[s][j] * kj[i];
+                    }
+                    tmp[i] = y[i] + h * acc;
+                }
+                let (head, tail) = k.split_at_mut(s);
+                let _ = head;
+                ode.deriv(&mut env, &tmp, t + C[s] * h, &mut tail[0]);
+            }
+            // 5th/4th order solutions and the error estimate.
+            let mut err: f64 = 0.0;
+            let mut y5 = vec![0.0; n];
+            for i in 0..n {
+                let mut s5 = 0.0;
+                let mut s4 = 0.0;
+                for j in 0..7 {
+                    s5 += B5[j] * k[j][i];
+                    s4 += B4[j] * k[j][i];
+                }
+                y5[i] = y[i] + h * s5;
+                let sc = self.atol + self.rtol * y[i].abs().max(y5[i].abs());
+                let e = h * (s5 - s4) / sc;
+                err += e * e;
+            }
+            let err = (err / n as f64).sqrt();
+            if !err.is_finite() {
+                // Derivative blew up inside the step: try a smaller one.
+                h *= 0.25;
+                if h < self.h_min {
+                    return Err(OdeError::NonFinite { t });
+                }
+                ode.deriv(&mut env, &y, t, &mut k[0]);
+                continue;
+            }
+            if err <= 1.0 {
+                // Accept.
+                t += h;
+                y = y5;
+                k[0] = k[6].clone(); // FSAL: k7 = f(t+h, y5)
+                times.push(t);
+                states.push(y.clone());
+                derivs.push(k[0].clone());
+            }
+            // Step-size update (both accept and reject).
+            let factor = if err == 0.0 {
+                5.0
+            } else {
+                (0.9 * err.powf(-0.2)).clamp(0.2, 5.0)
+            };
+            h *= factor;
+        }
+        Ok(Trace::new(times, states, derivs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::OdeSystem;
+    use biocheck_expr::Context;
+
+    fn decay_ode() -> (Context, CompiledOde) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        (cx, ode)
+    }
+
+    fn oscillator_ode() -> (Context, CompiledOde) {
+        // x' = v, v' = -x: circle in phase space.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let v = cx.intern_var("v");
+        let dx = cx.var_node(v);
+        let xv = cx.var_node(x);
+        let dv = cx.neg(xv);
+        let ode = OdeSystem::new(vec![x, v], vec![dx, dv]).compile(&cx);
+        (cx, ode)
+    }
+
+    #[test]
+    fn rk4_exponential_decay() {
+        let (_cx, ode) = decay_ode();
+        let tr = Rk4::new(0.01)
+            .integrate(&ode, &[1.0], &[1.0], (0.0, 2.0))
+            .unwrap();
+        let want = (-2.0f64).exp();
+        assert!((tr.last_state()[0] - want).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dopri_exponential_decay_tight() {
+        let (_cx, ode) = decay_ode();
+        let tr = DormandPrince::with_tolerances(1e-10, 1e-12)
+            .integrate(&ode, &[1.0], &[1.0], (0.0, 5.0))
+            .unwrap();
+        let want = (-5.0f64).exp();
+        assert!((tr.last_state()[0] - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dopri_harmonic_oscillator_period() {
+        let (_cx, ode) = oscillator_ode();
+        let two_pi = 2.0 * std::f64::consts::PI;
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[0.0, 0.0], &[1.0, 0.0], (0.0, two_pi))
+            .unwrap();
+        // After one period: back to (1, 0).
+        assert!((tr.last_state()[0] - 1.0).abs() < 1e-6);
+        assert!(tr.last_state()[1].abs() < 1e-6);
+        // Energy x² + v² conserved along the trace (loosely).
+        for (_, s) in tr.iter() {
+            let e = s[0] * s[0] + s[1] * s[1];
+            assert!((e - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dopri_matches_logistic_closed_form() {
+        // x' = x(1-x), x(0)=0.1 → x(t) = 1/(1+9e^{-t}).
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("x * (1 - x)").unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[0.0], &[0.1], (0.0, 4.0))
+            .unwrap();
+        for (t, s) in tr.iter() {
+            let want = 1.0 / (1.0 + 9.0 * (-t).exp());
+            assert!((s[0] - want).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn dopri_adaptivity_beats_rk4_on_stiff_window() {
+        // x' = -50(x - cos t): fast transient; DoPri should handle it.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let t = cx.intern_var("t");
+        let rhs = cx.parse("-50 * (x - cos(t))").unwrap();
+        let ode = OdeSystem::with_time(vec![x], vec![rhs], t).compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[0.0, 0.0], &[0.0], (0.0, 1.0))
+            .unwrap();
+        assert!(tr.last_state()[0].is_finite());
+        assert!(tr.len() > 10);
+    }
+
+    #[test]
+    fn zero_length_span() {
+        let (_cx, ode) = decay_ode();
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[1.0], &[0.7], (2.0, 2.0))
+            .unwrap();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.last_state()[0], 0.7);
+    }
+
+    #[test]
+    fn blowup_detected() {
+        // x' = x² from 1 blows up at t = 1.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("x^2").unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let r = DormandPrince::default().integrate(&ode, &[0.0], &[1.0], (0.0, 2.0));
+        match r {
+            Err(OdeError::StepUnderflow { t }) | Err(OdeError::NonFinite { t }) => {
+                assert!(t <= 1.1, "must fail near the blow-up, got t = {t}")
+            }
+            Err(OdeError::TooManySteps { .. }) => {}
+            Ok(_) => panic!("integration past a blow-up must fail"),
+        }
+    }
+
+    #[test]
+    fn rk4_error_scales_with_h4() {
+        let (_cx, ode) = decay_ode();
+        let exact = (-1.0f64).exp();
+        let e1 = (Rk4::new(0.1)
+            .integrate(&ode, &[1.0], &[1.0], (0.0, 1.0))
+            .unwrap()
+            .last_state()[0]
+            - exact)
+            .abs();
+        let e2 = (Rk4::new(0.05)
+            .integrate(&ode, &[1.0], &[1.0], (0.0, 1.0))
+            .unwrap()
+            .last_state()[0]
+            - exact)
+            .abs();
+        let ratio = e1 / e2.max(1e-300);
+        assert!(ratio > 10.0, "expected ~16x error reduction, got {ratio}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OdeError::NonFinite { t: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = OdeError::StepUnderflow { t: 0.1 };
+        assert!(e.to_string().contains("underflow"));
+        let e = OdeError::TooManySteps { t: 2.0 };
+        assert!(e.to_string().contains("budget"));
+    }
+}

@@ -1,0 +1,337 @@
+//! ODE system description and its compiled form.
+
+use crate::rk::{DormandPrince, OdeError};
+use crate::trace::Trace;
+use biocheck_expr::{Context, NodeId, Program, VarId};
+
+/// A system `dx/dt = f(x, p, t)` described by expressions in a shared
+/// [`Context`].
+///
+/// `states[i]` is the variable holding the i-th state component and
+/// `rhs[i]` its derivative expression. The right-hand sides may mention
+/// parameter variables (held constant during integration) and, if
+/// `time` is set, the time variable itself (non-autonomous systems).
+#[derive(Clone, Debug)]
+pub struct OdeSystem {
+    /// State variables, fixing the state-vector order.
+    pub states: Vec<VarId>,
+    /// Derivative expressions, one per state.
+    pub rhs: Vec<NodeId>,
+    /// Optional explicit time variable.
+    pub time: Option<VarId>,
+}
+
+impl OdeSystem {
+    /// Creates an autonomous system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `rhs` lengths differ.
+    pub fn new(states: Vec<VarId>, rhs: Vec<NodeId>) -> OdeSystem {
+        assert_eq!(states.len(), rhs.len(), "one rhs per state");
+        OdeSystem {
+            states,
+            rhs,
+            time: None,
+        }
+    }
+
+    /// Creates a non-autonomous system with an explicit time variable.
+    pub fn with_time(states: Vec<VarId>, rhs: Vec<NodeId>, time: VarId) -> OdeSystem {
+        let mut s = OdeSystem::new(states, rhs);
+        s.time = Some(time);
+        s
+    }
+
+    /// State-space dimension.
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The time-reversed system `dx/dt = -f(x)` (for backward reachability).
+    pub fn reversed(&self, cx: &mut Context) -> OdeSystem {
+        let rhs = self.rhs.iter().map(|&e| cx.neg(e)).collect();
+        OdeSystem {
+            states: self.states.clone(),
+            rhs,
+            time: self.time,
+        }
+    }
+
+    /// Compiles the right-hand sides for repeated evaluation.
+    pub fn compile(&self, cx: &Context) -> CompiledOde {
+        CompiledOde {
+            prog: Program::compile(cx, &self.rhs),
+            states: self.states.clone(),
+            time: self.time,
+            env_len: cx.num_vars(),
+        }
+    }
+}
+
+/// A compiled ODE: derivative evaluation without touching the [`Context`].
+///
+/// The environment convention: `env` is indexed by [`VarId`] and must have
+/// at least `env_len` entries; parameter entries are read as-is, state (and
+/// time) entries are overwritten by the integrator.
+#[derive(Clone, Debug)]
+pub struct CompiledOde {
+    pub(crate) prog: Program,
+    pub(crate) states: Vec<VarId>,
+    pub(crate) time: Option<VarId>,
+    pub(crate) env_len: usize,
+}
+
+/// A detected guard crossing during event-aware integration.
+#[derive(Clone, Debug)]
+pub struct EventHit {
+    /// Index of the triggered guard in the `events` slice.
+    pub event: usize,
+    /// Crossing time.
+    pub t: f64,
+    /// State at the crossing.
+    pub state: Vec<f64>,
+}
+
+impl CompiledOde {
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Required environment length.
+    pub fn env_len(&self) -> usize {
+        self.env_len
+    }
+
+    /// The state variables (environment slots).
+    pub fn states(&self) -> &[VarId] {
+        &self.states
+    }
+
+    /// Evaluates `f(y, t)` into `out`, scribbling states/time into `env`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim()` or `env` is too short.
+    pub fn deriv(&self, env: &mut [f64], y: &[f64], t: f64, out: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.states.len());
+        for (&v, &yi) in self.states.iter().zip(y) {
+            env[v.index()] = yi;
+        }
+        if let Some(tv) = self.time {
+            env[tv.index()] = t;
+        }
+        self.prog.eval_into(env, out);
+    }
+
+    /// Convenience: adaptive integration with default tolerances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError`] when the step size collapses or the right-hand
+    /// side produces a non-finite value.
+    pub fn integrate(
+        &self,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+    ) -> Result<Trace, OdeError> {
+        DormandPrince::default().integrate(self, base_env, y0, tspan)
+    }
+
+    /// Adaptive integration that stops at the earliest rising zero-crossing
+    /// of any `events` expression (compiled against the same context).
+    ///
+    /// A guard "fires" when its value passes from negative to ≥ 0 between
+    /// two accepted steps; the crossing is refined by bisection on the
+    /// Hermite interpolant to absolute time tolerance `t_tol`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates integration failures; event search itself cannot fail.
+    pub fn integrate_with_events(
+        &self,
+        cx: &Context,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+        events: &[NodeId],
+        t_tol: f64,
+    ) -> Result<(Trace, Option<EventHit>), OdeError> {
+        let guard_prog = Program::compile(cx, events);
+        let trace = DormandPrince::default().integrate(self, base_env, y0, tspan)?;
+        let mut env = base_env.to_vec();
+        let mut eval_guards = |t: f64, y: &[f64], out: &mut [f64]| {
+            for (&v, &yi) in self.states.iter().zip(y) {
+                env[v.index()] = yi;
+            }
+            if let Some(tv) = self.time {
+                env[tv.index()] = t;
+            }
+            guard_prog.eval_into(&env, out);
+        };
+        if events.is_empty() {
+            return Ok((trace, None));
+        }
+        let m = events.len();
+        let mut prev = vec![0.0; m];
+        let mut cur = vec![0.0; m];
+        eval_guards(trace.times()[0], trace.state(0), &mut prev);
+        for i in 1..trace.len() {
+            eval_guards(trace.times()[i], trace.state(i), &mut cur);
+            // Earliest guard that crossed in this step window.
+            let mut best: Option<(usize, f64)> = None;
+            for g in 0..m {
+                if prev[g] < 0.0 && cur[g] >= 0.0 {
+                    // Bisection on the interpolant.
+                    let (mut lo, mut hi) = (trace.times()[i - 1], trace.times()[i]);
+                    let mut buf = vec![0.0; m];
+                    while hi - lo > t_tol {
+                        let mid = 0.5 * (lo + hi);
+                        let y = trace.value_at(mid);
+                        eval_guards(mid, &y, &mut buf);
+                        if buf[g] >= 0.0 {
+                            hi = mid;
+                        } else {
+                            lo = mid;
+                        }
+                    }
+                    if best.map_or(true, |(_, t)| hi < t) {
+                        best = Some((g, hi));
+                    }
+                }
+            }
+            if let Some((g, t_hit)) = best {
+                let state = trace.value_at(t_hit);
+                let truncated = trace.truncated_at(t_hit);
+                return Ok((
+                    truncated,
+                    Some(EventHit {
+                        event: g,
+                        t: t_hit,
+                        state,
+                    }),
+                ));
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        Ok((trace, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_construction() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        assert_eq!(sys.dim(), 1);
+        let ode = sys.compile(&cx);
+        assert_eq!(ode.dim(), 1);
+        let mut env = vec![0.0; ode.env_len()];
+        let mut out = [0.0];
+        ode.deriv(&mut env, &[3.0], 0.0, &mut out);
+        assert_eq!(out[0], -3.0);
+    }
+
+    #[test]
+    fn parameters_read_from_env() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let _k = cx.intern_var("k");
+        let rhs = cx.parse("-k * x").unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let mut env = vec![0.0, 2.5]; // k = 2.5
+        let mut out = [0.0];
+        ode.deriv(&mut env, &[2.0], 0.0, &mut out);
+        assert_eq!(out[0], -5.0);
+    }
+
+    #[test]
+    fn non_autonomous_time() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let t = cx.intern_var("t");
+        let rhs = cx.parse("t").unwrap(); // dx/dt = t → x = t²/2
+        let sys = OdeSystem::with_time(vec![x], vec![rhs], t);
+        let ode = sys.compile(&cx);
+        let trace = ode.integrate(&[0.0, 0.0], &[0.0], (0.0, 2.0)).unwrap();
+        assert!((trace.last_state()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reversed_field_negates() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let rev = sys.reversed(&mut cx);
+        let ode = rev.compile(&cx);
+        let mut env = vec![0.0];
+        let mut out = [0.0];
+        ode.deriv(&mut env, &[3.0], 0.0, &mut out);
+        assert_eq!(out[0], 3.0);
+    }
+
+    #[test]
+    fn event_detection_linear_crossing() {
+        // dx/dt = 1, event at x - 1 = 0 ⇒ t = 1 from x0 = 0.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let one = cx.constant(1.0);
+        let rhs = vec![one];
+        let ode = OdeSystem::new(vec![x], rhs).compile(&cx);
+        let guard = cx.parse("x - 1").unwrap();
+        let (trace, hit) = ode
+            .integrate_with_events(&cx, &[0.0], &[0.0], (0.0, 5.0), &[guard], 1e-9)
+            .unwrap();
+        let hit = hit.expect("guard must fire");
+        assert_eq!(hit.event, 0);
+        assert!((hit.t - 1.0).abs() < 1e-6, "t = {}", hit.t);
+        assert!((hit.state[0] - 1.0).abs() < 1e-6);
+        assert!((trace.t_end() - hit.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn earliest_of_two_events_wins() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let one = cx.constant(1.0);
+        let ode = OdeSystem::new(vec![x], vec![one]).compile(&cx);
+        let late = cx.parse("x - 2").unwrap();
+        let early = cx.parse("x - 0.5").unwrap();
+        let (_, hit) = ode
+            .integrate_with_events(&cx, &[0.0], &[0.0], (0.0, 5.0), &[late, early], 1e-9)
+            .unwrap();
+        let hit = hit.unwrap();
+        assert_eq!(hit.event, 1);
+        assert!((hit.t - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_event_returns_full_trace() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let one = cx.constant(1.0);
+        let ode = OdeSystem::new(vec![x], vec![one]).compile(&cx);
+        let guard = cx.parse("x - 100").unwrap();
+        let (trace, hit) = ode
+            .integrate_with_events(&cx, &[0.0], &[0.0], (0.0, 2.0), &[guard], 1e-9)
+            .unwrap();
+        assert!(hit.is_none());
+        assert!((trace.t_end() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rhs per state")]
+    fn arity_mismatch_rejected() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let _ = OdeSystem::new(vec![x], vec![]);
+    }
+}

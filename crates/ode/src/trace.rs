@@ -1,0 +1,274 @@
+//! Dense solution traces with Hermite interpolation.
+
+use std::fmt;
+
+/// A numerically integrated trajectory: strictly increasing sample times,
+/// states, and state derivatives (enabling C¹ cubic-Hermite interpolation
+/// between samples).
+#[derive(Clone, PartialEq)]
+pub struct Trace {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+    derivs: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// Builds a trace from parallel arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arrays disagree in length, are empty, or times are
+    /// not strictly increasing.
+    pub fn new(times: Vec<f64>, states: Vec<Vec<f64>>, derivs: Vec<Vec<f64>>) -> Trace {
+        assert!(!times.is_empty(), "a trace needs at least one sample");
+        assert_eq!(times.len(), states.len(), "times/states length mismatch");
+        assert_eq!(times.len(), derivs.len(), "times/derivs length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "times must be strictly increasing"
+        );
+        Trace {
+            times,
+            states,
+            derivs,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when the trace holds a single sample.
+    pub fn is_empty(&self) -> bool {
+        false // an invariant: traces are never sample-free
+    }
+
+    /// State dimension.
+    pub fn dim(&self) -> usize {
+        self.states[0].len()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The i-th state sample.
+    pub fn state(&self, i: usize) -> &[f64] {
+        &self.states[i]
+    }
+
+    /// The i-th derivative sample.
+    pub fn deriv(&self, i: usize) -> &[f64] {
+        &self.derivs[i]
+    }
+
+    /// First time point.
+    pub fn t_start(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last time point.
+    pub fn t_end(&self) -> f64 {
+        *self.times.last().unwrap()
+    }
+
+    /// The final state.
+    pub fn last_state(&self) -> &[f64] {
+        self.states.last().unwrap()
+    }
+
+    /// Iterates over `(t, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.states.iter().map(Vec::as_slice))
+    }
+
+    /// Cubic-Hermite interpolated state at time `t` (clamped to the span).
+    pub fn value_at(&self, t: f64) -> Vec<f64> {
+        let t = t.clamp(self.t_start(), self.t_end());
+        // Find the bracketing segment by binary search.
+        let k = match self
+            .times
+            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
+        {
+            Ok(i) => return self.states[i].clone(),
+            Err(i) => i - 1, // t strictly between times[i-1] and times[i]
+        };
+        let (t0, t1) = (self.times[k], self.times[k + 1]);
+        let h = t1 - t0;
+        let s = (t - t0) / h;
+        let (s2, s3) = (s * s, s * s * s);
+        let h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+        let h10 = s3 - 2.0 * s2 + s;
+        let h01 = -2.0 * s3 + 3.0 * s2;
+        let h11 = s3 - s2;
+        (0..self.dim())
+            .map(|d| {
+                h00 * self.states[k][d]
+                    + h10 * h * self.derivs[k][d]
+                    + h01 * self.states[k + 1][d]
+                    + h11 * h * self.derivs[k + 1][d]
+            })
+            .collect()
+    }
+
+    /// Resamples on a uniform grid with spacing `dt` (plus the endpoint).
+    pub fn sample(&self, dt: f64) -> Vec<(f64, Vec<f64>)> {
+        assert!(dt > 0.0, "sample spacing must be positive");
+        let mut out = Vec::new();
+        let mut t = self.t_start();
+        while t < self.t_end() {
+            out.push((t, self.value_at(t)));
+            t += dt;
+        }
+        out.push((self.t_end(), self.last_state().to_vec()));
+        out
+    }
+
+    /// The prefix of the trace up to `t_cut`, ending exactly at `t_cut`
+    /// (interpolated). Used when an event truncates a simulation.
+    pub fn truncated_at(&self, t_cut: f64) -> Trace {
+        let t_cut = t_cut.clamp(self.t_start(), self.t_end());
+        let mut times = Vec::new();
+        let mut states = Vec::new();
+        let mut derivs = Vec::new();
+        for i in 0..self.len() {
+            if self.times[i] < t_cut {
+                times.push(self.times[i]);
+                states.push(self.states[i].clone());
+                derivs.push(self.derivs[i].clone());
+            } else {
+                break;
+            }
+        }
+        let y = self.value_at(t_cut);
+        // Reuse the nearest derivative for the synthetic endpoint; the
+        // error is O(h) on a quantity only used for interpolation display.
+        let d = self
+            .derivs
+            .get(times.len())
+            .or_else(|| self.derivs.last())
+            .unwrap()
+            .clone();
+        times.push(t_cut);
+        states.push(y);
+        derivs.push(d);
+        Trace::new(times, states, derivs)
+    }
+
+    /// Maximum absolute value of component `d` over the samples.
+    pub fn max_abs(&self, d: usize) -> f64 {
+        self.states
+            .iter()
+            .map(|s| s[d].abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Componentwise extrema `(min, max)` of component `d` over samples.
+    pub fn extrema(&self, d: usize) -> (f64, f64) {
+        self.states.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), s| (lo.min(s[d]), hi.max(s[d])),
+        )
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Trace({} samples, dim {}, t ∈ [{}, {}])",
+            self.len(),
+            self.dim(),
+            self.t_start(),
+            self.t_end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A quadratic x(t) = t² sampled exactly: Hermite must reproduce it.
+    fn quad_trace() -> Trace {
+        let times: Vec<f64> = (0..=10).map(|i| i as f64 * 0.3).collect();
+        let states = times.iter().map(|&t| vec![t * t]).collect();
+        let derivs = times.iter().map(|&t| vec![2.0 * t]).collect();
+        Trace::new(times, states, derivs)
+    }
+
+    #[test]
+    fn hermite_is_exact_on_cubics() {
+        let tr = quad_trace();
+        for k in 0..=30 {
+            let t = 3.0 * k as f64 / 30.0;
+            let v = tr.value_at(t)[0];
+            assert!((v - t * t).abs() < 1e-12, "t={t}: {v}");
+        }
+    }
+
+    #[test]
+    fn value_at_clamps() {
+        let tr = quad_trace();
+        assert_eq!(tr.value_at(-5.0)[0], 0.0);
+        let end = tr.t_end();
+        assert!((tr.value_at(100.0)[0] - end * end).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_sample_hit() {
+        let tr = quad_trace();
+        let v = tr.value_at(0.3)[0];
+        assert!((v - 0.09).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_grid_covers_span() {
+        let tr = quad_trace();
+        let pts = tr.sample(0.25);
+        assert!((pts[0].0 - tr.t_start()).abs() < 1e-12);
+        assert!((pts.last().unwrap().0 - tr.t_end()).abs() < 1e-12);
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn truncation() {
+        let tr = quad_trace();
+        let cut = tr.truncated_at(1.0);
+        assert!((cut.t_end() - 1.0).abs() < 1e-12);
+        assert!((cut.last_state()[0] - 1.0).abs() < 1e-9);
+        assert!(cut.len() <= tr.len() + 1);
+    }
+
+    #[test]
+    fn extrema_and_max_abs() {
+        let tr = Trace::new(
+            vec![0.0, 1.0, 2.0],
+            vec![vec![1.0], vec![-3.0], vec![2.0]],
+            vec![vec![0.0]; 3],
+        );
+        assert_eq!(tr.max_abs(0), 3.0);
+        assert_eq!(tr.extrema(0), (-3.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_rejected() {
+        let _ = Trace::new(
+            vec![0.0, 0.0],
+            vec![vec![1.0], vec![1.0]],
+            vec![vec![0.0], vec![0.0]],
+        );
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = format!("{:?}", quad_trace());
+        assert!(s.contains("samples"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: validated tubes always contain numeric solutions; the
+//! adaptive integrator matches closed forms on random linear systems.
+
+use biocheck_expr::Context;
+use biocheck_interval::{IBox, Interval};
+use biocheck_ode::{DormandPrince, OdeSystem, ValidatedOde};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// dx/dt = a·x has solution x0·e^{a·t}; DoPri must match to tolerance.
+    #[test]
+    fn dopri_matches_linear_closed_form(a in -2.0..0.5f64, x0 in 0.1..3.0f64, t_end in 0.1..3.0f64) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse(&format!("{a} * x")).unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[0.0], &[x0], (0.0, t_end))
+            .unwrap();
+        let want = x0 * (a * t_end).exp();
+        prop_assert!((tr.last_state()[0] - want).abs() < 1e-6 * (1.0 + want.abs()));
+    }
+
+    /// The validated tube from a box of initial states contains the
+    /// numeric trajectory of every sampled member, at every step end.
+    #[test]
+    fn tube_contains_members(
+        a in -1.5..-0.1f64,
+        b in -0.5..0.5f64,
+        lo in 0.4..0.8f64,
+        w in 0.0..0.4f64,
+        frac in 0.0..1.0f64,
+    ) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let y = cx.intern_var("y");
+        // Dissipative coupled system.
+        let r1 = cx.parse(&format!("{a}*x + {b}*y")).unwrap();
+        let r2 = cx.parse(&format!("{b}*x + {a}*y - 0.1*y^3")).unwrap();
+        let sys = OdeSystem::new(vec![x, y], vec![r1, r2]);
+        let vo = ValidatedOde::new(&mut cx, &sys);
+        let co = sys.compile(&cx);
+        let y0_box = IBox::new(vec![
+            Interval::new(lo, lo + w),
+            Interval::new(-0.2, 0.2),
+        ]);
+        let env = IBox::uniform(cx.num_vars(), Interval::ZERO);
+        let tube = vo.flow(&env, &y0_box, 1.0).unwrap();
+        // Pick one member of the initial box.
+        let p = [lo + frac * w, -0.2 + frac * 0.4];
+        let tr = DormandPrince::default()
+            .integrate(&co, &[0.0, 0.0], &p, (0.0, tube.duration()))
+            .unwrap();
+        for s in &tube.steps {
+            let state = tr.value_at(s.t1);
+            prop_assert!(
+                s.end.contains_point(&state),
+                "t={}: {:?} outside {:?}", s.t1, state, s.end
+            );
+        }
+    }
+
+    /// Event time for dx/dt = c crossing threshold θ from 0 is θ/c.
+    #[test]
+    fn event_time_linear(c in 0.2..3.0f64, theta in 0.1..2.0f64) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.constant(c);
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let guard = cx.parse(&format!("x - {theta}")).unwrap();
+        let horizon = theta / c + 1.0;
+        let (_, hit) = ode
+            .integrate_with_events(&cx, &[0.0], &[0.0], (0.0, horizon), &[guard], 1e-10)
+            .unwrap();
+        let hit = hit.expect("must cross");
+        prop_assert!((hit.t - theta / c).abs() < 1e-6);
+    }
+
+    /// Hermite interpolation stays within the sample hull for monotone
+    /// exponential decay (no spurious oscillation).
+    #[test]
+    fn interpolation_bounded_on_decay(x0 in 0.5..2.0f64, t_q in 0.0..2.0f64) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let ode = OdeSystem::new(vec![x], vec![rhs]).compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &[0.0], &[x0], (0.0, 2.0))
+            .unwrap();
+        let v = tr.value_at(t_q)[0];
+        prop_assert!(v <= x0 + 1e-9 && v >= x0 * (-2.0f64).exp() - 1e-9);
+        let exact = x0 * (-t_q).exp();
+        prop_assert!((v - exact).abs() < 1e-6);
+    }
+}

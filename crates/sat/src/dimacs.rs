@@ -1,0 +1,72 @@
+//! Minimal DIMACS CNF reader (for tests and external benchmark instances).
+
+use crate::solver::{Lit, Solver, Var};
+
+/// Parses DIMACS CNF text into a fresh [`Solver`] plus the variable table
+/// (`vars[i]` is DIMACS variable `i+1`).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_dimacs(text: &str) -> Result<(Solver, Vec<Var>), String> {
+    let mut solver = Solver::new();
+    let mut vars: Vec<Var> = Vec::new();
+    let mut clause: Vec<Lit> = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_ascii_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal `{tok}`", ln + 1))?;
+            if v == 0 {
+                solver.add_clause(&clause);
+                clause.clear();
+            } else {
+                let idx = v.unsigned_abs() as usize - 1;
+                while vars.len() <= idx {
+                    vars.push(solver.new_var());
+                }
+                clause.push(Lit::new(vars[idx], v > 0));
+            }
+        }
+    }
+    if !clause.is_empty() {
+        solver.add_clause(&clause);
+    }
+    Ok((solver, vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parses_and_solves() {
+        let txt = "c tiny instance\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let (mut s, vars) = parse_dimacs(txt).unwrap();
+        assert_eq!(vars.len(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let txt = "p cnf 1 2\n1 0\n-1 0\n";
+        let (mut s, _) = parse_dimacs(txt).unwrap();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        assert!(parse_dimacs("1 x 0").is_err());
+    }
+
+    #[test]
+    fn trailing_clause_without_zero() {
+        let (mut s, _) = parse_dimacs("p cnf 1 1\n1").unwrap();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+}

@@ -1,0 +1,29 @@
+//! A compact CDCL SAT solver: the Boolean engine of BioCheck's DPLL(T)
+//! δ-decision procedure.
+//!
+//! Features: two-watched-literal propagation, first-UIP clause learning,
+//! VSIDS-style activity with phase saving, Luby restarts, and incremental
+//! solving under assumptions. Deliberately small — BMC skeletons for
+//! biological hybrid automata are tiny by SAT standards — but complete and
+//! conflict-driven, so the DPLL(T) loop in `biocheck-dsmt` enumerates
+//! theory-consistent Boolean models efficiently.
+//!
+//! # Examples
+//!
+//! ```
+//! use biocheck_sat::{Lit, SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);   // a ∨ b
+//! s.add_clause(&[Lit::neg(a)]);                // ¬a
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod dimacs;
+mod solver;
+
+pub use dimacs::parse_dimacs;
+pub use solver::{Lit, SolveResult, Solver, Var};

@@ -1,0 +1,50 @@
+//! Hand-rolled SBML (Systems Biology Markup Language) support: a small
+//! XML parser, a MathML-subset reader/writer, and conversion of SBML
+//! Level-2 reaction networks to BioCheck ODE systems via mass-balance.
+//!
+//! SBML is the lingua franca for exchanging the single-mode ODE models the
+//! paper calibrates (BioPSy's input format); no third-party XML or SBML
+//! crate is used — the reproduction note requires this to be built from
+//! scratch.
+//!
+//! Supported subset: `listOfCompartments`, `listOfSpecies` (with
+//! `initialConcentration`/`initialAmount` and `boundaryCondition`),
+//! `listOfParameters`, `listOfReactions` with `listOfReactants`,
+//! `listOfProducts`, stoichiometries, and `kineticLaw` MathML (`plus`,
+//! `minus`, `times`, `divide`, `power`, `exp`, `ln`, `sin`, `cos`, …,
+//! `ci`, `cn`). Local reaction parameters are namespaced as
+//! `reactionId.paramId`.
+//!
+//! # Examples
+//!
+//! ```
+//! use biocheck_sbml::SbmlModel;
+//!
+//! let xml = r#"<sbml><model id="decay">
+//!   <listOfSpecies>
+//!     <species id="A" initialConcentration="1.0"/>
+//!   </listOfSpecies>
+//!   <listOfParameters><parameter id="k" value="0.5"/></listOfParameters>
+//!   <listOfReactions>
+//!     <reaction id="deg">
+//!       <listOfReactants><speciesReference species="A"/></listOfReactants>
+//!       <kineticLaw><math><apply><times/><ci>k</ci><ci>A</ci></apply></math></kineticLaw>
+//!     </reaction>
+//!   </listOfReactions>
+//! </model></sbml>"#;
+//! let model = SbmlModel::parse(xml).unwrap();
+//! assert_eq!(model.species.len(), 1);
+//! let (cx, sys, init, _env) = model.to_ode().unwrap();
+//! assert_eq!(sys.dim(), 1);
+//! assert_eq!(init, vec![1.0]);
+//! # let _ = cx;
+//! ```
+
+mod mathml;
+mod model;
+mod write;
+mod xml;
+
+pub use mathml::{expr_to_mathml, mathml_to_expr};
+pub use model::{Reaction, SbmlError, SbmlModel, Species, SpeciesRef};
+pub use xml::{parse_xml, XmlError, XmlNode};

@@ -1,0 +1,275 @@
+//! MathML (content markup) subset: `<apply>` trees ↔ expression nodes.
+
+use crate::model::SbmlError;
+use crate::xml::XmlNode;
+use biocheck_expr::{BinOp, Context, Node, NodeId, UnaryOp};
+
+/// Converts a `<math>` (or `<apply>`/`<ci>`/`<cn>`) node to an expression.
+/// `rename` maps raw identifiers to context variable names (used to
+/// namespace reaction-local parameters).
+pub fn mathml_to_expr(
+    cx: &mut Context,
+    node: &XmlNode,
+    rename: &dyn Fn(&str) -> String,
+) -> Result<NodeId, SbmlError> {
+    match node.local_name() {
+        Some("math") => {
+            let inner = node
+                .elements()
+                .next()
+                .ok_or_else(|| SbmlError::new("empty <math> element"))?;
+            mathml_to_expr(cx, inner, rename)
+        }
+        Some("ci") => {
+            let name = node.text().trim().to_string();
+            if name.is_empty() {
+                return Err(SbmlError::new("empty <ci>"));
+            }
+            Ok(cx.var(&rename(&name)))
+        }
+        Some("cn") => {
+            let text = node.text().trim().to_string();
+            // sbml allows type="e-notation" with <sep/>; we accept the
+            // concatenated mantissa/exponent digits with 'e'.
+            let v: f64 = text
+                .parse()
+                .map_err(|_| SbmlError::new(format!("bad <cn> value `{text}`")))?;
+            Ok(cx.constant(v))
+        }
+        Some("apply") => {
+            let mut parts = node.elements();
+            let op = parts
+                .next()
+                .ok_or_else(|| SbmlError::new("empty <apply>"))?;
+            let args: Vec<NodeId> = parts
+                .map(|a| mathml_to_expr(cx, a, rename))
+                .collect::<Result<_, _>>()?;
+            apply_op(cx, op.local_name().unwrap_or(""), &args)
+        }
+        Some(other) => Err(SbmlError::new(format!(
+            "unsupported MathML element <{other}>"
+        ))),
+        None => Err(SbmlError::new("unexpected text in MathML")),
+    }
+}
+
+fn apply_op(cx: &mut Context, op: &str, args: &[NodeId]) -> Result<NodeId, SbmlError> {
+    let need = |n: usize| -> Result<(), SbmlError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(SbmlError::new(format!(
+                "<{op}> expects {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    };
+    match op {
+        "plus" => Ok(args
+            .iter()
+            .copied()
+            .reduce(|a, b| cx.add(a, b))
+            .unwrap_or_else(|| cx.constant(0.0))),
+        "times" => Ok(args
+            .iter()
+            .copied()
+            .reduce(|a, b| cx.mul(a, b))
+            .unwrap_or_else(|| cx.constant(1.0))),
+        "minus" => match args.len() {
+            1 => Ok(cx.neg(args[0])),
+            2 => Ok(cx.sub(args[0], args[1])),
+            n => Err(SbmlError::new(format!("<minus> expects 1–2 args, got {n}"))),
+        },
+        "divide" => {
+            need(2)?;
+            Ok(cx.div(args[0], args[1]))
+        }
+        "power" => {
+            need(2)?;
+            Ok(cx.pow(args[0], args[1]))
+        }
+        "root" => {
+            need(1)?;
+            Ok(cx.sqrt(args[0]))
+        }
+        "exp" => {
+            need(1)?;
+            Ok(cx.exp(args[0]))
+        }
+        "ln" | "log" => {
+            need(1)?;
+            Ok(cx.ln(args[0]))
+        }
+        "sin" => {
+            need(1)?;
+            Ok(cx.sin(args[0]))
+        }
+        "cos" => {
+            need(1)?;
+            Ok(cx.cos(args[0]))
+        }
+        "tan" => {
+            need(1)?;
+            Ok(cx.tan(args[0]))
+        }
+        "tanh" => {
+            need(1)?;
+            Ok(cx.tanh(args[0]))
+        }
+        "abs" => {
+            need(1)?;
+            Ok(cx.abs(args[0]))
+        }
+        other => Err(SbmlError::new(format!("unsupported MathML op <{other}>"))),
+    }
+}
+
+/// Serializes an expression back to content MathML.
+pub fn expr_to_mathml(cx: &Context, id: NodeId) -> String {
+    let mut s = String::new();
+    write_node(cx, id, &mut s);
+    s
+}
+
+fn write_node(cx: &Context, id: NodeId, out: &mut String) {
+    match *cx.node(id) {
+        Node::Const(v) => {
+            out.push_str(&format!("<cn>{v}</cn>"));
+        }
+        Node::Var(v) => {
+            out.push_str(&format!("<ci>{}</ci>", cx.var_name(v)));
+        }
+        Node::Unary(op, a) => {
+            let tag = match op {
+                UnaryOp::Neg => "minus",
+                UnaryOp::Abs => "abs",
+                UnaryOp::Sqrt => "root",
+                UnaryOp::Exp => "exp",
+                UnaryOp::Ln => "ln",
+                UnaryOp::Sin => "sin",
+                UnaryOp::Cos => "cos",
+                UnaryOp::Tan => "tan",
+                UnaryOp::Asin => "arcsin",
+                UnaryOp::Acos => "arccos",
+                UnaryOp::Atan => "arctan",
+                UnaryOp::Sinh => "sinh",
+                UnaryOp::Cosh => "cosh",
+                UnaryOp::Tanh => "tanh",
+            };
+            out.push_str(&format!("<apply><{tag}/>"));
+            write_node(cx, a, out);
+            out.push_str("</apply>");
+        }
+        Node::Binary(op, a, b) => {
+            let tag = match op {
+                BinOp::Add => "plus",
+                BinOp::Sub => "minus",
+                BinOp::Mul => "times",
+                BinOp::Div => "divide",
+                BinOp::Pow => "power",
+                BinOp::Min | BinOp::Max => {
+                    // No content-MathML primitive; encode via piecewise is
+                    // overkill — reject loudly at write time.
+                    panic!("min/max cannot be serialized to the MathML subset");
+                }
+            };
+            out.push_str(&format!("<apply><{tag}/>"));
+            write_node(cx, a, out);
+            write_node(cx, b, out);
+            out.push_str("</apply>");
+        }
+        Node::PowI(a, k) => {
+            out.push_str("<apply><power/>");
+            write_node(cx, a, out);
+            out.push_str(&format!("<cn>{k}</cn>"));
+            out.push_str("</apply>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::parse_xml;
+
+    fn parse_math(src: &str) -> (Context, NodeId) {
+        let mut cx = Context::new();
+        let node = parse_xml(src).unwrap();
+        let id = mathml_to_expr(&mut cx, &node, &|s| s.to_string()).unwrap();
+        (cx, id)
+    }
+
+    #[test]
+    fn michaelis_menten_rate() {
+        let (cx, id) = parse_math(
+            "<math><apply><divide/>\
+             <apply><times/><ci>Vmax</ci><ci>S</ci></apply>\
+             <apply><plus/><ci>Km</ci><ci>S</ci></apply>\
+             </apply></math>",
+        );
+        // Vmax=2, S=1, Km=0.5 → 2/1.5
+        let vmax = cx.var_id("Vmax").unwrap().index();
+        let s = cx.var_id("S").unwrap().index();
+        let km = cx.var_id("Km").unwrap().index();
+        let mut env = vec![0.0; 3];
+        env[vmax] = 2.0;
+        env[s] = 1.0;
+        env[km] = 0.5;
+        assert!((cx.eval(id, &env) - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unary_minus_and_power() {
+        let (cx, id) = parse_math(
+            "<math><apply><minus/><apply><power/><ci>x</ci><cn>2</cn></apply></apply></math>",
+        );
+        assert_eq!(cx.eval(id, &[3.0]), -9.0);
+    }
+
+    #[test]
+    fn functions() {
+        let (cx, id) = parse_math("<math><apply><exp/><apply><ln/><cn>5</cn></apply></apply></math>");
+        assert!((cx.eval(id, &[]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rename_hook() {
+        let mut cx = Context::new();
+        let node = parse_xml("<math><ci>k</ci></math>").unwrap();
+        let id = mathml_to_expr(&mut cx, &node, &|s| format!("r1.{s}")).unwrap();
+        assert!(cx.var_id("r1.k").is_some());
+        let _ = id;
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let (cx, id) = parse_math(
+            "<math><apply><plus/><apply><times/><ci>a</ci><ci>b</ci></apply><cn>2</cn></apply></math>",
+        );
+        let xml = format!("<math>{}</math>", expr_to_mathml(&cx, id));
+        let mut cx2 = Context::new();
+        let node = parse_xml(&xml).unwrap();
+        let id2 = mathml_to_expr(&mut cx2, &node, &|s| s.to_string()).unwrap();
+        // a=2, b=3 → 8 under both.
+        assert_eq!(cx.eval(id, &[2.0, 3.0]), 8.0);
+        assert_eq!(cx2.eval(id2, &[2.0, 3.0]), 8.0);
+    }
+
+    #[test]
+    fn errors() {
+        let mut cx = Context::new();
+        for bad in [
+            "<math></math>",
+            "<math><apply></apply></math>",
+            "<math><apply><frobnicate/><cn>1</cn></apply></math>",
+            "<math><cn>xyz</cn></math>",
+            "<math><apply><divide/><cn>1</cn></apply></math>",
+        ] {
+            let node = parse_xml(bad).unwrap();
+            assert!(
+                mathml_to_expr(&mut cx, &node, &|s| s.to_string()).is_err(),
+                "{bad} should fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! The SBML data model, document reader, and ODE conversion.
+
+use crate::mathml::mathml_to_expr;
+use crate::xml::{parse_xml, XmlNode};
+use biocheck_expr::Context;
+use biocheck_ode::OdeSystem;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An SBML processing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SbmlError {
+    /// Description.
+    pub message: String,
+}
+
+impl SbmlError {
+    pub(crate) fn new(message: impl Into<String>) -> SbmlError {
+        SbmlError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SbmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sbml error: {}", self.message)
+    }
+}
+
+impl Error for SbmlError {}
+
+impl From<crate::xml::XmlError> for SbmlError {
+    fn from(e: crate::xml::XmlError) -> SbmlError {
+        SbmlError::new(e.to_string())
+    }
+}
+
+/// A chemical species.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Species {
+    /// SBML id.
+    pub id: String,
+    /// Initial concentration (or amount).
+    pub initial: f64,
+    /// Boundary species have fixed concentration (no ODE).
+    pub boundary: bool,
+}
+
+/// A species reference with stoichiometry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeciesRef {
+    /// Referenced species id.
+    pub species: String,
+    /// Stoichiometric coefficient (default 1).
+    pub stoichiometry: f64,
+}
+
+/// A reaction with its kinetic law (stored as MathML text until
+/// conversion, so the model is self-contained).
+#[derive(Clone, Debug)]
+pub struct Reaction {
+    /// SBML id.
+    pub id: String,
+    /// Consumed species.
+    pub reactants: Vec<SpeciesRef>,
+    /// Produced species.
+    pub products: Vec<SpeciesRef>,
+    /// Kinetic-law MathML element.
+    pub kinetic_law: XmlNode,
+    /// Local parameters `(id, value)` (namespaced `reaction.param` in the
+    /// generated ODE context).
+    pub local_params: Vec<(String, f64)>,
+}
+
+/// An SBML model: the subset sufficient for mass-action/Michaelis–Menten
+/// reaction networks.
+#[derive(Clone, Debug, Default)]
+pub struct SbmlModel {
+    /// Model id.
+    pub id: String,
+    /// Species in document order.
+    pub species: Vec<Species>,
+    /// Global parameters `(id, value)`.
+    pub parameters: Vec<(String, f64)>,
+    /// Reactions in document order.
+    pub reactions: Vec<Reaction>,
+}
+
+fn parse_f64_attr(node: &XmlNode, key: &str, default: f64) -> Result<f64, SbmlError> {
+    match node.attr(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| SbmlError::new(format!("bad numeric attribute {key}=\"{v}\""))),
+    }
+}
+
+impl SbmlModel {
+    /// Parses an SBML document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SbmlError`] on malformed XML or unsupported constructs.
+    pub fn parse(src: &str) -> Result<SbmlModel, SbmlError> {
+        let root = parse_xml(src)?;
+        let model = if root.local_name() == Some("model") {
+            root.clone()
+        } else {
+            root.child("model")
+                .ok_or_else(|| SbmlError::new("no <model> element"))?
+                .clone()
+        };
+        let mut out = SbmlModel {
+            id: model.attr("id").unwrap_or("model").to_string(),
+            ..SbmlModel::default()
+        };
+        if let Some(list) = model.child("listOfSpecies") {
+            for sp in list.children_named("species") {
+                let id = sp
+                    .attr("id")
+                    .ok_or_else(|| SbmlError::new("species without id"))?
+                    .to_string();
+                let initial = match sp.attr("initialConcentration") {
+                    Some(_) => parse_f64_attr(sp, "initialConcentration", 0.0)?,
+                    None => parse_f64_attr(sp, "initialAmount", 0.0)?,
+                };
+                let boundary = sp.attr("boundaryCondition") == Some("true");
+                out.species.push(Species {
+                    id,
+                    initial,
+                    boundary,
+                });
+            }
+        }
+        if let Some(list) = model.child("listOfParameters") {
+            for p in list.children_named("parameter") {
+                let id = p
+                    .attr("id")
+                    .ok_or_else(|| SbmlError::new("parameter without id"))?
+                    .to_string();
+                out.parameters.push((id, parse_f64_attr(p, "value", 0.0)?));
+            }
+        }
+        if let Some(list) = model.child("listOfReactions") {
+            for r in list.children_named("reaction") {
+                let id = r
+                    .attr("id")
+                    .ok_or_else(|| SbmlError::new("reaction without id"))?
+                    .to_string();
+                let refs = |kind: &str| -> Result<Vec<SpeciesRef>, SbmlError> {
+                    let mut v = Vec::new();
+                    if let Some(l) = r.child(kind) {
+                        for sr in l.children_named("speciesReference") {
+                            v.push(SpeciesRef {
+                                species: sr
+                                    .attr("species")
+                                    .ok_or_else(|| {
+                                        SbmlError::new("speciesReference without species")
+                                    })?
+                                    .to_string(),
+                                stoichiometry: parse_f64_attr(sr, "stoichiometry", 1.0)?,
+                            });
+                        }
+                    }
+                    Ok(v)
+                };
+                let kl = r
+                    .child("kineticLaw")
+                    .ok_or_else(|| SbmlError::new(format!("reaction `{id}` has no kineticLaw")))?;
+                let math = kl
+                    .child("math")
+                    .ok_or_else(|| SbmlError::new(format!("kineticLaw of `{id}` has no math")))?
+                    .clone();
+                let mut local_params = Vec::new();
+                for lp_list in ["listOfParameters", "listOfLocalParameters"] {
+                    if let Some(l) = kl.child(lp_list) {
+                        for p in l.elements() {
+                            if let Some(pid) = p.attr("id") {
+                                local_params
+                                    .push((pid.to_string(), parse_f64_attr(p, "value", 0.0)?));
+                            }
+                        }
+                    }
+                }
+                out.reactions.push(Reaction {
+                    id,
+                    reactants: refs("listOfReactants")?,
+                    products: refs("listOfProducts")?,
+                    kinetic_law: math,
+                    local_params,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts the reaction network to an ODE system by mass balance:
+    /// `d[s]/dt = Σ_products ν·rate − Σ_reactants ν·rate`. Boundary
+    /// species get zero derivative.
+    ///
+    /// Returns `(context, system, initial state, parameter environment)` —
+    /// the environment has every parameter set at its variable's slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SbmlError`] for unknown species references or unsupported
+    /// kinetic-law MathML.
+    pub fn to_ode(&self) -> Result<(Context, OdeSystem, Vec<f64>, Vec<f64>), SbmlError> {
+        let mut cx = Context::new();
+        // Interning order fixes the environment layout: species first.
+        let state_vars: Vec<_> = self
+            .species
+            .iter()
+            .map(|s| cx.intern_var(&s.id))
+            .collect();
+        for (p, _) in &self.parameters {
+            cx.intern_var(p);
+        }
+        let species_index: HashMap<&str, usize> = self
+            .species
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.as_str(), i))
+            .collect();
+        // Rates per reaction; local params namespaced `reaction.param`.
+        let mut rate_exprs = Vec::new();
+        for r in &self.reactions {
+            let locals: HashMap<&str, &str> = HashMap::new();
+            let _ = locals;
+            let rid = r.id.clone();
+            let local_ids: Vec<String> = r.local_params.iter().map(|(p, _)| p.clone()).collect();
+            let rename = move |name: &str| -> String {
+                if local_ids.iter().any(|l| l == name) {
+                    format!("{rid}.{name}")
+                } else {
+                    name.to_string()
+                }
+            };
+            let rate = mathml_to_expr(&mut cx, &r.kinetic_law, &rename)?;
+            rate_exprs.push(rate);
+            for sr in r.reactants.iter().chain(&r.products) {
+                if !species_index.contains_key(sr.species.as_str()) {
+                    return Err(SbmlError::new(format!(
+                        "reaction `{}` references unknown species `{}`",
+                        r.id, sr.species
+                    )));
+                }
+            }
+        }
+        // Mass balance.
+        let zero = cx.constant(0.0);
+        let mut rhs = vec![zero; self.species.len()];
+        for (r, &rate) in self.reactions.iter().zip(&rate_exprs) {
+            for sr in &r.reactants {
+                let i = species_index[sr.species.as_str()];
+                let nu = cx.constant(sr.stoichiometry);
+                let term = cx.mul(nu, rate);
+                rhs[i] = cx.sub(rhs[i], term);
+            }
+            for sr in &r.products {
+                let i = species_index[sr.species.as_str()];
+                let nu = cx.constant(sr.stoichiometry);
+                let term = cx.mul(nu, rate);
+                rhs[i] = cx.add(rhs[i], term);
+            }
+        }
+        for (i, s) in self.species.iter().enumerate() {
+            if s.boundary {
+                rhs[i] = zero;
+            }
+        }
+        // Parameter environment.
+        let mut env = vec![0.0; cx.num_vars()];
+        for (p, v) in &self.parameters {
+            if let Some(id) = cx.var_id(p) {
+                env[id.index()] = *v;
+            }
+        }
+        for r in &self.reactions {
+            for (p, v) in &r.local_params {
+                if let Some(id) = cx.var_id(&format!("{}.{}", r.id, p)) {
+                    env[id.index()] = *v;
+                }
+            }
+        }
+        // Boundary species feed their fixed value through the env too
+        // (their var appears in rate laws).
+        for (i, s) in self.species.iter().enumerate() {
+            env[state_vars[i].index()] = s.initial;
+        }
+        let init = self.species.iter().map(|s| s.initial).collect();
+        Ok((cx, OdeSystem::new(state_vars, rhs), init, env))
+    }
+
+    /// Looks up a species index by id.
+    pub fn species_index(&self, id: &str) -> Option<usize> {
+        self.species.iter().position(|s| s.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_ode::DormandPrince;
+
+    const ENZYME: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+    <sbml xmlns="http://www.sbml.org/sbml/level2" level="2" version="4">
+      <model id="mm">
+        <listOfSpecies>
+          <species id="S" initialConcentration="10"/>
+          <species id="P" initialConcentration="0"/>
+        </listOfSpecies>
+        <listOfParameters>
+          <parameter id="Vmax" value="2"/>
+          <parameter id="Km" value="0.5"/>
+        </listOfParameters>
+        <listOfReactions>
+          <reaction id="conv">
+            <listOfReactants><speciesReference species="S"/></listOfReactants>
+            <listOfProducts><speciesReference species="P"/></listOfProducts>
+            <kineticLaw>
+              <math xmlns="http://www.w3.org/1998/Math/MathML">
+                <apply><divide/>
+                  <apply><times/><ci>Vmax</ci><ci>S</ci></apply>
+                  <apply><plus/><ci>Km</ci><ci>S</ci></apply>
+                </apply>
+              </math>
+            </kineticLaw>
+          </reaction>
+        </listOfReactions>
+      </model>
+    </sbml>"#;
+
+    #[test]
+    fn parses_enzyme_model() {
+        let m = SbmlModel::parse(ENZYME).unwrap();
+        assert_eq!(m.id, "mm");
+        assert_eq!(m.species.len(), 2);
+        assert_eq!(m.parameters.len(), 2);
+        assert_eq!(m.reactions.len(), 1);
+        assert_eq!(m.reactions[0].reactants[0].species, "S");
+        assert_eq!(m.species_index("P"), Some(1));
+    }
+
+    #[test]
+    fn ode_conversion_conserves_mass() {
+        let m = SbmlModel::parse(ENZYME).unwrap();
+        let (cx, sys, init, env) = m.to_ode().unwrap();
+        assert_eq!(init, vec![10.0, 0.0]);
+        let ode = sys.compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &env, &init, (0.0, 3.0))
+            .unwrap();
+        // S decreases, P increases, S + P conserved.
+        let end = tr.last_state();
+        assert!(end[0] < 10.0 && end[1] > 0.0);
+        assert!((end[0] + end[1] - 10.0).abs() < 1e-6);
+        // Rate at t = 0 is Vmax·S/(Km+S) = 2·10/10.5.
+        let mut env2 = env.clone();
+        let mut out = [0.0, 0.0];
+        ode.deriv(&mut env2, &init, 0.0, &mut out);
+        assert!((out[1] - 2.0 * 10.0 / 10.5).abs() < 1e-12);
+        assert!((out[0] + out[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_species_fixed() {
+        let src = r#"<sbml><model id="b">
+          <listOfSpecies>
+            <species id="A" initialConcentration="5" boundaryCondition="true"/>
+            <species id="B" initialConcentration="0"/>
+          </listOfSpecies>
+          <listOfReactions>
+            <reaction id="r">
+              <listOfReactants><speciesReference species="A"/></listOfReactants>
+              <listOfProducts><speciesReference species="B"/></listOfProducts>
+              <kineticLaw><math><apply><times/><cn>0.1</cn><ci>A</ci></apply></math></kineticLaw>
+            </reaction>
+          </listOfReactions>
+        </model></sbml>"#;
+        let m = SbmlModel::parse(src).unwrap();
+        let (cx, sys, init, env) = m.to_ode().unwrap();
+        let ode = sys.compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &env, &init, (0.0, 2.0))
+            .unwrap();
+        // A pinned at 5 → B grows linearly at rate 0.5.
+        assert!((tr.last_state()[0] - 5.0).abs() < 1e-9);
+        assert!((tr.last_state()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn local_parameters_namespaced() {
+        let src = r#"<sbml><model id="l">
+          <listOfSpecies><species id="X" initialConcentration="1"/></listOfSpecies>
+          <listOfReactions>
+            <reaction id="deg">
+              <listOfReactants><speciesReference species="X"/></listOfReactants>
+              <kineticLaw>
+                <math><apply><times/><ci>k</ci><ci>X</ci></apply></math>
+                <listOfParameters><parameter id="k" value="0.7"/></listOfParameters>
+              </kineticLaw>
+            </reaction>
+          </listOfReactions>
+        </model></sbml>"#;
+        let m = SbmlModel::parse(src).unwrap();
+        let (cx, sys, init, env) = m.to_ode().unwrap();
+        let k = cx.var_id("deg.k").expect("namespaced local param");
+        assert_eq!(env[k.index()], 0.7);
+        let ode = sys.compile(&cx);
+        let tr = DormandPrince::default()
+            .integrate(&ode, &env, &init, (0.0, 1.0))
+            .unwrap();
+        assert!((tr.last_state()[0] - (-0.7f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stoichiometry_respected() {
+        // 2A → B at rate k·A: dA/dt = -2kA, dB/dt = +kA.
+        let src = r#"<sbml><model id="s">
+          <listOfSpecies>
+            <species id="A" initialConcentration="1"/>
+            <species id="B" initialConcentration="0"/>
+          </listOfSpecies>
+          <listOfParameters><parameter id="k" value="1"/></listOfParameters>
+          <listOfReactions>
+            <reaction id="dimer">
+              <listOfReactants><speciesReference species="A" stoichiometry="2"/></listOfReactants>
+              <listOfProducts><speciesReference species="B"/></listOfProducts>
+              <kineticLaw><math><apply><times/><ci>k</ci><ci>A</ci></apply></math></kineticLaw>
+            </reaction>
+          </listOfReactions>
+        </model></sbml>"#;
+        let m = SbmlModel::parse(src).unwrap();
+        let (cx, sys, init, env) = m.to_ode().unwrap();
+        let ode = sys.compile(&cx);
+        let mut env2 = env.clone();
+        let mut out = [0.0, 0.0];
+        ode.deriv(&mut env2, &init, 0.0, &mut out);
+        assert_eq!(out[0], -2.0);
+        assert_eq!(out[1], 1.0);
+    }
+
+    #[test]
+    fn errors_informative() {
+        assert!(SbmlModel::parse("<sbml></sbml>")
+            .unwrap_err()
+            .message
+            .contains("model"));
+        let no_kl = r#"<sbml><model id="x">
+          <listOfSpecies><species id="A" initialConcentration="1"/></listOfSpecies>
+          <listOfReactions><reaction id="r"/></listOfReactions>
+        </model></sbml>"#;
+        assert!(SbmlModel::parse(no_kl)
+            .unwrap_err()
+            .message
+            .contains("kineticLaw"));
+        let bad_ref = r#"<sbml><model id="x">
+          <listOfSpecies><species id="A" initialConcentration="1"/></listOfSpecies>
+          <listOfReactions><reaction id="r">
+            <listOfReactants><speciesReference species="ZZZ"/></listOfReactants>
+            <kineticLaw><math><cn>1</cn></math></kineticLaw>
+          </reaction></listOfReactions>
+        </model></sbml>"#;
+        let m = SbmlModel::parse(bad_ref).unwrap();
+        assert!(m.to_ode().unwrap_err().message.contains("unknown species"));
+    }
+}

@@ -1,0 +1,182 @@
+//! SBML serialization (enough for a faithful parse→write→parse round trip
+//! of the supported subset).
+
+use crate::model::SbmlModel;
+use crate::xml::XmlNode;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn write_xml_node(node: &XmlNode, out: &mut String) {
+    match node {
+        XmlNode::Text(t) => out.push_str(&escape(t)),
+        XmlNode::Element {
+            name,
+            attrs,
+            children,
+        } => {
+            let _ = write!(out, "<{name}");
+            for (k, v) in attrs {
+                let _ = write!(out, " {k}=\"{}\"", escape(v));
+            }
+            if children.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for c in children {
+                    write_xml_node(c, out);
+                }
+                let _ = write!(out, "</{name}>");
+            }
+        }
+    }
+}
+
+impl SbmlModel {
+    /// Serializes the model back to SBML XML.
+    pub fn to_xml(&self) -> String {
+        let mut s = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        let _ = writeln!(
+            s,
+            "<sbml xmlns=\"http://www.sbml.org/sbml/level2\" level=\"2\" version=\"4\">"
+        );
+        let _ = writeln!(s, "  <model id=\"{}\">", escape(&self.id));
+        if !self.species.is_empty() {
+            let _ = writeln!(s, "    <listOfSpecies>");
+            for sp in &self.species {
+                let _ = write!(
+                    s,
+                    "      <species id=\"{}\" initialConcentration=\"{}\"",
+                    escape(&sp.id),
+                    sp.initial
+                );
+                if sp.boundary {
+                    let _ = write!(s, " boundaryCondition=\"true\"");
+                }
+                let _ = writeln!(s, "/>");
+            }
+            let _ = writeln!(s, "    </listOfSpecies>");
+        }
+        if !self.parameters.is_empty() {
+            let _ = writeln!(s, "    <listOfParameters>");
+            for (id, v) in &self.parameters {
+                let _ = writeln!(s, "      <parameter id=\"{}\" value=\"{v}\"/>", escape(id));
+            }
+            let _ = writeln!(s, "    </listOfParameters>");
+        }
+        if !self.reactions.is_empty() {
+            let _ = writeln!(s, "    <listOfReactions>");
+            for r in &self.reactions {
+                let _ = writeln!(s, "      <reaction id=\"{}\">", escape(&r.id));
+                if !r.reactants.is_empty() {
+                    let _ = writeln!(s, "        <listOfReactants>");
+                    for sr in &r.reactants {
+                        let _ = writeln!(
+                            s,
+                            "          <speciesReference species=\"{}\" stoichiometry=\"{}\"/>",
+                            escape(&sr.species),
+                            sr.stoichiometry
+                        );
+                    }
+                    let _ = writeln!(s, "        </listOfReactants>");
+                }
+                if !r.products.is_empty() {
+                    let _ = writeln!(s, "        <listOfProducts>");
+                    for sr in &r.products {
+                        let _ = writeln!(
+                            s,
+                            "          <speciesReference species=\"{}\" stoichiometry=\"{}\"/>",
+                            escape(&sr.species),
+                            sr.stoichiometry
+                        );
+                    }
+                    let _ = writeln!(s, "        </listOfProducts>");
+                }
+                let _ = write!(s, "        <kineticLaw>");
+                write_xml_node(&r.kinetic_law, &mut s);
+                if !r.local_params.is_empty() {
+                    let _ = write!(s, "<listOfParameters>");
+                    for (id, v) in &r.local_params {
+                        let _ = write!(s, "<parameter id=\"{}\" value=\"{v}\"/>", escape(id));
+                    }
+                    let _ = write!(s, "</listOfParameters>");
+                }
+                let _ = writeln!(s, "</kineticLaw>");
+                let _ = writeln!(s, "      </reaction>");
+            }
+            let _ = writeln!(s, "    </listOfReactions>");
+        }
+        let _ = writeln!(s, "  </model>");
+        let _ = writeln!(s, "</sbml>");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"<sbml><model id="rt">
+      <listOfSpecies>
+        <species id="A" initialConcentration="2"/>
+        <species id="B" initialConcentration="0" boundaryCondition="true"/>
+      </listOfSpecies>
+      <listOfParameters><parameter id="k" value="0.25"/></listOfParameters>
+      <listOfReactions>
+        <reaction id="r1">
+          <listOfReactants><speciesReference species="A" stoichiometry="2"/></listOfReactants>
+          <listOfProducts><speciesReference species="B"/></listOfProducts>
+          <kineticLaw>
+            <math><apply><times/><ci>k</ci><apply><power/><ci>A</ci><cn>2</cn></apply></apply></math>
+            <listOfParameters><parameter id="kl" value="3"/></listOfParameters>
+          </kineticLaw>
+        </reaction>
+      </listOfReactions>
+    </model></sbml>"#;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let m1 = SbmlModel::parse(SRC).unwrap();
+        let xml = m1.to_xml();
+        let m2 = SbmlModel::parse(&xml).unwrap();
+        assert_eq!(m1.id, m2.id);
+        assert_eq!(m1.species, m2.species);
+        assert_eq!(m1.parameters, m2.parameters);
+        assert_eq!(m1.reactions.len(), m2.reactions.len());
+        assert_eq!(m1.reactions[0].reactants, m2.reactions[0].reactants);
+        assert_eq!(m1.reactions[0].local_params, m2.reactions[0].local_params);
+    }
+
+    #[test]
+    fn roundtrip_preserves_dynamics() {
+        let m1 = SbmlModel::parse(SRC).unwrap();
+        let m2 = SbmlModel::parse(&m1.to_xml()).unwrap();
+        let (cx1, sys1, init1, env1) = m1.to_ode().unwrap();
+        let (cx2, sys2, init2, env2) = m2.to_ode().unwrap();
+        assert_eq!(init1, init2);
+        let o1 = sys1.compile(&cx1);
+        let o2 = sys2.compile(&cx2);
+        let mut e1 = env1.clone();
+        let mut e2 = env2.clone();
+        let mut d1 = vec![0.0; 2];
+        let mut d2 = vec![0.0; 2];
+        o1.deriv(&mut e1, &init1, 0.0, &mut d1);
+        o2.deriv(&mut e2, &init2, 0.0, &mut d2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn escaping() {
+        let mut m = SbmlModel::parse(SRC).unwrap();
+        m.id = "a<b&c".into();
+        let xml = m.to_xml();
+        assert!(xml.contains("a&lt;b&amp;c"));
+        let m2 = SbmlModel::parse(&xml).unwrap();
+        assert_eq!(m2.id, "a<b&c");
+    }
+}

@@ -1,0 +1,382 @@
+//! A small, dependency-free XML parser: elements, attributes, text,
+//! comments, processing instructions, and the five predefined entities.
+
+use std::error::Error;
+use std::fmt;
+
+/// An XML tree node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum XmlNode {
+    /// An element with its attributes and children.
+    Element {
+        /// Tag name (namespace prefixes retained verbatim).
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Child nodes.
+        children: Vec<XmlNode>,
+    },
+    /// Character data (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+impl XmlNode {
+    /// The element name, if this is an element.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            XmlNode::Element { name, .. } => Some(name),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// Attribute lookup (also tries the local name after a `:` prefix).
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        match self {
+            XmlNode::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(k, _)| k == key || k.rsplit(':').next() == Some(key))
+                .map(|(_, v)| v.as_str()),
+            XmlNode::Text(_) => None,
+        }
+    }
+
+    /// Child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &XmlNode> {
+        match self {
+            XmlNode::Element { children, .. } => children.iter(),
+            XmlNode::Text(_) => [].iter(),
+        }
+        .filter(|c| matches!(c, XmlNode::Element { .. }))
+    }
+
+    /// First child element with the given (local) name.
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.elements()
+            .find(|e| e.local_name() == Some(name))
+    }
+
+    /// All child elements with the given (local) name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.elements()
+            .filter(move |e| e.local_name() == Some(name))
+    }
+
+    /// The element name with any namespace prefix stripped.
+    pub fn local_name(&self) -> Option<&str> {
+        self.name().map(|n| n.rsplit(':').next().unwrap_or(n))
+    }
+
+    /// Concatenated text content of direct children.
+    pub fn text(&self) -> String {
+        match self {
+            XmlNode::Text(t) => t.clone(),
+            XmlNode::Element { children, .. } => children
+                .iter()
+                .filter_map(|c| match c {
+                    XmlNode::Text(t) => Some(t.as_str()),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An XML syntax error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl Error for XmlError {}
+
+fn err(position: usize, message: impl Into<String>) -> XmlError {
+    XmlError {
+        position,
+        message: message.into(),
+    }
+}
+
+fn decode_entities(s: &str, at: usize) -> Result<String, XmlError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| err(at, "unterminated entity"))?;
+        let ent = &rest[1..semi];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| err(at, format!("bad character reference `{ent}`")))?;
+                out.push(char::from_u32(code).ok_or_else(|| err(at, "invalid code point"))?);
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| err(at, format!("bad character reference `{ent}`")))?;
+                out.push(char::from_u32(code).ok_or_else(|| err(at, "invalid code point"))?);
+            }
+            _ => return Err(err(at, format!("unknown entity `&{ent};`"))),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn bytes(&self) -> &[u8] {
+        self.src.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                let end = self.src[self.pos..]
+                    .find("?>")
+                    .ok_or_else(|| err(self.pos, "unterminated processing instruction"))?;
+                self.pos += end + 2;
+            } else if self.starts_with("<!--") {
+                let end = self.src[self.pos..]
+                    .find("-->")
+                    .ok_or_else(|| err(self.pos, "unterminated comment"))?;
+                self.pos += end + 3;
+            } else if self.starts_with("<!") {
+                // DOCTYPE and friends: skip to the closing '>'.
+                let end = self.src[self.pos..]
+                    .find('>')
+                    .ok_or_else(|| err(self.pos, "unterminated declaration"))?;
+                self.pos += end + 1;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let c = c as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | ':' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(err(start, "expected a name"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn read_attrs(&mut self) -> Result<Vec<(String, String)>, XmlError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | Some(b'?') | None => return Ok(attrs),
+                _ => {}
+            }
+            let key = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return Err(err(self.pos, format!("expected `=` after attribute `{key}`")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return Err(err(self.pos, "expected quoted attribute value")),
+            };
+            self.pos += 1;
+            let start = self.pos;
+            while self.peek() != Some(quote) {
+                if self.peek().is_none() {
+                    return Err(err(start, "unterminated attribute value"));
+                }
+                self.pos += 1;
+            }
+            let raw = &self.src[start..self.pos];
+            self.pos += 1;
+            attrs.push((key, decode_entities(raw, start)?));
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(err(self.pos, "expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.read_name()?;
+        let attrs = self.read_attrs()?;
+        self.skip_ws();
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok(XmlNode::Element {
+                name,
+                attrs,
+                children: Vec::new(),
+            });
+        }
+        if self.peek() != Some(b'>') {
+            return Err(err(self.pos, format!("malformed start tag `{name}`")));
+        }
+        self.pos += 1;
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.read_name()?;
+                if close != name {
+                    return Err(err(
+                        self.pos,
+                        format!("mismatched end tag `</{close}>` for `<{name}>`"),
+                    ));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(err(self.pos, "malformed end tag"));
+                }
+                self.pos += 1;
+                return Ok(XmlNode::Element {
+                    name,
+                    attrs,
+                    children,
+                });
+            } else if self.starts_with("<!--") {
+                let end = self.src[self.pos..]
+                    .find("-->")
+                    .ok_or_else(|| err(self.pos, "unterminated comment"))?;
+                self.pos += end + 3;
+            } else if self.peek() == Some(b'<') {
+                children.push(self.parse_element()?);
+            } else if self.peek().is_none() {
+                return Err(err(self.pos, format!("unclosed element `<{name}>`")));
+            } else {
+                let start = self.pos;
+                while self.peek().is_some() && self.peek() != Some(b'<') {
+                    self.pos += 1;
+                }
+                let text = decode_entities(&self.src[start..self.pos], start)?;
+                if !text.trim().is_empty() {
+                    children.push(XmlNode::Text(text));
+                }
+            }
+        }
+    }
+}
+
+/// Parses an XML document, returning its root element.
+///
+/// # Errors
+///
+/// Returns an [`XmlError`] describing the first syntax error.
+pub fn parse_xml(src: &str) -> Result<XmlNode, XmlError> {
+    let mut p = Parser { src, pos: 0 };
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos != src.len() {
+        return Err(err(p.pos, "trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_document() {
+        let root = parse_xml(r#"<?xml version="1.0"?><a x="1"><b/>text<c y="2">inner</c></a>"#)
+            .unwrap();
+        assert_eq!(root.name(), Some("a"));
+        assert_eq!(root.attr("x"), Some("1"));
+        assert_eq!(root.elements().count(), 2);
+        assert_eq!(root.child("c").unwrap().text(), "inner");
+        assert_eq!(root.child("c").unwrap().attr("y"), Some("2"));
+        assert!(root.child("zzz").is_none());
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let root = parse_xml(r#"<e a="&lt;&amp;&gt;">&quot;x&apos; &#65;&#x42;</e>"#).unwrap();
+        assert_eq!(root.attr("a"), Some("<&>"));
+        assert_eq!(root.text(), "\"x' AB");
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let root = parse_xml(
+            "<!DOCTYPE sbml><!-- hello --><r><!-- inner --><x/></r><!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(root.elements().count(), 1);
+    }
+
+    #[test]
+    fn namespaced_names() {
+        let root = parse_xml(r#"<math:apply xmlns:math="m"><math:ci>k</math:ci></math:apply>"#)
+            .unwrap();
+        assert_eq!(root.local_name(), Some("apply"));
+        assert_eq!(root.child("ci").unwrap().text(), "k");
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_xml("<a><b></a>").is_err()); // mismatched
+        assert!(parse_xml("<a>").is_err()); // unclosed
+        assert!(parse_xml("<a x=1/>").is_err()); // unquoted attr
+        assert!(parse_xml("<a/><b/>").is_err()); // two roots
+        assert!(parse_xml("<a>&bogus;</a>").is_err()); // unknown entity
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let root = parse_xml("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(root.elements().count(), 1);
+        match &root {
+            XmlNode::Element { children, .. } => assert_eq!(children.len(), 1),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Sequential and fixed-sample statistical tests.
+
+/// Outcome of the SPRT.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SprtOutcome {
+    /// `H₀: p ≥ θ + δ` accepted (the property holds with probability ≥ θ).
+    AcceptH0,
+    /// `H₁: p ≤ θ − δ` accepted.
+    AcceptH1,
+    /// The sample budget ran out inside the indifference region.
+    Inconclusive,
+}
+
+/// Result of a sequential probability ratio test.
+#[derive(Copy, Clone, Debug)]
+pub struct SprtResult {
+    /// The verdict.
+    pub outcome: SprtOutcome,
+    /// Samples consumed.
+    pub samples: usize,
+    /// Empirical satisfaction fraction among those samples.
+    pub p_hat: f64,
+}
+
+/// Wald's SPRT for `H₀: p ≥ θ+δ` vs `H₁: p ≤ θ−δ` with type-I/II error
+/// bounds `alpha`/`beta` and indifference half-width `indiff`.
+///
+/// # Panics
+///
+/// Panics on degenerate arguments (`θ ± δ` outside `(0,1)`, non-positive
+/// error levels).
+pub fn sprt<F: FnMut() -> bool>(
+    mut sample: F,
+    theta: f64,
+    indiff: f64,
+    alpha: f64,
+    beta: f64,
+    max_samples: usize,
+) -> SprtResult {
+    let p0 = theta + indiff; // boundary of H0
+    let p1 = theta - indiff; // boundary of H1
+    assert!(
+        p1 > 0.0 && p0 < 1.0,
+        "theta ± indiff must stay inside (0, 1)"
+    );
+    assert!(alpha > 0.0 && beta > 0.0, "error levels must be positive");
+    let accept_h1 = ((1.0 - beta) / alpha).ln();
+    let accept_h0 = (beta / (1.0 - alpha)).ln();
+    let l_pos = (p1 / p0).ln(); // contribution of a success to log LR(H1/H0)
+    let l_neg = ((1.0 - p1) / (1.0 - p0)).ln();
+    let mut llr = 0.0;
+    let mut hits = 0usize;
+    for n in 1..=max_samples {
+        let x = sample();
+        if x {
+            hits += 1;
+            llr += l_pos;
+        } else {
+            llr += l_neg;
+        }
+        if llr >= accept_h1 {
+            return SprtResult {
+                outcome: SprtOutcome::AcceptH1,
+                samples: n,
+                p_hat: hits as f64 / n as f64,
+            };
+        }
+        if llr <= accept_h0 {
+            return SprtResult {
+                outcome: SprtOutcome::AcceptH0,
+                samples: n,
+                p_hat: hits as f64 / n as f64,
+            };
+        }
+    }
+    SprtResult {
+        outcome: SprtOutcome::Inconclusive,
+        samples: max_samples,
+        p_hat: hits as f64 / max_samples as f64,
+    }
+}
+
+/// A probability estimate with its guarantee parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct Estimate {
+    /// Point estimate.
+    pub p_hat: f64,
+    /// Samples used.
+    pub samples: usize,
+    /// Half-width of the reported interval.
+    pub half_width: f64,
+    /// Confidence level of the interval.
+    pub confidence: f64,
+}
+
+/// Chernoff–Hoeffding estimation: `n = ⌈ln(2/δ) / (2ε²)⌉` samples give
+/// `P(|p̂ − p| > ε) ≤ δ`.
+///
+/// # Panics
+///
+/// Panics unless `0 < eps < 1` and `0 < delta < 1`.
+pub fn chernoff_estimate<F: FnMut() -> bool>(mut sample: F, eps: f64, delta: f64) -> Estimate {
+    assert!(eps > 0.0 && eps < 1.0, "eps in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    let n = ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize;
+    let mut hits = 0usize;
+    for _ in 0..n {
+        if sample() {
+            hits += 1;
+        }
+    }
+    Estimate {
+        p_hat: hits as f64 / n as f64,
+        samples: n,
+        half_width: eps,
+        confidence: 1.0 - delta,
+    }
+}
+
+/// Bayesian estimation with a `Beta(1, 1)` prior: samples until the
+/// (normal-approximated) credible interval at `confidence` is narrower
+/// than `2·half_width`, or the budget runs out.
+///
+/// # Panics
+///
+/// Panics on out-of-range arguments.
+pub fn bayes_estimate<F: FnMut() -> bool>(
+    mut sample: F,
+    half_width: f64,
+    confidence: f64,
+    max_samples: usize,
+) -> Estimate {
+    assert!(half_width > 0.0 && half_width < 0.5, "half_width in (0, 0.5)");
+    assert!(confidence > 0.5 && confidence < 1.0, "confidence in (0.5, 1)");
+    // Two-sided z for the requested coverage (rational approximation of
+    // the probit function, Beasley–Springer–Moro style coefficients).
+    let z = probit(0.5 + confidence / 2.0);
+    let mut a = 1.0f64; // successes + 1
+    let mut b = 1.0f64; // failures + 1
+    let mut n = 0usize;
+    while n < max_samples {
+        if sample() {
+            a += 1.0;
+        } else {
+            b += 1.0;
+        }
+        n += 1;
+        let mean = a / (a + b);
+        let var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
+        if n >= 16 && z * var.sqrt() <= half_width {
+            return Estimate {
+                p_hat: mean,
+                samples: n,
+                half_width,
+                confidence,
+            };
+        }
+    }
+    Estimate {
+        p_hat: a / (a + b),
+        samples: n,
+        half_width,
+        confidence,
+    }
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation; absolute
+/// error < 1.2e-9 — far below statistical noise here).
+fn probit(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bernoulli(p: f64, seed: u64) -> impl FnMut() -> bool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        move || rng.gen::<f64>() < p
+    }
+
+    #[test]
+    fn sprt_accepts_h0_when_p_high() {
+        let r = sprt(bernoulli(0.95, 1), 0.8, 0.05, 0.01, 0.01, 100_000);
+        assert_eq!(r.outcome, SprtOutcome::AcceptH0);
+        assert!(r.samples < 1000, "SPRT should stop early: {}", r.samples);
+    }
+
+    #[test]
+    fn sprt_accepts_h1_when_p_low() {
+        let r = sprt(bernoulli(0.5, 2), 0.8, 0.05, 0.01, 0.01, 100_000);
+        assert_eq!(r.outcome, SprtOutcome::AcceptH1);
+    }
+
+    #[test]
+    fn sprt_inconclusive_inside_indifference() {
+        // p exactly at θ: tiny budget keeps it undecided (usually).
+        let r = sprt(bernoulli(0.8, 3), 0.8, 0.01, 0.001, 0.001, 50);
+        assert_eq!(r.outcome, SprtOutcome::Inconclusive);
+        assert_eq!(r.samples, 50);
+    }
+
+    #[test]
+    fn sprt_error_rate_is_controlled() {
+        // With p = 0.9 ≥ θ+δ = 0.85, H1 acceptances are type-II errors;
+        // across repetitions they must stay rare.
+        let mut wrong = 0;
+        for seed in 0..100 {
+            let r = sprt(bernoulli(0.9, seed), 0.8, 0.05, 0.05, 0.05, 100_000);
+            if r.outcome == SprtOutcome::AcceptH1 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 10, "type-II errors: {wrong}/100");
+    }
+
+    #[test]
+    fn chernoff_sample_size_and_accuracy() {
+        let e = chernoff_estimate(bernoulli(0.3, 4), 0.05, 0.05);
+        // n = ln(40)/0.005 ≈ 738.
+        assert!(e.samples >= 700 && e.samples <= 800, "n = {}", e.samples);
+        assert!((e.p_hat - 0.3).abs() < 0.05, "p̂ = {}", e.p_hat);
+        assert_eq!(e.confidence, 0.95);
+    }
+
+    #[test]
+    fn bayes_estimate_converges() {
+        let e = bayes_estimate(bernoulli(0.6, 5), 0.05, 0.95, 100_000);
+        assert!((e.p_hat - 0.6).abs() < 0.08, "p̂ = {}", e.p_hat);
+        assert!(e.samples < 100_000);
+        // Tighter width needs more samples.
+        let e2 = bayes_estimate(bernoulli(0.6, 5), 0.01, 0.95, 100_000);
+        assert!(e2.samples > e.samples);
+    }
+
+    #[test]
+    fn probit_sanity() {
+        assert!(probit(0.5).abs() < 1e-8);
+        assert!((probit(0.975) - 1.959964).abs() < 1e-4);
+        assert!((probit(0.025) + 1.959964).abs() < 1e-4);
+        assert!((probit(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside (0, 1)")]
+    fn sprt_rejects_degenerate_theta() {
+        let _ = sprt(|| true, 0.99, 0.05, 0.01, 0.01, 10);
+    }
+}

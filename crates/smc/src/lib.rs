@@ -1,0 +1,27 @@
+//! Statistical model checking (SMC): the probabilistic branch of the
+//! paper's framework (Fig. 2) for models with probabilistic initial
+//! states, used when δ-decision analysis rejects a model and hypotheses
+//! must be generated and tested statistically.
+//!
+//! Contents:
+//!
+//! * [`Dist`] — initial-state/parameter distributions.
+//! * [`TraceSampler`] — draws a random instantiation of an ODE model,
+//!   simulates it, and monitors a BLTL property → a Bernoulli sample.
+//! * [`sprt`] — Wald's sequential probability ratio test for
+//!   `H₀: p ≥ θ+δᵢ` vs `H₁: p ≤ θ−δᵢ` at error levels (α, β).
+//! * [`chernoff_estimate`] — fixed-sample estimation with a
+//!   Chernoff–Hoeffding guarantee `P(|p̂ − p| > ε) ≤ δ`.
+//! * [`bayes_estimate`] — Beta-posterior estimation run until the
+//!   credible interval is narrower than a target width.
+//! * [`SmcFit`] — SMC-driven parameter estimation: simulated-annealing
+//!   search scored by satisfaction probability (or mean robustness), the
+//!   strategy of the paper's SMC calibration line of work.
+
+mod estimate;
+mod fit;
+mod sampler;
+
+pub use estimate::{bayes_estimate, chernoff_estimate, sprt, Estimate, SprtOutcome, SprtResult};
+pub use fit::{FitResult, SmcFit};
+pub use sampler::{Dist, TraceSampler};

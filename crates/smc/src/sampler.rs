@@ -1,0 +1,246 @@
+//! Random model instantiation and Bernoulli sampling.
+
+use biocheck_bltl::{Bltl, Monitor};
+use biocheck_expr::{Context, VarId};
+use biocheck_ode::{CompiledOde, DormandPrince, OdeSystem};
+use rand::Rng;
+
+/// A sampling distribution for an initial state or parameter.
+#[derive(Clone, Debug)]
+pub enum Dist {
+    /// Deterministic value.
+    Point(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform(f64, f64),
+    /// Normal with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        sd: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Location (of the underlying normal).
+        mu: f64,
+        /// Scale (of the underlying normal).
+        sigma: f64,
+    },
+}
+
+impl Dist {
+    /// Draws a sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Point(v) => v,
+            Dist::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            Dist::Normal { mean, sd } => mean + sd * standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * standard_normal(rng)).exp(),
+        }
+    }
+
+    /// The distribution mean (exact).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Point(v) => v,
+            Dist::Uniform(lo, hi) => 0.5 * (lo + hi),
+            Dist::Normal { mean, .. } => mean,
+            Dist::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+        }
+    }
+}
+
+/// Box–Muller standard normal (rand's distributions live in `rand_distr`,
+/// which is not a declared dependency).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Draws random instantiations of an ODE model and monitors a BLTL
+/// property on each simulated trace.
+pub struct TraceSampler {
+    cx: Context,
+    ode: CompiledOde,
+    states: Vec<VarId>,
+    init: Vec<Dist>,
+    params: Vec<(VarId, Dist)>,
+    property: Bltl,
+    t_end: f64,
+    integrator: DormandPrince,
+}
+
+impl TraceSampler {
+    /// Creates a sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `init` does not match the system dimension.
+    pub fn new(
+        cx: Context,
+        sys: &OdeSystem,
+        init: Vec<Dist>,
+        params: Vec<(VarId, Dist)>,
+        property: Bltl,
+        t_end: f64,
+    ) -> TraceSampler {
+        assert_eq!(init.len(), sys.dim(), "one init distribution per state");
+        TraceSampler {
+            ode: sys.compile(&cx),
+            states: sys.states.clone(),
+            cx,
+            init,
+            params,
+            property,
+            t_end,
+            integrator: DormandPrince::with_tolerances(1e-6, 1e-8),
+        }
+    }
+
+    /// The property being monitored.
+    pub fn property(&self) -> &Bltl {
+        &self.property
+    }
+
+    /// Draws one Bernoulli sample: simulate a random instantiation and
+    /// return whether the property holds (failed simulations count as
+    /// violations — the conservative reading).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.sample_robustness(rng).0
+    }
+
+    /// Draws one sample, returning `(satisfied, robustness)`.
+    pub fn sample_robustness<R: Rng + ?Sized>(&self, rng: &mut R) -> (bool, f64) {
+        let mut env = vec![0.0; self.cx.num_vars()];
+        for (v, d) in &self.params {
+            env[v.index()] = d.sample(rng);
+        }
+        let y0: Vec<f64> = self.init.iter().map(|d| d.sample(rng)).collect();
+        match self.integrator.integrate(&self.ode, &env, &y0, (0.0, self.t_end)) {
+            Ok(trace) => {
+                let mut mon = Monitor::new(&self.cx, &self.states).with_env(env);
+                let sat = mon.check(&self.property, &trace);
+                let rob = mon.robustness(&self.property, &trace);
+                (sat, rob)
+            }
+            Err(_) => (false, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Estimates the satisfaction probability with `n` simple samples.
+    pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> f64 {
+        let mut hits = 0usize;
+        for _ in 0..n {
+            if self.sample(rng) {
+                hits += 1;
+            }
+        }
+        hits as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::{Atom, RelOp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dist_sampling_statistics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in [
+            Dist::Point(2.0),
+            Dist::Uniform(1.0, 3.0),
+            Dist::Normal { mean: 2.0, sd: 0.5 },
+        ] {
+            let n = 4000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - d.mean()).abs() < 0.1,
+                "{d:?}: sample mean {mean} vs {}",
+                d.mean()
+            );
+        }
+        // Log-normal is skewed; just check positivity and rough mean.
+        let d = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        let mut all_positive = true;
+        for _ in 0..100 {
+            all_positive &= d.sample(&mut rng) > 0.0;
+        }
+        assert!(all_positive);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Dist::Uniform(-2.0, -1.0);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..=-1.0).contains(&v));
+        }
+    }
+
+    /// Decay from x₀ ~ U[0.5, 1.5]: F≤5 (x ≤ 0.2) always true (slowest
+    /// case 1.5·e⁻⁵ ≈ 0.01), while F≤5 (x ≥ 2) is always false.
+    fn decay_sampler(prop_src: &str, op: RelOp) -> TraceSampler {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let e = cx.parse(prop_src).unwrap();
+        let prop = Bltl::eventually(5.0, Bltl::Prop(Atom::new(e, op)));
+        TraceSampler::new(
+            cx,
+            &sys,
+            vec![Dist::Uniform(0.5, 1.5)],
+            vec![],
+            prop,
+            5.0,
+        )
+    }
+
+    #[test]
+    fn certain_property_samples_true() {
+        let s = decay_sampler("0.2 - x", RelOp::Ge);
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!((0..50).all(|_| s.sample(&mut rng)));
+        assert_eq!(s.estimate(&mut rng, 20), 1.0);
+    }
+
+    #[test]
+    fn impossible_property_samples_false() {
+        let s = decay_sampler("x - 2", RelOp::Ge);
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!((0..50).all(|_| !s.sample(&mut rng)));
+    }
+
+    #[test]
+    fn threshold_property_has_intermediate_probability() {
+        // x₀ ~ U[0.5, 1.5]; G≤1 (x ≥ x₀·e⁻¹ threshold)… simpler: initial
+        // value already decides: F≤0.01 (x ≥ 1) ⇔ x₀ ≥ ~1 ⇒ p ≈ 0.5.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("-x").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let e = cx.parse("x - 1").unwrap();
+        let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+        let s = TraceSampler::new(cx, &sys, vec![Dist::Uniform(0.5, 1.5)], vec![], prop, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = s.estimate(&mut rng, 600);
+        assert!((p - 0.5).abs() < 0.1, "p = {p}");
+    }
+
+    #[test]
+    fn robustness_reported() {
+        let s = decay_sampler("0.2 - x", RelOp::Ge);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (sat, rob) = s.sample_robustness(&mut rng);
+        assert!(sat && rob > 0.0);
+    }
+}

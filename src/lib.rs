@@ -1,0 +1,30 @@
+//! **BioCheck** — a model checking-based analysis framework for systems
+//! biology models (reproduction of Liu, DAC 2020).
+//!
+//! This facade crate re-exports the whole workspace. Start with:
+//!
+//! * [`core`] — the framework workflow (calibrate → validate/falsify →
+//!   therapy synthesis, stability analysis);
+//! * [`bmc`] — bounded reachability for hybrid automata (dReach-style);
+//! * [`dsmt`] / [`icp`] — the δ-decision procedures (dReal-style);
+//! * [`models`] — the paper's biological case studies;
+//! * [`hybrid`], [`ode`], [`bltl`], [`smc`], [`lyapunov`], [`sbml`],
+//!   [`expr`], [`interval`], [`sat`] — the substrates.
+//!
+//! See `examples/quickstart.rs` for a tour and `DESIGN.md` for the
+//! architecture and the experiment index.
+
+pub use biocheck_bltl as bltl;
+pub use biocheck_bmc as bmc;
+pub use biocheck_core as core;
+pub use biocheck_dsmt as dsmt;
+pub use biocheck_expr as expr;
+pub use biocheck_hybrid as hybrid;
+pub use biocheck_icp as icp;
+pub use biocheck_interval as interval;
+pub use biocheck_lyapunov as lyapunov;
+pub use biocheck_models as models;
+pub use biocheck_ode as ode;
+pub use biocheck_sat as sat;
+pub use biocheck_sbml as sbml;
+pub use biocheck_smc as smc;
