@@ -1,5 +1,15 @@
-//! Regenerates every experiment table (EXPERIMENTS.md content):
-//! `cargo run --release -p biocheck-bench --bin report`.
+//! Regenerates the experiment tables (EXPERIMENTS.md content) and the
+//! machine-readable perf trajectory `BENCH_<n>.json`:
+//!
+//! ```text
+//! cargo run --release -p biocheck_bench --bin report              # everything
+//! cargo run --release -p biocheck_bench --bin report -- --bench-only
+//! cargo run --release -p biocheck_bench --bin report -- --bench-version 2
+//! ```
+//!
+//! `--bench-only` skips the (slow) E1–E9 experiment sweep and emits only
+//! the perf workloads; `--bench-version <n>` selects the output file name
+//! `BENCH_<n>.json` (default 1) so successive PRs accumulate a history.
 
 use biocheck_bench as exp;
 use std::time::Instant;
@@ -12,6 +22,40 @@ fn run(name: &str, f: impl FnOnce() -> Vec<exp::Row>) -> Vec<exp::Row> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_only = args.iter().any(|a| a == "--bench-only");
+    let bench_version: u32 = args
+        .iter()
+        .position(|a| a == "--bench-version")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    // Perf workloads: sequential vs parallel SMC sampling on the paper's
+    // three case-study models → BENCH_<n>.json.
+    let t0 = Instant::now();
+    let perf = exp::perf::perf_workloads(200, 2020);
+    eprintln!("perf workloads: {:?}", t0.elapsed());
+    for w in &perf {
+        println!(
+            "{}: {} samples, seq {:.1}/s, par {:.1}/s, speedup {:.2}x, p̂ = {:.3}, deterministic = {}",
+            w.name,
+            w.samples,
+            w.sequential.samples_per_sec,
+            w.parallel.samples_per_sec,
+            w.speedup,
+            w.p_hat,
+            w.deterministic
+        );
+    }
+    let bench_path = format!("BENCH_{bench_version}.json");
+    std::fs::write(&bench_path, exp::perf::perf_to_json(&perf, bench_version))
+        .unwrap_or_else(|e| panic!("cannot write {bench_path}: {e}"));
+    println!("wrote {bench_path}");
+    if bench_only {
+        return;
+    }
+
     let mut all = Vec::new();
     all.extend(run("E1", exp::e1_cardiac_falsification));
     all.extend(run("E2", exp::e2_parameter_synthesis));
@@ -25,7 +69,5 @@ fn main() {
     println!("{}", exp::to_markdown(&all));
     let holds = all.iter().filter(|r| r.holds).count();
     println!("\n{holds}/{} rows match the paper's shape.", all.len());
-    if let Ok(json) = serde_json::to_string_pretty(&all) {
-        let _ = std::fs::write("experiment_results.json", json);
-    }
+    let _ = std::fs::write("experiment_results.json", exp::rows_to_json(&all));
 }

@@ -1,9 +1,11 @@
 //! Experiment harness: one function per experiment row of DESIGN.md §5,
 //! shared between the Criterion benches (`cargo bench`) and the table
-//! generator (`cargo run -p biocheck-bench --bin report`).
+//! generator (`cargo run -p biocheck_bench --bin report`).
 //!
 //! Every function returns printable rows so `EXPERIMENTS.md` can be
 //! regenerated; timings are taken by the callers.
+
+pub mod perf;
 
 use biocheck_bltl::Bltl;
 use biocheck_bmc::{check_reach, check_reach_whole, ReachOptions, ReachSpec};
@@ -22,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One printable result row.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Experiment id (e.g. "E1").
     pub experiment: String,
@@ -37,7 +39,13 @@ pub struct Row {
 }
 
 impl Row {
-    fn new(e: &str, config: impl Into<String>, outcome: impl Into<String>, expected: impl Into<String>, holds: bool) -> Row {
+    fn new(
+        e: &str,
+        config: impl Into<String>,
+        outcome: impl Into<String>,
+        expected: impl Into<String>,
+        holds: bool,
+    ) -> Row {
         Row {
             experiment: e.into(),
             config: config.into(),
@@ -139,7 +147,7 @@ pub fn e2_parameter_synthesis() -> Vec<Row> {
         flow_step: 0.05,
     };
     let fit = synthesize_parameters(&problem, &Dataset::full(times, values, 0.02));
-    let ok = fit.as_ref().map_or(false, |(_, p)| (p[0] - 1.0).abs() < 0.25);
+    let ok = fit.as_ref().is_some_and(|(_, p)| (p[0] - 1.0).abs() < 0.25);
     rows.push(Row::new(
         "E2",
         "decay x' = -kx, 2 data points ± 0.02, true k = 1",
@@ -190,7 +198,7 @@ pub fn e2_parameter_synthesis() -> Vec<Row> {
         ..problem
     };
     let fit = synthesize_parameters(&problem, &Dataset::full(times, values, 0.15));
-    let ok = fit.as_ref().map_or(false, |(_, p)| (p[0] - 1.0).abs() < 0.4);
+    let ok = fit.as_ref().is_some_and(|(_, p)| (p[0] - 1.0).abs() < 0.4);
     rows.push(Row::new(
         "E2",
         "Michaelis–Menten, Vmax unknown (true 1.0), 2 points ± 0.15",
@@ -213,7 +221,11 @@ pub fn e3_prostate() -> Vec<Row> {
     rows.push(Row::new(
         "E3",
         "CAS 1500 days",
-        format!("AD = {:.2}, AI = {:.2}", tr.last_state()[0], tr.last_state()[1]),
+        format!(
+            "AD = {:.2}, AI = {:.2}",
+            tr.last_state()[0],
+            tr.last_state()[1]
+        ),
         "AI escape under CAS (relapse)",
         relapse,
     ));
@@ -222,7 +234,12 @@ pub fn e3_prostate() -> Vec<Row> {
     env[ha.cx.var_id("r0").unwrap().index()] = 6.0;
     env[ha.cx.var_id("r1").unwrap().index()] = 20.0;
     let traj = ha
-        .simulate(&env, &[15.0, 0.1, 12.0], 700.0, &biocheck_hybrid::SimOptions::default())
+        .simulate(
+            &env,
+            &[15.0, 0.1, 12.0],
+            700.0,
+            &biocheck_hybrid::SimOptions::default(),
+        )
         .unwrap();
     rows.push(Row::new(
         "E3",
@@ -270,10 +287,17 @@ pub fn e4_radiation() -> Vec<Row> {
     env[ha.cx.var_id("theta1").unwrap().index()] = 1e6;
     env[ha.cx.var_id("theta2").unwrap().index()] = 1e6;
     let untreated = ha
-        .simulate(&env, &radiation::tbi_init(), 40.0, &biocheck_hybrid::SimOptions::default())
+        .simulate(
+            &env,
+            &radiation::tbi_init(),
+            40.0,
+            &biocheck_hybrid::SimOptions::default(),
+        )
         .unwrap();
     let dies = untreated.final_state()[5] >= radiation::THETA_DEATH - 1e-6
-        || untreated.mode_path().contains(&ha.mode_by_name("1").unwrap());
+        || untreated
+            .mode_path()
+            .contains(&ha.mode_by_name("1").unwrap());
     rows.push(Row::new(
         "E4",
         "untreated cell, 40 h",
@@ -304,9 +328,7 @@ pub fn e4_radiation() -> Vec<Row> {
         ..ReachOptions::new(0.5)
     };
     let plan = synthesize_therapy(&ha, &spec, &opts);
-    let ok = plan
-        .as_ref()
-        .map_or(false, |p| p.schedule == ["0", "A", "B"]);
+    let ok = plan.as_ref().is_some_and(|p| p.schedule == ["0", "A", "B"]);
     rows.push(Row::new(
         "E4",
         "shortest rescue schedule (k ≤ 3)",
@@ -349,7 +371,11 @@ pub fn e5_robustness() -> Vec<Row> {
             "E5",
             format!("FK stimulus amplitude {amp}"),
             format!("AP (u ≥ 0.8): {}", if fired { "δ-sat" } else { "unsat" }),
-            if expect_fire { "δ-sat (fires)" } else { "unsat (filtered)" },
+            if expect_fire {
+                "δ-sat (fires)"
+            } else {
+                "unsat (filtered)"
+            },
             fired == expect_fire,
         ));
     }
@@ -375,7 +401,7 @@ pub fn e6_lyapunov() -> Vec<Row> {
             .map(|rep| format!("certified in {} iters", rep.iterations))
             .unwrap_or_else(|| "failed".into()),
         "quadratic certificate",
-        r.map_or(false, |rep| rep.certified),
+        r.is_some_and(|rep| rep.certified),
     ));
     // Damped oscillator (cross term needed).
     let mut cx = Context::new();
@@ -393,7 +419,7 @@ pub fn e6_lyapunov() -> Vec<Row> {
             .map(|res| format!("V = {} ({} iters)", res.v_text, res.iterations))
             .unwrap_or_else(|| "failed".into()),
         "certificate with cross term",
-        r.map_or(false, |res| res.verified),
+        r.is_some_and(|res| res.verified),
     ));
     // Unstable control.
     let mut cx = Context::new();
@@ -405,7 +431,11 @@ pub fn e6_lyapunov() -> Vec<Row> {
     rows.push(Row::new(
         "E6",
         "unstable x' = +x (negative control)",
-        if r.is_none() { "no certificate".into() } else { "certificate?!".to_string() },
+        if r.is_none() {
+            "no certificate".into()
+        } else {
+            "certificate?!".to_string()
+        },
         "must fail",
         r.is_none(),
     ));
@@ -489,7 +519,7 @@ pub fn e8_delta_sweep(deltas: &[f64]) -> Vec<Row> {
         rows.push(Row::new(
             "E8",
             format!("circle ∧ damped-sine intersection, δ = {delta}"),
-            format!("{}", if r.is_delta_sat() { "δ-sat" } else { "unsat" }),
+            (if r.is_delta_sat() { "δ-sat" } else { "unsat" }).to_string(),
             "δ-sat at every δ (roots exist)",
             r.is_delta_sat(),
         ));
@@ -534,11 +564,51 @@ pub fn e9_depth_scaling(k_max: usize) -> Vec<Row> {
                 if a.is_delta_sat() { "δ-sat" } else { "unsat" },
                 if b.is_delta_sat() { "δ-sat" } else { "unsat" }
             ),
-            if expect_sat { "δ-sat (needs ≥ 1 jump)" } else { "unsat at k = 0" },
+            if expect_sat {
+                "δ-sat (needs ≥ 1 jump)"
+            } else {
+                "unsat at k = 0"
+            },
             agree && (a.is_delta_sat() == expect_sat),
         ));
     }
     rows
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders rows as a JSON array (the workspace has no serde; JSON is
+/// emitted by hand).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"outcome\": \"{}\", \"expected\": \"{}\", \"holds\": {}}}{}\n",
+            json_escape(&r.experiment),
+            json_escape(&r.config),
+            json_escape(&r.outcome),
+            json_escape(&r.expected),
+            r.holds,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push(']');
+    s
 }
 
 /// Renders rows as a markdown table.

@@ -1,0 +1,272 @@
+//! Performance workloads behind `BENCH_<n>.json`.
+//!
+//! Each workload draws Bernoulli samples (ODE simulation + BLTL
+//! monitoring) from one of the paper's case-study models, once on the
+//! sequential path and once on the rayon-parallel path, with the same
+//! master seed. Because parallel SMC forks a per-sample RNG from the
+//! seed, `p_hat` must agree bit-for-bit between both modes — the
+//! `deterministic` field records that check, and `speedup` the
+//! wall-clock ratio (≈ thread count on a multicore host, ≈ 1 on one
+//! core).
+
+use crate::json_escape;
+use biocheck_bltl::Bltl;
+use biocheck_expr::{Atom, RelOp};
+use biocheck_models::{cardiac, prostate, radiation};
+use biocheck_ode::OdeSystem;
+use biocheck_smc::{par_estimate, seq_estimate, Dist, TraceSampler};
+use std::time::Instant;
+
+/// Timings for one workload in one execution mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeTiming {
+    /// Wall-clock seconds for the whole sample batch.
+    pub wall_seconds: f64,
+    /// Samples per second.
+    pub samples_per_sec: f64,
+}
+
+/// One benchmark workload: sequential vs parallel SMC sampling.
+#[derive(Clone, Debug)]
+pub struct PerfWorkload {
+    /// Workload name (`smc_prostate`, `smc_cardiac`, `smc_radiation`).
+    pub name: String,
+    /// Number of Bernoulli samples drawn per mode.
+    pub samples: usize,
+    /// Master seed used by both modes.
+    pub seed: u64,
+    /// Sequential-path timing.
+    pub sequential: ModeTiming,
+    /// Parallel-path timing.
+    pub parallel: ModeTiming,
+    /// The satisfaction estimate (identical between modes by design).
+    pub p_hat: f64,
+    /// Did the parallel estimate reproduce the sequential one bit-for-bit?
+    pub deterministic: bool,
+    /// `sequential.wall_seconds / parallel.wall_seconds`.
+    pub speedup: f64,
+}
+
+/// Prostate CAS therapy: P(PSA = x + y stays below 18 for 100 days) over
+/// noisy initial tumor burden and androgen level. The threshold sits
+/// inside the initial-PSA range, so p is strictly between 0 and 1 and the
+/// parallel/sequential bit-for-bit check is non-trivial.
+pub fn prostate_sampler() -> TraceSampler {
+    let p = prostate::PatientParams::default();
+    let m = prostate::cas_model(&p);
+    let mut cx = m.cx.clone();
+    let psa_ok = cx.parse("18 - (x + y)").unwrap();
+    let prop = Bltl::globally(100.0, Bltl::Prop(Atom::new(psa_ok, RelOp::Ge)));
+    TraceSampler::new(
+        cx,
+        &m.sys,
+        vec![
+            Dist::Uniform(10.0, 20.0),
+            Dist::Uniform(0.05, 0.2),
+            Dist::Uniform(10.0, 14.0),
+        ],
+        vec![],
+        prop,
+        100.0,
+    )
+}
+
+/// Fenton–Karma cardiac cell: P(an action potential fires within 30 time
+/// units) over a random sustained stimulus current.
+pub fn cardiac_sampler() -> TraceSampler {
+    let m = cardiac::fenton_karma();
+    let mut cx = m.cx.clone();
+    let stim = cx.var_id("I_stim").unwrap();
+    let fires = cx.parse("u - 0.8").unwrap();
+    let prop = Bltl::eventually(30.0, Bltl::Prop(Atom::new(fires, RelOp::Ge)));
+    TraceSampler::new(
+        cx,
+        &m.sys,
+        vec![
+            Dist::Uniform(0.0, 0.05),
+            Dist::Uniform(0.9, 1.0),
+            Dist::Uniform(0.9, 1.0),
+        ],
+        vec![(stim, Dist::Uniform(0.0, 0.4))],
+        prop,
+        30.0,
+    )
+}
+
+/// Radiation-damaged cell (untreated live mode): P(RIP3 commitment —
+/// rip3 ≥ 1 — within 20 hours) over noisy initial lipid oxidation.
+pub fn radiation_sampler() -> TraceSampler {
+    let ha = radiation::tbi_automaton();
+    let cx = ha.cx.clone();
+    let live = ha.mode_by_name("0").unwrap();
+    let sys = OdeSystem::new(ha.states.clone(), ha.modes[live].rhs.clone());
+    let mut cx2 = cx;
+    let committed = cx2.parse("rip3 - 1").unwrap();
+    let prop = Bltl::eventually(20.0, Bltl::Prop(Atom::new(committed, RelOp::Ge)));
+    let nominal = radiation::tbi_init();
+    let mut init: Vec<Dist> = nominal.into_iter().map(Dist::Point).collect();
+    init[0] = Dist::Uniform(0.1, 0.3); // clox
+    TraceSampler::new(cx2, &sys, init, vec![], prop, 20.0)
+}
+
+fn run_workload(name: &str, sampler: &TraceSampler, samples: usize, seed: u64) -> PerfWorkload {
+    let t0 = Instant::now();
+    let p_seq = seq_estimate(sampler, seed, samples);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let p_par = par_estimate(sampler, seed, samples);
+    let par_secs = t1.elapsed().as_secs_f64();
+    PerfWorkload {
+        name: name.to_string(),
+        samples,
+        seed,
+        sequential: ModeTiming {
+            wall_seconds: seq_secs,
+            samples_per_sec: samples as f64 / seq_secs,
+        },
+        parallel: ModeTiming {
+            wall_seconds: par_secs,
+            samples_per_sec: samples as f64 / par_secs,
+        },
+        p_hat: p_par,
+        deterministic: p_par.to_bits() == p_seq.to_bits(),
+        speedup: seq_secs / par_secs,
+    }
+}
+
+/// Branch-and-prune paving of the ring `0.25 ≤ x² + y² ≤ 1`, sequential
+/// vs parallel. `samples` reports boxes classified, `p_hat` the fraction
+/// of the initial box area proven inside the ring, and `deterministic`
+/// whether both modes produced the same paving (box counts and measure).
+pub fn icp_pave_workload() -> PerfWorkload {
+    use biocheck_expr::Context;
+    use biocheck_icp::BranchAndPrune;
+    use biocheck_interval::{IBox, Interval};
+
+    let mut cx = Context::new();
+    let lo = cx.parse("x^2 + y^2 - 0.25").unwrap();
+    let hi = cx.parse("x^2 + y^2 - 1").unwrap();
+    let atoms = vec![Atom::new(lo, RelOp::Ge), Atom::new(hi, RelOp::Le)];
+    let init = IBox::uniform(2, Interval::new(-1.5, 1.5));
+    let mut solver = BranchAndPrune::new(0.01);
+    solver.eps = 0.01;
+    solver.max_splits = 200_000;
+
+    let seq_solver = solver.clone().sequential();
+    let t0 = Instant::now();
+    let seq = seq_solver.pave(&cx, &atoms, &init);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let par = solver.pave(&cx, &atoms, &init);
+    let par_secs = t1.elapsed().as_secs_f64();
+
+    let boxes = par.sat.len() + par.undecided.len();
+    let same_counts = seq.sat.len() == par.sat.len() && seq.undecided.len() == par.undecided.len();
+    // Box sets are identical; vec order (and hence float summation
+    // order) differs between modes, so compare measures with a tolerance.
+    let same_measure =
+        (seq.sat_measure() - par.sat_measure()).abs() <= 1e-9 * seq.sat_measure().max(1.0);
+    let init_area = 3.0 * 3.0;
+    let sat_area: f64 = par.sat.iter().map(|b| b[0].width() * b[1].width()).sum();
+    PerfWorkload {
+        name: "icp_pave_ring".to_string(),
+        samples: boxes,
+        seed: 0,
+        sequential: ModeTiming {
+            wall_seconds: seq_secs,
+            samples_per_sec: boxes as f64 / seq_secs,
+        },
+        parallel: ModeTiming {
+            wall_seconds: par_secs,
+            samples_per_sec: boxes as f64 / par_secs,
+        },
+        p_hat: sat_area / init_area,
+        deterministic: same_counts && same_measure,
+        speedup: seq_secs / par_secs,
+    }
+}
+
+/// Runs the perf workloads: three SMC samplers (`samples` Bernoulli
+/// draws each) plus the branch-and-prune paving workload.
+pub fn perf_workloads(samples: usize, seed: u64) -> Vec<PerfWorkload> {
+    vec![
+        run_workload("smc_prostate", &prostate_sampler(), samples, seed),
+        run_workload("smc_cardiac", &cardiac_sampler(), samples, seed),
+        run_workload("smc_radiation", &radiation_sampler(), samples, seed),
+        icp_pave_workload(),
+    ]
+}
+
+/// Renders the `BENCH_<n>.json` document.
+pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"bench_version\": {bench_version},\n"));
+    s.push_str(&format!(
+        "  \"threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    s.push_str("  \"workloads\": [\n");
+    for (i, w) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"seed\": {}, \
+             \"sequential\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
+             \"parallel\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
+             \"p_hat\": {}, \"deterministic\": {}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&w.name),
+            w.samples,
+            w.seed,
+            w.sequential.wall_seconds,
+            w.sequential.samples_per_sec,
+            w.parallel.wall_seconds,
+            w.parallel.samples_per_sec,
+            w.p_hat,
+            w.deterministic,
+            w.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic_and_timed() {
+        // Small sample counts: this is a correctness test, not a timing.
+        for w in perf_workloads(8, 7) {
+            assert!(w.deterministic, "{}: parallel != sequential", w.name);
+            assert!(w.sequential.wall_seconds > 0.0 && w.parallel.wall_seconds > 0.0);
+            assert!(
+                (0.0..=1.0).contains(&w.p_hat),
+                "{}: p̂ = {}",
+                w.name,
+                w.p_hat
+            );
+        }
+    }
+
+    #[test]
+    fn json_schema_fields_present() {
+        let rows = perf_workloads(4, 1);
+        let json = perf_to_json(&rows, 1);
+        for key in [
+            "bench_version",
+            "threads",
+            "workloads",
+            "smc_prostate",
+            "smc_cardiac",
+            "smc_radiation",
+            "icp_pave_ring",
+            "wall_seconds",
+            "samples_per_sec",
+            "deterministic",
+            "speedup",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -35,7 +35,7 @@
 //! assert!(mon.check(&phi, &trace));
 //! ```
 
-use biocheck_expr::{Atom, Context, VarId};
+use biocheck_expr::{Atom, Context, EvalScratch, Program, RelOp, VarId};
 use biocheck_hybrid::HybridTrajectory;
 use biocheck_ode::Trace;
 
@@ -93,6 +93,13 @@ pub struct Monitor<'a> {
     cx: &'a Context,
     states: &'a [VarId],
     env: Vec<f64>,
+    /// Reused evaluation buffers: the per-trace-sample inner loop of
+    /// monitoring must not allocate (atoms compile once per distinct
+    /// term via `progs`, then evaluate allocation-free).
+    scratch: EvalScratch,
+    /// Compiled form of each atom term, keyed by its root node — shared
+    /// across `check`/`robustness` calls and repeated atom occurrences.
+    progs: std::collections::HashMap<biocheck_expr::NodeId, Program>,
 }
 
 impl<'a> Monitor<'a> {
@@ -102,6 +109,8 @@ impl<'a> Monitor<'a> {
             cx,
             states,
             env: vec![0.0; cx.num_vars()],
+            scratch: EvalScratch::new(),
+            progs: std::collections::HashMap::new(),
         }
     }
 
@@ -136,25 +145,44 @@ impl<'a> Monitor<'a> {
         self.robustness(f, &trace)
     }
 
-    /// Margin of an atom at a sample: positive iff the atom holds.
-    fn margin(&mut self, a: &Atom, trace: &Trace, i: usize) -> f64 {
-        for (&v, &x) in self.states.iter().zip(trace.state(i)) {
-            self.env[v.index()] = x;
-        }
-        let t = self.cx.eval(a.expr, &self.env);
-        use biocheck_expr::RelOp::*;
-        match a.op {
-            Ge | Gt => t,
-            Le | Lt => -t,
-            Eq => -t.abs(),
-        }
+    /// Margins of an atom at every sample: positive iff the atom holds.
+    ///
+    /// The atom's term is compiled once per monitor (atoms are few,
+    /// samples many); per-sample evaluation is then allocation- and
+    /// planning-free.
+    fn margins(&mut self, a: &Atom, trace: &Trace) -> Vec<f64> {
+        let Monitor {
+            cx,
+            states,
+            env,
+            scratch,
+            progs,
+        } = self;
+        let prog = progs
+            .entry(a.expr)
+            .or_insert_with(|| Program::compile(cx, &[a.expr]));
+        let mut out = [0.0];
+        (0..trace.len())
+            .map(|i| {
+                for (&v, &x) in states.iter().zip(trace.state(i)) {
+                    env[v.index()] = x;
+                }
+                prog.eval_with(env, scratch, &mut out);
+                let t = out[0];
+                match a.op {
+                    RelOp::Ge | RelOp::Gt => t,
+                    RelOp::Le | RelOp::Lt => -t,
+                    RelOp::Eq => -t.abs(),
+                }
+            })
+            .collect()
     }
 
     /// Satisfaction of `f` at every sample index.
     fn sat_vec(&mut self, f: &Bltl, trace: &Trace) -> Vec<bool> {
         let n = trace.len();
         match f {
-            Bltl::Prop(a) => (0..n).map(|i| self.margin(a, trace, i) >= 0.0).collect(),
+            Bltl::Prop(a) => self.margins(a, trace).iter().map(|&m| m >= 0.0).collect(),
             Bltl::Not(g) => self.sat_vec(g, trace).iter().map(|b| !b).collect(),
             Bltl::And(gs) => {
                 let mut acc = vec![true; n];
@@ -202,7 +230,7 @@ impl<'a> Monitor<'a> {
     fn rob_vec(&mut self, f: &Bltl, trace: &Trace) -> Vec<f64> {
         let n = trace.len();
         match f {
-            Bltl::Prop(a) => (0..n).map(|i| self.margin(a, trace, i)).collect(),
+            Bltl::Prop(a) => self.margins(a, trace),
             Bltl::Not(g) => self.rob_vec(g, trace).iter().map(|v| -v).collect(),
             Bltl::And(gs) => {
                 let mut acc = vec![f64::INFINITY; n];

@@ -46,7 +46,12 @@ impl PathEncoding {
 
     /// Substitution map sending model state variables to step-`i` entry
     /// variables.
-    pub fn entry_map(&self, cx: &mut Context, states: &[VarId], i: usize) -> HashMap<VarId, NodeId> {
+    pub fn entry_map(
+        &self,
+        cx: &mut Context,
+        states: &[VarId],
+        i: usize,
+    ) -> HashMap<VarId, NodeId> {
         states
             .iter()
             .zip(&self.steps[i].entry)

@@ -51,5 +51,7 @@ mod reach;
 mod whole;
 
 pub use encode::{PathEncoding, StepVars};
-pub use reach::{check_reach, synthesize_params, ReachOptions, ReachResult, ReachSpec, ReachWitness};
+pub use reach::{
+    check_reach, synthesize_params, ReachOptions, ReachResult, ReachSpec, ReachWitness,
+};
 pub use whole::check_reach_whole;

@@ -141,11 +141,10 @@ pub fn check_reach(ha: &HybridAutomaton, spec: &ReachSpec, opts: &ReachOptions) 
             }
             paths_tried += 1;
             if paths_tried > opts.max_paths {
-                return if any_unknown {
-                    ReachResult::Unknown
-                } else {
-                    ReachResult::Unknown
-                };
+                // Path budget exhausted: the search is incomplete either
+                // way, so the verdict is Unknown regardless of any_unknown.
+                let _ = any_unknown;
+                return ReachResult::Unknown;
             }
             match solve_path(ha, spec, opts, &path, &jumps) {
                 DeltaResult::DeltaSat(w) => {
@@ -251,11 +250,7 @@ fn extract_witness(
     // mirrors solve_path's allocation order exactly.
     let mut cx = ha.cx.clone();
     let enc = PathEncoding::allocate(&mut cx, &ha.states, path.len());
-    let dwell_times = enc
-        .steps
-        .iter()
-        .map(|s| w.point[s.tau.index()])
-        .collect();
+    let dwell_times = enc.steps.iter().map(|s| w.point[s.tau.index()]).collect();
     let final_state = enc
         .steps
         .last()

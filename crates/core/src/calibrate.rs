@@ -67,7 +67,10 @@ pub struct CalibrationProblem {
 /// intervals and a representative point on δ-sat, `None` when the
 /// problem is unsat (**no** parameters in the prior box can reproduce
 /// the data — a model falsification) or undecided within budget.
-pub fn synthesize_parameters(problem: &CalibrationProblem, data: &Dataset) -> Option<(Vec<Interval>, Vec<f64>)> {
+pub fn synthesize_parameters(
+    problem: &CalibrationProblem,
+    data: &Dataset,
+) -> Option<(Vec<Interval>, Vec<f64>)> {
     let mut cx = problem.cx.clone();
     let n = problem.sys.dim();
     // Step variables per data segment: x@j is the state at times[j-1]
@@ -134,8 +137,16 @@ pub fn synthesize_parameters(problem: &CalibrationProblem, data: &Dataset) -> Op
     bp.max_splits = 50_000;
     match bp.solve(&cx, &atoms, &refs, &init_box) {
         DeltaResult::DeltaSat(w) => Some((
-            problem.params.iter().map(|&(v, _)| w.boxx[v.index()]).collect(),
-            problem.params.iter().map(|&(v, _)| w.point[v.index()]).collect(),
+            problem
+                .params
+                .iter()
+                .map(|&(v, _)| w.boxx[v.index()])
+                .collect(),
+            problem
+                .params
+                .iter()
+                .map(|&(v, _)| w.point[v.index()])
+                .collect(),
         )),
         _ => None,
     }
@@ -218,10 +229,7 @@ mod tests {
             cx,
             sys,
             init: vec![0.0],
-            params: vec![
-                (a, Interval::new(0.5, 4.0)),
-                (b, Interval::new(0.25, 2.5)),
-            ],
+            params: vec![(a, Interval::new(0.5, 4.0)), (b, Interval::new(0.25, 2.5))],
             state_bounds: vec![Interval::new(0.0, 5.0)],
             delta: 0.02,
             flow_step: 0.05,

@@ -75,8 +75,8 @@ mod tests {
         let x = cx.intern_var("x");
         let rhs = cx.parse("2 - x").unwrap();
         let sys = OdeSystem::new(vec![x], vec![rhs]);
-        let report = verify_stability(&cx, &sys, &[Interval::new(0.0, 5.0)], 0.1, 1.0)
-            .expect("stable");
+        let report =
+            verify_stability(&cx, &sys, &[Interval::new(0.0, 5.0)], 0.1, 1.0).expect("stable");
         assert!((report.equilibrium[0] - 2.0).abs() < 1e-6);
         assert!(report.certified);
     }
@@ -88,8 +88,8 @@ mod tests {
         let x = cx.intern_var("x");
         let rhs = cx.parse("-x - x^3").unwrap();
         let sys = OdeSystem::new(vec![x], vec![rhs]);
-        let report = verify_stability(&cx, &sys, &[Interval::new(-0.5, 0.5)], 0.1, 0.8)
-            .expect("stable");
+        let report =
+            verify_stability(&cx, &sys, &[Interval::new(-0.5, 0.5)], 0.1, 0.8).expect("stable");
         assert!(report.equilibrium[0].abs() < 1e-6);
         assert!(report.certified);
         assert!(report.iterations >= 1);

@@ -33,11 +33,7 @@ pub fn synthesize_therapy(
 ) -> Option<TherapyPlan> {
     match check_reach(ha, spec, opts) {
         ReachResult::DeltaSat(w) => {
-            let schedule: Vec<String> = w
-                .path
-                .iter()
-                .map(|&m| ha.modes[m].name.clone())
-                .collect();
+            let schedule: Vec<String> = w.path.iter().map(|&m| ha.modes[m].name.clone()).collect();
             let mut seen = std::collections::BTreeSet::new();
             let drugs_used = schedule
                 .iter()
@@ -86,7 +82,10 @@ mod tests {
             ..ReachOptions::new(0.05)
         };
         let plan = synthesize_therapy(&ha, &spec, &opts).expect("treatable");
-        assert_eq!(plan.schedule, vec!["sick".to_string(), "treated".to_string()]);
+        assert_eq!(
+            plan.schedule,
+            vec!["sick".to_string(), "treated".to_string()]
+        );
         assert_eq!(plan.drugs_used, 1);
         assert_eq!(plan.dwell_times.len(), 2);
         assert!(!plan.thresholds.is_empty());

@@ -204,10 +204,7 @@ impl Context {
 
     /// The node for an already-declared variable id.
     pub fn var_node(&mut self, vid: VarId) -> NodeId {
-        assert!(
-            vid.index() < self.vars.len(),
-            "unknown variable id {vid:?}"
-        );
+        assert!(vid.index() < self.vars.len(), "unknown variable id {vid:?}");
         self.push(Node::Var(vid))
     }
 

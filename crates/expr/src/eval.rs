@@ -4,36 +4,164 @@
 use crate::context::{eval_unary_f64, BinOp, Context, Node, NodeId, UnaryOp};
 use biocheck_interval::{IBox, Interval};
 
+/// Reusable evaluation workspace: buffers for node values plus the
+/// reachability plan (which arena nodes a set of roots actually uses).
+///
+/// All `*_with` evaluation entry points take a `&mut EvalScratch` and are
+/// **allocation-free after warm-up**: the first call over a given context
+/// grows the buffers, subsequent calls only reuse them. One scratch can be
+/// shared across contexts, programs, and value domains (`f64` and
+/// [`Interval`]); it simply keeps the high-water-mark capacity.
+///
+/// The scratch also makes evaluation *reachability-aware*: only nodes
+/// reachable from the requested roots are computed, instead of the whole
+/// arena prefix up to the largest root id.
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch {
+    /// Scalar value per node/slot (sparse: indexed by arena id or slot).
+    vals: Vec<f64>,
+    /// Interval value per node/slot.
+    ivals: Vec<Interval>,
+    /// Epoch stamps marking reachable nodes (`mark[i] == epoch`).
+    mark: Vec<u32>,
+    /// Current reachability epoch.
+    epoch: u32,
+    /// DFS worklist.
+    stack: Vec<u32>,
+    /// Reachable node ids in ascending (= topological) order.
+    order: Vec<u32>,
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+
+    /// Recomputes `self.order`: ids reachable from `roots`, ascending.
+    fn plan(&mut self, cx: &Context, roots: &[NodeId]) {
+        let n = cx.num_nodes();
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        self.order.clear();
+        self.stack.clear();
+        for r in roots {
+            self.stack.push(r.0);
+        }
+        while let Some(i) = self.stack.pop() {
+            if self.mark[i as usize] == self.epoch {
+                continue;
+            }
+            self.mark[i as usize] = self.epoch;
+            self.order.push(i);
+            match *cx.node(NodeId(i)) {
+                Node::Unary(_, a) | Node::PowI(a, _) => self.stack.push(a.0),
+                Node::Binary(_, a, b) => {
+                    self.stack.push(a.0);
+                    self.stack.push(b.0);
+                }
+                _ => {}
+            }
+        }
+        // Ascending ids are child-before-parent (arena invariant).
+        self.order.sort_unstable();
+    }
+
+    /// A scalar buffer of length `len` (grown, never shrunk). Contents
+    /// are **unspecified** — stale values from earlier evaluations may
+    /// remain; write every slot before reading it.
+    pub fn scalar_buf(&mut self, len: usize) -> &mut [f64] {
+        if self.vals.len() < len {
+            self.vals.resize(len, 0.0);
+        }
+        &mut self.vals[..len]
+    }
+
+    /// An interval buffer of length `len` (grown, never shrunk). Contents
+    /// are **unspecified** — stale values from earlier evaluations may
+    /// remain; write every slot before reading it.
+    pub fn interval_buf(&mut self, len: usize) -> &mut [Interval] {
+        if self.ivals.len() < len {
+            self.ivals.resize(len, Interval::ZERO);
+        }
+        &mut self.ivals[..len]
+    }
+}
+
 impl Context {
     /// Evaluates `id` at the point `env` (indexed by [`crate::VarId`]).
     ///
     /// Returns NaN when the point lies outside a partial function's domain
     /// (e.g. `ln` of a negative number).
     ///
+    /// Convenience form of [`Context::eval_with`] that allocates a fresh
+    /// scratch; hot loops should hold an [`EvalScratch`] (or better, a
+    /// compiled [`Program`]) and reuse it.
+    ///
     /// # Panics
     ///
     /// Panics if `env` is shorter than the number of declared variables
     /// referenced by the expression.
     pub fn eval(&self, id: NodeId, env: &[f64]) -> f64 {
-        let mut buf = vec![0.0f64; id.index() + 1];
-        self.eval_prefix(id, env, &mut buf);
-        buf[id.index()]
+        self.eval_with(id, env, &mut EvalScratch::new())
     }
 
-    /// Evaluates several roots sharing one arena scan.
+    /// Evaluates `id` at a point, reusing `scratch` (allocation-free after
+    /// warm-up). Only nodes reachable from `id` are computed.
+    pub fn eval_with(&self, id: NodeId, env: &[f64], scratch: &mut EvalScratch) -> f64 {
+        scratch.plan(self, std::slice::from_ref(&id));
+        self.eval_planned(env, scratch);
+        scratch.vals[id.index()]
+    }
+
+    /// Evaluates several roots sharing one reachability sweep.
     pub fn eval_many(&self, ids: &[NodeId], env: &[f64]) -> Vec<f64> {
-        if ids.is_empty() {
-            return Vec::new();
-        }
-        let max = ids.iter().map(|i| i.index()).max().unwrap();
-        let mut buf = vec![0.0f64; max + 1];
-        self.eval_prefix(NodeId((max) as u32), env, &mut buf);
-        ids.iter().map(|i| buf[i.index()]).collect()
+        let mut out = vec![0.0; ids.len()];
+        self.eval_many_with(ids, env, &mut EvalScratch::new(), &mut out);
+        out
     }
 
-    fn eval_prefix(&self, id: NodeId, env: &[f64], buf: &mut [f64]) {
-        for (i, node) in self.nodes()[..=id.index()].iter().enumerate() {
-            buf[i] = match *node {
+    /// Evaluates several roots into `out`, reusing `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != ids.len()`.
+    pub fn eval_many_with(
+        &self,
+        ids: &[NodeId],
+        env: &[f64],
+        scratch: &mut EvalScratch,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), ids.len(), "output arity mismatch");
+        if ids.is_empty() {
+            return;
+        }
+        scratch.plan(self, ids);
+        self.eval_planned(env, scratch);
+        for (o, id) in out.iter_mut().zip(ids) {
+            *o = scratch.vals[id.index()];
+        }
+    }
+
+    /// Computes scalar values for every node in the current plan.
+    fn eval_planned(&self, env: &[f64], scratch: &mut EvalScratch) {
+        let n = self.num_nodes();
+        if scratch.vals.len() < n {
+            scratch.vals.resize(n, 0.0);
+        }
+        let buf = &mut scratch.vals;
+        for &i in &scratch.order {
+            let i = i as usize;
+            buf[i] = match self.nodes()[i] {
                 Node::Const(v) => v,
                 Node::Var(v) => env[v.index()],
                 Node::Unary(op, a) => eval_unary_f64(op, buf[a.index()]),
@@ -46,27 +174,41 @@ impl Context {
     /// Evaluates `id` over the box `env`, producing a sound enclosure of
     /// the range of the expression on the box.
     ///
+    /// Convenience form of [`Context::eval_interval_with`] that allocates
+    /// a fresh scratch.
+    ///
     /// # Panics
     ///
     /// Panics if `env` has fewer dimensions than referenced variables.
     pub fn eval_interval(&self, id: NodeId, env: &IBox) -> Interval {
-        let mut buf = vec![Interval::ZERO; id.index() + 1];
-        self.eval_interval_prefix(id, env, &mut buf);
-        buf[id.index()]
+        self.eval_interval_with(id, env, &mut EvalScratch::new())
     }
 
-    fn eval_interval_prefix(&self, id: NodeId, env: &IBox, buf: &mut [Interval]) {
-        for (i, node) in self.nodes()[..=id.index()].iter().enumerate() {
-            buf[i] = match *node {
+    /// Evaluates `id` over a box, reusing `scratch` (allocation-free after
+    /// warm-up). Only nodes reachable from `id` are computed.
+    pub fn eval_interval_with(
+        &self,
+        id: NodeId,
+        env: &IBox,
+        scratch: &mut EvalScratch,
+    ) -> Interval {
+        scratch.plan(self, std::slice::from_ref(&id));
+        let n = self.num_nodes();
+        if scratch.ivals.len() < n {
+            scratch.ivals.resize(n, Interval::ZERO);
+        }
+        let buf = &mut scratch.ivals;
+        for &i in &scratch.order {
+            let i = i as usize;
+            buf[i] = match self.nodes()[i] {
                 Node::Const(v) => Interval::point(v),
                 Node::Var(v) => env[v.index()],
                 Node::Unary(op, a) => eval_unary_interval(op, buf[a.index()]),
-                Node::Binary(op, a, b) => {
-                    eval_binary_interval(op, buf[a.index()], buf[b.index()])
-                }
+                Node::Binary(op, a, b) => eval_binary_interval(op, buf[a.index()], buf[b.index()]),
                 Node::PowI(a, n) => buf[a.index()].powi(n),
             };
         }
+        buf[id.index()]
     }
 }
 
@@ -205,14 +347,25 @@ impl Program {
         self.nodes.is_empty()
     }
 
-    /// Evaluates all roots at a point.
+    /// Evaluates all roots at a point (allocates a fresh value buffer;
+    /// hot loops should use [`Program::eval_with`]).
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.num_roots()`.
     pub fn eval_into(&self, env: &[f64], out: &mut [f64]) {
+        self.eval_with(env, &mut EvalScratch::new(), out);
+    }
+
+    /// Evaluates all roots at a point, reusing `scratch` (allocation-free
+    /// after warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_roots()`.
+    pub fn eval_with(&self, env: &[f64], scratch: &mut EvalScratch, out: &mut [f64]) {
         assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
-        let mut vals = vec![0.0f64; self.nodes.len()];
+        let vals = scratch.scalar_buf(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
             vals[i] = match *node {
                 Node::Const(v) => v,
@@ -227,14 +380,26 @@ impl Program {
         }
     }
 
-    /// Evaluates all roots over a box, giving sound range enclosures.
+    /// Evaluates all roots over a box, giving sound range enclosures
+    /// (allocates a fresh buffer; hot loops should use
+    /// [`Program::eval_interval_with`]).
     ///
     /// # Panics
     ///
     /// Panics if `out.len() != self.num_roots()`.
     pub fn eval_interval_into(&self, env: &IBox, out: &mut [Interval]) {
+        self.eval_interval_with(env, &mut EvalScratch::new(), out);
+    }
+
+    /// Evaluates all roots over a box, reusing `scratch` (allocation-free
+    /// after warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_roots()`.
+    pub fn eval_interval_with(&self, env: &IBox, scratch: &mut EvalScratch, out: &mut [Interval]) {
         assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
-        let mut vals = vec![Interval::ZERO; self.nodes.len()];
+        let vals = scratch.interval_buf(self.nodes.len());
         for (i, node) in self.nodes.iter().enumerate() {
             vals[i] = match *node {
                 Node::Const(v) => Interval::point(v),
@@ -271,6 +436,78 @@ mod tests {
         let v = cx.eval(e, &[1.0, 0.5]);
         let expected = 1.0f64.exp() + 0.5f64.sin() * 0.5f64.cos();
         assert!((v - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_skips_unreachable_nodes() {
+        // A later, unrelated expression mentions variable `z`; evaluating
+        // the earlier roots with a 2-entry env must not touch `z`'s slot
+        // (the old whole-prefix sweep indexed env[2] and panicked).
+        let mut cx = Context::new();
+        let a = cx.parse("x + y").unwrap();
+        let _unrelated = cx.parse("sin(z) * z^3").unwrap();
+        let b = cx.parse("x * y").unwrap();
+        let env = [2.0, 5.0];
+        assert_eq!(cx.eval(a, &env), 7.0);
+        assert_eq!(cx.eval_many(&[a, b], &env), vec![7.0, 10.0]);
+        let bx = IBox::new(vec![Interval::point(2.0), Interval::point(5.0)]);
+        let enc = cx.eval_interval(a, &bx);
+        assert!(enc.contains(7.0) && enc.width() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_eval() {
+        let mut cx = Context::new();
+        let e = cx.parse("exp(x) * sin(y) + x^3 / (1 + y^2)").unwrap();
+        let f = cx.parse("max(x, y) - min(x, y)").unwrap();
+        let mut scratch = EvalScratch::new();
+        for k in 0..5 {
+            let env = [0.3 * k as f64, 1.0 - 0.2 * k as f64];
+            assert_eq!(cx.eval_with(e, &env, &mut scratch), cx.eval(e, &env));
+            assert_eq!(cx.eval_with(f, &env, &mut scratch), cx.eval(f, &env));
+            let mut out = [0.0; 2];
+            cx.eval_many_with(&[e, f], &env, &mut scratch, &mut out);
+            assert_eq!(out, [cx.eval(e, &env), cx.eval(f, &env)]);
+            let bx = IBox::new(vec![
+                Interval::new(env[0], env[0] + 0.1),
+                Interval::new(env[1] - 0.1, env[1]),
+            ]);
+            assert_eq!(
+                cx.eval_interval_with(e, &bx, &mut scratch),
+                cx.eval_interval(e, &bx)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_shared_across_contexts() {
+        let mut scratch = EvalScratch::new();
+        let mut cx1 = Context::new();
+        let e1 = cx1.parse("x + 1").unwrap();
+        let mut cx2 = Context::new();
+        let e2 = cx2.parse("sin(x) * cos(y) + x*y*x*y").unwrap();
+        assert_eq!(cx1.eval_with(e1, &[1.0], &mut scratch), 2.0);
+        let big = cx2.eval_with(e2, &[0.5, 0.25], &mut scratch);
+        assert!((big - (0.5f64.sin() * 0.25f64.cos() + 0.5 * 0.25 * 0.5 * 0.25)).abs() < 1e-15);
+        assert_eq!(cx1.eval_with(e1, &[41.0], &mut scratch), 42.0);
+    }
+
+    #[test]
+    fn program_eval_with_matches_eval_into() {
+        let mut cx = Context::new();
+        let f = cx.parse("x*sin(y) + exp(-x^2)").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        let mut scratch = EvalScratch::new();
+        let env = [0.7, -1.3];
+        let (mut a, mut b) = ([0.0], [0.0]);
+        p.eval_into(&env, &mut a);
+        p.eval_with(&env, &mut scratch, &mut b);
+        assert_eq!(a, b);
+        let bx = IBox::new(vec![Interval::new(0.5, 0.9), Interval::new(-1.5, -1.0)]);
+        let (mut ia, mut ib) = ([Interval::ZERO], [Interval::ZERO]);
+        p.eval_interval_into(&bx, &mut ia);
+        p.eval_interval_with(&bx, &mut scratch, &mut ib);
+        assert_eq!(ia, ib);
     }
 
     #[test]

@@ -23,11 +23,7 @@ enum Gen {
 }
 
 fn gen_expr() -> impl Strategy<Value = Gen> {
-    let leaf = prop_oneof![
-        Just(Gen::X),
-        Just(Gen::Y),
-        (-2.0..2.0f64).prop_map(Gen::C),
-    ];
+    let leaf = prop_oneof![Just(Gen::X), Just(Gen::Y), (-2.0..2.0f64).prop_map(Gen::C),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Gen::Add(a.into(), b.into())),

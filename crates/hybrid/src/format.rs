@@ -265,10 +265,9 @@ impl HybridAutomaton {
                             let (lhs, expr) = r
                                 .split_once(":=")
                                 .ok_or_else(|| err(line, "reset needs `x := expr`"))?;
-                            let var = ha
-                                .cx
-                                .var_id(lhs.trim())
-                                .ok_or_else(|| err(line, format!("unknown var `{}`", lhs.trim())))?;
+                            let var = ha.cx.var_id(lhs.trim()).ok_or_else(|| {
+                                err(line, format!("unknown var `{}`", lhs.trim()))
+                            })?;
                             let e = ha
                                 .cx
                                 .parse(expr)
@@ -421,9 +420,8 @@ mod tests {
         assert!(e.message.contains("state"), "{e}");
         let e = HybridAutomaton::parse_bha("state x; init a: x = 0;").unwrap_err();
         assert!(e.message.contains("unknown init mode"), "{e}");
-        let e =
-            HybridAutomaton::parse_bha("state x; mode a { flow: y' = 1; } init a: x = 0;")
-                .unwrap_err();
+        let e = HybridAutomaton::parse_bha("state x; mode a { flow: y' = 1; } init a: x = 0;")
+            .unwrap_err();
         assert!(e.message.contains("unknown state"), "{e}");
         let e = HybridAutomaton::parse_bha("state x; mode a { flow: x' = 1; }").unwrap_err();
         assert!(e.message.contains("init"), "{e}");

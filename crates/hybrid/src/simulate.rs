@@ -91,10 +91,7 @@ impl HybridTrajectory {
 
     /// Total continuous duration.
     pub fn duration(&self) -> f64 {
-        self.segments
-            .last()
-            .map(|s| s.trace.t_end())
-            .unwrap_or(0.0)
+        self.segments.last().map(|s| s.trace.t_end()).unwrap_or(0.0)
     }
 
     /// Final continuous state.
@@ -131,10 +128,7 @@ impl HybridTrajectory {
 
 /// Converts a guard atom into a "margin" expression that is ≥ 0 exactly
 /// when the atom holds (used for crossing detection).
-fn guard_margin(
-    cx: &mut biocheck_expr::Context,
-    atom: &Atom,
-) -> Result<NodeId, SimError> {
+fn guard_margin(cx: &mut biocheck_expr::Context, atom: &Atom) -> Result<NodeId, SimError> {
     match atom.op {
         RelOp::Ge | RelOp::Gt => Ok(atom.expr),
         RelOp::Le | RelOp::Lt => Ok(cx.neg(atom.expr)),
@@ -211,16 +205,9 @@ impl HybridAutomaton {
         while t < t_end {
             let sys = self.flow_system(mode);
             let ode = sys.compile(&cx);
-            let guard_exprs: Vec<NodeId> =
-                mode_guards[mode].iter().map(|&(_, e)| e).collect();
-            let (trace, hit) = ode.integrate_with_events(
-                &cx,
-                &env,
-                &state,
-                (t, t_end),
-                &guard_exprs,
-                opts.t_tol,
-            )?;
+            let guard_exprs: Vec<NodeId> = mode_guards[mode].iter().map(|&(_, e)| e).collect();
+            let (trace, hit) =
+                ode.integrate_with_events(&cx, &env, &state, (t, t_end), &guard_exprs, opts.t_tol)?;
             match hit {
                 None => {
                     segments.push(Segment {

@@ -1,5 +1,6 @@
 //! The [`Contractor`] abstraction.
 
+use biocheck_expr::EvalScratch;
 use biocheck_interval::IBox;
 
 /// Result of applying a contractor to a box.
@@ -33,9 +34,22 @@ impl Outcome {
 /// Implementors in BioCheck: [`crate::Hc4`] (algebraic atoms),
 /// [`crate::Newton`] (equality systems), and the validated-ODE flow
 /// contractor in `biocheck-ode`.
-pub trait Contractor {
+///
+/// `Sync` is a supertrait so branch-and-prune can apply one contractor
+/// family to many boxes from worker threads concurrently.
+pub trait Contractor: Sync {
     /// Shrinks `bx` in place, reporting what happened.
     fn contract(&self, bx: &mut IBox) -> Outcome;
+
+    /// Shrinks `bx` in place, reusing `scratch` for evaluation buffers.
+    ///
+    /// The fixpoint loop of [`crate::Propagator`] calls this form; the
+    /// default implementation falls back to [`Contractor::contract`] for
+    /// implementors without a scratch-aware path.
+    fn contract_with(&self, bx: &mut IBox, scratch: &mut EvalScratch) -> Outcome {
+        let _ = scratch;
+        self.contract(bx)
+    }
 
     /// Human-readable name for diagnostics.
     fn name(&self) -> &str {
@@ -47,6 +61,9 @@ impl<T: Contractor + ?Sized> Contractor for Box<T> {
     fn contract(&self, bx: &mut IBox) -> Outcome {
         (**self).contract(bx)
     }
+    fn contract_with(&self, bx: &mut IBox, scratch: &mut EvalScratch) -> Outcome {
+        (**self).contract_with(bx, scratch)
+    }
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -55,6 +72,9 @@ impl<T: Contractor + ?Sized> Contractor for Box<T> {
 impl<T: Contractor + ?Sized> Contractor for &T {
     fn contract(&self, bx: &mut IBox) -> Outcome {
         (**self).contract(bx)
+    }
+    fn contract_with(&self, bx: &mut IBox, scratch: &mut EvalScratch) -> Outcome {
+        (**self).contract_with(bx, scratch)
     }
     fn name(&self) -> &str {
         (**self).name()

@@ -4,7 +4,8 @@
 
 use crate::contract::{Contractor, Outcome};
 use biocheck_expr::{
-    eval_binary_interval, eval_unary_interval, Atom, BinOp, Context, Node, NodeId, UnaryOp, VarId,
+    eval_binary_interval, eval_unary_interval, Atom, BinOp, Context, EvalScratch, Node, NodeId,
+    UnaryOp, VarId,
 };
 use biocheck_interval::{IBox, Interval};
 
@@ -82,17 +83,17 @@ impl Hc4 {
     }
 
     /// Forward sweep: interval-evaluate every slot.
-    fn forward(&self, bx: &IBox, vals: &mut Vec<Interval>) {
-        vals.clear();
-        for node in &self.nodes {
-            let v = match *node {
+    fn forward(&self, bx: &IBox, vals: &mut [Interval]) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            vals[i] = match *node {
                 Node::Const(c) => Interval::point(c),
                 Node::Var(v) => bx[v.index()],
                 Node::Unary(op, a) => eval_unary_interval(op, vals[a.index()]),
-                Node::Binary(op, a, b) => eval_binary_interval(op, vals[a.index()], vals[b.index()]),
+                Node::Binary(op, a, b) => {
+                    eval_binary_interval(op, vals[a.index()], vals[b.index()])
+                }
                 Node::PowI(a, k) => vals[a.index()].powi(k),
             };
-            vals.push(v);
         }
     }
 
@@ -142,14 +143,18 @@ impl Hc4 {
 
 impl Contractor for Hc4 {
     fn contract(&self, bx: &mut IBox) -> Outcome {
-        let mut vals = Vec::with_capacity(self.nodes.len());
-        self.forward(bx, &mut vals);
+        self.contract_with(bx, &mut EvalScratch::new())
+    }
+
+    fn contract_with(&self, bx: &mut IBox, scratch: &mut EvalScratch) -> Outcome {
+        let vals = scratch.interval_buf(self.nodes.len());
+        self.forward(bx, vals);
         let clamped = vals[self.root].intersect(&self.projection);
         if clamped.is_empty() {
             return Outcome::Empty;
         }
         vals[self.root] = clamped;
-        if !self.backward(&mut vals) {
+        if !self.backward(vals) {
             return Outcome::Empty;
         }
         let mut changed = false;

@@ -95,21 +95,17 @@ impl Contractor for Newton {
             // (Y·f(m))_i
             let mut yf = Interval::ZERO;
             for j in 0..n {
-                yf = yf + Interval::point(y[i * n + j]) * fm[j];
+                yf += Interval::point(y[i * n + j]) * fm[j];
             }
             // Σ_j (I - Y·J)_ij (X_j - m_j)
             let mut corr = Interval::ZERO;
             for j in 0..n {
                 let mut yj = Interval::ZERO;
                 for l in 0..n {
-                    yj = yj + Interval::point(y[i * n + l]) * jx[l * n + j];
+                    yj += Interval::point(y[i * n + l]) * jx[l * n + j];
                 }
-                let iyj = if i == j {
-                    Interval::ONE - yj
-                } else {
-                    -yj
-                };
-                corr = corr + iyj * (x[j] - Interval::point(m[j]));
+                let iyj = if i == j { Interval::ONE - yj } else { -yj };
+                corr += iyj * (x[j] - Interval::point(m[j]));
             }
             k[i] = Interval::point(m[i]) - yf + corr;
         }

@@ -1,6 +1,7 @@
 //! Fixpoint propagation over a family of contractors.
 
 use crate::contract::{Contractor, Outcome};
+use biocheck_expr::EvalScratch;
 use biocheck_interval::IBox;
 
 /// Runs a round-robin schedule of contractors until the box stops shrinking
@@ -32,14 +33,26 @@ impl Propagator {
         Propagator::default()
     }
 
-    /// Applies all contractors to a fixpoint.
+    /// Applies all contractors to a fixpoint (allocates a fresh scratch;
+    /// solver loops use [`Propagator::fixpoint_with`]).
     pub fn fixpoint<C: Contractor + ?Sized>(&self, contractors: &[&C], bx: &mut IBox) -> Outcome {
+        self.fixpoint_with(contractors, bx, &mut EvalScratch::new())
+    }
+
+    /// Applies all contractors to a fixpoint, reusing `scratch` for the
+    /// contractors' evaluation buffers.
+    pub fn fixpoint_with<C: Contractor + ?Sized>(
+        &self,
+        contractors: &[&C],
+        bx: &mut IBox,
+        scratch: &mut EvalScratch,
+    ) -> Outcome {
         let mut overall = Outcome::Unchanged;
         for _ in 0..self.max_rounds {
             let before = bx.total_width();
             let mut round = Outcome::Unchanged;
             for c in contractors {
-                match c.contract(bx) {
+                match c.contract_with(bx, scratch) {
                     Outcome::Empty => return Outcome::Empty,
                     o => round = round.and_then(o),
                 }

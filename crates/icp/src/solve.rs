@@ -4,8 +4,9 @@
 use crate::contract::{Contractor, Outcome};
 use crate::hc4::Hc4;
 use crate::propagate::Propagator;
-use biocheck_expr::{Atom, Context};
-use biocheck_interval::IBox;
+use biocheck_expr::{Atom, Context, EvalScratch, Program};
+use biocheck_interval::{IBox, Interval};
+use rayon::prelude::*;
 
 /// Answer of the δ-decision procedure.
 ///
@@ -96,6 +97,27 @@ pub struct BranchAndPrune {
     pub max_splits: usize,
     /// Propagation schedule.
     pub propagator: Propagator,
+    /// Work-queue size at which box processing moves to worker threads
+    /// (`usize::MAX` forces the sequential path). Batches are taken from
+    /// the top of the queue and results are merged in queue order, so the
+    /// answer is deterministic for a given thread-independent input.
+    pub parallel_threshold: usize,
+}
+
+/// What happened to one box of the frontier.
+enum BoxStep {
+    /// Contraction emptied the box.
+    Pruned,
+    /// The box is an answer: `whole` when every atom δ-holds on the whole
+    /// box, otherwise the box reached resolution ε undecided.
+    Sat {
+        /// The surviving box.
+        bx: IBox,
+        /// Whole-box satisfaction (vs. resolution cut-off).
+        whole: bool,
+    },
+    /// The box was bisected.
+    Split(IBox, IBox),
 }
 
 impl BranchAndPrune {
@@ -111,7 +133,86 @@ impl BranchAndPrune {
             eps: (delta / 4.0).max(1e-12),
             max_splits: 200_000,
             propagator: Propagator::default(),
+            parallel_threshold: 64,
         }
+    }
+
+    /// Disables worker threads (pure depth-first search).
+    #[must_use]
+    pub fn sequential(mut self) -> BranchAndPrune {
+        self.parallel_threshold = usize::MAX;
+        self
+    }
+
+    /// Contract/test/bisect one box. `progs[i]` is the compiled interval
+    /// form of `atoms[i].expr`; `inner_delta` is the δ of the acceptance
+    /// test (`None` skips the whole-box test — paving uses δ = 0 via
+    /// `Some(0.0)`, solving passes `Some(self.delta)` when there are no
+    /// extra contractors).
+    #[allow(clippy::too_many_arguments)]
+    fn step<C: Contractor + ?Sized>(
+        &self,
+        atoms: &[Atom],
+        progs: &[Program],
+        contractors: &[&C],
+        mut bx: IBox,
+        inner_delta: Option<f64>,
+        scratch: &mut EvalScratch,
+    ) -> BoxStep {
+        if self.propagator.fixpoint_with(contractors, &mut bx, scratch) == Outcome::Empty {
+            return BoxStep::Pruned;
+        }
+        let all_hold = inner_delta.is_some_and(|d| {
+            atoms.iter().zip(progs).all(|(a, p)| {
+                let mut out = [Interval::ZERO];
+                p.eval_interval_with(&bx, scratch, &mut out);
+                a.delta_holds_on(out[0], d)
+            })
+        });
+        if all_hold {
+            return BoxStep::Sat { bx, whole: true };
+        }
+        if bx.max_width() <= self.eps {
+            return BoxStep::Sat { bx, whole: false };
+        }
+        let (l, r) = bx.bisect();
+        BoxStep::Split(l, r)
+    }
+
+    /// Boxes processed per parallel round. Deliberately a constant, NOT a
+    /// function of the worker count: the set of boxes explored before the
+    /// first answer must be identical on every machine (thread count may
+    /// only change wall time, never the witness or the verdict). Sized so
+    /// a round amortizes the vendored rayon shim's per-round thread
+    /// spawns even when per-box fixpoints are cheap.
+    const BATCH: usize = 64;
+
+    /// Runs `step` over the top of the stack: one box below
+    /// `parallel_threshold`, a fixed-size batch (on worker threads)
+    /// otherwise. Both choices depend only on the stack size, so the
+    /// search is thread-count-independent.
+    fn run_batch<C: Contractor + ?Sized + Sync>(
+        &self,
+        atoms: &[Atom],
+        progs: &[Program],
+        contractors: &[&C],
+        stack: &mut Vec<IBox>,
+        inner_delta: Option<f64>,
+        scratch: &mut EvalScratch,
+    ) -> Vec<BoxStep> {
+        if stack.len() < self.parallel_threshold {
+            let bx = stack.pop().expect("run_batch on empty stack");
+            return vec![self.step(atoms, progs, contractors, bx, inner_delta, scratch)];
+        }
+        let take = stack.len().min(Self::BATCH);
+        // The batch keeps stack order: batch.last() was the stack top.
+        let batch = stack.split_off(stack.len() - take);
+        batch
+            .into_par_iter()
+            .map_init(EvalScratch::new, |scr, bx| {
+                self.step(atoms, progs, contractors, bx, inner_delta, scr)
+            })
+            .collect()
     }
 
     /// Decides `⋀ atoms ∧ ⋀ extra` over `init`.
@@ -142,30 +243,54 @@ impl BranchAndPrune {
             contractors.push(h);
         }
         contractors.extend_from_slice(extra);
+        let progs: Vec<Program> = atoms
+            .iter()
+            .map(|a| Program::compile(cx, &[a.expr]))
+            .collect();
+        // Whole-box δ-satisfaction only decides when no extra contractors
+        // are pending decisions; otherwise only the resolution test ends a
+        // branch.
+        let inner_delta = if extra.is_empty() {
+            Some(self.delta)
+        } else {
+            None
+        };
 
         let mut stack = vec![init.clone()];
         let mut splits = 0usize;
-        while let Some(mut bx) = stack.pop() {
-            if self.propagator.fixpoint(&contractors, &mut bx) == Outcome::Empty {
-                continue;
+        let mut scratch = EvalScratch::new();
+        while !stack.is_empty() {
+            let steps = self.run_batch(
+                atoms,
+                &progs,
+                &contractors,
+                &mut stack,
+                inner_delta,
+                &mut scratch,
+            );
+            // Scan stack-top-first so the answer matches depth-first order.
+            for s in steps.iter().rev() {
+                if let BoxStep::Sat { bx, .. } = s {
+                    return DeltaResult::DeltaSat(self.witness(cx, atoms, bx.clone()));
+                }
             }
-            // Whole box satisfies every δ-weakened atom and no extra
-            // contractors are pending decisions → δ-sat.
-            let all_hold = atoms
-                .iter()
-                .all(|a| a.delta_holds_on(cx.eval_interval(a.expr, &bx), self.delta));
-            if (all_hold && extra.is_empty()) || bx.max_width() <= self.eps {
-                return DeltaResult::DeltaSat(self.witness(cx, atoms, bx));
+            let mut denied = 0usize;
+            for s in steps {
+                if let BoxStep::Split(l, r) = s {
+                    if splits < self.max_splits {
+                        splits += 1;
+                        stack.push(r);
+                        stack.push(l);
+                    } else {
+                        denied += 1;
+                    }
+                }
             }
-            if splits >= self.max_splits {
+            if denied > 0 {
                 return DeltaResult::Unknown {
-                    remaining: stack.len() + 1,
+                    remaining: stack.len() + denied,
                 };
             }
-            splits += 1;
-            let (l, r) = bx.bisect();
-            stack.push(r);
-            stack.push(l);
         }
         DeltaResult::Unsat
     }
@@ -179,30 +304,44 @@ impl BranchAndPrune {
         );
         let hc4s: Vec<Hc4> = atoms.iter().map(|&a| Hc4::new(cx, a)).collect();
         let contractors: Vec<&dyn Contractor> = hc4s.iter().map(|h| h as &dyn Contractor).collect();
+        let progs: Vec<Program> = atoms
+            .iter()
+            .map(|a| Program::compile(cx, &[a.expr]))
+            .collect();
         let mut paving = Paving::default();
         let mut stack = vec![init.clone()];
         let mut splits = 0usize;
-        while let Some(mut bx) = stack.pop() {
-            if self.propagator.fixpoint(&contractors, &mut bx) == Outcome::Empty {
-                continue;
-            }
+        let mut scratch = EvalScratch::new();
+        while !stack.is_empty() {
             // Inner test with δ = 0: every point of the box satisfies the
             // original constraints.
-            let inner = atoms
-                .iter()
-                .all(|a| a.delta_holds_on(cx.eval_interval(a.expr, &bx), 0.0));
-            if inner {
-                paving.sat.push(bx);
-                continue;
+            let steps = self.run_batch(
+                atoms,
+                &progs,
+                &contractors,
+                &mut stack,
+                Some(0.0),
+                &mut scratch,
+            );
+            for s in steps {
+                match s {
+                    BoxStep::Pruned => {}
+                    BoxStep::Sat { bx, whole: true } => paving.sat.push(bx),
+                    BoxStep::Sat { bx, whole: false } => paving.undecided.push(bx),
+                    BoxStep::Split(l, r) => {
+                        if splits < self.max_splits {
+                            splits += 1;
+                            stack.push(r);
+                            stack.push(l);
+                        } else {
+                            // Budget exhausted: record the halves undecided
+                            // (their union is the unsplit box).
+                            paving.undecided.push(l);
+                            paving.undecided.push(r);
+                        }
+                    }
+                }
             }
-            if bx.max_width() <= self.eps || splits >= self.max_splits {
-                paving.undecided.push(bx);
-                continue;
-            }
-            splits += 1;
-            let (l, r) = bx.bisect();
-            stack.push(r);
-            stack.push(l);
         }
         paving
     }
@@ -227,7 +366,12 @@ mod tests {
     use biocheck_expr::RelOp;
     use biocheck_interval::Interval;
 
-    fn solve_conj(srcs: &[(&str, RelOp)], dims: usize, range: (f64, f64), delta: f64) -> DeltaResult {
+    fn solve_conj(
+        srcs: &[(&str, RelOp)],
+        dims: usize,
+        range: (f64, f64),
+        delta: f64,
+    ) -> DeltaResult {
         let mut cx = Context::new();
         let atoms: Vec<Atom> = srcs
             .iter()

@@ -36,14 +36,8 @@ fn sat_instance() -> impl Strategy<Value = SatInstance> {
                 let (term, val): (String, f64) = match form {
                     0 => (format!("{a}*x + {b}*y"), a * px + b * py),
                     1 => (format!("{a}*x^2 + {b}*y"), a * px * px + b * py),
-                    2 => (
-                        format!("{a}*x*y + {b}*x"),
-                        a * px * py + b * px,
-                    ),
-                    _ => (
-                        format!("{a}*sin(x) + {b}*y^2"),
-                        a * px.sin() + b * py * py,
-                    ),
+                    2 => (format!("{a}*x*y + {b}*x"), a * px * py + b * px),
+                    _ => (format!("{a}*sin(x) + {b}*y^2"), a * px.sin() + b * py * py),
                 };
                 // Shift so the anchor satisfies the relation with slack.
                 let shifted = match op {

@@ -35,9 +35,7 @@ impl IBox {
 
     /// Creates an `n`-dimensional box with every dimension set to `iv`.
     pub fn uniform(n: usize, iv: Interval) -> IBox {
-        IBox {
-            dims: vec![iv; n],
-        }
+        IBox { dims: vec![iv; n] }
     }
 
     /// Creates the whole space `ℝⁿ`.
@@ -84,10 +82,7 @@ impl IBox {
 
     /// The largest dimension width.
     pub fn max_width(&self) -> f64 {
-        self.dims
-            .iter()
-            .map(Interval::width)
-            .fold(0.0, f64::max)
+        self.dims.iter().map(Interval::width).fold(0.0, f64::max)
     }
 
     /// Index of the widest dimension (ties broken by lowest index).
@@ -116,12 +111,7 @@ impl IBox {
 
     /// Returns `true` when `p` lies inside the box.
     pub fn contains_point(&self, p: &[f64]) -> bool {
-        p.len() == self.dims.len()
-            && self
-                .dims
-                .iter()
-                .zip(p)
-                .all(|(d, &v)| d.contains(v))
+        p.len() == self.dims.len() && self.dims.iter().zip(p).all(|(d, &v)| d.contains(v))
     }
 
     /// Returns `true` when `other` is a subset of `self`.

@@ -49,18 +49,30 @@ impl Interval {
     pub const ONE: Interval = Interval { lo: 1.0, hi: 1.0 };
 
     /// A sound enclosure of π.
+    // The literals are the nearest f64 neighbors bracketing the true
+    // value — intentionally not `f64::consts::*`, which is a single
+    // rounded point, not an enclosure.
+    #[allow(clippy::approx_constant)]
     pub const PI: Interval = Interval {
         lo: 3.141592653589793,
         hi: 3.1415926535897936,
     };
 
     /// A sound enclosure of 2π.
+    // The literals are the nearest f64 neighbors bracketing the true
+    // value — intentionally not `f64::consts::*`, which is a single
+    // rounded point, not an enclosure.
+    #[allow(clippy::approx_constant)]
     pub const TWO_PI: Interval = Interval {
         lo: 6.283185307179586,
         hi: 6.283185307179587,
     };
 
     /// A sound enclosure of π/2.
+    // The literals are the nearest f64 neighbors bracketing the true
+    // value — intentionally not `f64::consts::*`, which is a single
+    // rounded point, not an enclosure.
+    #[allow(clippy::approx_constant)]
     pub const HALF_PI: Interval = Interval {
         lo: 1.5707963267948966,
         hi: 1.5707963267948968,
@@ -280,14 +292,8 @@ impl Interval {
         assert!(!self.is_empty(), "cannot bisect the empty interval");
         let m = self.mid();
         (
-            Interval {
-                lo: self.lo,
-                hi: m,
-            },
-            Interval {
-                lo: m,
-                hi: self.hi,
-            },
+            Interval { lo: self.lo, hi: m },
+            Interval { lo: m, hi: self.hi },
         )
     }
 
@@ -458,8 +464,7 @@ impl Interval {
                 let b = self.hi.powi(n);
                 if n % 2 == 0 {
                     if self.contains(0.0) {
-                        Interval::widen(0.0, a.max(b))
-                            .intersect(&Interval::new(0.0, f64::INFINITY))
+                        Interval::widen(0.0, a.max(b)).intersect(&Interval::new(0.0, f64::INFINITY))
                     } else {
                         Interval::widen(a.min(b), a.max(b))
                     }
@@ -800,9 +805,7 @@ mod tests {
         let b = Interval::new(1.0, 3.0);
         assert_eq!(a.intersect(&b), Interval::new(1.0, 2.0));
         assert_eq!(a.hull(&b), Interval::new(0.0, 3.0));
-        assert!(a
-            .intersect(&Interval::new(5.0, 6.0))
-            .is_empty());
+        assert!(a.intersect(&Interval::new(5.0, 6.0)).is_empty());
         assert!(a.contains_interval(&Interval::new(0.5, 1.5)));
         assert!(!a.contains_interval(&b));
         assert!(a.contains_interval(&Interval::EMPTY));

@@ -187,7 +187,10 @@ impl Interval {
         if self.is_empty() {
             return Interval::EMPTY;
         }
-        Interval::exact(down_n(self.lo().sinh(), T_ULPS), up_n(self.hi().sinh(), T_ULPS))
+        Interval::exact(
+            down_n(self.lo().sinh(), T_ULPS),
+            up_n(self.hi().sinh(), T_ULPS),
+        )
     }
 
     /// Hyperbolic cosine (even, minimum 1 at 0).
@@ -222,10 +225,7 @@ mod tests {
     use super::*;
 
     fn assert_encloses(i: Interval, v: f64) {
-        assert!(
-            i.contains(v),
-            "{i:?} should contain {v}"
-        );
+        assert!(i.contains(v), "{i:?} should contain {v}");
     }
 
     #[test]
@@ -250,7 +250,7 @@ mod tests {
         let y = Interval::new(-1.0, 1.0).ln();
         assert_eq!(y.lo(), f64::NEG_INFINITY);
         assert!(y.hi() >= 0.0);
-        assert_eq!(Interval::new(0.0, 0.0).ln().is_empty(), true);
+        assert!(Interval::new(0.0, 0.0).ln().is_empty());
     }
 
     #[test]

@@ -182,8 +182,8 @@ proptest! {
             let exact = px / py;
             if exact.is_finite() {
                 let (a, b) = x.div_extended(&y);
-                let hit = a.map_or(false, |i| i.contains(exact))
-                    || b.map_or(false, |i| i.contains(exact));
+                let hit = a.is_some_and(|i| i.contains(exact))
+                    || b.is_some_and(|i| i.contains(exact));
                 prop_assert!(hit, "extended division lost {exact}");
             }
         }

@@ -125,11 +125,7 @@ impl LyapunovSynthesizer {
             .collect();
         let v_expr = cx.sum(&terms);
         // V̇ = ∇V·f
-        let grads: Vec<NodeId> = sys
-            .states
-            .iter()
-            .map(|&s| cx.diff(v_expr, s))
-            .collect();
+        let grads: Vec<NodeId> = sys.states.iter().map(|&s| cx.diff(v_expr, s)).collect();
         let dot_terms: Vec<NodeId> = grads
             .iter()
             .zip(&sys.rhs)
@@ -206,12 +202,9 @@ impl LyapunovSynthesizer {
         let mut bp = BranchAndPrune::new(self.synth_delta);
         bp.max_splits = 50_000;
         match bp.solve(&self.cx, &atoms, &[], &init) {
-            DeltaResult::DeltaSat(w) => Some(
-                self.coeff_vars
-                    .iter()
-                    .map(|c| w.point[c.index()])
-                    .collect(),
-            ),
+            DeltaResult::DeltaSat(w) => {
+                Some(self.coeff_vars.iter().map(|c| w.point[c.index()]).collect())
+            }
             _ => None,
         }
     }
@@ -250,12 +243,7 @@ impl LyapunovSynthesizer {
                     let mut bp = BranchAndPrune::new(self.verify_delta);
                     bp.max_splits = 50_000;
                     if let DeltaResult::DeltaSat(w) = bp.solve(&self.cx, &[atom], &[], &init) {
-                        return Some(
-                            self.states
-                                .iter()
-                                .map(|s| w.point[s.index()])
-                                .collect(),
-                        );
+                        return Some(self.states.iter().map(|s| w.point[s.index()]).collect());
                     }
                 }
             }

@@ -62,9 +62,7 @@ pub fn fenton_karma() -> OdeModel {
         "(1-{h_uc})*(1-v)/({tau_v2_minus} + ({tau_v1_minus} - {tau_v2_minus})*{h_uv}) \
          - {h_uc}*v/{tau_v_plus}"
     );
-    let dw = format!(
-        "(1-{h_uc})*(1-w)/{tau_w_minus} - {h_uc}*w/{tau_w_plus}"
-    );
+    let dw = format!("(1-{h_uc})*(1-w)/{tau_w_minus} - {h_uc}*w/{tau_w_plus}");
     let du = cx.parse(&du).unwrap();
     let dv = cx.parse(&dv).unwrap();
     let dw = cx.parse(&dw).unwrap();
@@ -92,7 +90,7 @@ pub fn bueno_cherry_fenton() -> OdeModel {
     let s = cx.intern_var("s");
     let _stim = cx.intern_var("I_stim");
     let _tau_si = cx.intern_var("tau_si"); // nominal 1.8867 (epi)
-    // Epicardial constants (Bueno-Orovio et al. 2008, Table 1).
+                                           // Epicardial constants (Bueno-Orovio et al. 2008, Table 1).
     let u_o = 0.0;
     let u_u = 1.55;
     let th_v = 0.3;
@@ -127,30 +125,20 @@ pub fn bueno_cherry_fenton() -> OdeModel {
     // Currents.
     let j_fi = format!("-v*{h_thv}*(u - {th_v})*({u_u} - u)/{tau_fi}");
     let tau_o = format!("((1-{h_tho})*{tau_o1} + {h_tho}*{tau_o2})");
-    let tau_so = format!(
-        "({tau_so1} + ({tau_so2} - {tau_so1})*(1 + tanh({k_so}*(u - {u_so})))/2)"
-    );
+    let tau_so = format!("({tau_so1} + ({tau_so2} - {tau_so1})*(1 + tanh({k_so}*(u - {u_so})))/2)");
     let j_so = format!("(u - {u_o})*(1 - {h_thw})/{tau_o} + {h_thw}/{tau_so}");
     let j_si = format!("-{h_thw}*w*s/tau_si");
     let du = format!("-({j_fi}) - ({j_so}) - ({j_si}) + I_stim");
     // Gates.
     let tau_v_m = format!("((1-{h_thvm})*{tau_v1_m} + {h_thvm}*{tau_v2_m})");
     let v_inf = format!("(1 - {h_thvm})"); // v∞ = 1 below θv⁻, 0 above
-    let dv = format!(
-        "(1-{h_thv})*({v_inf} - v)/{tau_v_m} - {h_thv}*v/{tau_v_p}"
-    );
-    let tau_w_m = format!(
-        "({tau_w1_m} + ({tau_w2_m} - {tau_w1_m})*(1 + tanh({k_w_m}*(u - {u_w_m})))/2)"
-    );
-    let w_inf = format!(
-        "((1-{h_tho})*(1 - u/{tau_w_inf}) + {h_tho}*{w_inf_star})"
-    );
-    let dw = format!(
-        "(1-{h_thw})*({w_inf} - w)/{tau_w_m} - {h_thw}*w/{tau_w_p}"
-    );
-    let ds = format!(
-        "((1 + tanh({k_s}*(u - {u_s})))/2 - s)/((1-{h_thw})*{tau_s1} + {h_thw}*{tau_s2})"
-    );
+    let dv = format!("(1-{h_thv})*({v_inf} - v)/{tau_v_m} - {h_thv}*v/{tau_v_p}");
+    let tau_w_m =
+        format!("({tau_w1_m} + ({tau_w2_m} - {tau_w1_m})*(1 + tanh({k_w_m}*(u - {u_w_m})))/2)");
+    let w_inf = format!("((1-{h_tho})*(1 - u/{tau_w_inf}) + {h_tho}*{w_inf_star})");
+    let dw = format!("(1-{h_thw})*({w_inf} - w)/{tau_w_m} - {h_thw}*w/{tau_w_p}");
+    let ds =
+        format!("((1 + tanh({k_s}*(u - {u_s})))/2 - s)/((1-{h_thw})*{tau_s1} + {h_thw}*{tau_s2})");
     let du = cx.parse(&du).unwrap();
     let dv = cx.parse(&dv).unwrap();
     let dw = cx.parse(&dw).unwrap();
@@ -177,9 +165,7 @@ pub fn with_stimulus(model: &OdeModel, amplitude: f64, duration: f64) -> HybridA
         .env
         .iter()
         .enumerate()
-        .filter(|&(i, &v)| {
-            v != 0.0 && !model.sys.states.iter().any(|s| s.index() == i)
-        })
+        .filter(|&(i, &v)| v != 0.0 && !model.sys.states.iter().any(|s| s.index() == i))
         .map(|(i, &v)| (cx.var_names()[i].clone(), v))
         .collect();
     let clock = cx.intern_var("c");
@@ -220,7 +206,10 @@ pub fn with_stimulus(model: &OdeModel, amplitude: f64, duration: f64) -> HybridA
     ha.add_jump(
         stim,
         rest,
-        vec![biocheck_expr::Atom::new(guard_expr, biocheck_expr::RelOp::Ge)],
+        vec![biocheck_expr::Atom::new(
+            guard_expr,
+            biocheck_expr::RelOp::Ge,
+        )],
         vec![],
     );
     // Pin the initial state to the model's rest state (clock at 0) so
@@ -262,7 +251,11 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(peak > 0.8, "AP upstroke expected, peak = {peak}");
         // And repolarizes by the end.
-        assert!(traj.final_state()[0] < 0.3, "u_end = {}", traj.final_state()[0]);
+        assert!(
+            traj.final_state()[0] < 0.3,
+            "u_end = {}",
+            traj.final_state()[0]
+        );
     }
 
     #[test]
@@ -276,7 +269,10 @@ mod tests {
             .iter()
             .map(|(_, s)| s[0])
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(peak < 0.3, "small stimulus must not trigger an AP, peak = {peak}");
+        assert!(
+            peak < 0.3,
+            "small stimulus must not trigger an AP, peak = {peak}"
+        );
     }
 
     #[test]

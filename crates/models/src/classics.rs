@@ -92,9 +92,7 @@ pub fn p53_mdm2() -> OdeModel {
 pub fn kinetic_proofreading(n: usize, kf: f64, koff: f64, input: f64) -> OdeModel {
     assert!(n >= 1, "chain length must be at least 1");
     let mut cx = Context::new();
-    let vars: Vec<_> = (0..n)
-        .map(|i| cx.intern_var(&format!("c{i}")))
-        .collect();
+    let vars: Vec<_> = (0..n).map(|i| cx.intern_var(&format!("c{i}"))).collect();
     let mut rhs = Vec::with_capacity(n);
     for i in 0..n {
         let src = if i == 0 {
@@ -168,7 +166,10 @@ mod tests {
                 peaks += 1;
             }
         }
-        assert!(peaks >= 3, "sustained oscillation expected, peaks = {peaks}");
+        assert!(
+            peaks >= 3,
+            "sustained oscillation expected, peaks = {peaks}"
+        );
     }
 
     #[test]

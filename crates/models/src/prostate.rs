@@ -75,9 +75,8 @@ pub fn ias_automaton(p: &PatientParams) -> HybridAutomaton {
         k1,
     } = *p;
     // Growth terms shared by both modes (androgen enters through z).
-    let dx = format!(
-        "({alpha_x}*z/(z + {k1}) - {beta_x}*((1-0.8)*z/{z0} + 0.8) - {m1}*(1 - z/{z0}))*x"
-    );
+    let dx =
+        format!("({alpha_x}*z/(z + {k1}) - {beta_x}*((1-0.8)*z/{z0} + 0.8) - {m1}*(1 - z/{z0}))*x");
     let dy = format!("{m1}*(1 - z/{z0})*x + ({alpha_y}*(1 - {d}*z/{z0}) - {beta_y})*y");
     let dz_on = format!("-z/{tau}");
     let dz_off = format!("({z0} - z)/{tau}");

@@ -151,9 +151,7 @@ mod tests {
             .simulate(&env, &tbi_init(), 40.0, &SimOptions::default())
             .unwrap();
         let dmg_end = traj.final_state()[5];
-        let died = traj
-            .mode_path()
-            .contains(&ha.mode_by_name("1").unwrap());
+        let died = traj.mode_path().contains(&ha.mode_by_name("1").unwrap());
         assert!(
             died || dmg_end >= THETA_DEATH,
             "untreated damage must cross θ_death, got {dmg_end}"
@@ -191,9 +189,7 @@ mod tests {
         let traj = ha
             .simulate(&env, &tbi_init(), 40.0, &SimOptions::default())
             .unwrap();
-        let died = traj
-            .mode_path()
-            .contains(&ha.mode_by_name("1").unwrap())
+        let died = traj.mode_path().contains(&ha.mode_by_name("1").unwrap())
             || traj.final_state()[5] >= THETA_DEATH;
         assert!(died, "single drug is not enough in this regime");
     }

@@ -283,7 +283,11 @@ mod tests {
         // True reach set at τ=1: [e⁻¹, 2e⁻¹] ≈ [0.368, 0.736].
         assert!(bx[it].contains((-1.0f64).exp()));
         assert!(bx[it].contains(2.0 * (-1.0f64).exp()));
-        assert!(bx[it].hi() < 1.2, "pruned from 10 to ≈0.74, got {:?}", bx[it]);
+        assert!(
+            bx[it].hi() < 1.2,
+            "pruned from 10 to ≈0.74, got {:?}",
+            bx[it]
+        );
         assert!(bx[it].lo() > 0.2);
     }
 
@@ -333,14 +337,14 @@ mod tests {
         // Soundness: the exact pair (x0, x0·e^{-τ}) survives contraction.
         let (cx, fc, [i0, it, itau]) = decay_setting();
         for x0v in [0.5, 1.0, 1.7] {
-            for tauv in [0.2, 0.7, 1.4] {
+            for tauv in [0.2f64, 0.7, 1.4] {
                 let mut bx = full_box(&cx);
                 bx[i0] = Interval::new(0.4, 2.0);
                 bx[it] = Interval::new(0.0, 3.0);
                 bx[itau] = Interval::new(0.0, 1.5);
                 let out = fc.contract(&mut bx);
                 assert_ne!(out, Outcome::Empty);
-                let xt_exact = x0v * (-tauv as f64).exp();
+                let xt_exact = x0v * (-tauv).exp();
                 assert!(bx[i0].contains(x0v));
                 assert!(bx[it].contains(xt_exact), "lost xt={xt_exact}");
                 assert!(bx[itau].contains(tauv));

@@ -3,6 +3,7 @@
 
 use crate::system::CompiledOde;
 use crate::trace::Trace;
+use biocheck_expr::EvalScratch;
 use std::error::Error;
 use std::fmt;
 
@@ -75,13 +76,14 @@ impl Rk4 {
         env.resize(ode.env_len().max(env.len()), 0.0);
         let mut y = y0.to_vec();
         let mut t = t0;
+        let mut scratch = EvalScratch::new();
         let mut k1 = vec![0.0; n];
         let mut k2 = vec![0.0; n];
         let mut k3 = vec![0.0; n];
         let mut k4 = vec![0.0; n];
         let mut tmp = vec![0.0; n];
 
-        ode.deriv(&mut env, &y, t, &mut k1);
+        ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
         let mut times = vec![t0];
         let mut states = vec![y.clone()];
         let mut derivs = vec![k1.clone()];
@@ -91,19 +93,19 @@ impl Rk4 {
                 break;
             }
             let h = self.step.min(t_end - t);
-            ode.deriv(&mut env, &y, t, &mut k1);
+            ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * h * k1[i];
             }
-            ode.deriv(&mut env, &tmp, t + 0.5 * h, &mut k2);
+            ode.deriv_with(&mut env, &tmp, t + 0.5 * h, &mut k2, &mut scratch);
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * h * k2[i];
             }
-            ode.deriv(&mut env, &tmp, t + 0.5 * h, &mut k3);
+            ode.deriv_with(&mut env, &tmp, t + 0.5 * h, &mut k3, &mut scratch);
             for i in 0..n {
                 tmp[i] = y[i] + h * k3[i];
             }
-            ode.deriv(&mut env, &tmp, t + h, &mut k4);
+            ode.deriv_with(&mut env, &tmp, t + h, &mut k4, &mut scratch);
             for i in 0..n {
                 y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
             }
@@ -111,7 +113,7 @@ impl Rk4 {
             if y.iter().any(|v| !v.is_finite()) {
                 return Err(OdeError::NonFinite { t });
             }
-            ode.deriv(&mut env, &y, t, &mut k1);
+            ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
             times.push(t);
             states.push(y.clone());
             derivs.push(k1.clone());
@@ -237,9 +239,11 @@ impl DormandPrince {
         let mut y = y0.to_vec();
         let mut t = t0;
 
+        let mut scratch = EvalScratch::new();
         let mut k: Vec<Vec<f64>> = vec![vec![0.0; n]; 7];
         let mut tmp = vec![0.0; n];
-        ode.deriv(&mut env, &y, t, &mut k[0]);
+        let mut y5 = vec![0.0; n];
+        ode.deriv_with(&mut env, &y, t, &mut k[0], &mut scratch);
         if k[0].iter().any(|v| !v.is_finite()) {
             return Err(OdeError::NonFinite { t });
         }
@@ -283,11 +287,10 @@ impl DormandPrince {
                 }
                 let (head, tail) = k.split_at_mut(s);
                 let _ = head;
-                ode.deriv(&mut env, &tmp, t + C[s] * h, &mut tail[0]);
+                ode.deriv_with(&mut env, &tmp, t + C[s] * h, &mut tail[0], &mut scratch);
             }
             // 5th/4th order solutions and the error estimate.
             let mut err: f64 = 0.0;
-            let mut y5 = vec![0.0; n];
             for i in 0..n {
                 let mut s5 = 0.0;
                 let mut s4 = 0.0;
@@ -307,14 +310,14 @@ impl DormandPrince {
                 if h < self.h_min {
                     return Err(OdeError::NonFinite { t });
                 }
-                ode.deriv(&mut env, &y, t, &mut k[0]);
+                ode.deriv_with(&mut env, &y, t, &mut k[0], &mut scratch);
                 continue;
             }
             if err <= 1.0 {
                 // Accept.
                 t += h;
-                y = y5;
-                k[0] = k[6].clone(); // FSAL: k7 = f(t+h, y5)
+                std::mem::swap(&mut y, &mut y5);
+                k.swap(0, 6); // FSAL: k7 = f(t+h, y5)
                 times.push(t);
                 states.push(y.clone());
                 derivs.push(k[0].clone());

@@ -2,7 +2,7 @@
 
 use crate::rk::{DormandPrince, OdeError};
 use crate::trace::Trace;
-use biocheck_expr::{Context, NodeId, Program, VarId};
+use biocheck_expr::{Context, EvalScratch, NodeId, Program, VarId};
 
 /// A system `dx/dt = f(x, p, t)` described by expressions in a shared
 /// [`Context`].
@@ -111,10 +111,30 @@ impl CompiledOde {
 
     /// Evaluates `f(y, t)` into `out`, scribbling states/time into `env`.
     ///
+    /// Allocates a fresh evaluation buffer per call; integrator loops use
+    /// [`CompiledOde::deriv_with`] with a reused scratch instead.
+    ///
     /// # Panics
     ///
     /// Panics if `out.len() != dim()` or `env` is too short.
     pub fn deriv(&self, env: &mut [f64], y: &[f64], t: f64, out: &mut [f64]) {
+        self.deriv_with(env, y, t, out, &mut EvalScratch::new());
+    }
+
+    /// Evaluates `f(y, t)` into `out`, reusing `scratch` — the
+    /// allocation-free form sitting under every integrator step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim()` or `env` is too short.
+    pub fn deriv_with(
+        &self,
+        env: &mut [f64],
+        y: &[f64],
+        t: f64,
+        out: &mut [f64],
+        scratch: &mut EvalScratch,
+    ) {
         debug_assert_eq!(y.len(), self.states.len());
         for (&v, &yi) in self.states.iter().zip(y) {
             env[v.index()] = yi;
@@ -122,7 +142,7 @@ impl CompiledOde {
         if let Some(tv) = self.time {
             env[tv.index()] = t;
         }
-        self.prog.eval_into(env, out);
+        self.prog.eval_with(env, scratch, out);
     }
 
     /// Convenience: adaptive integration with default tolerances.
@@ -162,6 +182,7 @@ impl CompiledOde {
         let guard_prog = Program::compile(cx, events);
         let trace = DormandPrince::default().integrate(self, base_env, y0, tspan)?;
         let mut env = base_env.to_vec();
+        let mut scratch = EvalScratch::new();
         let mut eval_guards = |t: f64, y: &[f64], out: &mut [f64]| {
             for (&v, &yi) in self.states.iter().zip(y) {
                 env[v.index()] = yi;
@@ -169,7 +190,7 @@ impl CompiledOde {
             if let Some(tv) = self.time {
                 env[tv.index()] = t;
             }
-            guard_prog.eval_into(&env, out);
+            guard_prog.eval_with(&env, &mut scratch, out);
         };
         if events.is_empty() {
             return Ok((trace, None));
@@ -197,7 +218,7 @@ impl CompiledOde {
                             lo = mid;
                         }
                     }
-                    if best.map_or(true, |(_, t)| hi < t) {
+                    if best.is_none_or(|(_, t)| hi < t) {
                         best = Some((g, hi));
                     }
                 }

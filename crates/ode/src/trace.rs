@@ -162,18 +162,16 @@ impl Trace {
 
     /// Maximum absolute value of component `d` over the samples.
     pub fn max_abs(&self, d: usize) -> f64 {
-        self.states
-            .iter()
-            .map(|s| s[d].abs())
-            .fold(0.0, f64::max)
+        self.states.iter().map(|s| s[d].abs()).fold(0.0, f64::max)
     }
 
     /// Componentwise extrema `(min, max)` of component `d` over samples.
     pub fn extrema(&self, d: usize) -> (f64, f64) {
-        self.states.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), s| (lo.min(s[d]), hi.max(s[d])),
-        )
+        self.states
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+                (lo.min(s[d]), hi.max(s[d]))
+            })
     }
 }
 

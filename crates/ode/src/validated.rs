@@ -306,7 +306,7 @@ impl ValidatedOde {
             .map(|i| {
                 let mut acc = Interval::ZERO;
                 for j in 0..n {
-                    acc = acc + jb[i * n + j] * f_range[j];
+                    acc += jb[i * n + j] * f_range[j];
                 }
                 Interval::point(m[i]) + hh * f_m[i] + h2 * acc
             })
@@ -333,7 +333,7 @@ impl ValidatedOde {
                 for j in 0..n {
                     let mut acc = ident(i, j);
                     for l in 0..n {
-                        acc = acc + m_mat[i * n + l] * w_tilde[l * n + j];
+                        acc += m_mat[i * n + l] * w_tilde[l * n + j];
                     }
                     img[i * n + j] = acc;
                 }
@@ -363,7 +363,7 @@ impl ValidatedOde {
             for j in 0..n {
                 let mut acc = ident(i, j);
                 for l in 0..n {
-                    acc = acc + hh * jb[i * n + l] * w_tilde[l * n + j];
+                    acc += hh * jb[i * n + l] * w_tilde[l * n + j];
                 }
                 wh[i * n + j] = acc;
             }
@@ -374,7 +374,7 @@ impl ValidatedOde {
                 .map(|i| {
                     let mut acc = e_m[i];
                     for j in 0..n {
-                        acc = acc + wh[i * n + j] * (y[j] - Interval::point(m[j]));
+                        acc += wh[i * n + j] * (y[j] - Interval::point(m[j]));
                     }
                     acc
                 })
@@ -390,12 +390,7 @@ impl ValidatedOde {
     /// [`ValidationError::StepUnderflow`] when no step can be certified,
     /// [`ValidationError::WidthExplosion`] when the tube outgrows
     /// `max_width`.
-    pub fn flow(
-        &self,
-        env: &IBox,
-        y0: &IBox,
-        duration: f64,
-    ) -> Result<FlowTube, ValidationError> {
+    pub fn flow(&self, env: &IBox, y0: &IBox, duration: f64) -> Result<FlowTube, ValidationError> {
         assert_eq!(y0.len(), self.dim(), "initial box dimension mismatch");
         let mut env = env.clone();
         let mut tube = FlowTube {

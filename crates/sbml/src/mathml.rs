@@ -228,7 +228,8 @@ mod tests {
 
     #[test]
     fn functions() {
-        let (cx, id) = parse_math("<math><apply><exp/><apply><ln/><cn>5</cn></apply></apply></math>");
+        let (cx, id) =
+            parse_math("<math><apply><exp/><apply><ln/><cn>5</cn></apply></apply></math>");
         assert!((cx.eval(id, &[]) - 5.0).abs() < 1e-12);
     }
 

@@ -210,11 +210,7 @@ impl SbmlModel {
     pub fn to_ode(&self) -> Result<(Context, OdeSystem, Vec<f64>, Vec<f64>), SbmlError> {
         let mut cx = Context::new();
         // Interning order fixes the environment layout: species first.
-        let state_vars: Vec<_> = self
-            .species
-            .iter()
-            .map(|s| cx.intern_var(&s.id))
-            .collect();
+        let state_vars: Vec<_> = self.species.iter().map(|s| cx.intern_var(&s.id)).collect();
         for (p, _) in &self.parameters {
             cx.intern_var(p);
         }

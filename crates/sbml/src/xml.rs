@@ -51,8 +51,7 @@ impl XmlNode {
 
     /// First child element with the given (local) name.
     pub fn child(&self, name: &str) -> Option<&XmlNode> {
-        self.elements()
-            .find(|e| e.local_name() == Some(name))
+        self.elements().find(|e| e.local_name() == Some(name))
     }
 
     /// All child elements with the given (local) name.
@@ -219,7 +218,10 @@ impl<'a> Parser<'a> {
             let key = self.read_name()?;
             self.skip_ws();
             if self.peek() != Some(b'=') {
-                return Err(err(self.pos, format!("expected `=` after attribute `{key}`")));
+                return Err(err(
+                    self.pos,
+                    format!("expected `=` after attribute `{key}`"),
+                ));
             }
             self.pos += 1;
             self.skip_ws();
@@ -327,8 +329,8 @@ mod tests {
 
     #[test]
     fn basic_document() {
-        let root = parse_xml(r#"<?xml version="1.0"?><a x="1"><b/>text<c y="2">inner</c></a>"#)
-            .unwrap();
+        let root =
+            parse_xml(r#"<?xml version="1.0"?><a x="1"><b/>text<c y="2">inner</c></a>"#).unwrap();
         assert_eq!(root.name(), Some("a"));
         assert_eq!(root.attr("x"), Some("1"));
         assert_eq!(root.elements().count(), 2);
@@ -346,17 +348,16 @@ mod tests {
 
     #[test]
     fn comments_and_doctype_skipped() {
-        let root = parse_xml(
-            "<!DOCTYPE sbml><!-- hello --><r><!-- inner --><x/></r><!-- after -->",
-        )
-        .unwrap();
+        let root =
+            parse_xml("<!DOCTYPE sbml><!-- hello --><r><!-- inner --><x/></r><!-- after -->")
+                .unwrap();
         assert_eq!(root.elements().count(), 1);
     }
 
     #[test]
     fn namespaced_names() {
-        let root = parse_xml(r#"<math:apply xmlns:math="m"><math:ci>k</math:ci></math:apply>"#)
-            .unwrap();
+        let root =
+            parse_xml(r#"<math:apply xmlns:math="m"><math:ci>k</math:ci></math:apply>"#).unwrap();
         assert_eq!(root.local_name(), Some("apply"));
         assert_eq!(root.child("ci").unwrap().text(), "k");
     }

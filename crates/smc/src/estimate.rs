@@ -93,16 +93,26 @@ pub struct Estimate {
     pub confidence: f64,
 }
 
-/// Chernoff–Hoeffding estimation: `n = ⌈ln(2/δ) / (2ε²)⌉` samples give
-/// `P(|p̂ − p| > ε) ≤ δ`.
+/// The Chernoff–Hoeffding sample size: `n = ⌈ln(2/δ) / (2ε²)⌉` samples
+/// give `P(|p̂ − p| > ε) ≤ δ`. Shared by the sequential and parallel
+/// estimators so their sample counts can never diverge.
+///
+/// # Panics
+///
+/// Panics unless `0 < eps < 1` and `0 < delta < 1`.
+pub fn chernoff_sample_size(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// Chernoff–Hoeffding estimation with [`chernoff_sample_size`] samples.
 ///
 /// # Panics
 ///
 /// Panics unless `0 < eps < 1` and `0 < delta < 1`.
 pub fn chernoff_estimate<F: FnMut() -> bool>(mut sample: F, eps: f64, delta: f64) -> Estimate {
-    assert!(eps > 0.0 && eps < 1.0, "eps in (0,1)");
-    assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
-    let n = ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize;
+    let n = chernoff_sample_size(eps, delta);
     let mut hits = 0usize;
     for _ in 0..n {
         if sample() {
@@ -130,8 +140,14 @@ pub fn bayes_estimate<F: FnMut() -> bool>(
     confidence: f64,
     max_samples: usize,
 ) -> Estimate {
-    assert!(half_width > 0.0 && half_width < 0.5, "half_width in (0, 0.5)");
-    assert!(confidence > 0.5 && confidence < 1.0, "confidence in (0.5, 1)");
+    assert!(
+        half_width > 0.0 && half_width < 0.5,
+        "half_width in (0, 0.5)"
+    );
+    assert!(
+        confidence > 0.5 && confidence < 1.0,
+        "confidence in (0.5, 1)"
+    );
     // Two-sided z for the requested coverage (rational approximation of
     // the probit function, Beasley–Springer–Moro style coefficients).
     let z = probit(0.5 + confidence / 2.0);
@@ -172,7 +188,7 @@ fn probit(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];

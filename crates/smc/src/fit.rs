@@ -5,8 +5,8 @@
 use crate::sampler::Dist;
 use biocheck_bltl::{Bltl, Monitor};
 use biocheck_expr::{Context, VarId};
-use biocheck_ode::{DormandPrince, OdeSystem};
 use biocheck_interval::Interval;
+use biocheck_ode::{DormandPrince, OdeSystem};
 use rand::Rng;
 
 /// Result of a parameter fit.
@@ -87,8 +87,7 @@ impl SmcFit {
             let y0: Vec<f64> = self.init.iter().map(|d| d.sample(rng)).collect();
             match integrator.integrate(&ode, &env, &y0, (0.0, self.t_end)) {
                 Ok(trace) => {
-                    let mut mon =
-                        Monitor::new(&self.cx, &self.sys.states).with_env(env.clone());
+                    let mut mon = Monitor::new(&self.cx, &self.sys.states).with_env(env.clone());
                     if mon.check(&self.property, &trace) {
                         hits += 1;
                     }
@@ -123,10 +122,7 @@ impl SmcFit {
             let mut cand = cur.clone();
             let w = self.param_ranges[d].width();
             let step = w * temp * (rng.gen::<f64>() - 0.5);
-            cand[d] = (cand[d] + step).clamp(
-                self.param_ranges[d].lo(),
-                self.param_ranges[d].hi(),
-            );
+            cand[d] = (cand[d] + step).clamp(self.param_ranges[d].lo(), self.param_ranges[d].hi());
             let cand_score = self.score(rng, &cand);
             sims += self.samples_per_eval;
             let accept = cand_score >= cur_score

@@ -20,8 +20,16 @@
 
 mod estimate;
 mod fit;
+mod parallel;
 mod sampler;
 
-pub use estimate::{bayes_estimate, chernoff_estimate, sprt, Estimate, SprtOutcome, SprtResult};
+pub use estimate::{
+    bayes_estimate, chernoff_estimate, chernoff_sample_size, sprt, Estimate, SprtOutcome,
+    SprtResult,
+};
 pub use fit::{FitResult, SmcFit};
+pub use parallel::{
+    fork_rng, par_chernoff_estimate, par_estimate, par_sprt, seq_chernoff_estimate, seq_estimate,
+    seq_sprt,
+};
 pub use sampler::{Dist, TraceSampler};

@@ -50,8 +50,10 @@ impl Dist {
     }
 }
 
-/// Box–Muller standard normal (rand's distributions live in `rand_distr`,
-/// which is not a declared dependency).
+/// Box–Muller standard normal. The guarded loop rejects `u1` values too
+/// close to zero so `ln(u1)` can never produce an infinity; the loop
+/// terminates with overwhelming probability on the first draw (the vendored
+/// `rand` generates `u1 = 0` with probability 2⁻⁵³ per attempt).
 fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u1: f64 = rng.gen::<f64>();
@@ -121,7 +123,10 @@ impl TraceSampler {
             env[v.index()] = d.sample(rng);
         }
         let y0: Vec<f64> = self.init.iter().map(|d| d.sample(rng)).collect();
-        match self.integrator.integrate(&self.ode, &env, &y0, (0.0, self.t_end)) {
+        match self
+            .integrator
+            .integrate(&self.ode, &env, &y0, (0.0, self.t_end))
+        {
             Ok(trace) => {
                 let mut mon = Monitor::new(&self.cx, &self.states).with_env(env);
                 let sat = mon.check(&self.property, &trace);
@@ -168,7 +173,10 @@ mod tests {
             );
         }
         // Log-normal is skewed; just check positivity and rough mean.
-        let d = Dist::LogNormal { mu: 0.0, sigma: 0.25 };
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.25,
+        };
         let mut all_positive = true;
         for _ in 0..100 {
             all_positive &= d.sample(&mut rng) > 0.0;
@@ -195,14 +203,7 @@ mod tests {
         let sys = OdeSystem::new(vec![x], vec![rhs]);
         let e = cx.parse(prop_src).unwrap();
         let prop = Bltl::eventually(5.0, Bltl::Prop(Atom::new(e, op)));
-        TraceSampler::new(
-            cx,
-            &sys,
-            vec![Dist::Uniform(0.5, 1.5)],
-            vec![],
-            prop,
-            5.0,
-        )
+        TraceSampler::new(cx, &sys, vec![Dist::Uniform(0.5, 1.5)], vec![], prop, 5.0)
     }
 
     #[test]

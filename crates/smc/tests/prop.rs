@@ -1,0 +1,57 @@
+//! Property tests: parallel SMC with a fixed seed reproduces the
+//! sequential estimate bit-for-bit — sample count, verdict, and
+//! confidence interval — for arbitrary seeds and sample counts.
+
+use biocheck_bltl::Bltl;
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_ode::OdeSystem;
+use biocheck_smc::{
+    par_chernoff_estimate, par_estimate, par_sprt, seq_chernoff_estimate, seq_estimate, seq_sprt,
+    Dist, TraceSampler,
+};
+use proptest::prelude::*;
+
+/// Decay from x₀ ~ U[0.5, 1.5]; F≤0.01 (x ≥ 1) holds iff x₀ ≥ ~1 ⇒ p ≈ ½.
+fn threshold_sampler() -> TraceSampler {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("-x").unwrap();
+    let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let e = cx.parse("x - 1").unwrap();
+    let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    TraceSampler::new(cx, &sys, vec![Dist::Uniform(0.5, 1.5)], vec![], prop, 0.01)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn estimate_parallel_equals_sequential(seed in 0..u64::MAX / 2, n in 1..200usize) {
+        let s = threshold_sampler();
+        let p_par = par_estimate(&s, seed, n);
+        let p_seq = seq_estimate(&s, seed, n);
+        prop_assert!(p_par.to_bits() == p_seq.to_bits(),
+            "seed {seed}, n {n}: {p_par} != {p_seq}");
+    }
+
+    #[test]
+    fn chernoff_parallel_equals_sequential(seed in 0..u64::MAX / 2) {
+        let s = threshold_sampler();
+        let a = par_chernoff_estimate(&s, seed, 0.15, 0.2);
+        let b = seq_chernoff_estimate(&s, seed, 0.15, 0.2);
+        prop_assert!(a.p_hat.to_bits() == b.p_hat.to_bits());
+        prop_assert!(a.samples == b.samples);
+        prop_assert!(a.half_width == b.half_width && a.confidence == b.confidence);
+    }
+
+    #[test]
+    fn sprt_parallel_equals_sequential(seed in 0..u64::MAX / 2) {
+        let s = threshold_sampler();
+        // p ≈ 0.5 against θ = 0.8: H1 accepted after a short run.
+        let a = par_sprt(&s, seed, 0.8, 0.05, 0.05, 0.05, 5_000);
+        let b = seq_sprt(&s, seed, 0.8, 0.05, 0.05, 0.05, 5_000);
+        prop_assert!(a.outcome == b.outcome, "seed {seed}");
+        prop_assert!(a.samples == b.samples, "seed {seed}: {} vs {}", a.samples, b.samples);
+        prop_assert!(a.p_hat.to_bits() == b.p_hat.to_bits());
+    }
+}

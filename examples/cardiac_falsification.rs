@@ -19,9 +19,9 @@ fn main() {
     let fk = cardiac::fenton_karma();
     let mut ha = cardiac::with_stimulus(&fk, 0.3, 2.0);
     let bounds = vec![
-        Interval::new(-0.2, 1.6), // u
-        Interval::new(0.0, 1.0),  // v
-        Interval::new(0.0, 1.0),  // w
+        Interval::new(-0.2, 1.6),  // u
+        Interval::new(0.0, 1.0),   // v
+        Interval::new(0.0, 1.0),   // w
         Interval::new(0.0, 500.0), // clock
     ];
     let opts = ReachOptions {

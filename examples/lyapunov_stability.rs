@@ -21,7 +21,10 @@ fn main() {
     .expect("proofreading chain is stable");
     println!("kinetic proofreading:");
     println!("  equilibrium ≈ {:?}", report.equilibrium);
-    println!("  V(y) = {}  (certified: {})", report.lyapunov, report.certified);
+    println!(
+        "  V(y) = {}  (certified: {})",
+        report.lyapunov, report.certified
+    );
 
     // 2. Goldbeter–Koshland (ERK-like) switch: monostable nonlinear.
     let gk = classics::goldbeter_koshland();
@@ -29,7 +32,10 @@ fn main() {
         .expect("GK switch is monostable");
     println!("Goldbeter–Koshland switch:");
     println!("  equilibrium ≈ {:.4}", report.equilibrium[0]);
-    println!("  V(y) = {}  (certified: {})", report.lyapunov, report.certified);
+    println!(
+        "  V(y) = {}  (certified: {})",
+        report.lyapunov, report.certified
+    );
 
     // 3. A raw CEGIS run on a damped oscillator, showing the iterations.
     let mut cx = biocheck::expr::Context::new();
@@ -40,5 +46,8 @@ fn main() {
     let sys = biocheck::ode::OdeSystem::new(vec![x, v], vec![fx, fv]);
     let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.2, 1.0);
     let r = syn.run(40).expect("certificate exists");
-    println!("damped oscillator: V = {} after {} CEGIS iterations", r.v_text, r.iterations);
+    println!(
+        "damped oscillator: V = {} after {} CEGIS iterations",
+        r.v_text, r.iterations
+    );
 }

@@ -62,7 +62,10 @@ fn main() {
         r if r.is_delta_sat() => {
             let w = r.witness().unwrap();
             println!("synthesized thresholds: {:?}", w.param_box);
-            println!("  via path {:?} with dwell times {:?}", w.path, w.dwell_times);
+            println!(
+                "  via path {:?} with dwell times {:?}",
+                w.path, w.dwell_times
+            );
         }
         r => println!("no thresholds found: {r:?}"),
     }

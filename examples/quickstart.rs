@@ -7,12 +7,12 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+use biocheck::bltl::Bltl;
 use biocheck::core::{synthesize_parameters, verify_stability, CalibrationProblem, Dataset};
 use biocheck::expr::{Atom, Context, RelOp};
 use biocheck::interval::Interval;
 use biocheck::ode::OdeSystem;
 use biocheck::smc::{sprt, Dist, SprtOutcome, TraceSampler};
-use biocheck::bltl::Bltl;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --release --example radiation_rescue`.
 
-use biocheck::core::synthesize_therapy;
 use biocheck::bmc::{ReachOptions, ReachSpec};
+use biocheck::core::synthesize_therapy;
 use biocheck::expr::{Atom, RelOp};
 use biocheck::hybrid::SimOptions;
 use biocheck::interval::Interval;
@@ -46,10 +46,7 @@ fn main() {
     let committed = ha.cx.parse("rip3 - 1.2").unwrap(); // necroptosis arm engaged
     let spec = ReachSpec {
         goal_mode: Some(ha.mode_by_name("B").unwrap()),
-        goal: vec![
-            Atom::new(safe, RelOp::Ge),
-            Atom::new(committed, RelOp::Ge),
-        ],
+        goal: vec![Atom::new(safe, RelOp::Ge), Atom::new(committed, RelOp::Ge)],
         k_max: 3,
         time_bound: 8.0,
     };

@@ -42,7 +42,10 @@ fn main() {
         bayes.p_hat, bayes.samples
     );
     let hyp = sprt(|| sampler.sample(&mut rng), 0.4, 0.05, 0.01, 0.01, 100_000);
-    println!("           SPRT for p ≥ 0.4: {:?} ({} samples)", hyp.outcome, hyp.samples);
+    println!(
+        "           SPRT for p ≥ 0.4: {:?} ({} samples)",
+        hyp.outcome, hyp.samples
+    );
 
     // SMC-driven parameter estimation: recover the decay rate of a
     // first-order clearance model from a property specification.

@@ -1,0 +1,384 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the proptest API its property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! range and [`Just`] strategies, tuple composition, [`prop_oneof!`],
+//! and [`collection::vec`].
+//!
+//! Differences from upstream: cases are drawn from a deterministic
+//! per-test seed (derived from the test name), and failing cases are
+//! **not shrunk** — the panic message carries the failed assertion
+//! instead of a minimal counterexample.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Test-runner configuration (only the case count is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error type produced by `prop_assert!` failures.
+pub type TestCaseError = String;
+
+/// A value generator. Unlike upstream proptest there is no shrinking:
+/// a strategy is simply a cloneable sampler.
+pub trait Strategy: Clone {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+        U: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| f(inner.generate(rng))))
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for smaller
+    /// values and returns a strategy for one-level-larger values. Sampled
+    /// depth varies from 0 to `depth`.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> BoxedStrategy<Self::Value>,
+    {
+        let mut level = self.boxed();
+        for _ in 0..depth {
+            // Mix the previous level in so shallower values stay reachable.
+            let bigger = recurse(level.clone());
+            level = BoxedStrategy::union(vec![level, bigger]);
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut StdRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Uniform choice among the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn union(arms: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V>
+    where
+        V: 'static,
+    {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy(Rc::new(move |rng| {
+            let i = rng.gen_range(0..arms.len());
+            (arms[i].0)(rng)
+        }))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A `Vec` with length drawn from `len` and elements from `element`.
+    pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = rng.gen_range(len.clone());
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        collection, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Builds the deterministic runner RNG (used by the `proptest!` macro,
+/// which cannot name `rand` paths from the caller's crate).
+pub fn new_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// FNV-1a over the test name: a stable per-test seed.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property, reporting the failing case without panicking
+/// past the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let __prop_ok: bool = $cond;
+        if !__prop_ok {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let __prop_ok: bool = $cond;
+        if !__prop_ok {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({va:?} vs {vb:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+/// Discards a case when its precondition fails (counted as a skip here).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// The property-test declaration macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:tt; $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::new_rng(
+                $crate::seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf,
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in -2.0..3.0f64, n in 1..5i32) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(v in prop_oneof![Just(1u32), Just(2u32), Just(3u32)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn tuples_and_maps((a, b) in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(x, y)| (x.min(y), x.max(y)))) {
+            prop_assert!(a <= b, "{a} > {b}");
+        }
+
+        #[test]
+        fn vec_len_in_range(v in collection::vec(0..10usize, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn recursive_depth_bounded(
+            t in Just(Tree::Leaf).boxed().prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(a.into(), b.into()))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn early_ok_return_works(flag in prop_oneof![Just(true), Just(false)]) {
+            if flag {
+                return Ok(());
+            }
+            prop_assert!(!flag);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_of("a"), crate::seed_of("b"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Minimal, dependency-free stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of the rayon API its hot paths use: `into_par_iter`
+//! / `par_iter` with `map` / `for_each` / `collect` / `sum`, plus
+//! [`join`] and [`current_num_threads`]. Parallelism comes from
+//! `std::thread::scope` fork-join over contiguous chunks rather than a
+//! work-stealing pool — for the coarse-grained outer loops BioCheck
+//! parallelizes (trajectory sampling, frontier batches of boxes), the
+//! chunked schedule is within noise of work stealing.
+//!
+//! Ordering contract: `map` + `collect` preserves input order exactly,
+//! regardless of thread count, so seeded computations stay deterministic.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call will use at most.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Order-preserving parallel map over an owned item list.
+fn par_map_vec<I, T, F>(items: Vec<I>, f: &F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<T>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+        out
+    })
+}
+
+/// An eager parallel iterator: adaptors apply immediately, in parallel.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<T: Send, F: Fn(I) -> T + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: par_map_vec(self.items, &f),
+        }
+    }
+
+    /// Like `map`, but each worker first builds a state value with `init`
+    /// and threads it through its chunk of items (rayon's `map_init`).
+    /// Preserves input order.
+    pub fn map_init<S, T, FI, F>(self, init: FI, f: F) -> ParIter<T>
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, I) -> T + Sync,
+    {
+        let items = self.items;
+        let n = items.len();
+        let threads = current_num_threads().min(n).max(1);
+        if threads <= 1 {
+            let mut state = init();
+            return ParIter {
+                items: items.into_iter().map(|i| f(&mut state, i)).collect(),
+            };
+        }
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+        let mut it = items.into_iter();
+        loop {
+            let c: Vec<I> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let out = std::thread::scope(|s| {
+            let init = &init;
+            let f = &f;
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| {
+                    s.spawn(move || {
+                        let mut state = init();
+                        c.into_iter().map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon worker panicked"));
+            }
+            out
+        });
+        ParIter { items: out }
+    }
+
+    /// Runs `f` on every item in parallel (no results).
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        let _ = par_map_vec(self.items, &|i| f(i));
+    }
+
+    /// Parallel filter, preserving order.
+    pub fn filter<F: Fn(&I) -> bool + Sync>(self, f: F) -> ParIter<I> {
+        let kept = par_map_vec(self.items, &|i| if f(&i) { Some(i) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the (already computed) items.
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Parallel fold-reduce: `identity` seeds each chunk, `op` combines.
+    pub fn reduce<F>(self, identity: impl Fn() -> I + Sync, op: F) -> I
+    where
+        F: Fn(I, I) -> I + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000usize).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let s: f64 = data.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 14.0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let n = (0..100usize).into_par_iter().filter(|i| i % 3 == 0).count();
+        assert_eq!(n, 34);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
