@@ -1,0 +1,629 @@
+//! The CI perf-regression gate: parses a committed `BENCH_<n>.json`
+//! baseline and compares freshly measured workloads against it.
+//!
+//! The gate fails when any workload's samples/sec (sequential or
+//! parallel mode) regresses by more than the tolerance, or when any
+//! freshly measured `deterministic` bit is false. Baselines recorded on
+//! a different machine are handled by rescaling with the ratio of
+//! [`crate::perf::calibration_score`] values (a fixed spin loop timed
+//! on both sides), so the comparison is machine-relative rather than
+//! absolute. Workloads present on only one side are reported but do not
+//! fail the gate (renames happen); a baseline asserting nothing — no
+//! common workloads — does fail.
+//!
+//! The parser is a deliberately small recursive-descent JSON reader
+//! (the build environment has no serde), sufficient for the flat
+//! `BENCH_<n>.json` schema produced by [`crate::perf::perf_to_json`].
+
+use crate::perf::PerfWorkload;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Default gate tolerance: a workload may lose up to 15% samples/sec
+/// against the committed baseline before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// A parsed JSON value (only what the bench schema needs).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string (escape sequences decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion order not preserved.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// One workload row of a committed `BENCH_<n>.json` baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Sequential-mode samples per second.
+    pub seq_samples_per_sec: f64,
+    /// Parallel-mode samples per second.
+    pub par_samples_per_sec: f64,
+    /// Recorded determinism bit.
+    pub deterministic: bool,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// The file's `bench_version`.
+    pub bench_version: u32,
+    /// The measuring machine's calibration score
+    /// ([`crate::perf::calibration_score`]), absent in pre-gate files.
+    pub calibration: Option<f64>,
+    /// Pool width the baseline was measured with.
+    pub threads: Option<usize>,
+    /// Its workload rows.
+    pub workloads: Vec<BaselineWorkload>,
+}
+
+/// Parses a `BENCH_<n>.json` document into a [`Baseline`].
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let root = parse_json(text)?;
+    let bench_version = root
+        .get("bench_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing bench_version")? as u32;
+    let rows = root
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("missing workloads array")?;
+    let mut workloads = Vec::with_capacity(rows.len());
+    for row in rows {
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("workload missing name")?
+            .to_string();
+        let rate = |mode: &str| -> Result<f64, String> {
+            row.get(mode)
+                .and_then(|m| m.get("samples_per_sec"))
+                .and_then(Json::as_f64)
+                .ok_or(format!("workload {name}: missing {mode}.samples_per_sec"))
+        };
+        workloads.push(BaselineWorkload {
+            seq_samples_per_sec: rate("sequential")?,
+            par_samples_per_sec: rate("parallel")?,
+            deterministic: row
+                .get("deterministic")
+                .and_then(Json::as_bool)
+                .ok_or(format!("workload {name}: missing deterministic"))?,
+            name,
+        });
+    }
+    Ok(Baseline {
+        bench_version,
+        calibration: root
+            .get("calibration")
+            .and_then(Json::as_f64)
+            .filter(|&c| c > 0.0),
+        threads: root
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map(|t| t as usize),
+        workloads,
+    })
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in `dir`.
+pub fn latest_bench_file(dir: &Path) -> Option<(u32, PathBuf)> {
+    let mut best: Option<(u32, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let version: u32 = match name
+            .strip_prefix("BENCH_")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse().ok())
+        {
+            Some(v) => v,
+            None => continue,
+        };
+        if best.as_ref().is_none_or(|(b, _)| version > *b) {
+            best = Some((version, entry.path()));
+        }
+    }
+    best
+}
+
+/// Gate verdict: every violated invariant, empty when the gate passes.
+///
+/// `current_calibration` is this machine's
+/// [`crate::perf::calibration_score`]. When the baseline also recorded
+/// one, the baseline's throughput is rescaled by the machine-speed
+/// ratio before comparing, so a baseline committed from a faster (or
+/// slower) machine gates this one fairly; without it the comparison is
+/// absolute.
+///
+/// `current_threads` is this run's pool width. Parallel-mode throughput
+/// is only comparable between equal pool widths (calibration measures
+/// single-core speed); on a mismatch the parallel columns are skipped
+/// with a warning and only sequential throughput is gated.
+pub fn gate_violations(
+    current: &[PerfWorkload],
+    current_calibration: f64,
+    current_threads: usize,
+    baseline: &Baseline,
+    tolerance: f64,
+) -> Vec<String> {
+    // Clamped at 1: a machine that *measures* faster than the baseline
+    // machine must not raise the bar above what the baseline actually
+    // recorded — calibration is a proxy (pure ALU speed), and on hosts
+    // with temporal jitter it samples a different window than the
+    // workloads did. The correction therefore only ever excuses slower
+    // hardware, never demands more than the baseline's own numbers.
+    let scale = match baseline.calibration {
+        Some(base_cal) if current_calibration > 0.0 => {
+            let s = (current_calibration / base_cal).min(1.0);
+            eprintln!(
+                "gate: machine-speed scale {s:.3} (this machine {current_calibration:.3e} \
+                 vs baseline {base_cal:.3e})"
+            );
+            s
+        }
+        _ => 1.0,
+    };
+    let compare_parallel = match baseline.threads {
+        Some(t) if t != current_threads => {
+            eprintln!(
+                "gate: WARNING — baseline measured with {t} pool threads, this run uses \
+                 {current_threads}; parallel-mode throughput is not comparable and is skipped"
+            );
+            false
+        }
+        _ => true,
+    };
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for w in current {
+        if !w.deterministic {
+            violations.push(format!(
+                "{}: parallel run diverged from sequential (deterministic = false)",
+                w.name
+            ));
+        }
+        let Some(base) = baseline.workloads.iter().find(|b| b.name == w.name) else {
+            eprintln!("gate: workload {} absent from baseline, skipping", w.name);
+            continue;
+        };
+        compared += 1;
+        let mut modes = vec![(
+            "sequential",
+            w.sequential.samples_per_sec,
+            base.seq_samples_per_sec,
+        )];
+        if compare_parallel {
+            modes.push((
+                "parallel",
+                w.parallel.samples_per_sec,
+                base.par_samples_per_sec,
+            ));
+        }
+        for (mode, now, before) in modes {
+            let expected = before * scale;
+            if expected > 0.0 && now < expected * (1.0 - tolerance) {
+                violations.push(format!(
+                    "{}: {mode} throughput regressed {:.1}% ({:.1} → {:.1} samples/sec, \
+                     machine-adjusted baseline {:.1}, tolerance {:.0}%)",
+                    w.name,
+                    100.0 * (1.0 - now / expected),
+                    before,
+                    now,
+                    expected,
+                    100.0 * tolerance,
+                ));
+            }
+        }
+    }
+    // A workload present only in the baseline means the bench suite lost
+    // coverage — surface it loudly (but renames should not fail the
+    // gate, so it is a warning, not a violation).
+    for base in &baseline.workloads {
+        if !current.iter().any(|w| w.name == base.name) {
+            eprintln!(
+                "gate: WARNING — baseline workload {} is gone from the current suite; \
+                 its perf regression coverage is lost",
+                base.name
+            );
+        }
+    }
+    if compared == 0 {
+        violations.push(format!(
+            "baseline (bench_version {}) shares no workloads with the current run — \
+             the gate asserts nothing",
+            baseline.bench_version
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{ModeTiming, PerfWorkload};
+
+    fn workload(name: &str, seq: f64, par: f64, deterministic: bool) -> PerfWorkload {
+        PerfWorkload {
+            name: name.to_string(),
+            samples: 100,
+            seed: 1,
+            sequential: ModeTiming {
+                wall_seconds: 100.0 / seq,
+                samples_per_sec: seq,
+            },
+            parallel: ModeTiming {
+                wall_seconds: 100.0 / par,
+                samples_per_sec: par,
+            },
+            p_hat: 0.5,
+            deterministic,
+            speedup: par / seq,
+        }
+    }
+
+    #[test]
+    fn parser_roundtrips_the_bench_schema() {
+        let rows = vec![workload("smc_x", 1000.0, 2000.0, true)];
+        let json = crate::perf::perf_to_json(&rows, 7, 2.0e9);
+        let base = parse_baseline(&json).expect("our own schema must parse");
+        assert_eq!(base.bench_version, 7);
+        assert_eq!(base.calibration, Some(2.0e9));
+        assert_eq!(base.threads, Some(rayon::current_num_threads()));
+        assert_eq!(base.workloads.len(), 1);
+        assert_eq!(base.workloads[0].name, "smc_x");
+        assert!(base.workloads[0].deterministic);
+        assert!((base.workloads[0].seq_samples_per_sec - 1000.0).abs() < 0.1);
+        assert!((base.workloads[0].par_samples_per_sec - 2000.0).abs() < 0.1);
+        // Pre-gate files (no calibration key) still parse.
+        let legacy = json.replace("  \"calibration\": 2000000000,\n", "");
+        let base = parse_baseline(&legacy).expect("legacy schema must parse");
+        assert_eq!(base.calibration, None);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e2, "x\nyA"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("x\nyA")
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert!(parse_json("{\"unterminated\": ").is_err());
+        assert!(parse_json("[1, 2] garbage").is_err());
+    }
+
+    /// A baseline measured on a machine with calibration score `cal`.
+    fn base_with_cal(rows: &[PerfWorkload], cal: f64) -> Baseline {
+        parse_baseline(&crate::perf::perf_to_json(rows, 1, cal)).unwrap()
+    }
+
+    /// This process's pool width (what perf_to_json stamps as threads).
+    fn threads() -> usize {
+        rayon::current_num_threads()
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = base_with_cal(&[workload("w", 1000.0, 1000.0, true)], 1.0e9);
+        // 10% slower: inside the 15% tolerance (same machine speed).
+        let current = [workload("w", 900.0, 900.0, true)];
+        assert!(gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE).is_empty());
+        // Faster is always fine.
+        let current = [workload("w", 5000.0, 5000.0, true)];
+        assert!(gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn gate_normalizes_by_machine_speed() {
+        let base = base_with_cal(&[workload("w", 1000.0, 1000.0, true)], 2.0e9);
+        // This machine is half as fast as the baseline machine; half the
+        // absolute throughput is NOT a regression.
+        let current = [workload("w", 520.0, 520.0, true)];
+        assert!(gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE).is_empty());
+        // …but a real regression beyond the scaled tolerance still fails.
+        let current = [workload("w", 400.0, 400.0, true)];
+        let v = gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // A baseline without calibration falls back to absolute compare.
+        let legacy = Baseline {
+            calibration: None,
+            ..base.clone()
+        };
+        let current = [workload("w", 520.0, 520.0, true)];
+        let v = gate_violations(&current, 1.0e9, threads(), &legacy, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // A machine measuring *faster* than the baseline machine never
+        // raises the bar above the baseline's own numbers (scale ≤ 1).
+        let base = base_with_cal(&[workload("w", 1000.0, 1000.0, true)], 1.0e9);
+        let current = [workload("w", 900.0, 900.0, true)];
+        assert!(gate_violations(&current, 8.0e9, threads(), &base, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn gate_skips_parallel_mode_across_pool_widths() {
+        let mut base = base_with_cal(&[workload("w", 1000.0, 1000.0, true)], 1.0e9);
+        base.threads = Some(threads() + 7);
+        // Parallel throughput incomparable across widths: a big parallel
+        // delta is skipped, but a sequential regression still fails.
+        let current = [workload("w", 1000.0, 300.0, true)];
+        assert!(gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE).is_empty());
+        let current = [workload("w", 500.0, 1000.0, true)];
+        let v = gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("sequential"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_regression_or_nondeterminism() {
+        let base = base_with_cal(&[workload("w", 1000.0, 1000.0, true)], 1.0e9);
+        // 30% slower parallel mode: violation.
+        let current = [workload("w", 1000.0, 700.0, true)];
+        let v = gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("parallel"), "{v:?}");
+        // Lost determinism: violation even with great throughput.
+        let current = [workload("w", 9000.0, 9000.0, false)];
+        let v = gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("deterministic"), "{v:?}");
+    }
+
+    #[test]
+    fn gate_fails_when_nothing_is_compared() {
+        let base = base_with_cal(&[workload("old_name", 1000.0, 1000.0, true)], 1.0e9);
+        let current = [workload("new_name", 1000.0, 1000.0, true)];
+        let v = gate_violations(&current, 1.0e9, threads(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("no workloads"), "{v:?}");
+    }
+
+    #[test]
+    fn latest_bench_file_picks_highest_version() {
+        let dir = std::env::temp_dir().join(format!("biocheck-gate-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [1u32, 2, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "{}").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_nope.json"), "{}").unwrap();
+        let (version, path) = latest_bench_file(&dir).unwrap();
+        assert_eq!(version, 10);
+        assert!(path.ends_with("BENCH_10.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,6 +5,7 @@
 //! Every function returns printable rows so `EXPERIMENTS.md` can be
 //! regenerated; timings are taken by the callers.
 
+pub mod compare;
 pub mod perf;
 
 use biocheck_bltl::Bltl;

@@ -30,6 +30,40 @@ pub struct EvalScratch {
     stack: Vec<u32>,
     /// Reachable node ids in ascending (= topological) order.
     order: Vec<u32>,
+    /// Leasable auxiliary workspace for contractors built on top of the
+    /// evaluator (see [`AuxBuffers`]); `None` while leased out.
+    aux: Option<Box<AuxBuffers>>,
+}
+
+/// Auxiliary buffer bundle for algorithms that need workspace *across*
+/// evaluation calls (the interval-Newton contractor: midpoints, interval
+/// Jacobian, matrix inverse, Krawczyk image).
+///
+/// The bundle lives inside an [`EvalScratch`] but is moved out with
+/// [`EvalScratch::take_aux`] for the duration of a computation, so the
+/// scratch itself stays free for `eval_*_with` calls that read or write
+/// its internal value buffers. Returning it with
+/// [`EvalScratch::restore_aux`] keeps the high-water-mark capacity for
+/// the next call — after warm-up the take/restore cycle performs no heap
+/// allocation.
+#[derive(Clone, Debug, Default)]
+pub struct AuxBuffers {
+    /// Scalar workspace (e.g. a row-major matrix).
+    pub f64_a: Vec<f64>,
+    /// Second scalar workspace.
+    pub f64_b: Vec<f64>,
+    /// Third scalar workspace (e.g. a vector of midpoints).
+    pub f64_c: Vec<f64>,
+    /// Interval workspace (e.g. the box restricted to some variables).
+    pub intervals_a: Vec<Interval>,
+    /// Second interval workspace.
+    pub intervals_b: Vec<Interval>,
+    /// Third interval workspace (e.g. an interval Jacobian).
+    pub intervals_c: Vec<Interval>,
+    /// Fourth interval workspace.
+    pub intervals_d: Vec<Interval>,
+    /// A reusable evaluation environment box.
+    pub env: IBox,
 }
 
 impl EvalScratch {
@@ -93,6 +127,20 @@ impl EvalScratch {
             self.ivals.resize(len, Interval::ZERO);
         }
         &mut self.ivals[..len]
+    }
+
+    /// Moves the auxiliary buffer bundle out of the scratch (boxing one
+    /// on the very first call). While taken, the scratch remains fully
+    /// usable for `eval_*_with` calls; pair with
+    /// [`EvalScratch::restore_aux`] so later callers reuse the capacity.
+    pub fn take_aux(&mut self) -> Box<AuxBuffers> {
+        self.aux.take().unwrap_or_default()
+    }
+
+    /// Returns a bundle previously obtained from
+    /// [`EvalScratch::take_aux`], preserving its grown buffers.
+    pub fn restore_aux(&mut self, aux: Box<AuxBuffers>) {
+        self.aux = Some(aux);
     }
 }
 

@@ -44,5 +44,7 @@ mod subst;
 pub use atom::{Atom, RelOp};
 pub use context::eval_unary_f64;
 pub use context::{BinOp, Context, Node, NodeId, UnaryOp, VarId};
-pub use eval::{eval_binary_f64, eval_binary_interval, eval_unary_interval, EvalScratch, Program};
+pub use eval::{
+    eval_binary_f64, eval_binary_interval, eval_unary_interval, AuxBuffers, EvalScratch, Program,
+};
 pub use parser::ParseError;

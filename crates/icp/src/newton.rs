@@ -2,7 +2,7 @@
 //! equalities, plus the small dense linear algebra it needs.
 
 use crate::contract::{Contractor, Outcome};
-use biocheck_expr::{Context, NodeId, Program, VarId};
+use biocheck_expr::{Context, EvalScratch, NodeId, Program, VarId};
 use biocheck_interval::{IBox, Interval};
 
 /// Interval Newton (Krawczyk operator) for `f(x) = 0`, `f : ℝⁿ → ℝⁿ`.
@@ -59,38 +59,79 @@ impl Newton {
 
 impl Contractor for Newton {
     fn contract(&self, bx: &mut IBox) -> Outcome {
+        self.contract_with(bx, &mut EvalScratch::new())
+    }
+
+    /// Allocation-free after warm-up: every buffer (midpoints, interval
+    /// Jacobian, inverse, Krawczyk image, midpoint environment) lives in
+    /// the scratch's leased [`biocheck_expr::AuxBuffers`] bundle.
+    fn contract_with(&self, bx: &mut IBox, scratch: &mut EvalScratch) -> Outcome {
+        let mut aux = scratch.take_aux();
+        let outcome = self.contract_impl(bx, scratch, &mut aux);
+        scratch.restore_aux(aux);
+        outcome
+    }
+
+    fn name(&self) -> &str {
+        "interval-newton"
+    }
+}
+
+impl Newton {
+    fn contract_impl(
+        &self,
+        bx: &mut IBox,
+        scratch: &mut EvalScratch,
+        aux: &mut biocheck_expr::AuxBuffers,
+    ) -> Outcome {
         let n = self.n;
         // X restricted to our variables; skip degenerate/unbounded boxes.
-        let x: Vec<Interval> = self.vars.iter().map(|v| bx[v.index()]).collect();
+        aux.intervals_a.clear();
+        aux.intervals_a
+            .extend(self.vars.iter().map(|v| bx[v.index()]));
+        let x = &aux.intervals_a[..n];
         if x.iter().any(|iv| !iv.is_bounded()) {
             return Outcome::Unchanged;
         }
-        let m: Vec<f64> = x.iter().map(Interval::mid).collect();
+        aux.f64_c.clear();
+        aux.f64_c.extend(x.iter().map(Interval::mid));
+        let m = &aux.f64_c[..n];
 
         // f(m), evaluated in interval arithmetic at the point m for soundness.
-        let mut env_m = bx.clone();
-        for (&v, &mi) in self.vars.iter().zip(&m) {
-            env_m[v.index()] = Interval::point(mi);
+        if aux.env.len() == bx.len() {
+            aux.env.dims_mut().copy_from_slice(bx.dims());
+        } else {
+            aux.env = bx.clone();
         }
-        let mut fm = vec![Interval::ZERO; n];
-        self.f.eval_interval_into(&env_m, &mut fm);
+        for (&v, &mi) in self.vars.iter().zip(m) {
+            aux.env[v.index()] = Interval::point(mi);
+        }
+        aux.intervals_b.resize(n, Interval::ZERO);
+        self.f
+            .eval_interval_with(&aux.env, scratch, &mut aux.intervals_b[..n]);
+        let fm = &aux.intervals_b[..n];
 
         // Interval Jacobian over X.
-        let mut jx = vec![Interval::ZERO; n * n];
-        self.jac.eval_interval_into(bx, &mut jx);
+        aux.intervals_c.resize(n * n, Interval::ZERO);
+        self.jac
+            .eval_interval_with(bx, scratch, &mut aux.intervals_c[..n * n]);
+        let jx = &aux.intervals_c[..n * n];
         if jx.iter().any(Interval::is_empty) || fm.iter().any(Interval::is_empty) {
             return Outcome::Unchanged; // domain violation: let HC4 handle it
         }
 
-        // Y = midpoint-Jacobian inverse (plain f64).
-        let mid_j: Vec<f64> = jx.iter().map(Interval::mid).collect();
-        let y = match invert(&mid_j, n) {
-            Some(y) => y,
-            None => return Outcome::Unchanged, // singular: no Newton step
-        };
+        // Y = midpoint-Jacobian inverse (plain f64), computed in place.
+        aux.f64_a.clear();
+        aux.f64_a.extend(jx.iter().map(Interval::mid));
+        aux.f64_b.resize(n * n, 0.0);
+        if !invert_into(&mut aux.f64_a[..n * n], &mut aux.f64_b[..n * n], n) {
+            return Outcome::Unchanged; // singular: no Newton step
+        }
+        let y = &aux.f64_b[..n * n];
 
         // K = m - Y·f(m) + (I - Y·J(X))·(X - m)
-        let mut k = vec![Interval::ZERO; n];
+        aux.intervals_d.resize(n, Interval::ZERO);
+        let k = &mut aux.intervals_d[..n];
         for i in 0..n {
             // (Y·f(m))_i
             let mut yf = Interval::ZERO;
@@ -128,17 +169,19 @@ impl Contractor for Newton {
             Outcome::Unchanged
         }
     }
-
-    fn name(&self) -> &str {
-        "interval-newton"
-    }
 }
 
 /// Inverts a dense row-major `n×n` matrix by Gauss–Jordan with partial
-/// pivoting. Returns `None` when (numerically) singular.
-fn invert(a: &[f64], n: usize) -> Option<Vec<f64>> {
-    let mut m = a.to_vec();
-    let mut inv = vec![0.0; n * n];
+/// pivoting, in place: `m` is destroyed, the inverse lands in `inv`.
+/// Returns `false` when (numerically) singular.
+///
+/// # Panics
+///
+/// Panics unless `m.len() == inv.len() == n * n`.
+fn invert_into(m: &mut [f64], inv: &mut [f64], n: usize) -> bool {
+    assert_eq!(m.len(), n * n);
+    assert_eq!(inv.len(), n * n);
+    inv.fill(0.0);
     for i in 0..n {
         inv[i * n + i] = 1.0;
     }
@@ -154,7 +197,7 @@ fn invert(a: &[f64], n: usize) -> Option<Vec<f64>> {
             }
         }
         if best < 1e-12 || !best.is_finite() {
-            return None;
+            return false;
         }
         if piv != col {
             for c in 0..n {
@@ -181,12 +224,18 @@ fn invert(a: &[f64], n: usize) -> Option<Vec<f64>> {
             }
         }
     }
-    Some(inv)
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn invert(a: &[f64], n: usize) -> Option<Vec<f64>> {
+        let mut m = a.to_vec();
+        let mut inv = vec![0.0; n * n];
+        invert_into(&mut m, &mut inv, n).then_some(inv)
+    }
 
     #[test]
     fn invert_identity_and_known() {

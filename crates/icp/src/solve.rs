@@ -182,15 +182,23 @@ impl BranchAndPrune {
     /// Boxes processed per parallel round. Deliberately a constant, NOT a
     /// function of the worker count: the set of boxes explored before the
     /// first answer must be identical on every machine (thread count may
-    /// only change wall time, never the witness or the verdict). Sized so
-    /// a round amortizes the vendored rayon shim's per-round thread
-    /// spawns even when per-box fixpoints are cheap.
+    /// only change wall time, never the witness or the verdict). With the
+    /// work-stealing pool a round costs one pool submission, so the batch
+    /// only needs to be large enough to give thieves split points when
+    /// per-box fixpoint costs are skewed.
     const BATCH: usize = 64;
 
     /// Runs `step` over the top of the stack: one box below
-    /// `parallel_threshold`, a fixed-size batch (on worker threads)
-    /// otherwise. Both choices depend only on the stack size, so the
-    /// search is thread-count-independent.
+    /// `parallel_threshold`, a fixed-size batch otherwise. The batch goes
+    /// through `map_init`, which on the work-stealing pool splits it
+    /// recursively over nested `join` — a leaf stuck on expensive boxes
+    /// (deep fixpoints) sheds its siblings to thieves instead of
+    /// serializing them — while writing results into position-indexed
+    /// slots, so the merged result is in batch order no matter which
+    /// workers ran which leaves. Each sequential leaf builds one
+    /// [`EvalScratch`] and reuses it across its boxes. Both branch
+    /// choices depend only on the stack size, so the search is
+    /// thread-count-independent.
     fn run_batch<C: Contractor + ?Sized + Sync>(
         &self,
         atoms: &[Atom],

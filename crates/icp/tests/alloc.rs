@@ -1,0 +1,86 @@
+//! Verifies the scratch port of the interval-Newton contractor: after
+//! warm-up, `Newton::contract_with` performs zero heap allocations per
+//! call (the sibling of `crates/expr/tests/alloc.rs`, which covers the
+//! raw evaluation paths).
+//!
+//! This binary holds exactly one test so the global allocation counter
+//! is not disturbed by concurrently running tests.
+
+use biocheck_expr::{Context, EvalScratch};
+use biocheck_icp::{Contractor, Newton, Outcome};
+use biocheck_interval::{IBox, Interval};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, r)
+}
+
+#[test]
+fn newton_contract_with_does_not_allocate() {
+    // A 2×2 system with a root in the box: x² + y² = 1, x = y.
+    let mut cx = Context::new();
+    let f1 = cx.parse("x^2 + y^2 - 1").unwrap();
+    let f2 = cx.parse("x - y").unwrap();
+    let x = cx.var_id("x").unwrap();
+    let y = cx.var_id("y").unwrap();
+    let newton = Newton::new(&mut cx, &[f1, f2], &[x, y]);
+    let mut scratch = EvalScratch::new();
+
+    let wide = IBox::new(vec![Interval::new(0.5, 1.0), Interval::new(0.5, 1.0)]);
+
+    // Warm-up: one full contraction sequence grows every buffer to its
+    // high-water mark.
+    let mut bx = wide.clone();
+    for _ in 0..4 {
+        newton.contract_with(&mut bx, &mut scratch);
+    }
+
+    // Steady state: zero allocations over many contractions, including
+    // restarting from a wide box (same dimensions, new values).
+    let (n, last) = allocations(|| {
+        let mut out = Outcome::Unchanged;
+        for _ in 0..50 {
+            bx.dims_mut().copy_from_slice(wide.dims());
+            for _ in 0..6 {
+                out = newton.contract_with(&mut bx, &mut scratch);
+            }
+        }
+        out
+    });
+    // The contraction still does its job…
+    let c = 1.0 / 2.0f64.sqrt();
+    assert!(bx[0].contains(c) && bx[1].contains(c));
+    assert!(bx[0].width() < 1e-8, "Newton stopped converging");
+    assert_ne!(last, Outcome::Empty);
+    // …without touching the heap.
+    assert_eq!(
+        n, 0,
+        "Newton contraction allocated {n} times in steady state"
+    );
+}

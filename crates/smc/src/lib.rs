@@ -14,6 +14,11 @@
 //!   Chernoff–Hoeffding guarantee `P(|p̂ − p| > ε) ≤ δ`.
 //! * [`bayes_estimate`] — Beta-posterior estimation run until the
 //!   credible interval is narrower than a target width.
+//! * [`par_estimate`] / [`par_chernoff_estimate`] / [`par_sprt`] /
+//!   [`par_bayes_estimate`] — deterministic parallel forms: per-sample
+//!   RNGs forked from a master seed, adaptive rules fed speculative
+//!   batches in index order, so every parallel result is bit-for-bit
+//!   the sequential one.
 //! * [`SmcFit`] — SMC-driven parameter estimation: simulated-annealing
 //!   search scored by satisfaction probability (or mean robustness), the
 //!   strategy of the paper's SMC calibration line of work.
@@ -29,7 +34,7 @@ pub use estimate::{
 };
 pub use fit::{FitResult, SmcFit};
 pub use parallel::{
-    fork_rng, par_chernoff_estimate, par_estimate, par_sprt, seq_chernoff_estimate, seq_estimate,
-    seq_sprt,
+    fork_rng, par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt,
+    seq_bayes_estimate, seq_chernoff_estimate, seq_estimate, seq_sprt,
 };
 pub use sampler::{Dist, TraceSampler};

@@ -19,7 +19,7 @@
 //! count match the sequential run exactly (at the cost of up to one
 //! discarded batch of speculative samples).
 
-use crate::estimate::{sprt, Estimate, SprtResult};
+use crate::estimate::{bayes_estimate, sprt, Estimate, SprtResult};
 use crate::sampler::TraceSampler;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +98,32 @@ pub fn seq_chernoff_estimate(sampler: &TraceSampler, seed: u64, eps: f64, delta:
     }
 }
 
+/// A closure yielding samples `0, 1, 2, …` of the seeded per-index
+/// streams, refilled in speculatively generated parallel batches.
+///
+/// Adaptive procedures ([`sprt`], [`bayes_estimate`]) consume samples
+/// strictly in index order, so feeding them from this stream produces
+/// the exact sequential verdict; at most one batch of speculative
+/// samples is discarded when the procedure stops early.
+fn speculative_stream(
+    sampler: &TraceSampler,
+    seed: u64,
+    max_samples: usize,
+) -> impl FnMut() -> bool + '_ {
+    let chunk = 32 * rayon::current_num_threads().max(1);
+    let mut buf: Vec<bool> = Vec::new();
+    let mut next = 0usize; // index of the next sample to hand out
+    move || {
+        if next == buf.len() {
+            let want = chunk.min(max_samples.saturating_sub(buf.len())).max(1);
+            buf.extend(batch(sampler, seed, buf.len() as u64, want));
+        }
+        let b = buf[next];
+        next += 1;
+        b
+    }
+}
+
 /// Parallel SPRT: Wald's sequential test fed by speculatively
 /// batch-generated samples. Verdict, sample count, and `p_hat` are
 /// identical to [`seq_sprt`] with the same seed.
@@ -111,21 +137,50 @@ pub fn par_sprt(
     beta: f64,
     max_samples: usize,
 ) -> SprtResult {
-    let chunk = 32 * rayon::current_num_threads().max(1);
-    let mut buf: Vec<bool> = Vec::new();
-    let mut next = 0usize; // index of the next sample to hand out
-                           // `sprt` pulls samples strictly in order; the closure refills the
-                           // buffer with a parallel batch whenever the cursor catches up.
+    let mut take = speculative_stream(sampler, seed, max_samples);
+    sprt(&mut take, theta, indiff, alpha, beta, max_samples)
+}
+
+/// Parallel Bayesian estimation (`Beta(1, 1)` prior, adaptive stopping)
+/// fed by speculatively batch-generated samples. Estimate and sample
+/// count are identical to [`seq_bayes_estimate`] with the same seed —
+/// the adaptive stopping rule sees samples in index order regardless of
+/// which worker simulated them.
+///
+/// # Panics
+///
+/// Panics on out-of-range arguments (see [`bayes_estimate`]).
+pub fn par_bayes_estimate(
+    sampler: &TraceSampler,
+    seed: u64,
+    half_width: f64,
+    confidence: f64,
+    max_samples: usize,
+) -> Estimate {
+    let mut take = speculative_stream(sampler, seed, max_samples);
+    bayes_estimate(&mut take, half_width, confidence, max_samples)
+}
+
+/// Sequential reference for [`par_bayes_estimate`] (same per-index
+/// streams).
+///
+/// # Panics
+///
+/// Panics on out-of-range arguments (see [`bayes_estimate`]).
+pub fn seq_bayes_estimate(
+    sampler: &TraceSampler,
+    seed: u64,
+    half_width: f64,
+    confidence: f64,
+    max_samples: usize,
+) -> Estimate {
+    let mut i = 0u64;
     let mut take = move || {
-        if next == buf.len() {
-            let want = chunk.min(max_samples.saturating_sub(buf.len())).max(1);
-            buf.extend(batch(sampler, seed, buf.len() as u64, want));
-        }
-        let b = buf[next];
-        next += 1;
+        let b = sampler.sample(&mut fork_rng(seed, i));
+        i += 1;
         b
     };
-    sprt(&mut take, theta, indiff, alpha, beta, max_samples)
+    bayes_estimate(&mut take, half_width, confidence, max_samples)
 }
 
 /// Sequential reference for [`par_sprt`] (same per-index streams).
@@ -211,6 +266,32 @@ mod tests {
             assert_eq!(a.samples, b.samples, "seed {seed}");
             assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn parallel_bayes_matches_sequential_bit_for_bit() {
+        let s = threshold_sampler();
+        for seed in [4u64, 19] {
+            let a = par_bayes_estimate(&s, seed, 0.08, 0.9, 5_000);
+            let b = seq_bayes_estimate(&s, seed, 0.08, 0.9, 5_000);
+            assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits(), "seed {seed}");
+            assert_eq!(a.samples, b.samples, "seed {seed}");
+            assert_eq!(a.half_width, b.half_width);
+            assert_eq!(a.confidence, b.confidence);
+        }
+    }
+
+    #[test]
+    fn parallel_bayes_stops_adaptively() {
+        let s = threshold_sampler();
+        let wide = par_bayes_estimate(&s, 7, 0.1, 0.9, 50_000);
+        let tight = par_bayes_estimate(&s, 7, 0.03, 0.9, 50_000);
+        assert!(
+            wide.samples < tight.samples,
+            "tighter width needs more samples"
+        );
+        assert!(tight.samples < 50_000, "budget should not be exhausted");
+        assert!((wide.p_hat - 0.5).abs() < 0.2, "p̂ = {}", wide.p_hat);
     }
 
     #[test]

@@ -6,8 +6,8 @@ use biocheck_bltl::Bltl;
 use biocheck_expr::{Atom, Context, RelOp};
 use biocheck_ode::OdeSystem;
 use biocheck_smc::{
-    par_chernoff_estimate, par_estimate, par_sprt, seq_chernoff_estimate, seq_estimate, seq_sprt,
-    Dist, TraceSampler,
+    par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt, seq_bayes_estimate,
+    seq_chernoff_estimate, seq_estimate, seq_sprt, Dist, TraceSampler,
 };
 use proptest::prelude::*;
 
@@ -42,6 +42,17 @@ proptest! {
         prop_assert!(a.p_hat.to_bits() == b.p_hat.to_bits());
         prop_assert!(a.samples == b.samples);
         prop_assert!(a.half_width == b.half_width && a.confidence == b.confidence);
+    }
+
+    #[test]
+    fn bayes_parallel_equals_sequential(seed in 0..u64::MAX / 2) {
+        let s = threshold_sampler();
+        let a = par_bayes_estimate(&s, seed, 0.09, 0.9, 2_000);
+        let b = seq_bayes_estimate(&s, seed, 0.09, 0.9, 2_000);
+        prop_assert!(a.p_hat.to_bits() == b.p_hat.to_bits(),
+            "seed {seed}: {} != {}", a.p_hat, b.p_hat);
+        prop_assert!(a.samples == b.samples,
+            "seed {seed}: {} vs {} samples", a.samples, b.samples);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! A Chase–Lev work-stealing deque specialized to [`JobRef`] elements.
+//!
+//! The owning worker pushes and pops at the *bottom* (LIFO — freshly
+//! split subproblems stay hot in its cache), thieves steal from the *top*
+//! (FIFO — they take the oldest, typically largest, subproblem, which is
+//! the classic recipe for self-balancing recursive `join`).
+//!
+//! The implementation follows Chase & Lev, *Dynamic Circular
+//! Work-Stealing Deque* (SPAA '05), with the C11 memory orderings of
+//! Lê et al., *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP '13). Two simplifications are safe here because the
+//! element type is a `Copy` pair of pointer-sized words:
+//!
+//! * slots hold the job's two words in relaxed atomics — a thief's read
+//!   may race the owner's write to a wrapped-around slot, but the racing
+//!   (possibly mixed-generation) value is discarded because its `top`
+//!   CAS is guaranteed to fail, and the atomic slots make that race
+//!   defined behavior rather than a torn plain read;
+//! * grown buffers are *retired*, not freed, until the deque is dropped,
+//!   so a thief holding a stale buffer pointer can always complete its
+//!   (doomed-to-fail-the-CAS or still-valid) read. Retired buffers grow
+//!   geometrically, so the total leak-until-drop is at most the size of
+//!   the largest buffer.
+
+use crate::job::JobRef;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of a steal attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Steal {
+    /// Nothing to steal.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Got a job.
+    Success(JobRef),
+}
+
+impl Steal {
+    /// Unwraps `Success`, if any.
+    #[cfg(test)]
+    pub(crate) fn success(self) -> Option<JobRef> {
+        match self {
+            Steal::Success(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+/// One deque slot: the job's two words in relaxed atomics, so racing
+/// reads (always discarded via the failed CAS) are defined behavior.
+struct Slot {
+    data: AtomicUsize,
+    exec: AtomicUsize,
+}
+
+struct Buffer {
+    /// Power-of-two capacity.
+    cap: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn new(cap: usize) -> Box<Buffer> {
+        assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| Slot {
+                data: AtomicUsize::new(0),
+                exec: AtomicUsize::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::new(Buffer { cap, slots })
+    }
+
+    /// # Safety
+    ///
+    /// Caller must hold the owner/thief protocol: the value is only
+    /// *used* if the slot at `index` was written for the generation the
+    /// caller's subsequent `top` CAS claims (a mixed-generation read is
+    /// fine — the CAS fails and the value is dropped).
+    unsafe fn get(&self, index: isize) -> JobRef {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        unsafe {
+            JobRef::from_words(
+                slot.data.load(Ordering::Relaxed),
+                slot.exec.load(Ordering::Relaxed),
+            )
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Only the deque owner may write, and only to a slot no concurrent
+    /// reader can *claim* (index ≥ current `bottom`).
+    unsafe fn put(&self, index: isize, job: JobRef) {
+        let slot = &self.slots[(index as usize) & (self.cap - 1)];
+        let (data, exec) = job.into_words();
+        slot.data.store(data, Ordering::Relaxed);
+        slot.exec.store(exec, Ordering::Relaxed);
+    }
+}
+
+/// The work-stealing deque. Exactly one thread (the owner) may call
+/// [`Deque::push`] / [`Deque::pop`]; any thread may call [`Deque::steal`].
+pub(crate) struct Deque {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    buf: AtomicPtr<Buffer>,
+    /// Superseded buffers, kept alive until drop (see module docs).
+    /// They must stay boxed: thieves may still hold raw pointers into
+    /// them, so the allocations must never move.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer>>>,
+}
+
+// SAFETY: see the owner/thief protocol in the module docs.
+unsafe impl Sync for Deque {}
+unsafe impl Send for Deque {}
+
+impl Deque {
+    /// Creates an empty deque with a small initial capacity.
+    pub(crate) fn new() -> Deque {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Buffer::new(64))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cheap emptiness hint for sleep decisions (racy by nature).
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b <= t
+    }
+
+    /// Owner-only: pushes a job at the bottom.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the owning worker thread.
+    pub(crate) unsafe fn push(&self, job: JobRef) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buf.load(Ordering::Relaxed);
+        // SAFETY: owner-only access to capacity/grow.
+        if b - t >= unsafe { (*buf).cap } as isize {
+            buf = self.grow(b, t, buf);
+        }
+        // SAFETY: slot b is outside the readable window [t, b).
+        unsafe { (*buf).put(b, job) };
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pops the most recently pushed job, if any.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called from the owning worker thread.
+    pub(crate) unsafe fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buf.load(Ordering::Relaxed);
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            // Non-empty as of the fence.
+            // SAFETY: slot b was written by a previous push.
+            let job = unsafe { (*buf).get(b) };
+            if t == b {
+                // Last element: race thieves for it via `top`.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(job)
+                } else {
+                    None
+                }
+            } else {
+                Some(job)
+            }
+        } else {
+            // Empty: restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: tries to steal the oldest job.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf = self.buf.load(Ordering::Acquire);
+            // Read before the CAS: after a successful CAS the owner may
+            // reuse the slot. A read that loses the CAS is discarded.
+            // SAFETY: `buf` is live (retired buffers are kept until
+            // drop) and slot t was initialized by the push that made
+            // t < b observable.
+            let job = unsafe { (*buf).get(t) };
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(job)
+            } else {
+                Steal::Retry
+            }
+        } else {
+            Steal::Empty
+        }
+    }
+
+    /// Owner-only: doubles the buffer, copying the live window `[t, b)`.
+    fn grow(&self, b: isize, t: isize, old: *mut Buffer) -> *mut Buffer {
+        // SAFETY: owner-only; `old` is the live buffer.
+        let new = Buffer::new(unsafe { (*old).cap } * 2);
+        for i in t..b {
+            // SAFETY: [t, b) slots are initialized; new slots are ours.
+            unsafe { new.put(i, (*old).get(i)) };
+        }
+        let new = Box::into_raw(new);
+        self.buf.store(new, Ordering::Release);
+        // SAFETY: `old` came from Box::into_raw and is now unreachable
+        // for new readers; keep it alive for stragglers until drop.
+        self.retired
+            .lock()
+            .expect("deque retire list poisoned")
+            .push(unsafe { Box::from_raw(old) });
+        new
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access; the pointer came from Box::into_raw.
+        drop(unsafe { Box::from_raw(self.buf.load(Ordering::Relaxed)) });
+        // `retired` drops its boxes itself.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// A heap job that records its payload into a shared log.
+    struct LogJob {
+        value: usize,
+        log: Arc<Mutex<Vec<usize>>>,
+        executed: Arc<AtomicUsize>,
+    }
+
+    impl Job for LogJob {
+        unsafe fn execute(this: *const Self) {
+            let boxed = unsafe { Box::from_raw(this.cast_mut()) };
+            boxed.log.lock().unwrap().push(boxed.value);
+            boxed.executed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn log_job(value: usize, log: &Arc<Mutex<Vec<usize>>>, n: &Arc<AtomicUsize>) -> JobRef {
+        let job = Box::new(LogJob {
+            value,
+            log: Arc::clone(log),
+            executed: Arc::clone(n),
+        });
+        unsafe { JobRef::new(Box::into_raw(job)) }
+    }
+
+    #[test]
+    fn owner_pop_is_lifo_thief_steal_is_fifo() {
+        let deque = Deque::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let n = Arc::new(AtomicUsize::new(0));
+        for v in 0..4 {
+            unsafe { deque.push(log_job(v, &log, &n)) };
+        }
+        // Thief takes the oldest.
+        unsafe { deque.steal().success().unwrap().execute() };
+        assert_eq!(*log.lock().unwrap(), vec![0]);
+        // Owner takes the newest.
+        unsafe { deque.pop().unwrap().execute() };
+        assert_eq!(*log.lock().unwrap(), vec![0, 3]);
+        unsafe { deque.pop().unwrap().execute() };
+        unsafe { deque.pop().unwrap().execute() };
+        assert_eq!(*log.lock().unwrap(), vec![0, 3, 2, 1]);
+        assert!(unsafe { deque.pop() }.is_none());
+        assert_eq!(deque.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn growth_preserves_jobs() {
+        let deque = Deque::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let n = Arc::new(AtomicUsize::new(0));
+        // Push past the initial capacity of 64 to force a grow.
+        for v in 0..200 {
+            unsafe { deque.push(log_job(v, &log, &n)) };
+        }
+        while let Some(j) = unsafe { deque.pop() } {
+            unsafe { j.execute() };
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 200);
+        let mut seen = log.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_stealing_executes_each_job_exactly_once() {
+        let deque = Arc::new(Deque::new());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let executed = Arc::new(AtomicUsize::new(0));
+        const JOBS: usize = 20_000;
+        std::thread::scope(|s| {
+            // Three thieves race the owner.
+            for _ in 0..3 {
+                let deque = Arc::clone(&deque);
+                let executed = Arc::clone(&executed);
+                s.spawn(move || {
+                    while executed.load(Ordering::SeqCst) < JOBS {
+                        if let Steal::Success(j) = deque.steal() {
+                            unsafe { j.execute() };
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+            // Owner: pushes everything, popping now and then.
+            for v in 0..JOBS {
+                unsafe { deque.push(log_job(v, &log, &executed)) };
+                if v % 7 == 0 {
+                    if let Some(j) = unsafe { deque.pop() } {
+                        unsafe { j.execute() };
+                    }
+                }
+            }
+            while let Some(j) = unsafe { deque.pop() } {
+                unsafe { j.execute() };
+            }
+            while executed.load(Ordering::SeqCst) < JOBS {
+                std::hint::spin_loop();
+            }
+        });
+        assert_eq!(executed.load(Ordering::SeqCst), JOBS);
+        let mut seen = log.lock().unwrap().clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), JOBS, "a job ran twice or never");
+    }
+}

@@ -1,0 +1,305 @@
+//! Type-erased jobs and the latches that signal their completion.
+//!
+//! A [`JobRef`] is a fat-pointer-free, `Copy` handle to a job living on
+//! some stack frame ([`StackJob`]) or on the heap ([`HeapJob`]). The
+//! pointee must outlive every use of the handle; `StackJob` guarantees
+//! this by having its creator block on the job's latch before the frame
+//! unwinds, `HeapJob` by being consumed (and freed) exactly once when
+//! executed.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::thread::Thread;
+
+/// A unit of work the pool can execute.
+pub(crate) trait Job {
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// `this` must point to a live job of the implementing type, and the
+    /// job must be executed at most once.
+    unsafe fn execute(this: *const Self);
+}
+
+/// Type-erased pointer to a [`Job`]. The lifetime of the pointee is
+/// erased; see the module docs for the liveness discipline.
+///
+/// Equality compares the job identity (the data pointer).
+#[derive(Copy, Clone)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &JobRef) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+impl Eq for JobRef {}
+
+impl std::fmt::Debug for JobRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRef").field("data", &self.data).finish()
+    }
+}
+
+// SAFETY: a JobRef is only a pointer + fn pointer; the jobs it points to
+// coordinate cross-thread access through their latches.
+unsafe impl Send for JobRef {}
+
+unsafe fn execute_erased<J: Job>(data: *const ()) {
+    unsafe { J::execute(data.cast::<J>()) }
+}
+
+impl JobRef {
+    /// Erases `job` into a sendable handle.
+    ///
+    /// # Safety
+    ///
+    /// The pointee must stay alive until the handle is executed or
+    /// provably dropped unexecuted.
+    pub(crate) unsafe fn new<J: Job>(job: *const J) -> JobRef {
+        JobRef {
+            data: job.cast::<()>(),
+            exec: execute_erased::<J>,
+        }
+    }
+
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once, with the pointee still alive.
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.exec)(self.data) }
+    }
+
+    /// Splits the handle into two machine words (for atomic deque slots).
+    pub(crate) fn into_words(self) -> (usize, usize) {
+        (self.data as usize, self.exec as usize)
+    }
+
+    /// Rebuilds a handle from [`JobRef::into_words`] output.
+    ///
+    /// # Safety
+    ///
+    /// The words must come from `into_words` of a handle whose pointee
+    /// is still alive (the deque's top/bottom protocol guarantees this
+    /// for every handle that wins the steal/pop race).
+    pub(crate) unsafe fn from_words(data: usize, exec: usize) -> JobRef {
+        JobRef {
+            data: data as *const (),
+            // SAFETY: `exec` was produced from this exact fn-pointer type.
+            exec: unsafe { std::mem::transmute::<usize, unsafe fn(*const ())>(exec) },
+        }
+    }
+}
+
+/// Write-once completion flag, observed with `Acquire`/`Release`.
+pub(crate) trait Latch {
+    /// Marks the latch set and wakes any waiter.
+    fn set(&self);
+}
+
+/// A latch whose state can be polled (by the work-stealing wait loop).
+pub(crate) trait Probe {
+    /// Returns `true` once the latch has been set.
+    fn probe(&self) -> bool;
+}
+
+/// Latch for a waiter that is itself a pool worker: the waiter keeps
+/// stealing while polling, parking briefly when nothing is runnable, and
+/// `set` unparks it.
+pub(crate) struct SpinLatch {
+    done: AtomicBool,
+    owner: Thread,
+}
+
+impl SpinLatch {
+    /// Creates a latch owned by the current thread.
+    pub(crate) fn new() -> SpinLatch {
+        SpinLatch {
+            done: AtomicBool::new(false),
+            owner: std::thread::current(),
+        }
+    }
+}
+
+impl Latch for SpinLatch {
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        self.owner.unpark();
+    }
+}
+
+impl Probe for SpinLatch {
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// Blocking latch for waiters outside the pool (no deque to drain).
+pub(crate) struct LockLatch {
+    done: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl LockLatch {
+    /// Creates an unset latch.
+    pub(crate) fn new() -> LockLatch {
+        LockLatch {
+            done: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling thread until the latch is set.
+    pub(crate) fn wait(&self) {
+        let mut done = self.done.lock().expect("latch mutex poisoned");
+        while !*done {
+            done = self.cond.wait(done).expect("latch mutex poisoned");
+        }
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock().expect("latch mutex poisoned");
+        *done = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Counting latch: set once `counter` jobs have completed. Used by
+/// [`crate::scope`] to wait for all spawned jobs.
+pub(crate) struct CountLatch {
+    counter: AtomicUsize,
+    inner: SpinLatch,
+}
+
+impl CountLatch {
+    /// Creates a latch with an initial count of 1 (the scope body).
+    pub(crate) fn new() -> CountLatch {
+        CountLatch {
+            counter: AtomicUsize::new(1),
+            inner: SpinLatch::new(),
+        }
+    }
+
+    /// Registers one more job to wait for.
+    pub(crate) fn increment(&self) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one job complete; the last one sets the latch.
+    pub(crate) fn decrement(&self) {
+        if self.counter.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.inner.set();
+        }
+    }
+}
+
+impl Probe for CountLatch {
+    fn probe(&self) -> bool {
+        self.inner.probe()
+    }
+}
+
+/// A job allocated on its creator's stack frame, carrying the closure,
+/// a slot for the (possibly panicked) result, and a completion latch.
+pub(crate) struct StackJob<L: Latch, F, R> {
+    latch: L,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+}
+
+// SAFETY: access to `func`/`result` is serialized by the latch protocol —
+// the executor writes them before `latch.set()`, the creator reads them
+// only after observing the latch set (Acquire pairs with the Release in
+// `set`).
+unsafe impl<L: Latch + Sync, F: Send, R: Send> Sync for StackJob<L, F, R> {}
+
+impl<L: Latch, F, R> StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    /// Wraps a closure and a latch into a stack job.
+    pub(crate) fn new(latch: L, func: F) -> StackJob<L, F, R> {
+        StackJob {
+            latch,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+        }
+    }
+
+    /// The latch signalling completion.
+    pub(crate) fn latch(&self) -> &L {
+        &self.latch
+    }
+
+    /// Erases this job into a [`JobRef`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive until the latch has been set.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe { JobRef::new(self) }
+    }
+
+    /// Extracts the result after the latch was observed set, resuming the
+    /// unwind if the job panicked.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the job's panic, or panics if the job never ran.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner().expect("stack job never executed") {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl<L: Latch, F, R> Job for StackJob<L, F, R>
+where
+    F: FnOnce() -> R,
+{
+    unsafe fn execute(this: *const Self) {
+        let this = unsafe { &*this };
+        let func = unsafe { (*this.func.get()).take() }.expect("stack job executed twice");
+        let result = catch_unwind(AssertUnwindSafe(func));
+        unsafe { *this.result.get() = Some(result) };
+        this.latch.set();
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `Scope::spawn`); freed
+/// when executed.
+pub(crate) struct HeapJob<F: FnOnce()> {
+    func: F,
+}
+
+impl<F: FnOnce() + Send> HeapJob<F> {
+    /// Boxes the closure and erases it into a [`JobRef`].
+    pub(crate) fn erased(func: F) -> JobRef {
+        let boxed = Box::new(HeapJob { func });
+        // SAFETY: the box stays alive until `execute` reclaims it.
+        unsafe { JobRef::new(Box::into_raw(boxed)) }
+    }
+}
+
+impl<F: FnOnce()> Job for HeapJob<F> {
+    unsafe fn execute(this: *const Self) {
+        let boxed = unsafe { Box::from_raw(this.cast_mut()) };
+        (boxed.func)();
+    }
+}
+
+/// A panic payload captured from a spawned job.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;

@@ -1,33 +1,63 @@
-//! Minimal, dependency-free stand-in for the `rayon` crate.
+//! Minimal, dependency-free stand-in for the `rayon` crate, backed by a
+//! real work-stealing thread pool.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the slice of the rayon API its hot paths use: `into_par_iter`
-//! / `par_iter` with `map` / `for_each` / `collect` / `sum`, plus
-//! [`join`] and [`current_num_threads`]. Parallelism comes from
-//! `std::thread::scope` fork-join over contiguous chunks rather than a
-//! work-stealing pool — for the coarse-grained outer loops BioCheck
-//! parallelizes (trajectory sampling, frontier batches of boxes), the
-//! chunked schedule is within noise of work stealing.
+//! vendors the slice of the rayon API its hot paths use: [`join`],
+//! [`scope`] / [`Scope::spawn`], `into_par_iter` / `par_iter` with
+//! `map` / `map_init` / `for_each` / `filter` / `collect` / `sum` /
+//! `reduce`, and [`current_num_threads`].
 //!
-//! Ordering contract: `map` + `collect` preserves input order exactly,
-//! regardless of thread count, so seeded computations stay deterministic.
+//! # Architecture
+//!
+//! * **Persistent workers.** A global registry starts `N` worker threads
+//!   lazily on the first parallel call (`N` from `BIOCHECK_THREADS`,
+//!   then `RAYON_NUM_THREADS`, then the available parallelism; `N = 1`
+//!   spawns no threads and runs everything inline on the caller).
+//! * **Chase–Lev deques.** Each worker owns a deque; it pushes and pops
+//!   split-off subproblems at the bottom (LIFO), idle workers steal from
+//!   the top (FIFO) — see `deque.rs` for the memory-model details.
+//! * **Injector.** External threads submit top-level operations through
+//!   a FIFO injector and block on a latch until a worker finishes them.
+//! * **Parking.** Idle workers park on a condition variable guarded by a
+//!   generation counter; publishers wake them only when the sleeper
+//!   count is non-zero, keeping the `join` fast path to one deque push.
+//! * **Nested `join`.** A worker calling [`join`] pushes the second
+//!   closure onto its own deque, runs the first inline, then pops the
+//!   second back (usually still unstolen and cache-hot) or steals other
+//!   work while waiting — recursive splitting therefore self-balances
+//!   across workers, which is what irregular branch-and-prune frontiers
+//!   need.
+//! * **Panic propagation.** Panics inside either side of a [`join`], a
+//!   parallel iterator closure, or a scope-spawned job are captured and
+//!   resumed on the caller, mirroring rayon's semantics.
+//!
+//! Ordering contract: `map` / `map_init` + `collect` preserve input
+//! order exactly, regardless of thread count or stealing schedule, so
+//! seeded computations stay deterministic.
 
-use std::num::NonZeroUsize;
+mod deque;
+mod job;
+mod registry;
 
-/// Number of worker threads a parallel call will use at most.
+use job::{CountLatch, HeapJob, PanicPayload, SpinLatch, StackJob};
+use registry::Registry;
+use std::marker::PhantomData;
+use std::mem::ManuallyDrop;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Number of threads in the pool (1 means all calls run inline).
 pub fn current_num_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    Registry::global().num_threads()
 }
 
 /// Runs both closures, potentially in parallel, returning both results.
+///
+/// Called from inside the pool, this is the work-stealing primitive: `b`
+/// is published on the caller's deque for thieves while the caller runs
+/// `a`. Called from outside, the whole pair is handed to the pool. If
+/// either closure panics, the panic is resumed here after both have
+/// finished (the first panic wins when both do).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -35,13 +65,286 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    let registry = Registry::global();
+    if registry.num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join worker panicked"))
+    match Registry::current_worker() {
+        Some(index) => join_in_worker(registry, index, a, b),
+        None => registry.in_worker(move || join(a, b)),
+    }
+}
+
+fn join_in_worker<A, B, RA, RB>(registry: &'static Registry, index: usize, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(SpinLatch::new(), b);
+    // SAFETY: this frame blocks on the latch before returning or
+    // unwinding, so the job outlives every access through the ref.
+    unsafe { registry.push_local(index, job_b.as_job_ref()) };
+    let result_a = catch_unwind(AssertUnwindSafe(a));
+    // Wait for b: the loop pops our own deque first — in the common case
+    // that's `job_b` itself, executed inline and cache-hot — and steals
+    // other work otherwise, so no cycles idle while subtrees are uneven.
+    // SAFETY: `index` is this thread's own worker index.
+    unsafe { registry.wait_until(index, job_b.latch()) };
+    match result_a {
+        Ok(ra) => (ra, job_b.into_result()),
+        // b has finished; discard its result (or panic) and propagate a's.
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// The closure shape a scope accepts (also the variance marker).
+type ScopeBody<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A scope for spawning jobs that may borrow from the enclosing frame;
+/// [`scope`] returns only after every spawned job has completed.
+pub struct Scope<'scope> {
+    registry: &'static Registry,
+    latch: CountLatch,
+    panic: Mutex<Option<PanicPayload>>,
+    marker: PhantomData<ScopeBody<'scope>>,
+}
+
+#[derive(Copy, Clone)]
+struct ScopePtr<'scope>(*const Scope<'scope>);
+// SAFETY: the scope outlives all spawned jobs (scope() waits on the
+// count latch before returning), and Scope's shared state is Sync.
+unsafe impl Send for ScopePtr<'_> {}
+
+impl<'scope> Scope<'scope> {
+    fn new(registry: &'static Registry) -> Scope<'scope> {
+        Scope {
+            registry,
+            latch: CountLatch::new(),
+            panic: Mutex::new(None),
+            marker: PhantomData,
+        }
+    }
+
+    /// Spawns `body` into the pool. The closure may borrow anything that
+    /// outlives the scope; it runs at some point before [`scope`]
+    /// returns, on any worker. With a single-thread pool it runs
+    /// immediately, inline.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if self.registry.num_threads() <= 1 {
+            body(self);
+            return;
+        }
+        self.latch.increment();
+        let scope_ptr = ScopePtr(self as *const Scope<'scope>);
+        let job = HeapJob::erased(move || {
+            // Capture the whole wrapper, not its raw-pointer field
+            // (edition-2021 closures capture disjoint fields by default,
+            // which would sidestep ScopePtr's Send impl).
+            let scope_ptr = scope_ptr;
+            // SAFETY: see ScopePtr — the scope is alive until the latch
+            // this job decrements has been waited out.
+            let scope = unsafe { &*scope_ptr.0 };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().expect("scope panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            scope.latch.decrement();
+        });
+        match Registry::current_worker() {
+            // SAFETY: `index` is the calling thread's own worker index;
+            // heap jobs own their data.
+            Some(index) => unsafe { self.registry.push_local(index, job) },
+            None => self.registry.inject(job),
+        }
+    }
+}
+
+/// Creates a [`Scope`], runs `op` in it on the pool, and waits for every
+/// job spawned into the scope. Panics from `op` or any spawned job are
+/// resumed here (`op`'s panic wins; among spawned jobs, the first).
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let registry = Registry::global();
+    if registry.num_threads() <= 1 {
+        // Inline pool: spawns already ran at their spawn sites.
+        return op(&Scope::new(registry));
+    }
+    registry.in_worker(move || {
+        let scope = Scope::new(registry);
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        scope.latch.decrement(); // the scope body counts as one job
+        let index = Registry::current_worker().expect("scope body runs on a worker");
+        // SAFETY: `index` is this worker's own index.
+        unsafe { registry.wait_until(index, &scope.latch) };
+        match result {
+            Ok(r) => {
+                let payload = scope
+                    .panic
+                    .lock()
+                    .expect("scope panic slot poisoned")
+                    .take();
+                if let Some(payload) = payload {
+                    resume_unwind(payload);
+                }
+                r
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    })
+}
+
+/// Raw pointer that may cross thread boundaries (indices into disjoint
+/// ranges guarantee exclusive access; see the `*_chunks` helpers).
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> SendPtr<T> {
+        *self
+    }
+}
+
+/// Sequential-leaf size for a recursive split of `n` items: small enough
+/// to expose parallelism past the split points, large enough that leaf
+/// bookkeeping stays negligible.
+fn grain_size(n: usize, threads: usize) -> usize {
+    (n / (threads * 4)).max(1)
+}
+
+/// Moves `items[lo..hi]` through `f` into `dst[lo..hi]`, splitting
+/// recursively so thieves can pick up half-ranges.
+fn map_chunks<I, T, F>(src: SendPtr<I>, dst: SendPtr<T>, lo: usize, hi: usize, grain: usize, f: &F)
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    if hi - lo <= grain {
+        for i in lo..hi {
+            // SAFETY: the recursion partitions [0, n) into disjoint
+            // ranges; each src slot is read (moved out) exactly once and
+            // each dst slot written exactly once.
+            unsafe {
+                let item = src.0.add(i).read();
+                dst.0.add(i).write(f(item));
+            }
+        }
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        join(
+            || map_chunks(src, dst, lo, mid, grain, f),
+            || map_chunks(src, dst, mid, hi, grain, f),
+        );
+    }
+}
+
+/// Like [`map_chunks`], but each sequential leaf builds its own state
+/// value with `init` first (rayon's `map_init` contract).
+fn map_init_chunks<S, I, T, FI, F>(
+    src: SendPtr<I>,
+    dst: SendPtr<T>,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    init: &FI,
+    f: &F,
+) where
+    I: Send,
+    T: Send,
+    FI: Fn() -> S + Sync,
+    F: Fn(&mut S, I) -> T + Sync,
+{
+    if hi - lo <= grain {
+        let mut state = init();
+        for i in lo..hi {
+            // SAFETY: as in `map_chunks` — disjoint ranges, each slot
+            // touched exactly once.
+            unsafe {
+                let item = src.0.add(i).read();
+                dst.0.add(i).write(f(&mut state, item));
+            }
+        }
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        join(
+            || map_init_chunks(src, dst, lo, mid, grain, init, f),
+            || map_init_chunks(src, dst, mid, hi, grain, init, f),
+        );
+    }
+}
+
+/// Folds `items[lo..hi]` with `op`, splitting recursively; each leaf
+/// starts from `identity()` and sibling results combine with `op`.
+fn reduce_chunks<I, ID, F>(
+    src: SendPtr<I>,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    identity: &ID,
+    op: &F,
+) -> I
+where
+    I: Send,
+    ID: Fn() -> I + Sync,
+    F: Fn(I, I) -> I + Sync,
+{
+    if hi - lo <= grain {
+        let mut acc = identity();
+        for i in lo..hi {
+            // SAFETY: disjoint ranges; each slot moved out exactly once.
+            let item = unsafe { src.0.add(i).read() };
+            acc = op(acc, item);
+        }
+        acc
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        let (left, right) = join(
+            || reduce_chunks(src, lo, mid, grain, identity, op),
+            || reduce_chunks(src, mid, hi, grain, identity, op),
+        );
+        op(left, right)
+    }
+}
+
+/// Runs `body` over an owned item vector on the pool, handing it raw
+/// source/destination pointers, and fixes up lengths afterwards.
+///
+/// On a panic inside `body` the moved-from source elements and any
+/// already-written results are leaked (never double-dropped); the panic
+/// then propagates to the caller.
+fn with_moved_items<I, T, R>(
+    items: Vec<I>,
+    run: impl FnOnce(SendPtr<I>, SendPtr<T>, usize) -> R + Send,
+) -> (Vec<T>, R)
+where
+    I: Send,
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    Registry::global().in_worker(move || {
+        let mut items = ManuallyDrop::new(items);
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let src = SendPtr(items.as_mut_ptr());
+        let dst = SendPtr(out.as_mut_ptr());
+        let r = run(src, dst, n);
+        // SAFETY: `run` moved every element out of `items` and
+        // initialized every slot of `out[..n]`.
+        unsafe {
+            out.set_len(n);
+            items.set_len(0);
+        }
+        drop(ManuallyDrop::into_inner(items)); // frees the source buffer
+        (out, r)
     })
 }
 
@@ -53,31 +356,15 @@ where
     F: Fn(I) -> T + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n).max(1);
-    if threads <= 1 {
+    let threads = current_num_threads();
+    if threads <= 1 || n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-    let mut it = items.into_iter();
-    loop {
-        let c: Vec<I> = it.by_ref().take(chunk).collect();
-        if c.is_empty() {
-            break;
-        }
-        chunks.push(c);
-    }
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<T>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("rayon worker panicked"));
-        }
-        out
-    })
+    let grain = grain_size(n, threads);
+    let (out, ()) = with_moved_items(items, move |src, dst, n| {
+        map_chunks(src, dst, 0, n, grain, f);
+    });
+    out
 }
 
 /// An eager parallel iterator: adaptors apply immediately, in parallel.
@@ -93,58 +380,35 @@ impl<I: Send> ParIter<I> {
         }
     }
 
-    /// Like `map`, but each worker first builds a state value with `init`
-    /// and threads it through its chunk of items (rayon's `map_init`).
-    /// Preserves input order.
+    /// Like `map`, but each sequential leaf of the recursive split first
+    /// builds a state value with `init` and threads it through its items
+    /// (rayon's `map_init`). Preserves input order.
     pub fn map_init<S, T, FI, F>(self, init: FI, f: F) -> ParIter<T>
     where
         T: Send,
         FI: Fn() -> S + Sync,
         F: Fn(&mut S, I) -> T + Sync,
     {
-        let items = self.items;
-        let n = items.len();
-        let threads = current_num_threads().min(n).max(1);
-        if threads <= 1 {
+        let n = self.items.len();
+        let threads = current_num_threads();
+        if threads <= 1 || n <= 1 {
             let mut state = init();
             return ParIter {
-                items: items.into_iter().map(|i| f(&mut state, i)).collect(),
+                items: self.items.into_iter().map(|i| f(&mut state, i)).collect(),
             };
         }
-        let chunk = n.div_ceil(threads);
-        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
-        let mut it = items.into_iter();
-        loop {
-            let c: Vec<I> = it.by_ref().take(chunk).collect();
-            if c.is_empty() {
-                break;
-            }
-            chunks.push(c);
-        }
-        let out = std::thread::scope(|s| {
-            let init = &init;
-            let f = &f;
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| {
-                    s.spawn(move || {
-                        let mut state = init();
-                        c.into_iter().map(|i| f(&mut state, i)).collect::<Vec<T>>()
-                    })
-                })
-                .collect();
-            let mut out = Vec::with_capacity(n);
-            for h in handles {
-                out.extend(h.join().expect("rayon worker panicked"));
-            }
-            out
+        let grain = grain_size(n, threads);
+        let init = &init;
+        let f = &f;
+        let (items, ()) = with_moved_items(self.items, move |src, dst, n| {
+            map_init_chunks(src, dst, 0, n, grain, init, f);
         });
-        ParIter { items: out }
+        ParIter { items }
     }
 
     /// Runs `f` on every item in parallel (no results).
     pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
-        let _ = par_map_vec(self.items, &|i| f(i));
+        let _: Vec<()> = par_map_vec(self.items, &|i| f(i));
     }
 
     /// Parallel filter, preserving order.
@@ -170,12 +434,27 @@ impl<I: Send> ParIter<I> {
         self.items.len()
     }
 
-    /// Parallel fold-reduce: `identity` seeds each chunk, `op` combines.
-    pub fn reduce<F>(self, identity: impl Fn() -> I + Sync, op: F) -> I
+    /// Parallel fold-reduce: `identity` seeds each sequential leaf, `op`
+    /// combines items and sibling partial results. `op` must be
+    /// associative for the result to be schedule-independent (the split
+    /// tree is a pure function of the length and thread count).
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I
     where
+        ID: Fn() -> I + Sync,
         F: Fn(I, I) -> I + Sync,
     {
-        self.items.into_iter().fold(identity(), op)
+        let n = self.items.len();
+        let threads = current_num_threads();
+        if threads <= 1 || n <= 1 {
+            return self.items.into_iter().fold(identity(), op);
+        }
+        let grain = grain_size(n, threads);
+        let identity = &identity;
+        let op = &op;
+        let (_units, acc) = with_moved_items::<I, (), I>(self.items, move |src, _dst, n| {
+            reduce_chunks(src, 0, n, grain, identity, op)
+        });
+        acc
     }
 }
 
@@ -255,6 +534,16 @@ mod tests {
     }
 
     #[test]
+    fn map_init_matches_map() {
+        let a: Vec<u64> = (0..500u64).into_par_iter().map(|i| i * i).collect();
+        let b: Vec<u64> = (0..500u64)
+            .into_par_iter()
+            .map_init(|| 0u64, |_, i| i * i)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn par_iter_borrows() {
         let data = vec![1.0f64, 2.0, 3.0];
         let s: f64 = data.par_iter().map(|&x| x * x).sum();
@@ -274,9 +563,36 @@ mod tests {
     }
 
     #[test]
+    fn reduce_sums() {
+        let total = (0..1000u64).into_par_iter().reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
     fn empty_input() {
         let v: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn non_copy_items_move_through_map() {
+        let strings: Vec<String> = (0..200).map(|i| format!("item-{i}")).collect();
+        let lens: Vec<usize> = strings.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, strings.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_spawns_run_before_return() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! The global worker registry: persistent threads, per-worker deques, an
+//! injector for external submissions, and the sleep/wake protocol.
+//!
+//! Workers are started lazily, on the first parallel call. Each worker
+//! owns one Chase–Lev deque; external threads submit through the
+//! injector (a mutexed FIFO — contention there is rare because only
+//! top-level operations cross it). Idle workers park on a condition
+//! variable guarded by a generation counter; publishers bump the
+//! generation only when the sleeper count is non-zero, so the fast path
+//! of `join` costs one deque push and one atomic load.
+//!
+//! Thread count resolution (checked once, at pool start): the
+//! `BIOCHECK_THREADS` environment variable, then `RAYON_NUM_THREADS`,
+//! then [`std::thread::available_parallelism`]. With one thread the pool
+//! spawns no workers at all and every operation runs inline on the
+//! caller — that is also the deterministic baseline the CI thread matrix
+//! compares against.
+
+use crate::deque::{Deque, Steal};
+use crate::job::{JobRef, LockLatch, Probe, StackJob};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Sleep bookkeeping (see the module docs for the protocol).
+struct Sleep {
+    /// Bumped (under the lock) whenever new work becomes visible.
+    generation: Mutex<u64>,
+    /// Workers park here.
+    condvar: Condvar,
+    /// Number of workers inside the sleepy window.
+    sleepers: AtomicUsize,
+}
+
+/// The pool: deques, injector, sleep state.
+pub(crate) struct Registry {
+    num_threads: usize,
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    started: Once,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+thread_local! {
+    /// Index of the current pool worker, or `usize::MAX` outside the pool.
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Reads a positive thread count from an environment variable.
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+fn resolve_num_threads() -> usize {
+    env_threads("BIOCHECK_THREADS")
+        .or_else(|| env_threads("RAYON_NUM_THREADS"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+impl Registry {
+    /// The lazily started global registry.
+    pub(crate) fn global() -> &'static Registry {
+        let registry = REGISTRY.get_or_init(|| {
+            let num_threads = resolve_num_threads();
+            Registry {
+                num_threads,
+                deques: (0..num_threads).map(|_| Deque::new()).collect(),
+                injector: Mutex::new(VecDeque::new()),
+                sleep: Sleep {
+                    generation: Mutex::new(0),
+                    condvar: Condvar::new(),
+                    sleepers: AtomicUsize::new(0),
+                },
+                started: Once::new(),
+            }
+        });
+        registry.started.call_once(|| {
+            if registry.num_threads > 1 {
+                for index in 0..registry.num_threads {
+                    std::thread::Builder::new()
+                        .name(format!("biocheck-rayon-{index}"))
+                        .spawn(move || worker_loop(registry, index))
+                        .expect("failed to spawn pool worker");
+                }
+            }
+        });
+        registry
+    }
+
+    /// Configured pool width (1 ⇒ everything runs inline).
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The current thread's worker index, if it is a pool worker.
+    pub(crate) fn current_worker() -> Option<usize> {
+        let index = WORKER_INDEX.get();
+        (index != usize::MAX).then_some(index)
+    }
+
+    /// Pushes a job onto the current worker's deque (caller must be a
+    /// worker) and wakes a sleeper if any.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be the calling thread's own worker index, and the job
+    /// must stay alive until executed.
+    pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
+        unsafe { self.deques[index].push(job) };
+        self.notify();
+    }
+
+    /// Queues a job from outside the pool.
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(job);
+        self.notify();
+    }
+
+    /// Wakes sleeping workers after publishing work.
+    fn notify(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleep.sleepers.load(Ordering::SeqCst) > 0 {
+            let mut generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+            *generation = generation.wrapping_add(1);
+            self.sleep.condvar.notify_all();
+        }
+    }
+
+    /// Racy scan: is any work visible right now?
+    fn has_visible_work(&self) -> bool {
+        if !self.injector.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !d.is_empty_hint())
+    }
+
+    /// Finds one runnable job for worker `index`: its own deque bottom
+    /// first, then steals (rotating over victims), then the injector.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be the calling thread's own worker index.
+    pub(crate) unsafe fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = unsafe { self.deques[index].pop() } {
+            return Some(job);
+        }
+        let n = self.num_threads;
+        loop {
+            let mut contended = false;
+            for k in 1..n {
+                match self.deques[(index + k) % n].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if let Some(job) = self.injector.lock().expect("injector poisoned").pop_front() {
+                return Some(job);
+            }
+            if !contended {
+                return None;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Work-stealing wait: keeps worker `index` busy until `latch` is
+    /// set, parking briefly when nothing is runnable (`Latch::set`
+    /// unparks it).
+    ///
+    /// # Safety
+    ///
+    /// `index` must be the calling thread's own worker index.
+    pub(crate) unsafe fn wait_until(&self, index: usize, latch: &impl Probe) {
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(job) = unsafe { self.find_work(index) } {
+                unsafe { job.execute() };
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < 16 {
+                    std::thread::yield_now();
+                } else {
+                    // `set` unparks us; the timeout is a safety net.
+                    std::thread::park_timeout(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Runs `op` on a pool worker, blocking the caller until it
+    /// completes. Calls from a worker run inline; with a single-thread
+    /// pool everything runs inline on the caller.
+    pub(crate) fn in_worker<R, OP>(&'static self, op: OP) -> R
+    where
+        R: Send,
+        OP: FnOnce() -> R + Send,
+    {
+        if self.num_threads <= 1 || Registry::current_worker().is_some() {
+            return op();
+        }
+        let job = StackJob::new(LockLatch::new(), op);
+        // SAFETY: this frame blocks on the latch below, so the job
+        // outlives its execution.
+        self.inject(unsafe { job.as_job_ref() });
+        job.latch().wait();
+        job.into_result()
+    }
+
+    /// Parks worker `index` until new work is announced (bounded wait).
+    fn sleep(&self) {
+        self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let seen = *self.sleep.generation.lock().expect("sleep lock poisoned");
+        if !self.has_visible_work() {
+            let mut generation = self.sleep.generation.lock().expect("sleep lock poisoned");
+            while *generation == seen {
+                let (next, timeout) = self
+                    .sleep
+                    .condvar
+                    .wait_timeout(generation, Duration::from_millis(10))
+                    .expect("sleep lock poisoned");
+                generation = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Body of every persistent worker thread.
+fn worker_loop(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.set(index);
+    loop {
+        // SAFETY: `index` is this thread's own index for the process
+        // lifetime of the pool.
+        if let Some(job) = unsafe { registry.find_work(index) } {
+            unsafe { job.execute() };
+        } else {
+            registry.sleep();
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Integration tests for the work-stealing pool itself: nested joins,
+//! stealing under pathological skew, panic propagation, and scopes.
+//!
+//! The host running the test suite may have a single core, which would
+//! collapse the pool to the inline path; every test therefore routes
+//! through [`pool`], which pins `BIOCHECK_THREADS=4` before the global
+//! registry is first touched (integration tests are their own process,
+//! so this cannot race with other test binaries).
+
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Forces a 4-thread pool, exactly once, before any rayon call.
+fn pool() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        std::env::set_var("BIOCHECK_THREADS", "4");
+        assert_eq!(rayon::current_num_threads(), 4);
+    });
+}
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Deliberately unbalanced recursion: the two sides do very different
+    // amounts of work, so only stealing keeps all workers busy.
+    let (a, b) = rayon::join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+#[test]
+fn nested_join_computes_fib() {
+    pool();
+    assert_eq!(fib(22), 17_711);
+}
+
+#[test]
+fn deeply_nested_join_terminates() {
+    pool();
+    // A right-degenerate join chain ~2000 deep: every level parks a
+    // frame on the worker that owns it and waits on a latch.
+    fn chain(depth: u32) -> u64 {
+        if depth == 0 {
+            return 1;
+        }
+        let (a, b) = rayon::join(|| chain(depth - 1), || 1u64);
+        a + b
+    }
+    assert_eq!(chain(2000), 2001);
+}
+
+#[test]
+fn skewed_workload_is_stolen() {
+    pool();
+    // One huge task plus many tiny ones. With chunked fork-join the
+    // worker stuck with the huge chunk serializes its tiny neighbours;
+    // with stealing, other workers drain the tiny tasks meanwhile.
+    let seen: OnceLock<Mutex<HashSet<std::thread::ThreadId>>> = OnceLock::new();
+    let seen = &seen;
+    let spin = |iters: u64| {
+        let mut acc = 0u64;
+        for i in 0..iters {
+            acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+        }
+        acc
+    };
+    let results: Vec<u64> = (0..256u64)
+        .into_par_iter()
+        .map(|i| {
+            seen.get_or_init(|| Mutex::new(HashSet::new()))
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            // Task 0 is ~3 orders of magnitude heavier than the rest.
+            if i == 0 {
+                spin(20_000_000)
+            } else {
+                spin(20_000) ^ i
+            }
+        })
+        .collect();
+    assert_eq!(results.len(), 256);
+    // Order must be preserved even under stealing.
+    for (i, r) in results.iter().enumerate().skip(1) {
+        assert_eq!(r & 0xFF, (spin(20_000) ^ i as u64) & 0xFF);
+    }
+    let participants = seen.get().unwrap().lock().unwrap().len();
+    assert!(
+        participants >= 2,
+        "expected at least two workers to touch the skewed batch, saw {participants}"
+    );
+}
+
+#[test]
+fn join_propagates_panic_from_first_closure() {
+    pool();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        rayon::join(|| panic!("left side exploded"), || 1 + 1)
+    }));
+    let payload = r.expect_err("panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("left side exploded"), "payload: {msg:?}");
+}
+
+#[test]
+fn join_propagates_panic_from_second_closure() {
+    pool();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        rayon::join(|| 40 + 2, || -> u32 { panic!("right side exploded") })
+    }));
+    let payload = r.expect_err("panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("right side exploded"), "payload: {msg:?}");
+}
+
+#[test]
+fn pool_survives_panics() {
+    pool();
+    // After a propagated panic the pool must keep scheduling correctly.
+    for round in 0..8 {
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            rayon::join(|| panic!("round {round}"), || round)
+        }));
+        let v: Vec<usize> = (0..100usize).into_par_iter().map(|i| i + round).collect();
+        assert_eq!(v[99], 99 + round);
+    }
+}
+
+#[test]
+fn map_panic_propagates_and_pool_recovers() {
+    pool();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let _: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map(|i| if i == 33 { panic!("item 33") } else { i })
+            .collect();
+    }));
+    assert!(r.is_err());
+    let v: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * 3).collect();
+    assert_eq!(v[21], 63);
+}
+
+#[test]
+fn scope_spawn_borrows_stack_data() {
+    pool();
+    let inputs: Vec<u64> = (0..128).collect();
+    let total = AtomicUsize::new(0);
+    rayon::scope(|s| {
+        for chunk in inputs.chunks(8) {
+            s.spawn(|_| {
+                let sum: u64 = chunk.iter().sum();
+                total.fetch_add(sum as usize, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::SeqCst), 128 * 127 / 2);
+}
+
+#[test]
+fn scope_spawn_nested_spawns() {
+    pool();
+    let count = AtomicUsize::new(0);
+    rayon::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|s| {
+                count.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::SeqCst), 8 + 8 * 4);
+}
+
+#[test]
+fn scope_propagates_spawned_panic() {
+    pool();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        rayon::scope(|s| {
+            s.spawn(|_| panic!("spawned job exploded"));
+        });
+    }));
+    let payload = r.expect_err("panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("spawned job exploded"), "payload: {msg:?}");
+}
+
+#[test]
+fn join_from_many_external_threads() {
+    pool();
+    // External (non-worker) threads must all be able to drive the pool
+    // through the injector at once.
+    std::thread::scope(|s| {
+        for t in 0..6u64 {
+            s.spawn(move || {
+                let v: Vec<u64> = (0..400u64).into_par_iter().map(|i| i + t).collect();
+                assert_eq!(v[399], 399 + t);
+            });
+        }
+    });
+}

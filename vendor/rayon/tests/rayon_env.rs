@@ -1,0 +1,12 @@
+//! `RAYON_NUM_THREADS` is honoured when `BIOCHECK_THREADS` is unset.
+//! Single test in its own binary so no other test can start the pool
+//! first.
+
+#[test]
+fn rayon_num_threads_is_respected() {
+    std::env::remove_var("BIOCHECK_THREADS");
+    std::env::set_var("RAYON_NUM_THREADS", "2");
+    assert_eq!(rayon::current_num_threads(), 2);
+    let (a, b) = rayon::join(|| 1, || 2);
+    assert_eq!(a + b, 3);
+}

@@ -1,0 +1,20 @@
+//! `BIOCHECK_THREADS` pins the pool width (read once, at pool start).
+//! Single test in its own binary so no other test can start the pool
+//! first.
+
+#[test]
+fn biocheck_threads_overrides_pool_width() {
+    std::env::set_var("BIOCHECK_THREADS", "3");
+    // Even if RAYON_NUM_THREADS disagrees, BIOCHECK_THREADS wins.
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    assert_eq!(rayon::current_num_threads(), 3);
+    // The pool actually works at that width.
+    let (a, b) = rayon::join(|| 6 * 7, || "ok");
+    assert_eq!((a, b), (42, "ok"));
+    use rayon::prelude::*;
+    let v: Vec<u32> = (0..100usize)
+        .into_par_iter()
+        .map(|i| i as u32 * 2)
+        .collect();
+    assert_eq!(v[50], 100);
+}
