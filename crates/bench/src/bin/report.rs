@@ -88,14 +88,17 @@ fn main() {
     );
     for w in &perf {
         println!(
-            "{}: {} samples, seq {:.1}/s, par {:.1}/s, speedup {:.2}x, p̂ = {:.3}, deterministic = {}",
+            "{}: {} samples, seq {:.1}/s, par {:.1}/s, speedup {:.2}x, p̂ = {:.3}, \
+             deterministic = {}, avg_steps = {:.1}, early_stop = {:.1}%",
             w.name,
             w.samples,
             w.sequential.samples_per_sec,
             w.parallel.samples_per_sec,
             w.speedup,
             w.p_hat,
-            w.deterministic
+            w.deterministic,
+            w.avg_steps,
+            100.0 * w.early_stop_rate,
         );
     }
     let bench_path = format!("BENCH_{bench_version}.json");

@@ -493,6 +493,8 @@ mod tests {
             p_hat: 0.5,
             deterministic,
             speedup: par / seq,
+            avg_steps: 10.0,
+            early_stop_rate: 0.25,
         }
     }
 

@@ -14,7 +14,7 @@ use biocheck_bltl::Bltl;
 use biocheck_expr::{Atom, RelOp};
 use biocheck_models::{cardiac, prostate, radiation};
 use biocheck_ode::OdeSystem;
-use biocheck_smc::{par_estimate, seq_estimate, Dist, TraceSampler};
+use biocheck_smc::{fork_rng, par_estimate, seq_estimate, Dist, TraceSampler};
 use std::time::Instant;
 
 /// Timings for one workload in one execution mode.
@@ -45,6 +45,13 @@ pub struct PerfWorkload {
     pub deterministic: bool,
     /// `sequential.wall_seconds / parallel.wall_seconds`.
     pub speedup: f64,
+    /// Mean integration samples per draw (seed-deterministic; 0 for
+    /// non-SMC workloads). Shrinks when streaming verdicts cut
+    /// trajectories short.
+    pub avg_steps: f64,
+    /// Fraction of draws whose verdict decided before the time horizon
+    /// (seed-deterministic; 0 for non-SMC workloads).
+    pub early_stop_rate: f64,
 }
 
 /// Prostate CAS therapy: P(PSA = x + y stays below 18 for 100 days) over
@@ -129,7 +136,7 @@ fn best_of<R>(mut f: impl FnMut() -> R) -> (f64, R) {
 }
 
 /// Machine-speed calibration: iterations/sec of a fixed, deterministic
-/// integer spin loop (best of [`REPEATS`]). Recorded alongside the
+/// integer spin loop (best of `REPEATS` runs). Recorded alongside the
 /// workloads in `BENCH_<n>.json` so the regression gate can compare
 /// throughput *relative to the measuring machine's speed* instead of
 /// absolute samples/sec — a baseline committed from a fast laptop then
@@ -157,6 +164,17 @@ pub fn calibration_score() -> f64 {
 fn run_workload(name: &str, sampler: &TraceSampler, samples: usize, seed: u64) -> PerfWorkload {
     let (seq_secs, p_seq) = best_of(|| seq_estimate(sampler, seed, samples));
     let (par_secs, p_par) = best_of(|| par_estimate(sampler, seed, samples));
+    // Untimed instrumented pass over the same per-index streams: how
+    // much trajectory the fused pipeline actually integrates, and how
+    // often the streaming verdict decided before the horizon.
+    let mut scratch = sampler.scratch();
+    let mut steps = 0usize;
+    let mut early = 0usize;
+    for i in 0..samples as u64 {
+        let st = sampler.sample_stats_with(&mut fork_rng(seed, i), &mut scratch);
+        steps += st.steps;
+        early += st.early_stop as usize;
+    }
     PerfWorkload {
         name: name.to_string(),
         samples,
@@ -172,6 +190,8 @@ fn run_workload(name: &str, sampler: &TraceSampler, samples: usize, seed: u64) -
         p_hat: p_par,
         deterministic: p_par.to_bits() == p_seq.to_bits(),
         speedup: seq_secs / par_secs,
+        avg_steps: steps as f64 / samples as f64,
+        early_stop_rate: early as f64 / samples as f64,
     }
 }
 
@@ -222,6 +242,8 @@ pub fn icp_pave_workload() -> PerfWorkload {
         p_hat: sat_area / init_area,
         deterministic: same_counts && same_measure,
         speedup: seq_secs / par_secs,
+        avg_steps: 0.0,
+        early_stop_rate: 0.0,
     }
 }
 
@@ -253,7 +275,8 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
             "    {{\"name\": \"{}\", \"samples\": {}, \"seed\": {}, \
              \"sequential\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
              \"parallel\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
-             \"p_hat\": {}, \"deterministic\": {}, \"speedup\": {:.3}}}{}\n",
+             \"p_hat\": {}, \"deterministic\": {}, \"speedup\": {:.3}, \
+             \"avg_steps\": {:.2}, \"early_stop_rate\": {:.3}}}{}\n",
             json_escape(&w.name),
             w.samples,
             w.seed,
@@ -264,6 +287,8 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
             w.p_hat,
             w.deterministic,
             w.speedup,
+            w.avg_steps,
+            w.early_stop_rate,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -287,6 +312,20 @@ mod tests {
                 w.name,
                 w.p_hat
             );
+            assert!(
+                (0.0..=1.0).contains(&w.early_stop_rate),
+                "{}: early_stop_rate = {}",
+                w.name,
+                w.early_stop_rate
+            );
+            if w.name.starts_with("smc_") {
+                assert!(
+                    w.avg_steps >= 1.0,
+                    "{}: avg_steps = {}",
+                    w.name,
+                    w.avg_steps
+                );
+            }
         }
     }
 
@@ -324,6 +363,8 @@ mod tests {
             "samples_per_sec",
             "deterministic",
             "speedup",
+            "avg_steps",
+            "early_stop_rate",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -14,6 +14,13 @@
 //! Hybrid trajectories are monitored by uniform resampling
 //! ([`Monitor::check_hybrid`]).
 //!
+//! For hot loops (SMC sampling), the [`stream`] module compiles a
+//! formula once into a [`CompiledBltl`] monitor plan evaluated
+//! incrementally: [`CompiledBltl::feed`] returns a three-valued
+//! [`Verdict`] that lets a simulation stop integrating the moment the
+//! Boolean verdict is decided, and one pass produces satisfaction *and*
+//! robustness, allocation-free after warm-up.
+//!
 //! # Examples
 //!
 //! ```
@@ -34,6 +41,10 @@
 //! let mut mon = Monitor::new(&cx, &states);
 //! assert!(mon.check(&phi, &trace));
 //! ```
+
+pub mod stream;
+
+pub use stream::{CompiledBltl, MonitorScratch, Verdict};
 
 use biocheck_expr::{Atom, Context, EvalScratch, Program, RelOp, VarId};
 use biocheck_hybrid::HybridTrajectory;

@@ -1,0 +1,736 @@
+//! Streaming BLTL monitoring: a [`Bltl`] formula compiled once into a
+//! flat monitor plan, evaluated incrementally sample-by-sample.
+//!
+//! The offline [`Monitor`](crate::Monitor) recurses over the formula and
+//! allocates one value vector per subformula per call. This module
+//! instead compiles the formula into a [`CompiledBltl`] — a table of
+//! subformula operations plus **one** multi-root
+//! [`Program`] evaluating every atom term in a single
+//! sweep — and evaluates it through a reusable [`MonitorScratch`] arena:
+//!
+//! * [`CompiledBltl::feed`] consumes one `(t, state)` sample and returns
+//!   a three-valued [`Verdict`]; `True`/`False` mean the Boolean verdict
+//!   at the start of the trace is already decided *no matter how the
+//!   trajectory continues*, so a simulation loop can stop integrating
+//!   (bounded operators decide as early as their semantics allow).
+//! * [`CompiledBltl::finish_bool`] / [`CompiledBltl::finish_robustness`]
+//!   finalize end-of-trace semantics; satisfaction and quantitative
+//!   robustness come out of the same single pass over the samples and
+//!   are bit-for-bit identical to the offline monitor (property-tested
+//!   in `tests/stream_prop.rs`).
+//!
+//! After warm-up (one trace through a given plan), the whole
+//! begin/feed/finish cycle performs zero heap allocations — enforced by
+//! the counting-allocator test `tests/alloc.rs`.
+
+use crate::Bltl;
+use biocheck_expr::{Context, EvalScratch, NodeId, Program, RelOp, VarId};
+use biocheck_ode::Trace;
+
+/// Three-valued outcome of incremental monitoring.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The property holds at the start of the trace, whatever follows.
+    True,
+    /// The property is violated at the start of the trace, whatever
+    /// follows.
+    False,
+    /// The observed prefix does not determine the verdict yet.
+    Undecided,
+}
+
+impl Verdict {
+    /// Logical negation (Kleene).
+    fn not(self) -> Verdict {
+        match self {
+            Verdict::True => Verdict::False,
+            Verdict::False => Verdict::True,
+            Verdict::Undecided => Verdict::Undecided,
+        }
+    }
+
+    /// `true` when the verdict is no longer [`Verdict::Undecided`].
+    pub fn decided(self) -> bool {
+        self != Verdict::Undecided
+    }
+
+    fn from_bool(b: bool) -> Verdict {
+        if b {
+            Verdict::True
+        } else {
+            Verdict::False
+        }
+    }
+}
+
+/// One subformula of the compiled plan. Children are indices into the
+/// plan's operation table (always smaller than the node's own index).
+#[derive(Clone, Debug)]
+enum PlanOp {
+    /// An atomic proposition: index into the margin table.
+    Prop(u32),
+    /// Negation.
+    Not(u32),
+    /// Conjunction (empty = the constant *true*).
+    And(Vec<u32>),
+    /// Disjunction (empty = the constant *false*).
+    Or(Vec<u32>),
+    /// Time-bounded until; `uidx` selects this node's scan-state slot.
+    Until {
+        lhs: u32,
+        rhs: u32,
+        bound: f64,
+        uidx: u32,
+    },
+}
+
+/// A [`Bltl`] formula compiled for streaming evaluation: flat subformula
+/// table plus a single multi-root [`Program`] computing every distinct
+/// atom term in one evaluation sweep per sample.
+///
+/// The plan is immutable and shareable across threads; all per-trace
+/// state lives in a [`MonitorScratch`].
+#[derive(Clone, Debug)]
+pub struct CompiledBltl {
+    /// Operations in child-before-parent order; the root is last.
+    ops: Vec<PlanOp>,
+    /// Per atom: (program output index, relation) — the margin transform.
+    atoms: Vec<(u32, RelOp)>,
+    /// All distinct atom terms as one compiled multi-root program.
+    prog: Program,
+    /// State variables, fixing the order of `feed`'s `state` slice.
+    states: Vec<VarId>,
+    /// Environment width (`Context::num_vars` at compile time).
+    env_len: usize,
+    /// Number of `Until` nodes (scan-state slots).
+    n_untils: usize,
+}
+
+/// Reusable per-trace evaluation arena for a [`CompiledBltl`]: sample
+/// times, atom margins, memoized subformula verdicts/robustness values,
+/// and the per-`Until` incremental scan state. All buffers keep their
+/// high-water-mark capacity across traces, so steady-state monitoring is
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorScratch {
+    /// Evaluation environment (parameters + scribbled states).
+    env: Vec<f64>,
+    /// Expression-evaluation buffers.
+    eval: EvalScratch,
+    /// Program output buffer (one slot per distinct atom term).
+    out: Vec<f64>,
+    /// Sample times.
+    times: Vec<f64>,
+    /// Margins, flat `[sample * n_atoms + atom]`.
+    margins: Vec<f64>,
+    /// Memoized Boolean verdict per op per sample index.
+    bval: Vec<Vec<Verdict>>,
+    /// Per until, per start index: next sample its Boolean scan reads.
+    bfrontier: Vec<Vec<usize>>,
+    /// Is the robustness value at `[op][sample]` final?
+    rknown: Vec<Vec<bool>>,
+    /// Memoized robustness value per op per sample index.
+    rval: Vec<Vec<f64>>,
+    /// Per until, per start index: next sample its robustness scan reads.
+    rfrontier: Vec<Vec<usize>>,
+    /// Per until, per start index: running `max_j min(prefix, rhs_j)`.
+    rbest: Vec<Vec<f64>>,
+    /// Per until, per start index: running `min_j lhs_j`.
+    rprefix: Vec<Vec<f64>>,
+    /// Whether the trace has ended (end-of-trace semantics apply).
+    ended: bool,
+}
+
+impl MonitorScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> MonitorScratch {
+        MonitorScratch::default()
+    }
+
+    /// Number of samples fed since the last [`CompiledBltl::begin`].
+    pub fn samples(&self) -> usize {
+        self.times.len()
+    }
+}
+
+impl CompiledBltl {
+    /// Compiles `f` over the given state layout. Atom terms are
+    /// deduplicated and compiled into one multi-root [`Program`];
+    /// repeated subformula *occurrences* still monitor independently (the
+    /// formula is a tree, not a DAG).
+    pub fn compile(cx: &Context, states: &[VarId], f: &Bltl) -> CompiledBltl {
+        let mut ops = Vec::new();
+        let mut roots: Vec<NodeId> = Vec::new();
+        let mut root_of: std::collections::HashMap<NodeId, u32> = std::collections::HashMap::new();
+        let mut atoms: Vec<(u32, RelOp)> = Vec::new();
+        let mut atom_of: std::collections::HashMap<(NodeId, RelOp), u32> =
+            std::collections::HashMap::new();
+        let mut n_untils = 0usize;
+        Self::lower(
+            f,
+            &mut ops,
+            &mut roots,
+            &mut root_of,
+            &mut atoms,
+            &mut atom_of,
+            &mut n_untils,
+        );
+        CompiledBltl {
+            ops,
+            atoms,
+            prog: Program::compile(cx, &roots),
+            states: states.to_vec(),
+            env_len: cx.num_vars(),
+            n_untils,
+        }
+    }
+
+    /// Post-order lowering; returns the new node's op index.
+    fn lower(
+        f: &Bltl,
+        ops: &mut Vec<PlanOp>,
+        roots: &mut Vec<NodeId>,
+        root_of: &mut std::collections::HashMap<NodeId, u32>,
+        atoms: &mut Vec<(u32, RelOp)>,
+        atom_of: &mut std::collections::HashMap<(NodeId, RelOp), u32>,
+        n_untils: &mut usize,
+    ) -> u32 {
+        let op = match f {
+            Bltl::Prop(a) => {
+                let aidx = *atom_of.entry((a.expr, a.op)).or_insert_with(|| {
+                    let ridx = *root_of.entry(a.expr).or_insert_with(|| {
+                        roots.push(a.expr);
+                        (roots.len() - 1) as u32
+                    });
+                    atoms.push((ridx, a.op));
+                    (atoms.len() - 1) as u32
+                });
+                PlanOp::Prop(aidx)
+            }
+            Bltl::Not(g) => PlanOp::Not(Self::lower(
+                g, ops, roots, root_of, atoms, atom_of, n_untils,
+            )),
+            Bltl::And(gs) => PlanOp::And(
+                gs.iter()
+                    .map(|g| Self::lower(g, ops, roots, root_of, atoms, atom_of, n_untils))
+                    .collect(),
+            ),
+            Bltl::Or(gs) => PlanOp::Or(
+                gs.iter()
+                    .map(|g| Self::lower(g, ops, roots, root_of, atoms, atom_of, n_untils))
+                    .collect(),
+            ),
+            Bltl::Until { lhs, rhs, bound } => {
+                let l = Self::lower(lhs, ops, roots, root_of, atoms, atom_of, n_untils);
+                let r = Self::lower(rhs, ops, roots, root_of, atoms, atom_of, n_untils);
+                let uidx = *n_untils as u32;
+                *n_untils += 1;
+                PlanOp::Until {
+                    lhs: l,
+                    rhs: r,
+                    bound: *bound,
+                    uidx,
+                }
+            }
+        };
+        ops.push(op);
+        (ops.len() - 1) as u32
+    }
+
+    /// Environment width expected by [`CompiledBltl::begin`].
+    pub fn env_len(&self) -> usize {
+        self.env_len
+    }
+
+    /// Starts monitoring a new trace: resets `s` (keeping buffer
+    /// capacity) and loads the parameter environment.
+    pub fn begin(&self, s: &mut MonitorScratch, env: &[f64]) {
+        s.env.clear();
+        s.env.extend_from_slice(env);
+        if s.env.len() < self.env_len {
+            s.env.resize(self.env_len, 0.0);
+        }
+        s.out.clear();
+        s.out.resize(self.prog.num_roots(), 0.0);
+        s.times.clear();
+        s.margins.clear();
+        s.ended = false;
+        let n_ops = self.ops.len();
+        if s.bval.len() < n_ops {
+            s.bval.resize(n_ops, Vec::new());
+            s.rknown.resize(n_ops, Vec::new());
+            s.rval.resize(n_ops, Vec::new());
+        }
+        for v in &mut s.bval {
+            v.clear();
+        }
+        for v in &mut s.rknown {
+            v.clear();
+        }
+        for v in &mut s.rval {
+            v.clear();
+        }
+        if s.bfrontier.len() < self.n_untils {
+            s.bfrontier.resize(self.n_untils, Vec::new());
+            s.rfrontier.resize(self.n_untils, Vec::new());
+            s.rbest.resize(self.n_untils, Vec::new());
+            s.rprefix.resize(self.n_untils, Vec::new());
+        }
+        for v in &mut s.bfrontier {
+            v.clear();
+        }
+        for v in &mut s.rfrontier {
+            v.clear();
+        }
+        for v in &mut s.rbest {
+            v.clear();
+        }
+        for v in &mut s.rprefix {
+            v.clear();
+        }
+    }
+
+    /// Feeds one sample and returns the current verdict of the formula
+    /// at the *start* of the trace. `True`/`False` are final: the
+    /// Boolean verdict on any extension of this prefix — in particular
+    /// on the full trajectory — is the same, so integration can stop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` is shorter than the compiled state layout or
+    /// when fed non-increasing times.
+    pub fn feed(&self, s: &mut MonitorScratch, t: f64, state: &[f64]) -> Verdict {
+        // A full assert, not a debug_assert: out-of-order times would
+        // silently corrupt the bound checks of every `Until` scan, and
+        // one compare per sample is noise next to the program sweep.
+        assert!(
+            s.times.last().is_none_or(|&last| last < t),
+            "samples must arrive in strictly increasing time order"
+        );
+        for (&v, &x) in self.states.iter().zip(state) {
+            s.env[v.index()] = x;
+        }
+        // One program sweep computes every distinct atom term.
+        self.prog.eval_with(&s.env, &mut s.eval, &mut s.out);
+        for &(ridx, op) in &self.atoms {
+            let t = s.out[ridx as usize];
+            s.margins.push(match op {
+                RelOp::Ge | RelOp::Gt => t,
+                RelOp::Le | RelOp::Lt => -t,
+                RelOp::Eq => -t.abs(),
+            });
+        }
+        let j = s.times.len();
+        s.times.push(t);
+        for v in &mut s.bval[..self.ops.len()] {
+            v.push(Verdict::Undecided);
+        }
+        for v in &mut s.rknown[..self.ops.len()] {
+            v.push(false);
+        }
+        for v in &mut s.rval[..self.ops.len()] {
+            v.push(0.0);
+        }
+        for u in 0..self.n_untils {
+            s.bfrontier[u].push(j);
+            s.rfrontier[u].push(j);
+            s.rbest[u].push(f64::NEG_INFINITY);
+            s.rprefix[u].push(f64::INFINITY);
+        }
+        self.eval_b(s, self.ops.len() - 1, 0)
+    }
+
+    /// Ends the trace and returns the Boolean verdict (end-of-trace
+    /// semantics: an `Until` still waiting for a witness is false). The
+    /// result equals [`Monitor::check`](crate::Monitor::check) on the
+    /// full trace bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no sample was fed.
+    pub fn finish_bool(&self, s: &mut MonitorScratch) -> bool {
+        assert!(!s.times.is_empty(), "finish before any sample");
+        s.ended = true;
+        match self.eval_b(s, self.ops.len() - 1, 0) {
+            Verdict::True => true,
+            Verdict::False => false,
+            Verdict::Undecided => unreachable!("ended traces always decide"),
+        }
+    }
+
+    /// Ends the trace and returns the quantitative robustness at the
+    /// first sample, bit-for-bit equal to
+    /// [`Monitor::robustness`](crate::Monitor::robustness) on the full
+    /// trace. Both `finish_*` calls may be made on the same trace (the
+    /// Boolean and robustness streams are independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no sample was fed.
+    pub fn finish_robustness(&self, s: &mut MonitorScratch) -> f64 {
+        assert!(!s.times.is_empty(), "finish before any sample");
+        s.ended = true;
+        self.eval_r(s, self.ops.len() - 1, 0)
+            .expect("ended traces always resolve robustness")
+    }
+
+    /// Offline convenience: monitors a whole [`Trace`], stopping the
+    /// sample loop as soon as the verdict decides.
+    pub fn check_trace(&self, s: &mut MonitorScratch, env: &[f64], trace: &Trace) -> bool {
+        self.begin(s, env);
+        for i in 0..trace.len() {
+            if self.feed(s, trace.times()[i], trace.state(i)).decided() {
+                break;
+            }
+        }
+        self.finish_bool(s)
+    }
+
+    /// Offline convenience: one pass over a whole [`Trace`] producing
+    /// both satisfaction and robustness.
+    pub fn eval_trace(&self, s: &mut MonitorScratch, env: &[f64], trace: &Trace) -> (bool, f64) {
+        self.begin(s, env);
+        for i in 0..trace.len() {
+            self.feed(s, trace.times()[i], trace.state(i));
+        }
+        (self.finish_bool(s), self.finish_robustness(s))
+    }
+
+    /// Boolean verdict of op `node` at sample index `i` under the
+    /// observed prefix (three-valued; `True`/`False` are extension-proof
+    /// unless the trace has ended, in which case they are final).
+    fn eval_b(&self, s: &mut MonitorScratch, node: usize, i: usize) -> Verdict {
+        let memo = s.bval[node][i];
+        if memo.decided() {
+            return memo;
+        }
+        let v = match &self.ops[node] {
+            PlanOp::Prop(a) => {
+                Verdict::from_bool(s.margins[i * self.atoms.len() + *a as usize] >= 0.0)
+            }
+            PlanOp::Not(c) => self.eval_b(s, *c as usize, i).not(),
+            PlanOp::And(cs) => {
+                let mut acc = Verdict::True;
+                for &c in cs {
+                    match self.eval_b(s, c as usize, i) {
+                        Verdict::False => {
+                            acc = Verdict::False;
+                            break;
+                        }
+                        Verdict::Undecided => acc = Verdict::Undecided,
+                        Verdict::True => {}
+                    }
+                }
+                acc
+            }
+            PlanOp::Or(cs) => {
+                let mut acc = Verdict::False;
+                for &c in cs {
+                    match self.eval_b(s, c as usize, i) {
+                        Verdict::True => {
+                            acc = Verdict::True;
+                            break;
+                        }
+                        Verdict::Undecided => acc = Verdict::Undecided,
+                        Verdict::False => {}
+                    }
+                }
+                acc
+            }
+            &PlanOp::Until {
+                lhs,
+                rhs,
+                bound,
+                uidx,
+            } => {
+                // Resume the scan at its frontier; every (start, sample)
+                // pair is inspected at most once across all feeds, which
+                // keeps streaming as cheap as one offline pass. Mirrors
+                // the offline scan exactly: bound first, then the
+                // witness, then the prefix.
+                loop {
+                    let j = s.bfrontier[uidx as usize][i];
+                    if j >= s.times.len() {
+                        break if s.ended {
+                            Verdict::False
+                        } else {
+                            Verdict::Undecided
+                        };
+                    }
+                    if s.times[j] - s.times[i] > bound {
+                        break Verdict::False;
+                    }
+                    match self.eval_b(s, rhs as usize, j) {
+                        Verdict::True => break Verdict::True,
+                        Verdict::Undecided => break Verdict::Undecided,
+                        Verdict::False => {}
+                    }
+                    match self.eval_b(s, lhs as usize, j) {
+                        Verdict::False => break Verdict::False,
+                        Verdict::Undecided => break Verdict::Undecided,
+                        Verdict::True => s.bfrontier[uidx as usize][i] = j + 1,
+                    }
+                }
+            }
+        };
+        if v.decided() {
+            s.bval[node][i] = v;
+        }
+        v
+    }
+
+    /// Robustness of op `node` at sample index `i`; `None` while future
+    /// samples can still change the value. The accumulation order is
+    /// identical to the offline `rob_vec` recursion, so resolved values
+    /// match it bit-for-bit.
+    fn eval_r(&self, s: &mut MonitorScratch, node: usize, i: usize) -> Option<f64> {
+        if s.rknown[node][i] {
+            return Some(s.rval[node][i]);
+        }
+        let v = match &self.ops[node] {
+            PlanOp::Prop(a) => Some(s.margins[i * self.atoms.len() + *a as usize]),
+            PlanOp::Not(c) => self.eval_r(s, *c as usize, i).map(|v| -v),
+            PlanOp::And(cs) => {
+                let mut acc = f64::INFINITY;
+                let mut known = true;
+                for &c in cs {
+                    match self.eval_r(s, c as usize, i) {
+                        Some(v) => acc = acc.min(v),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    }
+                }
+                known.then_some(acc)
+            }
+            PlanOp::Or(cs) => {
+                let mut acc = f64::NEG_INFINITY;
+                let mut known = true;
+                for &c in cs {
+                    match self.eval_r(s, c as usize, i) {
+                        Some(v) => acc = acc.max(v),
+                        None => {
+                            known = false;
+                            break;
+                        }
+                    }
+                }
+                known.then_some(acc)
+            }
+            &PlanOp::Until {
+                lhs,
+                rhs,
+                bound,
+                uidx,
+            } => {
+                let u = uidx as usize;
+                loop {
+                    let j = s.rfrontier[u][i];
+                    if j >= s.times.len() {
+                        if s.ended {
+                            break Some(s.rbest[u][i]);
+                        }
+                        break None;
+                    }
+                    if s.times[j] - s.times[i] > bound {
+                        break Some(s.rbest[u][i]);
+                    }
+                    let Some(r) = self.eval_r(s, rhs as usize, j) else {
+                        break None;
+                    };
+                    let Some(l) = self.eval_r(s, lhs as usize, j) else {
+                        break None;
+                    };
+                    let best = s.rbest[u][i];
+                    let prefix = s.rprefix[u][i];
+                    s.rbest[u][i] = best.max(prefix.min(r));
+                    s.rprefix[u][i] = prefix.min(l);
+                    s.rfrontier[u][i] = j + 1;
+                }
+            }
+        };
+        if let Some(v) = v {
+            s.rknown[node][i] = true;
+            s.rval[node][i] = v;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Monitor;
+    use biocheck_expr::Atom;
+
+    /// x = [0, 1, 2, 3, 2, 1, 0] at t = 0..6 (the offline tests' tent).
+    fn tent() -> Trace {
+        let xs = [0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+        Trace::new(
+            (0..7).map(|i| i as f64).collect(),
+            xs.iter().map(|&v| vec![v]).collect(),
+            vec![vec![0.0]; 7],
+        )
+    }
+
+    fn prop(cx: &mut Context, src: &str, op: RelOp) -> Bltl {
+        let e = cx.parse(src).unwrap();
+        Bltl::Prop(Atom::new(e, op))
+    }
+
+    /// Streaming over the tent must agree with the offline monitor for a
+    /// basket of formulas — Boolean and robustness, bit-for-bit.
+    #[test]
+    fn streaming_matches_offline_on_tent() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let formulas = vec![
+            Bltl::eventually(3.0, prop(&mut cx, "x - 3", RelOp::Ge)),
+            Bltl::eventually(2.0, prop(&mut cx, "x - 3", RelOp::Ge)),
+            Bltl::globally(6.0, prop(&mut cx, "x", RelOp::Ge)),
+            Bltl::globally(6.0, prop(&mut cx, "2.5 - x", RelOp::Ge)),
+            Bltl::globally(2.0, prop(&mut cx, "2.5 - x", RelOp::Ge)),
+            Bltl::globally(6.0, prop(&mut cx, "5 - x", RelOp::Ge)),
+            Bltl::eventually(6.0, prop(&mut cx, "x - 3", RelOp::Ge)),
+            Bltl::truth(),
+            Bltl::Until {
+                lhs: Box::new(prop(&mut cx, "2.5 - x", RelOp::Ge)),
+                rhs: Box::new(prop(&mut cx, "x - 3", RelOp::Ge)),
+                bound: 4.0,
+            },
+            Bltl::globally(
+                2.0,
+                Bltl::implies(
+                    prop(&mut cx, "x - 1", RelOp::Ge),
+                    Bltl::eventually(2.0, prop(&mut cx, "x - 3", RelOp::Ge)),
+                ),
+            ),
+        ];
+        let tr = tent();
+        let mut mon = Monitor::new(&cx, &states);
+        let mut s = MonitorScratch::new();
+        let env = vec![0.0; cx.num_vars()];
+        for f in &formulas {
+            let plan = CompiledBltl::compile(&cx, &states, f);
+            let (sat, rob) = plan.eval_trace(&mut s, &env, &tr);
+            assert_eq!(sat, mon.check(f, &tr), "{f:?}");
+            assert_eq!(
+                rob.to_bits(),
+                mon.robustness(f, &tr).to_bits(),
+                "{f:?}: {rob} vs {}",
+                mon.robustness(f, &tr)
+            );
+            assert_eq!(plan.check_trace(&mut s, &env, &tr), sat, "{f:?}");
+        }
+    }
+
+    /// An `F≤bound p` with an early witness decides True before the end;
+    /// a `G≤bound p` with an early violation decides False before the
+    /// end; the tail samples never flip a decided verdict.
+    #[test]
+    fn early_decisions_are_stable() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let tr = tent();
+        let env = vec![0.0; cx.num_vars()];
+        let mut s = MonitorScratch::new();
+
+        let f = Bltl::eventually(6.0, prop(&mut cx, "x - 2", RelOp::Ge));
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        plan.begin(&mut s, &env);
+        let mut decided_at = None;
+        for i in 0..tr.len() {
+            let v = plan.feed(&mut s, tr.times()[i], tr.state(i));
+            if decided_at.is_none() && v.decided() {
+                decided_at = Some((i, v));
+            } else if let Some((_, d)) = decided_at {
+                assert_eq!(v, d, "decided verdicts must be stable");
+            }
+        }
+        assert_eq!(decided_at, Some((2, Verdict::True)), "witness at t = 2");
+        assert!(plan.finish_bool(&mut s));
+
+        let g = Bltl::globally(6.0, prop(&mut cx, "1.5 - x", RelOp::Ge));
+        let plan = CompiledBltl::compile(&cx, &states, &g);
+        plan.begin(&mut s, &env);
+        let mut first = None;
+        for i in 0..tr.len() {
+            let v = plan.feed(&mut s, tr.times()[i], tr.state(i));
+            if first.is_none() && v.decided() {
+                first = Some((i, v));
+            }
+        }
+        assert_eq!(first, Some((2, Verdict::False)), "violation at t = 2");
+        assert!(!plan.finish_bool(&mut s));
+    }
+
+    /// A bound reaching past the horizon stays undecided until `finish`.
+    #[test]
+    fn open_eventually_stays_undecided() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let f = Bltl::eventually(100.0, prop(&mut cx, "x - 10", RelOp::Ge));
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        let tr = tent();
+        let env = vec![0.0; cx.num_vars()];
+        let mut s = MonitorScratch::new();
+        plan.begin(&mut s, &env);
+        for i in 0..tr.len() {
+            assert_eq!(plan.feed(&mut s, tr.times()[i], tr.state(i)), {
+                Verdict::Undecided
+            });
+        }
+        assert!(!plan.finish_bool(&mut s));
+        assert_eq!(s.samples(), tr.len());
+    }
+
+    /// Parameters load through `begin`'s environment exactly like
+    /// `Monitor::with_env`.
+    #[test]
+    fn parameters_via_env() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let thr = cx.intern_var("thr");
+        let e = cx.parse("x - thr").unwrap();
+        let f = Bltl::eventually(6.0, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+        let states = [x];
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        let tr = tent();
+        let mut s = MonitorScratch::new();
+        let mut env = vec![0.0; cx.num_vars()];
+        env[thr.index()] = 2.5;
+        assert!(plan.check_trace(&mut s, &env, &tr));
+        env[thr.index()] = 3.5;
+        assert!(!plan.check_trace(&mut s, &env, &tr));
+    }
+
+    /// Atom dedup: a formula mentioning the same term in several guises
+    /// compiles one program root per distinct term.
+    #[test]
+    fn atoms_are_deduplicated() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let e = cx.parse("x - 1").unwrap();
+        let f = Bltl::And(vec![
+            Bltl::Prop(Atom::new(e, RelOp::Ge)),
+            Bltl::eventually(3.0, Bltl::Prop(Atom::new(e, RelOp::Ge))),
+            Bltl::Prop(Atom::new(e, RelOp::Le)),
+        ]);
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        // Two atom entries (Ge and Le on the same term), one program root.
+        assert_eq!(plan.atoms.len(), 2);
+        assert_eq!(plan.prog.num_roots(), 1);
+        let tr = tent();
+        let mut s = MonitorScratch::new();
+        let mut mon = Monitor::new(&cx, &states);
+        let env = vec![0.0; cx.num_vars()];
+        let (sat, rob) = plan.eval_trace(&mut s, &env, &tr);
+        assert_eq!(sat, mon.check(&f, &tr));
+        assert_eq!(rob.to_bits(), mon.robustness(&f, &tr).to_bits());
+    }
+}

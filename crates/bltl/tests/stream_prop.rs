@@ -1,0 +1,163 @@
+//! Property tests: the streaming monitor is *the same function* as the
+//! offline one — on random formulas and random traces, the streamed
+//! Boolean verdict and robustness equal `Monitor::check` /
+//! `Monitor::robustness` bit-for-bit, and any verdict decided on a
+//! prefix equals the offline verdict on the full trace (the soundness
+//! fact that lets fused SMC stop integrating early).
+
+use biocheck_bltl::{Bltl, CompiledBltl, Monitor, MonitorScratch};
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_ode::Trace;
+use proptest::prelude::*;
+
+/// A machine-generatable BLTL sketch over one variable `x`.
+#[derive(Clone, Debug)]
+enum GenF {
+    /// `x - c ⋈ 0`.
+    Prop(f64, u8),
+    Not(Box<GenF>),
+    And(Vec<GenF>),
+    Or(Vec<GenF>),
+    Until(Box<GenF>, Box<GenF>, f64),
+}
+
+fn gen_formula() -> impl Strategy<Value = GenF> {
+    let leaf = (-3.0..3.0f64, 0..5u8).prop_map(|(c, op)| GenF::Prop(c, op));
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| GenF::Not(Box::new(f))),
+            collection::vec(inner.clone(), 0..3).prop_map(GenF::And),
+            collection::vec(inner.clone(), 0..3).prop_map(GenF::Or),
+            (inner.clone(), inner, 0.0..8.0f64).prop_map(|(l, r, b)| GenF::Until(
+                Box::new(l),
+                Box::new(r),
+                b
+            )),
+        ]
+    })
+}
+
+fn materialize(cx: &mut Context, g: &GenF) -> Bltl {
+    match g {
+        GenF::Prop(c, op) => {
+            let x = cx.var("x");
+            let cc = cx.constant(*c);
+            let e = cx.sub(x, cc);
+            let op = match op {
+                0 => RelOp::Ge,
+                1 => RelOp::Gt,
+                2 => RelOp::Le,
+                3 => RelOp::Lt,
+                _ => RelOp::Eq,
+            };
+            Bltl::Prop(Atom::new(e, op))
+        }
+        GenF::Not(f) => Bltl::Not(Box::new(materialize(cx, f))),
+        GenF::And(fs) => Bltl::And(fs.iter().map(|f| materialize(cx, f)).collect()),
+        GenF::Or(fs) => Bltl::Or(fs.iter().map(|f| materialize(cx, f)).collect()),
+        GenF::Until(l, r, b) => Bltl::Until {
+            lhs: Box::new(materialize(cx, l)),
+            rhs: Box::new(materialize(cx, r)),
+            bound: *b,
+        },
+    }
+}
+
+/// A random trace: strictly increasing times from positive increments.
+fn make_trace(increments: &[f64], values: &[f64]) -> Trace {
+    let mut t = 0.0;
+    let mut times = vec![0.0];
+    for &dt in increments {
+        t += dt;
+        times.push(t);
+    }
+    let states: Vec<Vec<f64>> = values[..times.len()].iter().map(|&v| vec![v]).collect();
+    let derivs = vec![vec![0.0]; times.len()];
+    Trace::new(times, states, derivs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn streaming_equals_offline(
+        g in gen_formula(),
+        incs in collection::vec(0.05..1.5f64, 1..12),
+        vals in collection::vec(-4.0..4.0f64, 12..13),
+    ) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let f = materialize(&mut cx, &g);
+        let tr = make_trace(&incs, &vals);
+        let mut mon = Monitor::new(&cx, &states);
+        let want_sat = mon.check(&f, &tr);
+        let want_rob = mon.robustness(&f, &tr);
+
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        let mut s = MonitorScratch::new();
+        let env = vec![0.0; cx.num_vars()];
+        let (sat, rob) = plan.eval_trace(&mut s, &env, &tr);
+        prop_assert_eq!(sat, want_sat, "{:?}", f);
+        prop_assert!(rob.to_bits() == want_rob.to_bits(),
+            "{:?}: streamed {} vs offline {}", f, rob, want_rob);
+    }
+
+    #[test]
+    fn prefix_decisions_predict_full_trace(
+        g in gen_formula(),
+        incs in collection::vec(0.05..1.5f64, 1..12),
+        vals in collection::vec(-4.0..4.0f64, 12..13),
+    ) {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let f = materialize(&mut cx, &g);
+        let tr = make_trace(&incs, &vals);
+        let mut mon = Monitor::new(&cx, &states);
+        let want = mon.check(&f, &tr);
+
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        let mut s = MonitorScratch::new();
+        let env = vec![0.0; cx.num_vars()];
+        plan.begin(&mut s, &env);
+        for i in 0..tr.len() {
+            let v = plan.feed(&mut s, tr.times()[i], tr.state(i));
+            if v.decided() {
+                // A prefix decision must equal the verdict on the whole
+                // trajectory — this is exactly what licenses cutting the
+                // simulation short.
+                prop_assert_eq!(v == biocheck_bltl::Verdict::True, want,
+                    "decided {:?} at sample {} but full-trace check is {} ({:?})",
+                    v, i, want, f);
+                return Ok(());
+            }
+        }
+        prop_assert_eq!(plan.finish_bool(&mut s), want, "{:?}", f);
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless(
+        g in gen_formula(),
+        incs in collection::vec(0.05..1.5f64, 1..8),
+        vals in collection::vec(-4.0..4.0f64, 8..9),
+    ) {
+        // Two different traces through one scratch, then the first again:
+        // results must be independent of scratch history.
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let states = [x];
+        let f = materialize(&mut cx, &g);
+        let tr1 = make_trace(&incs, &vals);
+        let flipped: Vec<f64> = vals.iter().map(|v| -v).collect();
+        let tr2 = make_trace(&incs, &flipped);
+        let plan = CompiledBltl::compile(&cx, &states, &f);
+        let env = vec![0.0; cx.num_vars()];
+        let mut s = MonitorScratch::new();
+        let a1 = plan.eval_trace(&mut s, &env, &tr1);
+        let _ = plan.eval_trace(&mut s, &env, &tr2);
+        let a2 = plan.eval_trace(&mut s, &env, &tr1);
+        prop_assert_eq!(a1.0, a2.0);
+        prop_assert!(a1.1.to_bits() == a2.1.to_bits());
+    }
+}

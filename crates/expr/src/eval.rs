@@ -309,11 +309,71 @@ pub fn eval_binary_interval(op: BinOp, a: Interval, b: Interval) -> Interval {
     }
 }
 
+/// One compiled instruction of a [`Program`]. Operands are dense slot
+/// indices into the instruction list (always smaller than the
+/// instruction's own slot, so a single forward scan evaluates the
+/// program).
+#[derive(Copy, Clone, Debug)]
+enum Instr {
+    /// A constant: the scalar value and its interval enclosure. For a
+    /// literal leaf the enclosure is the point; for a folded subtree it
+    /// is computed through the same interval semantics the graph
+    /// evaluator would apply (domain errors fold to an empty enclosure,
+    /// never to a NaN point), so interval evaluation of a folded program
+    /// stays sound and equals the unfolded one.
+    Const(f64, Interval),
+    /// A variable read (the operand is the environment index).
+    Var(u32),
+    /// A unary function application.
+    Unary(UnaryOp, u32),
+    /// A binary function application.
+    Binary(BinOp, u32, u32),
+    /// Integer power.
+    PowI(u32, i32),
+    /// Two fused binary operations: `outer(inner(a, b), c)`, or
+    /// `outer(c, inner(a, b))` when `swap` is set. Semantically identical
+    /// (bit-for-bit, two roundings) to the unfused pair; fusing only
+    /// removes an instruction slot and its dispatch.
+    Fused {
+        /// Inner operation (applied to `a`, `b`).
+        inner: BinOp,
+        /// Outer operation.
+        outer: BinOp,
+        /// Whether the inner result is the outer's *right* operand.
+        swap: bool,
+        /// Inner left operand slot.
+        a: u32,
+        /// Inner right operand slot.
+        b: u32,
+        /// The outer operation's other operand slot.
+        c: u32,
+    },
+}
+
 /// A compiled, self-contained evaluation program for a set of expression
 /// roots: only the reachable nodes, remapped to dense slots.
 ///
 /// `Program` decouples hot evaluation loops (ODE integration takes millions
 /// of right-hand-side evaluations) from the growing [`Context`] arena.
+/// Compilation optimizes the instruction stream without changing any
+/// computed bit:
+///
+/// * **Constant folding** — subtrees whose leaves are all literals are
+///   evaluated at compile time with the same scalar semantics as the
+///   runtime interpreter (this catches forms the [`Context`] smart
+///   constructors leave alone, e.g. `2^0.5` with a non-integer
+///   exponent). Each folded constant also carries the interval
+///   enclosure of its subtree, computed through the same interval
+///   semantics as runtime evaluation, so interval results — including
+///   empty enclosures from domain errors like `ln(-1)` — are identical
+///   to the unfolded program's and remain sound.
+/// * **CSE dedup** — instructions with identical semantics share one
+///   slot (value numbering), including duplicates first exposed by
+///   folding; folded constants merge only when both their scalar bits
+///   *and* their enclosures agree.
+/// * **Pair fusion** — a binary operation whose only consumer is another
+///   binary operation is fused into a single instruction computing the
+///   identical two-rounding result (e.g. `a*b + c` in one slot).
 ///
 /// # Examples
 ///
@@ -330,14 +390,37 @@ pub fn eval_binary_interval(op: BinOp, a: Interval, b: Interval) -> Interval {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Program {
-    /// Reachable nodes with child references rewritten to slot indices.
-    nodes: Vec<Node>,
+    /// Optimized instructions in topological (operand-before-use) order.
+    instrs: Vec<Instr>,
     /// Slot of each root, in the order given at compile time.
     roots: Vec<u32>,
 }
 
+/// Value-numbering key: an [`Instr`] with the constant bit-cast so it can
+/// implement `Eq + Hash`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+enum VnKey {
+    /// Scalar bits plus enclosure lo/hi bits: folded constants merge
+    /// only when both semantics agree.
+    Const(u64, u64, u64),
+    Var(u32),
+    Unary(UnaryOp, u32),
+    Binary(BinOp, u32, u32),
+    PowI(u32, i32),
+}
+
+impl VnKey {
+    fn constant(v: f64, iv: Interval) -> VnKey {
+        VnKey::Const(v.to_bits(), iv.lo().to_bits(), iv.hi().to_bits())
+    }
+}
+
 impl Program {
-    /// Compiles the sub-DAG reachable from `roots`.
+    /// Compiles the sub-DAG reachable from `roots`, folding constants,
+    /// deduplicating identical subtrees, and fusing single-use binary
+    /// pairs (see the type-level docs). Every optimization is bit-exact:
+    /// the compiled program computes exactly the values of
+    /// [`Context::eval_with`] on the same roots.
     pub fn compile(cx: &Context, roots: &[NodeId]) -> Program {
         // Mark reachable nodes.
         let n = cx.num_nodes();
@@ -357,26 +440,196 @@ impl Program {
                 _ => {}
             }
         }
-        // Remap in ascending id order (preserves topological order).
-        let mut slot = vec![u32::MAX; n];
-        let mut nodes = Vec::new();
+
+        // Fold + value-number in ascending (= topological) id order.
+        let mut vn: std::collections::HashMap<VnKey, u32> = std::collections::HashMap::new();
+        let mut slot = vec![u32::MAX; n]; // arena id → instruction slot
+        let mut instrs: Vec<Instr> = Vec::new();
+        // Per slot: folded (scalar, interval-enclosure) pair. Folding
+        // runs *both* semantics in lockstep so the compiled constant is
+        // exactly what runtime evaluation of the subtree would produce
+        // in each domain.
+        let mut cval: Vec<Option<(f64, Interval)>> = Vec::new();
         for i in 0..n {
             if !reach[i] {
                 continue;
             }
-            let remap = |c: NodeId| NodeId(slot[c.index()]);
-            let node = match *cx.node(NodeId(i as u32)) {
-                Node::Unary(op, a) => Node::Unary(op, remap(a)),
-                Node::Binary(op, a, b) => Node::Binary(op, remap(a), remap(b)),
-                Node::PowI(a, k) => Node::PowI(remap(a), k),
-                leaf => leaf,
+            let (key, instr, folded) = match *cx.node(NodeId(i as u32)) {
+                Node::Const(v) => {
+                    // Arena constants are never NaN, so the point
+                    // enclosure is well-formed.
+                    let iv = Interval::point(v);
+                    (VnKey::constant(v, iv), Instr::Const(v, iv), Some((v, iv)))
+                }
+                Node::Var(v) => {
+                    let ix = v.index() as u32;
+                    (VnKey::Var(ix), Instr::Var(ix), None)
+                }
+                Node::Unary(op, a) => {
+                    let a = slot[a.index()];
+                    match cval[a as usize] {
+                        Some((x, xi)) => {
+                            let v = eval_unary_f64(op, x);
+                            let iv = eval_unary_interval(op, xi);
+                            (VnKey::constant(v, iv), Instr::Const(v, iv), Some((v, iv)))
+                        }
+                        None => (VnKey::Unary(op, a), Instr::Unary(op, a), None),
+                    }
+                }
+                Node::Binary(op, a, b) => {
+                    let (a, b) = (slot[a.index()], slot[b.index()]);
+                    match (cval[a as usize], cval[b as usize]) {
+                        (Some((x, xi)), Some((y, yi))) => {
+                            let v = eval_binary_f64(op, x, y);
+                            let iv = eval_binary_interval(op, xi, yi);
+                            (VnKey::constant(v, iv), Instr::Const(v, iv), Some((v, iv)))
+                        }
+                        _ => (VnKey::Binary(op, a, b), Instr::Binary(op, a, b), None),
+                    }
+                }
+                Node::PowI(a, k) => {
+                    let a = slot[a.index()];
+                    match cval[a as usize] {
+                        Some((x, xi)) => {
+                            let v = x.powi(k);
+                            let iv = xi.powi(k);
+                            (VnKey::constant(v, iv), Instr::Const(v, iv), Some((v, iv)))
+                        }
+                        None => (VnKey::PowI(a, k), Instr::PowI(a, k), None),
+                    }
+                }
             };
-            slot[i] = nodes.len() as u32;
-            nodes.push(node);
+            slot[i] = *vn.entry(key).or_insert_with(|| {
+                instrs.push(instr);
+                cval.push(folded);
+                (instrs.len() - 1) as u32
+            });
+        }
+        let root_slots: Vec<u32> = roots.iter().map(|r| slot[r.index()]).collect();
+
+        // Use counts (roots count as uses), then dead-code elimination:
+        // folding can orphan the literal operands it consumed.
+        let mut uses = vec![0u32; instrs.len()];
+        let count = |uses: &mut [u32], ins: &Instr| match *ins {
+            Instr::Const(..) | Instr::Var(_) => {}
+            Instr::Unary(_, a) | Instr::PowI(a, _) => uses[a as usize] += 1,
+            Instr::Binary(_, a, b) => {
+                uses[a as usize] += 1;
+                uses[b as usize] += 1;
+            }
+            Instr::Fused { a, b, c, .. } => {
+                uses[a as usize] += 1;
+                uses[b as usize] += 1;
+                uses[c as usize] += 1;
+            }
+        };
+        for ins in &instrs {
+            count(&mut uses, ins);
+        }
+        let mut is_root = vec![false; instrs.len()];
+        for &r in &root_slots {
+            is_root[r as usize] = true;
+            uses[r as usize] += 1;
+        }
+        let mut dead = vec![false; instrs.len()];
+        for i in (0..instrs.len()).rev() {
+            if uses[i] == 0 && !is_root[i] {
+                dead[i] = true;
+                // Releasing this instruction releases its operands.
+                match instrs[i] {
+                    Instr::Const(..) | Instr::Var(_) => {}
+                    Instr::Unary(_, a) | Instr::PowI(a, _) => uses[a as usize] -= 1,
+                    Instr::Binary(_, a, b) => {
+                        uses[a as usize] -= 1;
+                        uses[b as usize] -= 1;
+                    }
+                    Instr::Fused { a, b, c, .. } => {
+                        uses[a as usize] -= 1;
+                        uses[b as usize] -= 1;
+                        uses[c as usize] -= 1;
+                    }
+                }
+            }
+        }
+
+        // Pair fusion: a binary op whose sole consumer is another binary
+        // op collapses into it. Operand order is preserved exactly, so
+        // the fused instruction performs the identical float operations.
+        for i in 0..instrs.len() {
+            if dead[i] {
+                continue;
+            }
+            let Instr::Binary(outer, l, r) = instrs[i] else {
+                continue;
+            };
+            let fusable = |child: u32, dead: &[bool], uses: &[u32]| -> Option<(BinOp, u32, u32)> {
+                if dead[child as usize] || uses[child as usize] != 1 {
+                    return None;
+                }
+                match instrs[child as usize] {
+                    Instr::Binary(inner, a, b) => Some((inner, a, b)),
+                    _ => None,
+                }
+            };
+            if let Some((inner, a, b)) = fusable(l, &dead, &uses) {
+                instrs[i] = Instr::Fused {
+                    inner,
+                    outer,
+                    swap: false,
+                    a,
+                    b,
+                    c: r,
+                };
+                dead[l as usize] = true;
+            } else if let Some((inner, a, b)) = fusable(r, &dead, &uses) {
+                instrs[i] = Instr::Fused {
+                    inner,
+                    outer,
+                    swap: true,
+                    a,
+                    b,
+                    c: l,
+                };
+                dead[r as usize] = true;
+            }
+        }
+
+        // Compact away dead slots (relative order, hence topological
+        // order, is preserved).
+        let mut remap = vec![u32::MAX; instrs.len()];
+        let mut out = Vec::with_capacity(instrs.len());
+        for (i, ins) in instrs.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let m = |x: u32| remap[x as usize];
+            out.push(match *ins {
+                Instr::Const(v, iv) => Instr::Const(v, iv),
+                Instr::Var(v) => Instr::Var(v),
+                Instr::Unary(op, a) => Instr::Unary(op, m(a)),
+                Instr::Binary(op, a, b) => Instr::Binary(op, m(a), m(b)),
+                Instr::PowI(a, k) => Instr::PowI(m(a), k),
+                Instr::Fused {
+                    inner,
+                    outer,
+                    swap,
+                    a,
+                    b,
+                    c,
+                } => Instr::Fused {
+                    inner,
+                    outer,
+                    swap,
+                    a: m(a),
+                    b: m(b),
+                    c: m(c),
+                },
+            });
+            remap[i] = (out.len() - 1) as u32;
         }
         Program {
-            nodes,
-            roots: roots.iter().map(|r| slot[r.index()]).collect(),
+            instrs: out,
+            roots: root_slots.iter().map(|&r| remap[r as usize]).collect(),
         }
     }
 
@@ -385,14 +638,15 @@ impl Program {
         self.roots.len()
     }
 
-    /// Number of compiled instructions.
+    /// Number of compiled instructions (after folding, dedup, and pair
+    /// fusion — at most the number of reachable arena nodes).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.instrs.len()
     }
 
     /// Returns `true` for a program with no instructions.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.instrs.is_empty()
     }
 
     /// Evaluates all roots at a point (allocates a fresh value buffer;
@@ -413,14 +667,30 @@ impl Program {
     /// Panics if `out.len() != self.num_roots()`.
     pub fn eval_with(&self, env: &[f64], scratch: &mut EvalScratch, out: &mut [f64]) {
         assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
-        let vals = scratch.scalar_buf(self.nodes.len());
-        for (i, node) in self.nodes.iter().enumerate() {
-            vals[i] = match *node {
-                Node::Const(v) => v,
-                Node::Var(v) => env[v.index()],
-                Node::Unary(op, a) => eval_unary_f64(op, vals[a.index()]),
-                Node::Binary(op, a, b) => eval_binary_f64(op, vals[a.index()], vals[b.index()]),
-                Node::PowI(a, k) => vals[a.index()].powi(k),
+        let vals = scratch.scalar_buf(self.instrs.len());
+        for (i, ins) in self.instrs.iter().enumerate() {
+            vals[i] = match *ins {
+                Instr::Const(v, _) => v,
+                Instr::Var(v) => env[v as usize],
+                Instr::Unary(op, a) => eval_unary_f64(op, vals[a as usize]),
+                Instr::Binary(op, a, b) => eval_binary_f64(op, vals[a as usize], vals[b as usize]),
+                Instr::PowI(a, k) => vals[a as usize].powi(k),
+                Instr::Fused {
+                    inner,
+                    outer,
+                    swap,
+                    a,
+                    b,
+                    c,
+                } => {
+                    let p = eval_binary_f64(inner, vals[a as usize], vals[b as usize]);
+                    let c = vals[c as usize];
+                    if swap {
+                        eval_binary_f64(outer, c, p)
+                    } else {
+                        eval_binary_f64(outer, p, c)
+                    }
+                }
             };
         }
         for (o, &r) in out.iter_mut().zip(&self.roots) {
@@ -447,16 +717,32 @@ impl Program {
     /// Panics if `out.len() != self.num_roots()`.
     pub fn eval_interval_with(&self, env: &IBox, scratch: &mut EvalScratch, out: &mut [Interval]) {
         assert_eq!(out.len(), self.roots.len(), "output arity mismatch");
-        let vals = scratch.interval_buf(self.nodes.len());
-        for (i, node) in self.nodes.iter().enumerate() {
-            vals[i] = match *node {
-                Node::Const(v) => Interval::point(v),
-                Node::Var(v) => env[v.index()],
-                Node::Unary(op, a) => eval_unary_interval(op, vals[a.index()]),
-                Node::Binary(op, a, b) => {
-                    eval_binary_interval(op, vals[a.index()], vals[b.index()])
+        let vals = scratch.interval_buf(self.instrs.len());
+        for (i, ins) in self.instrs.iter().enumerate() {
+            vals[i] = match *ins {
+                Instr::Const(_, iv) => iv,
+                Instr::Var(v) => env[v as usize],
+                Instr::Unary(op, a) => eval_unary_interval(op, vals[a as usize]),
+                Instr::Binary(op, a, b) => {
+                    eval_binary_interval(op, vals[a as usize], vals[b as usize])
                 }
-                Node::PowI(a, k) => vals[a.index()].powi(k),
+                Instr::PowI(a, k) => vals[a as usize].powi(k),
+                Instr::Fused {
+                    inner,
+                    outer,
+                    swap,
+                    a,
+                    b,
+                    c,
+                } => {
+                    let p = eval_binary_interval(inner, vals[a as usize], vals[b as usize]);
+                    let c = vals[c as usize];
+                    if swap {
+                        eval_binary_interval(outer, c, p)
+                    } else {
+                        eval_binary_interval(outer, p, c)
+                    }
+                }
             };
         }
         for (o, &r) in out.iter_mut().zip(&self.roots) {
@@ -635,5 +921,132 @@ mod tests {
         let mut out = [0.0f64; 2];
         p.eval_into(&[41.0], &mut out);
         assert_eq!(out, [42.0, 42.0]);
+    }
+
+    #[test]
+    fn compile_folds_nonint_const_pow() {
+        // The arena's `pow` smart constructor leaves `2^0.5` symbolic
+        // (non-integer exponent); compile-time folding collapses it —
+        // and its now-orphaned literal operands — to a single constant.
+        let mut cx = Context::new();
+        let f = cx.parse("2^0.5").unwrap();
+        assert!(cx.as_const(f).is_none(), "arena must not have folded this");
+        let p = Program::compile(&cx, &[f]);
+        assert_eq!(p.len(), 1, "folded program is one Const instruction");
+        let mut out = [0.0];
+        p.eval_into(&[], &mut out);
+        assert_eq!(out[0].to_bits(), 2.0f64.powf(0.5).to_bits());
+    }
+
+    #[test]
+    fn compile_cse_merges_fold_exposed_duplicates() {
+        // `x + 2^0.5` and `x + max(2^0.5, 1)` are distinct arena nodes,
+        // but both folded constants have the same scalar bits AND the
+        // same interval enclosure (the max against a smaller point is
+        // exact), so value numbering merges the folded constants and
+        // then the two adds into one slot each.
+        let mut cx = Context::new();
+        let x = cx.var("x");
+        let pow = cx.parse("2^0.5").unwrap();
+        let capped = cx.parse("max(2^0.5, 1)").unwrap();
+        let a = cx.add(x, pow);
+        let b = cx.add(x, capped);
+        assert_ne!(a, b, "arena keeps the two adds distinct");
+        let p = Program::compile(&cx, &[a, b]);
+        // x, the shared folded constant, one shared add.
+        assert_eq!(p.len(), 3, "CSE must merge the adds: {p:?}");
+        let mut out = [0.0; 2];
+        p.eval_into(&[1.5], &mut out);
+        assert_eq!(out[0].to_bits(), out[1].to_bits());
+        assert_eq!(out[0], 1.5 + 2.0f64.powf(0.5));
+    }
+
+    #[test]
+    fn cse_keeps_constants_with_different_enclosures_apart() {
+        // `2^0.5` folds with an outward-rounded enclosure; the literal
+        // with the same scalar bits has a point enclosure. Merging them
+        // would make interval evaluation of the pow-derived root
+        // unsoundly tight, so they must stay separate slots.
+        let mut cx = Context::new();
+        let x = cx.var("x");
+        let pow = cx.parse("2^0.5").unwrap();
+        let lit = cx.constant(2.0f64.powf(0.5));
+        let a = cx.sub(x, pow);
+        let b = cx.sub(x, lit);
+        let p = Program::compile(&cx, &[a, b]);
+        let bx = IBox::new(vec![Interval::point(2.0f64.powf(0.5))]);
+        let mut out = [Interval::ZERO; 2];
+        p.eval_interval_into(&bx, &mut out);
+        assert_eq!(out[0], cx.eval_interval(a, &bx), "pow-derived enclosure");
+        assert_eq!(out[1], cx.eval_interval(b, &bx), "literal enclosure");
+        // The pow-derived enclosure carries √2's rounding slack; the
+        // literal's is a point. A merge would have collapsed them.
+        assert!(
+            out[0].width() > out[1].width(),
+            "folded enclosure must stay outward-rounded: {out:?}"
+        );
+    }
+
+    #[test]
+    fn folded_domain_errors_match_graph_interval_semantics() {
+        // `ln(-1)` folds to scalar NaN with an *empty* enclosure — the
+        // exact pair runtime evaluation produces — instead of a NaN
+        // point interval (which would panic).
+        let mut cx = Context::new();
+        let f = cx.parse("x + ln(0 - 1)").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        let mut out = [0.0];
+        p.eval_into(&[1.0], &mut out);
+        assert_eq!(out[0].to_bits(), cx.eval(f, &[1.0]).to_bits());
+        assert!(out[0].is_nan());
+        let bx = IBox::new(vec![Interval::new(0.0, 1.0)]);
+        let mut iout = [Interval::ZERO];
+        p.eval_interval_into(&bx, &mut iout);
+        assert_eq!(iout[0], cx.eval_interval(f, &bx));
+    }
+
+    #[test]
+    fn compile_fuses_single_use_binary_pairs() {
+        let mut cx = Context::new();
+        let f = cx.parse("x*y + z").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        // x, y, z, fused mul-add: the standalone Mul slot is gone.
+        assert_eq!(p.len(), 4, "{p:?}");
+        let env = [3.0, 5.0, 7.0];
+        let mut out = [0.0];
+        p.eval_into(&env, &mut out);
+        assert_eq!(out[0].to_bits(), (3.0f64 * 5.0 + 7.0).to_bits());
+        assert_eq!(out[0].to_bits(), cx.eval(f, &env).to_bits());
+    }
+
+    #[test]
+    fn fusion_skips_multi_use_subtrees() {
+        // `x*y` feeds two consumers: it must stay a standalone slot (no
+        // duplicated computation), and both consumers still evaluate right.
+        let mut cx = Context::new();
+        let f = cx.parse("(x*y + 1) - (x*y - 1)").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        let env = [2.0, 3.0];
+        let mut out = [0.0];
+        p.eval_into(&env, &mut out);
+        assert_eq!(out[0].to_bits(), cx.eval(f, &env).to_bits());
+        // x, y, 1, mul (shared), add, sub, outer sub — the outer Sub fuses
+        // one of its single-use children; the shared Mul survives.
+        assert!(p.len() <= 6, "{p:?}");
+    }
+
+    #[test]
+    fn fused_interval_matches_graph_interval() {
+        let mut cx = Context::new();
+        let f = cx.parse("x*y + z/(1 + x^2) - min(x, y)").unwrap();
+        let p = Program::compile(&cx, &[f]);
+        let bx = IBox::new(vec![
+            Interval::new(-1.0, 2.0),
+            Interval::new(0.5, 1.5),
+            Interval::new(-3.0, 0.0),
+        ]);
+        let mut out = [Interval::ZERO];
+        p.eval_interval_into(&bx, &mut out);
+        assert_eq!(out[0], cx.eval_interval(f, &bx));
     }
 }

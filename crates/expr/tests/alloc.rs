@@ -39,6 +39,23 @@ fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
     (ALLOCS.load(Ordering::Relaxed) - before, r)
 }
 
+/// Runs `f` up to a few times and asserts that at least one run performs
+/// zero heap allocations. The counter is process-global, so a rare
+/// background allocation from the test-harness runtime can land inside
+/// the measured window; a genuine per-call allocation in `f` would show
+/// up in *every* run, so retrying cannot mask a real regression.
+fn assert_allocation_free<R>(what: &str, mut f: impl FnMut() -> R) -> R {
+    let mut min = usize::MAX;
+    for _ in 0..5 {
+        let (n, r) = allocations(&mut f);
+        min = min.min(n);
+        if n == 0 {
+            return r;
+        }
+    }
+    panic!("{what} allocated at least {min} times in steady state");
+}
+
 #[test]
 fn scratch_eval_paths_do_not_allocate() {
     let mut cx = Context::new();
@@ -64,7 +81,7 @@ fn scratch_eval_paths_do_not_allocate() {
     prog.eval_interval_with(&bx, &mut scratch, &mut iout);
 
     // Steady state: zero allocations over many calls.
-    let (n, sum) = allocations(|| {
+    let sum = assert_allocation_free("scratch evaluation", || {
         let mut acc = 0.0;
         for _ in 0..100 {
             acc += cx.eval_with(f, &env, &mut scratch);
@@ -79,8 +96,4 @@ fn scratch_eval_paths_do_not_allocate() {
         acc
     });
     assert!(sum.is_finite());
-    assert_eq!(
-        n, 0,
-        "scratch evaluation allocated {n} times in steady state"
-    );
 }

@@ -151,11 +151,36 @@ proptest! {
 
     #[test]
     fn program_agrees_with_context(g in gen_expr(), px in -1.0..1.0f64, py in -1.0..1.0f64) {
+        // The compile-time optimizations (folding, CSE, pair fusion) are
+        // all bit-exact, so the compiled program must reproduce the graph
+        // interpreter to the last bit — not merely within a tolerance.
         let (cx, id) = fresh(&g);
         let prog = biocheck_expr::Program::compile(&cx, &[id]);
         let mut out = [0.0f64];
         prog.eval_into(&[px, py], &mut out);
         let direct = cx.eval(id, &[px, py]);
-        prop_assert!((out[0] - direct).abs() <= 1e-12 * (1.0 + direct.abs()));
+        prop_assert!(
+            out[0].to_bits() == direct.to_bits(),
+            "compiled {} vs graph {direct}", out[0]
+        );
+    }
+
+    #[test]
+    fn program_interval_agrees_with_context(
+        g in gen_expr(),
+        x0 in -1.5..1.5f64, w0 in 0.0..0.8f64,
+        y0 in -1.5..1.5f64, w1 in 0.0..0.8f64,
+    ) {
+        // Fused instructions decompose into the identical interval
+        // operations, so enclosures match the graph evaluator exactly.
+        let (cx, id) = fresh(&g);
+        let prog = biocheck_expr::Program::compile(&cx, &[id]);
+        let bx = IBox::new(vec![
+            Interval::new(x0, x0 + w0),
+            Interval::new(y0, y0 + w1),
+        ]);
+        let mut out = [Interval::ZERO];
+        prog.eval_interval_into(&bx, &mut out);
+        prop_assert_eq!(out[0], cx.eval_interval(id, &bx));
     }
 }

@@ -41,6 +41,23 @@ fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
     (ALLOCS.load(Ordering::Relaxed) - before, r)
 }
 
+/// Runs `f` up to a few times and asserts that at least one run performs
+/// zero heap allocations. The counter is process-global, so a rare
+/// background allocation from the test-harness runtime can land inside
+/// the measured window; a genuine per-call allocation in `f` would show
+/// up in *every* run, so retrying cannot mask a real regression.
+fn assert_allocation_free<R>(what: &str, mut f: impl FnMut() -> R) -> R {
+    let mut min = usize::MAX;
+    for _ in 0..5 {
+        let (n, r) = allocations(&mut f);
+        min = min.min(n);
+        if n == 0 {
+            return r;
+        }
+    }
+    panic!("{what} allocated at least {min} times in steady state");
+}
+
 #[test]
 fn newton_contract_with_does_not_allocate() {
     // A 2×2 system with a root in the box: x² + y² = 1, x = y.
@@ -63,7 +80,7 @@ fn newton_contract_with_does_not_allocate() {
 
     // Steady state: zero allocations over many contractions, including
     // restarting from a wide box (same dimensions, new values).
-    let (n, last) = allocations(|| {
+    let last = assert_allocation_free("Newton contraction", || {
         let mut out = Outcome::Unchanged;
         for _ in 0..50 {
             bx.dims_mut().copy_from_slice(wide.dims());
@@ -78,9 +95,4 @@ fn newton_contract_with_does_not_allocate() {
     assert!(bx[0].contains(c) && bx[1].contains(c));
     assert!(bx[0].width() < 1e-8, "Newton stopped converging");
     assert_ne!(last, Outcome::Empty);
-    // …without touching the heap.
-    assert_eq!(
-        n, 0,
-        "Newton contraction allocated {n} times in steady state"
-    );
 }

@@ -1,0 +1,92 @@
+//! The `Program` compile-time optimizations (constant folding, CSE, pair
+//! fusion) must actually pay off on the paper's case-study right-hand
+//! sides — fewer instructions than reachable arena nodes — while
+//! reproducing the graph evaluator bit-for-bit.
+
+use biocheck_expr::{Context, Node, NodeId, Program};
+use biocheck_models::{cardiac, prostate};
+
+/// Number of arena nodes reachable from `roots` (what a 1:1 remap would
+/// compile to).
+fn reachable_count(cx: &Context, roots: &[NodeId]) -> usize {
+    let mut reach = vec![false; cx.num_nodes()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    let mut count = 0;
+    while let Some(id) = stack.pop() {
+        if reach[id.index()] {
+            continue;
+        }
+        reach[id.index()] = true;
+        count += 1;
+        match *cx.node(id) {
+            Node::Unary(_, a) | Node::PowI(a, _) => stack.push(a),
+            Node::Binary(_, a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Asserts the compiled program is strictly smaller than the reachable
+/// sub-DAG and evaluates bit-identically to the graph interpreter at a
+/// few state points.
+fn assert_shrinks_and_agrees(name: &str, cx: &Context, roots: &[NodeId], env_samples: &[Vec<f64>]) {
+    let naive = reachable_count(cx, roots);
+    let prog = Program::compile(cx, roots);
+    assert!(
+        prog.len() < naive,
+        "{name}: compiled {} instructions, reachable sub-DAG has {naive} — \
+         fusion/folding found nothing to shrink",
+        prog.len()
+    );
+    let mut out = vec![0.0; roots.len()];
+    for env in env_samples {
+        prog.eval_into(env, &mut out);
+        for (o, &r) in out.iter().zip(roots) {
+            let want = cx.eval(r, env);
+            assert_eq!(
+                o.to_bits(),
+                want.to_bits(),
+                "{name}: compiled {o} vs graph {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn prostate_rhs_shrinks() {
+    let m = prostate::cas_model(&prostate::PatientParams::default());
+    let mut envs = Vec::new();
+    for s in [0.2f64, 0.7, 1.3] {
+        let mut env = m.env.clone();
+        env.resize(m.cx.num_vars(), 0.0);
+        // x, y, z occupy the first state slots of the CAS model.
+        for (i, v) in m.sys.states.iter().zip([15.0 * s, 0.1 * s, 12.0 * s]) {
+            env[i.index()] = v;
+        }
+        envs.push(env);
+    }
+    assert_shrinks_and_agrees("prostate cas", &m.cx, &m.sys.rhs, &envs);
+}
+
+#[test]
+fn cardiac_rhs_shrinks() {
+    for (name, m) in [
+        ("fenton-karma", cardiac::fenton_karma()),
+        ("bueno-cherry-fenton", cardiac::bueno_cherry_fenton()),
+    ] {
+        let mut envs = Vec::new();
+        for s in [0.0f64, 0.4, 0.9] {
+            let mut env = m.env.clone();
+            env.resize(m.cx.num_vars(), 0.0);
+            for (i, &st) in m.sys.states.iter().enumerate() {
+                env[st.index()] = m.init[i] * (1.0 - s) + s;
+            }
+            envs.push(env);
+        }
+        assert_shrinks_and_agrees(name, &m.cx, &m.sys.rhs, &envs);
+    }
+}

@@ -39,6 +39,73 @@ impl fmt::Display for OdeError {
 
 impl Error for OdeError {}
 
+/// Sink verdict for step-streaming integration: keep integrating or stop
+/// at the current sample (e.g. because a monitored property has decided).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StepControl {
+    /// Continue to the next accepted step.
+    Continue,
+    /// Stop integrating; the current sample is the last one.
+    Stop,
+}
+
+/// Where a step-streaming integration ended.
+#[derive(Copy, Clone, Debug)]
+pub struct StreamEnd {
+    /// Time of the last sample handed to the sink.
+    pub t: f64,
+    /// Number of samples handed to the sink (initial point included).
+    pub steps: usize,
+    /// `true` when the sink requested [`StepControl::Stop`] before the
+    /// end of the time span.
+    pub stopped_early: bool,
+}
+
+/// Reusable integrator workspace: state, stage, and environment buffers
+/// plus the expression-evaluation scratch. After the first integration
+/// with a given system dimension, subsequent integrations through the
+/// same scratch perform no heap allocations.
+#[derive(Clone, Debug, Default)]
+pub struct OdeScratch {
+    env: Vec<f64>,
+    y: Vec<f64>,
+    k: Vec<Vec<f64>>,
+    tmp: Vec<f64>,
+    y5: Vec<f64>,
+    eval: EvalScratch,
+}
+
+impl OdeScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> OdeScratch {
+        OdeScratch::default()
+    }
+
+    /// Sizes the buffers for a system (`stages` ≥ the integrator's stage
+    /// count) and loads `base_env`/`y0`.
+    fn prepare(&mut self, ode: &CompiledOde, base_env: &[f64], y0: &[f64], stages: usize) {
+        let n = ode.dim();
+        self.env.clear();
+        self.env.extend_from_slice(base_env);
+        if self.env.len() < ode.env_len() {
+            self.env.resize(ode.env_len(), 0.0);
+        }
+        self.y.clear();
+        self.y.extend_from_slice(y0);
+        if self.k.len() < stages {
+            self.k.resize(stages, Vec::new());
+        }
+        for ki in &mut self.k {
+            ki.clear();
+            ki.resize(n, 0.0);
+        }
+        self.tmp.clear();
+        self.tmp.resize(n, 0.0);
+        self.y5.clear();
+        self.y5.resize(n, 0.0);
+    }
+}
+
 /// Classic fixed-step fourth-order Runge–Kutta.
 #[derive(Clone, Debug)]
 pub struct Rk4 {
@@ -57,7 +124,7 @@ impl Rk4 {
         Rk4 { step }
     }
 
-    /// Integrates `ode` from `y0` over `tspan`.
+    /// Integrates `ode` from `y0` over `tspan`, collecting a dense trace.
     ///
     /// # Errors
     ///
@@ -69,43 +136,91 @@ impl Rk4 {
         y0: &[f64],
         tspan: (f64, f64),
     ) -> Result<Trace, OdeError> {
+        let mut ws = OdeScratch::new();
+        let mut times = Vec::new();
+        let mut states = Vec::new();
+        let mut derivs = Vec::new();
+        self.integrate_streaming(ode, base_env, y0, tspan, &mut ws, |t, y, dy| {
+            times.push(t);
+            states.push(y.to_vec());
+            derivs.push(dy.to_vec());
+            StepControl::Continue
+        })?;
+        Ok(Trace::new(times, states, derivs))
+    }
+
+    /// Step-streaming integration: hands every accepted sample
+    /// `(t, state, derivative)` to `sink` as soon as it exists instead of
+    /// building a [`Trace`], and stops as soon as the sink requests it.
+    /// The fused simulate-and-monitor SMC path drives this with a
+    /// streaming BLTL monitor, cutting trajectories at the moment the
+    /// property's verdict is decided.
+    ///
+    /// Reuses `ws` buffers — allocation-free after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// [`OdeError::NonFinite`] when the derivative blows up.
+    pub fn integrate_streaming<F>(
+        &self,
+        ode: &CompiledOde,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+        ws: &mut OdeScratch,
+        mut sink: F,
+    ) -> Result<StreamEnd, OdeError>
+    where
+        F: FnMut(f64, &[f64], &[f64]) -> StepControl,
+    {
         let (t0, t_end) = tspan;
         assert!(t_end >= t0, "time span must be forward");
         let n = ode.dim();
-        let mut env = base_env.to_vec();
-        env.resize(ode.env_len().max(env.len()), 0.0);
-        let mut y = y0.to_vec();
+        ws.prepare(ode, base_env, y0, 4);
+        let OdeScratch {
+            env,
+            y,
+            k,
+            tmp,
+            eval,
+            ..
+        } = ws;
+        let (k1, rest) = k.split_at_mut(1);
+        let (k2, rest) = rest.split_at_mut(1);
+        let (k3, k4) = rest.split_at_mut(1);
+        let (k1, k2, k3, k4) = (&mut k1[0], &mut k2[0], &mut k3[0], &mut k4[0]);
         let mut t = t0;
-        let mut scratch = EvalScratch::new();
-        let mut k1 = vec![0.0; n];
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut tmp = vec![0.0; n];
+        let mut steps = 1usize;
 
-        ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
-        let mut times = vec![t0];
-        let mut states = vec![y.clone()];
-        let mut derivs = vec![k1.clone()];
+        ode.deriv_with(env, y, t, k1, eval);
+        if sink(t, y, k1) == StepControl::Stop {
+            return Ok(StreamEnd {
+                t,
+                steps,
+                stopped_early: true,
+            });
+        }
 
         while t < t_end {
             if t_end - t <= 1e-13 * (1.0 + t_end.abs()) {
                 break;
             }
             let h = self.step.min(t_end - t);
-            ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
+            // k1 = f(t, y) already: computed before the loop for the
+            // initial sample, and at the end of the previous iteration
+            // for every later one. 4 RHS evaluations per step, not 5.
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * h * k1[i];
             }
-            ode.deriv_with(&mut env, &tmp, t + 0.5 * h, &mut k2, &mut scratch);
+            ode.deriv_with(env, tmp, t + 0.5 * h, k2, eval);
             for i in 0..n {
                 tmp[i] = y[i] + 0.5 * h * k2[i];
             }
-            ode.deriv_with(&mut env, &tmp, t + 0.5 * h, &mut k3, &mut scratch);
+            ode.deriv_with(env, tmp, t + 0.5 * h, k3, eval);
             for i in 0..n {
                 tmp[i] = y[i] + h * k3[i];
             }
-            ode.deriv_with(&mut env, &tmp, t + h, &mut k4, &mut scratch);
+            ode.deriv_with(env, tmp, t + h, k4, eval);
             for i in 0..n {
                 y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
             }
@@ -113,12 +228,21 @@ impl Rk4 {
             if y.iter().any(|v| !v.is_finite()) {
                 return Err(OdeError::NonFinite { t });
             }
-            ode.deriv_with(&mut env, &y, t, &mut k1, &mut scratch);
-            times.push(t);
-            states.push(y.clone());
-            derivs.push(k1.clone());
+            ode.deriv_with(env, y, t, k1, eval);
+            steps += 1;
+            if sink(t, y, k1) == StepControl::Stop {
+                return Ok(StreamEnd {
+                    t,
+                    steps,
+                    stopped_early: true,
+                });
+            }
         }
-        Ok(Trace::new(times, states, derivs))
+        Ok(StreamEnd {
+            t,
+            steps,
+            stopped_early: false,
+        })
     }
 }
 
@@ -231,19 +355,61 @@ impl DormandPrince {
         y0: &[f64],
         tspan: (f64, f64),
     ) -> Result<Trace, OdeError> {
+        let mut ws = OdeScratch::new();
+        let mut times = Vec::new();
+        let mut states = Vec::new();
+        let mut derivs = Vec::new();
+        self.integrate_streaming(ode, base_env, y0, tspan, &mut ws, |t, y, dy| {
+            times.push(t);
+            states.push(y.to_vec());
+            derivs.push(dy.to_vec());
+            StepControl::Continue
+        })?;
+        Ok(Trace::new(times, states, derivs))
+    }
+
+    /// Step-streaming integration: hands every accepted sample
+    /// `(t, state, derivative)` to `sink` as soon as it is accepted
+    /// instead of building a [`Trace`], and stops integrating as soon as
+    /// the sink returns [`StepControl::Stop`]. The accepted-step sequence
+    /// up to the stopping point is bit-for-bit the sequence
+    /// [`DormandPrince::integrate`] would produce (adaptive step-size
+    /// control only ever looks backward), which is what makes
+    /// early-terminating fused simulate-and-monitor SMC reproduce offline
+    /// verdicts exactly.
+    ///
+    /// Reuses `ws` buffers — allocation-free after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// See [`OdeError`].
+    pub fn integrate_streaming<F>(
+        &self,
+        ode: &CompiledOde,
+        base_env: &[f64],
+        y0: &[f64],
+        tspan: (f64, f64),
+        ws: &mut OdeScratch,
+        mut sink: F,
+    ) -> Result<StreamEnd, OdeError>
+    where
+        F: FnMut(f64, &[f64], &[f64]) -> StepControl,
+    {
         let (t0, t_end) = tspan;
         assert!(t_end >= t0, "time span must be forward");
         let n = ode.dim();
-        let mut env = base_env.to_vec();
-        env.resize(ode.env_len().max(env.len()), 0.0);
-        let mut y = y0.to_vec();
+        ws.prepare(ode, base_env, y0, 7);
+        let OdeScratch {
+            env,
+            y,
+            k,
+            tmp,
+            y5,
+            eval,
+        } = ws;
         let mut t = t0;
 
-        let mut scratch = EvalScratch::new();
-        let mut k: Vec<Vec<f64>> = vec![vec![0.0; n]; 7];
-        let mut tmp = vec![0.0; n];
-        let mut y5 = vec![0.0; n];
-        ode.deriv_with(&mut env, &y, t, &mut k[0], &mut scratch);
+        ode.deriv_with(env, y, t, &mut k[0], eval);
         if k[0].iter().any(|v| !v.is_finite()) {
             return Err(OdeError::NonFinite { t });
         }
@@ -254,12 +420,21 @@ impl DormandPrince {
             (span / 100.0).min(self.h_max).max(self.h_min * 10.0)
         });
 
-        let mut times = vec![t0];
-        let mut states = vec![y.clone()];
-        let mut derivs = vec![k[0].clone()];
+        let mut emitted = 1usize;
+        if sink(t, y, &k[0]) == StepControl::Stop {
+            return Ok(StreamEnd {
+                t,
+                steps: emitted,
+                stopped_early: true,
+            });
+        }
 
         if t_end == t0 {
-            return Ok(Trace::new(times, states, derivs));
+            return Ok(StreamEnd {
+                t,
+                steps: emitted,
+                stopped_early: false,
+            });
         }
 
         let mut steps = 0usize;
@@ -287,7 +462,7 @@ impl DormandPrince {
                 }
                 let (head, tail) = k.split_at_mut(s);
                 let _ = head;
-                ode.deriv_with(&mut env, &tmp, t + C[s] * h, &mut tail[0], &mut scratch);
+                ode.deriv_with(env, tmp, t + C[s] * h, &mut tail[0], eval);
             }
             // 5th/4th order solutions and the error estimate.
             let mut err: f64 = 0.0;
@@ -310,17 +485,22 @@ impl DormandPrince {
                 if h < self.h_min {
                     return Err(OdeError::NonFinite { t });
                 }
-                ode.deriv_with(&mut env, &y, t, &mut k[0], &mut scratch);
+                ode.deriv_with(env, y, t, &mut k[0], eval);
                 continue;
             }
             if err <= 1.0 {
                 // Accept.
                 t += h;
-                std::mem::swap(&mut y, &mut y5);
+                std::mem::swap(y, y5);
                 k.swap(0, 6); // FSAL: k7 = f(t+h, y5)
-                times.push(t);
-                states.push(y.clone());
-                derivs.push(k[0].clone());
+                emitted += 1;
+                if sink(t, y, &k[0]) == StepControl::Stop {
+                    return Ok(StreamEnd {
+                        t,
+                        steps: emitted,
+                        stopped_early: true,
+                    });
+                }
             }
             // Step-size update (both accept and reject).
             let factor = if err == 0.0 {
@@ -330,7 +510,11 @@ impl DormandPrince {
             };
             h *= factor;
         }
-        Ok(Trace::new(times, states, derivs))
+        Ok(StreamEnd {
+            t,
+            steps: emitted,
+            stopped_early: false,
+        })
     }
 }
 
@@ -473,6 +657,97 @@ mod tests {
             .abs();
         let ratio = e1 / e2.max(1e-300);
         assert!(ratio > 10.0, "expected ~16x error reduction, got {ratio}");
+    }
+
+    #[test]
+    fn streaming_reproduces_collected_trace_exactly() {
+        let (_cx, ode) = oscillator_ode();
+        let dp = DormandPrince::default();
+        let span = (0.0, 3.0);
+        let trace = dp.integrate(&ode, &[0.0, 0.0], &[1.0, 0.0], span).unwrap();
+        let mut ws = OdeScratch::new();
+        // Run twice through the same scratch: the second run (warm
+        // buffers) must still match the collected trace bit-for-bit.
+        for _ in 0..2 {
+            let mut i = 0usize;
+            let end = dp
+                .integrate_streaming(&ode, &[0.0, 0.0], &[1.0, 0.0], span, &mut ws, |t, y, dy| {
+                    assert_eq!(t.to_bits(), trace.times()[i].to_bits());
+                    for (a, b) in y.iter().zip(trace.state(i)) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    for (a, b) in dy.iter().zip(trace.deriv(i)) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    i += 1;
+                    StepControl::Continue
+                })
+                .unwrap();
+            assert_eq!(i, trace.len());
+            assert_eq!(end.steps, trace.len());
+            assert!(!end.stopped_early);
+        }
+    }
+
+    #[test]
+    fn streaming_stops_on_sink_request() {
+        let (_cx, ode) = decay_ode();
+        let dp = DormandPrince::default();
+        let mut ws = OdeScratch::new();
+        let mut seen = 0usize;
+        let end = dp
+            .integrate_streaming(&ode, &[1.0], &[1.0], (0.0, 5.0), &mut ws, |_t, y, _dy| {
+                seen += 1;
+                if y[0] < 0.5 {
+                    StepControl::Stop
+                } else {
+                    StepControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(end.stopped_early);
+        assert_eq!(end.steps, seen);
+        assert!(end.t < 5.0, "stopped at t = {}", end.t);
+        // ln 2 ≈ 0.693: the crossing is found within a step or two.
+        assert!(end.t >= 0.5 && end.t < 1.2, "t = {}", end.t);
+        // Stop on the very first sample also works.
+        let end = dp
+            .integrate_streaming(&ode, &[1.0], &[1.0], (0.0, 5.0), &mut ws, |_, _, _| {
+                StepControl::Stop
+            })
+            .unwrap();
+        assert!(end.stopped_early);
+        assert_eq!(end.steps, 1);
+        assert_eq!(end.t, 0.0);
+    }
+
+    #[test]
+    fn rk4_streaming_matches_collected() {
+        let (_cx, ode) = decay_ode();
+        let rk = Rk4::new(0.01);
+        let trace = rk.integrate(&ode, &[1.0], &[1.0], (0.0, 1.0)).unwrap();
+        let mut ws = OdeScratch::new();
+        let mut i = 0usize;
+        let end = rk
+            .integrate_streaming(&ode, &[1.0], &[1.0], (0.0, 1.0), &mut ws, |t, y, _| {
+                assert_eq!(t.to_bits(), trace.times()[i].to_bits());
+                assert_eq!(y[0].to_bits(), trace.state(i)[0].to_bits());
+                i += 1;
+                StepControl::Continue
+            })
+            .unwrap();
+        assert_eq!(end.steps, trace.len());
+        // Early stop mid-way.
+        let end = rk
+            .integrate_streaming(&ode, &[1.0], &[1.0], (0.0, 1.0), &mut ws, |t, _, _| {
+                if t >= 0.5 {
+                    StepControl::Stop
+                } else {
+                    StepControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(end.stopped_early && end.t < 0.6);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! * [`Dist`] — initial-state/parameter distributions.
 //! * [`TraceSampler`] — draws a random instantiation of an ODE model,
 //!   simulates it, and monitors a BLTL property → a Bernoulli sample.
+//!   The sample body is **fused**: the property compiles once into a
+//!   streaming monitor, each integration step feeds it directly (no
+//!   trace materialized, no monitor built per sample), integration stops
+//!   the moment the verdict decides, and a reused [`SampleScratch`]
+//!   makes the steady-state loop allocation-free.
 //! * [`sprt`] — Wald's sequential probability ratio test for
 //!   `H₀: p ≥ θ+δᵢ` vs `H₁: p ≤ θ−δᵢ` at error levels (α, β).
 //! * [`chernoff_estimate`] — fixed-sample estimation with a
@@ -37,4 +42,4 @@ pub use parallel::{
     fork_rng, par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt,
     seq_bayes_estimate, seq_chernoff_estimate, seq_estimate, seq_sprt,
 };
-pub use sampler::{Dist, TraceSampler};
+pub use sampler::{Dist, SampleScratch, SampleStats, TraceSampler};

@@ -35,10 +35,19 @@ pub fn fork_rng(master_seed: u64, index: u64) -> StdRng {
 }
 
 /// Draws samples `base..base + n` of the seeded stream in parallel.
+///
+/// Each sequential leaf of the recursive split owns one
+/// [`SampleScratch`](crate::SampleScratch) (via `map_init`), so after
+/// warm-up a worker's samples are allocation-free. Sample `i` is a pure
+/// function of `(seed, i)` — scratch reuse carries no state across
+/// samples — so the result vector is identical at any thread count.
 fn batch(sampler: &TraceSampler, seed: u64, base: u64, n: usize) -> Vec<bool> {
     (base..base + n as u64)
         .into_par_iter()
-        .map(|i| sampler.sample(&mut fork_rng(seed, i)))
+        .map_init(
+            || sampler.scratch(),
+            |scratch, i| sampler.sample_with(&mut fork_rng(seed, i), scratch),
+        )
         .collect()
 }
 
@@ -60,8 +69,9 @@ pub fn par_estimate(sampler: &TraceSampler, seed: u64, n: usize) -> f64 {
 /// Panics if `n == 0`.
 pub fn seq_estimate(sampler: &TraceSampler, seed: u64, n: usize) -> f64 {
     assert!(n > 0, "estimate needs at least one sample");
+    let mut scratch = sampler.scratch();
     let hits = (0..n as u64)
-        .filter(|&i| sampler.sample(&mut fork_rng(seed, i)))
+        .filter(|&i| sampler.sample_with(&mut fork_rng(seed, i), &mut scratch))
         .count();
     hits as f64 / n as f64
 }
@@ -175,8 +185,9 @@ pub fn seq_bayes_estimate(
     max_samples: usize,
 ) -> Estimate {
     let mut i = 0u64;
+    let mut scratch = sampler.scratch();
     let mut take = move || {
-        let b = sampler.sample(&mut fork_rng(seed, i));
+        let b = sampler.sample_with(&mut fork_rng(seed, i), &mut scratch);
         i += 1;
         b
     };
@@ -194,8 +205,9 @@ pub fn seq_sprt(
     max_samples: usize,
 ) -> SprtResult {
     let mut i = 0u64;
+    let mut scratch = sampler.scratch();
     let mut take = move || {
-        let b = sampler.sample(&mut fork_rng(seed, i));
+        let b = sampler.sample_with(&mut fork_rng(seed, i), &mut scratch);
         i += 1;
         b
     };

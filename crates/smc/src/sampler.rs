@@ -1,8 +1,30 @@
 //! Random model instantiation and Bernoulli sampling.
+//!
+//! The hot path is **fused simulate-and-monitor**: the BLTL property is
+//! compiled once (at [`TraceSampler::new`]) into a streaming
+//! [`CompiledBltl`] plan, and each sample drives the integrator's
+//! step-streaming entry point, feeding every accepted step to the
+//! monitor and stopping the moment the Boolean verdict decides. No
+//! [`Trace`](biocheck_ode::Trace) is materialized, no
+//! [`Monitor`] is built, and — with a reused [`SampleScratch`] — the
+//! steady-state loop performs zero heap allocations (enforced by
+//! `tests/alloc.rs`). Early termination cannot change any property
+//! verdict: a verdict decided on a prefix equals the offline verdict on
+//! the full trajectory (property-tested against
+//! [`TraceSampler::sample_offline`] in `tests/prop.rs`).
+//!
+//! One deliberate edge-case divergence from the pre-fusion pipeline:
+//! when a trajectory's ODE would blow up *after* the streaming verdict
+//! has already decided, the fused path keeps the decided verdict (the
+//! observed prefix fully determines the property), while the offline
+//! reference — which always integrates the whole horizon — hits the
+//! integration error and conservatively counts the sample as a
+//! violation. Simulation failures *before* the verdict decides count as
+//! violations on both paths.
 
-use biocheck_bltl::{Bltl, Monitor};
+use biocheck_bltl::{Bltl, CompiledBltl, Monitor, MonitorScratch};
 use biocheck_expr::{Context, VarId};
-use biocheck_ode::{CompiledOde, DormandPrince, OdeSystem};
+use biocheck_ode::{CompiledOde, DormandPrince, OdeScratch, OdeSystem, StepControl};
 use rand::Rng;
 
 /// A sampling distribution for an initial state or parameter.
@@ -64,6 +86,38 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     }
 }
 
+/// Reusable per-worker workspace for fused sampling: the parameter
+/// environment, the initial-state buffer, the integrator's step buffers,
+/// and the streaming monitor's arena. After the first sample through a
+/// given sampler (warm-up), every subsequent sample through the same
+/// scratch is allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct SampleScratch {
+    env: Vec<f64>,
+    y0: Vec<f64>,
+    ode: OdeScratch,
+    mon: MonitorScratch,
+}
+
+impl SampleScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> SampleScratch {
+        SampleScratch::default()
+    }
+}
+
+/// Outcome of one instrumented Bernoulli sample.
+#[derive(Copy, Clone, Debug)]
+pub struct SampleStats {
+    /// Did the property hold on this trajectory?
+    pub sat: bool,
+    /// Number of integration samples taken (initial point included).
+    pub steps: usize,
+    /// Did the streaming verdict decide before the time horizon, cutting
+    /// the integration short?
+    pub early_stop: bool,
+}
+
 /// Draws random instantiations of an ODE model and monitors a BLTL
 /// property on each simulated trace.
 pub struct TraceSampler {
@@ -73,12 +127,14 @@ pub struct TraceSampler {
     init: Vec<Dist>,
     params: Vec<(VarId, Dist)>,
     property: Bltl,
+    plan: CompiledBltl,
     t_end: f64,
     integrator: DormandPrince,
 }
 
 impl TraceSampler {
-    /// Creates a sampler.
+    /// Creates a sampler. The property is compiled once, here, into a
+    /// streaming monitor plan; per-sample monitoring builds nothing.
     ///
     /// # Panics
     ///
@@ -95,6 +151,7 @@ impl TraceSampler {
         TraceSampler {
             ode: sys.compile(&cx),
             states: sys.states.clone(),
+            plan: CompiledBltl::compile(&cx, &sys.states, &property),
             cx,
             init,
             params,
@@ -109,15 +166,134 @@ impl TraceSampler {
         &self.property
     }
 
+    /// A workspace for [`TraceSampler::sample_with`] and friends; hold
+    /// one per worker and reuse it across samples.
+    pub fn scratch(&self) -> SampleScratch {
+        SampleScratch::new()
+    }
+
+    /// Draws the random instantiation into `scratch.env` / `scratch.y0`.
+    /// This is the only RNG consumption of a sample, so early
+    /// termination never perturbs the per-index random streams.
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut SampleScratch) {
+        scratch.env.clear();
+        scratch.env.resize(self.cx.num_vars(), 0.0);
+        for (v, d) in &self.params {
+            scratch.env[v.index()] = d.sample(rng);
+        }
+        scratch.y0.clear();
+        for d in &self.init {
+            scratch.y0.push(d.sample(rng));
+        }
+    }
+
     /// Draws one Bernoulli sample: simulate a random instantiation and
     /// return whether the property holds (failed simulations count as
     /// violations — the conservative reading).
+    ///
+    /// Allocates a fresh [`SampleScratch`] per call; hot loops should
+    /// hold one and use [`TraceSampler::sample_with`].
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        self.sample_robustness(rng).0
+        self.sample_with(rng, &mut self.scratch())
+    }
+
+    /// Fused simulate-and-monitor Bernoulli sample through a reused
+    /// scratch: integration stops the moment the streaming verdict
+    /// decides, and the steady-state loop is allocation-free.
+    pub fn sample_with<R: Rng + ?Sized>(&self, rng: &mut R, scratch: &mut SampleScratch) -> bool {
+        self.sample_stats_with(rng, scratch).sat
+    }
+
+    /// [`TraceSampler::sample_with`] plus instrumentation: integration
+    /// step count and whether the verdict decided early.
+    pub fn sample_stats_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut SampleScratch,
+    ) -> SampleStats {
+        self.draw(rng, scratch);
+        let SampleScratch { env, y0, ode, mon } = scratch;
+        self.plan.begin(mon, env);
+        let plan = &self.plan;
+        let res = self.integrator.integrate_streaming(
+            &self.ode,
+            env,
+            y0,
+            (0.0, self.t_end),
+            ode,
+            |t, y, _dy| {
+                if plan.feed(mon, t, y).decided() {
+                    StepControl::Stop
+                } else {
+                    StepControl::Continue
+                }
+            },
+        );
+        match res {
+            Ok(end) => SampleStats {
+                sat: self.plan.finish_bool(mon),
+                steps: end.steps,
+                early_stop: end.stopped_early,
+            },
+            // Failed simulations count as violations (conservative), as
+            // in the offline path.
+            Err(_) => SampleStats {
+                sat: false,
+                steps: mon.samples(),
+                early_stop: false,
+            },
+        }
     }
 
     /// Draws one sample, returning `(satisfied, robustness)`.
+    ///
+    /// Allocates a fresh scratch; hot loops should use
+    /// [`TraceSampler::sample_robustness_with`].
     pub fn sample_robustness<R: Rng + ?Sized>(&self, rng: &mut R) -> (bool, f64) {
+        self.sample_robustness_with(rng, &mut self.scratch())
+    }
+
+    /// Fused single-pass `(satisfied, robustness)` sample. Robustness
+    /// needs the whole horizon, so there is no early termination, but
+    /// simulation and both semantics still run in one pass with no trace
+    /// materialization and no steady-state allocation.
+    pub fn sample_robustness_with<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut SampleScratch,
+    ) -> (bool, f64) {
+        self.draw(rng, scratch);
+        let SampleScratch { env, y0, ode, mon } = scratch;
+        self.plan.begin(mon, env);
+        let plan = &self.plan;
+        let res = self.integrator.integrate_streaming(
+            &self.ode,
+            env,
+            y0,
+            (0.0, self.t_end),
+            ode,
+            |t, y, _dy| {
+                plan.feed(mon, t, y);
+                StepControl::Continue
+            },
+        );
+        match res {
+            Ok(_) => (self.plan.finish_bool(mon), self.plan.finish_robustness(mon)),
+            Err(_) => (false, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Reference implementation used by the equivalence property tests:
+    /// integrate the full horizon into a trace, then monitor it offline
+    /// with a freshly built [`Monitor`] — exactly the pre-fusion
+    /// pipeline. Returns `(satisfied, robustness)`.
+    ///
+    /// Equals the fused path whenever full-horizon integration
+    /// succeeds. The one divergence: a trajectory that blows up *after*
+    /// the streaming verdict decided is a conservative `false` here but
+    /// keeps its decided verdict on the fused path (see the module
+    /// docs).
+    pub fn sample_offline<R: Rng + ?Sized>(&self, rng: &mut R) -> (bool, f64) {
         let mut env = vec![0.0; self.cx.num_vars()];
         for (v, d) in &self.params {
             env[v.index()] = d.sample(rng);
@@ -137,11 +313,13 @@ impl TraceSampler {
         }
     }
 
-    /// Estimates the satisfaction probability with `n` simple samples.
+    /// Estimates the satisfaction probability with `n` simple samples
+    /// (one scratch reused across all of them).
     pub fn estimate<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> f64 {
+        let mut scratch = self.scratch();
         let mut hits = 0usize;
         for _ in 0..n {
-            if self.sample(rng) {
+            if self.sample_with(rng, &mut scratch) {
                 hits += 1;
             }
         }

@@ -1,13 +1,16 @@
 //! Property tests: parallel SMC with a fixed seed reproduces the
 //! sequential estimate bit-for-bit — sample count, verdict, and
-//! confidence interval — for arbitrary seeds and sample counts.
+//! confidence interval — for arbitrary seeds and sample counts; and the
+//! fused simulate-and-monitor sample body (streaming monitor, early
+//! termination, scratch reuse) reproduces the offline
+//! integrate-then-monitor reference exactly.
 
 use biocheck_bltl::Bltl;
 use biocheck_expr::{Atom, Context, RelOp};
 use biocheck_ode::OdeSystem;
 use biocheck_smc::{
-    par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt, seq_bayes_estimate,
-    seq_chernoff_estimate, seq_estimate, seq_sprt, Dist, TraceSampler,
+    fork_rng, par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt,
+    seq_bayes_estimate, seq_chernoff_estimate, seq_estimate, seq_sprt, Dist, TraceSampler,
 };
 use proptest::prelude::*;
 
@@ -20,6 +23,20 @@ fn threshold_sampler() -> TraceSampler {
     let e = cx.parse("x - 1").unwrap();
     let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
     TraceSampler::new(cx, &sys, vec![Dist::Uniform(0.5, 1.5)], vec![], prop, 0.01)
+}
+
+/// Exercises the early-*False* path: G≤4 (x ≤ 60) over exponential
+/// growth from x₀ ~ U[0.5, 1.5] — x(4) ≈ 54.6·x₀, so trajectories with
+/// x₀ ≳ 1.1 cross the threshold mid-horizon and the streaming verdict
+/// decides False early, while the rest run to the end (p ≈ 0.6).
+fn globally_sampler() -> TraceSampler {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("x").unwrap();
+    let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let e = cx.parse("60 - x").unwrap();
+    let prop = Bltl::globally(4.0, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    TraceSampler::new(cx, &sys, vec![Dist::Uniform(0.5, 1.5)], vec![], prop, 4.0)
 }
 
 proptest! {
@@ -64,5 +81,53 @@ proptest! {
         prop_assert!(a.outcome == b.outcome, "seed {seed}");
         prop_assert!(a.samples == b.samples, "seed {seed}: {} vs {}", a.samples, b.samples);
         prop_assert!(a.p_hat.to_bits() == b.p_hat.to_bits());
+    }
+
+    #[test]
+    fn fused_sampling_equals_offline_reference(seed in 0..u64::MAX / 2, n in 1..40u64) {
+        // The fused path (streaming monitor + early termination + scratch
+        // reuse) must reproduce the offline integrate-then-monitor
+        // pipeline exactly: same verdicts, same robustness bits, for the
+        // same per-index RNG streams — on both an early-True and an
+        // early-False property. (Both samplers' ODEs integrate cleanly
+        // over the whole horizon for every drawable instantiation, so
+        // the documented blow-up-after-decision divergence cannot occur
+        // here.)
+        for s in [threshold_sampler(), globally_sampler()] {
+            let mut scratch = s.scratch();
+            for i in 0..n {
+                let (sat_off, rob_off) = s.sample_offline(&mut fork_rng(seed, i));
+                let sat = s.sample_with(&mut fork_rng(seed, i), &mut scratch);
+                prop_assert_eq!(sat, sat_off, "seed {} sample {}", seed, i);
+                let (sat_r, rob) = s.sample_robustness_with(&mut fork_rng(seed, i), &mut scratch);
+                prop_assert_eq!(sat_r, sat_off, "seed {} sample {}", seed, i);
+                prop_assert!(rob.to_bits() == rob_off.to_bits(),
+                    "seed {seed} sample {i}: fused rob {rob} vs offline {rob_off}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_actually_triggers(seed in 0..u64::MAX / 2) {
+        // Sanity that the speedup lever is real: on the threshold
+        // sampler every satisfied sample decides True at the very first
+        // step, and on the globally sampler every violated sample stops
+        // before the horizon.
+        let s = threshold_sampler();
+        let mut scratch = s.scratch();
+        let mut early = 0usize;
+        for i in 0..24 {
+            let st = s.sample_stats_with(&mut fork_rng(seed, i), &mut scratch);
+            prop_assert_eq!(st.sat, st.early_stop && st.steps == 1,
+                "sat iff decided at the initial sample");
+            early += st.early_stop as usize;
+        }
+        let g = globally_sampler();
+        for i in 0..24 {
+            let st = g.sample_stats_with(&mut fork_rng(seed, i), &mut scratch);
+            prop_assert_eq!(!st.sat, st.early_stop, "violations stop early");
+            early += st.early_stop as usize;
+        }
+        prop_assert!(early > 0, "48 draws at p ≈ ½ should stop early sometimes");
     }
 }

@@ -266,6 +266,17 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({va:?} vs {vb:?}): {}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)+)
+            ));
+        }
+    }};
 }
 
 /// Discards a case when its precondition fails (counted as a skip here).
