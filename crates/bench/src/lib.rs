@@ -10,19 +10,16 @@ pub mod perf;
 
 use biocheck_bltl::Bltl;
 use biocheck_bmc::{check_reach, check_reach_whole, ReachOptions, ReachSpec};
-use biocheck_core::{
-    falsify_reachability, synthesize_parameters, synthesize_therapy, verify_stability,
-    CalibrationProblem, Dataset,
-};
 use biocheck_dsmt::{DeltaSmt, Fol};
+use biocheck_engine::{
+    Dataset, EstimateMethod, FalsificationOutcome, Query, Session, SmcSpec, Value,
+};
 use biocheck_expr::{Atom, Context, RelOp};
 use biocheck_interval::Interval;
 use biocheck_lyapunov::LyapunovSynthesizer;
 use biocheck_models::{cardiac, classics, prostate, radiation};
 use biocheck_ode::OdeSystem;
-use biocheck_smc::{chernoff_estimate, sprt, Dist, SprtOutcome, TraceSampler};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use biocheck_smc::{Dist, SprtOutcome};
 
 /// One printable result row.
 #[derive(Clone, Debug)]
@@ -84,11 +81,13 @@ pub fn e1_cardiac_falsification() -> Vec<Row> {
     };
     let mut rows = Vec::new();
     // Parse all goal atoms in the automaton's own context (atoms built in
-    // a clone would alias foreign nodes once the solver extends its copy).
+    // a clone would alias foreign nodes once the solver extends its copy),
+    // then open one engine session over the automaton for both queries.
     let fire = ha.cx.parse("u - 0.9").unwrap();
     let dome_u = ha.cx.parse("u - 0.7").unwrap();
     let dome_v = ha.cx.parse("v - 0.9").unwrap();
     let late = ha.cx.parse("c - 10").unwrap();
+    let session = Session::from_automaton(&ha);
     // Fires an AP.
     let spec = ReachSpec {
         goal_mode: None,
@@ -96,13 +95,20 @@ pub fn e1_cardiac_falsification() -> Vec<Row> {
         k_max: 1,
         time_bound: 60.0,
     };
-    let r = check_reach(&ha, &spec, &opts);
+    let report = session
+        .query(Query::Falsify { spec, opts })
+        .run()
+        .expect("well-formed query");
+    let consistent = matches!(
+        report.value,
+        Value::Falsify(FalsificationOutcome::Consistent(_))
+    );
     rows.push(Row::new(
         "E1",
         "FK, stim 0.3×2: reach u ≥ 0.9 (AP fires)",
-        format!("δ-sat = {}", r.is_delta_sat()),
+        format!("δ-sat = {consistent}"),
         "δ-sat",
-        r.is_delta_sat(),
+        consistent,
     ));
     // Dome surrogate unreachable.
     let spec2 = ReachSpec {
@@ -115,7 +121,16 @@ pub fn e1_cardiac_falsification() -> Vec<Row> {
         k_max: 1,
         time_bound: 30.0,
     };
-    let out = falsify_reachability(&ha, &spec2, &dome_opts);
+    let report = session
+        .query(Query::Falsify {
+            spec: spec2,
+            opts: dome_opts,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Falsify(out) = &report.value else {
+        unreachable!("falsify query returns a falsification verdict");
+    };
     rows.push(Row::new(
         "E1",
         "FK: spike-and-dome surrogate (late u ≥ 0.7 ∧ v ≥ 0.9)",
@@ -138,72 +153,74 @@ pub fn e2_parameter_synthesis() -> Vec<Row> {
     let sys = OdeSystem::new(vec![x], vec![rhs]);
     let times = vec![0.5, 1.0];
     let values: Vec<Vec<f64>> = times.iter().map(|&t: &f64| vec![(-t).exp()]).collect();
-    let problem = CalibrationProblem {
-        cx,
-        sys,
-        init: vec![1.0],
-        params: vec![(k, Interval::new(0.2, 3.0))],
-        state_bounds: vec![Interval::new(0.0, 2.0)],
-        delta: 0.01,
-        flow_step: 0.05,
+    let session = Session::from_parts(cx, sys);
+    let report = session
+        .query(Query::Calibrate {
+            data: Dataset::full(times, values, 0.02),
+            init: vec![1.0],
+            params: vec![(k, Interval::new(0.2, 3.0))],
+            state_bounds: vec![Interval::new(0.0, 2.0)],
+            delta: 0.01,
+            flow_step: 0.05,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Calibration(fit) = &report.value else {
+        unreachable!("calibrate query returns a calibration");
     };
-    let fit = synthesize_parameters(&problem, &Dataset::full(times, values, 0.02));
-    let ok = fit.as_ref().is_some_and(|(_, p)| (p[0] - 1.0).abs() < 0.25);
+    let ok = fit
+        .as_ref()
+        .is_some_and(|c| (c.witness[0] - 1.0).abs() < 0.25);
     rows.push(Row::new(
         "E2",
         "decay x' = -kx, 2 data points ± 0.02, true k = 1",
-        fit.map(|(b, p)| format!("k ∈ {} (witness {:.3})", b[0], p[0]))
+        fit.as_ref()
+            .map(|c| format!("k ∈ {} (witness {:.3})", c.param_box[0], c.witness[0]))
             .unwrap_or_else(|| "none".into()),
         "k recovered near 1",
         ok,
     ));
-    // Michaelis–Menten, Vmax unknown.
+    // Michaelis–Menten, Vmax unknown. Parameters not under synthesis
+    // must be pinned: the calibration solver reads *all* non-step vars
+    // from the solver box, so Km is substituted by its constant before
+    // the session is opened.
     let mm = classics::michaelis_menten();
     let vmax = mm.cx.var_id("Vmax").unwrap();
     let tr = mm.simulate(4.0).unwrap();
     let times = vec![2.0, 4.0];
     let values: Vec<Vec<f64>> = times.iter().map(|&t| tr.value_at(t)).collect();
-    let problem = CalibrationProblem {
-        cx: mm.cx.clone(),
-        sys: {
-            // Pin Km to its nominal value through the env… parameters not
-            // under synthesis stay at their env values? The calibration
-            // solver reads *all* non-step vars from the solver box, so we
-            // substitute Km by its constant.
-            let mut cx = mm.cx.clone();
-            let km = cx.var_id("Km").unwrap();
-            let c = cx.constant(0.5);
-            let map = std::collections::HashMap::from([(km, c)]);
-            let rhs: Vec<_> = mm.sys.rhs.iter().map(|&r| cx.subst(r, &map)).collect();
-            let _ = cx;
-            OdeSystem::new(mm.sys.states.clone(), rhs)
-        },
-        init: vec![10.0, 0.0],
-        params: vec![(vmax, Interval::new(0.25, 3.0))],
-        state_bounds: vec![Interval::new(0.0, 11.0), Interval::new(0.0, 11.0)],
-        delta: 0.05,
-        flow_step: 0.2,
+    let (pinned_cx, pinned_sys) = {
+        let mut cx = mm.cx.clone();
+        let km = cx.var_id("Km").unwrap();
+        let c = cx.constant(0.5);
+        let map = std::collections::HashMap::from([(km, c)]);
+        let rhs: Vec<_> = mm.sys.rhs.iter().map(|&r| cx.subst(r, &map)).collect();
+        let sys = OdeSystem::new(mm.sys.states.clone(), rhs);
+        (cx, sys)
     };
-    // Rebuild with the same context the subst used.
-    let problem = CalibrationProblem {
-        cx: {
-            let mut cx = mm.cx.clone();
-            let km = cx.var_id("Km").unwrap();
-            let c = cx.constant(0.5);
-            let map = std::collections::HashMap::from([(km, c)]);
-            for &r in &mm.sys.rhs {
-                let _ = cx.subst(r, &map);
-            }
-            cx
-        },
-        ..problem
+    let session = Session::from_parts(pinned_cx, pinned_sys);
+    let report = session
+        .query(Query::Calibrate {
+            data: Dataset::full(times, values, 0.15),
+            init: vec![10.0, 0.0],
+            params: vec![(vmax, Interval::new(0.25, 3.0))],
+            state_bounds: vec![Interval::new(0.0, 11.0), Interval::new(0.0, 11.0)],
+            delta: 0.05,
+            flow_step: 0.2,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Calibration(fit) = &report.value else {
+        unreachable!("calibrate query returns a calibration");
     };
-    let fit = synthesize_parameters(&problem, &Dataset::full(times, values, 0.15));
-    let ok = fit.as_ref().is_some_and(|(_, p)| (p[0] - 1.0).abs() < 0.4);
+    let ok = fit
+        .as_ref()
+        .is_some_and(|c| (c.witness[0] - 1.0).abs() < 0.4);
     rows.push(Row::new(
         "E2",
         "Michaelis–Menten, Vmax unknown (true 1.0), 2 points ± 0.15",
-        fit.map(|(b, p)| format!("Vmax ∈ {} (witness {:.3})", b[0], p[0]))
+        fit.as_ref()
+            .map(|c| format!("Vmax ∈ {} (witness {:.3})", c.param_box[0], c.witness[0]))
             .unwrap_or_else(|| "none".into()),
         "Vmax recovered near 1",
         ok,
@@ -328,7 +345,13 @@ pub fn e4_radiation() -> Vec<Row> {
         flow_step: 0.25,
         ..ReachOptions::new(0.5)
     };
-    let plan = synthesize_therapy(&ha, &spec, &opts);
+    let report = Session::from_automaton(&ha)
+        .query(Query::Therapy { spec, opts })
+        .run()
+        .expect("well-formed query");
+    let Value::Therapy(plan) = report.value else {
+        unreachable!("therapy query returns a plan");
+    };
     let ok = plan.as_ref().is_some_and(|p| p.schedule == ["0", "A", "B"]);
     rows.push(Row::new(
         "E4",
@@ -388,13 +411,17 @@ pub fn e6_lyapunov() -> Vec<Row> {
     let mut rows = Vec::new();
     // Kinetic proofreading.
     let kp = classics::kinetic_proofreading(2, 1.0, 0.5, 1.0);
-    let r = verify_stability(
-        &kp.cx,
-        &kp.sys,
-        &[Interval::new(0.0, 2.0), Interval::new(0.0, 2.0)],
-        0.1,
-        0.8,
-    );
+    let report = Session::new(&kp)
+        .query(Query::Stability {
+            region: vec![Interval::new(0.0, 2.0), Interval::new(0.0, 2.0)],
+            r_min: 0.1,
+            r_max: 0.8,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Stability(r) = report.value else {
+        unreachable!("stability query returns a stability report");
+    };
     rows.push(Row::new(
         "E6",
         "kinetic proofreading chain (n = 2)",
@@ -443,9 +470,10 @@ pub fn e6_lyapunov() -> Vec<Row> {
     rows
 }
 
-/// E7 — SMC verdicts on the toggle switch and p53 loop.
+/// E7 — SMC verdicts on the toggle switch and p53 loop, through one
+/// engine session per model (the SPRT reuses the toggle session's
+/// cached sampler).
 pub fn e7_smc() -> Vec<Row> {
-    let mut rng = StdRng::seed_from_u64(2020);
     let mut rows = Vec::new();
     let toggle = classics::toggle_switch();
     let mut cx = toggle.cx.clone();
@@ -454,15 +482,27 @@ pub fn e7_smc() -> Vec<Row> {
         40.0,
         Bltl::globally(5.0, Bltl::Prop(Atom::new(u_wins, RelOp::Ge))),
     );
-    let sampler = TraceSampler::new(
-        cx,
-        &toggle.sys,
-        vec![Dist::Uniform(0.0, 2.0), Dist::Uniform(0.0, 2.0)],
-        vec![],
-        prop,
-        45.0,
-    );
-    let est = chernoff_estimate(|| sampler.sample(&mut rng), 0.1, 0.05);
+    let session = Session::from_parts(cx, toggle.sys.clone());
+    let smc = SmcSpec {
+        init: vec![Dist::Uniform(0.0, 2.0), Dist::Uniform(0.0, 2.0)],
+        params: vec![],
+        property: prop,
+        t_end: 45.0,
+    };
+    let report = session
+        .query(Query::Estimate {
+            smc: smc.clone(),
+            method: EstimateMethod::Chernoff {
+                eps: 0.1,
+                delta: 0.05,
+            },
+        })
+        .seed(2020)
+        .run()
+        .expect("well-formed query");
+    let Value::Estimate(est) = report.value else {
+        unreachable!("estimate query returns an estimate");
+    };
     let symmetric = (est.p_hat - 0.5).abs() < 0.15;
     rows.push(Row::new(
         "E7",
@@ -471,7 +511,21 @@ pub fn e7_smc() -> Vec<Row> {
         "≈ 0.5 (symmetric basins)",
         symmetric,
     ));
-    let hyp = sprt(|| sampler.sample(&mut rng), 0.9, 0.05, 0.01, 0.01, 100_000);
+    let report = session
+        .query(Query::Sprt {
+            smc,
+            theta: 0.9,
+            indiff: 0.05,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 100_000,
+        })
+        .seed(2021)
+        .run()
+        .expect("well-formed query");
+    let Value::Sprt(hyp) = report.value else {
+        unreachable!("SPRT query returns an SPRT result");
+    };
     rows.push(Row::new(
         "E7",
         "SPRT: H0 p ≥ 0.95 vs H1 p ≤ 0.85",
@@ -484,15 +538,26 @@ pub fn e7_smc() -> Vec<Row> {
     let mut cx = p53.cx.clone();
     let over = cx.parse("p53 - 0.5").unwrap();
     let prop = Bltl::eventually(30.0, Bltl::Prop(Atom::new(over, RelOp::Ge)));
-    let sampler = TraceSampler::new(
-        cx,
-        &p53.sys,
-        vec![Dist::Uniform(0.05, 0.2), Dist::Uniform(0.05, 0.2)],
-        vec![],
-        prop,
-        30.0,
-    );
-    let est = chernoff_estimate(|| sampler.sample(&mut rng), 0.1, 0.05);
+    let session = Session::from_parts(cx, p53.sys.clone());
+    let report = session
+        .query(Query::Estimate {
+            smc: SmcSpec {
+                init: vec![Dist::Uniform(0.05, 0.2), Dist::Uniform(0.05, 0.2)],
+                params: vec![],
+                property: prop,
+                t_end: 30.0,
+            },
+            method: EstimateMethod::Chernoff {
+                eps: 0.1,
+                delta: 0.05,
+            },
+        })
+        .seed(2022)
+        .run()
+        .expect("well-formed query");
+    let Value::Estimate(est) = report.value else {
+        unreachable!("estimate query returns an estimate");
+    };
     rows.push(Row::new(
         "E7",
         "p53–Mdm2: P(overshoot p53 ≥ 0.5 within 30)",

@@ -1,20 +1,30 @@
 //! Performance workloads behind `BENCH_<n>.json`.
 //!
-//! Each workload draws Bernoulli samples (ODE simulation + BLTL
-//! monitoring) from one of the paper's case-study models, once on the
-//! sequential path and once on the rayon-parallel path, with the same
-//! master seed. Because parallel SMC forks a per-sample RNG from the
-//! seed, `p_hat` must agree bit-for-bit between both modes — the
-//! `deterministic` field records that check, and `speedup` the
-//! wall-clock ratio (≈ thread count on a multicore host, ≈ 1 on one
-//! core).
+//! Since PR 4 every workload runs through the engine's
+//! `Session`/`Query`/`Report` API. The three SMC workloads draw
+//! Bernoulli samples (ODE simulation + streaming BLTL monitoring) from
+//! the paper's case-study models, once in sequential mode and once on
+//! the rayon-parallel path, with the same master seed; the engine forks
+//! a per-sample RNG from the seed, so the two reports must agree
+//! **bit-for-bit** — the `deterministic` field records that
+//! fingerprint check, and `speedup` the wall-clock ratio.
+//!
+//! The `engine_batch` workload measures the session cache: the same
+//! 12-query batch (a PSA-threshold sweep on the prostate model) timed
+//! against a cold session (constructed inside the timed region, every
+//! plan compiled on first use) and against a warm session (artifact
+//! cache already populated). Its `samples` column counts queries, its
+//! `samples_per_sec` is queries/sec, `sequential` holds the cold
+//! timing, `parallel` the warm timing, and `speedup` the warm/cold
+//! ratio; `deterministic` asserts cold and warm reports fingerprint
+//! identically (cached artifacts change no numbers).
 
-use crate::json_escape;
 use biocheck_bltl::Bltl;
+use biocheck_engine::{EstimateMethod, Query, Report, Session, SmcSpec, Value};
 use biocheck_expr::{Atom, RelOp};
 use biocheck_models::{cardiac, prostate, radiation};
 use biocheck_ode::OdeSystem;
-use biocheck_smc::{fork_rng, par_estimate, seq_estimate, Dist, TraceSampler};
+use biocheck_smc::Dist;
 use std::time::Instant;
 
 /// Timings for one workload in one execution mode.
@@ -26,22 +36,25 @@ pub struct ModeTiming {
     pub samples_per_sec: f64,
 }
 
-/// One benchmark workload: sequential vs parallel SMC sampling.
+/// One benchmark workload: sequential vs parallel SMC sampling, or
+/// cold- vs warm-cache batched querying (`engine_batch`).
 #[derive(Clone, Debug)]
 pub struct PerfWorkload {
-    /// Workload name (`smc_prostate`, `smc_cardiac`, `smc_radiation`).
+    /// Workload name (`smc_prostate`, `smc_cardiac`, `smc_radiation`,
+    /// `icp_pave_ring`, `engine_batch`).
     pub name: String,
-    /// Number of Bernoulli samples drawn per mode.
+    /// Number of Bernoulli samples drawn per mode (queries per batch
+    /// for `engine_batch`).
     pub samples: usize,
     /// Master seed used by both modes.
     pub seed: u64,
-    /// Sequential-path timing.
+    /// Sequential-path timing (cold-cache timing for `engine_batch`).
     pub sequential: ModeTiming,
-    /// Parallel-path timing.
+    /// Parallel-path timing (warm-cache timing for `engine_batch`).
     pub parallel: ModeTiming,
     /// The satisfaction estimate (identical between modes by design).
     pub p_hat: f64,
-    /// Did the parallel estimate reproduce the sequential one bit-for-bit?
+    /// Did both modes produce bit-identical reports?
     pub deterministic: bool,
     /// `sequential.wall_seconds / parallel.wall_seconds`.
     pub speedup: f64,
@@ -58,62 +71,60 @@ pub struct PerfWorkload {
 /// noisy initial tumor burden and androgen level. The threshold sits
 /// inside the initial-PSA range, so p is strictly between 0 and 1 and the
 /// parallel/sequential bit-for-bit check is non-trivial.
-pub fn prostate_sampler() -> TraceSampler {
+pub fn prostate_workload() -> (Session, SmcSpec) {
     let p = prostate::PatientParams::default();
-    let m = prostate::cas_model(&p);
-    let mut cx = m.cx.clone();
-    let psa_ok = cx.parse("18 - (x + y)").unwrap();
-    let prop = Bltl::globally(100.0, Bltl::Prop(Atom::new(psa_ok, RelOp::Ge)));
-    TraceSampler::new(
-        cx,
-        &m.sys,
-        vec![
+    let mut m = prostate::cas_model(&p);
+    let psa_ok = m.cx.parse("18 - (x + y)").unwrap();
+    let spec = SmcSpec {
+        init: vec![
             Dist::Uniform(10.0, 20.0),
             Dist::Uniform(0.05, 0.2),
             Dist::Uniform(10.0, 14.0),
         ],
-        vec![],
-        prop,
-        100.0,
-    )
+        params: vec![],
+        property: Bltl::globally(100.0, Bltl::Prop(Atom::new(psa_ok, RelOp::Ge))),
+        t_end: 100.0,
+    };
+    (Session::new(&m), spec)
 }
 
 /// Fenton–Karma cardiac cell: P(an action potential fires within 30 time
 /// units) over a random sustained stimulus current.
-pub fn cardiac_sampler() -> TraceSampler {
-    let m = cardiac::fenton_karma();
-    let mut cx = m.cx.clone();
-    let stim = cx.var_id("I_stim").unwrap();
-    let fires = cx.parse("u - 0.8").unwrap();
-    let prop = Bltl::eventually(30.0, Bltl::Prop(Atom::new(fires, RelOp::Ge)));
-    TraceSampler::new(
-        cx,
-        &m.sys,
-        vec![
+pub fn cardiac_workload() -> (Session, SmcSpec) {
+    let mut m = cardiac::fenton_karma();
+    let stim = m.cx.var_id("I_stim").unwrap();
+    let fires = m.cx.parse("u - 0.8").unwrap();
+    let spec = SmcSpec {
+        init: vec![
             Dist::Uniform(0.0, 0.05),
             Dist::Uniform(0.9, 1.0),
             Dist::Uniform(0.9, 1.0),
         ],
-        vec![(stim, Dist::Uniform(0.0, 0.4))],
-        prop,
-        30.0,
-    )
+        params: vec![(stim, Dist::Uniform(0.0, 0.4))],
+        property: Bltl::eventually(30.0, Bltl::Prop(Atom::new(fires, RelOp::Ge))),
+        t_end: 30.0,
+    };
+    (Session::new(&m), spec)
 }
 
 /// Radiation-damaged cell (untreated live mode): P(RIP3 commitment —
 /// rip3 ≥ 1 — within 20 hours) over noisy initial lipid oxidation.
-pub fn radiation_sampler() -> TraceSampler {
+pub fn radiation_workload() -> (Session, SmcSpec) {
     let ha = radiation::tbi_automaton();
-    let cx = ha.cx.clone();
     let live = ha.mode_by_name("0").unwrap();
     let sys = OdeSystem::new(ha.states.clone(), ha.modes[live].rhs.clone());
-    let mut cx2 = cx;
-    let committed = cx2.parse("rip3 - 1").unwrap();
-    let prop = Bltl::eventually(20.0, Bltl::Prop(Atom::new(committed, RelOp::Ge)));
+    let mut cx = ha.cx.clone();
+    let committed = cx.parse("rip3 - 1").unwrap();
     let nominal = radiation::tbi_init();
     let mut init: Vec<Dist> = nominal.into_iter().map(Dist::Point).collect();
     init[0] = Dist::Uniform(0.1, 0.3); // clox
-    TraceSampler::new(cx2, &sys, init, vec![], prop, 20.0)
+    let spec = SmcSpec {
+        init,
+        params: vec![],
+        property: Bltl::eventually(20.0, Bltl::Prop(Atom::new(committed, RelOp::Ge))),
+        t_end: 20.0,
+    };
+    (Session::from_parts(cx, sys), spec)
 }
 
 /// Timing repetitions per mode; the fastest run is reported. The
@@ -161,20 +172,47 @@ pub fn calibration_score() -> f64 {
     ITERS as f64 / best
 }
 
-fn run_workload(name: &str, sampler: &TraceSampler, samples: usize, seed: u64) -> PerfWorkload {
-    let (seq_secs, p_seq) = best_of(|| seq_estimate(sampler, seed, samples));
-    let (par_secs, p_par) = best_of(|| par_estimate(sampler, seed, samples));
-    // Untimed instrumented pass over the same per-index streams: how
-    // much trajectory the fused pipeline actually integrates, and how
-    // often the streaming verdict decided before the horizon.
-    let mut scratch = sampler.scratch();
-    let mut steps = 0usize;
-    let mut early = 0usize;
-    for i in 0..samples as u64 {
-        let st = sampler.sample_stats_with(&mut fork_rng(seed, i), &mut scratch);
-        steps += st.steps;
-        early += st.early_stop as usize;
-    }
+fn run_workload(
+    name: &str,
+    session: &Session,
+    smc: &SmcSpec,
+    samples: usize,
+    seed: u64,
+) -> PerfWorkload {
+    let query = Query::Estimate {
+        smc: smc.clone(),
+        method: EstimateMethod::Fixed { n: samples },
+    };
+    // Populate the artifact cache outside the timed region (one-sample
+    // query), mirroring the pre-engine benchmark where the sampler was
+    // constructed before timing started.
+    let _ = session
+        .query(Query::Estimate {
+            smc: smc.clone(),
+            method: EstimateMethod::Fixed { n: 1 },
+        })
+        .seed(seed)
+        .sequential()
+        .run()
+        .expect("valid workload");
+    let (seq_secs, seq_report) = best_of(|| {
+        session
+            .query(query.clone())
+            .seed(seed)
+            .sequential()
+            .run()
+            .expect("valid workload")
+    });
+    let (par_secs, par_report) = best_of(|| {
+        session
+            .query(query.clone())
+            .seed(seed)
+            .run()
+            .expect("valid workload")
+    });
+    let Value::Estimate(est) = &par_report.value else {
+        unreachable!("estimate query returns an estimate");
+    };
     PerfWorkload {
         name: name.to_string(),
         samples,
@@ -187,11 +225,11 @@ fn run_workload(name: &str, sampler: &TraceSampler, samples: usize, seed: u64) -
             wall_seconds: par_secs,
             samples_per_sec: samples as f64 / par_secs,
         },
-        p_hat: p_par,
-        deterministic: p_par.to_bits() == p_seq.to_bits(),
+        p_hat: est.p_hat,
+        deterministic: par_report.fingerprint() == seq_report.fingerprint(),
         speedup: seq_secs / par_secs,
-        avg_steps: steps as f64 / samples as f64,
-        early_stop_rate: early as f64 / samples as f64,
+        avg_steps: par_report.provenance.avg_steps,
+        early_stop_rate: par_report.provenance.early_stop_rate,
     }
 }
 
@@ -247,14 +285,106 @@ pub fn icp_pave_workload() -> PerfWorkload {
     }
 }
 
+/// Cold- vs warm-cache batched querying: a 12-query PSA-threshold sweep
+/// (6 thresholds × 2 batch slots) on the prostate model through
+/// [`Session::run_batch`]. Cold mode constructs the session inside the
+/// timed region, so every query pays plan compilation; warm mode reuses
+/// one session whose artifact cache is already populated.
+pub fn engine_batch_workload(samples_per_query: usize, seed: u64) -> PerfWorkload {
+    let patient = prostate::PatientParams::default();
+    let mut model = prostate::cas_model(&patient);
+    let nodes: Vec<_> = [14.0, 16.0, 18.0, 20.0, 22.0, 24.0]
+        .into_iter()
+        .map(|t| model.cx.parse(&format!("{t} - (x + y)")).unwrap())
+        .collect();
+    let n = samples_per_query.max(1);
+    let queries: Vec<Query> = (0..12)
+        .map(|i| Query::Estimate {
+            smc: SmcSpec {
+                init: vec![
+                    Dist::Uniform(10.0, 20.0),
+                    Dist::Uniform(0.05, 0.2),
+                    Dist::Uniform(10.0, 14.0),
+                ],
+                params: vec![],
+                property: Bltl::globally(100.0, Bltl::Prop(Atom::new(nodes[i % 6], RelOp::Ge))),
+                t_end: 100.0,
+            },
+            method: EstimateMethod::Fixed { n },
+        })
+        .collect();
+
+    let (cold_secs, cold_reports) = best_of(|| {
+        let session = Session::new(&model);
+        session.run_batch(&queries, seed)
+    });
+    let warm_session = Session::new(&model);
+    let _ = warm_session.run_batch(&queries, seed); // populate the cache
+    let (warm_secs, warm_reports) = best_of(|| warm_session.run_batch(&queries, seed));
+
+    let fingerprints = |reports: &[Result<Report, biocheck_engine::Error>]| -> Vec<String> {
+        reports
+            .iter()
+            .map(|r| r.as_ref().expect("valid workload queries").fingerprint())
+            .collect()
+    };
+    let deterministic = fingerprints(&cold_reports) == fingerprints(&warm_reports);
+    let p_hat = match &warm_reports[0].as_ref().expect("valid query").value {
+        Value::Estimate(e) => e.p_hat,
+        _ => unreachable!("estimate query"),
+    };
+    let queries_n = queries.len();
+    PerfWorkload {
+        name: "engine_batch".to_string(),
+        samples: queries_n,
+        seed,
+        sequential: ModeTiming {
+            wall_seconds: cold_secs,
+            samples_per_sec: queries_n as f64 / cold_secs,
+        },
+        parallel: ModeTiming {
+            wall_seconds: warm_secs,
+            samples_per_sec: queries_n as f64 / warm_secs,
+        },
+        p_hat,
+        deterministic,
+        speedup: cold_secs / warm_secs,
+        avg_steps: 0.0,
+        early_stop_rate: 0.0,
+    }
+}
+
 /// Runs the perf workloads: three SMC samplers (`samples` Bernoulli
-/// draws each) plus the branch-and-prune paving workload.
+/// draws each), the branch-and-prune paving workload, and the
+/// cold-vs-warm `engine_batch` workload (`samples`/20 draws per query).
 pub fn perf_workloads(samples: usize, seed: u64) -> Vec<PerfWorkload> {
+    let (prostate_session, prostate_spec) = prostate_workload();
+    let (cardiac_session, cardiac_spec) = cardiac_workload();
+    let (radiation_session, radiation_spec) = radiation_workload();
     vec![
-        run_workload("smc_prostate", &prostate_sampler(), samples, seed),
-        run_workload("smc_cardiac", &cardiac_sampler(), samples, seed),
-        run_workload("smc_radiation", &radiation_sampler(), samples, seed),
+        run_workload(
+            "smc_prostate",
+            &prostate_session,
+            &prostate_spec,
+            samples,
+            seed,
+        ),
+        run_workload(
+            "smc_cardiac",
+            &cardiac_session,
+            &cardiac_spec,
+            samples,
+            seed,
+        ),
+        run_workload(
+            "smc_radiation",
+            &radiation_session,
+            &radiation_spec,
+            samples,
+            seed,
+        ),
         icp_pave_workload(),
+        engine_batch_workload(samples / 20, seed),
     ]
 }
 
@@ -277,7 +407,7 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
              \"parallel\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
              \"p_hat\": {}, \"deterministic\": {}, \"speedup\": {:.3}, \
              \"avg_steps\": {:.2}, \"early_stop_rate\": {:.3}}}{}\n",
-            json_escape(&w.name),
+            crate::json_escape(&w.name),
             w.samples,
             w.seed,
             w.sequential.wall_seconds,
@@ -359,6 +489,7 @@ mod tests {
             "smc_cardiac",
             "smc_radiation",
             "icp_pave_ring",
+            "engine_batch",
             "wall_seconds",
             "samples_per_sec",
             "deterministic",

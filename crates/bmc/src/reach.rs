@@ -6,6 +6,9 @@ use biocheck_hybrid::{HybridAutomaton, ModeId};
 use biocheck_icp::{BranchAndPrune, Contractor, DeltaResult, Witness};
 use biocheck_interval::{IBox, Interval};
 use biocheck_ode::FlowContractor;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A bounded reachability question: can the automaton reach states
 /// satisfying `goal` (optionally in a specific mode) within `k_max`
@@ -36,6 +39,14 @@ pub struct ReachOptions {
     pub flow_step: f64,
     /// Bound on enumerated paths (safety valve for dense jump graphs).
     pub max_paths: usize,
+    /// Cooperative cancellation flag: polled during path enumeration,
+    /// between enumerated paths, and between per-path solver rounds. A
+    /// raised flag makes [`check_reach`] return
+    /// [`ReachResult::Unknown`] — a well-formed partial answer, never a
+    /// panic.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled at the same points as `cancel`.
+    pub deadline: Option<Instant>,
 }
 
 impl ReachOptions {
@@ -47,7 +58,14 @@ impl ReachOptions {
             max_splits: 20_000,
             flow_step: 0.05,
             max_paths: 10_000,
+            cancel: None,
+            deadline: None,
         }
+    }
+
+    /// Has the cancellation flag been raised or the deadline passed?
+    pub(crate) fn interrupted(&self) -> bool {
+        biocheck_icp::interrupted(self.cancel.as_deref(), self.deadline)
     }
 }
 
@@ -115,11 +133,16 @@ pub fn check_reach(ha: &HybridAutomaton, spec: &ReachSpec, opts: &ReachOptions) 
     );
     let mut any_unknown = false;
     let mut paths_tried = 0usize;
-    // BFS over paths by length.
+    // BFS over paths by length. The enumeration itself can be
+    // exponential in dense jump graphs, so the interrupt flag is polled
+    // per expanded node, not just per solved path.
     for m in 0..=spec.k_max {
         let mut stack: Vec<(Vec<ModeId>, Vec<usize>)> = vec![(vec![ha.init_mode], vec![])];
         let mut paths: Vec<(Vec<ModeId>, Vec<usize>)> = Vec::new();
         while let Some((path, jumps)) = stack.pop() {
+            if opts.interrupted() {
+                return ReachResult::Unknown;
+            }
             if jumps.len() == m {
                 paths.push((path, jumps));
                 continue;
@@ -138,6 +161,9 @@ pub fn check_reach(ha: &HybridAutomaton, spec: &ReachSpec, opts: &ReachOptions) 
                 if *path.last().unwrap() != goal_mode {
                     continue;
                 }
+            }
+            if opts.interrupted() {
+                return ReachResult::Unknown;
             }
             paths_tried += 1;
             if paths_tried > opts.max_paths {
@@ -237,6 +263,8 @@ pub(crate) fn solve_path(
 
     let mut bp = BranchAndPrune::new(opts.delta);
     bp.max_splits = opts.max_splits;
+    bp.cancel = opts.cancel.clone();
+    bp.deadline = opts.deadline;
     bp.solve(&cx, &atoms, &extra, &init)
 }
 

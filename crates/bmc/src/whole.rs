@@ -68,6 +68,8 @@ fn solve_depth(
     let n_steps = m + 1;
     let mut smt = DeltaSmt::new(ha.cx.clone(), opts.delta);
     smt.max_splits = opts.max_splits;
+    smt.cancel = opts.cancel.clone();
+    smt.deadline = opts.deadline;
     let enc = PathEncoding::allocate(smt.cx_mut(), &ha.states, n_steps);
 
     // Mode-occupancy flags: one flow contractor per (step, mode).

@@ -1,160 +1,32 @@
 //! Guaranteed parameter synthesis from time-series data (the BioPSy
-//! workflow): find parameter values such that the ODE solution passes
-//! through every observation band, or prove that none exist.
+//! workflow) — **compatibility front-end**.
+//!
+//! The implementation lives in [`biocheck_engine::calibrate`]; prefer
+//! `Query::Calibrate` on a `biocheck_engine::Session`, which caches
+//! compiled artifacts, accepts a budget, and distinguishes
+//! unsatisfiability from budget exhaustion.
 
-use biocheck_expr::{Atom, Context, VarId};
-use biocheck_icp::{BranchAndPrune, Contractor, DeltaResult};
-use biocheck_interval::{IBox, Interval};
-use biocheck_ode::{FlowContractor, OdeSystem};
+pub use biocheck_engine::{Calibration, CalibrationProblem, Dataset};
 
-/// A time-series dataset: observations of selected state components at
-/// increasing times, each with a ± tolerance band.
-#[derive(Clone, Debug)]
-pub struct Dataset {
-    /// Observation times (strictly increasing, first > 0).
-    pub times: Vec<f64>,
-    /// One row per time: observed values of the observed components.
-    pub values: Vec<Vec<f64>>,
-    /// Indices of the observed state components.
-    pub observed: Vec<usize>,
-    /// Half-width of the acceptance band around each observation.
-    pub tolerance: f64,
-}
+use biocheck_interval::Interval;
 
-impl Dataset {
-    /// Builds a dataset observing all components.
-    ///
-    /// # Panics
-    ///
-    /// Panics when shapes disagree or times are not increasing.
-    pub fn full(times: Vec<f64>, values: Vec<Vec<f64>>, tolerance: f64) -> Dataset {
-        assert_eq!(times.len(), values.len(), "one row per time");
-        assert!(times.windows(2).all(|w| w[0] < w[1]), "increasing times");
-        assert!(!values.is_empty(), "empty dataset");
-        let dim = values[0].len();
-        Dataset {
-            times,
-            values,
-            observed: (0..dim).collect(),
-            tolerance,
-        }
-    }
-}
-
-/// A calibration problem: system + known initial state + unknown
-/// parameters with their prior ranges.
-#[derive(Clone, Debug)]
-pub struct CalibrationProblem {
-    /// The expression context (cloned internally).
-    pub cx: Context,
-    /// The dynamics.
-    pub sys: OdeSystem,
-    /// Known initial state.
-    pub init: Vec<f64>,
-    /// Unknown parameters and their prior boxes.
-    pub params: Vec<(VarId, Interval)>,
-    /// Physical bounds for every state component (keeps boxes bounded).
-    pub state_bounds: Vec<Interval>,
-    /// δ of the decision procedure.
-    pub delta: f64,
-    /// Validated-integration base step.
-    pub flow_step: f64,
-}
-
-/// Synthesizes parameter values consistent with the data.
-///
-/// Returns `Some((param_box, point))` with the witness parameter
-/// intervals and a representative point on δ-sat, `None` when the
-/// problem is unsat (**no** parameters in the prior box can reproduce
-/// the data — a model falsification) or undecided within budget.
+/// Deprecated wrapper over the engine: synthesizes parameter values
+/// consistent with the data, with no budget and no exhaustion
+/// signal. Use `biocheck_engine::Session::query` with
+/// `Query::Calibrate` instead.
+#[doc(hidden)]
 pub fn synthesize_parameters(
     problem: &CalibrationProblem,
     data: &Dataset,
 ) -> Option<(Vec<Interval>, Vec<f64>)> {
-    let mut cx = problem.cx.clone();
-    let n = problem.sys.dim();
-    // Step variables per data segment: x@j is the state at times[j-1]
-    // (x@0 = init, pinned), linked by flow contractors with pinned dwell.
-    let mut flows: Vec<FlowContractor> = Vec::new();
-    let mut atoms: Vec<Atom> = Vec::new();
-    let mut seg_vars: Vec<Vec<VarId>> = Vec::new();
-    let init_vars: Vec<VarId> = (0..n).map(|d| cx.intern_var(&format!("@x0_{d}"))).collect();
-    seg_vars.push(init_vars.clone());
-    for (d, &v) in init_vars.iter().enumerate() {
-        let vn = cx.var_node(v);
-        let c = cx.constant(problem.init[d]);
-        atoms.push(Atom::eq(&mut cx, vn, c));
-    }
-    let mut prev_t = 0.0;
-    for (j, &t) in data.times.iter().enumerate() {
-        let cur: Vec<VarId> = (0..n)
-            .map(|d| cx.intern_var(&format!("@x{}_{d}", j + 1)))
-            .collect();
-        let tau = cx.intern_var(&format!("@tau{j}"));
-        let fc = FlowContractor::new(
-            &mut cx,
-            &problem.sys,
-            seg_vars[j].clone(),
-            cur.clone(),
-            tau,
-            &[],
-        )
-        .with_step(problem.flow_step)
-        .with_label(format!("data-segment {j}"));
-        flows.push(fc);
-        // Observation bands at this time.
-        for (oi, &comp) in data.observed.iter().enumerate() {
-            let v = cx.var_node(cur[comp]);
-            let lo = cx.constant(data.values[j][oi] - data.tolerance);
-            let hi = cx.constant(data.values[j][oi] + data.tolerance);
-            atoms.push(Atom::ge(&mut cx, v, lo));
-            atoms.push(Atom::le(&mut cx, v, hi));
-        }
-        seg_vars.push(cur);
-        // Pin the dwell to the segment duration.
-        let tau_node = cx.var_node(tau);
-        let dt = cx.constant(t - prev_t);
-        atoms.push(Atom::eq(&mut cx, tau_node, dt));
-        prev_t = t;
-    }
-    // Solver box.
-    let mut init_box = IBox::uniform(cx.num_vars(), Interval::ZERO);
-    for &(v, range) in &problem.params {
-        init_box[v.index()] = range;
-    }
-    for vars in &seg_vars {
-        for (d, &v) in vars.iter().enumerate() {
-            init_box[v.index()] = problem.state_bounds[d];
-        }
-    }
-    for j in 0..data.times.len() {
-        let tau = cx.var_id(&format!("@tau{j}")).unwrap();
-        let dt = data.times[j] - if j == 0 { 0.0 } else { data.times[j - 1] };
-        init_box[tau.index()] = Interval::new(0.0, dt * 1.01);
-    }
-    let refs: Vec<&dyn Contractor> = flows.iter().map(|f| f as &dyn Contractor).collect();
-    let mut bp = BranchAndPrune::new(problem.delta);
-    bp.max_splits = 50_000;
-    match bp.solve(&cx, &atoms, &refs, &init_box) {
-        DeltaResult::DeltaSat(w) => Some((
-            problem
-                .params
-                .iter()
-                .map(|&(v, _)| w.boxx[v.index()])
-                .collect(),
-            problem
-                .params
-                .iter()
-                .map(|&(v, _)| w.point[v.index()])
-                .collect(),
-        )),
-        _ => None,
-    }
+    biocheck_engine::calibrate::synthesize_parameters(problem, data)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use biocheck_expr::Context;
+    use biocheck_ode::OdeSystem;
 
     /// Generates decay data from k = 1 and recovers k.
     #[test]

@@ -1,6 +1,5 @@
-//! The BioCheck framework — the paper's primary contribution (Fig. 2):
-//! a δ-decision–based workflow for modeling and analyzing single- and
-//! multi-mode biological systems.
+//! The BioCheck framework workflow (Fig. 2) — **compatibility
+//! front-end** over the unified analysis engine.
 //!
 //! ```text
 //!  ODE / hybrid model ──► δ-decision parameter synthesis ──► δ-sat ──► calibrated model
@@ -12,16 +11,18 @@
 //!         └──────────────────────────────────────── stability & therapy synthesis
 //! ```
 //!
-//! * [`calibrate`] — BioPSy-style guaranteed parameter synthesis from
-//!   time-series data (Sec. IV-A): each data point becomes a reachability
-//!   band linked by validated flow constraints.
-//! * [`falsify`] — model falsification: an `unsat` answer proves *no*
-//!   parameter values can produce the desired behavior (the
-//!   Fenton–Karma "spike-and-dome" argument).
-//! * [`therapy`] — therapeutic strategy identification over multi-mode
-//!   automata (Sec. IV-B): shortest successful mode path + thresholds.
-//! * [`stability`] — Lyapunov stability analysis (Sec. IV-C) with
-//!   interval-Newton equilibrium localization.
+//! The workflow implementations now live in `biocheck_engine`, behind a
+//! typed `Session`/`Query`/`Report` surface with compiled-artifact
+//! caching, budgets, and cancellation; this crate keeps the original
+//! free functions as thin wrappers so existing code compiles unchanged:
+//!
+//! * [`calibrate`] — BioPSy-style guaranteed parameter synthesis
+//!   (engine: `Query::Calibrate`).
+//! * [`falsify`] — model falsification (engine: `Query::Falsify`).
+//! * [`therapy`] — therapeutic strategy identification (engine:
+//!   `Query::Therapy`).
+//! * [`stability`] — Lyapunov stability analysis (engine:
+//!   `Query::Stability`).
 
 pub mod calibrate;
 pub mod falsify;

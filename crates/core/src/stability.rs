@@ -1,31 +1,19 @@
-//! Stability analysis (Sec. IV-C): equilibrium localization by interval
-//! Newton plus CEGIS Lyapunov certification.
+//! Stability analysis — **compatibility front-end**.
+//!
+//! The implementation lives in [`biocheck_engine::stability`]; prefer
+//! `Query::Stability` on a `biocheck_engine::Session`.
+
+pub use biocheck_engine::StabilityReport;
 
 use biocheck_expr::Context;
-use biocheck_icp::{Contractor, Newton, Outcome};
-use biocheck_interval::{IBox, Interval};
-use biocheck_lyapunov::{shift_to_origin, LyapunovSynthesizer};
+use biocheck_interval::Interval;
 use biocheck_ode::OdeSystem;
 
-/// Result of a stability verification.
-#[derive(Clone, Debug)]
-pub struct StabilityReport {
-    /// The localized equilibrium.
-    pub equilibrium: Vec<f64>,
-    /// Rendering of the certified Lyapunov function (shifted coordinates).
-    pub lyapunov: String,
-    /// CEGIS iterations.
-    pub iterations: usize,
-    /// `true` when a certificate was verified (exact side).
-    pub certified: bool,
-}
-
-/// Locates an equilibrium inside `region` with the interval-Newton
-/// contractor and certifies local asymptotic stability with a quadratic
-/// Lyapunov function on the annulus `r_min ≤ ‖x − x*‖∞ ≤ r_max`.
-///
-/// Returns `None` when no equilibrium is localized or no quadratic
-/// certificate is found.
+/// Deprecated wrapper over the engine: locates an equilibrium inside
+/// `region` and certifies local asymptotic stability with a quadratic
+/// Lyapunov function. Use `biocheck_engine::Session::query` with
+/// `Query::Stability` instead.
+#[doc(hidden)]
 pub fn verify_stability(
     cx: &Context,
     sys: &OdeSystem,
@@ -33,35 +21,7 @@ pub fn verify_stability(
     r_min: f64,
     r_max: f64,
 ) -> Option<StabilityReport> {
-    assert_eq!(region.len(), sys.dim(), "one interval per state");
-    let mut cx = cx.clone();
-    // Localize f(x) = 0 by Newton iteration on the region box.
-    let newton = Newton::new(&mut cx, &sys.rhs, &sys.states);
-    let mut bx = IBox::uniform(cx.num_vars(), Interval::ZERO);
-    for (&s, &r) in sys.states.iter().zip(region) {
-        bx[s.index()] = r;
-    }
-    for _ in 0..50 {
-        match newton.contract(&mut bx) {
-            Outcome::Empty => return None,
-            Outcome::Unchanged => break,
-            Outcome::Reduced => {}
-        }
-    }
-    let eq: Vec<f64> = sys.states.iter().map(|s| bx[s.index()].mid()).collect();
-    if eq.iter().any(|v| !v.is_finite()) {
-        return None;
-    }
-    // Shift and certify.
-    let shifted = shift_to_origin(&mut cx, sys, &eq);
-    let mut syn = LyapunovSynthesizer::quadratic(cx, &shifted, r_min, r_max);
-    let result = syn.run(30)?;
-    Some(StabilityReport {
-        equilibrium: eq,
-        lyapunov: result.v_text,
-        iterations: result.iterations,
-        certified: result.verified,
-    })
+    biocheck_engine::stability::verify_stability(cx, sys, region, r_min, r_max)
 }
 
 #[cfg(test)]

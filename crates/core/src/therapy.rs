@@ -1,60 +1,33 @@
-//! Therapeutic strategy identification (Sec. IV-B): which drug to
-//! deliver at what time, as a parameter-synthesis-for-reachability
-//! problem over the treatment automaton, minimizing the number of drugs
-//! (path length).
+//! Therapeutic strategy identification — **compatibility front-end**.
+//!
+//! The implementation lives in [`biocheck_engine::therapy`]; prefer
+//! `Query::Therapy` on a `biocheck_engine::Session`, which threads
+//! budgets and cancellation into the reachability search and reports
+//! exhaustion distinctly from "no schedule exists".
 
-use biocheck_bmc::{check_reach, ReachOptions, ReachResult, ReachSpec};
+pub use biocheck_engine::TherapyPlan;
+
+use biocheck_bmc::{ReachOptions, ReachSpec};
 use biocheck_hybrid::HybridAutomaton;
-use biocheck_interval::Interval;
 
-/// A synthesized treatment plan.
-#[derive(Clone, Debug)]
-pub struct TherapyPlan {
-    /// Mode names along the successful path (drug sequence).
-    pub schedule: Vec<String>,
-    /// Dwell time in each mode.
-    pub dwell_times: Vec<f64>,
-    /// Synthesized trigger thresholds / parameters (name, interval).
-    pub thresholds: Vec<(String, Interval)>,
-    /// Number of distinct treatment modes used (drugs administered).
-    pub drugs_used: usize,
-}
-
-/// Synthesizes the shortest successful treatment schedule: the minimal
-/// number of jumps whose mode path reaches the goal (e.g. "alive at
-/// time T with damage below threshold"), together with admissible
-/// trigger thresholds.
-///
-/// Returns `None` when no schedule within `spec.k_max` jumps works.
+/// Deprecated wrapper over the engine: synthesizes the shortest
+/// successful treatment schedule, or `None` when no schedule within
+/// `spec.k_max` jumps works. Use `biocheck_engine::Session::query` with
+/// `Query::Therapy` instead.
+#[doc(hidden)]
 pub fn synthesize_therapy(
     ha: &HybridAutomaton,
     spec: &ReachSpec,
     opts: &ReachOptions,
 ) -> Option<TherapyPlan> {
-    match check_reach(ha, spec, opts) {
-        ReachResult::DeltaSat(w) => {
-            let schedule: Vec<String> = w.path.iter().map(|&m| ha.modes[m].name.clone()).collect();
-            let mut seen = std::collections::BTreeSet::new();
-            let drugs_used = schedule
-                .iter()
-                .skip(1) // initial mode is not a drug
-                .filter(|name| seen.insert((*name).clone()))
-                .count();
-            Some(TherapyPlan {
-                schedule,
-                dwell_times: w.dwell_times.clone(),
-                thresholds: w.param_box.clone(),
-                drugs_used,
-            })
-        }
-        _ => None,
-    }
+    biocheck_engine::therapy::synthesize_therapy(ha, spec, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use biocheck_expr::{Atom, RelOp};
+    use biocheck_interval::Interval;
 
     /// A toy rescue automaton: damage grows in mode `sick`; drug mode
     /// `treated` reverses it. Goal: low damage after treatment.

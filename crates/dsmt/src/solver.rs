@@ -6,6 +6,9 @@ use biocheck_icp::{BranchAndPrune, Contractor, DeltaResult};
 use biocheck_interval::{IBox, Interval};
 use biocheck_sat::{Lit, SolveResult, Solver};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Handle of a guarded contractor inside a [`DeltaSmt`] instance; embed it
 /// in formulas as [`Fol::Flag`].
@@ -29,6 +32,12 @@ pub struct DeltaSmt {
     pub max_theory_checks: usize,
     /// Split budget per theory check (forwarded to branch-and-prune).
     pub max_splits: usize,
+    /// Cooperative cancellation flag: polled between theory checks and
+    /// forwarded into every branch-and-prune run. A raised flag makes
+    /// [`DeltaSmt::check`] return [`DeltaResult::Unknown`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled at the same points as `cancel`.
+    pub deadline: Option<Instant>,
 }
 
 impl DeltaSmt {
@@ -48,6 +57,8 @@ impl DeltaSmt {
             exclusions: Vec::new(),
             max_theory_checks: 10_000,
             max_splits: 200_000,
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -151,8 +162,18 @@ impl DeltaSmt {
         }
         let mut bp = BranchAndPrune::new(self.delta);
         bp.max_splits = self.max_splits;
+        bp.cancel = self.cancel.clone();
+        bp.deadline = self.deadline;
 
         for _ in 0..self.max_theory_checks {
+            if biocheck_icp::interrupted(self.cancel.as_deref(), self.deadline) {
+                // `remaining` is a placeholder here (as in the
+                // theory-check budget exhaustion below): the number of
+                // Boolean models still to enumerate is not knowable
+                // without continuing the CDCL search, so 1 only signals
+                // "work was left", never a frontier size.
+                return DeltaResult::Unknown { remaining: 1 };
+            }
             match enc.sat.solve() {
                 SolveResult::Unsat => return DeltaResult::Unsat,
                 SolveResult::Sat => {}

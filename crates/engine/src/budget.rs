@@ -1,0 +1,150 @@
+//! First-class resource budgets with cooperative cancellation.
+//!
+//! A [`Budget`] is threaded through every query: the SMC speculative
+//! batch loop polls it between batches, and the ICP/BMC frontier loops
+//! poll it between frontier rounds (via the `cancel`/`deadline` fields
+//! on `BranchAndPrune`, `ReachOptions`, and `DeltaSmt`). A tripped
+//! budget never panics and never corrupts a result — the query returns a
+//! well-formed partial [`Report`](crate::Report) with
+//! [`Outcome::Exhausted`](crate::Outcome::Exhausted).
+//!
+//! Determinism: `max_samples` and `max_paver_boxes` are exact counters,
+//! so budget trips are bit-for-bit reproducible. `deadline` and
+//! mid-flight `cancel` depend on wall-clock timing; the *shape* of the
+//! partial report is still well-formed, but the cut point is not
+//! reproducible — deterministic pipelines should budget by counts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag. Clone it, hand one copy to the query (via
+/// [`Budget::cancel`]) and keep the other; calling [`CancelToken::cancel`]
+/// from any thread stops the query at its next cooperative poll point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, unraised token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every query holding a clone stops at its next
+    /// poll point (batch/round granularity, never mid-sample).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for threading into substrate solvers.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        self.0.clone()
+    }
+
+    /// Borrowed view of the flag, for poll sites.
+    pub(crate) fn as_flag(&self) -> &AtomicBool {
+        &self.0
+    }
+}
+
+/// A per-query resource budget. The default is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct Budget {
+    /// Cap on Bernoulli samples drawn by SMC-backed queries
+    /// (`Estimate`, `Sprt`, `Robustness`). When it cuts a query short,
+    /// the report carries the estimate over the samples actually drawn.
+    pub max_samples: Option<usize>,
+    /// Cap on box splits in the δ-decision searches behind `Falsify`,
+    /// `Therapy`, and `Calibrate` (overrides the per-query
+    /// `max_splits` defaults when set).
+    pub max_paver_boxes: Option<usize>,
+    /// Wall-clock allowance, measured from the start of `run()`.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation flag.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// An unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Sets the sample cap.
+    #[must_use]
+    pub fn with_max_samples(mut self, n: usize) -> Budget {
+        self.max_samples = Some(n);
+        self
+    }
+
+    /// Sets the split cap for δ-decision searches.
+    #[must_use]
+    pub fn with_max_paver_boxes(mut self, n: usize) -> Budget {
+        self.max_paver_boxes = Some(n);
+        self
+    }
+
+    /// Sets the wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> Budget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Resolves the relative deadline against the query start instant.
+    pub(crate) fn deadline_from(&self, start: Instant) -> Option<Instant> {
+        self.deadline.map(|d| start + d)
+    }
+
+    /// The raw cancellation flag, if any (for substrate solvers).
+    pub(crate) fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.as_ref().map(CancelToken::flag)
+    }
+
+    /// Poll point: has the flag been raised or the deadline passed?
+    /// Delegates to the substrate-shared predicate so every layer polls
+    /// with identical semantics.
+    pub(crate) fn interrupted(&self, deadline: Option<Instant>) -> bool {
+        biocheck_icp::interrupted(self.cancel.as_ref().map(CancelToken::as_flag), deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn budget_builders() {
+        let b = Budget::unlimited()
+            .with_max_samples(10)
+            .with_max_paver_boxes(20)
+            .with_deadline(Duration::from_millis(5))
+            .with_cancel(CancelToken::new());
+        assert_eq!(b.max_samples, Some(10));
+        assert_eq!(b.max_paver_boxes, Some(20));
+        assert!(b.deadline.is_some() && b.cancel.is_some());
+        assert!(!b.interrupted(None));
+        assert!(b.interrupted(Some(Instant::now())));
+    }
+}

@@ -1,0 +1,140 @@
+//! The engine's single error type.
+//!
+//! Every fallible engine entry point returns [`Error`], so callers match
+//! on one enum instead of one ad-hoc failure type per substrate crate.
+//! Two kinds of failure are deliberately **not** errors:
+//!
+//! * Budget exhaustion (split budgets, sample caps, cancellation,
+//!   deadlines) is a normal outcome of a well-formed query — it is
+//!   reported through [`crate::Outcome::Exhausted`] on the
+//!   [`crate::Report`], never as an `Err`.
+//! * Per-sample integration failures inside SMC sampling keep their
+//!   conservative property-violation reading (exactly as in
+//!   `biocheck_smc`), so a single blown-up trajectory cannot abort an
+//!   estimation query.
+
+use biocheck_hybrid::BhaError;
+use biocheck_ode::{OdeError, ValidationError};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Unified analysis-engine error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// Numeric integration failed (e.g. [`crate::Session::simulate`]).
+    Ode(OdeError),
+    /// Validated (interval) integration failed.
+    Validation(ValidationError),
+    /// `.bha` hybrid-automaton text failed to parse.
+    Parse(BhaError),
+    /// The query requires the other kind of model: SMC/calibration/
+    /// stability queries need a [`Session`](crate::Session) over an ODE
+    /// model, reachability queries one over a hybrid automaton.
+    WrongModel {
+        /// The query kind that was attempted.
+        query: &'static str,
+        /// Model kind the query needs (`"ODE model"` / `"hybrid automaton"`).
+        expected: &'static str,
+        /// Model kind the session actually holds.
+        got: &'static str,
+    },
+    /// A per-dimension argument does not match the model dimension.
+    Shape {
+        /// What was mis-sized (e.g. `"init distributions"`).
+        what: &'static str,
+        /// Expected length (the model dimension).
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A scalar query parameter is outside its admissible range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Ode(e) => write!(f, "integration failed: {e}"),
+            Error::Validation(e) => write!(f, "validated integration failed: {e}"),
+            Error::Parse(e) => write!(f, "model parse failed: {e}"),
+            Error::WrongModel {
+                query,
+                expected,
+                got,
+            } => write!(
+                f,
+                "query `{query}` needs a session over a {expected}, \
+                 but this session holds a {got}"
+            ),
+            Error::Shape {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} entries, got {got}"),
+            Error::InvalidParameter { what, detail } => {
+                write!(f, "invalid query parameter `{what}`: {detail}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Ode(e) => Some(e),
+            Error::Validation(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OdeError> for Error {
+    fn from(e: OdeError) -> Error {
+        Error::Ode(e)
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Error {
+        Error::Validation(e)
+    }
+}
+
+impl From<BhaError> for Error {
+    fn from(e: BhaError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: Error = OdeError::NonFinite { t: 1.0 }.into();
+        assert!(e.to_string().contains("integration failed"));
+        assert!(e.source().is_some());
+        let e: Error = ValidationError::StepUnderflow { t: 0.5 }.into();
+        assert!(e.to_string().contains("validated"));
+        let e: Error = BhaError {
+            line: 3,
+            message: "bad mode".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("line 3"));
+        let e = Error::Shape {
+            what: "init distributions",
+            expected: 2,
+            got: 1,
+        };
+        assert!(e.to_string().contains("expected 2"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! Model falsification: reject a model hypothesis by proving a desired
+//! behavior unreachable for *every* admissible parameter value.
+//!
+//! Moved here from `biocheck_core` (which keeps a thin compatibility
+//! wrapper). Prefer [`Query::Falsify`](crate::Query::Falsify) on a
+//! [`Session`](crate::Session), which threads budgets and cancellation
+//! into the reachability search.
+
+use biocheck_bmc::{check_reach, ReachOptions, ReachResult, ReachSpec, ReachWitness};
+use biocheck_hybrid::HybridAutomaton;
+
+/// Outcome of a falsification attempt.
+#[derive(Debug)]
+pub enum FalsificationOutcome {
+    /// `unsat` (exact): the model cannot exhibit the behavior no matter
+    /// which parameter values are used — the hypothesis is rejected.
+    Falsified,
+    /// A δ-sat witness exhibits the behavior; the model stands.
+    Consistent(Box<ReachWitness>),
+    /// Budget exhausted.
+    Undecided,
+}
+
+impl FalsificationOutcome {
+    /// Returns `true` when the model was falsified.
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, FalsificationOutcome::Falsified)
+    }
+}
+
+/// Checks whether the automaton can reach the behavior described by
+/// `spec` for any parameter valuation. `unsat` rejects the model — the
+/// argument used against Fenton–Karma's ability to produce the
+/// epicardial spike-and-dome morphology (Sec. IV-A).
+pub fn falsify_reachability(
+    ha: &HybridAutomaton,
+    spec: &ReachSpec,
+    opts: &ReachOptions,
+) -> FalsificationOutcome {
+    match check_reach(ha, spec, opts) {
+        ReachResult::Unsat => FalsificationOutcome::Falsified,
+        ReachResult::DeltaSat(w) => FalsificationOutcome::Consistent(Box::new(w)),
+        ReachResult::Unknown => FalsificationOutcome::Undecided,
+    }
+}

@@ -1,0 +1,170 @@
+//! The typed query surface: one enum covering every analysis the
+//! framework offers, replacing the former per-crate free-function zoo.
+
+use crate::calibrate::Dataset;
+use biocheck_bltl::Bltl;
+use biocheck_bmc::{ReachOptions, ReachSpec};
+use biocheck_expr::VarId;
+use biocheck_interval::Interval;
+use biocheck_smc::Dist;
+
+/// The probabilistic setup shared by the SMC-backed queries: how the
+/// session's ODE model is randomly instantiated and which property is
+/// monitored on each trajectory. Two queries with equal setups share one
+/// compiled sampler (RHS program + streaming monitor plan) inside the
+/// session cache.
+#[derive(Clone, Debug)]
+pub struct SmcSpec {
+    /// One initial-state distribution per state component.
+    pub init: Vec<Dist>,
+    /// Randomized parameters (the rest of the environment stays 0).
+    pub params: Vec<(VarId, Dist)>,
+    /// The monitored BLTL property.
+    pub property: Bltl,
+    /// Simulation horizon.
+    pub t_end: f64,
+}
+
+/// How [`Query::Estimate`] chooses its sample count.
+#[derive(Clone, Copy, Debug)]
+pub enum EstimateMethod {
+    /// Exactly `n` samples, no statistical guarantee attached.
+    Fixed {
+        /// Sample count (must be > 0).
+        n: usize,
+    },
+    /// Chernoff–Hoeffding: enough samples that
+    /// `P(|p̂ − p| > eps) ≤ delta`.
+    Chernoff {
+        /// Absolute error bound.
+        eps: f64,
+        /// Failure probability.
+        delta: f64,
+    },
+    /// Bayesian adaptive stopping: sample until the credible interval at
+    /// `confidence` is narrower than `2·half_width`.
+    Bayes {
+        /// Target half-width of the credible interval.
+        half_width: f64,
+        /// Coverage of the credible interval.
+        confidence: f64,
+        /// Hard cap on samples for the adaptive rule.
+        max_samples: usize,
+    },
+}
+
+/// A typed analysis request against a [`Session`](crate::Session).
+///
+/// SMC-backed variants (`Estimate`, `Sprt`, `Robustness`) and the
+/// δ-decision variants `Calibrate`/`Stability` need a session over an
+/// ODE model; `Falsify`/`Therapy` need one over a hybrid automaton.
+/// Mixing them up is an [`Error::WrongModel`](crate::Error::WrongModel),
+/// not a panic.
+#[derive(Clone, Debug)]
+pub enum Query {
+    /// Estimate the satisfaction probability of a BLTL property.
+    Estimate {
+        /// Random instantiation + property.
+        smc: SmcSpec,
+        /// Sample-count policy.
+        method: EstimateMethod,
+    },
+    /// Wald's SPRT for `H₀: p ≥ θ+δᵢ` vs `H₁: p ≤ θ−δᵢ`.
+    Sprt {
+        /// Random instantiation + property.
+        smc: SmcSpec,
+        /// The threshold θ.
+        theta: f64,
+        /// Indifference half-width δᵢ.
+        indiff: f64,
+        /// Type-I error bound.
+        alpha: f64,
+        /// Type-II error bound.
+        beta: f64,
+        /// Hard cap on samples before giving up (`Inconclusive`).
+        max_samples: usize,
+    },
+    /// Quantitative semantics: mean/min robustness plus p̂ over a fixed
+    /// number of samples.
+    Robustness {
+        /// Random instantiation + property.
+        smc: SmcSpec,
+        /// Sample count (must be > 0).
+        samples: usize,
+    },
+    /// Model falsification: prove a behavior unreachable for *every*
+    /// admissible parameter value (`unsat` rejects the hypothesis).
+    Falsify {
+        /// The reachability question.
+        spec: ReachSpec,
+        /// Solver configuration (budget fields are overridden by the
+        /// query's [`Budget`](crate::Budget) when set).
+        opts: ReachOptions,
+    },
+    /// Shortest-schedule therapy synthesis over a treatment automaton.
+    Therapy {
+        /// The reachability question encoding the therapeutic goal.
+        spec: ReachSpec,
+        /// Solver configuration (budget fields overridden as above).
+        opts: ReachOptions,
+    },
+    /// BioPSy-style guaranteed parameter synthesis from time-series
+    /// data, against the session's ODE model.
+    Calibrate {
+        /// The observations.
+        data: Dataset,
+        /// Known initial state (one value per state component).
+        init: Vec<f64>,
+        /// Unknown parameters with their prior ranges.
+        params: Vec<(VarId, Interval)>,
+        /// Physical bounds per state component.
+        state_bounds: Vec<Interval>,
+        /// δ of the decision procedure.
+        delta: f64,
+        /// Validated-integration base step.
+        flow_step: f64,
+    },
+    /// Equilibrium localization + Lyapunov certification.
+    Stability {
+        /// Search region (one interval per state component).
+        region: Vec<Interval>,
+        /// Inner radius of the certification annulus.
+        r_min: f64,
+        /// Outer radius of the certification annulus.
+        r_max: f64,
+    },
+}
+
+impl Query {
+    /// The discriminant, carried on every [`Report`](crate::Report).
+    pub fn kind(&self) -> QueryKind {
+        match self {
+            Query::Estimate { .. } => QueryKind::Estimate,
+            Query::Sprt { .. } => QueryKind::Sprt,
+            Query::Robustness { .. } => QueryKind::Robustness,
+            Query::Falsify { .. } => QueryKind::Falsify,
+            Query::Therapy { .. } => QueryKind::Therapy,
+            Query::Calibrate { .. } => QueryKind::Calibrate,
+            Query::Stability { .. } => QueryKind::Stability,
+        }
+    }
+}
+
+/// Discriminant of a [`Query`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// [`Query::Estimate`]
+    Estimate,
+    /// [`Query::Sprt`]
+    Sprt,
+    /// [`Query::Robustness`]
+    Robustness,
+    /// [`Query::Falsify`]
+    Falsify,
+    /// [`Query::Therapy`]
+    Therapy,
+    /// [`Query::Calibrate`]
+    Calibrate,
+    /// [`Query::Stability`]
+    Stability,
+}

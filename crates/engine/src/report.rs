@@ -1,0 +1,124 @@
+//! The uniform answer type: verdict/estimate payload plus structured
+//! provenance and the budget outcome.
+
+use crate::calibrate::Calibration;
+use crate::falsify::FalsificationOutcome;
+use crate::query::QueryKind;
+use crate::stability::StabilityReport;
+use crate::therapy::TherapyPlan;
+use biocheck_smc::{Estimate, SprtResult};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Did the query run to its natural end, or did a resource bound stop
+/// it first?
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The query finished: the value is its full answer.
+    Complete,
+    /// A budget (sample cap, split cap, cancellation, deadline) stopped
+    /// the query mid-flight; the value is a well-formed partial answer
+    /// over the work actually performed.
+    Exhausted,
+}
+
+/// Structured provenance: enough to reproduce or audit the answer.
+///
+/// `wall_time` is deliberately an opaque, caller-supplied duration
+/// (time the run yourself and set the field): the engine never reads
+/// the clock into a report, so two runs of the same seeded query
+/// produce bit-identical reports — the property the batch-determinism
+/// tests pin down. It is also excluded from [`Report::fingerprint`].
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    /// Master seed the per-sample RNG streams were forked from.
+    pub seed: u64,
+    /// Bernoulli samples actually drawn (0 for δ-decision queries,
+    /// whose work is measured in box splits).
+    pub samples: usize,
+    /// Fraction of drawn samples whose streaming verdict decided before
+    /// the simulation horizon (0 when not applicable).
+    pub early_stop_rate: f64,
+    /// Mean integration samples per draw (0 when not applicable).
+    pub avg_steps: f64,
+    /// Caller-attached wall time; `None` unless supplied.
+    pub wall_time: Option<Duration>,
+}
+
+/// Summary of a [`Query::Robustness`](crate::Query::Robustness) run.
+/// A run stopped by its budget before any sample was drawn reports all
+/// fields as 0 (check the report's `provenance.samples`).
+#[derive(Copy, Clone, Debug)]
+pub struct RobustnessSummary {
+    /// Fraction of satisfying samples.
+    pub p_hat: f64,
+    /// Mean robustness over the drawn samples (index-ordered summation,
+    /// hence deterministic).
+    pub mean: f64,
+    /// Minimum robustness observed (`-inf` when a sampled trajectory's
+    /// simulation failed).
+    pub min: f64,
+}
+
+/// The query-specific payload of a [`Report`].
+#[derive(Debug)]
+pub enum Value {
+    /// Probability estimate (`Estimate` queries). When the report's
+    /// outcome is [`Outcome::Exhausted`] the drawn samples do not
+    /// support the method's statistical guarantee, so `half_width` and
+    /// `confidence` are zeroed — the point estimate over the samples
+    /// actually drawn is all a truncated run can honestly claim.
+    Estimate(Estimate),
+    /// Sequential-test verdict (`Sprt` queries).
+    Sprt(SprtResult),
+    /// Robustness summary (`Robustness` queries).
+    Robustness(RobustnessSummary),
+    /// Falsification verdict (`Falsify` queries).
+    Falsify(FalsificationOutcome),
+    /// Synthesized treatment plan, `None` when no schedule exists within
+    /// the jump bound (`Therapy` queries).
+    Therapy(Option<TherapyPlan>),
+    /// δ-sat calibration, `None` on unsat or exhaustion (`Calibrate`
+    /// queries; check [`Report::outcome`] to tell the two apart).
+    Calibration(Option<Calibration>),
+    /// Certified stability report, `None` when no equilibrium was
+    /// localized or no certificate found (`Stability` queries).
+    Stability(Option<StabilityReport>),
+}
+
+/// The uniform analysis answer returned by every query.
+#[derive(Debug)]
+pub struct Report {
+    /// Which query produced this report.
+    pub kind: QueryKind,
+    /// Budget outcome.
+    pub outcome: Outcome,
+    /// The verdict/estimate payload.
+    pub value: Value,
+    /// Structured provenance.
+    pub provenance: Provenance,
+}
+
+impl Report {
+    /// A deterministic rendering of everything except the caller-supplied
+    /// wall time: two reports fingerprint equal iff seed, sample counts,
+    /// outcome, and every payload float are bit-identical (floats render
+    /// via their shortest round-trip form, which is injective on bit
+    /// patterns up to NaN payloads). This is what the par==seq and
+    /// cache-consistency tests compare.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{:?}|{:?}|{:?}|seed={} samples={} early={:?} steps={:?}",
+            self.kind,
+            self.outcome,
+            self.value,
+            self.provenance.seed,
+            self.provenance.samples,
+            self.provenance.early_stop_rate,
+            self.provenance.avg_steps,
+        );
+        s
+    }
+}

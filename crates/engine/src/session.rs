@@ -1,0 +1,640 @@
+//! Per-model analysis sessions with compiled-artifact caching.
+
+use crate::budget::Budget;
+use crate::calibrate::{self, CalibrationProblem};
+use crate::error::Error;
+use crate::exec_smc::{self, SmcOutcome};
+use crate::falsify::{self, FalsificationOutcome};
+use crate::query::{EstimateMethod, Query, QueryKind, SmcSpec};
+use crate::report::{Outcome, Provenance, Report, Value};
+use crate::stability;
+use crate::therapy;
+use biocheck_bltl::CompiledBltl;
+use biocheck_bmc::ReachOptions;
+use biocheck_expr::Context;
+use biocheck_hybrid::HybridAutomaton;
+use biocheck_models::OdeModel;
+use biocheck_ode::{CompiledOde, OdeSystem, Trace};
+use biocheck_smc::{fork_seed, TraceSampler};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Single-mode ODE model: context + system + the RHS compiled once.
+struct OdeParts {
+    cx: Context,
+    sys: OdeSystem,
+    ode: CompiledOde,
+}
+
+/// The model a session analyzes.
+enum Model {
+    /// Single-mode ODE model.
+    Ode(Box<OdeParts>),
+    /// Multi-mode hybrid automaton.
+    Hybrid(Box<HybridAutomaton>),
+}
+
+impl Model {
+    fn name(&self) -> &'static str {
+        match self {
+            Model::Ode(_) => "ODE model",
+            Model::Hybrid(_) => "hybrid automaton",
+        }
+    }
+}
+
+/// Lowering work performed by a session since construction. The
+/// counters count lowering actually performed: under sequential use,
+/// compilation happens at most once per distinct artifact and repeated
+/// queries are pure cache hits (the invariant the engine's cache tests
+/// pin down). Concurrent queries racing on the *same brand-new* setup
+/// may each speculatively compile it (lowering runs outside the cache
+/// lock; the duplicate is discarded on insert and every caller shares
+/// one sampler), so under `run_batch` the counters are an upper bound,
+/// not an exact artifact count.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// RHS `Program` compilations (1 for ODE sessions, 0 for hybrid).
+    pub rhs_compiles: usize,
+    /// BLTL formulas lowered into streaming plans.
+    pub plan_compiles: usize,
+    /// Samplers assembled from cached artifacts.
+    pub sampler_builds: usize,
+    /// Queries answered entirely from cache (no lowering of any kind).
+    pub cache_hits: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    rhs: AtomicUsize,
+    plans: AtomicUsize,
+    samplers: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+/// Compiled artifacts shared across queries. Keys are the canonical
+/// debug renderings of the defining inputs — stable within a session
+/// because every query resolves against the same interned context.
+#[derive(Default)]
+struct Artifacts {
+    /// Streaming monitor plans, keyed by formula.
+    plans: HashMap<String, CompiledBltl>,
+    /// Fully assembled samplers, keyed by the whole [`SmcSpec`].
+    samplers: HashMap<String, Arc<TraceSampler>>,
+}
+
+/// A per-model analysis session.
+///
+/// Construct one per model ([`Session::new`] /
+/// [`Session::from_automaton`]) and reuse it for every query against
+/// that model: the ODE right-hand side is compiled exactly once (at
+/// construction), each BLTL formula is lowered into its streaming
+/// [`CompiledBltl`] plan exactly once, and repeated queries re-lower
+/// nothing — verified by [`Session::stats`] counters and bit-identical
+/// cached-vs-fresh results.
+///
+/// Queries run through the builder ([`Session::query`]) or in bulk
+/// through [`Session::run_batch`]. All methods take `&self`; a session
+/// is `Sync` and can serve queries from many threads.
+pub struct Session {
+    model: Model,
+    nominal_init: Vec<f64>,
+    nominal_env: Vec<f64>,
+    artifacts: Mutex<Artifacts>,
+    counters: Counters,
+}
+
+impl Session {
+    /// Opens a session over a packaged ODE model, compiling its
+    /// right-hand side once. The model's nominal initial state and
+    /// environment back [`Session::simulate`].
+    pub fn new(model: &OdeModel) -> Session {
+        let mut s = Session::from_parts(model.cx.clone(), model.sys.clone());
+        s.nominal_init.clone_from(&model.init);
+        s.nominal_env.clone_from(&model.env);
+        s
+    }
+
+    /// Opens a session over a hand-built context + system (nominal
+    /// initial state and environment default to zero).
+    pub fn from_parts(cx: Context, sys: OdeSystem) -> Session {
+        let ode = sys.compile(&cx);
+        let counters = Counters::default();
+        counters.rhs.store(1, Ordering::Relaxed);
+        Session {
+            nominal_init: vec![0.0; sys.dim()],
+            nominal_env: vec![0.0; cx.num_vars()],
+            model: Model::Ode(Box::new(OdeParts { cx, sys, ode })),
+            artifacts: Mutex::new(Artifacts::default()),
+            counters,
+        }
+    }
+
+    /// Opens a session over a hybrid automaton (for `Falsify` and
+    /// `Therapy` queries).
+    pub fn from_automaton(ha: &HybridAutomaton) -> Session {
+        Session {
+            model: Model::Hybrid(Box::new(ha.clone())),
+            nominal_init: Vec::new(),
+            nominal_env: Vec::new(),
+            artifacts: Mutex::new(Artifacts::default()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Lowering counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            rhs_compiles: self.counters.rhs.load(Ordering::Relaxed),
+            plan_compiles: self.counters.plans.load(Ordering::Relaxed),
+            sampler_builds: self.counters.samplers.load(Ordering::Relaxed),
+            cache_hits: self.counters.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Simulates the ODE model from its nominal initial state and
+    /// environment using the session's cached compiled RHS (unlike
+    /// [`OdeModel::simulate`], which recompiles on every call).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WrongModel`] on hybrid sessions; [`Error::Ode`] when
+    /// integration fails.
+    pub fn simulate(&self, t_end: f64) -> Result<Trace, Error> {
+        match &self.model {
+            Model::Ode(parts) => {
+                Ok(parts
+                    .ode
+                    .integrate(&self.nominal_env, &self.nominal_init, (0.0, t_end))?)
+            }
+            Model::Hybrid(_) => Err(Error::WrongModel {
+                query: "simulate",
+                expected: "ODE model",
+                got: self.model.name(),
+            }),
+        }
+    }
+
+    /// Starts building a query run; finish with
+    /// [`QueryRun::run`]. Defaults: seed 0, unlimited budget, parallel
+    /// sampling.
+    pub fn query(&self, query: Query) -> QueryRun<'_> {
+        QueryRun {
+            session: self,
+            query,
+            seed: 0,
+            budget: Budget::default(),
+            parallel: true,
+        }
+    }
+
+    /// Executes many queries concurrently over the work-stealing pool.
+    /// Query `i` runs with seed `fork_seed(seed, i)`, so the result
+    /// vector is bit-for-bit identical to running each query alone with
+    /// its forked seed — at any thread count.
+    pub fn run_batch(&self, queries: &[Query], seed: u64) -> Vec<Result<Report, Error>> {
+        self.run_batch_budgeted(queries, seed, &Budget::default())
+    }
+
+    /// [`Session::run_batch`] with a shared budget. The budget is
+    /// polled independently inside every query; a cancellation stops
+    /// them all at their next poll points, and the deadline is resolved
+    /// **once, here** — it bounds the whole batch, not each query.
+    pub fn run_batch_budgeted(
+        &self,
+        queries: &[Query],
+        seed: u64,
+        budget: &Budget,
+    ) -> Vec<Result<Report, Error>> {
+        let deadline = budget.deadline_from(Instant::now());
+        (0..queries.len())
+            .into_par_iter()
+            .map(|i| {
+                self.execute(
+                    &queries[i],
+                    fork_seed(seed, i as u64),
+                    budget,
+                    deadline,
+                    true,
+                )
+            })
+            .collect()
+    }
+
+    fn ode_parts(&self, query: &'static str) -> Result<&OdeParts, Error> {
+        match &self.model {
+            Model::Ode(parts) => Ok(parts),
+            Model::Hybrid(_) => Err(Error::WrongModel {
+                query,
+                expected: "ODE model",
+                got: self.model.name(),
+            }),
+        }
+    }
+
+    fn automaton(&self, query: &'static str) -> Result<&HybridAutomaton, Error> {
+        match &self.model {
+            Model::Hybrid(ha) => Ok(ha),
+            Model::Ode { .. } => Err(Error::WrongModel {
+                query,
+                expected: "hybrid automaton",
+                got: self.model.name(),
+            }),
+        }
+    }
+
+    /// The cached sampler for an SMC setup: assembled from the cached
+    /// compiled RHS and the (cached) compiled plan; a repeated setup is
+    /// a pure lookup.
+    fn sampler(&self, smc: &SmcSpec) -> Result<Arc<TraceSampler>, Error> {
+        let OdeParts { cx, sys, ode } = self.ode_parts("SMC sampling")?;
+        if smc.init.len() != sys.dim() {
+            return Err(Error::Shape {
+                what: "init distributions",
+                expected: sys.dim(),
+                got: smc.init.len(),
+            });
+        }
+        if !(smc.t_end.is_finite() && smc.t_end > 0.0) {
+            return Err(Error::InvalidParameter {
+                what: "t_end",
+                detail: format!("must be finite and positive, got {}", smc.t_end),
+            });
+        }
+        let key = format!(
+            "{:?}|{:?}|{}|{:?}",
+            smc.init, smc.params, smc.t_end, smc.property
+        );
+        let plan_key = format!("{:?}", smc.property);
+        // Fast path under the lock: hit the sampler cache, or at least
+        // grab the formula's cached plan.
+        let cached_plan = {
+            let artifacts = self.artifacts.lock().expect("artifact cache poisoned");
+            if let Some(sampler) = artifacts.samplers.get(&key) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(sampler));
+            }
+            artifacts.plans.get(&plan_key).cloned()
+        };
+        // Compile OUTSIDE the lock so concurrent queries on other
+        // formulas (the cold-batch shape) lower in parallel instead of
+        // serializing. Two racers on the same key may duplicate the
+        // work; artifacts are bit-identical and first-insert-wins below
+        // keeps every caller on one shared sampler. The counters count
+        // lowering work actually performed.
+        let plan = match cached_plan {
+            Some(plan) => plan,
+            None => {
+                self.counters.plans.fetch_add(1, Ordering::Relaxed);
+                CompiledBltl::compile(cx, &sys.states, &smc.property)
+            }
+        };
+        self.counters.samplers.fetch_add(1, Ordering::Relaxed);
+        let sampler = Arc::new(TraceSampler::from_artifacts(
+            cx.clone(),
+            ode.clone(),
+            plan.clone(),
+            smc.init.clone(),
+            smc.params.clone(),
+            smc.property.clone(),
+            smc.t_end,
+        ));
+        let mut artifacts = self.artifacts.lock().expect("artifact cache poisoned");
+        artifacts.plans.entry(plan_key).or_insert(plan);
+        let shared = artifacts
+            .samplers
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&sampler));
+        Ok(Arc::clone(shared))
+    }
+
+    /// Overlays the query budget onto reachability solver options.
+    /// Precedence is uniform: a budget field that is set wins over the
+    /// corresponding `ReachOptions` field (matching `max_splits`), so a
+    /// [`CancelToken`](crate::CancelToken) attached to the run always
+    /// stops the query; deadlines take the **earlier** of the two, so
+    /// neither side's time bound is ever loosened.
+    fn apply_budget(
+        opts: &ReachOptions,
+        budget: &Budget,
+        deadline: Option<Instant>,
+    ) -> ReachOptions {
+        let mut opts = opts.clone();
+        if let Some(boxes) = budget.max_paver_boxes {
+            opts.max_splits = boxes;
+        }
+        if let Some(flag) = budget.cancel_flag() {
+            opts.cancel = Some(flag);
+        }
+        opts.deadline = match (opts.deadline, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        opts
+    }
+
+    fn smc_report(&self, kind: QueryKind, seed: u64, out: SmcOutcome) -> Report {
+        Report {
+            kind,
+            outcome: out.outcome,
+            value: out.value,
+            provenance: Provenance {
+                seed,
+                samples: out.samples,
+                early_stop_rate: out.early_stop_rate,
+                avg_steps: out.avg_steps,
+                wall_time: None,
+            },
+        }
+    }
+
+    fn delta_report(&self, kind: QueryKind, seed: u64, exhausted: bool, value: Value) -> Report {
+        Report {
+            kind,
+            outcome: if exhausted {
+                Outcome::Exhausted
+            } else {
+                Outcome::Complete
+            },
+            value,
+            provenance: Provenance {
+                seed,
+                ..Provenance::default()
+            },
+        }
+    }
+
+    /// The single dispatch point behind [`QueryRun::run`] and
+    /// [`Session::run_batch`]. `deadline` is the budget's relative
+    /// allowance already resolved against the run's start instant (once
+    /// per `run()`, once per whole batch).
+    fn execute(
+        &self,
+        query: &Query,
+        seed: u64,
+        budget: &Budget,
+        deadline: Option<Instant>,
+        parallel: bool,
+    ) -> Result<Report, Error> {
+        match query {
+            Query::Estimate { smc, method } => {
+                validate_method(method)?;
+                let sampler = self.sampler(smc)?;
+                let out =
+                    exec_smc::run_estimate(&sampler, seed, *method, budget, deadline, parallel);
+                Ok(self.smc_report(query.kind(), seed, out))
+            }
+            Query::Sprt {
+                smc,
+                theta,
+                indiff,
+                alpha,
+                beta,
+                max_samples,
+            } => {
+                if !(theta - indiff > 0.0 && theta + indiff < 1.0) {
+                    return Err(Error::InvalidParameter {
+                        what: "theta/indiff",
+                        detail: format!(
+                            "theta ± indiff must stay inside (0, 1), got {theta} ± {indiff}"
+                        ),
+                    });
+                }
+                if !(*alpha > 0.0 && *beta > 0.0) {
+                    return Err(Error::InvalidParameter {
+                        what: "alpha/beta",
+                        detail: "error levels must be positive".into(),
+                    });
+                }
+                let sampler = self.sampler(smc)?;
+                let out = exec_smc::run_sprt(
+                    &sampler,
+                    seed,
+                    *theta,
+                    *indiff,
+                    *alpha,
+                    *beta,
+                    *max_samples,
+                    budget,
+                    deadline,
+                    parallel,
+                );
+                Ok(self.smc_report(query.kind(), seed, out))
+            }
+            Query::Robustness { smc, samples } => {
+                if *samples == 0 {
+                    return Err(Error::InvalidParameter {
+                        what: "samples",
+                        detail: "robustness needs at least one sample".into(),
+                    });
+                }
+                let sampler = self.sampler(smc)?;
+                let out =
+                    exec_smc::run_robustness(&sampler, seed, *samples, budget, deadline, parallel);
+                Ok(self.smc_report(query.kind(), seed, out))
+            }
+            Query::Falsify { spec, opts } => {
+                let ha = self.automaton("Falsify")?;
+                check_state_bounds(opts, ha.dim())?;
+                let opts = Session::apply_budget(opts, budget, deadline);
+                let verdict = falsify::falsify_reachability(ha, spec, &opts);
+                let exhausted = matches!(verdict, FalsificationOutcome::Undecided);
+                Ok(self.delta_report(query.kind(), seed, exhausted, Value::Falsify(verdict)))
+            }
+            Query::Therapy { spec, opts } => {
+                let ha = self.automaton("Therapy")?;
+                check_state_bounds(opts, ha.dim())?;
+                let opts = Session::apply_budget(opts, budget, deadline);
+                let (plan, exhausted) = therapy::synthesize_therapy_checked(ha, spec, &opts);
+                Ok(self.delta_report(query.kind(), seed, exhausted, Value::Therapy(plan)))
+            }
+            Query::Calibrate {
+                data,
+                init,
+                params,
+                state_bounds,
+                delta,
+                flow_step,
+            } => {
+                let OdeParts { cx, sys, .. } = self.ode_parts("Calibrate")?;
+                if init.len() != sys.dim() {
+                    return Err(Error::Shape {
+                        what: "initial state",
+                        expected: sys.dim(),
+                        got: init.len(),
+                    });
+                }
+                if state_bounds.len() != sys.dim() {
+                    return Err(Error::Shape {
+                        what: "state bounds",
+                        expected: sys.dim(),
+                        got: state_bounds.len(),
+                    });
+                }
+                if !(delta.is_finite() && *delta > 0.0) {
+                    return Err(Error::InvalidParameter {
+                        what: "delta",
+                        detail: format!("must be positive, got {delta}"),
+                    });
+                }
+                if !(flow_step.is_finite() && *flow_step > 0.0) {
+                    return Err(Error::InvalidParameter {
+                        what: "flow_step",
+                        detail: format!("must be positive, got {flow_step}"),
+                    });
+                }
+                if let Some(&bad) = data.observed.iter().find(|&&c| c >= sys.dim()) {
+                    return Err(Error::InvalidParameter {
+                        what: "data.observed",
+                        detail: format!("component {bad} out of range for dimension {}", sys.dim()),
+                    });
+                }
+                let problem = CalibrationProblem {
+                    cx: cx.clone(),
+                    sys: sys.clone(),
+                    init: init.clone(),
+                    params: params.clone(),
+                    state_bounds: state_bounds.clone(),
+                    delta: *delta,
+                    flow_step: *flow_step,
+                };
+                let (fit, exhausted) = calibrate::run_calibrate(&problem, data, budget, deadline);
+                Ok(self.delta_report(query.kind(), seed, exhausted, Value::Calibration(fit)))
+            }
+            Query::Stability {
+                region,
+                r_min,
+                r_max,
+            } => {
+                let OdeParts { cx, sys, .. } = self.ode_parts("Stability")?;
+                if region.len() != sys.dim() {
+                    return Err(Error::Shape {
+                        what: "region",
+                        expected: sys.dim(),
+                        got: region.len(),
+                    });
+                }
+                if !(*r_min > 0.0 && r_max > r_min) {
+                    return Err(Error::InvalidParameter {
+                        what: "r_min/r_max",
+                        detail: format!("need 0 < r_min < r_max, got {r_min}, {r_max}"),
+                    });
+                }
+                let (report, exhausted) =
+                    stability::run_stability(cx, sys, region, *r_min, *r_max, budget, deadline);
+                Ok(self.delta_report(query.kind(), seed, exhausted, Value::Stability(report)))
+            }
+        }
+    }
+}
+
+fn check_state_bounds(opts: &ReachOptions, dim: usize) -> Result<(), Error> {
+    if opts.state_bounds.len() != dim {
+        return Err(Error::Shape {
+            what: "state bounds",
+            expected: dim,
+            got: opts.state_bounds.len(),
+        });
+    }
+    Ok(())
+}
+
+fn validate_method(method: &EstimateMethod) -> Result<(), Error> {
+    match *method {
+        EstimateMethod::Fixed { n } => {
+            if n == 0 {
+                return Err(Error::InvalidParameter {
+                    what: "n",
+                    detail: "estimate needs at least one sample".into(),
+                });
+            }
+        }
+        EstimateMethod::Chernoff { eps, delta } => {
+            if !(eps > 0.0 && eps < 1.0 && delta > 0.0 && delta < 1.0) {
+                return Err(Error::InvalidParameter {
+                    what: "eps/delta",
+                    detail: format!("need eps, delta in (0, 1), got {eps}, {delta}"),
+                });
+            }
+        }
+        EstimateMethod::Bayes {
+            half_width,
+            confidence,
+            max_samples,
+        } => {
+            if !(half_width > 0.0 && half_width < 0.5) {
+                return Err(Error::InvalidParameter {
+                    what: "half_width",
+                    detail: format!("need half_width in (0, 0.5), got {half_width}"),
+                });
+            }
+            if !(confidence > 0.5 && confidence < 1.0) {
+                return Err(Error::InvalidParameter {
+                    what: "confidence",
+                    detail: format!("need confidence in (0.5, 1), got {confidence}"),
+                });
+            }
+            if max_samples == 0 {
+                return Err(Error::InvalidParameter {
+                    what: "max_samples",
+                    detail: "adaptive estimation needs a positive cap".into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builder for one query run; construct with [`Session::query`].
+#[must_use = "finish the builder with .run()"]
+pub struct QueryRun<'a> {
+    session: &'a Session,
+    query: Query,
+    seed: u64,
+    budget: Budget,
+    parallel: bool,
+}
+
+impl QueryRun<'_> {
+    /// Sets the master seed for the per-sample RNG streams (default 0).
+    /// Reports are a pure function of `(model, query, seed, budget)`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches a resource budget (default unlimited).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Forces single-threaded sampling. Results are bit-for-bit
+    /// identical to the parallel default; this exists for timing
+    /// comparisons and debugging.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Runs the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on model/query mismatches and invalid
+    /// parameters. Budget exhaustion is **not** an error: it yields
+    /// `Ok` with [`Outcome::Exhausted`] and a well-formed partial value.
+    pub fn run(self) -> Result<Report, Error> {
+        let deadline = self.budget.deadline_from(Instant::now());
+        self.session.execute(
+            &self.query,
+            self.seed,
+            &self.budget,
+            deadline,
+            self.parallel,
+        )
+    }
+}

@@ -1,0 +1,227 @@
+//! Budgets and cancellation: a budget-cancelled query returns a
+//! well-formed partial [`Report`] with `Outcome::Exhausted` — never a
+//! panic, never a corrupted value.
+
+use biocheck_bltl::Bltl;
+use biocheck_engine::{
+    Budget, CancelToken, EstimateMethod, Outcome, Query, Session, SmcSpec, Value,
+};
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_interval::Interval;
+use biocheck_ode::OdeSystem;
+use biocheck_smc::Dist;
+use std::time::Duration;
+
+fn decay_session() -> (Session, Bltl) {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("-x").unwrap();
+    let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let e = cx.parse("x - 1").unwrap();
+    let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    (Session::from_parts(cx, sys), prop)
+}
+
+fn spec(prop: &Bltl) -> SmcSpec {
+    SmcSpec {
+        init: vec![Dist::Uniform(0.5, 1.5)],
+        params: vec![],
+        property: prop.clone(),
+        t_end: 0.01,
+    }
+}
+
+#[test]
+fn sample_cap_yields_partial_estimate() {
+    let (session, prop) = decay_session();
+    let q = Query::Estimate {
+        smc: spec(&prop),
+        method: EstimateMethod::Fixed { n: 500 },
+    };
+    let capped = session
+        .query(q.clone())
+        .seed(9)
+        .budget(Budget::unlimited().with_max_samples(50))
+        .run()
+        .unwrap();
+    assert_eq!(capped.outcome, Outcome::Exhausted);
+    assert_eq!(capped.provenance.samples, 50);
+    // The partial estimate is the prefix of the full run's sample
+    // stream: p̂ over the first 50 forked-RNG samples.
+    let prefix = session
+        .query(Query::Estimate {
+            smc: spec(&prop),
+            method: EstimateMethod::Fixed { n: 50 },
+        })
+        .seed(9)
+        .run()
+        .unwrap();
+    assert_eq!(prefix.outcome, Outcome::Complete);
+    let (Value::Estimate(a), Value::Estimate(b)) = (&capped.value, &prefix.value) else {
+        panic!("estimate values expected");
+    };
+    assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits());
+}
+
+#[test]
+fn pre_cancelled_queries_return_exhausted_everywhere() {
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(token);
+
+    // SMC query.
+    let (session, prop) = decay_session();
+    let r = session
+        .query(Query::Estimate {
+            smc: spec(&prop),
+            method: EstimateMethod::Chernoff {
+                eps: 0.05,
+                delta: 0.05,
+            },
+        })
+        .budget(budget.clone())
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Exhausted);
+    assert_eq!(r.provenance.samples, 0);
+
+    // SPRT.
+    let r = session
+        .query(Query::Sprt {
+            smc: spec(&prop),
+            theta: 0.8,
+            indiff: 0.05,
+            alpha: 0.05,
+            beta: 0.05,
+            max_samples: 10_000,
+        })
+        .budget(budget.clone())
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Exhausted);
+
+    // Calibration (δ-decision side).
+    let r = session
+        .query(Query::Calibrate {
+            data: biocheck_engine::Dataset::full(vec![0.5], vec![vec![0.6]], 0.05),
+            init: vec![1.0],
+            params: vec![],
+            state_bounds: vec![Interval::new(0.0, 2.0)],
+            delta: 0.01,
+            flow_step: 0.05,
+        })
+        .budget(budget.clone())
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Exhausted);
+    assert!(matches!(r.value, Value::Calibration(None)));
+
+    // Stability.
+    let r = session
+        .query(Query::Stability {
+            region: vec![Interval::new(-0.5, 0.5)],
+            r_min: 0.1,
+            r_max: 0.4,
+        })
+        .budget(budget.clone())
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Exhausted);
+}
+
+#[test]
+fn mid_flight_cancellation_is_well_formed() {
+    // Cancel from another thread while a long SMC query runs; whichever
+    // batch boundary sees the flag first, the report must be coherent.
+    let (session, prop) = decay_session();
+    let token = CancelToken::new();
+    let budget = Budget::unlimited().with_cancel(token.clone());
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            token.cancel();
+        });
+        let r = session
+            .query(Query::Estimate {
+                smc: spec(&prop),
+                method: EstimateMethod::Fixed { n: 2_000_000 },
+            })
+            .seed(5)
+            .budget(budget)
+            .run()
+            .unwrap();
+        assert_eq!(r.outcome, Outcome::Exhausted);
+        let Value::Estimate(e) = &r.value else {
+            panic!("estimate expected")
+        };
+        assert_eq!(e.samples, r.provenance.samples);
+        assert!(e.samples < 2_000_000);
+        assert!(e.p_hat >= 0.0 && e.p_hat <= 1.0 || e.samples == 0);
+    });
+}
+
+#[test]
+fn zero_deadline_exhausts_immediately() {
+    let (session, prop) = decay_session();
+    let r = session
+        .query(Query::Robustness {
+            smc: spec(&prop),
+            samples: 100,
+        })
+        .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Exhausted);
+    assert_eq!(r.provenance.samples, 0);
+    // The empty partial value is all-zero and finite — no ±inf leaks.
+    let Value::Robustness(summary) = &r.value else {
+        panic!("robustness summary expected");
+    };
+    assert_eq!(
+        (summary.p_hat, summary.mean, summary.min),
+        (0.0, 0.0, 0.0),
+        "zero-sample summary must be all-zero"
+    );
+}
+
+#[test]
+fn paver_box_budget_caps_reachability() {
+    // A falsification question given almost no split budget comes back
+    // Undecided/Exhausted instead of looping or panicking.
+    use biocheck_bmc::{ReachOptions, ReachSpec};
+    use biocheck_hybrid::HybridAutomaton;
+    let mut ha = HybridAutomaton::parse_bha(
+        r#"
+        state x;
+        param k = [0.1, 2.0];
+        mode decay { flow: x' = -k*x; }
+        init decay: x = 1;
+        "#,
+    )
+    .unwrap();
+    let e = ha.cx.parse("0.5 - x").unwrap();
+    let spec = ReachSpec {
+        goal_mode: None,
+        goal: vec![Atom::new(e, RelOp::Ge)],
+        k_max: 0,
+        time_bound: 5.0,
+    };
+    let opts = ReachOptions {
+        state_bounds: vec![Interval::new(0.0, 2.0)],
+        ..ReachOptions::new(0.05)
+    };
+    let session = Session::from_automaton(&ha);
+    let r = session
+        .query(Query::Falsify {
+            spec: spec.clone(),
+            opts: opts.clone(),
+        })
+        .budget(Budget::unlimited().with_max_paver_boxes(1))
+        .run()
+        .unwrap();
+    // With one split the δ-search cannot decide this instance.
+    assert_eq!(r.outcome, Outcome::Exhausted, "{:?}", r.value);
+    // Unlimited budget decides it (consistent: x ≤ 0.5 is reachable).
+    let r = session.query(Query::Falsify { spec, opts }).run().unwrap();
+    assert_eq!(r.outcome, Outcome::Complete);
+}

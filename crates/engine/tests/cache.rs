@@ -1,0 +1,132 @@
+//! Cache-hit proof: the second query on a [`Session`] performs **zero**
+//! formula/RHS compilations (counter-verified), and cached-plan results
+//! are bit-identical to fresh-compile results.
+
+use biocheck_bltl::Bltl;
+use biocheck_engine::{EstimateMethod, Query, Session, SmcSpec};
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_ode::OdeSystem;
+use biocheck_smc::Dist;
+
+/// Decay from x₀ ~ U[0.5, 1.5] with two candidate properties (both
+/// parsed up front, so every node exists in the session's context):
+/// F≤0.01 (x ≥ 1) ⇒ p ≈ 0.5, and F≤0.01 (x ≥ 0.8) ⇒ p ≈ 0.7.
+fn decay_parts() -> (Context, OdeSystem, Bltl, Bltl) {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("-x").unwrap();
+    let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let e = cx.parse("x - 1").unwrap();
+    let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    let e2 = cx.parse("x - 0.8").unwrap();
+    let prop2 = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e2, RelOp::Ge)));
+    (cx, sys, prop, prop2)
+}
+
+fn smc_spec(prop: Bltl) -> SmcSpec {
+    SmcSpec {
+        init: vec![Dist::Uniform(0.5, 1.5)],
+        params: vec![],
+        property: prop,
+        t_end: 0.01,
+    }
+}
+
+fn estimate_query(prop: Bltl) -> Query {
+    Query::Estimate {
+        smc: smc_spec(prop),
+        method: EstimateMethod::Fixed { n: 120 },
+    }
+}
+
+#[test]
+fn second_query_compiles_nothing() {
+    let (cx, sys, prop, prop2) = decay_parts();
+    let session = Session::from_parts(cx, sys);
+    // Construction compiles the RHS exactly once, nothing else.
+    let s0 = session.stats();
+    assert_eq!(s0.rhs_compiles, 1);
+    assert_eq!(
+        (s0.plan_compiles, s0.sampler_builds, s0.cache_hits),
+        (0, 0, 0)
+    );
+
+    let first = session
+        .query(estimate_query(prop.clone()))
+        .seed(7)
+        .run()
+        .unwrap();
+    let s1 = session.stats();
+    assert_eq!(s1.rhs_compiles, 1, "RHS never recompiles");
+    assert_eq!(s1.plan_compiles, 1, "formula lowered once");
+    assert_eq!(s1.sampler_builds, 1);
+    assert_eq!(s1.cache_hits, 0);
+
+    let second = session
+        .query(estimate_query(prop.clone()))
+        .seed(7)
+        .run()
+        .unwrap();
+    let s2 = session.stats();
+    assert_eq!(
+        (s2.rhs_compiles, s2.plan_compiles, s2.sampler_builds),
+        (s1.rhs_compiles, s1.plan_compiles, s1.sampler_builds),
+        "second identical query must lower nothing"
+    );
+    assert_eq!(s2.cache_hits, 1, "second query is a pure cache hit");
+    assert_eq!(
+        first.fingerprint(),
+        second.fingerprint(),
+        "cached artifacts reproduce the first answer bit-for-bit"
+    );
+
+    // A *different* query over the same setup still hits the sampler
+    // cache: an SPRT on the same (init, params, property, horizon).
+    let _ = session
+        .query(Query::Sprt {
+            smc: smc_spec(prop.clone()),
+            theta: 0.8,
+            indiff: 0.05,
+            alpha: 0.05,
+            beta: 0.05,
+            max_samples: 5_000,
+        })
+        .seed(3)
+        .run()
+        .unwrap();
+    let s3 = session.stats();
+    assert_eq!(s3.plan_compiles, 1, "same formula, same plan");
+    assert_eq!(s3.sampler_builds, 1, "same setup, same sampler");
+    assert_eq!(s3.cache_hits, 2);
+
+    // A different property compiles exactly one new plan + sampler and
+    // still reuses the session's compiled RHS.
+    let _ = session.query(estimate_query(prop2)).seed(7).run().unwrap();
+    let s4 = session.stats();
+    assert_eq!(s4.rhs_compiles, 1, "RHS still compiled exactly once");
+    assert_eq!(s4.plan_compiles, 2);
+    assert_eq!(s4.sampler_builds, 2);
+}
+
+#[test]
+fn cached_results_equal_fresh_session_results() {
+    let (cx, sys, prop, _) = decay_parts();
+    let warm = Session::from_parts(cx.clone(), sys.clone());
+    // Warm the cache, then query again (cache path).
+    let _ = warm.query(estimate_query(prop.clone())).seed(11).run();
+    let cached = warm
+        .query(estimate_query(prop.clone()))
+        .seed(11)
+        .run()
+        .unwrap();
+    // Fresh session: everything compiled from scratch.
+    let cold = Session::from_parts(cx, sys);
+    let fresh = cold.query(estimate_query(prop)).seed(11).run().unwrap();
+    assert_eq!(
+        cached.fingerprint(),
+        fresh.fingerprint(),
+        "cached-plan results must be bit-identical to fresh-compile results"
+    );
+    assert_eq!(warm.stats().cache_hits, 1);
+    assert_eq!(cold.stats().cache_hits, 0);
+}

@@ -1,0 +1,206 @@
+//! The engine's budgeted speculative loop must reproduce the
+//! `biocheck_smc` free functions bit-for-bit on every method — the
+//! proof that the API redesign changed no numbers.
+
+use biocheck_bltl::Bltl;
+use biocheck_engine::{EstimateMethod, Outcome, Query, Session, SmcSpec, Value};
+use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_ode::OdeSystem;
+use biocheck_smc::{
+    par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt, Dist, TraceSampler,
+};
+
+fn decay() -> (Context, OdeSystem, Bltl) {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("-x").unwrap();
+    let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let e = cx.parse("x - 1").unwrap();
+    let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    (cx, sys, prop)
+}
+
+fn setup() -> (Session, TraceSampler, SmcSpec) {
+    let (cx, sys, prop) = decay();
+    let spec = SmcSpec {
+        init: vec![Dist::Uniform(0.5, 1.5)],
+        params: vec![],
+        property: prop.clone(),
+        t_end: 0.01,
+    };
+    let sampler = TraceSampler::new(
+        cx.clone(),
+        &sys,
+        spec.init.clone(),
+        vec![],
+        prop,
+        spec.t_end,
+    );
+    (Session::from_parts(cx, sys), sampler, spec)
+}
+
+#[test]
+fn estimate_matches_par_estimate() {
+    let (session, sampler, spec) = setup();
+    for seed in [1u64, 42, 2020] {
+        let report = session
+            .query(Query::Estimate {
+                smc: spec.clone(),
+                method: EstimateMethod::Fixed { n: 300 },
+            })
+            .seed(seed)
+            .run()
+            .unwrap();
+        assert_eq!(report.outcome, Outcome::Complete);
+        let Value::Estimate(e) = &report.value else {
+            panic!("estimate expected")
+        };
+        let reference = par_estimate(&sampler, seed, 300);
+        assert_eq!(e.p_hat.to_bits(), reference.to_bits(), "seed {seed}");
+        assert_eq!(e.samples, 300);
+    }
+}
+
+#[test]
+fn chernoff_matches_par_chernoff() {
+    let (session, sampler, spec) = setup();
+    let report = session
+        .query(Query::Estimate {
+            smc: spec,
+            method: EstimateMethod::Chernoff {
+                eps: 0.15,
+                delta: 0.2,
+            },
+        })
+        .seed(9)
+        .run()
+        .unwrap();
+    let Value::Estimate(e) = &report.value else {
+        panic!("estimate expected")
+    };
+    let reference = par_chernoff_estimate(&sampler, 9, 0.15, 0.2);
+    assert_eq!(e.p_hat.to_bits(), reference.p_hat.to_bits());
+    assert_eq!(e.samples, reference.samples);
+    assert_eq!(e.half_width, reference.half_width);
+    assert_eq!(e.confidence, reference.confidence);
+}
+
+#[test]
+fn sprt_matches_par_sprt() {
+    let (session, sampler, spec) = setup();
+    for seed in [3u64, 11] {
+        let report = session
+            .query(Query::Sprt {
+                smc: spec.clone(),
+                theta: 0.8,
+                indiff: 0.05,
+                alpha: 0.05,
+                beta: 0.05,
+                max_samples: 10_000,
+            })
+            .seed(seed)
+            .run()
+            .unwrap();
+        let Value::Sprt(r) = &report.value else {
+            panic!("sprt expected")
+        };
+        let reference = par_sprt(&sampler, seed, 0.8, 0.05, 0.05, 0.05, 10_000);
+        assert_eq!(r.outcome, reference.outcome, "seed {seed}");
+        assert_eq!(r.samples, reference.samples, "seed {seed}");
+        assert_eq!(r.p_hat.to_bits(), reference.p_hat.to_bits(), "seed {seed}");
+        assert_eq!(report.provenance.samples, reference.samples);
+    }
+}
+
+#[test]
+fn bayes_matches_par_bayes() {
+    let (session, sampler, spec) = setup();
+    for seed in [4u64, 19] {
+        let report = session
+            .query(Query::Estimate {
+                smc: spec.clone(),
+                method: EstimateMethod::Bayes {
+                    half_width: 0.08,
+                    confidence: 0.9,
+                    max_samples: 5_000,
+                },
+            })
+            .seed(seed)
+            .run()
+            .unwrap();
+        let Value::Estimate(e) = &report.value else {
+            panic!("estimate expected")
+        };
+        let reference = par_bayes_estimate(&sampler, seed, 0.08, 0.9, 5_000);
+        assert_eq!(e.p_hat.to_bits(), reference.p_hat.to_bits(), "seed {seed}");
+        assert_eq!(e.samples, reference.samples, "seed {seed}");
+    }
+}
+
+#[test]
+fn sequential_mode_matches_parallel_mode() {
+    let (session, _, spec) = setup();
+    for seed in [0u64, 77] {
+        let q = Query::Estimate {
+            smc: spec.clone(),
+            method: EstimateMethod::Fixed { n: 257 }, // not a chunk multiple
+        };
+        let par = session.query(q.clone()).seed(seed).run().unwrap();
+        let seq = session.query(q).seed(seed).sequential().run().unwrap();
+        assert_eq!(par.fingerprint(), seq.fingerprint(), "seed {seed}");
+    }
+}
+
+#[test]
+fn wrong_model_and_invalid_parameters_are_typed_errors() {
+    use biocheck_engine::Error;
+    let (session, _, spec) = setup();
+    // SMC query parameters out of range.
+    let err = session
+        .query(Query::Estimate {
+            smc: spec.clone(),
+            method: EstimateMethod::Chernoff {
+                eps: 1.5,
+                delta: 0.05,
+            },
+        })
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, Error::InvalidParameter { .. }), "{err}");
+    // Dimension mismatch.
+    let mut bad = spec.clone();
+    bad.init.push(Dist::Point(0.0));
+    let err = session
+        .query(Query::Estimate {
+            smc: bad,
+            method: EstimateMethod::Fixed { n: 10 },
+        })
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            Error::Shape {
+                expected: 1,
+                got: 2,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    // Reachability queries need an automaton session.
+    let err = session
+        .query(Query::Falsify {
+            spec: biocheck_bmc::ReachSpec {
+                goal_mode: None,
+                goal: vec![],
+                k_max: 0,
+                time_bound: 1.0,
+            },
+            opts: biocheck_bmc::ReachOptions::new(0.05),
+        })
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, Error::WrongModel { .. }), "{err}");
+    assert!(err.to_string().contains("hybrid automaton"));
+}

@@ -53,4 +53,4 @@ pub use contract::{Contractor, Outcome};
 pub use hc4::Hc4;
 pub use newton::Newton;
 pub use propagate::Propagator;
-pub use solve::{BranchAndPrune, DeltaResult, Paving, Witness};
+pub use solve::{interrupted, BranchAndPrune, DeltaResult, Paving, Witness};

@@ -7,6 +7,19 @@ use crate::propagate::Propagator;
 use biocheck_expr::{Atom, Context, EvalScratch, Program};
 use biocheck_interval::{IBox, Interval};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The shared cooperative-interrupt poll: has the cancellation flag
+/// been raised or the deadline passed? One definition serves the
+/// branch-and-prune frontier loop here, the BMC path enumeration, the
+/// dSMT theory-check loop, and (via the engine's `Budget`) every query
+/// driver — so a change to polling semantics happens in one place.
+pub fn interrupted(cancel: Option<&AtomicBool>, deadline: Option<Instant>) -> bool {
+    cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+        || deadline.is_some_and(|d| Instant::now() >= d)
+}
 
 /// Answer of the δ-decision procedure.
 ///
@@ -68,6 +81,11 @@ pub struct Paving {
     pub sat: Vec<IBox>,
     /// Boxes at resolution `ε` that could not be decided either way.
     pub undecided: Vec<IBox>,
+    /// `true` when a resource bound (split budget, cancellation flag, or
+    /// deadline) stopped refinement early; the unrefined frontier boxes
+    /// were drained into `undecided`, so the paving is still a valid
+    /// outer cover — just coarser than requested.
+    pub exhausted: bool,
 }
 
 impl Paving {
@@ -102,6 +120,17 @@ pub struct BranchAndPrune {
     /// the top of the queue and results are merged in queue order, so the
     /// answer is deterministic for a given thread-independent input.
     pub parallel_threshold: usize,
+    /// Cooperative cancellation flag, polled once per frontier round
+    /// (at most one batch of boxes between polls). When it reads `true`,
+    /// [`BranchAndPrune::solve`] returns [`DeltaResult::Unknown`] with
+    /// the surviving frontier size and [`BranchAndPrune::pave`] drains
+    /// the frontier into `undecided` — both well-formed partial answers.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled at the same points as `cancel`.
+    /// Deadlines trade determinism for latency control: whether the
+    /// budget trips depends on machine speed, so deterministic callers
+    /// should prefer split budgets or an explicit cancellation flag.
+    pub deadline: Option<Instant>,
 }
 
 /// What happened to one box of the frontier.
@@ -134,7 +163,16 @@ impl BranchAndPrune {
             max_splits: 200_000,
             propagator: Propagator::default(),
             parallel_threshold: 64,
+            cancel: None,
+            deadline: None,
         }
+    }
+
+    /// Has the cancellation flag been raised or the deadline passed?
+    /// Polled between frontier rounds — cancellation is cooperative and
+    /// takes effect at round granularity, never mid-contraction.
+    fn interrupted(&self) -> bool {
+        interrupted(self.cancel.as_deref(), self.deadline)
     }
 
     /// Disables worker threads (pure depth-first search).
@@ -268,6 +306,11 @@ impl BranchAndPrune {
         let mut splits = 0usize;
         let mut scratch = EvalScratch::new();
         while !stack.is_empty() {
+            if self.interrupted() {
+                return DeltaResult::Unknown {
+                    remaining: stack.len(),
+                };
+            }
             let steps = self.run_batch(
                 atoms,
                 &progs,
@@ -321,6 +364,13 @@ impl BranchAndPrune {
         let mut splits = 0usize;
         let mut scratch = EvalScratch::new();
         while !stack.is_empty() {
+            if self.interrupted() {
+                // Drain the unrefined frontier: the result stays a valid
+                // outer cover of the sat set, just coarser.
+                paving.undecided.append(&mut stack);
+                paving.exhausted = true;
+                break;
+            }
             // Inner test with δ = 0: every point of the box satisfies the
             // original constraints.
             let steps = self.run_batch(
@@ -346,6 +396,7 @@ impl BranchAndPrune {
                             // (their union is the unsplit box).
                             paving.undecided.push(l);
                             paving.undecided.push(r);
+                            paving.exhausted = true;
                         }
                     }
                 }
@@ -516,6 +567,35 @@ mod tests {
         let covered = paving.sat_contains(&probe)
             || paving.undecided.iter().any(|b| b.contains_point(&probe));
         assert!(covered);
+    }
+
+    #[test]
+    fn cancellation_yields_partial_answers() {
+        let mut cx = Context::new();
+        let e = cx.parse("x - 1").unwrap();
+        let atoms = vec![Atom::new(e, RelOp::Eq)];
+        let init = IBox::uniform(1, Interval::new(-5.0, 5.0));
+        let mut solver = BranchAndPrune::new(1e-3);
+        let flag = Arc::new(AtomicBool::new(true));
+        solver.cancel = Some(flag.clone());
+        // A pre-raised flag stops the search before the first round.
+        match solver.solve(&cx, &atoms, &[], &init) {
+            DeltaResult::Unknown { remaining } => assert!(remaining >= 1),
+            other => panic!("cancelled solve must be Unknown, got {other:?}"),
+        }
+        let paving = solver.pave(&cx, &atoms, &init);
+        assert!(paving.exhausted, "cancelled paving reports exhaustion");
+        assert!(paving.sat.is_empty());
+        assert_eq!(paving.undecided.len(), 1, "frontier drained undecided");
+        // Lowering the flag restores normal operation on the same solver.
+        flag.store(false, Ordering::Relaxed);
+        assert!(solver.solve(&cx, &atoms, &[], &init).is_delta_sat());
+        // An already-passed deadline behaves like a raised flag.
+        solver.deadline = Some(Instant::now());
+        assert!(matches!(
+            solver.solve(&cx, &atoms, &[], &init),
+            DeltaResult::Unknown { .. }
+        ));
     }
 
     #[test]

@@ -44,6 +44,9 @@ use biocheck_icp::{BranchAndPrune, DeltaResult};
 use biocheck_interval::{IBox, Interval};
 use biocheck_ode::OdeSystem;
 use std::collections::HashMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A synthesized Lyapunov certificate.
 #[derive(Clone, Debug)]
@@ -75,6 +78,13 @@ pub struct LyapunovSynthesizer {
     pub verify_delta: f64,
     /// Margin ε enforced at counterexamples.
     pub margin: f64,
+    /// Cooperative cancellation flag, forwarded into the synthesis and
+    /// verification δ-searches and polled between CEGIS phases. An
+    /// interrupted run returns `None` — never a certificate whose
+    /// verification search was cut short.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Wall-clock deadline, polled at the same points as `cancel`.
+    pub deadline: Option<Instant>,
     counterexamples: Vec<Vec<f64>>,
 }
 
@@ -144,8 +154,15 @@ impl LyapunovSynthesizer {
             synth_delta: 1e-3,
             verify_delta: 1e-4,
             margin: 0.05,
+            cancel: None,
+            deadline: None,
             counterexamples: Vec::new(),
         }
+    }
+
+    /// Has the cancellation flag been raised or the deadline passed?
+    fn interrupted(&self) -> bool {
+        biocheck_icp::interrupted(self.cancel.as_deref(), self.deadline)
     }
 
     /// Seeds the counterexample set (axis points and corners by default).
@@ -201,6 +218,8 @@ impl LyapunovSynthesizer {
         }
         let mut bp = BranchAndPrune::new(self.synth_delta);
         bp.max_splits = 50_000;
+        bp.cancel = self.cancel.clone();
+        bp.deadline = self.deadline;
         match bp.solve(&self.cx, &atoms, &[], &init) {
             DeltaResult::DeltaSat(w) => {
                 Some(self.coeff_vars.iter().map(|c| w.point[c.index()]).collect())
@@ -242,6 +261,8 @@ impl LyapunovSynthesizer {
                     let atom = Atom::new(expr, op);
                     let mut bp = BranchAndPrune::new(self.verify_delta);
                     bp.max_splits = 50_000;
+                    bp.cancel = self.cancel.clone();
+                    bp.deadline = self.deadline;
                     if let DeltaResult::DeltaSat(w) = bp.solve(&self.cx, &[atom], &[], &init) {
                         return Some(self.states.iter().map(|s| w.point[s.index()]).collect());
                     }
@@ -259,9 +280,18 @@ impl LyapunovSynthesizer {
     pub fn run(&mut self, max_iters: usize) -> Option<LyapunovResult> {
         self.seed_counterexamples();
         for it in 1..=max_iters {
+            if self.interrupted() {
+                return None;
+            }
             let coeffs = self.synthesize()?;
             match self.verify(&coeffs) {
                 None => {
+                    // A verification search cut short by cancellation
+                    // returns no counterexample without having proven
+                    // anything — never certify in that case.
+                    if self.interrupted() {
+                        return None;
+                    }
                     return Some(LyapunovResult {
                         v_text: self.render(&coeffs),
                         coeffs,

@@ -22,6 +22,90 @@ pub struct SprtResult {
     pub p_hat: f64,
 }
 
+/// Resumable Wald SPRT: the log-likelihood-ratio accumulator behind
+/// [`sprt`], exposed so drivers that interleave sample generation with
+/// budget checks (the engine's speculative batch loop) can push samples
+/// one at a time and stop between batches. Pushing the same sample
+/// sequence reproduces [`sprt`] bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct SprtState {
+    llr: f64,
+    hits: usize,
+    n: usize,
+    accept_h1: f64,
+    accept_h0: f64,
+    l_pos: f64,
+    l_neg: f64,
+}
+
+impl SprtState {
+    /// Creates an accumulator for `H₀: p ≥ θ+δ` vs `H₁: p ≤ θ−δ` at
+    /// error levels (α, β).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate arguments (`θ ± δ` outside `(0,1)`,
+    /// non-positive error levels).
+    pub fn new(theta: f64, indiff: f64, alpha: f64, beta: f64) -> SprtState {
+        let p0 = theta + indiff; // boundary of H0
+        let p1 = theta - indiff; // boundary of H1
+        assert!(
+            p1 > 0.0 && p0 < 1.0,
+            "theta ± indiff must stay inside (0, 1)"
+        );
+        assert!(alpha > 0.0 && beta > 0.0, "error levels must be positive");
+        SprtState {
+            llr: 0.0,
+            hits: 0,
+            n: 0,
+            accept_h1: ((1.0 - beta) / alpha).ln(),
+            accept_h0: (beta / (1.0 - alpha)).ln(),
+            // Contribution of a success to log LR(H1/H0).
+            l_pos: (p1 / p0).ln(),
+            l_neg: ((1.0 - p1) / (1.0 - p0)).ln(),
+        }
+    }
+
+    /// Feeds one Bernoulli sample; returns the verdict once a decision
+    /// boundary is crossed, `None` while the test is still running.
+    pub fn push(&mut self, sample: bool) -> Option<SprtOutcome> {
+        self.n += 1;
+        if sample {
+            self.hits += 1;
+            self.llr += self.l_pos;
+        } else {
+            self.llr += self.l_neg;
+        }
+        if self.llr >= self.accept_h1 {
+            return Some(SprtOutcome::AcceptH1);
+        }
+        if self.llr <= self.accept_h0 {
+            return Some(SprtOutcome::AcceptH0);
+        }
+        None
+    }
+
+    /// Samples consumed so far.
+    pub fn samples(&self) -> usize {
+        self.n
+    }
+
+    /// Packages the result with the given outcome (the decision from
+    /// [`SprtState::push`], or [`SprtOutcome::Inconclusive`] when the
+    /// caller's budget ran out first).
+    pub fn result(&self, outcome: SprtOutcome) -> SprtResult {
+        SprtResult {
+            outcome,
+            samples: self.n,
+            p_hat: if self.n == 0 {
+                0.0
+            } else {
+                self.hits as f64 / self.n as f64
+            },
+        }
+    }
+}
+
 /// Wald's SPRT for `H₀: p ≥ θ+δ` vs `H₁: p ≤ θ−δ` with type-I/II error
 /// bounds `alpha`/`beta` and indifference half-width `indiff`.
 ///
@@ -37,47 +121,13 @@ pub fn sprt<F: FnMut() -> bool>(
     beta: f64,
     max_samples: usize,
 ) -> SprtResult {
-    let p0 = theta + indiff; // boundary of H0
-    let p1 = theta - indiff; // boundary of H1
-    assert!(
-        p1 > 0.0 && p0 < 1.0,
-        "theta ± indiff must stay inside (0, 1)"
-    );
-    assert!(alpha > 0.0 && beta > 0.0, "error levels must be positive");
-    let accept_h1 = ((1.0 - beta) / alpha).ln();
-    let accept_h0 = (beta / (1.0 - alpha)).ln();
-    let l_pos = (p1 / p0).ln(); // contribution of a success to log LR(H1/H0)
-    let l_neg = ((1.0 - p1) / (1.0 - p0)).ln();
-    let mut llr = 0.0;
-    let mut hits = 0usize;
-    for n in 1..=max_samples {
-        let x = sample();
-        if x {
-            hits += 1;
-            llr += l_pos;
-        } else {
-            llr += l_neg;
-        }
-        if llr >= accept_h1 {
-            return SprtResult {
-                outcome: SprtOutcome::AcceptH1,
-                samples: n,
-                p_hat: hits as f64 / n as f64,
-            };
-        }
-        if llr <= accept_h0 {
-            return SprtResult {
-                outcome: SprtOutcome::AcceptH0,
-                samples: n,
-                p_hat: hits as f64 / n as f64,
-            };
+    let mut state = SprtState::new(theta, indiff, alpha, beta);
+    for _ in 0..max_samples {
+        if let Some(outcome) = state.push(sample()) {
+            return state.result(outcome);
         }
     }
-    SprtResult {
-        outcome: SprtOutcome::Inconclusive,
-        samples: max_samples,
-        p_hat: hits as f64 / max_samples as f64,
-    }
+    state.result(SprtOutcome::Inconclusive)
 }
 
 /// A probability estimate with its guarantee parameters.
@@ -127,6 +177,90 @@ pub fn chernoff_estimate<F: FnMut() -> bool>(mut sample: F, eps: f64, delta: f64
     }
 }
 
+/// Resumable Bayesian estimation with a `Beta(1, 1)` prior: the
+/// posterior accumulator behind [`bayes_estimate`], exposed so budgeted
+/// drivers can push samples between cancellation checks. Pushing the
+/// same sample sequence reproduces [`bayes_estimate`] bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct BayesState {
+    a: f64, // successes + 1
+    b: f64, // failures + 1
+    n: usize,
+    z: f64,
+    half_width: f64,
+    confidence: f64,
+}
+
+impl BayesState {
+    /// Creates an accumulator stopping once the (normal-approximated)
+    /// credible interval at `confidence` is narrower than
+    /// `2·half_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range arguments.
+    pub fn new(half_width: f64, confidence: f64) -> BayesState {
+        assert!(
+            half_width > 0.0 && half_width < 0.5,
+            "half_width in (0, 0.5)"
+        );
+        assert!(
+            confidence > 0.5 && confidence < 1.0,
+            "confidence in (0.5, 1)"
+        );
+        BayesState {
+            a: 1.0,
+            b: 1.0,
+            n: 0,
+            // Two-sided z for the requested coverage (rational
+            // approximation of the probit function).
+            z: probit(0.5 + confidence / 2.0),
+            half_width,
+            confidence,
+        }
+    }
+
+    /// Feeds one Bernoulli sample; returns the estimate once the
+    /// credible interval is narrow enough, `None` while undecided.
+    pub fn push(&mut self, sample: bool) -> Option<Estimate> {
+        if sample {
+            self.a += 1.0;
+        } else {
+            self.b += 1.0;
+        }
+        self.n += 1;
+        let mean = self.a / (self.a + self.b);
+        let var =
+            self.a * self.b / ((self.a + self.b) * (self.a + self.b) * (self.a + self.b + 1.0));
+        if self.n >= 16 && self.z * var.sqrt() <= self.half_width {
+            Some(Estimate {
+                p_hat: mean,
+                samples: self.n,
+                half_width: self.half_width,
+                confidence: self.confidence,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Samples consumed so far.
+    pub fn samples(&self) -> usize {
+        self.n
+    }
+
+    /// The posterior-mean estimate at the current sample count (used
+    /// when the caller's budget runs out before the interval closes).
+    pub fn finish(&self) -> Estimate {
+        Estimate {
+            p_hat: self.a / (self.a + self.b),
+            samples: self.n,
+            half_width: self.half_width,
+            confidence: self.confidence,
+        }
+    }
+}
+
 /// Bayesian estimation with a `Beta(1, 1)` prior: samples until the
 /// (normal-approximated) credible interval at `confidence` is narrower
 /// than `2·half_width`, or the budget runs out.
@@ -140,44 +274,13 @@ pub fn bayes_estimate<F: FnMut() -> bool>(
     confidence: f64,
     max_samples: usize,
 ) -> Estimate {
-    assert!(
-        half_width > 0.0 && half_width < 0.5,
-        "half_width in (0, 0.5)"
-    );
-    assert!(
-        confidence > 0.5 && confidence < 1.0,
-        "confidence in (0.5, 1)"
-    );
-    // Two-sided z for the requested coverage (rational approximation of
-    // the probit function, Beasley–Springer–Moro style coefficients).
-    let z = probit(0.5 + confidence / 2.0);
-    let mut a = 1.0f64; // successes + 1
-    let mut b = 1.0f64; // failures + 1
-    let mut n = 0usize;
-    while n < max_samples {
-        if sample() {
-            a += 1.0;
-        } else {
-            b += 1.0;
-        }
-        n += 1;
-        let mean = a / (a + b);
-        let var = a * b / ((a + b) * (a + b) * (a + b + 1.0));
-        if n >= 16 && z * var.sqrt() <= half_width {
-            return Estimate {
-                p_hat: mean,
-                samples: n,
-                half_width,
-                confidence,
-            };
+    let mut state = BayesState::new(half_width, confidence);
+    while state.samples() < max_samples {
+        if let Some(estimate) = state.push(sample()) {
+            return estimate;
         }
     }
-    Estimate {
-        p_hat: a / (a + b),
-        samples: n,
-        half_width,
-        confidence,
-    }
+    state.finish()
 }
 
 /// Inverse standard-normal CDF (Acklam's rational approximation; absolute
@@ -291,6 +394,39 @@ mod tests {
         // Tighter width needs more samples.
         let e2 = bayes_estimate(bernoulli(0.6, 5), 0.01, 0.95, 100_000);
         assert!(e2.samples > e.samples);
+    }
+
+    /// The push-based state machines must reproduce the closure-driven
+    /// functions bit-for-bit on the same sample sequence — they are what
+    /// the engine's budgeted batch loops drive.
+    #[test]
+    fn resumable_states_match_closure_drivers() {
+        for (p, seed) in [(0.5, 1u64), (0.9, 2), (0.2, 3)] {
+            // SPRT.
+            let reference = sprt(bernoulli(p, seed), 0.8, 0.05, 0.01, 0.01, 5_000);
+            let mut draw = bernoulli(p, seed);
+            let mut st = SprtState::new(0.8, 0.05, 0.01, 0.01);
+            let mut decided = None;
+            while decided.is_none() && st.samples() < 5_000 {
+                decided = st.push(draw());
+            }
+            let replay = st.result(decided.unwrap_or(SprtOutcome::Inconclusive));
+            assert_eq!(replay.outcome, reference.outcome);
+            assert_eq!(replay.samples, reference.samples);
+            assert_eq!(replay.p_hat.to_bits(), reference.p_hat.to_bits());
+
+            // Bayes.
+            let reference = bayes_estimate(bernoulli(p, seed), 0.05, 0.95, 5_000);
+            let mut draw = bernoulli(p, seed);
+            let mut st = BayesState::new(0.05, 0.95);
+            let mut done = None;
+            while done.is_none() && st.samples() < 5_000 {
+                done = st.push(draw());
+            }
+            let replay = done.unwrap_or_else(|| st.finish());
+            assert_eq!(replay.samples, reference.samples);
+            assert_eq!(replay.p_hat.to_bits(), reference.p_hat.to_bits());
+        }
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! * [`SmcFit`] — SMC-driven parameter estimation: simulated-annealing
 //!   search scored by satisfaction probability (or mean robustness), the
 //!   strategy of the paper's SMC calibration line of work.
+//!
+//! The free functions here are the low-level deterministic primitives.
+//! Application code should prefer the `biocheck_engine` crate's
+//! `Session`/`Query` front-end, which caches compiled artifacts across
+//! queries and adds budgets and cooperative cancellation on top of the
+//! same primitives.
 
 mod estimate;
 mod fit;
@@ -34,12 +40,12 @@ mod parallel;
 mod sampler;
 
 pub use estimate::{
-    bayes_estimate, chernoff_estimate, chernoff_sample_size, sprt, Estimate, SprtOutcome,
-    SprtResult,
+    bayes_estimate, chernoff_estimate, chernoff_sample_size, sprt, BayesState, Estimate,
+    SprtOutcome, SprtResult, SprtState,
 };
 pub use fit::{FitResult, SmcFit};
 pub use parallel::{
-    fork_rng, par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt,
+    fork_rng, fork_seed, par_bayes_estimate, par_chernoff_estimate, par_estimate, par_sprt,
     seq_bayes_estimate, seq_chernoff_estimate, seq_estimate, seq_sprt,
 };
 pub use sampler::{Dist, SampleScratch, SampleStats, TraceSampler};

@@ -18,6 +18,11 @@
 //! decision rule in index order, so the verdict and the reported sample
 //! count match the sequential run exactly (at the cost of up to one
 //! discarded batch of speculative samples).
+//!
+//! These free functions have no notion of budgets or cancellation; the
+//! `biocheck_engine` crate's `Session` API drives the same per-index
+//! streams through a budget-aware speculative loop and should be
+//! preferred by application code.
 
 use crate::estimate::{bayes_estimate, sprt, Estimate, SprtResult};
 use crate::sampler::TraceSampler;
@@ -25,13 +30,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
-/// The per-sample generator: a SplitMix64-style mix of the master seed
-/// and the sample index seeds an independent [`StdRng`].
-pub fn fork_rng(master_seed: u64, index: u64) -> StdRng {
+/// The per-index seed fork: a SplitMix64-style mix of a master seed and
+/// an index. Shared by [`fork_rng`] (per-sample streams) and the engine
+/// crate's `run_batch` (per-query streams), so both levels of forking
+/// use the same well-mixed generator.
+pub fn fork_seed(master_seed: u64, index: u64) -> u64 {
     let mut z = master_seed ^ index.wrapping_mul(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+    z ^ (z >> 31)
+}
+
+/// The per-sample generator: [`fork_seed`] of the master seed and the
+/// sample index seeds an independent [`StdRng`].
+pub fn fork_rng(master_seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(fork_seed(master_seed, index))
 }
 
 /// Draws samples `base..base + n` of the seeded stream in parallel.

@@ -147,11 +147,38 @@ impl TraceSampler {
         property: Bltl,
         t_end: f64,
     ) -> TraceSampler {
-        assert_eq!(init.len(), sys.dim(), "one init distribution per state");
+        let ode = sys.compile(&cx);
+        let plan = CompiledBltl::compile(&cx, &sys.states, &property);
+        TraceSampler::from_artifacts(cx, ode, plan, init, params, property, t_end)
+    }
+
+    /// Assembles a sampler from **precompiled** artifacts: a compiled
+    /// RHS and a compiled streaming-monitor plan. Performs no lowering
+    /// of any kind — this is the constructor behind the engine crate's
+    /// per-session artifact cache, where the RHS is compiled once per
+    /// model and each formula's plan once per session, then shared
+    /// across every query that reuses them.
+    ///
+    /// `property` must be the formula `plan` was compiled from (it backs
+    /// [`TraceSampler::sample_offline`], the reference path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `init` does not match the system dimension.
+    pub fn from_artifacts(
+        cx: Context,
+        ode: CompiledOde,
+        plan: CompiledBltl,
+        init: Vec<Dist>,
+        params: Vec<(VarId, Dist)>,
+        property: Bltl,
+        t_end: f64,
+    ) -> TraceSampler {
+        assert_eq!(init.len(), ode.dim(), "one init distribution per state");
         TraceSampler {
-            ode: sys.compile(&cx),
-            states: sys.states.clone(),
-            plan: CompiledBltl::compile(&cx, &sys.states, &property),
+            states: ode.states().to_vec(),
+            ode,
+            plan,
             cx,
             init,
             params,
@@ -159,11 +186,6 @@ impl TraceSampler {
             t_end,
             integrator: DormandPrince::with_tolerances(1e-6, 1e-8),
         }
-    }
-
-    /// The property being monitored.
-    pub fn property(&self) -> &Bltl {
-        &self.property
     }
 
     /// A workspace for [`TraceSampler::sample_with`] and friends; hold

@@ -1,16 +1,19 @@
-//! Sec. IV-A: model falsification for cardiac action potentials.
+//! Sec. IV-A: model falsification for cardiac action potentials,
+//! through the engine's `Query::Falsify`.
 //!
 //! The Fenton–Karma model cannot reproduce the epicardial
 //! "spike-and-dome" morphology: after the upstroke (u ≥ 0.9) the
 //! potential never dips into a notch band (u ≤ 0.55) and rises again to
-//! a dome (u ≥ 0.7). We state the notch→dome sequence as a two-jump
-//! reachability question on an observer automaton and get `unsat`; the
-//! simpler "fire and repolarize" behavior is δ-sat, so the model itself
-//! is fine — it is the *hypothesis* (FK shows a dome) that is rejected.
+//! a dome (u ≥ 0.7). We state the notch→dome sequence as a reachability
+//! question on an observer automaton and get `Falsified`; the simpler
+//! "fire and repolarize" behavior is consistent (δ-sat), so the model
+//! itself is fine — it is the *hypothesis* (FK shows a dome) that is
+//! rejected.
 //!
 //! Run with `cargo run --release --example cardiac_falsification`.
 
-use biocheck::bmc::{check_reach, ReachOptions, ReachSpec};
+use biocheck::bmc::{ReachOptions, ReachSpec};
+use biocheck::engine::{FalsificationOutcome, Query, Session, Value};
 use biocheck::expr::{Atom, RelOp};
 use biocheck::interval::Interval;
 use biocheck::models::cardiac;
@@ -18,6 +21,14 @@ use biocheck::models::cardiac;
 fn main() {
     let fk = cardiac::fenton_karma();
     let mut ha = cardiac::with_stimulus(&fk, 0.3, 2.0);
+    // Parse all goal atoms in the automaton's context *before* the
+    // session clones it.
+    let fire = ha.cx.parse("u - 0.9").unwrap();
+    let dome_u = ha.cx.parse("u - 0.7").unwrap();
+    let dome_v = ha.cx.parse("v - 0.9").unwrap();
+    let clock_late = ha.cx.parse("c - 10").unwrap(); // past the upstroke
+    let session = Session::from_automaton(&ha);
+
     let bounds = vec![
         Interval::new(-0.2, 1.6),  // u
         Interval::new(0.0, 1.0),   // v
@@ -31,39 +42,64 @@ fn main() {
         ..ReachOptions::new(0.05)
     };
 
-    // Behavior 1 (sanity, δ-sat expected): the AP fires: u ≥ 0.9.
-    let mut spec = ReachSpec {
-        goal_mode: None,
-        goal: vec![],
-        k_max: 1,
-        time_bound: 60.0,
+    // Behavior 1 (sanity, consistency expected): the AP fires: u ≥ 0.9.
+    let report = session
+        .query(Query::Falsify {
+            spec: ReachSpec {
+                goal_mode: None,
+                goal: vec![Atom::new(fire, RelOp::Ge)],
+                k_max: 1,
+                time_bound: 60.0,
+            },
+            opts: opts.clone(),
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Falsify(verdict) = &report.value else {
+        panic!("falsification verdict expected");
     };
-    let fire = ha.cx.parse("u - 0.9").unwrap();
-    spec.goal = vec![Atom::new(fire, RelOp::Ge)];
-    let r = check_reach(&ha, &spec, &opts);
-    println!("FK fires an AP (u ≥ 0.9): δ-sat = {}", r.is_delta_sat());
-
-    // Behavior 2 (falsification, unsat expected): a dome *while the fast
-    // gate is still closed* — u ≥ 0.7 with v ≥ 0.9 simultaneously after
-    // depolarization. In FK the fast gate v closes during the plateau and
-    // cannot recover before repolarization, so this is unreachable.
-    let dome_u = ha.cx.parse("u - 0.7").unwrap();
-    let dome_v = ha.cx.parse("v - 0.9").unwrap();
-    let clock_late = ha.cx.parse("c - 10").unwrap(); // past the upstroke
-    let spec2 = ReachSpec {
-        goal_mode: Some(1), // rest mode (post-stimulus)
-        goal: vec![
-            Atom::new(dome_u, RelOp::Ge),
-            Atom::new(dome_v, RelOp::Ge),
-            Atom::new(clock_late, RelOp::Ge),
-        ],
-        k_max: 1,
-        time_bound: 60.0,
-    };
-    let r2 = check_reach(&ha, &spec2, &opts);
     println!(
-        "FK spike-and-dome surrogate (late u ≥ 0.7 ∧ v ≥ 0.9): unsat = {}",
-        r2.is_unsat()
+        "FK fires an AP (u ≥ 0.9): consistent = {}",
+        matches!(verdict, FalsificationOutcome::Consistent(_))
     );
-    println!("⇒ hypothesis rejected exactly as in the paper's Sec. IV-A.");
+
+    // Behavior 2 (falsification expected): a dome *while the fast gate
+    // is still closed* — u ≥ 0.7 with v ≥ 0.9 simultaneously after
+    // depolarization. In FK the fast gate v closes during the plateau
+    // and cannot recover before repolarization: unreachable.
+    let report = session
+        .query(Query::Falsify {
+            spec: ReachSpec {
+                goal_mode: Some(1), // rest mode (post-stimulus)
+                goal: vec![
+                    Atom::new(dome_u, RelOp::Ge),
+                    Atom::new(dome_v, RelOp::Ge),
+                    Atom::new(clock_late, RelOp::Ge),
+                ],
+                k_max: 1,
+                time_bound: 60.0,
+            },
+            opts,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Falsify(verdict) = &report.value else {
+        panic!("falsification verdict expected");
+    };
+    match verdict {
+        FalsificationOutcome::Falsified => println!(
+            "FK spike-and-dome surrogate (late u ≥ 0.7 ∧ v ≥ 0.9): unsat \
+             ⇒ hypothesis rejected exactly as in the paper's Sec. IV-A."
+        ),
+        FalsificationOutcome::Undecided => println!(
+            "FK spike-and-dome surrogate: undecided at this split budget ({:?}) — \
+             no witness found; raise Budget::with_max_paver_boxes to push the \
+             refutation through the stiff AP upstroke.",
+            report.outcome
+        ),
+        FalsificationOutcome::Consistent(w) => println!(
+            "FK spike-and-dome surrogate: reachable?! (witness {:?})",
+            w.params
+        ),
+    }
 }

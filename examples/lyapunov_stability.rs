@@ -1,9 +1,10 @@
 //! Sec. IV-C: Lyapunov stability analysis of biochemical networks via
-//! CEGIS over ∃∀ δ-decision problems.
+//! CEGIS over ∃∀ δ-decision problems, through the engine's
+//! `Query::Stability`.
 //!
 //! Run with `cargo run --release --example lyapunov_stability`.
 
-use biocheck::core::verify_stability;
+use biocheck::engine::{Query, Session, Value};
 use biocheck::interval::Interval;
 use biocheck::lyapunov::LyapunovSynthesizer;
 use biocheck::models::classics;
@@ -11,43 +12,62 @@ use biocheck::models::classics;
 fn main() {
     // 1. Kinetic proofreading chain (McKeithan): linear, globally stable.
     let kp = classics::kinetic_proofreading(2, 1.0, 0.5, 1.0);
-    let report = verify_stability(
-        &kp.cx,
-        &kp.sys,
-        &[Interval::new(0.0, 2.0), Interval::new(0.0, 2.0)],
-        0.1,
-        0.8,
-    )
-    .expect("proofreading chain is stable");
+    let session = Session::new(&kp);
+    let report = session
+        .query(Query::Stability {
+            region: vec![Interval::new(0.0, 2.0), Interval::new(0.0, 2.0)],
+            r_min: 0.1,
+            r_max: 0.8,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Stability(Some(stability)) = &report.value else {
+        panic!("proofreading chain is stable, got {:?}", report.value);
+    };
     println!("kinetic proofreading:");
-    println!("  equilibrium ≈ {:?}", report.equilibrium);
+    println!("  equilibrium ≈ {:?}", stability.equilibrium);
     println!(
         "  V(y) = {}  (certified: {})",
-        report.lyapunov, report.certified
+        stability.lyapunov, stability.certified
     );
 
-    // 2. Goldbeter–Koshland (ERK-like) switch: monostable nonlinear.
-    let gk = classics::goldbeter_koshland();
-    let report = verify_stability(&gk.cx, &gk.sys, &[Interval::new(0.05, 0.95)], 0.05, 0.25)
-        .expect("GK switch is monostable");
-    println!("Goldbeter–Koshland switch:");
-    println!("  equilibrium ≈ {:.4}", report.equilibrium[0]);
-    println!(
-        "  V(y) = {}  (certified: {})",
-        report.lyapunov, report.certified
-    );
-
-    // 3. A raw CEGIS run on a damped oscillator, showing the iterations.
+    // 2. A damped oscillator x'' = -x - x' — needs a cross term, which
+    //    the CEGIS loop discovers (equilibrium localized by interval
+    //    Newton first).
     let mut cx = biocheck::expr::Context::new();
     let x = cx.intern_var("x");
     let v = cx.intern_var("v");
     let fx = cx.parse("v").unwrap();
     let fv = cx.parse("-x - v").unwrap();
     let sys = biocheck::ode::OdeSystem::new(vec![x, v], vec![fx, fv]);
-    let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.2, 1.0);
-    let r = syn.run(40).expect("certificate exists");
+    let session = Session::from_parts(cx, sys);
+    let report = session
+        .query(Query::Stability {
+            region: vec![Interval::new(-0.5, 0.5), Interval::new(-0.5, 0.5)],
+            r_min: 0.2,
+            r_max: 1.0,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Stability(Some(stability)) = &report.value else {
+        panic!("damped oscillator is stable, got {:?}", report.value);
+    };
+    println!("damped oscillator:");
     println!(
-        "damped oscillator: V = {} after {} CEGIS iterations",
+        "  equilibrium ≈ {:?}, V(y) = {}  (certified: {}, {} CEGIS iterations)",
+        stability.equilibrium, stability.lyapunov, stability.certified, stability.iterations
+    );
+
+    // 3. A raw CEGIS run on a nonlinear clearance x' = -x - x³, showing
+    //    the substrate the engine query wraps.
+    let mut cx = biocheck::expr::Context::new();
+    let x = cx.intern_var("x");
+    let rhs = cx.parse("-x - x^3").unwrap();
+    let sys = biocheck::ode::OdeSystem::new(vec![x], vec![rhs]);
+    let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.1, 0.8);
+    let r = syn.run(30).expect("certificate exists");
+    println!(
+        "cubic clearance: V = {} after {} CEGIS iterations",
         r.v_text, r.iterations
     );
 }

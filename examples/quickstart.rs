@@ -1,20 +1,22 @@
-//! Quickstart: the full Fig. 2 workflow on a small model.
+//! Quickstart: the full Fig. 2 workflow on a small model, driven
+//! end-to-end through the unified analysis engine.
 //!
-//! 1. Build an ODE model with an unknown parameter.
-//! 2. Calibrate it against (synthetic) data with δ-decisions (BioPSy).
-//! 3. Validate a BLTL property by statistical model checking.
-//! 4. Certify stability with a synthesized Lyapunov function.
+//! 1. Build an ODE model with an unknown parameter and open a
+//!    [`Session`] over it (the model compiles once, here).
+//! 2. Calibrate it against (synthetic) data — `Query::Calibrate`.
+//! 3. Validate a BLTL property by statistical model checking —
+//!    `Query::Sprt`.
+//! 4. Certify stability with a synthesized Lyapunov function —
+//!    `Query::Stability` (on a session over the calibrated model).
 //!
 //! Run with `cargo run --example quickstart`.
 
 use biocheck::bltl::Bltl;
-use biocheck::core::{synthesize_parameters, verify_stability, CalibrationProblem, Dataset};
+use biocheck::engine::{Outcome, Query, Session, SmcSpec, Value};
 use biocheck::expr::{Atom, Context, RelOp};
 use biocheck::interval::Interval;
 use biocheck::ode::OdeSystem;
-use biocheck::smc::{sprt, Dist, SprtOutcome, TraceSampler};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use biocheck::smc::{Dist, SprtOutcome};
 
 fn main() {
     // ── 1. Model: protein decay x' = -k·x with unknown k ∈ [0.2, 3].
@@ -22,54 +24,91 @@ fn main() {
     let x = cx.intern_var("x");
     let k = cx.intern_var("k");
     let rhs = cx.parse("-k*x").unwrap();
+    // Parse everything the later queries monitor *before* the session
+    // clones the context.
+    let threshold = cx.parse("0.1 - x").unwrap();
     let sys = OdeSystem::new(vec![x], vec![rhs]);
+    let session = Session::from_parts(cx.clone(), sys.clone());
     println!("model: x' = -k*x, k ∈ [0.2, 3.0], x(0) = 1");
 
     // ── 2. Calibrate: synthetic observations from ground truth k = 1.
     let times = vec![0.5, 1.0];
     let values: Vec<Vec<f64>> = times.iter().map(|&t: &f64| vec![(-t).exp()]).collect();
-    let data = Dataset::full(times, values, 0.02);
-    let problem = CalibrationProblem {
-        cx: cx.clone(),
-        sys: sys.clone(),
-        init: vec![1.0],
-        params: vec![(k, Interval::new(0.2, 3.0))],
-        state_bounds: vec![Interval::new(0.0, 2.0)],
-        delta: 0.01,
-        flow_step: 0.05,
+    let report = session
+        .query(Query::Calibrate {
+            data: biocheck::engine::Dataset::full(times, values, 0.02),
+            init: vec![1.0],
+            params: vec![(k, Interval::new(0.2, 3.0))],
+            state_bounds: vec![Interval::new(0.0, 2.0)],
+            delta: 0.01,
+            flow_step: 0.05,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Calibration(Some(fit)) = &report.value else {
+        panic!("calibratable model, got {:?}", report.value);
     };
-    let (boxes, point) = synthesize_parameters(&problem, &data).expect("calibratable");
-    println!("calibrated: k ∈ {} (witness k = {:.3})", boxes[0], point[0]);
-
-    // ── 3. Validate with SMC: F≤5 (x ≤ 0.1) for x(0) ~ U[0.8, 1.2].
-    let thr = cx.parse("0.1 - x").unwrap();
-    let prop = Bltl::eventually(5.0, Bltl::Prop(Atom::new(thr, RelOp::Ge)));
-    let sampler = TraceSampler::new(
-        cx.clone(),
-        &sys,
-        vec![Dist::Uniform(0.8, 1.2)],
-        vec![(k, Dist::Point(point[0]))],
-        prop,
-        5.0,
-    );
-    let mut rng = StdRng::seed_from_u64(7);
-    let result = sprt(|| sampler.sample(&mut rng), 0.9, 0.05, 0.01, 0.01, 100_000);
     println!(
-        "SMC validation: {:?} after {} samples (p̂ = {:.3})",
-        result.outcome, result.samples, result.p_hat
+        "calibrated: k ∈ {} (witness k = {:.3})",
+        fit.param_box[0], fit.witness[0]
+    );
+    let k_point = fit.witness[0];
+
+    // ── 3. Validate with SMC: F≤5 (x ≤ 0.1) for x(0) ~ U[0.8, 1.2],
+    //       SPRT for P ≥ 0.9 at the calibrated parameter point.
+    let prop = Bltl::eventually(5.0, Bltl::Prop(Atom::new(threshold, RelOp::Ge)));
+    let report = session
+        .query(Query::Sprt {
+            smc: SmcSpec {
+                init: vec![Dist::Uniform(0.8, 1.2)],
+                params: vec![(k, Dist::Point(k_point))],
+                property: prop,
+                t_end: 5.0,
+            },
+            theta: 0.9,
+            indiff: 0.05,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 100_000,
+        })
+        .seed(7)
+        .run()
+        .expect("well-formed query");
+    let Value::Sprt(result) = &report.value else {
+        panic!("SPRT value expected");
+    };
+    println!(
+        "SMC validation: {:?} after {} samples (p̂ = {:.3}, {:.0}% early-stopped, {:?})",
+        result.outcome,
+        result.samples,
+        result.p_hat,
+        100.0 * report.provenance.early_stop_rate,
+        report.outcome,
     );
     assert_eq!(result.outcome, SprtOutcome::AcceptH0);
+    assert_eq!(report.outcome, Outcome::Complete);
 
-    // ── 4. Stability: certify the equilibrium with a Lyapunov function.
-    let mut env_cx = cx.clone();
-    let fixed_k = env_cx.constant(point[0]);
+    // ── 4. Stability: certify the equilibrium of the calibrated model
+    //       with a Lyapunov function (new session: new model).
+    let mut env_cx = cx;
+    let fixed_k = env_cx.constant(k_point);
     let rhs_fixed = env_cx.subst(sys.rhs[0], &std::collections::HashMap::from([(k, fixed_k)]));
     let fixed_sys = OdeSystem::new(vec![x], vec![rhs_fixed]);
-    let report = verify_stability(&env_cx, &fixed_sys, &[Interval::new(-0.5, 0.5)], 0.1, 0.5)
-        .expect("globally stable");
+    let calibrated = Session::from_parts(env_cx, fixed_sys);
+    let report = calibrated
+        .query(Query::Stability {
+            region: vec![Interval::new(-0.5, 0.5)],
+            r_min: 0.1,
+            r_max: 0.5,
+        })
+        .run()
+        .expect("well-formed query");
+    let Value::Stability(Some(stability)) = &report.value else {
+        panic!("globally stable, got {:?}", report.value);
+    };
     println!(
         "stability: equilibrium at {:.4}, certified = {}, V = {}",
-        report.equilibrium[0], report.certified, report.lyapunov
+        stability.equilibrium[0], stability.certified, stability.lyapunov
     );
     println!("\nworkflow complete: calibrated → validated → certified.");
 }

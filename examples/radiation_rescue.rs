@@ -1,11 +1,12 @@
 //! Sec. IV-B / Fig. 3: therapy synthesis on the TBI multi-mode
-//! cell-death automaton — which drugs, in which order, triggered at
-//! which molecular signatures, keep the cell alive?
+//! cell-death automaton through the engine's `Query::Therapy` — which
+//! drugs, in which order, triggered at which molecular signatures, keep
+//! the cell alive?
 //!
 //! Run with `cargo run --release --example radiation_rescue`.
 
 use biocheck::bmc::{ReachOptions, ReachSpec};
-use biocheck::core::synthesize_therapy;
+use biocheck::engine::{Budget, Query, Session, Value};
 use biocheck::expr::{Atom, RelOp};
 use biocheck::hybrid::SimOptions;
 use biocheck::interval::Interval;
@@ -14,6 +15,10 @@ use biocheck::models::radiation::{tbi_automaton, tbi_init, THETA_DEATH};
 fn main() {
     let mut ha = tbi_automaton();
     println!("TBI automaton (Fig. 3 artifact):\n{}", ha.to_dot());
+    // Parse goal atoms in the automaton's context before the session
+    // clones it.
+    let safe = ha.cx.parse("4 - dmg").unwrap(); // dmg ≤ 4
+    let committed = ha.cx.parse("rip3 - 1.2").unwrap(); // necroptosis arm engaged
 
     // Simulation: untreated vs. treated.
     let mut env = ha.default_env();
@@ -41,35 +46,44 @@ fn main() {
     );
 
     // Synthesis: find the shortest drug schedule + thresholds such that
-    // damage stays low for 12 h of evolution.
-    let safe = ha.cx.parse("4 - dmg").unwrap(); // dmg ≤ 4
-    let committed = ha.cx.parse("rip3 - 1.2").unwrap(); // necroptosis arm engaged
-    let spec = ReachSpec {
-        goal_mode: Some(ha.mode_by_name("B").unwrap()),
-        goal: vec![Atom::new(safe, RelOp::Ge), Atom::new(committed, RelOp::Ge)],
-        k_max: 3,
-        time_bound: 8.0,
-    };
-    let opts = ReachOptions {
-        state_bounds: vec![
-            Interval::new(0.0, 3.0),  // clox
-            Interval::new(0.0, 10.0), // rip3
-            Interval::new(0.0, 6.0),  // c3
-            Interval::new(0.0, 12.0), // mlkl
-            Interval::new(0.0, 1.0),  // gpx4
-            Interval::new(0.0, 12.0), // dmg
-        ],
-        max_splits: 3_000,
-        flow_step: 0.25,
-        ..ReachOptions::new(0.1)
-    };
-    match synthesize_therapy(&ha, &spec, &opts) {
-        Some(plan) => {
+    // damage stays low for the rescue window. The budget caps the
+    // δ-search at 3000 box splits — exactly the old `max_splits`
+    // setting, now expressed as a first-class query budget.
+    let session = Session::from_automaton(&ha);
+    let report = session
+        .query(Query::Therapy {
+            spec: ReachSpec {
+                goal_mode: Some(ha.mode_by_name("B").unwrap()),
+                goal: vec![Atom::new(safe, RelOp::Ge), Atom::new(committed, RelOp::Ge)],
+                k_max: 3,
+                time_bound: 8.0,
+            },
+            opts: ReachOptions {
+                state_bounds: vec![
+                    Interval::new(0.0, 3.0),  // clox
+                    Interval::new(0.0, 10.0), // rip3
+                    Interval::new(0.0, 6.0),  // c3
+                    Interval::new(0.0, 12.0), // mlkl
+                    Interval::new(0.0, 1.0),  // gpx4
+                    Interval::new(0.0, 12.0), // dmg
+                ],
+                flow_step: 0.25,
+                ..ReachOptions::new(0.1)
+            },
+        })
+        .budget(Budget::unlimited().with_max_paver_boxes(3_000))
+        .run()
+        .expect("well-formed query");
+    match &report.value {
+        Value::Therapy(Some(plan)) => {
             println!("synthesized schedule: {:?}", plan.schedule);
             println!("  dwell times: {:?}", plan.dwell_times);
             println!("  thresholds: {:?}", plan.thresholds);
             println!("  drugs used: {}", plan.drugs_used);
         }
-        None => println!("no schedule within 3 jumps (try larger budgets)"),
+        _ => println!(
+            "no schedule within 3 jumps ({:?}; try a larger budget)",
+            report.outcome
+        ),
     }
 }

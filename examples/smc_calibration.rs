@@ -1,20 +1,20 @@
-//! The SMC branch of Fig. 2: statistical model checking of BLTL
-//! properties for models with probabilistic initial states, plus
-//! SMC-driven parameter estimation.
+//! The SMC branch of Fig. 2 through the engine: statistical model
+//! checking of BLTL properties for models with probabilistic initial
+//! states — three estimation methods sharing one cached sampler — plus
+//! SMC-driven parameter estimation with the `SmcFit` substrate.
 //!
 //! Run with `cargo run --release --example smc_calibration`.
 
 use biocheck::bltl::Bltl;
+use biocheck::engine::{EstimateMethod, Query, Session, SmcSpec, Value};
 use biocheck::expr::{Atom, RelOp};
 use biocheck::interval::Interval;
 use biocheck::models::classics;
-use biocheck::smc::{bayes_estimate, chernoff_estimate, sprt, Dist, SmcFit, TraceSampler};
+use biocheck::smc::{Dist, SmcFit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2020);
-
     // Toggle switch: P(end in the u-high basin) for u0, v0 ~ U[0, 2].
     let toggle = classics::toggle_switch();
     let mut cx = toggle.cx.clone();
@@ -23,32 +23,83 @@ fn main() {
         40.0,
         Bltl::globally(5.0, Bltl::Prop(Atom::new(u_wins, RelOp::Ge))),
     );
-    let sampler = TraceSampler::new(
-        cx.clone(),
-        &toggle.sys,
-        vec![Dist::Uniform(0.0, 2.0), Dist::Uniform(0.0, 2.0)],
-        vec![],
-        prop,
-        45.0,
-    );
-    let est = chernoff_estimate(|| sampler.sample(&mut rng), 0.05, 0.05);
+    let session = Session::from_parts(cx, toggle.sys.clone());
+    let smc = SmcSpec {
+        init: vec![Dist::Uniform(0.0, 2.0), Dist::Uniform(0.0, 2.0)],
+        params: vec![],
+        property: prop,
+        t_end: 45.0,
+    };
+
+    // Three queries against one session: the property compiles once,
+    // the second and third are pure sampler-cache hits.
+    let report = session
+        .query(Query::Estimate {
+            smc: smc.clone(),
+            method: EstimateMethod::Chernoff {
+                eps: 0.05,
+                delta: 0.05,
+            },
+        })
+        .seed(2020)
+        .run()
+        .expect("well-formed query");
+    let Value::Estimate(est) = &report.value else {
+        panic!("estimate expected")
+    };
     println!(
         "toggle switch: P(u-basin) ≈ {:.3} ± {} ({} samples, Chernoff)",
         est.p_hat, est.half_width, est.samples
     );
-    let bayes = bayes_estimate(|| sampler.sample(&mut rng), 0.05, 0.95, 100_000);
+
+    let report = session
+        .query(Query::Estimate {
+            smc: smc.clone(),
+            method: EstimateMethod::Bayes {
+                half_width: 0.05,
+                confidence: 0.95,
+                max_samples: 100_000,
+            },
+        })
+        .seed(2021)
+        .run()
+        .expect("well-formed query");
+    let Value::Estimate(bayes) = &report.value else {
+        panic!("estimate expected")
+    };
     println!(
         "           Bayes: {:.3} ({} samples)",
         bayes.p_hat, bayes.samples
     );
-    let hyp = sprt(|| sampler.sample(&mut rng), 0.4, 0.05, 0.01, 0.01, 100_000);
+
+    let report = session
+        .query(Query::Sprt {
+            smc: smc.clone(),
+            theta: 0.4,
+            indiff: 0.05,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 100_000,
+        })
+        .seed(2022)
+        .run()
+        .expect("well-formed query");
+    let Value::Sprt(hyp) = &report.value else {
+        panic!("SPRT expected")
+    };
     println!(
         "           SPRT for p ≥ 0.4: {:?} ({} samples)",
         hyp.outcome, hyp.samples
     );
+    let stats = session.stats();
+    println!(
+        "           (session cache: {} plan compile, {} sampler build, {} hits)",
+        stats.plan_compiles, stats.sampler_builds, stats.cache_hits
+    );
 
     // SMC-driven parameter estimation: recover the decay rate of a
-    // first-order clearance model from a property specification.
+    // first-order clearance model from a property specification (the
+    // simulated-annealing substrate under the engine).
     let mut cx = biocheck::expr::Context::new();
     let x = cx.intern_var("x");
     let k = cx.intern_var("k");
@@ -72,6 +123,7 @@ fn main() {
         prop,
         1.0,
     );
+    let mut rng = StdRng::seed_from_u64(2020);
     let result = fit.run(&mut rng);
     println!(
         "SMC fit: k ≈ {:.3} (score {:.2}, {} simulations; ground truth ≈ 1.0)",
