@@ -103,6 +103,27 @@ impl Budget {
         self
     }
 
+    /// Canonical rendering of the deterministic, count-based caps — the
+    /// budget component of result-memoization keys
+    /// (`biocheck_serve`). Deadlines and cancellation tokens are
+    /// wall-clock-dependent and deliberately excluded: a report whose
+    /// run they cut short is not a pure function of the request and is
+    /// never cached.
+    pub fn canonical_caps(&self) -> String {
+        format!(
+            "samples={:?};boxes={:?}",
+            self.max_samples, self.max_paver_boxes
+        )
+    }
+
+    /// `true` when the budget carries no wall-clock deadline. Together
+    /// with an unraised (or absent) cancellation token this makes a
+    /// seeded query a pure function of `(model, query, seed, caps)` —
+    /// the precondition for result memoization.
+    pub fn is_count_only(&self) -> bool {
+        self.deadline.is_none()
+    }
+
     /// Resolves the relative deadline against the query start instant.
     pub(crate) fn deadline_from(&self, start: Instant) -> Option<Instant> {
         self.deadline.map(|d| start + d)

@@ -293,9 +293,13 @@ fn run_bayes(
     let drawn = state.samples();
     let exhausted = decision.is_none() && drawn < max_samples;
     let mut estimate = decision.unwrap_or_else(|| state.finish());
-    if exhausted {
-        // The credible interval never closed: zero the guarantee fields
-        // (same convention as the truncated fixed-sample methods).
+    if decision.is_none() {
+        // The credible interval never closed — whether the budget cut
+        // the run short (`Exhausted`) or the method's own sample cap
+        // ended it (`Complete`, the adaptive rule's own "give up"
+        // answer), the requested half-width/confidence guarantee was
+        // not earned, so the fields are zeroed either way (same
+        // convention as the truncated fixed-sample methods).
         estimate.half_width = 0.0;
         estimate.confidence = 0.0;
     }

@@ -10,7 +10,7 @@ use biocheck_bmc::{check_reach, ReachOptions, ReachResult, ReachSpec, ReachWitne
 use biocheck_hybrid::HybridAutomaton;
 
 /// Outcome of a falsification attempt.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum FalsificationOutcome {
     /// `unsat` (exact): the model cannot exhibit the behavior no matter
     /// which parameter values are used — the hypothesis is rejected.

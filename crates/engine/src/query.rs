@@ -4,9 +4,10 @@
 use crate::calibrate::Dataset;
 use biocheck_bltl::Bltl;
 use biocheck_bmc::{ReachOptions, ReachSpec};
-use biocheck_expr::VarId;
+use biocheck_expr::{Atom, Context, VarId};
 use biocheck_interval::Interval;
 use biocheck_smc::Dist;
+use std::fmt::Write as _;
 
 /// The probabilistic setup shared by the SMC-backed queries: how the
 /// session's ODE model is randomly instantiated and which property is
@@ -136,6 +137,118 @@ pub enum Query {
 }
 
 impl Query {
+    /// A canonical, context-independent rendering of the query: every
+    /// expression is printed through [`Context::display`] (names, not
+    /// arena ids), floats render in their shortest round-trip form, and
+    /// field order is fixed. Two queries canonicalize equally iff they
+    /// describe the same analysis — even when their `NodeId`s differ
+    /// because the host contexts interned expressions in different
+    /// orders. This is the query component of result-memoization keys
+    /// (`biocheck_serve`): keying on `Debug` output would let one
+    /// arena's `NodeId(17)` collide with a different expression at the
+    /// same id in a rebuilt session.
+    ///
+    /// `cx` must be the context the query's expressions live in.
+    pub fn canonical(&self, cx: &Context) -> String {
+        let mut s = String::new();
+        match self {
+            Query::Estimate { smc, method } => {
+                s.push_str("estimate{");
+                push_smc(&mut s, cx, smc);
+                match *method {
+                    EstimateMethod::Fixed { n } => {
+                        let _ = write!(s, ";fixed(n={n})");
+                    }
+                    EstimateMethod::Chernoff { eps, delta } => {
+                        let _ = write!(s, ";chernoff(eps={eps:?},delta={delta:?})");
+                    }
+                    EstimateMethod::Bayes {
+                        half_width,
+                        confidence,
+                        max_samples,
+                    } => {
+                        let _ = write!(
+                            s,
+                            ";bayes(hw={half_width:?},conf={confidence:?},cap={max_samples})"
+                        );
+                    }
+                }
+                s.push('}');
+            }
+            Query::Sprt {
+                smc,
+                theta,
+                indiff,
+                alpha,
+                beta,
+                max_samples,
+            } => {
+                s.push_str("sprt{");
+                push_smc(&mut s, cx, smc);
+                let _ = write!(
+                    s,
+                    ";theta={theta:?};indiff={indiff:?};alpha={alpha:?};beta={beta:?};cap={max_samples}}}"
+                );
+            }
+            Query::Robustness { smc, samples } => {
+                s.push_str("robustness{");
+                push_smc(&mut s, cx, smc);
+                let _ = write!(s, ";n={samples}}}");
+            }
+            Query::Falsify { spec, opts } => {
+                s.push_str("falsify{");
+                push_reach(&mut s, cx, spec, opts);
+                s.push('}');
+            }
+            Query::Therapy { spec, opts } => {
+                s.push_str("therapy{");
+                push_reach(&mut s, cx, spec, opts);
+                s.push('}');
+            }
+            Query::Calibrate {
+                data,
+                init,
+                params,
+                state_bounds,
+                delta,
+                flow_step,
+            } => {
+                let _ = write!(
+                    s,
+                    "calibrate{{times={:?};values={:?};observed={:?};tol={:?};init={:?}",
+                    data.times, data.values, data.observed, data.tolerance, init
+                );
+                s.push_str(";params=[");
+                for (i, (v, range)) in params.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}:{}", cx.var_name(*v), range);
+                }
+                let _ = write!(
+                    s,
+                    "];bounds={:?};delta={delta:?};step={flow_step:?}}}",
+                    state_bounds
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                );
+            }
+            Query::Stability {
+                region,
+                r_min,
+                r_max,
+            } => {
+                let _ = write!(
+                    s,
+                    "stability{{region={:?};r_min={r_min:?};r_max={r_max:?}}}",
+                    region.iter().map(|i| i.to_string()).collect::<Vec<_>>()
+                );
+            }
+        }
+        s
+    }
+
     /// The discriminant, carried on every [`Report`](crate::Report).
     pub fn kind(&self) -> QueryKind {
         match self {
@@ -148,6 +261,117 @@ impl Query {
             Query::Stability { .. } => QueryKind::Stability,
         }
     }
+}
+
+fn push_atom(s: &mut String, cx: &Context, atom: &Atom) {
+    let op = match atom.op {
+        biocheck_expr::RelOp::Gt => "gt",
+        biocheck_expr::RelOp::Ge => "ge",
+        biocheck_expr::RelOp::Eq => "eq",
+        biocheck_expr::RelOp::Le => "le",
+        biocheck_expr::RelOp::Lt => "lt",
+    };
+    let _ = write!(s, "{op}({})", cx.display(atom.expr));
+}
+
+fn push_bltl(s: &mut String, cx: &Context, f: &Bltl) {
+    match f {
+        Bltl::Prop(a) => push_atom(s, cx, a),
+        Bltl::Not(inner) => {
+            s.push_str("not(");
+            push_bltl(s, cx, inner);
+            s.push(')');
+        }
+        Bltl::And(fs) => {
+            s.push_str("and(");
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_bltl(s, cx, g);
+            }
+            s.push(')');
+        }
+        Bltl::Or(fs) => {
+            s.push_str("or(");
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_bltl(s, cx, g);
+            }
+            s.push(')');
+        }
+        Bltl::Until { lhs, rhs, bound } => {
+            s.push_str("until(");
+            push_bltl(s, cx, lhs);
+            s.push(',');
+            push_bltl(s, cx, rhs);
+            let _ = write!(s, ",{bound:?})");
+        }
+    }
+}
+
+fn push_dist(s: &mut String, d: &Dist) {
+    match *d {
+        Dist::Point(v) => {
+            let _ = write!(s, "point({v:?})");
+        }
+        Dist::Uniform(lo, hi) => {
+            let _ = write!(s, "uniform({lo:?},{hi:?})");
+        }
+        Dist::Normal { mean, sd } => {
+            let _ = write!(s, "normal({mean:?},{sd:?})");
+        }
+        Dist::LogNormal { mu, sigma } => {
+            let _ = write!(s, "lognormal({mu:?},{sigma:?})");
+        }
+    }
+}
+
+fn push_smc(s: &mut String, cx: &Context, smc: &SmcSpec) {
+    s.push_str("init=[");
+    for (i, d) in smc.init.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_dist(s, d);
+    }
+    s.push_str("];params=[");
+    for (i, (v, d)) in smc.params.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{}:", cx.var_name(*v));
+        push_dist(s, d);
+    }
+    s.push_str("];prop=");
+    push_bltl(s, cx, &smc.property);
+    let _ = write!(s, ";t_end={:?}", smc.t_end);
+}
+
+fn push_reach(s: &mut String, cx: &Context, spec: &ReachSpec, opts: &ReachOptions) {
+    let _ = write!(s, "goal_mode={:?};goal=[", spec.goal_mode);
+    for (i, a) in spec.goal.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_atom(s, cx, a);
+    }
+    let _ = write!(
+        s,
+        "];k={};T={:?};delta={:?};bounds={:?};splits={};step={:?};paths={}",
+        spec.k_max,
+        spec.time_bound,
+        opts.delta,
+        opts.state_bounds
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>(),
+        opts.max_splits,
+        opts.flow_step,
+        opts.max_paths
+    );
 }
 
 /// Discriminant of a [`Query`].

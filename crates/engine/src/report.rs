@@ -61,13 +61,16 @@ pub struct RobustnessSummary {
 }
 
 /// The query-specific payload of a [`Report`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum Value {
-    /// Probability estimate (`Estimate` queries). When the report's
-    /// outcome is [`Outcome::Exhausted`] the drawn samples do not
-    /// support the method's statistical guarantee, so `half_width` and
-    /// `confidence` are zeroed — the point estimate over the samples
-    /// actually drawn is all a truncated run can honestly claim.
+    /// Probability estimate (`Estimate` queries). `half_width` and
+    /// `confidence` are non-zero only when the guarantee was actually
+    /// earned: a budget-truncated run ([`Outcome::Exhausted`]) zeroes
+    /// them, and so does an adaptive Bayes run that reached its own
+    /// sample cap with the credible interval still open (which reports
+    /// [`Outcome::Complete`] — the cap is the method's own answer —
+    /// but claims no interval). The point estimate over the samples
+    /// actually drawn is all such runs honestly assert.
     Estimate(Estimate),
     /// Sequential-test verdict (`Sprt` queries).
     Sprt(SprtResult),
@@ -87,7 +90,11 @@ pub enum Value {
 }
 
 /// The uniform analysis answer returned by every query.
-#[derive(Debug)]
+///
+/// Reports are `Clone` so result-level caches (the serving layer's
+/// memoization) can hand out copies of a stored answer; a clone
+/// fingerprints identically to its original.
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Which query produced this report.
     pub kind: QueryKind,

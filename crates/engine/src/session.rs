@@ -224,6 +224,45 @@ impl Session {
             .collect()
     }
 
+    /// Per-entry budgets: each batch entry may carry its own [`Budget`];
+    /// entries with `None` fall back to `shared` (so
+    /// `run_batch_budgeted` is the all-`None` special case). Every
+    /// deadline — shared or per-entry — is resolved against the **batch
+    /// start instant**, and query `i` still runs with seed
+    /// `fork_seed(seed, i)`, so the result vector is bit-for-bit
+    /// identical to running each entry alone with its forked seed and
+    /// its own budget — at any thread count (count-based caps only;
+    /// deadline cut points are wall-clock-dependent as always).
+    pub fn run_batch_entries(
+        &self,
+        entries: &[(Query, Option<Budget>)],
+        seed: u64,
+        shared: &Budget,
+    ) -> Vec<Result<Report, Error>> {
+        let start = Instant::now();
+        let shared_deadline = shared.deadline_from(start);
+        let deadlines: Vec<Option<Instant>> = entries
+            .iter()
+            .map(|(_, b)| match b {
+                Some(b) => b.deadline_from(start),
+                None => shared_deadline,
+            })
+            .collect();
+        (0..entries.len())
+            .into_par_iter()
+            .map(|i| {
+                let (query, budget) = &entries[i];
+                self.execute(
+                    query,
+                    fork_seed(seed, i as u64),
+                    budget.as_ref().unwrap_or(shared),
+                    deadlines[i],
+                    true,
+                )
+            })
+            .collect()
+    }
+
     fn ode_parts(&self, query: &'static str) -> Result<&OdeParts, Error> {
         match &self.model {
             Model::Ode(parts) => Ok(parts),
@@ -517,10 +556,10 @@ impl Session {
                         got: region.len(),
                     });
                 }
-                if !(*r_min > 0.0 && r_max > r_min) {
+                if !(*r_min > 0.0 && r_max > r_min && r_max.is_finite()) {
                     return Err(Error::InvalidParameter {
                         what: "r_min/r_max",
-                        detail: format!("need 0 < r_min < r_max, got {r_min}, {r_max}"),
+                        detail: format!("need 0 < r_min < r_max < inf, got {r_min}, {r_max}"),
                     });
                 }
                 let (report, exhausted) =

@@ -6,7 +6,7 @@
 //! under `BIOCHECK_THREADS` ∈ {1, 2, 8}).
 
 use biocheck_bltl::Bltl;
-use biocheck_engine::{EstimateMethod, Query, Session, SmcSpec};
+use biocheck_engine::{Budget, EstimateMethod, Query, Session, SmcSpec};
 use biocheck_expr::{Atom, Context, RelOp};
 use biocheck_interval::Interval;
 use biocheck_ode::OdeSystem;
@@ -112,6 +112,68 @@ proptest! {
                 reference.as_ref().unwrap().fingerprint(),
                 "query {} diverged under batching",
                 i
+            );
+        }
+    }
+
+    /// Per-entry budgets: every entry may carry its own sample cap (or
+    /// inherit the shared budget), and the batched result is still
+    /// bit-for-bit the sequential per-query reference — including which
+    /// entries report `Exhausted`.
+    #[test]
+    fn run_batch_entries_honors_per_query_budgets(
+        seed in 0..u64::MAX / 2,
+        // (query selector, per-entry cap; 0 = inherit the shared budget)
+        entries in proptest::collection::vec((0u8..4, 0usize..40), 1..7),
+        shared_cap in 5usize..60,
+    ) {
+        let (session, p1, p2) = decay_session();
+        let shared = Budget::unlimited().with_max_samples(shared_cap);
+        let batch_entries: Vec<(Query, Option<Budget>)> = entries
+            .iter()
+            .map(|&(s, cap)| {
+                let budget =
+                    (cap > 0).then(|| Budget::unlimited().with_max_samples(cap));
+                (make_query(s, &p1, &p2), budget)
+            })
+            .collect();
+        let batch = session.run_batch_entries(&batch_entries, seed, &shared);
+        // Sequential reference on a fresh session: each entry alone,
+        // same forked seed, same effective budget.
+        let (fresh, q1, q2) = decay_session();
+        for (i, &(s, cap)) in entries.iter().enumerate() {
+            let budget = if cap > 0 {
+                Budget::unlimited().with_max_samples(cap)
+            } else {
+                shared.clone()
+            };
+            let reference = fresh
+                .query(make_query(s, &q1, &q2))
+                .seed(fork_seed(seed, i as u64))
+                .budget(budget)
+                .run();
+            let got = &batch[i];
+            prop_assert!(got.is_ok() && reference.is_ok(), "entry {}: {:?}", i, got);
+            prop_assert_eq!(
+                got.as_ref().unwrap().fingerprint(),
+                reference.as_ref().unwrap().fingerprint(),
+                "entry {} diverged under per-entry budgets",
+                i
+            );
+        }
+        // All-None entries reproduce the shared-budget path exactly.
+        let queries: Vec<Query> = entries
+            .iter()
+            .map(|&(s, _)| make_query(s, &p1, &p2))
+            .collect();
+        let none_entries: Vec<(Query, Option<Budget>)> =
+            queries.iter().map(|q| (q.clone(), None)).collect();
+        let via_entries = session.run_batch_entries(&none_entries, seed, &shared);
+        let via_shared = session.run_batch_budgeted(&queries, seed, &shared);
+        for (a, b) in via_entries.iter().zip(&via_shared) {
+            prop_assert_eq!(
+                a.as_ref().unwrap().fingerprint(),
+                b.as_ref().unwrap().fingerprint()
             );
         }
     }

@@ -63,6 +63,35 @@ fn sample_cap_yields_partial_estimate() {
     assert_eq!(a.p_hat.to_bits(), b.p_hat.to_bits());
 }
 
+/// An adaptive Bayes run that reaches its own sample cap with the
+/// credible interval still open is `Complete` (the cap is the method's
+/// own answer) but must not claim the never-earned interval guarantee.
+#[test]
+fn bayes_at_own_cap_claims_no_guarantee() {
+    let (session, prop) = decay_session();
+    // p ≈ 0.5 and a 0.005 half-width at 99.9%: 60 samples cannot close
+    // the interval.
+    let r = session
+        .query(Query::Estimate {
+            smc: spec(&prop),
+            method: EstimateMethod::Bayes {
+                half_width: 0.005,
+                confidence: 0.999,
+                max_samples: 60,
+            },
+        })
+        .seed(5)
+        .run()
+        .unwrap();
+    assert_eq!(r.outcome, Outcome::Complete, "own cap is not exhaustion");
+    assert_eq!(r.provenance.samples, 60);
+    let Value::Estimate(e) = &r.value else {
+        panic!("estimate value expected");
+    };
+    assert_eq!((e.half_width, e.confidence), (0.0, 0.0));
+    assert!(e.p_hat > 0.0 && e.p_hat < 1.0);
+}
+
 #[test]
 fn pre_cancelled_queries_return_exhausted_everywhere() {
     let token = CancelToken::new();

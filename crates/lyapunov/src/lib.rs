@@ -62,6 +62,18 @@ pub struct LyapunovResult {
     pub verified: bool,
 }
 
+/// Outcome of one verification sweep over the annulus.
+enum Verification {
+    /// Every sub-search returned `Unsat` — the exact side — so the
+    /// candidate is proven on the whole annulus.
+    Verified,
+    /// A δ-sat violation witness to refine the counterexample set.
+    Counterexample(Vec<f64>),
+    /// A sub-search exhausted its split budget or was interrupted:
+    /// nothing proven, nothing refuted.
+    Inconclusive,
+}
+
 /// CEGIS synthesizer for Lyapunov functions over a monomial template.
 pub struct LyapunovSynthesizer {
     cx: Context,
@@ -193,6 +205,9 @@ impl LyapunovSynthesizer {
     /// Synthesis step: coefficients satisfying the margin constraints at
     /// every stored counterexample.
     fn synthesize(&mut self) -> Option<Vec<f64>> {
+        if self.interrupted() {
+            return None;
+        }
         let mut atoms = Vec::new();
         for ce in self.counterexamples.clone() {
             let map: HashMap<VarId, NodeId> = self
@@ -229,9 +244,8 @@ impl LyapunovSynthesizer {
     }
 
     /// Verification: search the annulus for a violation of
-    /// `V > margin/2 ∧ V̇ < -margin/2` at fixed coefficients. Returns a
-    /// counterexample point, or `None` when verified.
-    fn verify(&mut self, coeffs: &[f64]) -> Option<Vec<f64>> {
+    /// `V > margin/2 ∧ V̇ < -margin/2` at fixed coefficients.
+    fn verify(&mut self, coeffs: &[f64]) -> Verification {
         let map: HashMap<VarId, NodeId> = self
             .coeff_vars
             .iter()
@@ -256,20 +270,36 @@ impl LyapunovSynthesizer {
                         Interval::new(-self.r_max, self.r_max)
                     };
                 }
-                // Violation: V ≤ 0 or V̇ ≥ 0.
+                // Violation: V ≤ 0 or V̇ ≥ 0. Poll between the 2n·2
+                // annulus sub-searches (on top of the polls inside each
+                // δ-search) so a single CEGIS iteration is interruptible
+                // at sub-search granularity. Only `Unsat` — the exact
+                // side of the δ-decision — counts toward verification:
+                // a sub-search that ran out of splits (or was
+                // interrupted) proved nothing, so the candidate is
+                // inconclusive, never vouched for.
                 for (expr, op) in [(v_fixed, RelOp::Le), (vd_fixed, RelOp::Ge)] {
+                    if self.interrupted() {
+                        return Verification::Inconclusive;
+                    }
                     let atom = Atom::new(expr, op);
                     let mut bp = BranchAndPrune::new(self.verify_delta);
                     bp.max_splits = 50_000;
                     bp.cancel = self.cancel.clone();
                     bp.deadline = self.deadline;
-                    if let DeltaResult::DeltaSat(w) = bp.solve(&self.cx, &[atom], &[], &init) {
-                        return Some(self.states.iter().map(|s| w.point[s.index()]).collect());
+                    match bp.solve(&self.cx, &[atom], &[], &init) {
+                        DeltaResult::DeltaSat(w) => {
+                            return Verification::Counterexample(
+                                self.states.iter().map(|s| w.point[s.index()]).collect(),
+                            );
+                        }
+                        DeltaResult::Unsat => {}
+                        DeltaResult::Unknown { .. } => return Verification::Inconclusive,
                     }
                 }
             }
         }
-        None
+        Verification::Verified
     }
 
     /// Runs CEGIS for at most `max_iters` rounds.
@@ -285,10 +315,11 @@ impl LyapunovSynthesizer {
             }
             let coeffs = self.synthesize()?;
             match self.verify(&coeffs) {
-                None => {
-                    // A verification search cut short by cancellation
-                    // returns no counterexample without having proven
-                    // anything — never certify in that case.
+                Verification::Verified => {
+                    // Belt and braces: every annulus sub-search came
+                    // back `Unsat`, but an interrupt raised *between*
+                    // the last sub-search and here still aborts — never
+                    // certify from an interrupted verification.
                     if self.interrupted() {
                         return None;
                     }
@@ -299,9 +330,14 @@ impl LyapunovSynthesizer {
                         verified: true,
                     });
                 }
-                Some(ce) => {
+                Verification::Counterexample(ce) => {
                     self.counterexamples.push(ce);
                 }
+                // Split-cap exhaustion, cancellation, or a passed
+                // deadline inside verification: nothing was proven and
+                // no counterexample can guide the next round — fail
+                // rather than vouch.
+                Verification::Inconclusive => return None,
             }
         }
         None
@@ -453,5 +489,50 @@ mod tests {
     fn bad_radii_rejected() {
         let (cx, sys) = linear_stable();
         let _ = LyapunovSynthesizer::quadratic(cx, &sys, 1.0, 0.5);
+    }
+
+    #[test]
+    fn raised_cancel_never_certifies() {
+        // The system IS certifiable — a run with the flag already raised
+        // must still return None (interruption beats certification).
+        let (cx, sys) = linear_stable();
+        let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.1, 1.0);
+        let flag = Arc::new(AtomicBool::new(true));
+        syn.cancel = Some(flag);
+        assert!(syn.run(20).is_none(), "interrupted run certified");
+    }
+
+    #[test]
+    fn passed_deadline_never_certifies() {
+        let (cx, sys) = linear_stable();
+        let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.1, 1.0);
+        syn.deadline = Some(Instant::now());
+        assert!(syn.run(20).is_none(), "expired run certified");
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_cegis() {
+        // Raise the flag from outside while CEGIS runs on a certifiable
+        // system: the synthesizer polls between phases and between the
+        // annulus sub-searches, so it must come back `None` (the flag is
+        // up before the first verification sub-search completes the
+        // no-counterexample sweep) — and must never take anywhere near
+        // the uncancelled wall time if the flag wins the race.
+        let (cx, sys) = linear_stable();
+        let mut syn = LyapunovSynthesizer::quadratic(cx, &sys, 0.1, 1.0);
+        let flag = Arc::new(AtomicBool::new(false));
+        syn.cancel = Some(flag.clone());
+        let raiser = std::thread::spawn(move || {
+            flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        let r = syn.run(40);
+        raiser.join().unwrap();
+        // Either the flag won (None) or the run certified before the
+        // store landed; both are sound — what is NEVER allowed is a
+        // certificate whose verification observed the raised flag, which
+        // `run` guards with its post-verify re-check.
+        if let Some(res) = r {
+            assert!(res.verified);
+        }
     }
 }

@@ -1,0 +1,207 @@
+//! `biocheck_client` — blocking client for a running `biocheckd`.
+//!
+//! ```text
+//! biocheck_client --connect HOST:PORT            # JSONL from stdin, responses to stdout
+//! biocheck_client --connect HOST:PORT --selftest # scripted batch + fingerprint check
+//! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
+//! ```
+//!
+//! `--selftest` is the CI daemon smoke: it registers a model over the
+//! wire, runs a scripted query batch twice (cold then memoized),
+//! re-computes every query on a direct in-process
+//! [`Session`] — exiting non-zero unless the
+//! daemon's reports are `fingerprint()`-identical to the direct runs
+//! and the second pass was served from the cache.
+
+use biocheck_engine::Session;
+use biocheck_serve::wire::{
+    BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, SmcSpecWire,
+};
+use biocheck_serve::Client;
+use std::io::BufRead;
+
+fn selftest_model() -> ModelSource {
+    ModelSource {
+        states: vec![
+            ("u".into(), "v - u^3 + k*u".into()),
+            ("v".into(), "-0.5*v - u".into()),
+        ],
+        consts: vec![("k".into(), 0.2)],
+    }
+}
+
+fn selftest_requests() -> Vec<QueryRequest> {
+    let prop = |expr: &str, bound: f64| PropSpec::Eventually {
+        bound,
+        inner: Box::new(PropSpec::Prop {
+            expr: expr.into(),
+            rel: biocheck_expr::RelOp::Ge,
+        }),
+    };
+    let smc = |expr: &str| SmcSpecWire {
+        init: vec![DistSpec::Uniform(-1.0, 1.0), DistSpec::Uniform(-0.5, 0.5)],
+        params: vec![],
+        property: prop(expr, 2.0),
+        t_end: 2.0,
+    };
+    let mut out = vec![];
+    for (i, expr) in ["u - 0.5", "u - 0.2", "0.4 - v"].iter().enumerate() {
+        out.push(QueryRequest {
+            model: "selftest".into(),
+            id: Some(i as u64),
+            seed: 7 + i as u64,
+            budget: BudgetSpec::default(),
+            query: QuerySpec::Estimate {
+                smc: smc(expr),
+                method: MethodSpec::Fixed { n: 120 },
+            },
+        });
+    }
+    out.push(QueryRequest {
+        model: "selftest".into(),
+        id: Some(90),
+        seed: 11,
+        budget: BudgetSpec {
+            max_samples: Some(40),
+            ..BudgetSpec::default()
+        },
+        query: QuerySpec::Sprt {
+            smc: smc("u - 0.5"),
+            theta: 0.5,
+            indiff: 0.1,
+            alpha: 0.05,
+            beta: 0.05,
+            max_samples: 2_000,
+        },
+    });
+    out.push(QueryRequest {
+        model: "selftest".into(),
+        id: Some(91),
+        seed: 13,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Robustness {
+            smc: smc("u - 0.2"),
+            samples: 60,
+        },
+    });
+    out
+}
+
+fn selftest(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping()?;
+    let source = selftest_model();
+    let fingerprint = client.register("selftest", &source)?;
+    eprintln!("selftest: registered model {fingerprint}");
+
+    // Direct in-process reference: same source, same queries, fresh
+    // session — what the daemon must reproduce bit-for-bit.
+    let (mut cx, sys) = source.build()?;
+    let requests = selftest_requests();
+    let direct: Vec<String> = {
+        let queries: Vec<_> = requests
+            .iter()
+            .map(|qr| qr.query.build(&mut cx))
+            .collect::<Result<_, _>>()?;
+        let session = Session::from_parts(cx, sys);
+        queries
+            .iter()
+            .zip(&requests)
+            .map(|(q, qr)| {
+                session
+                    .query(q.clone())
+                    .seed(qr.seed)
+                    .budget(qr.budget.build())
+                    .run()
+                    .map(|r| r.fingerprint())
+                    .map_err(|e| e.to_string())
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    for pass in 0..2 {
+        for (i, qr) in requests.iter().enumerate() {
+            let reply = client.query(qr)?;
+            if reply.fingerprint != direct[i] {
+                return Err(format!(
+                    "query {i} pass {pass}: daemon fingerprint {} != direct {}",
+                    reply.fingerprint, direct[i]
+                ));
+            }
+            if pass == 1 && !reply.cached {
+                return Err(format!("query {i}: second pass not served from cache"));
+            }
+            eprintln!(
+                "selftest: query {i} pass {pass} ok (cached = {})",
+                reply.cached
+            );
+        }
+    }
+    let stats = client.stats()?;
+    eprintln!("selftest: stats {}", stats.render());
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(biocheck_serve::Json::as_usize)
+        .unwrap_or(0);
+    if hits < requests.len() {
+        return Err(format!(
+            "expected >= {} cache hits, daemon reports {hits}",
+            requests.len()
+        ));
+    }
+    println!(
+        "selftest OK: {} queries, daemon == direct session bit-for-bit, warm pass fully memoized",
+        requests.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .position(|a| a == "--connect")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    if args.iter().any(|a| a == "--selftest") {
+        if let Err(e) = selftest(&addr) {
+            eprintln!("selftest FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--shutdown") {
+        let result = Client::connect(addr.as_str())
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.shutdown());
+        if let Err(e) = result {
+            eprintln!("shutdown: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    // Raw mode: forward JSONL from stdin, print responses.
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match biocheck_serve::wire::Request::from_line(&line) {
+            Ok(request) => match client.request(&request) {
+                Ok(reply) => println!("{}", reply.render()),
+                Err(e) => println!("{{\"ok\":false,\"error\":{:?}}}", e),
+            },
+            Err(e) => println!("{{\"ok\":false,\"error\":{:?}}}", e),
+        }
+    }
+}

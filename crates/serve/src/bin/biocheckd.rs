@@ -1,0 +1,55 @@
+//! `biocheckd` — the BioCheck query-serving daemon.
+//!
+//! ```text
+//! biocheckd [--addr 127.0.0.1:7878] [--concurrency 2] [--cache-bytes 67108864]
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol documented in the README's
+//! "Serving" section: one JSON request per line in, one JSON response
+//! per line out. Models register by name; seeded queries are memoized
+//! in a byte-budgeted LRU keyed by `(model fingerprint, canonical
+//! query, seed, count caps)`. Stop it with `{"op":"shutdown"}` (or the
+//! `biocheck_client` helper).
+//!
+//! Prints `biocheckd listening on <addr>` on stdout once bound — with
+//! `--addr 127.0.0.1:0` the kernel-assigned port is in that line.
+
+use biocheck_serve::server::{serve, ServeConfig, ServeCore};
+use std::sync::Arc;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: biocheckd [--addr HOST:PORT] [--concurrency N] [--cache-bytes N]\n\
+             protocol: line-delimited JSON (see README \"Serving\")"
+        );
+        return;
+    }
+    let addr = parse_flag::<String>(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut config = ServeConfig::default();
+    if let Some(n) = parse_flag(&args, "--concurrency") {
+        config.concurrency = n;
+    }
+    if let Some(n) = parse_flag(&args, "--cache-bytes") {
+        config.cache_bytes = n;
+    }
+    let core = Arc::new(ServeCore::new(config));
+    let daemon = match serve(Arc::clone(&core), addr.as_str()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("biocheckd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("biocheckd listening on {}", daemon.addr);
+    daemon.join();
+    println!("biocheckd: shutdown");
+}

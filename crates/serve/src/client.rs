@@ -1,0 +1,129 @@
+//! A blocking wire-protocol client: one request out, one response in.
+//!
+//! Used by the daemon smoke tests, the CI scripted batch, and the
+//! bench load generator. The client is deliberately synchronous —
+//! pipelining is achieved by opening more clients (the daemon serves
+//! each connection on its own thread and admits work FIFO).
+
+use crate::json::{parse_json, Json};
+use crate::wire::{ModelSource, QueryRequest, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One decoded query response.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// Was the report served from the result cache?
+    pub cached: bool,
+    /// The server-computed [`Report::fingerprint`](biocheck_engine::Report::fingerprint).
+    pub fingerprint: String,
+    /// The full `"report"` payload.
+    pub report: Json,
+}
+
+/// A blocking connection to a `biocheckd` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response object. Protocol errors
+    /// (`ok: false`) are returned as `Err` with the server's message.
+    pub fn request(&mut self, request: &Request) -> Result<Json, String> {
+        let line = request.to_json().render();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if reply.is_empty() {
+            return Err("connection closed".into());
+        }
+        let json = parse_json(reply.trim())?;
+        match json.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(json),
+            Some(false) => Err(json
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error")
+                .to_string()),
+            None => Err(format!("malformed response: {reply}")),
+        }
+    }
+
+    /// Registers a model; returns its fingerprint.
+    pub fn register(&mut self, model: &str, source: &ModelSource) -> Result<String, String> {
+        let reply = self.request(&Request::Register {
+            model: model.to_string(),
+            source: source.clone(),
+        })?;
+        reply
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "register response missing fingerprint".into())
+    }
+
+    /// Runs one query.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryReply, String> {
+        let reply = self.request(&Request::Query(request.clone()))?;
+        let report = reply
+            .get("report")
+            .cloned()
+            .ok_or("query response missing report")?;
+        Ok(QueryReply {
+            cached: reply
+                .get("cached")
+                .and_then(Json::as_bool)
+                .ok_or("query response missing cached")?,
+            fingerprint: report
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or("report missing fingerprint")?
+                .to_string(),
+            report,
+        })
+    }
+
+    /// Fetches the statistics payload.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.request(&Request::Stats)?
+            .get("stats")
+            .cloned()
+            .ok_or_else(|| "stats response missing stats".into())
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// Cancels the in-flight query with the given id; returns whether
+    /// the daemon found one.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, String> {
+        self.request(&Request::Cancel { id })?
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| "cancel response missing cancelled".into())
+    }
+
+    /// Asks the daemon to stop accepting connections.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}

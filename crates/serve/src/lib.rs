@@ -1,0 +1,96 @@
+//! The query-serving subsystem: the paper's analysis toolchain packaged
+//! as a deployable service.
+//!
+//! The engine (`biocheck_engine`) made every analysis a typed, seeded,
+//! budgeted query against a per-model [`Session`](biocheck_engine::Session).
+//! This crate adds the layer the ROADMAP's serving story needs on top:
+//!
+//! * [`registry::Registry`] — a multi-model **session registry**: models
+//!   register by name with textual sources, are fingerprinted, and share
+//!   one engine session per model across all clients and threads (the
+//!   session transparently rebuilds only when a query introduces new
+//!   expression vocabulary).
+//! * [`cache::ResultCache`] — a **cost-aware LRU result cache**: seeded
+//!   queries under count-only budgets are pure functions of
+//!   `(model fingerprint, canonical query, seed, caps)`, so whole
+//!   [`Report`](biocheck_engine::Report)s are memoized, with
+//!   byte-budgeted eviction and hit/miss/evict counters. A cached report
+//!   is `fingerprint()`-identical to a fresh computation.
+//! * [`scheduler::Scheduler`] — **fair FIFO admission** of concurrent
+//!   requests over the existing work-stealing pool, bounded concurrency,
+//!   per-request [`Budget`](biocheck_engine::Budget) and
+//!   [`CancelToken`](biocheck_engine::CancelToken).
+//! * [`wire`] — a **line-delimited JSON protocol** (typed requests in,
+//!   serialized reports out) with [`json`] as the workspace's shared
+//!   mini-JSON parser/serializer.
+//! * [`server::ServeCore`] + [`server::serve`] — the transport-free core
+//!   and the `biocheckd` TCP daemon; [`client::Client`] is the blocking
+//!   counterpart used by tests, CI, and the bench load generator.
+//!
+//! Serving is deterministic per request: the same `(model, query, seed,
+//! count budget)` produces a bit-identical report at any pool width, any
+//! admission order, and any number of concurrent clients — cached or
+//! recomputed.
+//!
+//! # Example (in-process)
+//!
+//! ```
+//! use biocheck_serve::server::{ServeConfig, ServeCore};
+//! use biocheck_serve::wire::{
+//!     BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec,
+//!     SmcSpecWire,
+//! };
+//! use biocheck_expr::RelOp;
+//!
+//! let core = ServeCore::new(ServeConfig::default());
+//! core.register(
+//!     "decay",
+//!     &ModelSource {
+//!         states: vec![("x".into(), "-x".into())],
+//!         consts: vec![],
+//!     },
+//! )
+//! .unwrap();
+//! let request = QueryRequest {
+//!     model: "decay".into(),
+//!     id: None,
+//!     seed: 42,
+//!     budget: BudgetSpec::default(),
+//!     query: QuerySpec::Estimate {
+//!         smc: SmcSpecWire {
+//!             init: vec![DistSpec::Uniform(0.5, 1.5)],
+//!             params: vec![],
+//!             property: PropSpec::Eventually {
+//!                 bound: 0.01,
+//!                 inner: Box::new(PropSpec::Prop { expr: "x - 1".into(), rel: RelOp::Ge }),
+//!             },
+//!             t_end: 0.01,
+//!         },
+//!         method: MethodSpec::Fixed { n: 100 },
+//!     },
+//! };
+//! let (fresh, cached) = core.run_query(&request).unwrap();
+//! assert!(!cached);
+//! let (hit, cached) = core.run_query(&request).unwrap();
+//! assert!(cached);
+//! assert_eq!(fresh.fingerprint(), hit.fingerprint());
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, ResultCache};
+pub use client::{Client, QueryReply};
+pub use json::{parse_json, Json};
+pub use registry::{fingerprint64, ModelEntry, Registry};
+pub use scheduler::Scheduler;
+pub use server::{serve, Daemon, ServeConfig, ServeCore};
+pub use wire::{
+    BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, Request,
+    SmcSpecWire,
+};

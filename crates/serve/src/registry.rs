@@ -1,0 +1,355 @@
+//! The multi-model session registry: model name → fingerprint + shared
+//! [`Session`].
+//!
+//! A model registers under a name with a textual [`ModelSource`]; its
+//! **fingerprint** is a hash of the canonical source, so re-registering
+//! the same definition keeps the fingerprint (and every memoized
+//! result), while re-registering a *changed* definition rotates it —
+//! result-cache keys embed the fingerprint, so stale reports become
+//! unreachable by construction (and the server additionally purges
+//! them).
+//!
+//! Queries arrive with expressions in text form and must be lowered
+//! into the model's interned [`Context`]. The registry keeps one
+//! *master* context per model and hands out a [`Session`] built from a
+//! clone of it. Parsing a query may grow the master arena (a formula
+//! the model has never seen); the session's clone would not contain the
+//! new nodes, so the entry transparently rebuilds the session from a
+//! fresh clone whenever the vocabulary grew. Hash-consing makes parsing
+//! deterministic — repeated traffic re-parses into the *same* node ids
+//! and never triggers a rebuild, so under steady-state serving the
+//! session (and all its compiled artifacts) is shared across every
+//! request and thread.
+
+use crate::wire::ModelSource;
+use biocheck_engine::{Query, Session};
+use biocheck_expr::Context;
+use biocheck_ode::OdeSystem;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across runs — exactly
+/// what a cache-key fingerprint needs (it is not a defense against
+/// adversarial collisions).
+pub fn fingerprint64(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+struct EntryInner {
+    /// The master context: every query expression parses into this one.
+    cx: Context,
+    sys: OdeSystem,
+    /// Session built from a clone of `cx` taken at `snapshot` state.
+    session: Arc<Session>,
+    snapshot_nodes: usize,
+    snapshot_vars: usize,
+    /// Sessions built since registration (1 = never rebuilt).
+    builds: usize,
+}
+
+/// One registered model.
+pub struct ModelEntry {
+    name: String,
+    fingerprint: String,
+    /// Parameters pinned as constants at registration. They were
+    /// substituted out of the right-hand sides, so randomizing one in
+    /// a query would silently have no effect (the server rejects
+    /// that); referencing one in a *property* expression substitutes
+    /// its pinned value, so `"x - k"` means what the model says it
+    /// means rather than silently evaluating `k` as 0.
+    consts: Vec<(String, f64)>,
+    inner: Mutex<EntryInner>,
+}
+
+impl ModelEntry {
+    /// The model's fingerprint (hash of its canonical source).
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Was `name` pinned as a constant at registration?
+    pub fn is_const(&self, name: &str) -> bool {
+        self.consts.iter().any(|(n, _)| n == name)
+    }
+
+    /// How many times the session was (re)built — 1 when every request
+    /// reused the original, +1 for each vocabulary growth.
+    pub fn session_builds(&self) -> usize {
+        self.inner.lock().expect("registry poisoned").builds
+    }
+
+    /// Lowers a wire payload into an engine query with the entry's
+    /// master context and returns it with the session to run it on and
+    /// its canonical memoization key (fingerprint-prefixed).
+    ///
+    /// The closure runs under the entry lock; it parses text into the
+    /// master context. If parsing grew the arena, the session is
+    /// rebuilt from a fresh context clone so every node id the query
+    /// references exists in the session.
+    pub fn prepare<E>(
+        &self,
+        build: impl FnOnce(&mut Context) -> Result<Query, E>,
+    ) -> Result<(Arc<Session>, Query, String), E> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut query = build(&mut inner.cx)?;
+        self.substitute_consts(&mut inner.cx, &mut query);
+        if inner.cx.num_nodes() > inner.snapshot_nodes || inner.cx.num_vars() > inner.snapshot_vars
+        {
+            let session = Arc::new(Session::from_parts(inner.cx.clone(), inner.sys.clone()));
+            inner.snapshot_nodes = inner.cx.num_nodes();
+            inner.snapshot_vars = inner.cx.num_vars();
+            inner.builds += 1;
+            inner.session = session;
+        }
+        let key = format!("{}|{}", self.fingerprint, query.canonical(&inner.cx));
+        Ok((Arc::clone(&inner.session), query, key))
+    }
+
+    /// Replaces registration-time constants inside the query's property
+    /// expressions with their pinned values — the right-hand sides had
+    /// the same substitution applied at registration, so a property
+    /// mentioning `k` evaluates it at the registered value instead of
+    /// the sampler's zero-filled environment. Runs before the
+    /// vocabulary-growth check (substitution can intern new nodes) and
+    /// before canonicalization (so `"x - k"` and the literal it means
+    /// share one memoization key).
+    fn substitute_consts(&self, cx: &mut Context, query: &mut Query) {
+        if self.consts.is_empty() {
+            return;
+        }
+        let smc = match query {
+            Query::Estimate { smc, .. }
+            | Query::Sprt { smc, .. }
+            | Query::Robustness { smc, .. } => smc,
+            _ => return,
+        };
+        let map: HashMap<biocheck_expr::VarId, biocheck_expr::NodeId> = self
+            .consts
+            .iter()
+            .filter_map(|(name, v)| {
+                let vid = cx.var_id(name)?;
+                let c = cx.constant(*v);
+                Some((vid, c))
+            })
+            .collect();
+        smc.property = subst_bltl(cx, &smc.property, &map);
+    }
+}
+
+fn subst_bltl(
+    cx: &mut Context,
+    f: &biocheck_bltl::Bltl,
+    map: &HashMap<biocheck_expr::VarId, biocheck_expr::NodeId>,
+) -> biocheck_bltl::Bltl {
+    use biocheck_bltl::Bltl;
+    match f {
+        Bltl::Prop(a) => Bltl::Prop(biocheck_expr::Atom::new(cx.subst(a.expr, map), a.op)),
+        Bltl::Not(inner) => Bltl::Not(Box::new(subst_bltl(cx, inner, map))),
+        Bltl::And(fs) => Bltl::And(fs.iter().map(|g| subst_bltl(cx, g, map)).collect()),
+        Bltl::Or(fs) => Bltl::Or(fs.iter().map(|g| subst_bltl(cx, g, map)).collect()),
+        Bltl::Until { lhs, rhs, bound } => Bltl::Until {
+            lhs: Box::new(subst_bltl(cx, lhs, map)),
+            rhs: Box::new(subst_bltl(cx, rhs, map)),
+            bound: *bound,
+        },
+    }
+}
+
+/// The name → model map. All methods take `&self`.
+#[derive(Default)]
+pub struct Registry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a model. Returns the new entry and, when
+    /// a previous registration was replaced, the old fingerprint (the
+    /// server purges its memoized results).
+    pub fn register(
+        &self,
+        name: &str,
+        source: &ModelSource,
+    ) -> Result<(Arc<ModelEntry>, Option<String>), String> {
+        let (cx, sys) = source.build()?;
+        let fingerprint = fingerprint64(&source.canonical());
+        let session = Arc::new(Session::from_parts(cx.clone(), sys.clone()));
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            fingerprint,
+            consts: source.consts.clone(),
+            inner: Mutex::new(EntryInner {
+                snapshot_nodes: cx.num_nodes(),
+                snapshot_vars: cx.num_vars(),
+                cx,
+                sys,
+                session,
+                builds: 1,
+            }),
+        });
+        let old = self
+            .models
+            .write()
+            .expect("registry poisoned")
+            .insert(name.to_string(), Arc::clone(&entry));
+        let replaced = old
+            .filter(|o| o.fingerprint != entry.fingerprint)
+            .map(|o| o.fingerprint.clone());
+        Ok((entry, replaced))
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.models
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered model count.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry poisoned").len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered `(name, fingerprint)` pairs, sorted by name.
+    pub fn list(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .models
+            .read()
+            .expect("registry poisoned")
+            .values()
+            .map(|e| (e.name.clone(), e.fingerprint.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{DistSpec, MethodSpec, PropSpec, QuerySpec, SmcSpecWire};
+    use biocheck_expr::RelOp;
+
+    fn decay_source() -> ModelSource {
+        ModelSource {
+            states: vec![("x".into(), "-k*x".into())],
+            consts: vec![("k".into(), 1.0)],
+        }
+    }
+
+    fn estimate_spec(expr: &str) -> QuerySpec {
+        QuerySpec::Estimate {
+            smc: SmcSpecWire {
+                init: vec![DistSpec::Uniform(0.5, 1.5)],
+                params: vec![],
+                property: PropSpec::Eventually {
+                    bound: 0.01,
+                    inner: Box::new(PropSpec::Prop {
+                        expr: expr.into(),
+                        rel: RelOp::Ge,
+                    }),
+                },
+                t_end: 0.01,
+            },
+            method: MethodSpec::Fixed { n: 20 },
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_source_sensitive() {
+        let a = fingerprint64(&decay_source().canonical());
+        let b = fingerprint64(&decay_source().canonical());
+        assert_eq!(a, b);
+        let other = ModelSource {
+            states: vec![("x".into(), "-2*k*x".into())],
+            consts: vec![("k".into(), 1.0)],
+        };
+        assert_ne!(a, fingerprint64(&other.canonical()));
+    }
+
+    #[test]
+    fn canonical_source_cannot_collide_on_smuggled_delimiters() {
+        // Two different models whose naive joined rendering would be
+        // identical: consts [p=1, q=2] vs one const literally named
+        // "p=1,q". JSON-quoted canonicalization keeps them distinct.
+        let honest = ModelSource {
+            states: vec![("x".into(), "-x".into())],
+            consts: vec![("p".into(), 1.0), ("q".into(), 2.0)],
+        };
+        let smuggler = ModelSource {
+            states: vec![("x".into(), "-x".into())],
+            consts: vec![("p=1,q".into(), 2.0)],
+        };
+        assert_ne!(honest.canonical(), smuggler.canonical());
+        assert_ne!(
+            fingerprint64(&honest.canonical()),
+            fingerprint64(&smuggler.canonical())
+        );
+    }
+
+    #[test]
+    fn repeated_vocabulary_reuses_the_session() {
+        let reg = Registry::new();
+        let (entry, replaced) = reg.register("decay", &decay_source()).unwrap();
+        assert!(replaced.is_none());
+        let spec = estimate_spec("x - 1");
+        let (s1, _, k1) = entry.prepare(|cx| spec.build(cx)).unwrap();
+        // First novel formula grows the arena → one rebuild.
+        assert_eq!(entry.session_builds(), 2);
+        let (s2, _, k2) = entry.prepare(|cx| spec.build(cx)).unwrap();
+        assert_eq!(entry.session_builds(), 2, "repeat parse must not rebuild");
+        assert!(Arc::ptr_eq(&s1, &s2), "same session served");
+        assert_eq!(k1, k2, "same canonical key");
+        // A new formula rebuilds once, then stabilizes again.
+        let spec2 = estimate_spec("x - 0.8");
+        let (s3, _, k3) = entry.prepare(|cx| spec2.build(cx)).unwrap();
+        assert_eq!(entry.session_builds(), 3);
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert_ne!(k1, k3);
+        let (s4, _, _) = entry
+            .prepare(|cx| estimate_spec("x - 1").build(cx))
+            .unwrap();
+        assert_eq!(entry.session_builds(), 3);
+        assert!(Arc::ptr_eq(&s3, &s4));
+    }
+
+    #[test]
+    fn reregistration_rotates_fingerprint_only_on_change() {
+        let reg = Registry::new();
+        let (e1, _) = reg.register("m", &decay_source()).unwrap();
+        // Same source: same fingerprint, nothing to purge.
+        let (e2, replaced) = reg.register("m", &decay_source()).unwrap();
+        assert_eq!(e1.fingerprint(), e2.fingerprint());
+        assert!(replaced.is_none());
+        // Changed source: new fingerprint, old one reported for purging.
+        let changed = ModelSource {
+            states: vec![("x".into(), "-3*x".into())],
+            consts: vec![],
+        };
+        let (e3, replaced) = reg.register("m", &changed).unwrap();
+        assert_ne!(e1.fingerprint(), e3.fingerprint());
+        assert_eq!(replaced.as_deref(), Some(e1.fingerprint()));
+        assert_eq!(reg.len(), 1);
+    }
+}

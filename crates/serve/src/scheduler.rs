@@ -1,0 +1,156 @@
+//! Fair FIFO admission control for query execution.
+//!
+//! The engine parallelizes *inside* a query over the global
+//! work-stealing pool, so running every incoming request concurrently
+//! would oversubscribe the pool and let late arrivals race ahead of
+//! early ones. The [`Scheduler`] multiplexes instead: callers block in
+//! [`Scheduler::admit`] and are admitted strictly in arrival order
+//! (ticket-based), at most `capacity` at a time. Each admitted request
+//! then uses the full rayon pool for its own parallel sampling.
+//!
+//! Determinism: admission order affects only *when* a query runs, never
+//! its result — every engine query is bit-deterministic in
+//! `(model, query, seed, count-budget)` at any pool width — so the
+//! scheduler needs no result-ordering machinery, just fairness.
+
+use std::sync::{Condvar, Mutex};
+
+struct State {
+    /// Next ticket to hand out.
+    next_ticket: u64,
+    /// The ticket allowed to enter next (tickets below it have entered).
+    next_to_admit: u64,
+    /// Currently admitted requests.
+    running: usize,
+}
+
+/// A FIFO admission gate with bounded concurrency.
+pub struct Scheduler {
+    capacity: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    /// Creates a scheduler admitting at most `capacity` requests at a
+    /// time (`capacity` is clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Scheduler {
+        Scheduler {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                next_ticket: 0,
+                next_to_admit: 0,
+                running: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The concurrency bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests currently admitted (racy snapshot, for stats).
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("scheduler poisoned").running
+    }
+
+    /// Blocks until this caller is at the front of the queue AND a
+    /// concurrency slot is free, then enters. The returned [`Permit`]
+    /// releases the slot on drop.
+    pub fn admit(&self) -> Permit<'_> {
+        let mut state = self.state.lock().expect("scheduler poisoned");
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        while !(state.next_to_admit == ticket && state.running < self.capacity) {
+            state = self.cv.wait(state).expect("scheduler poisoned");
+        }
+        state.next_to_admit += 1;
+        state.running += 1;
+        drop(state);
+        // Wake the next ticket holder: with capacity > 1 it may be
+        // admissible immediately.
+        self.cv.notify_all();
+        Permit { scheduler: self }
+    }
+}
+
+/// An admitted execution slot; dropping it releases the slot and wakes
+/// the queue.
+#[must_use = "the permit IS the execution slot"]
+pub struct Permit<'a> {
+    scheduler: &'a Scheduler,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.scheduler.state.lock().expect("scheduler poisoned");
+        state.running -= 1;
+        drop(state);
+        self.scheduler.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_bounds_concurrency() {
+        let sched = Arc::new(Scheduler::new(2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (sched, peak, live) = (sched.clone(), peak.clone(), live.clone());
+                std::thread::spawn(move || {
+                    let _permit = sched.admit();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "capacity exceeded");
+        assert_eq!(sched.in_flight(), 0);
+    }
+
+    #[test]
+    fn admission_is_fifo_at_capacity_one() {
+        // Thread i takes ticket i (handshake-ordered), so admissions
+        // must complete in exactly that order.
+        let sched = Arc::new(Scheduler::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = sched.admit(); // hold the slot so everyone queues
+        let ready = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let (sched, order, ready2) = (sched.clone(), order.clone(), ready.clone());
+                let h = std::thread::spawn(move || {
+                    ready2.wait(); // ticket order == spawn order
+                    let _permit = sched.admit();
+                    order.lock().unwrap().push(i);
+                });
+                // Wait until the thread is about to take its ticket,
+                // then give it time to actually take it before spawning
+                // the next one. (Ticket draw races are sub-microsecond;
+                // the barrier + sleep makes the order reliable.)
+                ready.wait();
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                h
+            })
+            .collect();
+        drop(gate);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+}

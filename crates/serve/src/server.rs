@@ -1,0 +1,414 @@
+//! The serving core and the TCP daemon.
+//!
+//! [`ServeCore`] is the transport-independent heart: it owns the
+//! session [`Registry`], the byte-budgeted [`ResultCache`], the FIFO
+//! [`Scheduler`], and the in-flight cancellation table, and answers
+//! one [`Request`] at a time. The TCP layer ([`serve`]) is a thin
+//! line-framing shell around it: one thread per connection, one JSON
+//! object per line, responses in request order per connection.
+//!
+//! # Memoization contract
+//!
+//! A query result is admitted to the cache only when it is a pure
+//! function of `(model fingerprint, canonical query, seed, count
+//! caps)`: the request carried no wall-clock deadline and its
+//! per-request cancellation token was never raised. A cache hit
+//! therefore hands back a report that is `fingerprint()`-identical to
+//! what a fresh computation would produce — the invariant
+//! `tests/serve.rs` pins down. Requests *with* a deadline still consult
+//! the cache (a memoized complete answer is strictly better than a
+//! deadline-truncated recomputation); they just never populate it.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::scheduler::Scheduler;
+use crate::wire::{report_to_json, ModelSource, QueryRequest, Request};
+use biocheck_engine::{CancelToken, Report};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Rough fixed per-entry overhead charged on top of the key and
+/// fingerprint lengths (report payload, map/list bookkeeping).
+const ENTRY_OVERHEAD_BYTES: usize = 256;
+
+/// Configuration for a [`ServeCore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Concurrent query executions admitted by the scheduler.
+    pub concurrency: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cache_bytes: 64 << 20,
+            concurrency: 2,
+        }
+    }
+}
+
+/// The transport-independent serving core. Shared behind an `Arc`
+/// across connection threads; all methods take `&self`.
+pub struct ServeCore {
+    registry: Registry,
+    cache: ResultCache<Arc<Report>>,
+    scheduler: Scheduler,
+    inflight: Mutex<HashMap<u64, CancelToken>>,
+    shutdown: AtomicBool,
+}
+
+impl ServeCore {
+    /// Creates a core with the given configuration.
+    pub fn new(config: ServeConfig) -> ServeCore {
+        ServeCore {
+            registry: Registry::new(),
+            cache: ResultCache::new(config.cache_bytes),
+            scheduler: Scheduler::new(config.concurrency),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The model registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Has a shutdown request been handled?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Registers (or replaces) a model; returns its fingerprint. A
+    /// replacement with a *different* definition purges every memoized
+    /// result of the old fingerprint.
+    pub fn register(&self, name: &str, source: &ModelSource) -> Result<String, String> {
+        let (entry, replaced) = self.registry.register(name, source)?;
+        if let Some(old) = replaced {
+            self.cache.purge_prefix(&format!("{old}|"));
+        }
+        Ok(entry.fingerprint().to_string())
+    }
+
+    /// Runs (or recalls) one query. Returns the report and whether it
+    /// came from the cache.
+    pub fn run_query(&self, qr: &QueryRequest) -> Result<(Arc<Report>, bool), String> {
+        let entry = self
+            .registry
+            .get(&qr.model)
+            .ok_or_else(|| format!("unknown model {:?}", qr.model))?;
+        // A parameter pinned as a constant at registration was
+        // substituted out of the dynamics: randomizing it would be a
+        // silent no-op, so it is an error instead.
+        if let Some(pinned) = qr.query.param_names().iter().find(|n| entry.is_const(n)) {
+            return Err(format!(
+                "parameter {pinned:?} was pinned as a constant when model {:?} was registered; \
+                 re-register the model without it to randomize it",
+                qr.model
+            ));
+        }
+        let (session, query, base_key) = entry.prepare(|cx| qr.query.build(cx))?;
+        let budget = qr.budget.build();
+        let key = format!("{base_key}|seed={}|{}", qr.seed, budget.canonical_caps());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((hit, true));
+        }
+        // Per-request cancellation token, addressable while in flight.
+        // Ids live in one daemon-wide namespace (so any connection can
+        // cancel any request); a duplicate id is rejected rather than
+        // silently clobbering another request's token. The guard
+        // removes the entry on every exit path, panics included.
+        let token = CancelToken::new();
+        let _inflight = match qr.id {
+            Some(id) => {
+                let mut table = self.inflight.lock().expect("inflight table poisoned");
+                if table.contains_key(&id) {
+                    return Err(format!("request id {id} is already in flight"));
+                }
+                table.insert(id, token.clone());
+                Some(InflightGuard {
+                    table: &self.inflight,
+                    id,
+                })
+            }
+            None => None,
+        };
+        let result = {
+            let _permit = self.scheduler.admit();
+            // A racing identical request may have populated the cache
+            // while this one queued; recheck before paying for compute.
+            if let Some(hit) = self.cache.get(&key) {
+                return Ok((hit, true));
+            }
+            session
+                .query(query)
+                .seed(qr.seed)
+                .budget(budget.clone().with_cancel(token.clone()))
+                .run()
+        };
+        let report = Arc::new(result.map_err(|e| e.to_string())?);
+        // Pure-function check: no wall clock involved, token never
+        // raised → memoize.
+        if budget.is_count_only() && !token.is_cancelled() {
+            let cost = key.len() + report.fingerprint().len() + ENTRY_OVERHEAD_BYTES;
+            self.cache.insert(key, Arc::clone(&report), cost);
+        }
+        Ok((report, false))
+    }
+
+    /// Raises the cancellation token of the in-flight query registered
+    /// under `id`. Returns whether such a query existed.
+    pub fn cancel(&self, id: u64) -> bool {
+        match self
+            .inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .get(&id)
+        {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Statistics payload (`op: stats`).
+    pub fn stats_json(&self) -> Json {
+        let c = self.cache.stats();
+        Json::obj([
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::num(c.hits as f64)),
+                    ("misses", Json::num(c.misses as f64)),
+                    ("inserts", Json::num(c.inserts as f64)),
+                    ("evictions", Json::num(c.evictions as f64)),
+                    ("rejected", Json::num(c.rejected as f64)),
+                    ("purged", Json::num(c.purged as f64)),
+                    ("entries", Json::num(c.entries as f64)),
+                    ("bytes", Json::num(c.bytes as f64)),
+                    (
+                        "capacity_bytes",
+                        Json::num(self.cache.capacity_bytes() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::obj([
+                    ("capacity", Json::num(self.scheduler.capacity() as f64)),
+                    ("in_flight", Json::num(self.scheduler.in_flight() as f64)),
+                ]),
+            ),
+            (
+                "models",
+                Json::Arr(
+                    self.registry
+                        .list()
+                        .into_iter()
+                        .map(|(name, fp)| {
+                            Json::obj([("name", Json::str(name)), ("fingerprint", Json::str(fp))])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("threads", Json::num(rayon::current_num_threads() as f64)),
+        ])
+    }
+
+    /// Answers one request. The bool is `true` when the request was a
+    /// shutdown (the transport should stop accepting after responding).
+    pub fn handle(&self, request: &Request) -> (Json, bool) {
+        match request {
+            Request::Register { model, source } => match self.register(model, source) {
+                Ok(fingerprint) => (
+                    Json::obj([
+                        ("ok", Json::Bool(true)),
+                        ("model", Json::str(model.clone())),
+                        ("fingerprint", Json::str(fingerprint)),
+                    ]),
+                    false,
+                ),
+                Err(e) => (error_json(&e), false),
+            },
+            Request::Query(qr) => match self.run_query(qr) {
+                Ok((report, cached)) => {
+                    let mut pairs = vec![
+                        ("ok", Json::Bool(true)),
+                        ("model", Json::str(qr.model.clone())),
+                        ("cached", Json::Bool(cached)),
+                        ("report", report_to_json(&report)),
+                    ];
+                    if let Some(id) = qr.id {
+                        pairs.push(("id", crate::wire::u64_to_json(id)));
+                    }
+                    (Json::obj(pairs), false)
+                }
+                Err(e) => (error_json(&e), false),
+            },
+            Request::Cancel { id } => (
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("cancelled", Json::Bool(self.cancel(*id))),
+                ]),
+                false,
+            ),
+            Request::Stats => (
+                Json::obj([("ok", Json::Bool(true)), ("stats", self.stats_json())]),
+                false,
+            ),
+            Request::Ping => (Json::obj([("ok", Json::Bool(true))]), false),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                (Json::obj([("ok", Json::Bool(true))]), true)
+            }
+        }
+    }
+
+    /// Answers one raw request line (transport entry point).
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        match Request::from_line(line) {
+            Ok(request) => {
+                let (json, stop) = self.handle(&request);
+                (json.render(), stop)
+            }
+            Err(e) => (error_json(&e).render(), false),
+        }
+    }
+}
+
+/// Removes a request's id from the in-flight table when the request
+/// finishes — on every exit path, panics included.
+struct InflightGuard<'a> {
+    table: &'a Mutex<HashMap<u64, CancelToken>>,
+    id: u64,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut table) = self.table.lock() {
+            table.remove(&self.id);
+        }
+    }
+}
+
+fn error_json(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+}
+
+/// A running daemon: the bound address plus the accept-loop handle.
+pub struct Daemon {
+    /// The actually bound address (resolves port 0).
+    pub addr: SocketAddr,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Blocks until the accept loop exits (a `shutdown` request).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Starts the line-delimited JSON daemon on `addr` (use port 0 for an
+/// ephemeral port; the bound address is in the returned [`Daemon`]).
+/// One thread per connection; requests on a connection are processed
+/// sequentially, so responses arrive in request order. Concurrency
+/// across connections is bounded by the core's scheduler.
+pub fn serve(core: Arc<ServeCore>, addr: impl ToSocketAddrs) -> std::io::Result<Daemon> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let accept_core = Arc::clone(&core);
+    let accept_thread = std::thread::Builder::new()
+        .name("biocheckd-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_core.is_shutdown() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let core = Arc::clone(&accept_core);
+                let _ = std::thread::Builder::new()
+                    .name("biocheckd-conn".into())
+                    .spawn(move || handle_connection(core, stream, addr));
+            }
+        })?;
+    Ok(Daemon {
+        addr,
+        accept_thread,
+    })
+}
+
+/// Longest request line the daemon will buffer. A peer streaming an
+/// endless line would otherwise grow the buffer without bound;
+/// legitimate requests are a few kilobytes.
+const MAX_LINE_BYTES: usize = 4 << 20;
+
+fn handle_connection(core: Arc<ServeCore>, stream: TcpStream, daemon_addr: SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        match std::io::Read::take(&mut reader, (MAX_LINE_BYTES + 1) as u64)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            // Cannot resynchronize mid-line: report and drop the peer.
+            let _ = writer.write_all(
+                error_json(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+                    .render()
+                    .as_bytes(),
+            );
+            let _ = writer.write_all(b"\n");
+            break;
+        }
+        let Ok(line) = std::str::from_utf8(&buf) else {
+            let _ = writer.write_all(error_json("request line is not UTF-8").render().as_bytes());
+            let _ = writer.write_all(b"\n");
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = core.handle_line(line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if stop {
+            // Unblock the accept loop so it observes the shutdown flag.
+            // A wildcard bind (0.0.0.0 / ::) is not connectable on
+            // every platform — poke the loopback of the same family.
+            let mut poke = daemon_addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke.ip() {
+                    std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect(poke);
+            break;
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Round-trip property: `parse_json(v.render()) == v` for random JSON
+//! values (and bit-identity for the numbers inside).
+
+use biocheck_serve::json::{parse_json, Json};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A random finite f64 with a wide dynamic range (uniform bits would be
+/// mostly huge exponents; mix integers, small reals, and extremes).
+fn random_num(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..5u32) {
+        0 => rng.gen_range(-1000i64..1000) as f64,
+        1 => rng.gen_range(-1.0..1.0),
+        2 => rng.gen_range(-1.0e12..1.0e12),
+        3 => {
+            // Arbitrary bit patterns, rejecting non-finite.
+            loop {
+                let v = f64::from_bits(rng.gen::<u64>());
+                if v.is_finite() {
+                    break v;
+                }
+            }
+        }
+        _ => *[0.0, -0.0, f64::MAX, f64::MIN_POSITIVE, 1.0 / 3.0]
+            .get(rng.gen_range(0..5usize))
+            .unwrap(),
+    }
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => char::from_u32(rng.gen_range(1..0x20)).unwrap(),
+            4 => char::from_u32(rng.gen_range(0x80..0x2500)).unwrap_or('ß'),
+            _ => char::from(rng.gen_range(b' '..b'~')),
+        })
+        .collect()
+}
+
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let top = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..top) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen()),
+        2 => Json::Num(random_num(rng)),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.gen_range(0..4usize);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.gen_range(0..4usize);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(random_string(rng), random_json(rng, depth - 1));
+            }
+            Json::Obj(map)
+        }
+    }
+}
+
+/// Structural equality with bit-level number comparison (`PartialEq` on
+/// f64 would call -0.0 == 0.0 and miss sign-bit round-trip bugs).
+fn bit_eq(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Num(x), Json::Num(y)) => x.to_bits() == y.to_bits(),
+        (Json::Arr(xs), Json::Arr(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| bit_eq(x, y))
+        }
+        (Json::Obj(xs), Json::Obj(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && bit_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_roundtrips(seed in 0..u64::MAX) {
+        let mut rng = proptest::new_rng(seed);
+        let v = random_json(&mut rng, 3);
+        let text = v.render();
+        let back = parse_json(&text).map_err(|e| format!("{text}: {e}"))?;
+        prop_assert!(bit_eq(&back, &v), "{} reparsed as {:?}", text, back);
+        // Rendering is canonical: a second round-trip is a fixpoint.
+        prop_assert_eq!(back.render(), text);
+    }
+}

@@ -1,0 +1,373 @@
+//! End-to-end serving tests: the memoization invariant (cache-hit
+//! reports bit-identical to fresh computation, across session rebuilds
+//! and request interleavings), the TCP daemon against direct engine
+//! sessions, concurrent-client determinism, and per-request
+//! budgets/cancellation.
+
+use biocheck_engine::{Outcome, Session};
+use biocheck_serve::server::{serve, ServeConfig, ServeCore};
+use biocheck_serve::wire::{
+    BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, SmcSpecWire,
+};
+use biocheck_serve::{Client, Json};
+use std::sync::Arc;
+
+fn decay_source() -> ModelSource {
+    ModelSource {
+        states: vec![("x".into(), "-k*x".into())],
+        consts: vec![("k".into(), 1.0)],
+    }
+}
+
+fn estimate(expr: &str, seed: u64, n: usize) -> QueryRequest {
+    QueryRequest {
+        model: "decay".into(),
+        id: None,
+        seed,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Estimate {
+            smc: SmcSpecWire {
+                init: vec![DistSpec::Uniform(0.5, 1.5)],
+                params: vec![],
+                property: PropSpec::Eventually {
+                    bound: 0.01,
+                    inner: Box::new(PropSpec::Prop {
+                        expr: expr.into(),
+                        rel: biocheck_expr::RelOp::Ge,
+                    }),
+                },
+                t_end: 0.01,
+            },
+            method: MethodSpec::Fixed { n },
+        },
+    }
+}
+
+/// The tentpole invariant: a cached report is `fingerprint()`-identical
+/// to a fresh computation — including when the serving core processed
+/// other queries in between (which grow the model's expression arena
+/// and rebuild its session) and when requests arrive in a different
+/// order on a different core.
+#[test]
+fn cached_reports_equal_fresh_computation() {
+    let a = ServeCore::new(ServeConfig::default());
+    a.register("decay", &decay_source()).unwrap();
+    let q1 = estimate("x - 1", 42, 150);
+    let q2 = estimate("x - 0.8", 42, 150);
+    let q3 = estimate("x - 1.2", 9, 80);
+
+    let (r1_cold, c) = a.run_query(&q1).unwrap();
+    assert!(!c);
+    // Interleave different vocabulary (forces session rebuilds) …
+    let (_r2, _) = a.run_query(&q2).unwrap();
+    let (_r3, _) = a.run_query(&q3).unwrap();
+    // … then hit the cache for q1.
+    let (r1_hit, c) = a.run_query(&q1).unwrap();
+    assert!(c, "identical request must be memoized");
+    assert_eq!(r1_cold.fingerprint(), r1_hit.fingerprint());
+
+    // A different core that saw the queries in REVERSE order (different
+    // arena growth history, different NodeIds) must produce the same
+    // reports — canonical keys and display-based lowering make the
+    // cache collision-free across histories.
+    let b = ServeCore::new(ServeConfig::default());
+    b.register("decay", &decay_source()).unwrap();
+    let (r3b, _) = b.run_query(&q3).unwrap();
+    let (r2b, _) = b.run_query(&q2).unwrap();
+    let (r1b, _) = b.run_query(&q1).unwrap();
+    assert_eq!(r1_cold.fingerprint(), r1b.fingerprint());
+    assert_eq!(_r2.fingerprint(), r2b.fingerprint());
+    assert_eq!(_r3.fingerprint(), r3b.fingerprint());
+
+    let stats = a.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.inserts, 3);
+}
+
+/// Wire round-trip: responses from a real TCP daemon fingerprint-equal
+/// direct `Session` runs of the same queries.
+#[test]
+fn daemon_matches_direct_session_runs() {
+    let core = Arc::new(ServeCore::new(ServeConfig::default()));
+    let daemon = serve(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let addr = daemon.addr;
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let fingerprint = client.register("decay", &decay_source()).unwrap();
+    assert_eq!(fingerprint.len(), 16, "fnv64 hex fingerprint");
+
+    let requests = [
+        estimate("x - 1", 7, 120),
+        estimate("x - 0.8", 8, 120),
+        QueryRequest {
+            model: "decay".into(),
+            id: None,
+            seed: 3,
+            budget: BudgetSpec::default(),
+            query: QuerySpec::Stability {
+                region: vec![(-0.5, 0.5)],
+                r_min: 0.1,
+                r_max: 0.4,
+            },
+        },
+    ];
+
+    // Direct reference: one session, same query construction.
+    let (mut cx, sys) = decay_source().build().unwrap();
+    let queries: Vec<_> = requests
+        .iter()
+        .map(|qr| qr.query.build(&mut cx).unwrap())
+        .collect();
+    let session = Session::from_parts(cx, sys);
+    for (qr, query) in requests.iter().zip(queries) {
+        let direct = session.query(query).seed(qr.seed).run().unwrap();
+        let reply = client.query(qr).unwrap();
+        assert_eq!(
+            reply.fingerprint,
+            direct.fingerprint(),
+            "wire result diverged for {qr:?}"
+        );
+        assert!(!reply.cached);
+        // Second round: memoized, same fingerprint.
+        let reply2 = client.query(qr).unwrap();
+        assert!(reply2.cached);
+        assert_eq!(reply2.fingerprint, direct.fingerprint());
+    }
+
+    // Stats over the wire.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats
+            .get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_usize),
+        Some(3)
+    );
+    assert_eq!(
+        stats
+            .get("models")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len),
+        Some(1)
+    );
+
+    client.shutdown().unwrap();
+    daemon.join();
+    assert!(core.is_shutdown());
+}
+
+/// N concurrent clients hammering the daemon with a shared query mix:
+/// every response must be bit-identical to the single-threaded
+/// reference — at any pool width (CI re-runs this suite under
+/// `BIOCHECK_THREADS` ∈ {1, 2, 8}) and any admission interleaving.
+#[test]
+fn concurrent_clients_get_bit_deterministic_reports() {
+    let core = Arc::new(ServeCore::new(ServeConfig {
+        cache_bytes: 1 << 20,
+        concurrency: 4,
+    }));
+    let daemon = serve(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let addr = daemon.addr;
+
+    let mix: Vec<QueryRequest> = (0..6)
+        .map(|i| {
+            estimate(
+                ["x - 1", "x - 0.8", "x - 1.2"][i % 3],
+                10 + (i / 3) as u64,
+                60,
+            )
+        })
+        .collect();
+
+    // Single-threaded reference (its own core, cold).
+    let reference: Vec<String> = {
+        let core = ServeCore::new(ServeConfig::default());
+        core.register("decay", &decay_source()).unwrap();
+        mix.iter()
+            .map(|qr| core.run_query(qr).unwrap().0.fingerprint())
+            .collect()
+    };
+
+    {
+        let mut client = Client::connect(addr).unwrap();
+        client.register("decay", &decay_source()).unwrap();
+    }
+    let handles: Vec<_> = (0..4)
+        .map(|worker| {
+            let mix = mix.clone();
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                // Each worker walks the mix from a different offset so
+                // cold computations and cache hits interleave.
+                for round in 0..3 {
+                    for i in 0..mix.len() {
+                        let idx = (i + worker * 2 + round) % mix.len();
+                        let reply = client.query(&mix[idx]).unwrap();
+                        assert_eq!(
+                            reply.fingerprint, reference[idx],
+                            "worker {worker} round {round} query {idx} diverged"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    daemon.join();
+}
+
+/// Randomizing a parameter that was pinned as a constant at
+/// registration is rejected: the constant was substituted out of the
+/// dynamics, so the distribution would silently have no effect.
+#[test]
+fn randomizing_a_pinned_const_is_an_error() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap(); // pins k = 1
+    let mut qr = estimate("x - 1", 3, 20);
+    let QuerySpec::Estimate { smc, .. } = &mut qr.query else {
+        unreachable!()
+    };
+    smc.params.push(("k".into(), DistSpec::Uniform(0.5, 1.5)));
+    let err = core.run_query(&qr).unwrap_err();
+    assert!(err.contains("pinned as a constant"), "{err}");
+}
+
+/// A property referencing a registration-time constant evaluates it at
+/// its pinned value (not the sampler's zero-filled environment): the
+/// server substitutes it, so `"x - k"` with `k = 1` is the same query —
+/// and the same memoization key — as the literal `"x - 1"`.
+#[test]
+fn property_constants_substitute_their_pinned_values() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap(); // pins k = 1
+    let (symbolic, cached) = core.run_query(&estimate("x - k", 7, 120)).unwrap();
+    assert!(!cached);
+    let (literal, cached) = core.run_query(&estimate("x - 1", 7, 120)).unwrap();
+    assert!(cached, "x - k with k = 1 IS x - 1: one memoization key");
+    assert_eq!(symbolic.fingerprint(), literal.fingerprint());
+}
+
+/// A typo'd name in a property is an error, never a silent 0.
+#[test]
+fn unknown_property_names_are_rejected() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap();
+    let err = core.run_query(&estimate("X - 1", 3, 20)).unwrap_err();
+    assert!(err.contains("X"), "{err}");
+}
+
+/// Per-request count budgets memoize and reproduce; cancelled requests
+/// come back well-formed and are never cached.
+#[test]
+fn budgets_and_cancellation() {
+    let core = Arc::new(ServeCore::new(ServeConfig::default()));
+    core.register("decay", &decay_source()).unwrap();
+
+    // Count cap: deterministic partial answer, cacheable.
+    let mut capped = estimate("x - 1", 4, 500);
+    capped.budget.max_samples = Some(50);
+    let (r, cached) = core.run_query(&capped).unwrap();
+    assert!(!cached);
+    assert_eq!(r.outcome, Outcome::Exhausted);
+    assert_eq!(r.provenance.samples, 50);
+    let (r2, cached) = core.run_query(&capped).unwrap();
+    assert!(cached, "count-budgeted requests are pure and memoizable");
+    assert_eq!(r.fingerprint(), r2.fingerprint());
+
+    // Deadline requests never populate the cache (wall-clock impure) —
+    // even when they complete comfortably.
+    let mut deadlined = estimate("x - 1", 5, 50);
+    deadlined.budget.deadline_ms = Some(60_000);
+    let (_r, cached) = core.run_query(&deadlined).unwrap();
+    assert!(!cached);
+    let (_r, cached) = core.run_query(&deadlined).unwrap();
+    assert!(!cached, "deadline requests must not be memoized");
+
+    // Cancelling an unknown id reports false.
+    assert!(!core.cancel(99));
+
+    // A request id already in flight is rejected, not clobbered: the
+    // first holder's CancelToken stays addressable and intact.
+    {
+        let mut a = estimate("x - 1", 70, 500_000);
+        a.id = Some(42);
+        let runner = {
+            let core = Arc::clone(&core);
+            let a = a.clone();
+            std::thread::spawn(move || core.run_query(&a))
+        };
+        // Wait until request 42 is in flight.
+        while !core.cancel(42) {
+            std::thread::yield_now();
+        }
+        let mut b = estimate("x - 0.8", 71, 10);
+        b.id = Some(42);
+        match core.run_query(&b) {
+            Err(e) => assert!(e.contains("already in flight"), "{e}"),
+            Ok((_, cached)) => {
+                // Request A may have finished between the cancel and
+                // this call; then B's id is free and B runs normally.
+                assert!(!cached);
+            }
+        }
+        let _ = runner.join().unwrap().unwrap();
+        assert!(!core.cancel(42), "finished request must leave the table");
+    }
+
+    // Cancel a genuinely long request mid-flight: an SPRT at
+    // theta ≈ p with a tiny indifference region needs millions of
+    // samples, so the cancel wins by a huge margin.
+    let long = QueryRequest {
+        model: "decay".into(),
+        id: Some(1),
+        seed: 6,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Sprt {
+            smc: SmcSpecWire {
+                init: vec![DistSpec::Uniform(0.5, 1.5)],
+                params: vec![],
+                property: PropSpec::Eventually {
+                    bound: 0.01,
+                    inner: Box::new(PropSpec::Prop {
+                        expr: "x - 1".into(),
+                        rel: biocheck_expr::RelOp::Ge,
+                    }),
+                },
+                t_end: 0.01,
+            },
+            theta: 0.5,
+            indiff: 0.001,
+            alpha: 0.001,
+            beta: 0.001,
+            max_samples: usize::MAX / 2,
+        },
+    };
+    let inserts_before = core.cache_stats().inserts;
+    let runner = {
+        let core = Arc::clone(&core);
+        let long = long.clone();
+        std::thread::spawn(move || core.run_query(&long))
+    };
+    // Spin until the request registers as in flight, then cancel it.
+    while !core.cancel(1) {
+        std::thread::yield_now();
+    }
+    let (report, cached) = runner.join().unwrap().unwrap();
+    assert!(!cached);
+    assert_eq!(report.outcome, Outcome::Exhausted);
+    // A cancelled run is not a pure function of the request: never
+    // memoized.
+    assert_eq!(
+        core.cache_stats().inserts,
+        inserts_before,
+        "cancelled run must not have been cached"
+    );
+    assert!(!core.cancel(1), "finished request left the in-flight table");
+}

@@ -1,0 +1,132 @@
+//! Serving quickstart — and the daemon smoke test.
+//!
+//! Starts a real `biocheckd` daemon on an ephemeral loopback port,
+//! registers a model over the wire, runs a scripted client batch twice
+//! (cold, then memoized), and asserts every wire response is
+//! `fingerprint()`-identical to running the same queries on a direct
+//! in-process [`Session`] — the serving layer may add caching,
+//! scheduling, and a network hop, but never a bit of numerical drift.
+//!
+//! Run with `cargo run --example serve_quickstart`.
+
+use biocheck::engine::Session;
+use biocheck::serve::server::{serve, ServeConfig, ServeCore};
+use biocheck::serve::wire::{
+    BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, SmcSpecWire,
+};
+use biocheck::serve::{Client, Json};
+use std::sync::Arc;
+
+fn main() {
+    // ── 1. Start the daemon (ephemeral port, default config).
+    let core = Arc::new(ServeCore::new(ServeConfig::default()));
+    let daemon = serve(Arc::clone(&core), "127.0.0.1:0").expect("bind loopback");
+    println!("biocheckd listening on {}", daemon.addr);
+
+    // ── 2. Register a model over the wire: the repressilator-like
+    //       toggle pair u' = k - u·v², v' = k - v·u² (k pinned at 0.3).
+    let source = ModelSource {
+        states: vec![
+            ("u".into(), "k - u*v^2".into()),
+            ("v".into(), "k - v*u^2".into()),
+        ],
+        consts: vec![("k".into(), 0.3)],
+    };
+    let mut client = Client::connect(daemon.addr).expect("connect");
+    let fingerprint = client.register("toggle", &source).expect("register");
+    println!("registered model `toggle` (fingerprint {fingerprint})");
+
+    // ── 3. A scripted batch: three estimates and one robustness query.
+    let smc = |expr: &str| SmcSpecWire {
+        init: vec![DistSpec::Uniform(0.0, 2.0), DistSpec::Uniform(0.0, 2.0)],
+        params: vec![],
+        property: PropSpec::Eventually {
+            bound: 5.0,
+            inner: Box::new(PropSpec::Prop {
+                expr: expr.into(),
+                rel: biocheck::expr::RelOp::Ge,
+            }),
+        },
+        t_end: 5.0,
+    };
+    let mut requests: Vec<QueryRequest> = ["u - v - 0.5", "v - u - 0.5", "u - 1"]
+        .iter()
+        .enumerate()
+        .map(|(i, expr)| QueryRequest {
+            model: "toggle".into(),
+            id: Some(i as u64),
+            seed: 100 + i as u64,
+            budget: BudgetSpec::default(),
+            query: QuerySpec::Estimate {
+                smc: smc(expr),
+                method: MethodSpec::Fixed { n: 200 },
+            },
+        })
+        .collect();
+    requests.push(QueryRequest {
+        model: "toggle".into(),
+        id: Some(3),
+        seed: 104,
+        budget: BudgetSpec {
+            max_samples: Some(80),
+            ..BudgetSpec::default()
+        },
+        query: QuerySpec::Robustness {
+            smc: smc("u - v"),
+            samples: 200,
+        },
+    });
+
+    // ── 4. Direct in-process reference: same source, same queries.
+    let (mut cx, sys) = source.build().expect("model parses");
+    let queries: Vec<_> = requests
+        .iter()
+        .map(|qr| qr.query.build(&mut cx).expect("query parses"))
+        .collect();
+    let session = Session::from_parts(cx, sys);
+    let direct: Vec<String> = queries
+        .into_iter()
+        .zip(&requests)
+        .map(|(q, qr)| {
+            session
+                .query(q)
+                .seed(qr.seed)
+                .budget(qr.budget.build())
+                .run()
+                .expect("direct run")
+                .fingerprint()
+        })
+        .collect();
+
+    // ── 5. Two wire passes: cold computes, warm memoizes — both must
+    //       fingerprint-match the direct session bit-for-bit.
+    for pass in ["cold", "warm"] {
+        for (i, qr) in requests.iter().enumerate() {
+            let reply = client.query(qr).expect("wire query");
+            assert_eq!(
+                reply.fingerprint, direct[i],
+                "wire response {i} diverged from the direct session"
+            );
+            if pass == "warm" {
+                assert!(reply.cached, "warm pass must be served from the cache");
+            }
+            println!(
+                "  {pass} query {i}: fingerprint ok (cached = {})",
+                reply.cached
+            );
+        }
+    }
+
+    // ── 6. Stats, then shutdown.
+    let stats = client.stats().expect("stats");
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_usize)
+        .unwrap_or(0);
+    assert!(hits >= requests.len(), "warm pass must hit the cache");
+    println!("cache stats: {}", stats.get("cache").unwrap().render());
+    client.shutdown().expect("shutdown");
+    daemon.join();
+    println!("daemon smoke OK: wire == direct session, warm pass fully memoized");
+}

@@ -87,4 +87,5 @@ pub use biocheck_models as models;
 pub use biocheck_ode as ode;
 pub use biocheck_sat as sat;
 pub use biocheck_sbml as sbml;
+pub use biocheck_serve as serve;
 pub use biocheck_smc as smc;
