@@ -164,6 +164,12 @@ impl DeltaSmt {
         bp.max_splits = self.max_splits;
         bp.cancel = self.cancel.clone();
         bp.deadline = self.deadline;
+        // Raising the cancel flag also interrupts an in-flight CDCL
+        // search, so `check` is responsive even while the Boolean core —
+        // not just the theory solver — is the long pole.
+        if let Some(flag) = &self.cancel {
+            enc.sat.set_interrupt(Arc::clone(flag));
+        }
 
         for _ in 0..self.max_theory_checks {
             if biocheck_icp::interrupted(self.cancel.as_deref(), self.deadline) {
@@ -177,6 +183,7 @@ impl DeltaSmt {
             match enc.sat.solve() {
                 SolveResult::Unsat => return DeltaResult::Unsat,
                 SolveResult::Sat => {}
+                SolveResult::Interrupted => return DeltaResult::Unknown { remaining: 1 },
             }
             // Collect asserted theory literals (positive occurrences only,
             // by NNF + Plaisted–Greenbaum construction).
@@ -381,6 +388,59 @@ mod tests {
         let mut smt = DeltaSmt::new(cx, 1e-3);
         smt.assert(Fol::False);
         assert!(smt.check().is_unsat());
+    }
+
+    #[test]
+    fn pre_raised_cancel_returns_unknown() {
+        let mut cx = Context::new();
+        let a = atom(&mut cx, "x - 1", RelOp::Ge);
+        let mut smt = DeltaSmt::new(cx, 1e-3);
+        smt.bound("x", Interval::new(-10.0, 10.0));
+        smt.assert(a);
+        let flag = Arc::new(AtomicBool::new(true));
+        smt.cancel = Some(flag);
+        let r = smt.check();
+        assert!(
+            matches!(r, DeltaResult::Unknown { .. }),
+            "cancelled check must not claim an answer: {r:?}"
+        );
+    }
+
+    #[test]
+    fn mid_check_cancel_interrupts_boolean_core() {
+        use std::sync::atomic::Ordering;
+        // Pigeonhole over flags: each "pigeon" disjunction forces a hole
+        // flag, pairwise exclusion forbids sharing. 12 pigeons, 11 holes
+        // is Boolean-unsat but exponentially hard for CDCL, so without
+        // the SAT-level interrupt this check would effectively hang.
+        let cx = Context::new();
+        let mut smt = DeltaSmt::new(cx, 1e-3);
+        let pigeons = 12;
+        let holes = 11;
+        let flag_id = |p: usize, h: usize| FlagId(p * holes + h);
+        for p in 0..pigeons {
+            smt.assert(Fol::or(
+                (0..holes).map(|h| Fol::Flag(flag_id(p, h))).collect(),
+            ));
+        }
+        for h in 0..holes {
+            let group: Vec<FlagId> = (0..pigeons).map(|p| flag_id(p, h)).collect();
+            smt.exclude_pairwise(&group);
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        smt.cancel = Some(Arc::clone(&flag));
+        let timer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let start = std::time::Instant::now();
+        let r = smt.check();
+        timer.join().unwrap();
+        assert!(
+            matches!(r, DeltaResult::Unknown { .. }),
+            "cancelled check must not claim an answer: {r:?}"
+        );
+        assert!(start.elapsed() < std::time::Duration::from_secs(30));
     }
 
     #[test]

@@ -46,8 +46,10 @@ impl CancelToken {
         self.0.clone()
     }
 
-    /// Borrowed view of the flag, for poll sites.
-    pub(crate) fn as_flag(&self) -> &AtomicBool {
+    /// Borrowed view of the flag, for poll sites (and for admission
+    /// queues that must notice cancellation while the query is still
+    /// waiting for an execution slot).
+    pub fn as_flag(&self) -> &AtomicBool {
         &self.0
     }
 }
@@ -65,6 +67,12 @@ pub struct Budget {
     pub max_paver_boxes: Option<usize>,
     /// Wall-clock allowance, measured from the start of `run()`.
     pub deadline: Option<Duration>,
+    /// Maximum time the request may wait in an admission queue before
+    /// being shed (consumed by the serving layer, not by the engine).
+    /// Excluded from [`Budget::canonical_caps`] and from the purity
+    /// check: shedding happens strictly *before* any computation, so a
+    /// queue deadline can never change a computed result.
+    pub queue_deadline: Option<Duration>,
     /// Cooperative cancellation flag.
     pub cancel: Option<CancelToken>,
 }
@@ -93,6 +101,13 @@ impl Budget {
     #[must_use]
     pub fn with_deadline(mut self, d: Duration) -> Budget {
         self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the admission-queue deadline (see [`Budget::queue_deadline`]).
+    #[must_use]
+    pub fn with_queue_deadline(mut self, d: Duration) -> Budget {
+        self.queue_deadline = Some(d);
         self
     }
 

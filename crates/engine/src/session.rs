@@ -19,7 +19,7 @@ use biocheck_smc::{fork_seed, TraceSampler};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Single-mode ODE model: context + system + the RHS compiled once.
@@ -311,7 +311,10 @@ impl Session {
         // Fast path under the lock: hit the sampler cache, or at least
         // grab the formula's cached plan.
         let cached_plan = {
-            let artifacts = self.artifacts.lock().expect("artifact cache poisoned");
+            let artifacts = self
+                .artifacts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(sampler) = artifacts.samplers.get(&key) {
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(sampler));
@@ -341,7 +344,10 @@ impl Session {
             smc.property.clone(),
             smc.t_end,
         ));
-        let mut artifacts = self.artifacts.lock().expect("artifact cache poisoned");
+        let mut artifacts = self
+            .artifacts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         artifacts.plans.entry(plan_key).or_insert(plan);
         let shared = artifacts
             .samplers

@@ -1,6 +1,8 @@
 //! The CDCL solver proper.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A Boolean variable (dense index).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -90,6 +92,11 @@ pub enum SolveResult {
     Sat,
     /// The clause set (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The interrupt flag ([`Solver::set_interrupt`]) was raised before
+    /// the search decided. No answer is claimed; the clause set (learned
+    /// clauses included) is intact and the solver stays usable, so a
+    /// later `solve` resumes from everything learned so far.
+    Interrupted,
 }
 
 const UNASSIGNED: u8 = 2;
@@ -134,6 +141,10 @@ pub struct Solver {
     broken: bool,
     conflicts: u64,
     restarts: u64,
+    /// Cooperative interruption: polled once per search-loop iteration
+    /// (every conflict and every decision), so a raised flag stops even
+    /// a hopeless exponential search within microseconds.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Solver {
@@ -160,7 +171,27 @@ impl Solver {
             broken: false,
             conflicts: 0,
             restarts: 0,
+            interrupt: None,
         }
+    }
+
+    /// Attaches a cooperative interrupt flag. Raising it from any
+    /// thread makes an in-flight (or future) [`Solver::solve`] return
+    /// [`SolveResult::Interrupted`] at its next poll point instead of
+    /// running the search to completion.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Detaches the interrupt flag.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
+    }
+
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_deref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Allocates a fresh variable.
@@ -455,6 +486,10 @@ impl Solver {
         self.cancel_until(0);
         let mut restart_budget = 64 * Self::luby(self.restarts + 1);
         loop {
+            if self.interrupted() {
+                self.cancel_until(0);
+                return SolveResult::Interrupted;
+            }
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
                 if self.trail_lim.is_empty() {
@@ -728,6 +763,76 @@ mod tests {
         for (i, &w) in want.iter().enumerate() {
             assert_eq!(Solver::luby(i as u64 + 1), w, "luby({})", i + 1);
         }
+    }
+
+    /// Pigeonhole CNF: `pigeons` pigeons into `holes` holes. Unsat (and
+    /// exponentially hard for resolution/CDCL) when pigeons > holes.
+    fn pigeonhole_cnf(pigeons: i32, holes: i32) -> Vec<Vec<i32>> {
+        let var = |i: i32, h: i32| (i - 1) * holes + h;
+        let mut cnf: Vec<Vec<i32>> = Vec::new();
+        for i in 1..=pigeons {
+            cnf.push((1..=holes).map(|h| var(i, h)).collect());
+        }
+        for h in 1..=holes {
+            for i in 1..=pigeons {
+                for j in (i + 1)..=pigeons {
+                    cnf.push(vec![-var(i, h), -var(j, h)]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pre_raised_interrupt_returns_immediately() {
+        let mut s = Solver::new();
+        let mut vs = Vec::new();
+        for c in &pigeonhole_cnf(6, 5) {
+            let lits: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vs, i)).collect();
+            assert!(s.add_clause(&lits));
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // Lowering the flag makes the same solver finish the search.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn mid_solve_interrupt_stops_hard_instance() {
+        // php(11, 10) takes far longer than the interrupt delay on any
+        // machine, so the timer thread always wins the race.
+        let mut s = Solver::new();
+        let mut vs = Vec::new();
+        for c in &pigeonhole_cnf(11, 10) {
+            let lits: Vec<Lit> = c.iter().map(|&i| lit(&mut s, &mut vs, i)).collect();
+            assert!(s.add_clause(&lits));
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        s.set_interrupt(Arc::clone(&flag));
+        let timer = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        let start = std::time::Instant::now();
+        let r = s.solve();
+        timer.join().unwrap();
+        assert_eq!(r, SolveResult::Interrupted);
+        // Well-formed partial state: conflicts were counted, the trail is
+        // reset, and the solver answers small follow-up queries.
+        assert!(start.elapsed() < std::time::Duration::from_secs(20));
+        assert!(s.num_conflicts() > 0, "search never ran");
+        s.clear_interrupt();
+        let extra = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(extra)]));
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(extra)]),
+            SolveResult::Unsat
+        );
     }
 
     #[test]

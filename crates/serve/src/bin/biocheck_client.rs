@@ -3,6 +3,7 @@
 //! ```text
 //! biocheck_client --connect HOST:PORT            # JSONL from stdin, responses to stdout
 //! biocheck_client --connect HOST:PORT --selftest # scripted batch + fingerprint check
+//! biocheck_client --connect HOST:PORT --selftest --expect-warm # cache must already be hot
 //! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
 //! ```
 //!
@@ -11,7 +12,15 @@
 //! re-computes every query on a direct in-process
 //! [`Session`] — exiting non-zero unless the
 //! daemon's reports are `fingerprint()`-identical to the direct runs
-//! and the second pass was served from the cache.
+//! and the second pass was served from the cache. With `--expect-warm`
+//! even the *first* pass must be all cache hits — the CI
+//! crash-recovery check uses this against a daemon restarted (after
+//! SIGKILL) from its `--persist` spill file, proving warm-started
+//! results are fingerprint-identical to fresh computation.
+//!
+//! Every socket operation is timeout-bounded (see
+//! [`biocheck_serve::ClientConfig`]): a dead or hung daemon makes the
+//! client fail fast with a diagnostic instead of blocking forever.
 
 use biocheck_engine::Session;
 use biocheck_serve::wire::{
@@ -87,7 +96,7 @@ fn selftest_requests() -> Vec<QueryRequest> {
     out
 }
 
-fn selftest(addr: &str) -> Result<(), String> {
+fn selftest(addr: &str, expect_warm: bool) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     client.ping()?;
     let source = selftest_model();
@@ -131,6 +140,12 @@ fn selftest(addr: &str) -> Result<(), String> {
             if pass == 1 && !reply.cached {
                 return Err(format!("query {i}: second pass not served from cache"));
             }
+            if pass == 0 && expect_warm && !reply.cached {
+                return Err(format!(
+                    "query {i}: --expect-warm but the first pass was not a cache hit \
+                     (persistence warm start failed?)"
+                ));
+            }
             eprintln!(
                 "selftest: query {i} pass {pass} ok (cached = {})",
                 reply.cached
@@ -151,8 +166,13 @@ fn selftest(addr: &str) -> Result<(), String> {
         ));
     }
     println!(
-        "selftest OK: {} queries, daemon == direct session bit-for-bit, warm pass fully memoized",
-        requests.len()
+        "selftest OK: {} queries, daemon == direct session bit-for-bit, warm pass fully memoized{}",
+        requests.len(),
+        if expect_warm {
+            " (warm-started from persisted cache)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -166,7 +186,8 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".into());
     if args.iter().any(|a| a == "--selftest") {
-        if let Err(e) = selftest(&addr) {
+        let expect_warm = args.iter().any(|a| a == "--expect-warm");
+        if let Err(e) = selftest(&addr, expect_warm) {
             eprintln!("selftest FAILED: {e}");
             std::process::exit(1);
         }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! biocheckd [--addr 127.0.0.1:7878] [--concurrency 2] [--cache-bytes 67108864]
+//!           [--max-queue 16] [--persist PATH]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in the README's
@@ -9,7 +10,15 @@
 //! per line out. Models register by name; seeded queries are memoized
 //! in a byte-budgeted LRU keyed by `(model fingerprint, canonical
 //! query, seed, count caps)`. Stop it with `{"op":"shutdown"}` (or the
-//! `biocheck_client` helper).
+//! `biocheck_client` helper) — the daemon drains in-flight queries
+//! before exiting.
+//!
+//! `--max-queue` bounds the admission queue: arrivals beyond it get an
+//! `overloaded` reply with a `retry_after_ms` hint instead of waiting.
+//! `--persist PATH` spills memoized results to a checksummed
+//! append-only log, reloaded on the next boot (warm start): a restart
+//! — even after SIGKILL — serves previously computed queries as cache
+//! hits with identical fingerprints.
 //!
 //! Prints `biocheckd listening on <addr>` on stdout once bound — with
 //! `--addr 127.0.0.1:0` the kernel-assigned port is in that line.
@@ -29,6 +38,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: biocheckd [--addr HOST:PORT] [--concurrency N] [--cache-bytes N]\n\
+             \x20                [--max-queue N] [--persist PATH]\n\
              protocol: line-delimited JSON (see README \"Serving\")"
         );
         return;
@@ -40,6 +50,12 @@ fn main() {
     }
     if let Some(n) = parse_flag(&args, "--cache-bytes") {
         config.cache_bytes = n;
+    }
+    if let Some(n) = parse_flag(&args, "--max-queue") {
+        config.max_queue = n;
+    }
+    if let Some(path) = parse_flag::<String>(&args, "--persist") {
+        config.persist = Some(path.into());
     }
     let core = Arc::new(ServeCore::new(config));
     let daemon = match serve(Arc::clone(&core), addr.as_str()) {

@@ -15,8 +15,10 @@
 //! The LRU list is intrusive over a slab (`prev`/`next` indices), so
 //! `get`/`insert`/eviction are all O(1) outside the `HashMap` lookups.
 
+pub mod persist;
+
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 const NONE: usize = usize::MAX;
 
@@ -99,7 +101,7 @@ impl<V: Clone> ResultCache<V> {
 
     /// Looks up `key`, marking the entry most-recently-used on a hit.
     pub fn get(&self, key: &str) -> Option<V> {
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         match inner.map.get(key).copied() {
             Some(idx) => {
                 inner.stats.hits += 1;
@@ -123,7 +125,7 @@ impl<V: Clone> ResultCache<V> {
     /// eviction is counted for the replacement itself).
     pub fn insert(&self, key: impl Into<String>, value: V, cost: usize) -> bool {
         let key = key.into();
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if cost > self.capacity_bytes {
             if let Some(idx) = inner.map.get(&key).copied() {
                 inner.evict(idx);
@@ -177,7 +179,7 @@ impl<V: Clone> ResultCache<V> {
     /// a re-registered model's old fingerprint). Returns the number of
     /// entries removed.
     pub fn purge_prefix(&self, prefix: &str) -> usize {
-        let mut inner = self.inner.lock().expect("result cache poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let victims: Vec<usize> = inner
             .map
             .iter()
@@ -194,7 +196,7 @@ impl<V: Clone> ResultCache<V> {
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("result cache poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         CacheStats {
             entries: inner.map.len(),
             bytes: inner.bytes,

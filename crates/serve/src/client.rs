@@ -4,11 +4,56 @@
 //! bench load generator. The client is deliberately synchronous —
 //! pipelining is achieved by opening more clients (the daemon serves
 //! each connection on its own thread and admits work FIFO).
+//!
+//! # Failure behavior
+//!
+//! Every socket operation is bounded by the timeouts in
+//! [`ClientConfig`], so a dead or hung daemon fails the call instead
+//! of blocking the process forever. [`Client::query`] additionally
+//! retries with capped exponential backoff — reconnecting after
+//! transport failures, and honoring the server's `retry_after_ms`
+//! hint on `overloaded` replies. Retrying a query is safe by
+//! construction: seeded queries are deterministic and memoized, so a
+//! duplicate execution returns a bit-identical report (usually from
+//! the cache). Non-retryable server errors (`invalid_request`,
+//! `query_error`, ...) surface immediately.
 
 use crate::json::{parse_json, Json};
 use crate::wire::{ModelSource, QueryRequest, Request};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket timeouts and retry policy for a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-address TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (bounds how long one reply may take; cover
+    /// your longest expected query).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Retry attempts for [`Client::query`] after the initial try.
+    pub retries: u32,
+    /// First backoff delay; doubles per retry.
+    pub retry_base: Duration,
+    /// Backoff ceiling.
+    pub retry_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(30),
+            retries: 3,
+            retry_base: Duration::from_millis(100),
+            retry_cap: Duration::from_secs(5),
+        }
+    }
+}
 
 /// One decoded query response.
 #[derive(Clone, Debug)]
@@ -21,48 +66,200 @@ pub struct QueryReply {
     pub report: Json,
 }
 
-/// A blocking connection to a `biocheckd` daemon.
-pub struct Client {
+/// How one request attempt failed — drives the retry decision.
+enum Failure {
+    /// The socket failed (send, receive, closed, reconnect): the
+    /// connection is unusable and a retry needs a fresh one.
+    Transport(String),
+    /// The server answered `ok: false`.
+    Server {
+        kind: Option<String>,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl Failure {
+    fn into_message(self) -> String {
+        match self {
+            Failure::Transport(m) => m,
+            Failure::Server { message, .. } => message,
+        }
+    }
+
+    /// Overloaded replies carry the server's backoff hint; transport
+    /// failures are retryable against a restarted or recovered daemon.
+    fn retry_hint(&self) -> Option<Option<u64>> {
+        match self {
+            Failure::Transport(_) => Some(None),
+            Failure::Server {
+                kind,
+                retry_after_ms,
+                ..
+            } if kind.as_deref() == Some("overloaded") => Some(*retry_after_ms),
+            Failure::Server { .. } => None,
+        }
+    }
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+/// A blocking connection to a `biocheckd` daemon.
+pub struct Client {
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    conn: Option<Conn>,
+}
+
 impl Client {
-    /// Connects to a daemon.
+    /// Connects to a daemon with [`ClientConfig::default`] timeouts.
+    /// Fails fast: a dead address errors after `connect_timeout`, never
+    /// hangs.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-        })
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends one request and reads its response object. Protocol errors
-    /// (`ok: false`) are returned as `Err` with the server's message.
-    pub fn request(&mut self, request: &Request) -> Result<Json, String> {
-        let line = request.to_json().render();
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send: {e}"))?;
-        let mut reply = String::new();
-        self.reader
-            .read_line(&mut reply)
-            .map_err(|e| format!("recv: {e}"))?;
-        if reply.is_empty() {
-            return Err("connection closed".into());
+    /// Connects with an explicit configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> std::io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
         }
-        let json = parse_json(reply.trim())?;
+        let mut client = Client {
+            addrs,
+            config,
+            conn: None,
+        };
+        client.reconnect().map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.into_message())
+        })?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> Result<(), Failure> {
+        self.conn = None;
+        let mut last = None;
+        for addr in &self.addrs {
+            match TcpStream::connect_timeout(addr, self.config.connect_timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+                    let writer = stream
+                        .try_clone()
+                        .map_err(|e| Failure::Transport(format!("clone: {e}")))?;
+                    self.conn = Some(Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(Failure::Transport(format!(
+            "connect: {}",
+            last.expect("at least one address")
+        )))
+    }
+
+    /// One request/response exchange on the current connection.
+    fn attempt(&mut self, request: &Request) -> Result<Json, Failure> {
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let line = request.to_json().render();
+        let sent = conn
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| conn.writer.write_all(b"\n"))
+            .and_then(|()| conn.writer.flush());
+        if let Err(e) = sent {
+            self.conn = None;
+            return Err(Failure::Transport(format!("send: {e}")));
+        }
+        let mut reply = String::new();
+        if let Err(e) = conn.reader.read_line(&mut reply) {
+            self.conn = None;
+            return Err(Failure::Transport(format!("recv: {e}")));
+        }
+        if reply.is_empty() {
+            self.conn = None;
+            return Err(Failure::Transport("connection closed".into()));
+        }
+        let json = match parse_json(reply.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                // A torn reply line cannot be resynchronized: drop the
+                // connection so a retry starts clean.
+                self.conn = None;
+                return Err(Failure::Transport(format!("malformed reply: {e}")));
+            }
+        };
         match json.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(json),
-            Some(false) => Err(json
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("unknown server error")
-                .to_string()),
-            None => Err(format!("malformed response: {reply}")),
+            Some(false) => Err(Failure::Server {
+                kind: json.get("kind").and_then(Json::as_str).map(str::to_string),
+                message: json
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string(),
+                retry_after_ms: json
+                    .get("retry_after_ms")
+                    .and_then(|v| v.as_f64())
+                    .map(|v| v as u64),
+            }),
+            None => {
+                self.conn = None;
+                Err(Failure::Transport(format!("malformed response: {reply}")))
+            }
+        }
+    }
+
+    /// Sends one request and reads its response object, without
+    /// retrying. Protocol errors (`ok: false`) are returned as `Err`
+    /// with the server's message.
+    pub fn request(&mut self, request: &Request) -> Result<Json, String> {
+        self.attempt(request).map_err(Failure::into_message)
+    }
+
+    /// Sends one request, retrying transport failures and `overloaded`
+    /// sheds with capped exponential backoff (see [`ClientConfig`]).
+    pub fn request_retrying(&mut self, request: &Request) -> Result<Json, String> {
+        let mut attempt = 0u32;
+        loop {
+            let failure = match self.attempt(request) {
+                Ok(v) => return Ok(v),
+                Err(f) => f,
+            };
+            let Some(hint_ms) = failure.retry_hint() else {
+                return Err(failure.into_message());
+            };
+            if attempt >= self.config.retries {
+                return Err(failure.into_message());
+            }
+            let backoff = self
+                .config
+                .retry_base
+                .saturating_mul(1u32 << attempt.min(16))
+                .min(self.config.retry_cap);
+            // The server's hint knows the backlog better than our
+            // schedule does; never retry sooner than it asks.
+            let delay = match hint_ms {
+                Some(ms) => backoff
+                    .max(Duration::from_millis(ms))
+                    .min(self.config.retry_cap),
+                None => backoff,
+            };
+            std::thread::sleep(delay);
+            attempt += 1;
         }
     }
 
@@ -79,9 +276,10 @@ impl Client {
             .ok_or_else(|| "register response missing fingerprint".into())
     }
 
-    /// Runs one query.
+    /// Runs one query, with retry (queries are deterministic and
+    /// memoized, so a retried execution cannot change the answer).
     pub fn query(&mut self, request: &QueryRequest) -> Result<QueryReply, String> {
-        let reply = self.request(&Request::Query(request.clone()))?;
+        let reply = self.request_retrying(&Request::Query(request.clone()))?;
         let report = reply
             .get("report")
             .cloned()
@@ -122,7 +320,9 @@ impl Client {
             .ok_or_else(|| "cancel response missing cancelled".into())
     }
 
-    /// Asks the daemon to stop accepting connections.
+    /// Asks the daemon to stop accepting connections. Not retried: the
+    /// daemon drains in-flight work before confirming, and a retry
+    /// against an already-stopping daemon would just fail again.
     pub fn shutdown(&mut self) -> Result<(), String> {
         self.request(&Request::Shutdown).map(|_| ())
     }

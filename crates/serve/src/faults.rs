@@ -1,0 +1,160 @@
+//! Deterministic fault injection (compiled only under the
+//! `fault-injection` feature; `tests/chaos.rs` is the sole consumer).
+//!
+//! A process-global [`FaultPlan`] drives every hook from one seeded
+//! splitmix64 stream, so a chaos run's fault schedule is a pure
+//! function of its seed — a failing run replays exactly. Hooks sit at
+//! the two boundaries the serving layer promises to survive:
+//!
+//! * **Execution**: [`exec_panic_point`] panics inside the query body
+//!   (under the server's `catch_unwind`), modeling a solver bug.
+//! * **Transport / disk**: [`torn_reply_len`] tears a reply mid-line,
+//!   [`reply_delay`] stalls one, and [`persist_io_error`] fails a
+//!   cache-spill append.
+//!
+//! With no plan installed every hook is a no-op, so fault-injection
+//! builds behave identically to production builds until a test opts
+//! in. Counters ([`FaultStats`]) let tests assert that faults actually
+//! fired — a chaos test that injected nothing proves nothing.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Fault rates (each in `[0, 1]`) and the seed that schedules them.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability a query execution panics mid-request.
+    pub exec_panic_rate: f64,
+    /// Probability a reply line is torn (a prefix is written, then the
+    /// connection drops).
+    pub torn_reply_rate: f64,
+    /// Probability a reply is delayed by [`FaultPlan::reply_delay_ms`].
+    pub reply_delay_rate: f64,
+    /// Delay applied to delayed replies.
+    pub reply_delay_ms: u64,
+    /// Probability a cache-persistence append fails with an I/O error.
+    pub persist_io_error_rate: f64,
+}
+
+/// How many faults of each kind actually fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Panics raised by [`exec_panic_point`].
+    pub exec_panics: u64,
+    /// Replies torn by [`torn_reply_len`].
+    pub torn_replies: u64,
+    /// Replies delayed by [`reply_delay`].
+    pub delayed_replies: u64,
+    /// Appends failed by [`persist_io_error`].
+    pub persist_io_errors: u64,
+}
+
+struct Injector {
+    plan: FaultPlan,
+    rng: u64,
+    stats: FaultStats,
+}
+
+impl Injector {
+    /// splitmix64: one 64-bit draw per fault decision.
+    fn next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Bernoulli draw at `rate`.
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < rate
+    }
+}
+
+static INJECTOR: Mutex<Option<Injector>> = Mutex::new(None);
+
+fn injector() -> MutexGuard<'static, Option<Injector>> {
+    // The injector mutex can be poisoned by design: exec_panic_point
+    // unwinds through frames that may hold it elsewhere. State is a
+    // counter bundle; recovery is always safe.
+    INJECTOR.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Installs `plan`, replacing any previous one and zeroing counters.
+pub fn install(plan: FaultPlan) {
+    *injector() = Some(Injector {
+        plan,
+        rng: plan.seed,
+        stats: FaultStats::default(),
+    });
+}
+
+/// Uninstalls the plan and returns what fired while it was active.
+pub fn clear() -> FaultStats {
+    injector().take().map(|i| i.stats).unwrap_or_default()
+}
+
+/// Counters so far (plan still active).
+pub fn stats() -> FaultStats {
+    injector().as_ref().map(|i| i.stats).unwrap_or_default()
+}
+
+/// Execution-boundary hook: panics (outside the injector lock) when
+/// the schedule says this request blows up.
+pub fn exec_panic_point() {
+    let fire = {
+        let mut guard = injector();
+        match guard.as_mut() {
+            Some(inj) => {
+                let fire = inj.roll(inj.plan.exec_panic_rate);
+                if fire {
+                    inj.stats.exec_panics += 1;
+                }
+                fire
+            }
+            None => false,
+        }
+    };
+    if fire {
+        panic!("injected fault: solver panic");
+    }
+}
+
+/// Transport hook: `Some(prefix_len)` when this reply (of `len` bytes)
+/// should be torn after `prefix_len` bytes.
+pub fn torn_reply_len(len: usize) -> Option<usize> {
+    let mut guard = injector();
+    let inj = guard.as_mut()?;
+    if !inj.roll(inj.plan.torn_reply_rate) {
+        return None;
+    }
+    inj.stats.torn_replies += 1;
+    // Anywhere from nothing to all-but-the-newline.
+    Some((inj.next() as usize) % len.max(1))
+}
+
+/// Transport hook: `Some(delay)` when this reply should stall first.
+pub fn reply_delay() -> Option<Duration> {
+    let mut guard = injector();
+    let inj = guard.as_mut()?;
+    if inj.plan.reply_delay_ms == 0 || !inj.roll(inj.plan.reply_delay_rate) {
+        return None;
+    }
+    inj.stats.delayed_replies += 1;
+    Some(Duration::from_millis(inj.plan.reply_delay_ms))
+}
+
+/// Disk hook: `true` when this cache-spill append should fail.
+pub fn persist_io_error() -> bool {
+    let mut guard = injector();
+    let Some(inj) = guard.as_mut() else {
+        return false;
+    };
+    if !inj.roll(inj.plan.persist_io_error_rate) {
+        return false;
+    }
+    inj.stats.persist_io_errors += 1;
+    true
+}

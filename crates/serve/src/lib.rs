@@ -78,6 +78,8 @@
 
 pub mod cache;
 pub mod client;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod json;
 pub mod registry;
 pub mod scheduler;
@@ -85,11 +87,11 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
-pub use client::{Client, QueryReply};
+pub use client::{Client, ClientConfig, QueryReply};
 pub use json::{parse_json, Json};
 pub use registry::{fingerprint64, ModelEntry, Registry};
-pub use scheduler::Scheduler;
-pub use server::{serve, Daemon, ServeConfig, ServeCore};
+pub use scheduler::{AdmitError, AdmitWait, Scheduler};
+pub use server::{serve, Daemon, ServeConfig, ServeCore, ServeError};
 pub use wire::{
     BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, Request,
     SmcSpecWire,

@@ -26,7 +26,7 @@ use biocheck_engine::{Query, Session};
 use biocheck_expr::Context;
 use biocheck_ode::OdeSystem;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// FNV-1a, 64-bit: tiny, dependency-free, stable across runs — exactly
 /// what a cache-key fingerprint needs (it is not a defense against
@@ -85,7 +85,10 @@ impl ModelEntry {
     /// How many times the session was (re)built — 1 when every request
     /// reused the original, +1 for each vocabulary growth.
     pub fn session_builds(&self) -> usize {
-        self.inner.lock().expect("registry poisoned").builds
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .builds
     }
 
     /// Lowers a wire payload into an engine query with the entry's
@@ -100,7 +103,7 @@ impl ModelEntry {
         &self,
         build: impl FnOnce(&mut Context) -> Result<Query, E>,
     ) -> Result<(Arc<Session>, Query, String), E> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut query = build(&mut inner.cx)?;
         self.substitute_consts(&mut inner.cx, &mut query);
         if inner.cx.num_nodes() > inner.snapshot_nodes || inner.cx.num_vars() > inner.snapshot_vars
@@ -204,7 +207,7 @@ impl Registry {
         let old = self
             .models
             .write()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), Arc::clone(&entry));
         let replaced = old
             .filter(|o| o.fingerprint != entry.fingerprint)
@@ -216,14 +219,17 @@ impl Registry {
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
         self.models
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
 
     /// Registered model count.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry poisoned").len()
+        self.models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Is the registry empty?
@@ -236,7 +242,7 @@ impl Registry {
         let mut out: Vec<(String, String)> = self
             .models
             .read()
-            .expect("registry poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .values()
             .map(|e| (e.name.clone(), e.fingerprint.clone()))
             .collect();

@@ -18,30 +18,68 @@
 //! `tests/serve.rs` pins down. Requests *with* a deadline still consult
 //! the cache (a memoized complete answer is strictly better than a
 //! deadline-truncated recomputation); they just never populate it.
+//! Queue deadlines ([`BudgetSpec::queue_ms`](crate::wire::BudgetSpec))
+//! are excluded from keys and from the purity check: shedding happens
+//! strictly before any computation runs.
+//!
+//! # Fault containment
+//!
+//! Every request body runs under `catch_unwind`, so a panicking solver
+//! produces a clean `internal_error` reply instead of killing the
+//! connection thread, and — because every shared-state lock in the
+//! serving path recovers from poisoning — it never wedges the
+//! registry, cache, in-flight table, or scheduler for later requests.
+//! Overload is shed at admission (bounded queue, `overloaded` reply
+//! with a retry hint), slow or stalled peers are bounded by per-line
+//! and idle timeouts, and `shutdown` drains: in-flight queries finish
+//! and get their replies, queued and future ones are refused.
 
+use crate::cache::persist::CacheLog;
 use crate::cache::{CacheStats, ResultCache};
 use crate::json::Json;
 use crate::registry::Registry;
-use crate::scheduler::Scheduler;
+use crate::scheduler::{AdmitError, AdmitWait, Scheduler};
 use crate::wire::{report_to_json, ModelSource, QueryRequest, Request};
 use biocheck_engine::{CancelToken, Report};
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Rough fixed per-entry overhead charged on top of the key and
 /// fingerprint lengths (report payload, map/list bookkeeping).
 const ENTRY_OVERHEAD_BYTES: usize = 256;
 
 /// Configuration for a [`ServeCore`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Result-cache byte budget.
     pub cache_bytes: usize,
     /// Concurrent query executions admitted by the scheduler.
     pub concurrency: usize,
+    /// Admission-queue bound; arrivals beyond it are shed with an
+    /// `overloaded` reply instead of waiting.
+    pub max_queue: usize,
+    /// Cache spill file. `Some(path)` persists memoized results across
+    /// restarts (appended as they are computed, reloaded on boot); a
+    /// file that cannot be opened disables persistence with a warning
+    /// rather than refusing to serve.
+    pub persist: Option<PathBuf>,
+    /// Drop a connection that has been completely silent (no request
+    /// in progress) for this long.
+    pub idle_timeout: Duration,
+    /// Drop a connection that started a request line but has not
+    /// finished it within this window (slow-loris defense: a plain
+    /// per-read timeout resets on every byte, so a peer trickling one
+    /// byte per period would hold the thread forever).
+    pub line_timeout: Duration,
+    /// Socket write timeout for replies.
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +87,104 @@ impl Default for ServeConfig {
         ServeConfig {
             cache_bytes: 64 << 20,
             concurrency: 2,
+            max_queue: 16,
+            persist: None,
+            idle_timeout: Duration::from_secs(300),
+            line_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why a request was refused. The wire discriminant
+/// ([`ServeError::kind`]) lets clients distinguish retryable overload
+/// (`overloaded`, with a backoff hint) from caller mistakes
+/// (`invalid_request`, `query_error`) and server faults
+/// (`internal_error`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is full; retry after the hinted backoff.
+    Overloaded {
+        /// Queue length observed at shed time.
+        queue_depth: usize,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request's queue deadline elapsed before an execution slot
+    /// freed up; it was shed without running.
+    Expired(String),
+    /// The request's cancellation token was raised before it ran.
+    Cancelled,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// The request itself is malformed (unknown model, duplicate id,
+    /// unparseable body, pinned-constant parameter, ...).
+    Invalid(String),
+    /// The engine rejected the query (bad specification values).
+    Query(String),
+    /// The server failed while executing the request (e.g. a solver
+    /// panic, contained by `catch_unwind`).
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable discriminant carried in error replies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Expired(_) => "expired",
+            ServeError::Cancelled => "cancelled",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Invalid(_) => "invalid_request",
+            ServeError::Query(_) => "query_error",
+            ServeError::Internal(_) => "internal_error",
+        }
+    }
+
+    /// Backoff hint, present on `overloaded` replies.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ServeError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server overloaded ({queue_depth} queued); retry in {retry_after_ms} ms"
+            ),
+            ServeError::Expired(msg) => write!(f, "{msg}"),
+            ServeError::Cancelled => write!(f, "request cancelled before execution"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Invalid(msg) | ServeError::Query(msg) | ServeError::Internal(msg) => {
+                write!(f, "{msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AdmitError> for ServeError {
+    fn from(e: AdmitError) -> ServeError {
+        match e {
+            AdmitError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            } => ServeError::Overloaded {
+                queue_depth,
+                retry_after_ms,
+            },
+            AdmitError::Expired { .. } => ServeError::Expired(e.to_string()),
+            AdmitError::Cancelled => ServeError::Cancelled,
+            AdmitError::ShuttingDown => ServeError::ShuttingDown,
         }
     }
 }
@@ -60,18 +196,53 @@ pub struct ServeCore {
     cache: ResultCache<Arc<Report>>,
     scheduler: Scheduler,
     inflight: Mutex<HashMap<u64, CancelToken>>,
+    persist: Option<Mutex<CacheLog>>,
     shutdown: AtomicBool,
+    panics: AtomicU64,
+    idle_timeout: Duration,
+    line_timeout: Duration,
+    write_timeout: Duration,
 }
 
 impl ServeCore {
-    /// Creates a core with the given configuration.
+    /// Creates a core with the given configuration. When
+    /// `config.persist` names a spill file, every record it holds is
+    /// reloaded into the cache (corrupt or torn records are skipped,
+    /// never fatal) and the file is kept open for appending; a file
+    /// that cannot be opened at all disables persistence with a
+    /// warning on stderr.
     pub fn new(config: ServeConfig) -> ServeCore {
+        let cache = ResultCache::new(config.cache_bytes);
+        let persist = config.persist.as_ref().and_then(|path| {
+            match CacheLog::open(path) {
+                Ok((log, records)) => {
+                    for rec in records {
+                        cache.insert(rec.key, Arc::new(rec.report), rec.cost);
+                    }
+                    Some(Mutex::new(log))
+                }
+                Err(e) => {
+                    // Fail open: a broken spill path costs warm starts,
+                    // not availability.
+                    eprintln!(
+                        "biocheckd: cache persistence disabled ({}: {e})",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         ServeCore {
             registry: Registry::new(),
-            cache: ResultCache::new(config.cache_bytes),
-            scheduler: Scheduler::new(config.concurrency),
+            cache,
+            scheduler: Scheduler::with_queue(config.concurrency, config.max_queue),
             inflight: Mutex::new(HashMap::new()),
+            persist,
             shutdown: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout,
+            line_timeout: config.line_timeout,
+            write_timeout: config.write_timeout,
         }
     }
 
@@ -83,6 +254,24 @@ impl ServeCore {
     /// Result-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Persistence counters, when a spill file is attached.
+    pub fn persist_stats(&self) -> Option<crate::cache::persist::PersistStats> {
+        self.persist
+            .as_ref()
+            .map(|log| log.lock().unwrap_or_else(PoisonError::into_inner).stats())
+    }
+
+    /// Query executions that panicked and were converted into
+    /// `internal_error` replies.
+    pub fn panic_count(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// The admission scheduler (stats / drain access).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
     }
 
     /// Has a shutdown request been handled?
@@ -103,22 +292,24 @@ impl ServeCore {
 
     /// Runs (or recalls) one query. Returns the report and whether it
     /// came from the cache.
-    pub fn run_query(&self, qr: &QueryRequest) -> Result<(Arc<Report>, bool), String> {
+    pub fn run_query(&self, qr: &QueryRequest) -> Result<(Arc<Report>, bool), ServeError> {
         let entry = self
             .registry
             .get(&qr.model)
-            .ok_or_else(|| format!("unknown model {:?}", qr.model))?;
+            .ok_or_else(|| ServeError::Invalid(format!("unknown model {:?}", qr.model)))?;
         // A parameter pinned as a constant at registration was
         // substituted out of the dynamics: randomizing it would be a
         // silent no-op, so it is an error instead.
         if let Some(pinned) = qr.query.param_names().iter().find(|n| entry.is_const(n)) {
-            return Err(format!(
+            return Err(ServeError::Invalid(format!(
                 "parameter {pinned:?} was pinned as a constant when model {:?} was registered; \
                  re-register the model without it to randomize it",
                 qr.model
-            ));
+            )));
         }
-        let (session, query, base_key) = entry.prepare(|cx| qr.query.build(cx))?;
+        let (session, query, base_key) = entry
+            .prepare(|cx| qr.query.build(cx))
+            .map_err(ServeError::Invalid)?;
         let budget = qr.budget.build();
         let key = format!("{base_key}|seed={}|{}", qr.seed, budget.canonical_caps());
         if let Some(hit) = self.cache.get(&key) {
@@ -132,9 +323,11 @@ impl ServeCore {
         let token = CancelToken::new();
         let _inflight = match qr.id {
             Some(id) => {
-                let mut table = self.inflight.lock().expect("inflight table poisoned");
+                let mut table = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
                 if table.contains_key(&id) {
-                    return Err(format!("request id {id} is already in flight"));
+                    return Err(ServeError::Invalid(format!(
+                        "request id {id} is already in flight"
+                    )));
                 }
                 table.insert(id, token.clone());
                 Some(InflightGuard {
@@ -145,24 +338,52 @@ impl ServeCore {
             None => None,
         };
         let result = {
-            let _permit = self.scheduler.admit();
+            let _permit = self.scheduler.admit(AdmitWait {
+                deadline: budget.queue_deadline,
+                cancel: Some(token.as_flag()),
+            })?;
             // A racing identical request may have populated the cache
             // while this one queued; recheck before paying for compute.
             if let Some(hit) = self.cache.get(&key) {
                 return Ok((hit, true));
             }
-            session
-                .query(query)
-                .seed(qr.seed)
-                .budget(budget.clone().with_cancel(token.clone()))
-                .run()
+            // Panic isolation: a solver bug (or an injected fault)
+            // unwinds to here, is counted, and becomes a clean
+            // `internal_error` reply. The permit and in-flight guard
+            // release via RAII; no lock is held across this boundary.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-injection")]
+                crate::faults::exec_panic_point();
+                session
+                    .query(query)
+                    .seed(qr.seed)
+                    .budget(budget.clone().with_cancel(token.clone()))
+                    .run()
+            }));
+            match run {
+                Ok(r) => r,
+                Err(payload) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Internal(format!(
+                        "query execution panicked: {}",
+                        panic_message(&payload)
+                    )));
+                }
+            }
         };
-        let report = Arc::new(result.map_err(|e| e.to_string())?);
+        let report = Arc::new(result.map_err(|e| ServeError::Query(e.to_string()))?);
         // Pure-function check: no wall clock involved, token never
         // raised → memoize.
         if budget.is_count_only() && !token.is_cancelled() {
             let cost = key.len() + report.fingerprint().len() + ENTRY_OVERHEAD_BYTES;
-            self.cache.insert(key, Arc::clone(&report), cost);
+            self.cache.insert(key.clone(), Arc::clone(&report), cost);
+            if let Some(log) = &self.persist {
+                // Append errors are counted inside the log and must
+                // never fail the request: persistence is best-effort.
+                log.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .append(&key, cost, &report);
+            }
         }
         Ok((report, false))
     }
@@ -173,7 +394,7 @@ impl ServeCore {
         match self
             .inflight
             .lock()
-            .expect("inflight table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&id)
         {
             Some(token) => {
@@ -187,7 +408,7 @@ impl ServeCore {
     /// Statistics payload (`op: stats`).
     pub fn stats_json(&self) -> Json {
         let c = self.cache.stats();
-        Json::obj([
+        let mut pairs = vec![
             (
                 "cache",
                 Json::obj([
@@ -210,22 +431,47 @@ impl ServeCore {
                 Json::obj([
                     ("capacity", Json::num(self.scheduler.capacity() as f64)),
                     ("in_flight", Json::num(self.scheduler.in_flight() as f64)),
+                    (
+                        "queue_depth",
+                        Json::num(self.scheduler.queue_depth() as f64),
+                    ),
+                    ("max_queue", Json::num(self.scheduler.max_queue() as f64)),
+                    ("shed", Json::num(self.scheduler.shed_count() as f64)),
+                    ("expired", Json::num(self.scheduler.expired_count() as f64)),
+                    ("draining", Json::Bool(self.scheduler.is_draining())),
                 ]),
             ),
             (
-                "models",
-                Json::Arr(
-                    self.registry
-                        .list()
-                        .into_iter()
-                        .map(|(name, fp)| {
-                            Json::obj([("name", Json::str(name)), ("fingerprint", Json::str(fp))])
-                        })
-                        .collect(),
-                ),
+                "server",
+                Json::obj([("panic_replies", Json::num(self.panic_count() as f64))]),
             ),
-            ("threads", Json::num(rayon::current_num_threads() as f64)),
-        ])
+        ];
+        if let Some(p) = self.persist_stats() {
+            pairs.push((
+                "persist",
+                Json::obj([
+                    ("loaded", Json::num(p.loaded as f64)),
+                    ("skipped", Json::num(p.skipped as f64)),
+                    ("appended", Json::num(p.appended as f64)),
+                    ("append_errors", Json::num(p.append_errors as f64)),
+                    ("unsupported", Json::num(p.unsupported as f64)),
+                ]),
+            ));
+        }
+        pairs.push((
+            "models",
+            Json::Arr(
+                self.registry
+                    .list()
+                    .into_iter()
+                    .map(|(name, fp)| {
+                        Json::obj([("name", Json::str(name)), ("fingerprint", Json::str(fp))])
+                    })
+                    .collect(),
+            ),
+        ));
+        pairs.push(("threads", Json::num(rayon::current_num_threads() as f64)));
+        Json::obj(pairs)
     }
 
     /// Answers one request. The bool is `true` when the request was a
@@ -241,7 +487,7 @@ impl ServeCore {
                     ]),
                     false,
                 ),
-                Err(e) => (error_json(&e), false),
+                Err(e) => (error_json("invalid_request", &e, None), false),
             },
             Request::Query(qr) => match self.run_query(qr) {
                 Ok((report, cached)) => {
@@ -256,7 +502,10 @@ impl ServeCore {
                     }
                     (Json::obj(pairs), false)
                 }
-                Err(e) => (error_json(&e), false),
+                Err(e) => (
+                    error_json(e.kind(), &e.to_string(), e.retry_after_ms()),
+                    false,
+                ),
             },
             Request::Cancel { id } => (
                 Json::obj([
@@ -271,21 +520,59 @@ impl ServeCore {
             ),
             Request::Ping => (Json::obj([("ok", Json::Bool(true))]), false),
             Request::Shutdown => {
+                // Graceful drain: refuse new admissions, wait for
+                // in-flight queries to finish (their connections get
+                // their replies), sync the spill file, then confirm.
                 self.shutdown.store(true, Ordering::SeqCst);
+                self.scheduler.drain();
+                if let Some(log) = &self.persist {
+                    log.lock().unwrap_or_else(PoisonError::into_inner).sync();
+                }
                 (Json::obj([("ok", Json::Bool(true))]), true)
             }
         }
     }
 
-    /// Answers one raw request line (transport entry point).
+    /// Answers one raw request line (transport entry point). The outer
+    /// `catch_unwind` is the last line of defense — request bodies are
+    /// already caught in [`ServeCore::run_query`] — so that even a bug
+    /// in reply serialization yields a well-formed error line instead
+    /// of a silently dropped connection.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        match Request::from_line(line) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match Request::from_line(line) {
             Ok(request) => {
                 let (json, stop) = self.handle(&request);
                 (json.render(), stop)
             }
-            Err(e) => (error_json(&e).render(), false),
+            Err(e) => (error_json("invalid_request", &e, None).render(), false),
+        }));
+        match outcome {
+            Ok(reply) => reply,
+            Err(payload) => {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+                (
+                    error_json(
+                        "internal_error",
+                        &format!("request handling panicked: {}", panic_message(&payload)),
+                        None,
+                    )
+                    .render(),
+                    false,
+                )
+            }
         }
+    }
+}
+
+/// Best-effort panic payload rendering (`&str` and `String` payloads;
+/// anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -298,14 +585,23 @@ struct InflightGuard<'a> {
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        if let Ok(mut table) = self.table.lock() {
-            table.remove(&self.id);
-        }
+        self.table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
     }
 }
 
-fn error_json(message: &str) -> Json {
-    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(message))])
+fn error_json(kind: &str, message: &str, retry_after_ms: Option<u64>) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::str(kind)),
+        ("error", Json::str(message)),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Json::num(ms as f64)));
+    }
+    Json::obj(pairs)
 }
 
 /// A running daemon: the bound address plus the accept-loop handle.
@@ -356,44 +652,111 @@ pub fn serve(core: Arc<ServeCore>, addr: impl ToSocketAddrs) -> std::io::Result<
 /// legitimate requests are a few kilobytes.
 const MAX_LINE_BYTES: usize = 4 << 20;
 
+/// Socket read timeout used as the poll tick for the idle / partial-line
+/// deadlines and the shutdown flag.
+const READ_POLL_TICK: Duration = Duration::from_millis(100);
+
 fn handle_connection(core: Arc<ServeCore>, stream: TcpStream, daemon_addr: SocketAddr) {
+    // The read timeout is a poll tick, not the protection itself: the
+    // line/idle deadlines below are measured against wall-clock marks,
+    // so a peer trickling one byte per tick still trips them.
+    let _ = stream.set_read_timeout(Some(READ_POLL_TICK));
+    let _ = stream.set_write_timeout(Some(core.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
+    let mut last_activity = Instant::now();
+    let mut line_started: Option<Instant> = None;
     loop {
-        buf.clear();
-        match std::io::Read::take(&mut reader, (MAX_LINE_BYTES + 1) as u64)
-            .read_until(b'\n', &mut buf)
-        {
-            Ok(0) | Err(_) => break,
+        let before = buf.len();
+        let remaining = (MAX_LINE_BYTES + 1).saturating_sub(buf.len()).max(1) as u64;
+        let read = std::io::Read::take(&mut reader, remaining).read_until(b'\n', &mut buf);
+        if buf.len() > before {
+            last_activity = Instant::now();
+            if line_started.is_none() {
+                line_started = Some(last_activity);
+            }
+        }
+        match read {
+            Ok(0) if buf.is_empty() => break, // clean EOF
+            Ok(0) => break,                   // EOF mid-line: nothing to answer
+            Ok(_) if buf.last() != Some(&b'\n') && buf.len() <= MAX_LINE_BYTES => {
+                // The take() limit cut the read short of a newline
+                // without exceeding the cap — keep accumulating.
+                continue;
+            }
             Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Poll tick: enforce the deadlines, then keep reading.
+                if core.is_shutdown() && buf.is_empty() {
+                    break; // draining and no request in progress
+                }
+                if let Some(t0) = line_started {
+                    if t0.elapsed() > core.line_timeout {
+                        let _ = write_reply(
+                            &mut writer,
+                            &error_json(
+                                "invalid_request",
+                                &format!(
+                                    "request line not completed within {} ms",
+                                    core.line_timeout.as_millis()
+                                ),
+                                None,
+                            )
+                            .render(),
+                        );
+                        return;
+                    }
+                } else if last_activity.elapsed() > core.idle_timeout {
+                    return; // silent idle peer
+                }
+                continue;
+            }
+            Err(_) => break,
         }
         if buf.len() > MAX_LINE_BYTES {
             // Cannot resynchronize mid-line: report and drop the peer.
-            let _ = writer.write_all(
-                error_json(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
-                    .render()
-                    .as_bytes(),
+            let _ = write_reply(
+                &mut writer,
+                &error_json(
+                    "invalid_request",
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    None,
+                )
+                .render(),
             );
-            let _ = writer.write_all(b"\n");
             break;
         }
         let Ok(line) = std::str::from_utf8(&buf) else {
-            let _ = writer.write_all(error_json("request line is not UTF-8").render().as_bytes());
-            let _ = writer.write_all(b"\n");
+            let _ = write_reply(
+                &mut writer,
+                &error_json("invalid_request", "request line is not UTF-8", None).render(),
+            );
             break;
         };
-        if line.trim().is_empty() {
+        let trimmed_empty = line.trim().is_empty();
+        let (response, stop) = if trimmed_empty {
+            (String::new(), false)
+        } else {
+            core.handle_line(line)
+        };
+        buf.clear();
+        line_started = None;
+        last_activity = Instant::now();
+        if trimmed_empty {
             continue;
         }
-        let (response, stop) = core.handle_line(line);
-        if writer.write_all(response.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
+        if write_reply(&mut writer, &response).is_err() {
             break;
         }
         if stop {
@@ -411,4 +774,30 @@ fn handle_connection(core: Arc<ServeCore>, stream: TcpStream, daemon_addr: Socke
             break;
         }
     }
+}
+
+/// Writes one reply line (payload + `\n`) and flushes. Write timeouts
+/// surface as errors and drop the connection. Under the
+/// `fault-injection` feature this is the transport fault point: replies
+/// can be delayed or torn mid-line.
+fn write_reply(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(response.len() + 1);
+    bytes.extend_from_slice(response.as_bytes());
+    bytes.push(b'\n');
+    #[cfg(feature = "fault-injection")]
+    {
+        if let Some(delay) = crate::faults::reply_delay() {
+            std::thread::sleep(delay);
+        }
+        if let Some(n) = crate::faults::torn_reply_len(bytes.len()) {
+            let _ = writer.write_all(&bytes[..n]);
+            let _ = writer.flush();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "fault injection: torn reply",
+            ));
+        }
+    }
+    writer.write_all(&bytes)?;
+    writer.flush()
 }

@@ -903,6 +903,11 @@ pub struct BudgetSpec {
     pub max_paver_boxes: Option<usize>,
     /// Wall-clock allowance in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Maximum milliseconds the request may wait in the admission
+    /// queue before the server sheds it with an `expired` reply.
+    /// Excluded from memoization keys: shedding happens before any
+    /// computation, so it can never change a computed result.
+    pub queue_ms: Option<u64>,
 }
 
 impl BudgetSpec {
@@ -919,6 +924,9 @@ impl BudgetSpec {
         if let Some(ms) = self.deadline_ms {
             b = b.with_deadline(Duration::from_millis(ms));
         }
+        if let Some(ms) = self.queue_ms {
+            b = b.with_queue_deadline(Duration::from_millis(ms));
+        }
         b
     }
 
@@ -932,6 +940,9 @@ impl BudgetSpec {
         }
         if let Some(ms) = self.deadline_ms {
             pairs.push(("deadline_ms", Json::num(ms as f64)));
+        }
+        if let Some(ms) = self.queue_ms {
+            pairs.push(("queue_ms", Json::num(ms as f64)));
         }
         Json::obj(pairs)
     }
@@ -950,6 +961,7 @@ impl BudgetSpec {
             max_samples: n("max_samples")?,
             max_paver_boxes: n("max_paver_boxes")?,
             deadline_ms: n("deadline_ms")?.map(|v| v as u64),
+            queue_ms: n("queue_ms")?.map(|v| v as u64),
         })
     }
 }
@@ -1179,6 +1191,7 @@ mod tests {
                 max_samples: Some(500),
                 max_paver_boxes: None,
                 deadline_ms: Some(250),
+                queue_ms: Some(1_000),
             },
             query: QuerySpec::Estimate {
                 smc: SmcSpecWire {

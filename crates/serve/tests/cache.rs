@@ -152,6 +152,7 @@ fn zero_budget_core_still_serves_correctly() {
     let core = ServeCore::new(ServeConfig {
         cache_bytes: 0,
         concurrency: 1,
+        ..ServeConfig::default()
     });
     let v1 = ModelSource {
         states: vec![("x".into(), "-x".into())],
