@@ -256,6 +256,7 @@ mod tests {
             speedup: par / seq,
             avg_steps: 10.0,
             early_stop_rate: 0.25,
+            latency: None,
         }
     }
 

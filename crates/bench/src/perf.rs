@@ -40,6 +40,22 @@ pub struct ModeTiming {
     pub samples_per_sec: f64,
 }
 
+/// Per-request latency percentiles of the serving workload, read from
+/// the `ServeCore`'s own phase histograms (the same ones the daemon's
+/// `stats`/`metrics` ops expose), in microseconds. `hit_*` covers
+/// warm memoized replies, `miss_*` the cold computing pass.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencySummary {
+    /// Median end-to-end latency of a cache-hit reply.
+    pub hit_p50_us: f64,
+    /// 99th-percentile end-to-end latency of a cache-hit reply.
+    pub hit_p99_us: f64,
+    /// Median end-to-end latency of a computed (miss) reply.
+    pub miss_p50_us: f64,
+    /// 99th-percentile end-to-end latency of a computed (miss) reply.
+    pub miss_p99_us: f64,
+}
+
 /// One benchmark workload: sequential vs parallel SMC sampling, or
 /// cold- vs warm-cache batched querying (`engine_batch`,
 /// `serve_throughput`).
@@ -70,6 +86,9 @@ pub struct PerfWorkload {
     /// Fraction of draws whose verdict decided before the time horizon
     /// (seed-deterministic; 0 for non-SMC workloads).
     pub early_stop_rate: f64,
+    /// Serving-layer latency percentiles (`serve_throughput` only;
+    /// `None` elsewhere — the field is absent from their JSON rows).
+    pub latency: Option<LatencySummary>,
 }
 
 /// Prostate CAS therapy: P(PSA = x + y stays below 18 for 100 days) over
@@ -235,6 +254,7 @@ fn run_workload(
         speedup: seq_secs / par_secs,
         avg_steps: par_report.provenance.avg_steps,
         early_stop_rate: par_report.provenance.early_stop_rate,
+        latency: None,
     }
 }
 
@@ -287,6 +307,7 @@ pub fn icp_pave_workload() -> PerfWorkload {
         speedup: seq_secs / par_secs,
         avg_steps: 0.0,
         early_stop_rate: 0.0,
+        latency: None,
     }
 }
 
@@ -356,6 +377,7 @@ pub fn engine_batch_workload(samples_per_query: usize, seed: u64) -> PerfWorkloa
         speedup: cold_secs / warm_secs,
         avg_steps: 0.0,
         early_stop_rate: 0.0,
+        latency: None,
     }
 }
 
@@ -466,6 +488,19 @@ pub fn serve_throughput_workload(samples_per_query: usize, seed: u64) -> PerfWor
     });
     let warm_hits = warm_core.cache_stats().hits >= requests.len() * WARM_ROUNDS;
 
+    // Latency percentiles from the core's own phase histograms — the
+    // same instrument the daemon's stats/metrics ops expose. The warm
+    // core saw the populate pass (misses) plus every warm round (hits).
+    let us = |ns: u64| ns as f64 / 1e3;
+    let hit = warm_core.metrics().request_hit.snapshot();
+    let miss = warm_core.metrics().request_miss.snapshot();
+    let latency = LatencySummary {
+        hit_p50_us: us(hit.quantile(0.5)),
+        hit_p99_us: us(hit.quantile(0.99)),
+        miss_p50_us: us(miss.quantile(0.5)),
+        miss_p99_us: us(miss.quantile(0.99)),
+    };
+
     // p̂ of the first request, re-read from the cache.
     let (first, _) = warm_core.run_query(&requests[0]).expect("cached");
     let Value::Estimate(est) = &first.value else {
@@ -489,6 +524,7 @@ pub fn serve_throughput_workload(samples_per_query: usize, seed: u64) -> PerfWor
         speedup: (cold_secs * WARM_ROUNDS as f64) / warm_secs,
         avg_steps: 0.0,
         early_stop_rate: 0.0,
+        latency: Some(latency),
     }
 }
 
@@ -546,7 +582,7 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
              \"sequential\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
              \"parallel\": {{\"wall_seconds\": {:.6}, \"samples_per_sec\": {:.2}}}, \
              \"p_hat\": {}, \"deterministic\": {}, \"speedup\": {:.3}, \
-             \"avg_steps\": {:.2}, \"early_stop_rate\": {:.3}}}{}\n",
+             \"avg_steps\": {:.2}, \"early_stop_rate\": {:.3}",
             crate::json_escape(&w.name),
             w.samples,
             w.seed,
@@ -559,6 +595,19 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
             w.speedup,
             w.avg_steps,
             w.early_stop_rate,
+        ));
+        // Latency percentiles (serving workload only). The compare
+        // gate keys on samples_per_sec and never reads these — they
+        // are a recorded trajectory, not a gated quantity.
+        if let Some(l) = &w.latency {
+            s.push_str(&format!(
+                ", \"latency\": {{\"hit_p50_us\": {:.3}, \"hit_p99_us\": {:.3}, \
+                 \"miss_p50_us\": {:.3}, \"miss_p99_us\": {:.3}}}",
+                l.hit_p50_us, l.hit_p99_us, l.miss_p50_us, l.miss_p99_us
+            ));
+        }
+        s.push_str(&format!(
+            "}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -637,8 +686,18 @@ mod tests {
             "speedup",
             "avg_steps",
             "early_stop_rate",
+            "hit_p50_us",
+            "hit_p99_us",
+            "miss_p50_us",
+            "miss_p99_us",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // Only the serving workload carries the latency object.
+        assert_eq!(json.matches("\"latency\"").count(), 1);
+        let serve = rows.iter().find(|w| w.name == "serve_throughput").unwrap();
+        let l = serve.latency.expect("serve workload records latency");
+        assert!(l.hit_p50_us > 0.0 && l.hit_p99_us >= l.hit_p50_us);
+        assert!(l.miss_p50_us > 0.0 && l.miss_p99_us >= l.miss_p50_us);
     }
 }

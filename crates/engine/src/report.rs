@@ -24,11 +24,14 @@ pub enum Outcome {
 
 /// Structured provenance: enough to reproduce or audit the answer.
 ///
-/// `wall_time` is deliberately an opaque, caller-supplied duration
-/// (time the run yourself and set the field): the engine never reads
-/// the clock into a report, so two runs of the same seeded query
-/// produce bit-identical reports — the property the batch-determinism
-/// tests pin down. It is also excluded from [`Report::fingerprint`].
+/// The timing fields (`wall_time`, `compile_time`, `run_time`) are
+/// observability only and are **excluded from
+/// [`Report::fingerprint`]**: two runs of the same seeded query
+/// produce fingerprint-identical reports however long they took — the
+/// property the batch-determinism and cache-consistency tests pin
+/// down. `wall_time` is caller-supplied (time the run yourself and
+/// set the field); the phase timings are stamped by the engine on
+/// every executed query.
 #[derive(Clone, Debug, Default)]
 pub struct Provenance {
     /// Master seed the per-sample RNG streams were forked from.
@@ -43,6 +46,16 @@ pub struct Provenance {
     pub avg_steps: f64,
     /// Caller-attached wall time; `None` unless supplied.
     pub wall_time: Option<Duration>,
+    /// Time spent acquiring compiled artifacts (RHS program, monitor
+    /// plan, sampler) before the solver ran — a cache hit makes this
+    /// near-zero. `None` when the report predates instrumentation
+    /// (e.g. decoded from an old persistence log); 0 for δ-decision
+    /// queries, which lower inline. Excluded from the fingerprint.
+    pub compile_time: Option<Duration>,
+    /// Time the solver itself ran (execute phase minus artifact
+    /// acquisition). `None` when unmeasured. Excluded from the
+    /// fingerprint.
+    pub run_time: Option<Duration>,
 }
 
 /// Summary of a [`Query::Robustness`](crate::Query::Robustness) run.

@@ -20,7 +20,7 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Single-mode ODE model: context + system + the RHS compiled once.
 struct OdeParts {
@@ -285,6 +285,19 @@ impl Session {
         }
     }
 
+    /// [`sampler`](Session::sampler), measuring its wall time into the
+    /// report's compile-phase provenance.
+    fn timed_sampler(
+        &self,
+        smc: &SmcSpec,
+        compile: &mut Duration,
+    ) -> Result<Arc<TraceSampler>, Error> {
+        let t = Instant::now();
+        let sampler = self.sampler(smc);
+        *compile = t.elapsed();
+        sampler
+    }
+
     /// The cached sampler for an SMC setup: assembled from the cached
     /// compiled RHS and the (cached) compiled plan; a repeated setup is
     /// a pure lookup.
@@ -391,7 +404,7 @@ impl Session {
                 samples: out.samples,
                 early_stop_rate: out.early_stop_rate,
                 avg_steps: out.avg_steps,
-                wall_time: None,
+                ..Provenance::default()
             },
         }
     }
@@ -416,6 +429,14 @@ impl Session {
     /// [`Session::run_batch`]. `deadline` is the budget's relative
     /// allowance already resolved against the run's start instant (once
     /// per `run()`, once per whole batch).
+    ///
+    /// Every successful report gets its `compile_time` / `run_time`
+    /// provenance stamped here: the compile phase is the
+    /// [`sampler`](Session::sampler) artifact acquisition (near-zero on
+    /// a warm session; δ-decision queries lower inline and report 0),
+    /// the run phase is everything else. The timings are observability
+    /// only — [`Report::fingerprint`] ignores them, so determinism
+    /// properties are unaffected.
     fn execute(
         &self,
         query: &Query,
@@ -424,10 +445,30 @@ impl Session {
         deadline: Option<Instant>,
         parallel: bool,
     ) -> Result<Report, Error> {
+        let _span = biocheck_obs::span!("engine.query");
+        let started = Instant::now();
+        let mut compile = Duration::ZERO;
+        let mut report =
+            self.execute_inner(query, seed, budget, deadline, parallel, &mut compile)?;
+        let total = started.elapsed();
+        report.provenance.compile_time = Some(compile);
+        report.provenance.run_time = Some(total.saturating_sub(compile));
+        Ok(report)
+    }
+
+    fn execute_inner(
+        &self,
+        query: &Query,
+        seed: u64,
+        budget: &Budget,
+        deadline: Option<Instant>,
+        parallel: bool,
+        compile: &mut Duration,
+    ) -> Result<Report, Error> {
         match query {
             Query::Estimate { smc, method } => {
                 validate_method(method)?;
-                let sampler = self.sampler(smc)?;
+                let sampler = self.timed_sampler(smc, compile)?;
                 let out =
                     exec_smc::run_estimate(&sampler, seed, *method, budget, deadline, parallel);
                 Ok(self.smc_report(query.kind(), seed, out))
@@ -454,7 +495,7 @@ impl Session {
                         detail: "error levels must be positive".into(),
                     });
                 }
-                let sampler = self.sampler(smc)?;
+                let sampler = self.timed_sampler(smc, compile)?;
                 let out = exec_smc::run_sprt(
                     &sampler,
                     seed,
@@ -476,7 +517,7 @@ impl Session {
                         detail: "robustness needs at least one sample".into(),
                     });
                 }
-                let sampler = self.sampler(smc)?;
+                let sampler = self.timed_sampler(smc, compile)?;
                 let out =
                     exec_smc::run_robustness(&sampler, seed, *samples, budget, deadline, parallel);
                 Ok(self.smc_report(query.kind(), seed, out))

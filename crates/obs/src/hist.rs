@@ -1,0 +1,279 @@
+//! Lock-free log-linear latency histogram.
+//!
+//! # Bucket layout
+//!
+//! Values below 16 get exact unit-width buckets. Every value above
+//! that falls into a power-of-two *octave* `[2^k, 2^(k+1))`, and each
+//! octave is split into 16 equal-width sub-buckets. A bucket's width
+//! is therefore at most 1/16 of the values it holds, which bounds the
+//! error of any quantile estimate:
+//!
+//! > `|quantile_estimate - exact_quantile| <= exact/16 + 1`
+//!
+//! (the `+1` covers integer truncation in the unit-width region).
+//! 16 sub-buckets for each of the 60 octaves above the linear region
+//! plus the linear region itself is 976 buckets — about 8 KiB per
+//! histogram, covering the full `u64` nanosecond range (584 years)
+//! with ~6% relative resolution.
+//!
+//! # Concurrency
+//!
+//! All counters are relaxed atomics: [`Histogram::record_ns`] is a
+//! fetch-add per bucket plus count/sum/max updates, with no locks and
+//! no allocation, so any number of threads may record into a shared
+//! histogram. Per-thread histograms can instead be combined with
+//! [`Histogram::merge`]; the result is exactly the histogram that
+//! serial recording of the union would have produced (bucket counts
+//! are integers, so merging is lossless). Reads go through
+//! [`Histogram::snapshot`], which copies the buckets into a plain
+//! [`Snapshot`] for consistent quantile math.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// log2 of the sub-buckets per octave: 16 sub-buckets, 6.25% width.
+const LINEAR_BITS: u32 = 4;
+/// Sub-buckets per octave (and the size of the exact linear region).
+const SUB: usize = 1 << LINEAR_BITS;
+/// Octaves above the linear region for a full `u64` range.
+const GROUPS: usize = 64 - LINEAR_BITS as usize;
+/// Total bucket count: the linear region plus `GROUPS` split octaves.
+const BUCKETS: usize = SUB * (GROUPS + 1);
+
+/// Bucket index for a recorded value. Monotone in `value`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        value as usize
+    } else {
+        // Highest set bit picks the octave; the next LINEAR_BITS bits
+        // pick the sub-bucket within it.
+        let msb = 63 - value.leading_zeros() as usize;
+        let group = msb - LINEAR_BITS as usize + 1;
+        let offset = ((value >> (msb - LINEAR_BITS as usize)) - SUB as u64) as usize;
+        group * SUB + offset
+    }
+}
+
+/// Inclusive lower / exclusive upper value bounds of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB {
+        (index as u64, index as u64 + 1)
+    } else {
+        let group = index / SUB;
+        let offset = (index % SUB) as u64;
+        let width = 1u64 << (group - 1);
+        let lo = (SUB as u64 + offset) << (group - 1);
+        (lo, lo.saturating_add(width))
+    }
+}
+
+/// A lock-free histogram of `u64` samples (nanoseconds, by
+/// convention). See the [module docs](self) for layout and the error
+/// bound. `Default` is an empty histogram.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (~8 KiB of zeroed buckets).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free: four relaxed atomic RMWs.
+    pub fn record_ns(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] as nanoseconds (saturating at `u64::MAX`).
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Adds every sample recorded in `other` into `self`. Merging
+    /// per-thread histograms is lossless: the result equals serial
+    /// recording of the combined sample stream.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Copies the current counters into an immutable [`Snapshot`].
+    /// Concurrent recorders may land between bucket reads; each sample
+    /// is still counted exactly once in a later snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s counters, for quantile
+/// extraction.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Snapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (wraps only after ~584 years of
+    /// cumulative nanoseconds).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value, exact.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values, or 0.0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the recorded samples, within
+    /// `exact/16 + 1` of the true order statistic. Returns 0 when the
+    /// histogram is empty; `quantile(1.0)` returns [`max_ns`](Snapshot::max_ns)
+    /// exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The top order statistic is tracked exactly.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // Midpoint halves the worst-case error; the top bucket
+                // is clipped to the exact max.
+                return (lo + (hi - lo) / 2).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_bracket() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < u64::MAX / 3 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v < hi, "{v} not in [{lo},{hi}) (bucket {i})");
+            // Width is at most lo/16 once past the linear region.
+            if i >= SUB {
+                assert!(hi - lo <= lo / SUB as u64 + 1);
+            }
+            v = v * 3 / 2 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.max_ns(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_capped_by_max() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record_ns(v * 977 % 10_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p90 = s.quantile(0.9);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= s.max_ns());
+        assert_eq!(s.quantile(1.0), s.max_ns());
+    }
+
+    #[test]
+    fn merge_equals_serial() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record_ns(x);
+            } else {
+                b.record_ns(x);
+            }
+            all.record_ns(x);
+        }
+        a.merge(&b);
+        let (m, s) = (a.snapshot(), all.snapshot());
+        assert_eq!(m.buckets, s.buckets);
+        assert_eq!(m.count(), s.count());
+        assert_eq!(m.sum_ns(), s.sum_ns());
+        assert_eq!(m.max_ns(), s.max_ns());
+    }
+}

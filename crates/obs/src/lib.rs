@@ -1,0 +1,44 @@
+//! Observability primitives for the BioCheck serving stack.
+//!
+//! Two tools, both dependency-free and cheap enough to leave on in
+//! production:
+//!
+//! * [`Histogram`] — a lock-free, log-linear bucketed latency
+//!   histogram. Recording is a handful of relaxed atomic operations
+//!   (no locks, no allocation), so many threads can record into one
+//!   histogram concurrently, and independent histograms can be
+//!   [merged](Histogram::merge) after the fact. A [`Snapshot`]
+//!   extracts p50/p90/p99/max with a bounded relative error of
+//!   1/16 (6.25%) — see the [`hist`] module docs for the bucket
+//!   layout and the exact error bound.
+//!
+//! * [`span!`] — an RAII span timer with a pluggable process-global
+//!   [`Recorder`]. When no recorder is installed (the default) a span
+//!   costs one relaxed atomic load and never reads the clock; with a
+//!   recorder installed, each span reports its name and elapsed
+//!   nanoseconds on drop. [`event`] reports point-in-time occurrences
+//!   the same way.
+//!
+//! The serving layer (`biocheck_serve`) aggregates histograms per
+//! request phase and exposes them via `{"op":"stats"}` and
+//! `{"op":"metrics"}`; the span facade is wired to stderr by
+//! `biocheckd --trace` for interactive debugging.
+//!
+//! ```
+//! use biocheck_obs::Histogram;
+//!
+//! let h = Histogram::new();
+//! for v in [100u64, 200, 300, 400, 500] {
+//!     h.record_ns(v);
+//! }
+//! let snap = h.snapshot();
+//! assert_eq!(snap.count(), 5);
+//! assert_eq!(snap.max_ns(), 500);
+//! assert!(snap.quantile(0.5) >= 280 && snap.quantile(0.5) <= 320);
+//! ```
+
+pub mod hist;
+pub mod span;
+
+pub use hist::{Histogram, Snapshot};
+pub use span::{event, recorder_installed, set_recorder, Recorder, Span};

@@ -1,0 +1,165 @@
+//! RAII span timers and point events with a pluggable global
+//! [`Recorder`].
+//!
+//! The facade is designed to be left in hot paths permanently: until
+//! [`set_recorder`] installs a recorder, [`Span::enter`] is one
+//! relaxed atomic load — it never reads the clock and `Drop` does
+//! nothing. With a recorder installed, each span reports its static
+//! name and elapsed nanoseconds exactly once, on drop.
+//!
+//! ```
+//! let _guard = biocheck_obs::span!("serve.request");
+//! // ... timed work; the span reports when `_guard` drops ...
+//! ```
+//!
+//! The recorder is process-global and installable once (libraries
+//! cannot fight over it); `biocheckd --trace` installs a
+//! stderr-printing recorder at startup.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Sink for span timings and point events. Implementations must be
+/// cheap and non-blocking — they run inline on the instrumented
+/// thread.
+pub trait Recorder: Send + Sync + 'static {
+    /// Called once per completed span with its elapsed wall time.
+    fn span(&self, name: &'static str, elapsed_ns: u64);
+
+    /// Called for point-in-time [`event`]s. Default: ignored.
+    fn event(&self, name: &'static str, detail: &str) {
+        let _ = (name, detail);
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: OnceLock<Box<dyn Recorder>> = OnceLock::new();
+
+/// Installs the process-global recorder and enables the facade.
+/// Returns the recorder back if one was already installed.
+pub fn set_recorder(recorder: Box<dyn Recorder>) -> Result<(), Box<dyn Recorder>> {
+    RECORDER.set(recorder)?;
+    ENABLED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Whether a recorder is installed (spans and events are live).
+pub fn recorder_installed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Reports a point-in-time event to the recorder, if one is
+/// installed. `detail` is free-form context (an id, a count, ...).
+pub fn event(name: &'static str, detail: &str) {
+    if recorder_installed() {
+        if let Some(r) = RECORDER.get() {
+            r.event(name, detail);
+        }
+    }
+}
+
+/// An RAII span timer: reports `name` and its elapsed time to the
+/// global recorder when dropped. Construct with [`Span::enter`] or
+/// the [`span!`](crate::span!) macro. A span created while no
+/// recorder is installed holds no start time and its drop is free.
+#[must_use = "a span times its enclosing scope; bind it to a local"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Starts a span. Reads the clock only if a recorder is installed.
+    pub fn enter(name: &'static str) -> Span {
+        let start = if recorder_installed() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span { name, start }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            if let Some(r) = RECORDER.get() {
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                r.span(self.name, ns);
+            }
+        }
+    }
+}
+
+/// Opens an RAII [`Span`] timing the enclosing scope:
+/// `let _s = biocheck_obs::span!("phase.name");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    struct Counting {
+        spans: Arc<AtomicU64>,
+        events: Arc<AtomicU64>,
+    }
+
+    impl Recorder for Counting {
+        fn span(&self, name: &'static str, elapsed_ns: u64) {
+            assert_eq!(name, "test.span");
+            // Even an empty scope takes some nonzero time once timed.
+            let _ = elapsed_ns;
+            self.spans.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn event(&self, _name: &'static str, _detail: &str) {
+            self.events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // One test for the whole global-state lifecycle: the recorder can
+    // only be installed once per process, so ordering within a single
+    // test is the only way to cover before/after behavior.
+    #[test]
+    fn recorder_lifecycle() {
+        // Disabled: spans are inert, events are dropped.
+        {
+            let s = Span::enter("test.span");
+            assert!(s.start.is_none());
+        }
+        event("ignored", "no recorder yet");
+
+        let spans = Arc::new(AtomicU64::new(0));
+        let events = Arc::new(AtomicU64::new(0));
+        assert!(set_recorder(Box::new(Counting {
+            spans: Arc::clone(&spans),
+            events: Arc::clone(&events),
+        }))
+        .is_ok());
+        assert!(recorder_installed());
+        // Second install is rejected and hands the recorder back.
+        assert!(set_recorder(Box::new(Counting {
+            spans: Arc::clone(&spans),
+            events: Arc::clone(&events),
+        }))
+        .is_err());
+
+        {
+            let _s = crate::span!("test.span");
+        }
+        {
+            let _s = Span::enter("test.span");
+        }
+        event("test.event", "detail");
+        assert_eq!(spans.load(Ordering::Relaxed), 2);
+        assert_eq!(events.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Properties of the log-linear histogram against exact order
+//! statistics: every quantile estimate stays within the documented
+//! bucket error bound of the true sorted-sample quantile, and
+//! concurrent record-then-merge is indistinguishable from serial
+//! recording.
+
+use biocheck_obs::Histogram;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Samples with a wide dynamic range: latencies cluster per workload,
+/// so mix tight clusters with heavy tails across many octaves.
+fn random_samples(rng: &mut StdRng, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..4u32) {
+            0 => rng.gen_range(0..64u64),
+            1 => rng.gen_range(100..100_000u64),
+            2 => rng.gen_range(1_000_000..1_000_000_000u64),
+            _ => {
+                let bits = rng.gen_range(0..60u32);
+                rng.gen_range(0..=(1u64 << bits))
+            }
+        })
+        .collect()
+}
+
+/// Exact order statistic matching `Snapshot::quantile`'s rank rule.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_within_bucket_error_bound(seed in 0..u64::MAX) {
+        let mut rng = proptest::new_rng(seed);
+        let n = rng.gen_range(1..2000usize);
+        let samples = random_samples(&mut rng, n);
+
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), n as u64);
+        prop_assert_eq!(snap.max_ns(), *sorted.last().unwrap());
+        prop_assert_eq!(snap.sum_ns(), samples.iter().sum::<u64>());
+
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            // The documented bound: one sub-bucket of relative error
+            // (1/16) plus 1 for the unit-width linear region.
+            let bound = exact / 16 + 1;
+            let err = est.abs_diff(exact);
+            prop_assert!(
+                err <= bound,
+                "q={} exact={} est={} err={} bound={} (n={})",
+                q, exact, est, err, bound, n
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_record_then_merge_equals_serial(seed in 0..u64::MAX) {
+        let mut rng = proptest::new_rng(seed);
+        let samples = random_samples(&mut rng, 1024);
+
+        // Serial reference: one histogram, one thread.
+        let serial = Histogram::new();
+        for &v in &samples {
+            serial.record_ns(v);
+        }
+
+        // Concurrent per-thread histograms merged afterwards.
+        let shards: Vec<_> = samples.chunks(256).map(<[u64]>::to_vec).collect();
+        let merged = Histogram::new();
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                std::thread::spawn(move || {
+                    let h = Histogram::new();
+                    for v in shard {
+                        h.record_ns(v);
+                    }
+                    h
+                })
+            })
+            .collect();
+        for handle in handles {
+            merged.merge(&handle.join().expect("recorder thread panicked"));
+        }
+
+        // Concurrent recording into one shared histogram.
+        let shared = Arc::new(Histogram::new());
+        let handles: Vec<_> = samples
+            .chunks(256)
+            .map(|shard| {
+                let shard = shard.to_vec();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for v in shard {
+                        shared.record_ns(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("recorder thread panicked");
+        }
+
+        let want = serial.snapshot();
+        for got in [merged.snapshot(), shared.snapshot()] {
+            prop_assert_eq!(got.count(), want.count());
+            prop_assert_eq!(got.sum_ns(), want.sum_ns());
+            prop_assert_eq!(got.max_ns(), want.max_ns());
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(got.quantile(q), want.quantile(q));
+            }
+        }
+    }
+}

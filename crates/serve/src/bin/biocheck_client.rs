@@ -4,6 +4,7 @@
 //! biocheck_client --connect HOST:PORT            # JSONL from stdin, responses to stdout
 //! biocheck_client --connect HOST:PORT --selftest # scripted batch + fingerprint check
 //! biocheck_client --connect HOST:PORT --selftest --expect-warm # cache must already be hot
+//! biocheck_client --connect HOST:PORT --stats-watch [--interval-ms MS] [--count N]
 //! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
 //! ```
 //!
@@ -17,6 +18,14 @@
 //! crash-recovery check uses this against a daemon restarted (after
 //! SIGKILL) from its `--persist` spill file, proving warm-started
 //! results are fingerprint-identical to fresh computation.
+//!
+//! `--stats-watch` polls `{"op":"stats"}` on an interval (default
+//! 2000 ms) and pretty-prints one line per sample: **deltas** for the
+//! monotone counters (cache hits/misses, shed, expired) and current
+//! values for the gauges and latency percentiles, so a burst of
+//! traffic is visible as the change per interval rather than buried in
+//! lifetime totals. `--count N` stops after N samples (default:
+//! forever).
 //!
 //! Every socket operation is timeout-bounded (see
 //! [`biocheck_serve::ClientConfig`]): a dead or hung daemon makes the
@@ -165,6 +174,35 @@ fn selftest(addr: &str, expect_warm: bool) -> Result<(), String> {
             requests.len()
         ));
     }
+    // The batch just mixed cold computes and warm hits, so the latency
+    // histograms must hold non-trivial ordered percentiles.
+    for phase in ["queue_wait", "execute"] {
+        // A warm-started daemon (--expect-warm) never executes: both
+        // passes are cache hits, and these phases legitimately stay
+        // empty.
+        if expect_warm {
+            break;
+        }
+        let p = |q: &str| {
+            stats
+                .get("latency")
+                .and_then(|l| l.get(phase))
+                .and_then(|p| p.get(q))
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("stats.latency.{phase}.{q} missing"))
+        };
+        let (p50, p99) = (p("p50_ms")?, p("p99_ms")?);
+        if !(p99 >= p50 && p50 > 0.0) {
+            return Err(format!(
+                "stats.latency.{phase}: expected p99 >= p50 > 0, got p50={p50} p99={p99}"
+            ));
+        }
+        eprintln!("selftest: latency.{phase} p50={p50:.4}ms p99={p99:.4}ms");
+    }
+    let metrics = client.metrics()?;
+    if !metrics.contains("biocheckd_request_latency_seconds") {
+        return Err("metrics exposition missing biocheckd_request_latency_seconds".into());
+    }
     println!(
         "selftest OK: {} queries, daemon == direct session bit-for-bit, warm pass fully memoized{}",
         requests.len(),
@@ -175,6 +213,87 @@ fn selftest(addr: &str, expect_warm: bool) -> Result<(), String> {
         }
     );
     Ok(())
+}
+
+/// The counters and gauges one `--stats-watch` sample displays.
+#[derive(Clone, Copy, Default)]
+struct WatchSample {
+    hits: f64,
+    misses: f64,
+    shed: f64,
+    expired: f64,
+    queue_depth: f64,
+    in_flight: f64,
+    exec_p50_ms: f64,
+    exec_p99_ms: f64,
+    wait_p99_ms: f64,
+}
+
+fn watch_sample(stats: &biocheck_serve::Json) -> WatchSample {
+    let f = |path: &[&str]| {
+        let mut v = Some(stats);
+        for k in path {
+            v = v.and_then(|v| v.get(k));
+        }
+        v.and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    WatchSample {
+        hits: f(&["cache", "hits"]),
+        misses: f(&["cache", "misses"]),
+        shed: f(&["scheduler", "shed"]),
+        expired: f(&["scheduler", "expired"]),
+        queue_depth: f(&["scheduler", "queue_depth"]),
+        in_flight: f(&["scheduler", "in_flight"]),
+        exec_p50_ms: f(&["latency", "execute", "p50_ms"]),
+        exec_p99_ms: f(&["latency", "execute", "p99_ms"]),
+        wait_p99_ms: f(&["latency", "queue_wait", "p99_ms"]),
+    }
+}
+
+/// Polls stats and prints per-interval deltas for the counters plus
+/// current gauge and percentile values, one line per sample.
+fn stats_watch(
+    addr: &str,
+    interval: std::time::Duration,
+    count: Option<u64>,
+) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut prev: Option<WatchSample> = None;
+    let mut taken = 0u64;
+    println!(
+        "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10} {:>10} {:>10}",
+        "Δhits",
+        "Δmisses",
+        "Δshed",
+        "Δexpired",
+        "queue",
+        "running",
+        "exec_p50ms",
+        "exec_p99ms",
+        "wait_p99ms"
+    );
+    loop {
+        let s = watch_sample(&client.stats()?);
+        let d = prev.unwrap_or(s);
+        println!(
+            "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10.4} {:>10.4} {:>10.4}",
+            s.hits - d.hits,
+            s.misses - d.misses,
+            s.shed - d.shed,
+            s.expired - d.expired,
+            s.queue_depth,
+            s.in_flight,
+            s.exec_p50_ms,
+            s.exec_p99_ms,
+            s.wait_p99_ms,
+        );
+        prev = Some(s);
+        taken += 1;
+        if count.is_some_and(|n| taken >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn main() {
@@ -189,6 +308,20 @@ fn main() {
         let expect_warm = args.iter().any(|a| a == "--expect-warm");
         if let Err(e) = selftest(&addr, expect_warm) {
             eprintln!("selftest FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--stats-watch") {
+        let num_flag = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok())
+        };
+        let interval = std::time::Duration::from_millis(num_flag("--interval-ms").unwrap_or(2000));
+        if let Err(e) = stats_watch(&addr, interval, num_flag("--count")) {
+            eprintln!("stats-watch: {e}");
             std::process::exit(1);
         }
         return;

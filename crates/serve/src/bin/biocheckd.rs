@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! biocheckd [--addr 127.0.0.1:7878] [--concurrency 2] [--cache-bytes 67108864]
-//!           [--max-queue 16] [--persist PATH]
+//!           [--max-queue 16] [--persist PATH] [--trace]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in the README's
@@ -20,11 +20,32 @@
 //! — even after SIGKILL — serves previously computed queries as cache
 //! hits with identical fingerprints.
 //!
+//! Observability: `{"op":"stats"}` returns counters plus per-phase
+//! latency percentiles, `{"op":"metrics"}` returns a Prometheus-style
+//! text exposition (see `docs/OPERATIONS.md`). `--trace` additionally
+//! prints every instrumented span (`serve.request`, `engine.query`,
+//! ...) to stderr with its elapsed time — an interactive debugging
+//! aid, too verbose for production.
+//!
 //! Prints `biocheckd listening on <addr>` on stdout once bound — with
 //! `--addr 127.0.0.1:0` the kernel-assigned port is in that line.
 
 use biocheck_serve::server::{serve, ServeConfig, ServeCore};
 use std::sync::Arc;
+
+/// `--trace` recorder: one stderr line per span/event. Runs inline on
+/// serving threads, so it is opt-in only.
+struct StderrTrace;
+
+impl biocheck_obs::Recorder for StderrTrace {
+    fn span(&self, name: &'static str, elapsed_ns: u64) {
+        eprintln!("trace: {name} {:.3} ms", elapsed_ns as f64 / 1e6);
+    }
+
+    fn event(&self, name: &'static str, detail: &str) {
+        eprintln!("trace: {name}: {detail}");
+    }
+}
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -38,7 +59,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: biocheckd [--addr HOST:PORT] [--concurrency N] [--cache-bytes N]\n\
-             \x20                [--max-queue N] [--persist PATH]\n\
+             \x20                [--max-queue N] [--persist PATH] [--trace]\n\
              protocol: line-delimited JSON (see README \"Serving\")"
         );
         return;
@@ -56,6 +77,9 @@ fn main() {
     }
     if let Some(path) = parse_flag::<String>(&args, "--persist") {
         config.persist = Some(path.into());
+    }
+    if args.iter().any(|a| a == "--trace") {
+        let _ = biocheck_obs::set_recorder(Box::new(StderrTrace));
     }
     let core = Arc::new(ServeCore::new(config));
     let daemon = match serve(Arc::clone(&core), addr.as_str()) {

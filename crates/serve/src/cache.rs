@@ -46,6 +46,19 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+impl CacheStats {
+    /// Hits as a fraction of all lookups, 0.0 before any lookup. The
+    /// operator-facing hit ratio in `stats`/`metrics` replies.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 struct Slot<V> {
     key: String,
     value: V,

@@ -395,7 +395,9 @@ fn decode_report(v: &Json) -> Option<Report> {
             samples: usize_from(p.get("samples")?)?,
             early_stop_rate: bits_from(p.get("early_stop_rate")?)?,
             avg_steps: bits_from(p.get("avg_steps")?)?,
-            wall_time: None,
+            // Timing provenance is observability-only and not encoded
+            // (it is excluded from fingerprints, so nothing is lost).
+            ..Provenance::default()
         },
     })
 }
@@ -419,7 +421,7 @@ mod tests {
                 samples: 120,
                 early_stop_rate: 0.25,
                 avg_steps: 37.5,
-                wall_time: None,
+                ..Provenance::default()
             },
         }
     }

@@ -306,6 +306,15 @@ impl Client {
             .ok_or_else(|| "stats response missing stats".into())
     }
 
+    /// Fetches the Prometheus-style text metrics exposition.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        self.request(&Request::Metrics)?
+            .get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| "metrics response missing metrics".into())
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), String> {
         self.request(&Request::Ping).map(|_| ())

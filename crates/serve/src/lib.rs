@@ -26,6 +26,11 @@
 //! * [`server::ServeCore`] + [`server::serve`] — the transport-free core
 //!   and the `biocheckd` TCP daemon; [`client::Client`] is the blocking
 //!   counterpart used by tests, CI, and the bench load generator.
+//! * [`metrics::ServeMetrics`] — **per-phase latency histograms**
+//!   (lock-free, from `biocheck_obs`) recorded inline on the serving
+//!   path and surfaced through `{"op":"stats"}` (percentile object),
+//!   `{"op":"metrics"}` (Prometheus text exposition), and
+//!   `biocheck_client --stats-watch`.
 //!
 //! Serving is deterministic per request: the same `(model, query, seed,
 //! count budget)` produces a bit-identical report at any pool width, any
@@ -81,6 +86,7 @@ pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
@@ -89,6 +95,7 @@ pub mod wire;
 pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, ClientConfig, QueryReply};
 pub use json::{parse_json, Json};
+pub use metrics::ServeMetrics;
 pub use registry::{fingerprint64, ModelEntry, Registry};
 pub use scheduler::{AdmitError, AdmitWait, Scheduler};
 pub use server::{serve, Daemon, ServeConfig, ServeCore, ServeError};

@@ -1,0 +1,175 @@
+//! Per-phase latency aggregation for the serving core.
+//!
+//! [`ServeMetrics`] owns one lock-free [`Histogram`] per phase of the
+//! query lifecycle; [`ServeCore`](crate::ServeCore) records into them
+//! inline (a record is four relaxed atomic ops — cheap enough for the
+//! microsecond-scale warm path, verified by the `serve_throughput`
+//! bench gate). Two renderings exist:
+//!
+//! * [`ServeMetrics::latency_json`] — the `latency` object inside the
+//!   `{"op":"stats"}` reply: per-phase count / mean / p50 / p90 / p99 /
+//!   max in milliseconds.
+//! * [`ServeMetrics::prometheus_into`] — Prometheus-style text
+//!   exposition (summary quantiles in seconds plus `_sum`/`_count`),
+//!   embedded in the `{"op":"metrics"}` reply alongside the counter
+//!   metrics rendered by
+//!   [`ServeCore::metrics_text`](crate::ServeCore::metrics_text).
+//!
+//! # Phases
+//!
+//! | phase           | measures                                                    |
+//! |-----------------|-------------------------------------------------------------|
+//! | `request_hit`   | end-to-end time of a request answered from the result cache |
+//! | `request_miss`  | end-to-end time of a request that computed its answer       |
+//! | `queue_wait`    | time spent waiting for a scheduler execution slot           |
+//! | `execute`       | engine execution time (inside the panic boundary)           |
+//! | `compile`       | artifact-acquisition share of execution (from provenance)   |
+//! | `persist_append`| spill-file append time for memoized results                 |
+//!
+//! The request histograms cover successful replies; refused or failed
+//! requests are visible in the scheduler/cache/panic counters instead.
+
+use crate::json::Json;
+use biocheck_obs::{Histogram, Snapshot};
+use std::fmt::Write as _;
+
+/// The latency histograms of one [`ServeCore`](crate::ServeCore).
+/// All fields record nanoseconds; recording is lock-free, so every
+/// connection thread writes directly into the shared instance.
+#[derive(Default)]
+pub struct ServeMetrics {
+    /// End-to-end latency of cache-hit replies.
+    pub request_hit: Histogram,
+    /// End-to-end latency of computed (miss) replies.
+    pub request_miss: Histogram,
+    /// Scheduler admission wait of admitted requests.
+    pub queue_wait: Histogram,
+    /// Engine execution time (successful runs).
+    pub execute: Histogram,
+    /// Compile/artifact-acquisition phase, as stamped into
+    /// [`Provenance::compile_time`](biocheck_engine::Provenance::compile_time).
+    pub compile: Histogram,
+    /// Persistence-log append latency.
+    pub persist_append: Histogram,
+}
+
+/// Phase name → histogram, the single place the phase list lives.
+fn phases(m: &ServeMetrics) -> [(&'static str, &Histogram); 6] {
+    [
+        ("request_hit", &m.request_hit),
+        ("request_miss", &m.request_miss),
+        ("queue_wait", &m.queue_wait),
+        ("execute", &m.execute),
+        ("compile", &m.compile),
+        ("persist_append", &m.persist_append),
+    ]
+}
+
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn phase_json(snap: &Snapshot) -> Json {
+    Json::obj([
+        ("count", Json::num(snap.count() as f64)),
+        ("mean_ms", Json::num(snap.mean_ns() / 1e6)),
+        ("p50_ms", Json::num(ns_to_ms(snap.quantile(0.5)))),
+        ("p90_ms", Json::num(ns_to_ms(snap.quantile(0.9)))),
+        ("p99_ms", Json::num(ns_to_ms(snap.quantile(0.99)))),
+        ("max_ms", Json::num(ns_to_ms(snap.max_ns()))),
+    ])
+}
+
+impl ServeMetrics {
+    /// The `latency` object of the stats reply: one entry per phase
+    /// (always all six, zeroed when nothing was recorded yet).
+    pub fn latency_json(&self) -> Json {
+        Json::obj(
+            phases(self)
+                .into_iter()
+                .map(|(name, h)| (name, phase_json(&h.snapshot())))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Appends the latency summaries in Prometheus text exposition
+    /// format: per phase, `quantile`-labelled samples of
+    /// `biocheckd_request_latency_seconds` plus `_sum` and `_count`.
+    pub fn prometheus_into(&self, out: &mut String) {
+        out.push_str("# HELP biocheckd_request_latency_seconds Per-phase request latency.\n");
+        out.push_str("# TYPE biocheckd_request_latency_seconds summary\n");
+        for (name, h) in phases(self) {
+            let snap = h.snapshot();
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("1", 1.0)] {
+                let _ = writeln!(
+                    out,
+                    "biocheckd_request_latency_seconds{{phase=\"{name}\",quantile=\"{label}\"}} {}",
+                    snap.quantile(q) as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "biocheckd_request_latency_seconds_sum{{phase=\"{name}\"}} {}",
+                snap.sum_ns() as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "biocheckd_request_latency_seconds_count{{phase=\"{name}\"}} {}",
+                snap.count()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn latency_json_has_all_phases_and_ordered_quantiles() {
+        let m = ServeMetrics::default();
+        for i in 1..=200u64 {
+            m.queue_wait.record(Duration::from_micros(i));
+        }
+        let j = m.latency_json();
+        for phase in [
+            "request_hit",
+            "request_miss",
+            "queue_wait",
+            "execute",
+            "compile",
+            "persist_append",
+        ] {
+            assert!(j.get(phase).is_some(), "missing phase {phase}");
+        }
+        let qw = j.get("queue_wait").unwrap();
+        let f = |k: &str| qw.get(k).and_then(Json::as_f64).unwrap();
+        assert_eq!(f("count"), 200.0);
+        assert!(f("p50_ms") > 0.0);
+        assert!(f("p50_ms") <= f("p90_ms"));
+        assert!(f("p90_ms") <= f("p99_ms"));
+        assert!(f("p99_ms") <= f("max_ms"));
+        // Untouched phases render as zeros, not as absent keys.
+        let ex = j.get("execute").unwrap();
+        assert_eq!(ex.get("count").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let m = ServeMetrics::default();
+        m.execute.record(Duration::from_millis(3));
+        let mut out = String::new();
+        m.prometheus_into(&mut out);
+        assert!(out.starts_with("# HELP biocheckd_request_latency_seconds"));
+        assert!(
+            out.contains("biocheckd_request_latency_seconds{phase=\"execute\",quantile=\"0.5\"}")
+        );
+        assert!(out.contains("biocheckd_request_latency_seconds_count{phase=\"execute\"} 1"));
+        // Every non-comment line is `name{labels} value` with a finite value.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(value.parse::<f64>().unwrap().is_finite(), "{line}");
+        }
+    }
+}

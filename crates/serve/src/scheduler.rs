@@ -104,6 +104,7 @@ pub struct Scheduler {
     cv: Condvar,
     shed: AtomicU64,
     expired: AtomicU64,
+    queue_high_water: AtomicU64,
 }
 
 /// Mutex recovery: scheduler state is only ever mutated under the lock
@@ -140,6 +141,7 @@ impl Scheduler {
             cv: Condvar::new(),
             shed: AtomicU64::new(0),
             expired: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
         }
     }
 
@@ -161,6 +163,13 @@ impl Scheduler {
     /// Requests currently waiting for a slot (racy snapshot, for stats).
     pub fn queue_depth(&self) -> usize {
         relock(self.state.lock()).queued
+    }
+
+    /// Deepest the wait queue has ever been since startup. Read
+    /// together with [`Scheduler::max_queue`]: a high-water mark at the
+    /// bound means the daemon has shed load at least once.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water.load(Ordering::Relaxed)
     }
 
     /// Requests shed with [`AdmitError::Overloaded`] since startup.
@@ -222,6 +231,8 @@ impl Scheduler {
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         state.queued += 1;
+        self.queue_high_water
+            .fetch_max(state.queued as u64, Ordering::Relaxed);
         loop {
             // Advance the cursor past tickets whose holders gave up.
             loop {

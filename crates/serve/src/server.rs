@@ -37,6 +37,7 @@
 use crate::cache::persist::CacheLog;
 use crate::cache::{CacheStats, ResultCache};
 use crate::json::Json;
+use crate::metrics::ServeMetrics;
 use crate::registry::Registry;
 use crate::scheduler::{AdmitError, AdmitWait, Scheduler};
 use crate::wire::{report_to_json, ModelSource, QueryRequest, Request};
@@ -127,6 +128,21 @@ pub enum ServeError {
     Internal(String),
 }
 
+/// Every [`ServeError::kind`] discriminant a reply can carry, in
+/// declaration order. This is the source of truth the docs-drift check
+/// (CI and `tests/docs_drift.rs`) extracts quoted names
+/// from (matched up to the closing `];`) and greps against
+/// `docs/OPERATIONS.md`.
+pub const ERROR_KINDS: &[&str] = &[
+    "overloaded",
+    "expired",
+    "cancelled",
+    "shutting_down",
+    "invalid_request",
+    "query_error",
+    "internal_error",
+];
+
 impl ServeError {
     /// Stable machine-readable discriminant carried in error replies.
     pub fn kind(&self) -> &'static str {
@@ -197,6 +213,7 @@ pub struct ServeCore {
     scheduler: Scheduler,
     inflight: Mutex<HashMap<u64, CancelToken>>,
     persist: Option<Mutex<CacheLog>>,
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
     panics: AtomicU64,
     idle_timeout: Duration,
@@ -238,6 +255,7 @@ impl ServeCore {
             scheduler: Scheduler::with_queue(config.concurrency, config.max_queue),
             inflight: Mutex::new(HashMap::new()),
             persist,
+            metrics: ServeMetrics::default(),
             shutdown: AtomicBool::new(false),
             panics: AtomicU64::new(0),
             idle_timeout: config.idle_timeout,
@@ -274,6 +292,11 @@ impl ServeCore {
         &self.scheduler
     }
 
+    /// The per-phase latency histograms.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
     /// Has a shutdown request been handled?
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -292,7 +315,16 @@ impl ServeCore {
 
     /// Runs (or recalls) one query. Returns the report and whether it
     /// came from the cache.
+    ///
+    /// Every successful reply lands in the latency histograms
+    /// ([`ServeCore::metrics`]): end-to-end split by cache hit/miss,
+    /// queue wait, engine execute time, the compile share stamped into
+    /// the report's provenance, and the persistence append. The hit
+    /// path pays two clock reads and one histogram record — overhead
+    /// the `serve_throughput` bench gate bounds.
     pub fn run_query(&self, qr: &QueryRequest) -> Result<(Arc<Report>, bool), ServeError> {
+        let _span = biocheck_obs::span!("serve.request");
+        let t_request = Instant::now();
         let entry = self
             .registry
             .get(&qr.model)
@@ -313,6 +345,7 @@ impl ServeCore {
         let budget = qr.budget.build();
         let key = format!("{base_key}|seed={}|{}", qr.seed, budget.canonical_caps());
         if let Some(hit) = self.cache.get(&key) {
+            self.metrics.request_hit.record(t_request.elapsed());
             return Ok((hit, true));
         }
         // Per-request cancellation token, addressable while in flight.
@@ -338,15 +371,21 @@ impl ServeCore {
             None => None,
         };
         let result = {
+            let t_queue = Instant::now();
             let _permit = self.scheduler.admit(AdmitWait {
                 deadline: budget.queue_deadline,
                 cancel: Some(token.as_flag()),
             })?;
+            // Queue wait covers admitted requests; refused admissions
+            // are visible in the shed/expired counters instead.
+            self.metrics.queue_wait.record(t_queue.elapsed());
             // A racing identical request may have populated the cache
             // while this one queued; recheck before paying for compute.
             if let Some(hit) = self.cache.get(&key) {
+                self.metrics.request_hit.record(t_request.elapsed());
                 return Ok((hit, true));
             }
+            let t_execute = Instant::now();
             // Panic isolation: a solver bug (or an injected fault)
             // unwinds to here, is counted, and becomes a clean
             // `internal_error` reply. The permit and in-flight guard
@@ -361,7 +400,10 @@ impl ServeCore {
                     .run()
             }));
             match run {
-                Ok(r) => r,
+                Ok(r) => {
+                    self.metrics.execute.record(t_execute.elapsed());
+                    r
+                }
                 Err(payload) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
                     return Err(ServeError::Internal(format!(
@@ -372,6 +414,9 @@ impl ServeCore {
             }
         };
         let report = Arc::new(result.map_err(|e| ServeError::Query(e.to_string()))?);
+        if let Some(compile) = report.provenance.compile_time {
+            self.metrics.compile.record(compile);
+        }
         // Pure-function check: no wall clock involved, token never
         // raised → memoize.
         if budget.is_count_only() && !token.is_cancelled() {
@@ -380,11 +425,14 @@ impl ServeCore {
             if let Some(log) = &self.persist {
                 // Append errors are counted inside the log and must
                 // never fail the request: persistence is best-effort.
+                let t_append = Instant::now();
                 log.lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .append(&key, cost, &report);
+                self.metrics.persist_append.record(t_append.elapsed());
             }
         }
+        self.metrics.request_miss.record(t_request.elapsed());
         Ok((report, false))
     }
 
@@ -424,6 +472,7 @@ impl ServeCore {
                         "capacity_bytes",
                         Json::num(self.cache.capacity_bytes() as f64),
                     ),
+                    ("hit_ratio", Json::num(c.hit_ratio())),
                 ]),
             ),
             (
@@ -436,6 +485,10 @@ impl ServeCore {
                         Json::num(self.scheduler.queue_depth() as f64),
                     ),
                     ("max_queue", Json::num(self.scheduler.max_queue() as f64)),
+                    (
+                        "queue_high_water",
+                        Json::num(self.scheduler.queue_high_water() as f64),
+                    ),
                     ("shed", Json::num(self.scheduler.shed_count() as f64)),
                     ("expired", Json::num(self.scheduler.expired_count() as f64)),
                     ("draining", Json::Bool(self.scheduler.is_draining())),
@@ -470,8 +523,108 @@ impl ServeCore {
                     .collect(),
             ),
         ));
+        pairs.push(("latency", self.metrics.latency_json()));
         pairs.push(("threads", Json::num(rayon::current_num_threads() as f64)));
         Json::obj(pairs)
+    }
+
+    /// Prometheus text exposition (`op: metrics`): the per-phase
+    /// latency summaries plus every counter/gauge from the stats
+    /// payload under stable `biocheckd_*` names. The format is
+    /// documented with example scrape output in `docs/OPERATIONS.md`.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.metrics.prometheus_into(&mut out);
+        let c = self.cache.stats();
+        let mut counter = |name: &str, help: &str, value: f64| {
+            use std::fmt::Write as _;
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "biocheckd_cache_hits_total",
+            "Result-cache hits.",
+            c.hits as f64,
+        );
+        counter(
+            "biocheckd_cache_misses_total",
+            "Result-cache misses.",
+            c.misses as f64,
+        );
+        counter(
+            "biocheckd_cache_inserts_total",
+            "Result-cache inserts.",
+            c.inserts as f64,
+        );
+        counter(
+            "biocheckd_cache_evictions_total",
+            "Entries evicted to fit the byte budget.",
+            c.evictions as f64,
+        );
+        counter(
+            "biocheckd_cache_entries",
+            "Entries currently cached.",
+            c.entries as f64,
+        );
+        counter(
+            "biocheckd_cache_bytes",
+            "Bytes currently charged against the cache budget.",
+            c.bytes as f64,
+        );
+        counter(
+            "biocheckd_scheduler_in_flight",
+            "Queries currently executing.",
+            self.scheduler.in_flight() as f64,
+        );
+        counter(
+            "biocheckd_scheduler_queue_depth",
+            "Requests waiting for an execution slot.",
+            self.scheduler.queue_depth() as f64,
+        );
+        counter(
+            "biocheckd_scheduler_queue_high_water",
+            "Deepest the wait queue has been since startup.",
+            self.scheduler.queue_high_water() as f64,
+        );
+        counter(
+            "biocheckd_scheduler_shed_total",
+            "Requests refused with an overloaded reply.",
+            self.scheduler.shed_count() as f64,
+        );
+        counter(
+            "biocheckd_scheduler_expired_total",
+            "Requests whose queue deadline elapsed before admission.",
+            self.scheduler.expired_count() as f64,
+        );
+        counter(
+            "biocheckd_panic_replies_total",
+            "Query executions that panicked and became internal_error replies.",
+            self.panic_count() as f64,
+        );
+        if let Some(p) = self.persist_stats() {
+            counter(
+                "biocheckd_persist_appended_total",
+                "Memoized results appended to the spill file.",
+                p.appended as f64,
+            );
+            counter(
+                "biocheckd_persist_append_errors_total",
+                "Spill-file append failures (best-effort, request unaffected).",
+                p.append_errors as f64,
+            );
+            counter(
+                "biocheckd_persist_loaded_total",
+                "Records reloaded into the cache at boot.",
+                p.loaded as f64,
+            );
+        }
+        out
     }
 
     /// Answers one request. The bool is `true` when the request was a
@@ -516,6 +669,13 @@ impl ServeCore {
             ),
             Request::Stats => (
                 Json::obj([("ok", Json::Bool(true)), ("stats", self.stats_json())]),
+                false,
+            ),
+            Request::Metrics => (
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("metrics", Json::str(self.metrics_text())),
+                ]),
                 false,
             ),
             Request::Ping => (Json::obj([("ok", Json::Bool(true))]), false),

@@ -1002,11 +1002,22 @@ pub enum Request {
     },
     /// Cache/registry/scheduler statistics.
     Stats,
+    /// Prometheus-style text metrics exposition.
+    Metrics,
     /// Liveness check.
     Ping,
     /// Stops the daemon.
     Shutdown,
 }
+
+/// Every `"op"` discriminant the protocol accepts, in match order.
+/// This is the source of truth the docs-drift check (CI and
+/// `tests/docs_drift.rs`) extracts quoted
+/// names from (matched up to the closing `];`) and greps against
+/// `docs/OPERATIONS.md`.
+pub const OP_NAMES: &[&str] = &[
+    "register", "query", "cancel", "stats", "metrics", "ping", "shutdown",
+];
 
 impl Request {
     /// Renders the request as one JSON line (no trailing newline).
@@ -1034,6 +1045,7 @@ impl Request {
                 Json::obj([("op", Json::str("cancel")), ("id", u64_to_json(*id))])
             }
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
         }
@@ -1081,6 +1093,7 @@ impl Request {
                     .ok_or("cancel missing id")?,
             }),
             Some("stats") => Ok(Request::Stats),
+            Some("metrics") => Ok(Request::Metrics),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
@@ -1171,10 +1184,25 @@ pub fn report_to_json(report: &Report) -> Json {
                     num_or_null(report.provenance.early_stop_rate),
                 ),
                 ("avg_steps", num_or_null(report.provenance.avg_steps)),
+                // Phase timings are observability-only (excluded from
+                // the fingerprint); null when unmeasured, e.g. a report
+                // reloaded from a persistence log.
+                (
+                    "compile_ms",
+                    opt_duration_ms(report.provenance.compile_time),
+                ),
+                ("run_ms", opt_duration_ms(report.provenance.run_time)),
             ]),
         ),
         ("fingerprint", Json::str(report.fingerprint())),
     ])
+}
+
+fn opt_duration_ms(d: Option<std::time::Duration>) -> Json {
+    match d {
+        Some(d) => Json::Num(d.as_secs_f64() * 1e3),
+        None => Json::Null,
+    }
 }
 
 #[cfg(test)]
@@ -1224,6 +1252,7 @@ mod tests {
             },
             Request::Cancel { id: 3 },
             Request::Stats,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
             Request::Query(QueryRequest {
@@ -1268,6 +1297,44 @@ mod tests {
             let back = Request::from_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(back, req, "{line}");
         }
+    }
+
+    /// `OP_NAMES` is the docs-drift source of truth: it must cover
+    /// exactly the ops the parser accepts and the renderer emits.
+    #[test]
+    fn op_names_match_protocol() {
+        let argless = [
+            ("stats", Request::Stats),
+            ("metrics", Request::Metrics),
+            ("ping", Request::Ping),
+            ("shutdown", Request::Shutdown),
+        ];
+        for (name, want) in argless {
+            assert!(OP_NAMES.contains(&name));
+            let parsed = Request::from_line(&format!("{{\"op\":\"{name}\"}}")).unwrap();
+            assert_eq!(parsed, want);
+        }
+        // Ops with payloads: the rendered discriminant is listed.
+        for req in [
+            sample_request(),
+            Request::Register {
+                model: "m".into(),
+                source: ModelSource {
+                    states: vec![("x".into(), "-x".into())],
+                    consts: vec![],
+                },
+            },
+            Request::Cancel { id: 1 },
+        ] {
+            let op = req
+                .to_json()
+                .get("op")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert!(OP_NAMES.contains(&op.as_str()), "unlisted op {op}");
+        }
+        assert_eq!(OP_NAMES.len(), 7);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Documentation drift checks.
+//!
+//! `docs/OPERATIONS.md` promises to document every wire operation and
+//! every error kind a reply can carry. The source-of-truth lists live
+//! in code (`wire::OP_NAMES`, `server::ERROR_KINDS`); this test — and
+//! the equivalent grep step in CI — fails when a name is added to the
+//! protocol without a matching backticked mention in the runbook.
+
+use biocheck_serve::server::ERROR_KINDS;
+use biocheck_serve::wire::OP_NAMES;
+
+const OPERATIONS_MD: &str = include_str!("../../../docs/OPERATIONS.md");
+
+#[test]
+fn operations_doc_mentions_every_wire_op() {
+    for op in OP_NAMES {
+        assert!(
+            OPERATIONS_MD.contains(&format!("`{op}`")),
+            "docs/OPERATIONS.md does not mention wire op `{op}`"
+        );
+    }
+}
+
+#[test]
+fn operations_doc_mentions_every_error_kind() {
+    for kind in ERROR_KINDS {
+        assert!(
+            OPERATIONS_MD.contains(&format!("`{kind}`")),
+            "docs/OPERATIONS.md does not mention error kind `{kind}`"
+        );
+    }
+}
+
+#[test]
+fn docs_cross_link_each_other() {
+    const ARCHITECTURE_MD: &str = include_str!("../../../docs/ARCHITECTURE.md");
+    assert!(OPERATIONS_MD.contains("ARCHITECTURE.md"));
+    assert!(ARCHITECTURE_MD.contains("OPERATIONS.md"));
+}

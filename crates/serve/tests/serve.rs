@@ -437,3 +437,88 @@ fn budgets_and_cancellation() {
     );
     assert!(!core.cancel(1), "finished request left the in-flight table");
 }
+
+/// The observability tentpole, end to end: after a mixed cold/warm
+/// batch the stats payload carries non-trivial ordered latency
+/// percentiles per phase, the provenance carries phase timings, and
+/// the metrics op renders a well-formed Prometheus exposition.
+#[test]
+fn stats_report_latency_percentiles_after_mixed_batch() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap();
+    // Cold pass (computes), then two warm passes (cache hits).
+    let batch: Vec<QueryRequest> = (0..4).map(|i| estimate("x - 1", i, 60)).collect();
+    for _ in 0..3 {
+        for qr in &batch {
+            core.run_query(qr).unwrap();
+        }
+    }
+    let (report, cached) = core.run_query(&batch[0]).unwrap();
+    assert!(cached);
+    assert!(report.provenance.compile_time.is_some());
+    assert!(report.provenance.run_time.is_some());
+
+    let stats = core.stats_json();
+    let pq = |phase: &str, q: &str| {
+        stats
+            .get("latency")
+            .and_then(|l| l.get(phase))
+            .and_then(|p| p.get(q))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("stats.latency.{phase}.{q} missing"))
+    };
+    for phase in [
+        "queue_wait",
+        "execute",
+        "request_hit",
+        "request_miss",
+        "compile",
+    ] {
+        let (p50, p99, max) = (
+            pq(phase, "p50_ms"),
+            pq(phase, "p99_ms"),
+            pq(phase, "max_ms"),
+        );
+        assert!(
+            p99 >= p50 && p50 > 0.0,
+            "{phase}: want p99 >= p50 > 0, got p50={p50} p99={p99}"
+        );
+        assert!(max >= p99, "{phase}: max {max} < p99 {p99}");
+    }
+    assert_eq!(pq("request_hit", "count"), 9.0);
+    assert_eq!(pq("request_miss", "count"), 4.0);
+    // Admitted executions: exactly the four misses waited for a slot.
+    assert_eq!(pq("queue_wait", "count"), 4.0);
+    assert_eq!(
+        stats
+            .get("scheduler")
+            .and_then(|s| s.get("queue_high_water"))
+            .and_then(|v| v.as_f64()),
+        Some(1.0)
+    );
+    // hit_ratio is hits/(hits+misses) as reported by the same payload
+    // (a cold request probes the cache twice: before and after
+    // admission, so misses > computed-query count).
+    let cache_num = |k: &str| {
+        stats
+            .get("cache")
+            .and_then(|c| c.get(k))
+            .and_then(|v| v.as_f64())
+            .unwrap()
+    };
+    let (hits, misses) = (cache_num("hits"), cache_num("misses"));
+    assert_eq!(hits, 9.0);
+    assert_eq!(cache_num("hit_ratio"), hits / (hits + misses));
+
+    // The metrics op embeds the text exposition.
+    let (reply, stop) = core.handle(&biocheck_serve::Request::Metrics);
+    assert!(!stop);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let text = reply
+        .get("metrics")
+        .and_then(Json::as_str)
+        .expect("metrics reply carries the exposition text");
+    assert!(text.contains("biocheckd_request_latency_seconds{phase=\"execute\",quantile=\"0.99\"}"));
+    assert!(text.contains("biocheckd_cache_hits_total 9"));
+    assert!(text.contains("biocheckd_scheduler_queue_high_water 1"));
+}
