@@ -18,7 +18,7 @@ use biocheck_ode::{CompiledOde, OdeSystem, Trace};
 use biocheck_smc::{fork_seed, TraceSampler};
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -65,6 +65,14 @@ pub struct CacheStats {
     pub sampler_builds: usize,
     /// Queries answered entirely from cache (no lowering of any kind).
     pub cache_hits: usize,
+    /// Interned expression nodes in the session's context (the
+    /// hash-consed arena a long literal sweep grows). 0 for hybrid
+    /// sessions, whose queries carry no text expressions.
+    pub arena_nodes: usize,
+    /// Compiled artifacts currently cached (plans + samplers).
+    pub artifact_count: usize,
+    /// Artifacts dropped by [`Session::evict_artifacts_to`].
+    pub artifact_evictions: usize,
 }
 
 #[derive(Default)]
@@ -73,17 +81,26 @@ struct Counters {
     plans: AtomicUsize,
     samplers: AtomicUsize,
     hits: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
-/// Compiled artifacts shared across queries. Keys are the canonical
-/// debug renderings of the defining inputs — stable within a session
-/// because every query resolves against the same interned context.
+/// Compiled artifacts shared across queries, each stamped with the
+/// session tick of its last use so cap enforcement can evict in LRU
+/// order. Keys are the canonical debug renderings of the defining
+/// inputs — stable within a session because every query resolves
+/// against the same interned context.
 #[derive(Default)]
 struct Artifacts {
     /// Streaming monitor plans, keyed by formula.
-    plans: HashMap<String, CompiledBltl>,
+    plans: HashMap<String, (CompiledBltl, u64)>,
     /// Fully assembled samplers, keyed by the whole [`SmcSpec`].
-    samplers: HashMap<String, Arc<TraceSampler>>,
+    samplers: HashMap<String, (Arc<TraceSampler>, u64)>,
+}
+
+impl Artifacts {
+    fn len(&self) -> usize {
+        self.plans.len() + self.samplers.len()
+    }
 }
 
 /// A per-model analysis session.
@@ -105,6 +122,8 @@ pub struct Session {
     nominal_env: Vec<f64>,
     artifacts: Mutex<Artifacts>,
     counters: Counters,
+    /// Monotone use clock for artifact LRU ordering.
+    tick: AtomicU64,
 }
 
 impl Session {
@@ -130,6 +149,7 @@ impl Session {
             model: Model::Ode(Box::new(OdeParts { cx, sys, ode })),
             artifacts: Mutex::new(Artifacts::default()),
             counters,
+            tick: AtomicU64::new(0),
         }
     }
 
@@ -142,17 +162,70 @@ impl Session {
             nominal_env: Vec::new(),
             artifacts: Mutex::new(Artifacts::default()),
             counters: Counters::default(),
+            tick: AtomicU64::new(0),
         }
     }
 
-    /// Lowering counters since construction.
+    /// Lowering counters and memory gauges since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             rhs_compiles: self.counters.rhs.load(Ordering::Relaxed),
             plan_compiles: self.counters.plans.load(Ordering::Relaxed),
             sampler_builds: self.counters.samplers.load(Ordering::Relaxed),
             cache_hits: self.counters.hits.load(Ordering::Relaxed),
+            arena_nodes: self.arena_nodes(),
+            artifact_count: self.artifact_count(),
+            artifact_evictions: self.counters.evictions.load(Ordering::Relaxed),
         }
+    }
+
+    /// Interned nodes in the session's expression arena. The session's
+    /// context is immutable after construction, so this is the memory
+    /// footprint the registry's `--max-arena-nodes` cap governs.
+    pub fn arena_nodes(&self) -> usize {
+        match &self.model {
+            Model::Ode(parts) => parts.cx.num_nodes(),
+            Model::Hybrid(_) => 0,
+        }
+    }
+
+    /// Compiled artifacts currently cached (plans + samplers).
+    pub fn artifact_count(&self) -> usize {
+        self.artifacts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Evicts least-recently-used compiled artifacts until at most
+    /// `max` remain; returns how many were dropped. Eviction is purely
+    /// a memory/speed trade: an evicted artifact recompiles on next use
+    /// bit-identically (the invariant the engine's cache tests pin
+    /// down), and samplers still borrowed by in-flight queries stay
+    /// alive through their `Arc` until those queries finish.
+    pub fn evict_artifacts_to(&self, max: usize) -> usize {
+        let mut artifacts = self
+            .artifacts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let over = artifacts.len().saturating_sub(max);
+        if over == 0 {
+            return 0;
+        }
+        // Oldest tick across both maps goes first; a plan and a sampler
+        // never share a stamp (the tick is a per-use counter).
+        let mut stamps: Vec<u64> = artifacts
+            .plans
+            .values()
+            .map(|(_, t)| *t)
+            .chain(artifacts.samplers.values().map(|(_, t)| *t))
+            .collect();
+        stamps.sort_unstable();
+        let cutoff = stamps[over - 1];
+        artifacts.plans.retain(|_, (_, t)| *t > cutoff);
+        artifacts.samplers.retain(|_, (_, t)| *t > cutoff);
+        self.counters.evictions.fetch_add(over, Ordering::Relaxed);
+        over
     }
 
     /// Simulates the ODE model from its nominal initial state and
@@ -322,17 +395,19 @@ impl Session {
         );
         let plan_key = format!("{:?}", smc.property);
         // Fast path under the lock: hit the sampler cache, or at least
-        // grab the formula's cached plan.
+        // grab the formula's cached plan. Every touch restamps the
+        // entry's tick so cap eviction drops cold artifacts first.
         let cached_plan = {
-            let artifacts = self
+            let mut artifacts = self
                 .artifacts
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
-            if let Some(sampler) = artifacts.samplers.get(&key) {
+            if let Some((sampler, stamp)) = artifacts.samplers.get_mut(&key) {
+                *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(sampler));
             }
-            artifacts.plans.get(&plan_key).cloned()
+            artifacts.plans.get(&plan_key).map(|(p, _)| p.clone())
         };
         // Compile OUTSIDE the lock so concurrent queries on other
         // formulas (the cold-batch shape) lower in parallel instead of
@@ -361,11 +436,13 @@ impl Session {
             .artifacts
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        artifacts.plans.entry(plan_key).or_insert(plan);
-        let shared = artifacts
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        artifacts.plans.entry(plan_key).or_insert((plan, stamp));
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
+        let (shared, _) = artifacts
             .samplers
             .entry(key)
-            .or_insert_with(|| Arc::clone(&sampler));
+            .or_insert_with(|| (Arc::clone(&sampler), stamp));
         Ok(Arc::clone(shared))
     }
 

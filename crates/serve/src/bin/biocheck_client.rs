@@ -4,6 +4,7 @@
 //! biocheck_client --connect HOST:PORT            # JSONL from stdin, responses to stdout
 //! biocheck_client --connect HOST:PORT --selftest # scripted batch + fingerprint check
 //! biocheck_client --connect HOST:PORT --selftest --expect-warm # cache must already be hot
+//! biocheck_client --connect HOST:PORT --selftest --expect-warm --no-register # registry log must serve too
 //! biocheck_client --connect HOST:PORT --stats-watch [--interval-ms MS] [--count N]
 //! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
 //! ```
@@ -17,7 +18,11 @@
 //! even the *first* pass must be all cache hits — the CI
 //! crash-recovery check uses this against a daemon restarted (after
 //! SIGKILL) from its `--persist` spill file, proving warm-started
-//! results are fingerprint-identical to fresh computation.
+//! results are fingerprint-identical to fresh computation. With
+//! `--no-register` the client never sends a `register` at all: the
+//! selftest then passes only if the daemon's `--registry` log alone
+//! restored the model, proving a crash is fully transparent to clients
+//! (no re-registration, same fingerprints, warm cache).
 //!
 //! `--stats-watch` polls `{"op":"stats"}` on an interval (default
 //! 2000 ms) and pretty-prints one line per sample: **deltas** for the
@@ -105,12 +110,16 @@ fn selftest_requests() -> Vec<QueryRequest> {
     out
 }
 
-fn selftest(addr: &str, expect_warm: bool) -> Result<(), String> {
+fn selftest(addr: &str, expect_warm: bool, no_register: bool) -> Result<(), String> {
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     client.ping()?;
     let source = selftest_model();
-    let fingerprint = client.register("selftest", &source)?;
-    eprintln!("selftest: registered model {fingerprint}");
+    if no_register {
+        eprintln!("selftest: --no-register, relying on the daemon's registry log");
+    } else {
+        let fingerprint = client.register("selftest", &source)?;
+        eprintln!("selftest: registered model {fingerprint}");
+    }
 
     // Direct in-process reference: same source, same queries, fresh
     // session — what the daemon must reproduce bit-for-bit.
@@ -306,7 +315,8 @@ fn main() {
         .unwrap_or_else(|| "127.0.0.1:7878".into());
     if args.iter().any(|a| a == "--selftest") {
         let expect_warm = args.iter().any(|a| a == "--expect-warm");
-        if let Err(e) = selftest(&addr, expect_warm) {
+        let no_register = args.iter().any(|a| a == "--no-register");
+        if let Err(e) = selftest(&addr, expect_warm, no_register) {
             eprintln!("selftest FAILED: {e}");
             std::process::exit(1);
         }

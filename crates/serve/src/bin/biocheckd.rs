@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! biocheckd [--addr 127.0.0.1:7878] [--concurrency 2] [--cache-bytes 67108864]
-//!           [--max-queue 16] [--persist PATH] [--trace]
+//!           [--max-queue 16] [--persist PATH] [--registry PATH]
+//!           [--max-arena-nodes N] [--max-artifacts N] [--max-execute-ms N]
+//!           [--trace]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in the README's
@@ -18,7 +20,21 @@
 //! `--persist PATH` spills memoized results to a checksummed
 //! append-only log, reloaded on the next boot (warm start): a restart
 //! — even after SIGKILL — serves previously computed queries as cache
-//! hits with identical fingerprints.
+//! hits with identical fingerprints. `--registry PATH` does the same
+//! for registrations: every model's canonical source is logged and
+//! replayed on boot, so a restarted daemon serves the same models
+//! under the same fingerprints with **no client re-registration** —
+//! with both logs, a crash is invisible to clients beyond the
+//! reconnect.
+//!
+//! `--max-arena-nodes N` / `--max-artifacts N` cap per-model session
+//! memory (unbounded literal sweeps otherwise grow the expression
+//! arena and compiled-artifact cache forever): breaches rebuild the
+//! session from canonical source / evict LRU artifacts, results stay
+//! bit-identical, and high-water gauges land in `stats` and `metrics`.
+//! `--max-execute-ms N` arms a watchdog that cancels any query
+//! executing past the ceiling (typed `watchdog_cancelled` reply), so a
+//! wedged solver cannot pin an execution slot forever.
 //!
 //! Observability: `{"op":"stats"}` returns counters plus per-phase
 //! latency percentiles, `{"op":"metrics"}` returns a Prometheus-style
@@ -59,7 +75,9 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: biocheckd [--addr HOST:PORT] [--concurrency N] [--cache-bytes N]\n\
-             \x20                [--max-queue N] [--persist PATH] [--trace]\n\
+             \x20                [--max-queue N] [--persist PATH] [--registry PATH]\n\
+             \x20                [--max-arena-nodes N] [--max-artifacts N]\n\
+             \x20                [--max-execute-ms N] [--trace]\n\
              protocol: line-delimited JSON (see README \"Serving\")"
         );
         return;
@@ -77,6 +95,18 @@ fn main() {
     }
     if let Some(path) = parse_flag::<String>(&args, "--persist") {
         config.persist = Some(path.into());
+    }
+    if let Some(path) = parse_flag::<String>(&args, "--registry") {
+        config.registry = Some(path.into());
+    }
+    if let Some(n) = parse_flag(&args, "--max-arena-nodes") {
+        config.max_arena_nodes = Some(n);
+    }
+    if let Some(n) = parse_flag(&args, "--max-artifacts") {
+        config.max_artifacts = Some(n);
+    }
+    if let Some(ms) = parse_flag::<u64>(&args, "--max-execute-ms") {
+        config.max_execute = Some(std::time::Duration::from_millis(ms));
     }
     if args.iter().any(|a| a == "--trace") {
         let _ = biocheck_obs::set_recorder(Box::new(StderrTrace));

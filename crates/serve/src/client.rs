@@ -112,6 +112,26 @@ pub struct Client {
     addrs: Vec<SocketAddr>,
     config: ClientConfig,
     conn: Option<Conn>,
+    /// splitmix64 state for retry-backoff jitter, seeded per client so
+    /// a burst of shed clients does not retry in lockstep.
+    jitter_rng: u64,
+}
+
+/// splitmix64: one draw per backoff decision.
+fn jitter_draw(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Scales `backoff` by a factor uniform in `[0.75, 1.25)` — ±25%
+/// jitter, so clients shed by the same `overloaded` burst spread their
+/// retries instead of hammering back in unison (thundering herd).
+fn jittered(backoff: Duration, draw: u64) -> Duration {
+    let unit = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    backoff.mul_f64(0.75 + 0.5 * unit)
 }
 
 impl Client {
@@ -131,10 +151,19 @@ impl Client {
                 "address resolved to nothing",
             ));
         }
+        // Seed from the clock plus a process-wide sequence number:
+        // clients created in the same instant still draw distinct
+        // jitter streams.
+        static CLIENT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = CLIENT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
         let mut client = Client {
             addrs,
             config,
             conn: None,
+            jitter_rng: nanos ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         };
         client.reconnect().map_err(|e| {
             std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e.into_message())
@@ -250,12 +279,15 @@ impl Client {
                 .retry_base
                 .saturating_mul(1u32 << attempt.min(16))
                 .min(self.config.retry_cap);
+            // Jitter is applied after the cap (so clients pinned at
+            // the ceiling still decorrelate) and before the hint floor
+            // below (so it can only delay past the hint, never retry
+            // ahead of what the server asked for).
+            let backoff = jittered(backoff, jitter_draw(&mut self.jitter_rng));
             // The server's hint knows the backlog better than our
             // schedule does; never retry sooner than it asks.
             let delay = match hint_ms {
-                Some(ms) => backoff
-                    .max(Duration::from_millis(ms))
-                    .min(self.config.retry_cap),
+                Some(ms) => backoff.max(Duration::from_millis(ms).min(self.config.retry_cap)),
                 None => backoff,
             };
             std::thread::sleep(delay);
@@ -334,5 +366,42 @@ impl Client {
     /// against an already-stopping daemon would just fail again.
     pub fn shutdown(&mut self) -> Result<(), String> {
         self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_25_percent() {
+        let backoff = Duration::from_millis(400);
+        let mut rng = 42u64;
+        let (lo, hi) = (backoff.mul_f64(0.75), backoff.mul_f64(1.25));
+        for _ in 0..10_000 {
+            let d = jittered(backoff, jitter_draw(&mut rng));
+            assert!(
+                d >= lo && d < hi,
+                "jittered delay {d:?} outside [{lo:?}, {hi:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_decorrelates_equal_backoffs() {
+        // Two clients shed by the same burst share the backoff schedule
+        // but must not share the actual delays.
+        let backoff = Duration::from_millis(100);
+        let (mut a, mut b) = (1u64, 2u64);
+        let delays_a: Vec<Duration> = (0..8)
+            .map(|_| jittered(backoff, jitter_draw(&mut a)))
+            .collect();
+        let delays_b: Vec<Duration> = (0..8)
+            .map(|_| jittered(backoff, jitter_draw(&mut b)))
+            .collect();
+        assert_ne!(delays_a, delays_b);
+        // And the stream itself must vary (a constant "jitter" would
+        // still be lockstep, just shifted).
+        assert!(delays_a.windows(2).any(|w| w[0] != w[1]));
     }
 }

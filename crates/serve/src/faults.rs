@@ -36,6 +36,15 @@ pub struct FaultPlan {
     pub reply_delay_ms: u64,
     /// Probability a cache-persistence append fails with an I/O error.
     pub persist_io_error_rate: f64,
+    /// Probability a registry-log append fails with an I/O error.
+    pub registry_io_error_rate: f64,
+    /// Probability a query execution wedges for
+    /// [`FaultPlan::exec_stall_ms`] (cancellable — the stall polls the
+    /// request's `CancelToken`, modeling a solver stuck in a batch
+    /// loop that the watchdog can still unwedge).
+    pub exec_stall_rate: f64,
+    /// Stall applied to wedged executions.
+    pub exec_stall_ms: u64,
 }
 
 /// How many faults of each kind actually fired.
@@ -49,6 +58,10 @@ pub struct FaultStats {
     pub delayed_replies: u64,
     /// Appends failed by [`persist_io_error`].
     pub persist_io_errors: u64,
+    /// Appends failed by [`registry_io_error`].
+    pub registry_io_errors: u64,
+    /// Executions wedged by [`exec_stall`].
+    pub exec_stalls: u64,
 }
 
 struct Injector {
@@ -157,4 +170,30 @@ pub fn persist_io_error() -> bool {
     }
     inj.stats.persist_io_errors += 1;
     true
+}
+
+/// Disk hook: `true` when this registry-log append should fail.
+pub fn registry_io_error() -> bool {
+    let mut guard = injector();
+    let Some(inj) = guard.as_mut() else {
+        return false;
+    };
+    if !inj.roll(inj.plan.registry_io_error_rate) {
+        return false;
+    }
+    inj.stats.registry_io_errors += 1;
+    true
+}
+
+/// Execution-boundary hook: `Some(stall)` when this request should
+/// wedge. The caller sleeps in short cancellable slices so the
+/// watchdog's `CancelToken` can still unwedge it.
+pub fn exec_stall() -> Option<Duration> {
+    let mut guard = injector();
+    let inj = guard.as_mut()?;
+    if inj.plan.exec_stall_ms == 0 || !inj.roll(inj.plan.exec_stall_rate) {
+        return None;
+    }
+    inj.stats.exec_stalls += 1;
+    Some(Duration::from_millis(inj.plan.exec_stall_ms))
 }

@@ -9,7 +9,14 @@
 //!   register by name with textual sources, are fingerprinted, and share
 //!   one engine session per model across all clients and threads (the
 //!   session transparently rebuilds only when a query introduces new
-//!   expression vocabulary).
+//!   expression vocabulary). [`registry::SessionCaps`] governs per-model
+//!   memory — arena-node and compiled-artifact caps enforced by
+//!   evict-and-rebuild from canonical source, with high-water gauges in
+//!   [`registry::MemoryStats`] — and [`registry::persist::RegistryLog`]
+//!   makes registrations durable: an append-only checksummed log of
+//!   canonical sources, replayed on boot, so a `kill -9` restart serves
+//!   the same models under the same fingerprints with no client
+//!   re-registration.
 //! * [`cache::ResultCache`] — a **cost-aware LRU result cache**: seeded
 //!   queries under count-only budgets are pure functions of
 //!   `(model fingerprint, canonical query, seed, caps)`, so whole
@@ -25,7 +32,10 @@
 //!   mini-JSON parser/serializer.
 //! * [`server::ServeCore`] + [`server::serve`] — the transport-free core
 //!   and the `biocheckd` TCP daemon; [`client::Client`] is the blocking
-//!   counterpart used by tests, CI, and the bench load generator.
+//!   counterpart used by tests, CI, and the bench load generator. A
+//!   `--max-execute-ms` watchdog reaps wedged queries (typed
+//!   `watchdog_cancelled` replies) so a stuck solver cannot pin an
+//!   execution slot forever.
 //! * [`metrics::ServeMetrics`] — **per-phase latency histograms**
 //!   (lock-free, from `biocheck_obs`) recorded inline on the serving
 //!   path and surfaced through `{"op":"stats"}` (percentile object),
@@ -96,7 +106,8 @@ pub use cache::{CacheStats, ResultCache};
 pub use client::{Client, ClientConfig, QueryReply};
 pub use json::{parse_json, Json};
 pub use metrics::ServeMetrics;
-pub use registry::{fingerprint64, ModelEntry, Registry};
+pub use registry::persist::{LoadedModel, RegistryLog, RegistryPersistStats};
+pub use registry::{fingerprint64, MemoryStats, ModelEntry, Registry, SessionCaps};
 pub use scheduler::{AdmitError, AdmitWait, Scheduler};
 pub use server::{serve, Daemon, ServeConfig, ServeCore, ServeError};
 pub use wire::{

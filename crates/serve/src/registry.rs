@@ -21,11 +21,14 @@
 //! session (and all its compiled artifacts) is shared across every
 //! request and thread.
 
+pub mod persist;
+
 use crate::wire::ModelSource;
 use biocheck_engine::{Query, Session};
 use biocheck_expr::Context;
 use biocheck_ode::OdeSystem;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// FNV-1a, 64-bit: tiny, dependency-free, stable across runs — exactly
@@ -38,6 +41,55 @@ pub fn fingerprint64(text: &str) -> String {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     format!("{h:016x}")
+}
+
+/// Per-model session memory caps. `None` means unbounded (the
+/// pre-governance behavior); the daemon exposes them as
+/// `--max-arena-nodes` and `--max-artifacts`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCaps {
+    /// Ceiling on a model's master-context arena. A query that grows
+    /// the arena past it triggers a rebuild from canonical source: a
+    /// fresh minimal context holding the model plus only that query's
+    /// vocabulary, so an unbounded literal sweep can no longer grow a
+    /// session forever. Results stay bit-identical — reports depend on
+    /// query semantics, not node ids.
+    pub max_arena_nodes: Option<usize>,
+    /// Ceiling on a session's cached compiled artifacts (plans +
+    /// samplers); breaches evict least-recently-used artifacts, which
+    /// recompile bit-identically on next use.
+    pub max_artifacts: Option<usize>,
+}
+
+/// Registry-wide governance state shared by every entry: the caps plus
+/// high-water gauges and enforcement counters.
+#[derive(Default)]
+struct Governor {
+    caps: SessionCaps,
+    arena_high: AtomicUsize,
+    artifact_high: AtomicUsize,
+    cap_rebuilds: AtomicUsize,
+    artifact_evictions: AtomicUsize,
+}
+
+/// Snapshot of the registry's memory gauges, surfaced through
+/// `{"op":"stats"}` and `{"op":"metrics"}` so cap-driven degradation is
+/// observable instead of an OOM kill.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Largest master-context arena across registered models, now.
+    pub arena_nodes: usize,
+    /// High-water mark of the arena gauge (recorded after cap
+    /// enforcement, so a capped sweep's mark stays at or under the cap).
+    pub arena_nodes_high_water: usize,
+    /// Cached compiled artifacts across registered models, now.
+    pub artifact_count: usize,
+    /// High-water mark of the artifact gauge (after enforcement).
+    pub artifact_count_high_water: usize,
+    /// Sessions rebuilt from canonical source by an arena-cap breach.
+    pub cap_rebuilds: usize,
+    /// Artifacts evicted by the artifact cap.
+    pub artifact_evictions: usize,
 }
 
 struct EntryInner {
@@ -56,6 +108,10 @@ struct EntryInner {
 pub struct ModelEntry {
     name: String,
     fingerprint: String,
+    /// The canonical source the model registered with — the rebuild
+    /// base for arena-cap enforcement and the payload the registry
+    /// persistence log records.
+    source: ModelSource,
     /// Parameters pinned as constants at registration. They were
     /// substituted out of the right-hand sides, so randomizing one in
     /// a query would silently have no effect (the server rejects
@@ -63,6 +119,7 @@ pub struct ModelEntry {
     /// its pinned value, so `"x - k"` means what the model says it
     /// means rather than silently evaluating `k` as 0.
     consts: Vec<(String, f64)>,
+    govern: Arc<Governor>,
     inner: Mutex<EntryInner>,
 }
 
@@ -82,6 +139,11 @@ impl ModelEntry {
         self.consts.iter().any(|(n, _)| n == name)
     }
 
+    /// The canonical source the model registered with.
+    pub fn source(&self) -> &ModelSource {
+        &self.source
+    }
+
     /// How many times the session was (re)built — 1 when every request
     /// reused the original, +1 for each vocabulary growth.
     pub fn session_builds(&self) -> usize {
@@ -98,14 +160,45 @@ impl ModelEntry {
     /// The closure runs under the entry lock; it parses text into the
     /// master context. If parsing grew the arena, the session is
     /// rebuilt from a fresh context clone so every node id the query
-    /// references exists in the session.
+    /// references exists in the session. When a [`SessionCaps`] arena
+    /// cap is breached — the literal-sweep shape — the master context
+    /// itself is rebuilt first, from canonical source, down to the
+    /// model plus only this query's vocabulary (the closure re-runs
+    /// against the fresh arena; that is why it is `FnMut`). The
+    /// artifact cap is enforced here too, evicting LRU artifacts the
+    /// previous queries compiled. Both enforcements preserve
+    /// bit-identical results; both land in the registry's
+    /// [`MemoryStats`] gauges.
     pub fn prepare<E>(
         &self,
-        build: impl FnOnce(&mut Context) -> Result<Query, E>,
+        mut build: impl FnMut(&mut Context) -> Result<Query, E>,
     ) -> Result<(Arc<Session>, Query, String), E> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut query = build(&mut inner.cx)?;
         self.substitute_consts(&mut inner.cx, &mut query);
+        let over_cap = self
+            .govern
+            .caps
+            .max_arena_nodes
+            .is_some_and(|cap| inner.cx.num_nodes() > cap);
+        if over_cap {
+            // Evict-and-rebuild: re-parse the canonical source into a
+            // fresh minimal context and lower the query again into it.
+            // The source built at registration, so it builds now — the
+            // parse is deterministic.
+            let (cx, sys) = self
+                .source
+                .build()
+                .expect("canonical source validated at registration");
+            inner.cx = cx;
+            inner.sys = sys;
+            query = build(&mut inner.cx)?;
+            self.substitute_consts(&mut inner.cx, &mut query);
+            // Force the session rebuild below.
+            inner.snapshot_nodes = 0;
+            inner.snapshot_vars = 0;
+            self.govern.cap_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
         if inner.cx.num_nodes() > inner.snapshot_nodes || inner.cx.num_vars() > inner.snapshot_vars
         {
             let session = Arc::new(Session::from_parts(inner.cx.clone(), inner.sys.clone()));
@@ -114,6 +207,22 @@ impl ModelEntry {
             inner.builds += 1;
             inner.session = session;
         }
+        if let Some(cap) = self.govern.caps.max_artifacts {
+            let evicted = inner.session.evict_artifacts_to(cap);
+            if evicted > 0 {
+                self.govern
+                    .artifact_evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
+        // Gauges record the post-enforcement state: a capped sweep's
+        // high-water mark stays at (or under) the cap.
+        self.govern
+            .arena_high
+            .fetch_max(inner.cx.num_nodes(), Ordering::Relaxed);
+        self.govern
+            .artifact_high
+            .fetch_max(inner.session.artifact_count(), Ordering::Relaxed);
         let key = format!("{}|{}", self.fingerprint, query.canonical(&inner.cx));
         Ok((Arc::clone(&inner.session), query, key))
     }
@@ -172,12 +281,29 @@ fn subst_bltl(
 #[derive(Default)]
 pub struct Registry {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    govern: Arc<Governor>,
 }
 
 impl Registry {
-    /// An empty registry.
+    /// An empty registry with unbounded sessions.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// An empty registry whose sessions are governed by `caps`.
+    pub fn with_caps(caps: SessionCaps) -> Registry {
+        Registry {
+            models: RwLock::default(),
+            govern: Arc::new(Governor {
+                caps,
+                ..Governor::default()
+            }),
+        }
+    }
+
+    /// The caps this registry enforces.
+    pub fn caps(&self) -> SessionCaps {
+        self.govern.caps
     }
 
     /// Registers (or replaces) a model. Returns the new entry and, when
@@ -194,7 +320,9 @@ impl Registry {
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             fingerprint,
+            source: source.clone(),
             consts: source.consts.clone(),
+            govern: Arc::clone(&self.govern),
             inner: Mutex::new(EntryInner {
                 snapshot_nodes: cx.num_nodes(),
                 snapshot_vars: cx.num_vars(),
@@ -213,6 +341,32 @@ impl Registry {
             .filter(|o| o.fingerprint != entry.fingerprint)
             .map(|o| o.fingerprint.clone());
         Ok((entry, replaced))
+    }
+
+    /// Current + high-water memory gauges and enforcement counters.
+    /// Current values take each entry's lock briefly; the snapshot is
+    /// not atomic across models (it is an observability surface, not a
+    /// synchronization point).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let (mut arena_now, mut artifacts_now) = (0usize, 0usize);
+        for entry in self
+            .models
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            let inner = entry.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            arena_now = arena_now.max(inner.cx.num_nodes());
+            artifacts_now += inner.session.artifact_count();
+        }
+        MemoryStats {
+            arena_nodes: arena_now,
+            arena_nodes_high_water: self.govern.arena_high.load(Ordering::Relaxed),
+            artifact_count: artifacts_now,
+            artifact_count_high_water: self.govern.artifact_high.load(Ordering::Relaxed),
+            cap_rebuilds: self.govern.cap_rebuilds.load(Ordering::Relaxed),
+            artifact_evictions: self.govern.artifact_evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Looks up a model by name.

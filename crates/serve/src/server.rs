@@ -32,13 +32,28 @@
 //! Overload is shed at admission (bounded queue, `overloaded` reply
 //! with a retry hint), slow or stalled peers are bounded by per-line
 //! and idle timeouts, and `shutdown` drains: in-flight queries finish
-//! and get their replies, queued and future ones are refused.
+//! and get their replies, queued and future ones are refused. A
+//! `--max-execute-ms` ceiling arms a watchdog tick that cancels any
+//! execution past it (typed `watchdog_cancelled` reply), so a wedged
+//! solver cannot pin a scheduler permit forever.
+//!
+//! # Durability
+//!
+//! Two append-only logs make a `kill -9` transparent to clients: the
+//! cache spill file (`--persist`) rewarms memoized results, and the
+//! registry log (`--registry`) replays every model's canonical source
+//! so fingerprints — and therefore the warm cache keys — come back
+//! identical with no re-registration. Session growth is governed by
+//! `--max-arena-nodes` / `--max-artifacts` (evict-and-rebuild from
+//! canonical source, bit-identical results, high-water gauges in
+//! `stats` and `metrics`).
 
 use crate::cache::persist::CacheLog;
 use crate::cache::{CacheStats, ResultCache};
 use crate::json::Json;
 use crate::metrics::ServeMetrics;
-use crate::registry::Registry;
+use crate::registry::persist::RegistryLog;
+use crate::registry::{Registry, SessionCaps};
 use crate::scheduler::{AdmitError, AdmitWait, Scheduler};
 use crate::wire::{report_to_json, ModelSource, QueryRequest, Request};
 use biocheck_engine::{CancelToken, Report};
@@ -71,6 +86,22 @@ pub struct ServeConfig {
     /// file that cannot be opened disables persistence with a warning
     /// rather than refusing to serve.
     pub persist: Option<PathBuf>,
+    /// Registry log file. `Some(path)` persists every registration's
+    /// canonical source and replays the log on boot, so a crashed
+    /// daemon comes back with its models registered (and, combined
+    /// with `persist`, its memoized results warm) without any client
+    /// re-registering. Same fail-open policy as `persist`.
+    pub registry: Option<PathBuf>,
+    /// Per-model arena-node cap ([`SessionCaps::max_arena_nodes`]).
+    pub max_arena_nodes: Option<usize>,
+    /// Per-session compiled-artifact cap
+    /// ([`SessionCaps::max_artifacts`]).
+    pub max_artifacts: Option<usize>,
+    /// Hard ceiling on a single query's execute time. A watchdog tick
+    /// raises the request's `CancelToken` once it is exceeded and the
+    /// reply becomes a `watchdog_cancelled` error — a wedged solver
+    /// cannot pin a scheduler permit forever.
+    pub max_execute: Option<Duration>,
     /// Drop a connection that has been completely silent (no request
     /// in progress) for this long.
     pub idle_timeout: Duration,
@@ -90,6 +121,10 @@ impl Default for ServeConfig {
             concurrency: 2,
             max_queue: 16,
             persist: None,
+            registry: None,
+            max_arena_nodes: None,
+            max_artifacts: None,
+            max_execute: None,
             idle_timeout: Duration::from_secs(300),
             line_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(30),
@@ -116,6 +151,14 @@ pub enum ServeError {
     Expired(String),
     /// The request's cancellation token was raised before it ran.
     Cancelled,
+    /// The query exceeded the server's `--max-execute-ms` ceiling and
+    /// the watchdog cancelled it mid-execution.
+    WatchdogCancelled {
+        /// How long the query had been executing when it was reaped.
+        elapsed_ms: u64,
+        /// The configured ceiling it exceeded.
+        ceiling_ms: u64,
+    },
     /// The server is draining for shutdown.
     ShuttingDown,
     /// The request itself is malformed (unknown model, duplicate id,
@@ -137,6 +180,7 @@ pub const ERROR_KINDS: &[&str] = &[
     "overloaded",
     "expired",
     "cancelled",
+    "watchdog_cancelled",
     "shutting_down",
     "invalid_request",
     "query_error",
@@ -150,6 +194,7 @@ impl ServeError {
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::Expired(_) => "expired",
             ServeError::Cancelled => "cancelled",
+            ServeError::WatchdogCancelled { .. } => "watchdog_cancelled",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Invalid(_) => "invalid_request",
             ServeError::Query(_) => "query_error",
@@ -178,6 +223,14 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Expired(msg) => write!(f, "{msg}"),
             ServeError::Cancelled => write!(f, "request cancelled before execution"),
+            ServeError::WatchdogCancelled {
+                elapsed_ms,
+                ceiling_ms,
+            } => write!(
+                f,
+                "query exceeded the server execute ceiling ({elapsed_ms} ms > {ceiling_ms} ms) \
+                 and was cancelled by the watchdog"
+            ),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Invalid(msg) | ServeError::Query(msg) | ServeError::Internal(msg) => {
                 write!(f, "{msg}")
@@ -213,6 +266,9 @@ pub struct ServeCore {
     scheduler: Scheduler,
     inflight: Mutex<HashMap<u64, CancelToken>>,
     persist: Option<Mutex<CacheLog>>,
+    registry_log: Option<Mutex<RegistryLog>>,
+    watchdog: Option<Arc<Watchdog>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
     panics: AtomicU64,
@@ -228,6 +284,12 @@ impl ServeCore {
     /// never fatal) and the file is kept open for appending; a file
     /// that cannot be opened at all disables persistence with a
     /// warning on stderr.
+    ///
+    /// When `config.registry` names a registry log, every registration
+    /// it holds is replayed (a source that no longer builds is skipped
+    /// with a warning, never fatal) and the log is kept open so new
+    /// registrations append — after a crash the daemon serves the same
+    /// models under the same fingerprints with no client involvement.
     pub fn new(config: ServeConfig) -> ServeCore {
         let cache = ResultCache::new(config.cache_bytes);
         let persist = config.persist.as_ref().and_then(|path| {
@@ -249,12 +311,49 @@ impl ServeCore {
                 }
             }
         });
+        let registry = Registry::with_caps(SessionCaps {
+            max_arena_nodes: config.max_arena_nodes,
+            max_artifacts: config.max_artifacts,
+        });
+        let registry_log = config.registry.as_ref().and_then(|path| {
+            match RegistryLog::open(path) {
+                Ok((log, models)) => {
+                    for m in models {
+                        // The source built when it was registered; a
+                        // replay failure means the engine changed
+                        // underneath the log — warn, keep serving.
+                        if let Err(e) = registry.register(&m.name, &m.source) {
+                            eprintln!("biocheckd: skipping persisted model {:?} ({e})", m.name);
+                        }
+                    }
+                    Some(Mutex::new(log))
+                }
+                Err(e) => {
+                    eprintln!(
+                        "biocheckd: registry persistence disabled ({}: {e})",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
+        let watchdog = config.max_execute.map(Watchdog::new);
+        let watchdog_thread = watchdog.as_ref().map(|dog| {
+            let dog = Arc::clone(dog);
+            std::thread::Builder::new()
+                .name("biocheckd-watchdog".into())
+                .spawn(move || dog.run_ticks())
+                .expect("spawn watchdog thread")
+        });
         ServeCore {
-            registry: Registry::new(),
+            registry,
             cache,
             scheduler: Scheduler::with_queue(config.concurrency, config.max_queue),
             inflight: Mutex::new(HashMap::new()),
             persist,
+            registry_log,
+            watchdog,
+            watchdog_thread,
             metrics: ServeMetrics::default(),
             shutdown: AtomicBool::new(false),
             panics: AtomicU64::new(0),
@@ -279,6 +378,20 @@ impl ServeCore {
         self.persist
             .as_ref()
             .map(|log| log.lock().unwrap_or_else(PoisonError::into_inner).stats())
+    }
+
+    /// Registry-log counters, when a registry log is attached.
+    pub fn registry_persist_stats(&self) -> Option<crate::registry::persist::RegistryPersistStats> {
+        self.registry_log
+            .as_ref()
+            .map(|log| log.lock().unwrap_or_else(PoisonError::into_inner).stats())
+    }
+
+    /// Queries reaped by the execute-ceiling watchdog.
+    pub fn watchdog_cancelled_count(&self) -> u64 {
+        self.watchdog
+            .as_ref()
+            .map_or(0, |dog| dog.fired_total.load(Ordering::Relaxed))
     }
 
     /// Query executions that panicked and were converted into
@@ -306,9 +419,20 @@ impl ServeCore {
     /// replacement with a *different* definition purges every memoized
     /// result of the old fingerprint.
     pub fn register(&self, name: &str, source: &ModelSource) -> Result<String, String> {
+        let already = self.registry.get(name).map(|e| e.fingerprint().to_string());
         let (entry, replaced) = self.registry.register(name, source)?;
         if let Some(old) = replaced {
             self.cache.purge_prefix(&format!("{old}|"));
+        }
+        // Log only registrations that changed the served state — a
+        // client re-registering the same source in a loop (the selftest
+        // shape) must not grow the log.
+        if already.as_deref() != Some(entry.fingerprint()) {
+            if let Some(log) = &self.registry_log {
+                log.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .append(name, source);
+            }
         }
         Ok(entry.fingerprint().to_string())
     }
@@ -386,6 +510,10 @@ impl ServeCore {
                 return Ok((hit, true));
             }
             let t_execute = Instant::now();
+            // The watchdog watches only the execute window: queue wait
+            // is governed by its own deadline, and the guard deregisters
+            // on every exit path, panics included.
+            let watch = self.watchdog.as_ref().map(|dog| dog.watch(&token));
             // Panic isolation: a solver bug (or an injected fault)
             // unwinds to here, is counted, and becomes a clean
             // `internal_error` reply. The permit and in-flight guard
@@ -393,13 +521,24 @@ impl ServeCore {
             let run = catch_unwind(AssertUnwindSafe(|| {
                 #[cfg(feature = "fault-injection")]
                 crate::faults::exec_panic_point();
+                #[cfg(feature = "fault-injection")]
+                if let Some(stall) = crate::faults::exec_stall() {
+                    // A wedged-but-cancellable solver: spin in short
+                    // slices so a raised token (watchdog or client
+                    // cancel) unwedges it, like the engine's own
+                    // between-batch cancellation polls.
+                    let t0 = Instant::now();
+                    while t0.elapsed() < stall && !token.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
                 session
                     .query(query)
                     .seed(qr.seed)
                     .budget(budget.clone().with_cancel(token.clone()))
                     .run()
             }));
-            match run {
+            let outcome = match run {
                 Ok(r) => {
                     self.metrics.execute.record(t_execute.elapsed());
                     r
@@ -411,7 +550,20 @@ impl ServeCore {
                         panic_message(&payload)
                     )));
                 }
+            };
+            // A watchdog-reaped run surfaces as a typed error, not a
+            // silently truncated report (the engine treats a raised
+            // token as exhaustion, which is right for *client* cancels
+            // answered out-of-band but would mask a reaped hang here).
+            if let Some(watch) = watch {
+                if watch.fired() {
+                    return Err(ServeError::WatchdogCancelled {
+                        elapsed_ms: t_execute.elapsed().as_millis() as u64,
+                        ceiling_ms: watch.ceiling_ms(),
+                    });
+                }
             }
+            outcome
         };
         let report = Arc::new(result.map_err(|e| ServeError::Query(e.to_string()))?);
         if let Some(compile) = report.provenance.compile_time {
@@ -496,9 +648,33 @@ impl ServeCore {
             ),
             (
                 "server",
-                Json::obj([("panic_replies", Json::num(self.panic_count() as f64))]),
+                Json::obj([
+                    ("panic_replies", Json::num(self.panic_count() as f64)),
+                    (
+                        "watchdog_cancelled",
+                        Json::num(self.watchdog_cancelled_count() as f64),
+                    ),
+                ]),
             ),
         ];
+        let m = self.registry.memory_stats();
+        pairs.push((
+            "sessions",
+            Json::obj([
+                ("arena_nodes", Json::num(m.arena_nodes as f64)),
+                (
+                    "arena_nodes_high_water",
+                    Json::num(m.arena_nodes_high_water as f64),
+                ),
+                ("artifact_count", Json::num(m.artifact_count as f64)),
+                (
+                    "artifact_count_high_water",
+                    Json::num(m.artifact_count_high_water as f64),
+                ),
+                ("cap_rebuilds", Json::num(m.cap_rebuilds as f64)),
+                ("artifact_evictions", Json::num(m.artifact_evictions as f64)),
+            ]),
+        ));
         if let Some(p) = self.persist_stats() {
             pairs.push((
                 "persist",
@@ -508,6 +684,18 @@ impl ServeCore {
                     ("appended", Json::num(p.appended as f64)),
                     ("append_errors", Json::num(p.append_errors as f64)),
                     ("unsupported", Json::num(p.unsupported as f64)),
+                ]),
+            ));
+        }
+        if let Some(r) = self.registry_persist_stats() {
+            pairs.push((
+                "registry_persist",
+                Json::obj([
+                    ("loaded", Json::num(r.loaded as f64)),
+                    ("skipped", Json::num(r.skipped as f64)),
+                    ("deduped", Json::num(r.deduped as f64)),
+                    ("appended", Json::num(r.appended as f64)),
+                    ("append_errors", Json::num(r.append_errors as f64)),
                 ]),
             ));
         }
@@ -607,6 +795,42 @@ impl ServeCore {
             "Query executions that panicked and became internal_error replies.",
             self.panic_count() as f64,
         );
+        counter(
+            "biocheckd_watchdog_cancelled_total",
+            "Queries cancelled for exceeding the execute ceiling.",
+            self.watchdog_cancelled_count() as f64,
+        );
+        let m = self.registry.memory_stats();
+        counter(
+            "biocheckd_session_arena_nodes",
+            "Largest master-context arena across registered models.",
+            m.arena_nodes as f64,
+        );
+        counter(
+            "biocheckd_session_arena_nodes_high_water",
+            "High-water mark of the arena gauge (post cap enforcement).",
+            m.arena_nodes_high_water as f64,
+        );
+        counter(
+            "biocheckd_session_artifact_count",
+            "Compiled artifacts cached across sessions.",
+            m.artifact_count as f64,
+        );
+        counter(
+            "biocheckd_session_artifact_count_high_water",
+            "High-water mark of the artifact gauge (post cap enforcement).",
+            m.artifact_count_high_water as f64,
+        );
+        counter(
+            "biocheckd_session_cap_rebuilds_total",
+            "Sessions rebuilt from canonical source by an arena-cap breach.",
+            m.cap_rebuilds as f64,
+        );
+        counter(
+            "biocheckd_session_artifact_evictions_total",
+            "Compiled artifacts evicted by the artifact cap.",
+            m.artifact_evictions as f64,
+        );
         if let Some(p) = self.persist_stats() {
             counter(
                 "biocheckd_persist_appended_total",
@@ -622,6 +846,23 @@ impl ServeCore {
                 "biocheckd_persist_loaded_total",
                 "Records reloaded into the cache at boot.",
                 p.loaded as f64,
+            );
+        }
+        if let Some(r) = self.registry_persist_stats() {
+            counter(
+                "biocheckd_registry_appended_total",
+                "Registrations appended to the registry log.",
+                r.appended as f64,
+            );
+            counter(
+                "biocheckd_registry_append_errors_total",
+                "Registry-log append failures (best-effort, request unaffected).",
+                r.append_errors as f64,
+            );
+            counter(
+                "biocheckd_registry_loaded_total",
+                "Models replayed from the registry log at boot.",
+                r.loaded as f64,
             );
         }
         out
@@ -688,6 +929,9 @@ impl ServeCore {
                 if let Some(log) = &self.persist {
                     log.lock().unwrap_or_else(PoisonError::into_inner).sync();
                 }
+                if let Some(log) = &self.registry_log {
+                    log.lock().unwrap_or_else(PoisonError::into_inner).sync();
+                }
                 (Json::obj([("ok", Json::Bool(true))]), true)
             }
         }
@@ -733,6 +977,120 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         s
     } else {
         "<non-string panic payload>"
+    }
+}
+
+/// The hung-query watchdog: a background tick that raises the
+/// `CancelToken` of any execution past the configured ceiling. The
+/// engine polls tokens between SMC batches, so a reaped run unwedges
+/// at the next poll, releases its scheduler permit via RAII, and its
+/// reply becomes a typed `watchdog_cancelled` error.
+struct Watchdog {
+    ceiling: Duration,
+    watched: Mutex<WatchTable>,
+    fired_total: AtomicU64,
+    stop: AtomicBool,
+}
+
+#[derive(Default)]
+struct WatchTable {
+    next_id: u64,
+    entries: HashMap<u64, WatchEntry>,
+}
+
+struct WatchEntry {
+    started: Instant,
+    token: CancelToken,
+    fired: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn new(ceiling: Duration) -> Arc<Watchdog> {
+        Arc::new(Watchdog {
+            ceiling,
+            watched: Mutex::new(WatchTable::default()),
+            fired_total: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Registers an execution; the guard deregisters it on drop and
+    /// remembers whether the watchdog reaped it.
+    fn watch(self: &Arc<Watchdog>, token: &CancelToken) -> WatchGuard {
+        let fired = Arc::new(AtomicBool::new(false));
+        let mut table = self.watched.lock().unwrap_or_else(PoisonError::into_inner);
+        let id = table.next_id;
+        table.next_id += 1;
+        table.entries.insert(
+            id,
+            WatchEntry {
+                started: Instant::now(),
+                token: token.clone(),
+                fired: Arc::clone(&fired),
+            },
+        );
+        WatchGuard {
+            dog: Arc::clone(self),
+            id,
+            fired,
+        }
+    }
+
+    /// The tick loop (dedicated thread). The tick is a quarter of the
+    /// ceiling, clamped to [1, 50] ms: overshoot past the ceiling is at
+    /// most one tick, and an idle scan of a small table is cheap.
+    fn run_ticks(&self) {
+        let tick = (self.ceiling / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+        while !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(tick);
+            let table = self.watched.lock().unwrap_or_else(PoisonError::into_inner);
+            for entry in table.entries.values() {
+                if !entry.fired.load(Ordering::Relaxed) && entry.started.elapsed() > self.ceiling {
+                    entry.fired.store(true, Ordering::Relaxed);
+                    entry.token.cancel();
+                    self.fired_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+struct WatchGuard {
+    dog: Arc<Watchdog>,
+    id: u64,
+    fired: Arc<AtomicBool>,
+}
+
+impl WatchGuard {
+    /// Did the watchdog reap this execution?
+    fn fired(&self) -> bool {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    fn ceiling_ms(&self) -> u64 {
+        self.dog.ceiling.as_millis() as u64
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.dog
+            .watched
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .remove(&self.id);
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        if let Some(dog) = &self.watchdog {
+            dog.stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.watchdog_thread.take() {
+            let _ = handle.join();
+        }
     }
 }
 

@@ -100,7 +100,7 @@ impl ModelSource {
         Ok((cx, OdeSystem::new(states, rhs)))
     }
 
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         Json::obj([
             (
                 "states",
@@ -123,7 +123,7 @@ impl ModelSource {
         ])
     }
 
-    fn from_json(v: &Json) -> Result<ModelSource, String> {
+    pub(crate) fn from_json(v: &Json) -> Result<ModelSource, String> {
         let states = v
             .get("states")
             .and_then(Json::as_arr)

@@ -1,7 +1,8 @@
 //! Deterministic chaos suite (`cargo test -p biocheck_serve --features
 //! fault-injection`): drives the serving layer through injected solver
-//! panics, torn replies, delayed replies, and persistence I/O errors,
-//! and pins down the fault-hardening invariants:
+//! panics, torn replies, delayed replies, persistence and registry-log
+//! I/O errors, and wedged (stalled) executions, and pins down the
+//! fault-hardening invariants:
 //!
 //! * the daemon never deadlocks and never leaks scheduler slots;
 //! * every accepted request resolves exactly once, with a well-formed
@@ -343,6 +344,7 @@ fn chaos_hammer_terminates_with_every_request_resolved() {
         reply_delay_rate: 0.2,
         reply_delay_ms: 5,
         persist_io_error_rate: 0.3,
+        ..FaultPlan::default()
     });
     let _cleanup = FaultGuard;
     let resolved = Arc::new(AtomicUsize::new(0));
@@ -401,4 +403,231 @@ fn chaos_hammer_terminates_with_every_request_resolved() {
     assert_eq!(core.scheduler().in_flight(), 0, "drained to zero in-flight");
     assert_eq!(core.scheduler().queue_depth(), 0, "drained to zero queued");
     let _ = std::fs::remove_file(&path);
+}
+
+/// Disk faults on the registry log: registrations still succeed (the
+/// in-memory registry is authoritative; persistence is best-effort and
+/// counted), and a reboot replays exactly the appends that survived,
+/// under their original fingerprints.
+#[test]
+fn registry_io_errors_never_fail_registration() {
+    let _serial = chaos_lock();
+    let path = tmp_path("registry-io");
+    let _ = std::fs::remove_file(&path);
+    let config = ServeConfig {
+        registry: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::new(config.clone());
+    faults::install(FaultPlan {
+        seed: 11,
+        registry_io_error_rate: 0.5,
+        ..FaultPlan::default()
+    });
+    let _cleanup = FaultGuard;
+    let mut fingerprints = Vec::new();
+    for i in 0..12usize {
+        let source = ModelSource {
+            states: vec![("x".into(), format!("-{}*k*x", i + 1))],
+            consts: vec![("k".into(), 1.0)],
+        };
+        let fp = core
+            .register(&format!("m{i}"), &source)
+            .expect("disk faults must not fail registration");
+        fingerprints.push((format!("m{i}"), fp));
+    }
+    let stats = faults::clear();
+    assert!(
+        stats.registry_io_errors > 0,
+        "no registry faults fired — proves nothing"
+    );
+    let r = core.registry_persist_stats().unwrap();
+    assert_eq!(r.append_errors as u64, stats.registry_io_errors);
+    assert_eq!(r.appended + r.append_errors, 12);
+    assert_eq!(core.registry().len(), 12, "in-memory registry unaffected");
+    drop(core);
+
+    let warm = ServeCore::new(config);
+    let recovered = warm.registry_persist_stats().unwrap();
+    assert_eq!(
+        recovered.loaded, r.appended,
+        "every successful append replays"
+    );
+    assert_eq!(recovered.skipped, 0);
+    let mut replayed = 0;
+    for (name, fp) in &fingerprints {
+        if let Some(entry) = warm.registry().get(name) {
+            assert_eq!(entry.fingerprint(), fp, "replayed {name} changed identity");
+            replayed += 1;
+        }
+    }
+    assert_eq!(replayed, r.appended);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The full kill -9 signature across BOTH logs: the process dies
+/// mid-append leaving a torn registry-log tail; restart from the files
+/// alone — with **no** client registration — and the daemon serves the
+/// same model, same fingerprints, warm cache.
+#[test]
+fn kill9_with_torn_registry_tail_restores_service_without_reregistration() {
+    let _serial = chaos_lock();
+    let reg_path = tmp_path("registry-torn");
+    let cache_path = tmp_path("cache-torn");
+    let _ = std::fs::remove_file(&reg_path);
+    let _ = std::fs::remove_file(&cache_path);
+    let config = ServeConfig {
+        registry: Some(reg_path.clone()),
+        persist: Some(cache_path.clone()),
+        ..ServeConfig::default()
+    };
+    let mut fingerprints = Vec::new();
+    let model_fp;
+    {
+        let core = ServeCore::new(config.clone());
+        model_fp = core.register("decay", &decay_source()).unwrap();
+        for seed in 0..5u64 {
+            let (r, _) = core.run_query(&estimate("x - 1", seed, 25)).unwrap();
+            fingerprints.push(r.fingerprint());
+        }
+        // Dropped without shutdown: appends were flushed per record,
+        // so this models SIGKILL between requests …
+    }
+    // … and this models SIGKILL *mid-append*: a torn, half-written
+    // registration at the tail.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&reg_path)
+            .unwrap();
+        f.write_all(b"deadbeefdeadbeef {\"model\":\"dec").unwrap();
+    }
+
+    let warm = ServeCore::new(config);
+    let r = warm.registry_persist_stats().unwrap();
+    assert_eq!(r.loaded, 1, "the intact registration recovered");
+    assert_eq!(r.skipped, 1, "exactly the torn tail skipped");
+    let entry = warm
+        .registry()
+        .get("decay")
+        .expect("model restored from the log alone — nobody re-registered");
+    assert_eq!(entry.fingerprint(), model_fp);
+    for (seed, fp) in fingerprints.iter().enumerate() {
+        let (reply, cached) = warm.run_query(&estimate("x - 1", seed as u64, 25)).unwrap();
+        assert!(
+            cached,
+            "cache key reachable through the replayed fingerprint"
+        );
+        assert_eq!(&reply.fingerprint(), fp, "reply identical across the crash");
+    }
+    // Compaction scrubbed the torn tail for good.
+    let again = ServeCore::new(ServeConfig {
+        registry: Some(reg_path.clone()),
+        ..ServeConfig::default()
+    });
+    let r2 = again.registry_persist_stats().unwrap();
+    assert_eq!((r2.loaded, r2.skipped), (1, 0));
+    let _ = std::fs::remove_file(&reg_path);
+    let _ = std::fs::remove_file(&cache_path);
+}
+
+/// Wedged solvers under the 12-thread hammer, against a governed
+/// (capped) model: injected stalls wedge executions long past the
+/// `--max-execute-ms` ceiling, the watchdog reaps every one (typed
+/// `watchdog_cancelled`, permit released), evictions and cap rebuilds
+/// race with in-flight queries, and no reply — reaped, capped, or
+/// clean — ever diverges from the unbounded fault-free reference.
+#[test]
+fn watchdog_reaps_stalled_queries_under_capped_hammer() {
+    let _serial = chaos_lock();
+    let core = Arc::new(ServeCore::new(ServeConfig {
+        concurrency: 4,
+        max_queue: 64,
+        max_execute: Some(Duration::from_millis(25)),
+        max_arena_nodes: Some(60),
+        max_artifacts: Some(4),
+        ..ServeConfig::default()
+    }));
+    let daemon = serve(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let addr = daemon.addr;
+    {
+        let mut c = Client::connect(addr).unwrap();
+        c.register("decay", &decay_source()).unwrap();
+    }
+    // Unbounded, fault-free reference for every sweep literal.
+    let reference = ServeCore::new(ServeConfig::default());
+    reference.register("decay", &decay_source()).unwrap();
+    let sweep: Vec<QueryRequest> = (0..20)
+        .map(|i| estimate(&format!("x - 0.{:03}", 300 + i), 9, 25))
+        .collect();
+    let expected: Vec<String> = sweep
+        .iter()
+        .map(|qr| reference.run_query(qr).unwrap().0.fingerprint())
+        .collect();
+
+    faults::install(FaultPlan {
+        seed: 0xD06,
+        exec_stall_rate: 0.4,
+        exec_stall_ms: 400, // 16x the ceiling: wedged until reaped
+        ..FaultPlan::default()
+    });
+    let _cleanup = FaultGuard;
+    let reaped = Arc::new(AtomicUsize::new(0));
+    let sweep = Arc::new(sweep);
+    let expected = Arc::new(expected);
+    let handles: Vec<_> = (0..12)
+        .map(|t| {
+            let (sweep, expected, reaped) = (
+                Arc::clone(&sweep),
+                Arc::clone(&expected),
+                Arc::clone(&reaped),
+            );
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for q in 0..5usize {
+                    let j = (t * 5 + q) % sweep.len();
+                    match client.query(&sweep[j]) {
+                        Ok(reply) => assert_eq!(
+                            reply.fingerprint, expected[j],
+                            "hammer reply diverged on query {j}"
+                        ),
+                        Err(e) => {
+                            assert!(
+                                e.contains("watchdog"),
+                                "only watchdog errors expected, got: {e}"
+                            );
+                            reaped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread must not hang or crash");
+    }
+    let stats = faults::clear();
+    assert!(stats.exec_stalls > 0, "no stalls injected — proves nothing");
+    let reaped = reaped.load(Ordering::SeqCst) as u64;
+    assert!(reaped > 0, "watchdog never fired under the hammer");
+    assert_eq!(
+        core.watchdog_cancelled_count(),
+        reaped,
+        "every reap surfaced as exactly one typed error"
+    );
+    let m = core.registry().memory_stats();
+    assert!(m.arena_nodes_high_water <= 60, "cap held under the hammer");
+
+    // Storm over: every sweep query (reaped ones included — they were
+    // never memoized) now answers correctly, and the daemon drains.
+    let mut client = Client::connect(addr).unwrap();
+    for (j, qr) in sweep.iter().enumerate() {
+        let reply = client.query(qr).unwrap();
+        assert_eq!(reply.fingerprint, expected[j], "post-storm divergence");
+    }
+    client.shutdown().unwrap();
+    daemon.join();
+    assert_eq!(core.scheduler().in_flight(), 0, "no leaked permits");
+    assert_eq!(core.scheduler().queue_depth(), 0);
 }
