@@ -82,6 +82,7 @@ pub mod session;
 pub mod stability;
 pub mod therapy;
 
+pub use biocheck_lint::{Diagnostic, Severity};
 pub use budget::{Budget, CancelToken};
 pub use calibrate::{Calibration, CalibrationProblem, Dataset};
 pub use error::Error;

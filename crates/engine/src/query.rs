@@ -134,6 +134,20 @@ pub enum Query {
         /// Outer radius of the certification annulus.
         r_max: f64,
     },
+    /// Static pre-flight analysis: interval-based domain diagnostics
+    /// plus structural checks, with no solving or sampling. Works on
+    /// both ODE and hybrid sessions and is read-only — the arena,
+    /// artifact cache, and every other query's fingerprint are
+    /// provably unchanged by running it.
+    Lint {
+        /// Assumed variable boxes (unlisted variables default to
+        /// `[0, ∞)`; hybrid parameter ranges apply automatically).
+        ranges: Vec<(VarId, Interval)>,
+        /// Declared parameters/constants for the unused-entity checks.
+        declared: Vec<VarId>,
+        /// Optional BLTL property to check atoms of.
+        property: Option<Bltl>,
+    },
 }
 
 impl Query {
@@ -245,6 +259,32 @@ impl Query {
                     region.iter().map(|i| i.to_string()).collect::<Vec<_>>()
                 );
             }
+            Query::Lint {
+                ranges,
+                declared,
+                property,
+            } => {
+                s.push_str("lint{ranges=[");
+                for (i, (v, range)) in ranges.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{}:{}", cx.var_name(*v), range);
+                }
+                s.push_str("];declared=[");
+                for (i, v) in declared.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(cx.var_name(*v));
+                }
+                s.push_str("];prop=");
+                match property {
+                    Some(p) => push_bltl(&mut s, cx, p),
+                    None => s.push_str("none"),
+                }
+                s.push('}');
+            }
         }
         s
     }
@@ -259,6 +299,7 @@ impl Query {
             Query::Therapy { .. } => QueryKind::Therapy,
             Query::Calibrate { .. } => QueryKind::Calibrate,
             Query::Stability { .. } => QueryKind::Stability,
+            Query::Lint { .. } => QueryKind::Lint,
         }
     }
 }
@@ -391,4 +432,6 @@ pub enum QueryKind {
     Calibrate,
     /// [`Query::Stability`]
     Stability,
+    /// [`Query::Lint`]
+    Lint,
 }

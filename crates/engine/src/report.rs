@@ -6,6 +6,7 @@ use crate::falsify::FalsificationOutcome;
 use crate::query::QueryKind;
 use crate::stability::StabilityReport;
 use crate::therapy::TherapyPlan;
+use biocheck_lint::Diagnostic;
 use biocheck_smc::{Estimate, SprtResult};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -100,6 +101,10 @@ pub enum Value {
     /// Certified stability report, `None` when no equilibrium was
     /// localized or no certificate found (`Stability` queries).
     Stability(Option<StabilityReport>),
+    /// Static analyzer findings, content-sorted and deterministic
+    /// (`Lint` queries). An empty list means the model is clean over
+    /// the assumed boxes.
+    Lint(Vec<Diagnostic>),
 }
 
 /// The uniform analysis answer returned by every query.

@@ -690,6 +690,29 @@ impl Session {
                     stability::run_stability(cx, sys, region, *r_min, *r_max, budget, deadline);
                 Ok(self.delta_report(query.kind(), seed, exhausted, Value::Stability(report)))
             }
+            Query::Lint {
+                ranges,
+                declared,
+                property,
+            } => {
+                // Pure static evaluation over shared references: no
+                // artifact is compiled, no expression interned, no
+                // sample drawn — linting cannot perturb any other
+                // query's fingerprint.
+                let diags = match &self.model {
+                    Model::Ode(parts) => biocheck_lint::lint_ode(
+                        &parts.cx,
+                        &parts.sys,
+                        ranges,
+                        declared,
+                        property.as_ref(),
+                    ),
+                    Model::Hybrid(ha) => {
+                        biocheck_lint::lint_automaton(ha, ranges, declared, property.as_ref())
+                    }
+                };
+                Ok(self.delta_report(query.kind(), seed, false, Value::Lint(diags)))
+            }
         }
     }
 }

@@ -1,0 +1,161 @@
+//! Read-only proof for [`Query::Lint`]: static analysis must be a pure
+//! observer of the session. For arbitrary range boxes and property
+//! choices, running a lint (a) changes neither the arena node count nor
+//! the artifact count nor the compile counters, (b) leaves follow-up
+//! query fingerprints bit-identical to a session that never linted, and
+//! (c) returns a diagnostic list that is itself bit-stable across
+//! repeated runs and fresh sessions. The CI determinism matrix re-runs
+//! this suite under `BIOCHECK_THREADS` ∈ {1, 2, 8}, which upgrades (c)
+//! to thread-count independence.
+
+use biocheck_bltl::Bltl;
+use biocheck_engine::{EstimateMethod, Query, Session, SmcSpec, Value};
+use biocheck_expr::{Atom, Context, RelOp, VarId};
+use biocheck_interval::Interval;
+use biocheck_ode::OdeSystem;
+use biocheck_smc::Dist;
+use proptest::prelude::*;
+
+/// A two-state model with enough structure to trip several checks: a
+/// division whose denominator can straddle zero (depending on the `y`
+/// range), an `ln`, an unused parameter, and a threshold property.
+fn parts() -> (Context, OdeSystem, Bltl) {
+    let mut cx = Context::new();
+    let x = cx.intern_var("x");
+    let y = cx.intern_var("y");
+    let _k = cx.intern_var("k_unused");
+    let dx = cx.parse("-x/(y - 1) + ln(x + 1)").unwrap();
+    let dy = cx.parse("x - 0.5*y").unwrap();
+    let sys = OdeSystem::new(vec![x, y], vec![dx, dy]);
+    let e = cx.parse("x - 0.7").unwrap();
+    let prop = Bltl::eventually(0.01, Bltl::Prop(Atom::new(e, RelOp::Ge)));
+    (cx, sys, prop)
+}
+
+fn lint_query(ranges: &[(usize, f64, f64)], with_prop: bool, prop: &Bltl) -> Query {
+    Query::Lint {
+        ranges: ranges
+            .iter()
+            .map(|&(v, lo, hi)| (VarId::from_index(v), Interval::new(lo, hi.max(lo))))
+            .collect(),
+        declared: (0..3).map(VarId::from_index).collect(),
+        property: with_prop.then(|| prop.clone()),
+    }
+}
+
+fn estimate_query(prop: &Bltl) -> Query {
+    Query::Estimate {
+        smc: SmcSpec {
+            init: vec![Dist::Uniform(0.5, 1.5), Dist::Uniform(0.5, 0.9)],
+            params: vec![],
+            property: prop.clone(),
+            t_end: 0.01,
+        },
+        method: EstimateMethod::Fixed { n: 40 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The state-mutation probe: lint between two estimates changes
+    /// nothing an estimate can observe, and nothing the session's own
+    /// introspection can count.
+    #[test]
+    fn lint_never_mutates_session_state(
+        ranges in proptest::collection::vec((0usize..3, -2.0f64..2.0, -2.0f64..2.0), 0..4),
+        with_prop in 0u8..2,
+        seed in 0..u64::MAX / 2,
+    ) {
+        let (cx, sys, prop) = parts();
+        let session = Session::from_parts(cx, sys);
+
+        // Baseline session that never lints: the follow-up estimate's
+        // fingerprint on an identical twin defines "unchanged".
+        let (cx2, sys2, prop2) = parts();
+        let twin = Session::from_parts(cx2, sys2);
+        let baseline = twin.query(estimate_query(&prop2)).seed(seed).run().unwrap();
+
+        let before_warm = session.query(estimate_query(&prop)).seed(seed).run().unwrap();
+        prop_assert_eq!(baseline.fingerprint(), before_warm.fingerprint());
+
+        let nodes = session.arena_nodes();
+        let artifacts = session.artifact_count();
+        let stats = session.stats();
+
+        let q = lint_query(&ranges, with_prop == 1, &prop);
+        let first = session.query(q.clone()).seed(0).run().unwrap();
+        let again = session.query(q).seed(0).run().unwrap();
+        prop_assert_eq!(first.fingerprint(), again.fingerprint());
+        prop_assert!(matches!(first.value, Value::Lint(_)));
+
+        // (a) nothing counted grew.
+        prop_assert_eq!(session.arena_nodes(), nodes, "lint interned expressions");
+        prop_assert_eq!(session.artifact_count(), artifacts, "lint compiled artifacts");
+        let after = session.stats();
+        prop_assert_eq!(after.rhs_compiles, stats.rhs_compiles);
+        prop_assert_eq!(after.plan_compiles, stats.plan_compiles);
+        prop_assert_eq!(after.sampler_builds, stats.sampler_builds);
+
+        // (b) the follow-up estimate still answers bit-identically.
+        let follow = session.query(estimate_query(&prop)).seed(seed).run().unwrap();
+        prop_assert_eq!(follow.fingerprint(), baseline.fingerprint());
+    }
+
+    /// Bit-stable diagnostics: the same lint on a fresh session yields
+    /// the same report fingerprint (the fingerprint covers every
+    /// diagnostic field, so this pins content *and* order). Under the
+    /// CI thread matrix this also proves independence from pool width.
+    #[test]
+    fn lint_diagnostics_are_bit_stable(
+        ranges in proptest::collection::vec((0usize..3, -2.0f64..2.0, -2.0f64..2.0), 0..4),
+        with_prop in 0u8..2,
+    ) {
+        let fingerprints: Vec<String> = (0..2)
+            .map(|_| {
+                let (cx, sys, prop) = parts();
+                let session = Session::from_parts(cx, sys);
+                let q = lint_query(&ranges, with_prop == 1, &prop);
+                session.query(q).seed(0).run().unwrap().fingerprint()
+            })
+            .collect();
+        prop_assert_eq!(&fingerprints[0], &fingerprints[1]);
+    }
+}
+
+/// The default nonnegative box makes `y - 1` straddle zero, so the
+/// division must warn; tightening `y` above 1 must silence it — the
+/// ranges actually flow through the query, not just the fingerprint.
+#[test]
+fn ranges_steer_the_verdict() {
+    let (cx, sys, prop) = parts();
+    let session = Session::from_parts(cx, sys);
+    let loose = session
+        .query(lint_query(&[], false, &prop))
+        .seed(0)
+        .run()
+        .unwrap();
+    let Value::Lint(diags) = &loose.value else {
+        panic!("lint value expected");
+    };
+    assert!(
+        diags.iter().any(|d| d.code == "L001"),
+        "default box must flag the zero-straddling denominator: {diags:?}"
+    );
+    let tight = session
+        .query(Query::Lint {
+            ranges: vec![(VarId::from_index(1), Interval::new(2.0, 3.0))],
+            declared: (0..3).map(VarId::from_index).collect(),
+            property: None,
+        })
+        .seed(0)
+        .run()
+        .unwrap();
+    let Value::Lint(diags) = &tight.value else {
+        panic!("lint value expected");
+    };
+    assert!(
+        diags.iter().all(|d| d.code != "L001"),
+        "y ∈ [2,3] keeps the denominator away from zero: {diags:?}"
+    );
+}

@@ -1,0 +1,1070 @@
+//! Static pre-flight model analyzer: deterministic diagnostics over a
+//! compiled model *before* any solver or sampler runs.
+//!
+//! The analyzer runs abstract interpretation over the hash-consed
+//! expression arena using the `biocheck_interval` arithmetic — every
+//! sub-expression gets a sound enclosure from the declared (or default)
+//! variable boxes, with no solving and no sampling — plus structural
+//! analysis of the model graph (which variables feed which derivatives,
+//! which hybrid modes are reachable). It never mutates anything: both
+//! entry points take the model by shared reference and intern no new
+//! expressions, so linting a live session is provably read-only.
+//!
+//! # Diagnostics
+//!
+//! Every [`Diagnostic`] carries a stable code, a [`Severity`], the site
+//! it was found at, and — for domain violations — the offending
+//! sub-expression with an interval **witness box** (the variable boxes
+//! the enclosure was computed from plus the offending operand's
+//! enclosure). `Error` means the violation is certain over the assumed
+//! boxes; `Warn` means it is possible; `Info` is advisory.
+//!
+//! | code   | meaning                                                  |
+//! |--------|----------------------------------------------------------|
+//! | `L001` | division by zero (certain → `Error`, possible → `Warn`)  |
+//! | `L002` | `ln` argument can leave `(0, ∞)`                          |
+//! | `L003` | `sqrt` argument can be negative                           |
+//! | `L004` | non-integer `pow` of a possibly negative base             |
+//! | `L005` | `asin`/`acos` argument can leave `[-1, 1]`                |
+//! | `L006` | constant subexpression evaluates to NaN or ±inf           |
+//! | `L101` | state variable influences no dynamics, guard, or invariant|
+//! | `L102` | declared parameter/constant is never used                 |
+//! | `L103` | dead rate term (statically ⊆ {0})                        |
+//! | `L104` | derivative is statically zero                             |
+//! | `L201` | hybrid mode unreachable from the initial mode             |
+//! | `L202` | guard (`Warn`) or invariant (`Error`) statically unsatisfiable |
+//! | `L203` | jump reset lands outside the target mode's invariant      |
+//! | `L204` | property atom references an undeclared variable           |
+//!
+//! Diagnostic order is content-sorted (severity, then code, then site,
+//! then expression) and therefore bit-stable across thread counts,
+//! arena layouts, and repeated runs.
+//!
+//! # Default boxes
+//!
+//! Variables without a declared range are assumed in `[0, ∞)` — the
+//! nonnegative-concentration convention of the biological models this
+//! framework serves. Pass explicit ranges to tighten or widen the
+//! assumption; hybrid-automaton parameters use their declared synthesis
+//! ranges automatically.
+
+use biocheck_bltl::Bltl;
+use biocheck_expr::{
+    eval_binary_interval, eval_unary_interval, Atom, BinOp, Context, Node, NodeId, UnaryOp, VarId,
+};
+use biocheck_hybrid::HybridAutomaton;
+use biocheck_interval::Interval;
+use biocheck_ode::OdeSystem;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How certain (and how serious) a [`Diagnostic`] is.
+///
+/// The derived order is most-severe-first, which is also the report
+/// sort order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The violation is certain over the assumed variable boxes.
+    Error,
+    /// The violation is possible (the enclosure admits it).
+    Warn,
+    /// Advisory: suspicious but not necessarily wrong.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case name, as rendered on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One analyzer finding.
+///
+/// The `Debug` rendering is part of the engine report fingerprint, so
+/// every field is deterministic (floats inside the witness intervals
+/// render in shortest round-trip form via [`Interval`]'s `Debug`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`L001` … `L204`; see the crate docs).
+    pub code: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Where the finding is anchored (`d(x)/dt`, `mode 'on' invariant`,
+    /// `jump 'off'->'on' guard`, `property`, …).
+    pub site: String,
+    /// Human-readable description.
+    pub message: String,
+    /// The offending sub-expression, pretty-printed (`None` for purely
+    /// structural findings).
+    pub expr: Option<String>,
+    /// The interval witness: the computed enclosure of the offending
+    /// operand plus the assumed box of every variable it reads, so the
+    /// finding can be audited without re-running the analyzer.
+    pub witness: Vec<(String, Interval)>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.site, self.message
+        )?;
+        if let Some(e) = &self.expr {
+            write!(f, " (in `{e}`)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The sort key that makes reports bit-stable: severity first, then
+/// code, then site, then expression, then message.
+fn sort_key(d: &Diagnostic) -> (Severity, String, String, String, String) {
+    (
+        d.severity,
+        d.code.clone(),
+        d.site.clone(),
+        d.expr.clone().unwrap_or_default(),
+        d.message.clone(),
+    )
+}
+
+/// The shared walking state: one enclosure per arena node, computed
+/// bottom-up in id order (children always precede parents in the
+/// hash-consed arena).
+struct Analyzer<'a> {
+    cx: &'a Context,
+    /// Assumed box per variable slot.
+    env: Vec<Interval>,
+    /// Enclosure per arena node under `env`.
+    enc: Vec<Interval>,
+    /// Does the node's subtree read no variable at all?
+    is_const: Vec<bool>,
+    /// Scratch visited set, reset per root walk.
+    visited: Vec<bool>,
+    out: Vec<Diagnostic>,
+}
+
+/// Caps the per-diagnostic witness at a readable size; variables are
+/// name-sorted first so truncation is deterministic.
+const MAX_WITNESS_VARS: usize = 8;
+
+impl<'a> Analyzer<'a> {
+    fn new(cx: &'a Context, ranges: &[(VarId, Interval)]) -> Analyzer<'a> {
+        let mut env = vec![Interval::new(0.0, f64::INFINITY); cx.num_vars()];
+        for &(v, r) in ranges {
+            env[v.index()] = r;
+        }
+        let mut a = Analyzer {
+            cx,
+            env,
+            enc: Vec::new(),
+            is_const: Vec::new(),
+            visited: vec![false; cx.num_nodes()],
+            out: Vec::new(),
+        };
+        a.recompute();
+        a
+    }
+
+    /// (Re)computes every node's enclosure under the current `env`.
+    fn recompute(&mut self) {
+        self.enc.clear();
+        self.is_const.clear();
+        for node in self.cx.nodes() {
+            let (iv, k) = match *node {
+                Node::Const(c) => (Interval::from(c), true),
+                Node::Var(v) => (self.env[v.index()], false),
+                Node::Unary(op, x) => (
+                    eval_unary_interval(op, self.enc[x.index()]),
+                    self.is_const[x.index()],
+                ),
+                Node::Binary(op, x, y) => (
+                    eval_binary_interval(op, self.enc[x.index()], self.enc[y.index()]),
+                    self.is_const[x.index()] && self.is_const[y.index()],
+                ),
+                Node::PowI(x, n) => (self.enc[x.index()].powi(n), self.is_const[x.index()]),
+            };
+            self.enc.push(iv);
+            self.is_const.push(k);
+        }
+    }
+
+    /// The variables read by `root`'s subtree, name-sorted.
+    fn vars_of(&self, root: NodeId) -> BTreeSet<VarId> {
+        let mut seen = vec![false; self.cx.num_nodes()];
+        let mut stack = vec![root];
+        let mut vars = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            match *self.cx.node(n) {
+                Node::Const(_) => {}
+                Node::Var(v) => {
+                    vars.insert(v);
+                }
+                Node::Unary(_, x) | Node::PowI(x, _) => stack.push(x),
+                Node::Binary(_, x, y) => {
+                    stack.push(x);
+                    stack.push(y);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Assembles the interval witness for a finding at `node` whose
+    /// offending operand is `operand`: the operand's enclosure first,
+    /// then the assumed box of every variable the node reads.
+    fn witness(&self, node: NodeId, operand: NodeId) -> Vec<(String, Interval)> {
+        let mut w = vec![(self.cx.display(operand), self.enc[operand.index()])];
+        let mut names: Vec<(String, Interval)> = self
+            .vars_of(node)
+            .into_iter()
+            .map(|v| (self.cx.var_name(v).to_string(), self.env[v.index()]))
+            .collect();
+        names.sort_by(|a, b| a.0.cmp(&b.0));
+        names.truncate(MAX_WITNESS_VARS);
+        w.extend(names);
+        w
+    }
+
+    fn push(
+        &mut self,
+        code: &str,
+        severity: Severity,
+        site: &str,
+        message: String,
+        node: NodeId,
+        operand: NodeId,
+    ) {
+        let witness = self.witness(node, operand);
+        self.out.push(Diagnostic {
+            code: code.to_string(),
+            severity,
+            site: site.to_string(),
+            message,
+            expr: Some(self.cx.display(node)),
+            witness,
+        });
+    }
+
+    /// Walks every node reachable from `root`, running the per-node
+    /// domain checks. At most one diagnostic fires per node: the
+    /// op-specific checks take precedence over the generic
+    /// bad-constant check, so `ln(-1)` reports a domain error, not a
+    /// NaN constant on top of it.
+    fn check_expr(&mut self, site: &str, root: NodeId) {
+        self.visited.iter_mut().for_each(|v| *v = false);
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut self.visited[n.index()], true) {
+                continue;
+            }
+            match *self.cx.node(n) {
+                Node::Const(_) | Node::Var(_) => {}
+                Node::Unary(_, x) | Node::PowI(x, _) => stack.push(x),
+                Node::Binary(_, x, y) => {
+                    stack.push(x);
+                    stack.push(y);
+                }
+            }
+            self.check_node(site, n);
+        }
+    }
+
+    fn check_node(&mut self, site: &str, n: NodeId) {
+        match *self.cx.node(n) {
+            Node::Binary(BinOp::Div, _, d) => {
+                let denom = self.enc[d.index()];
+                if denom.is_empty() {
+                    // The denominator itself is in error; its own node
+                    // carries the more precise diagnostic.
+                } else if denom == Interval::ZERO {
+                    self.push(
+                        "L001",
+                        Severity::Error,
+                        site,
+                        format!("denominator `{}` is always zero", self.cx.display(d)),
+                        n,
+                        d,
+                    );
+                } else if denom.contains(0.0) {
+                    self.push(
+                        "L001",
+                        Severity::Warn,
+                        site,
+                        format!(
+                            "denominator `{}` can reach zero (enclosure {:?})",
+                            self.cx.display(d),
+                            denom
+                        ),
+                        n,
+                        d,
+                    );
+                }
+            }
+            Node::Binary(BinOp::Pow, b, e) => {
+                let expo = self.enc[e.index()];
+                let base = self.enc[b.index()];
+                let integer_expo =
+                    expo.is_point() && expo.lo().fract() == 0.0 && expo.lo().is_finite();
+                if !integer_expo && !base.is_empty() {
+                    if base.hi() < 0.0 {
+                        self.push(
+                            "L004",
+                            Severity::Error,
+                            site,
+                            format!(
+                                "non-integer power of `{}`, which is always negative \
+                                 (enclosure {:?})",
+                                self.cx.display(b),
+                                base
+                            ),
+                            n,
+                            b,
+                        );
+                    } else if base.lo() < 0.0 {
+                        self.push(
+                            "L004",
+                            Severity::Warn,
+                            site,
+                            format!(
+                                "non-integer power of `{}`, which can be negative \
+                                 (enclosure {:?})",
+                                self.cx.display(b),
+                                base
+                            ),
+                            n,
+                            b,
+                        );
+                    }
+                }
+            }
+            Node::Unary(UnaryOp::Ln, x) => {
+                let arg = self.enc[x.index()];
+                if arg.is_empty() {
+                } else if arg.hi() <= 0.0 {
+                    self.push(
+                        "L002",
+                        Severity::Error,
+                        site,
+                        format!(
+                            "`ln` argument `{}` is never positive (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                } else if arg.lo() <= 0.0 {
+                    self.push(
+                        "L002",
+                        Severity::Warn,
+                        site,
+                        format!(
+                            "`ln` argument `{}` can reach zero or below (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                }
+            }
+            Node::Unary(UnaryOp::Sqrt, x) => {
+                let arg = self.enc[x.index()];
+                if arg.is_empty() {
+                } else if arg.hi() < 0.0 {
+                    self.push(
+                        "L003",
+                        Severity::Error,
+                        site,
+                        format!(
+                            "`sqrt` argument `{}` is always negative (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                } else if arg.lo() < 0.0 {
+                    self.push(
+                        "L003",
+                        Severity::Warn,
+                        site,
+                        format!(
+                            "`sqrt` argument `{}` can be negative (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                }
+            }
+            Node::Unary(op @ (UnaryOp::Asin | UnaryOp::Acos), x) => {
+                let arg = self.enc[x.index()];
+                let name = op.name();
+                if arg.is_empty() {
+                } else if arg.lo() > 1.0 || arg.hi() < -1.0 {
+                    self.push(
+                        "L005",
+                        Severity::Error,
+                        site,
+                        format!(
+                            "`{name}` argument `{}` never meets [-1, 1] (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                } else if arg.lo() < -1.0 || arg.hi() > 1.0 {
+                    self.push(
+                        "L005",
+                        Severity::Warn,
+                        site,
+                        format!(
+                            "`{name}` argument `{}` can leave [-1, 1] (enclosure {:?})",
+                            self.cx.display(x),
+                            arg
+                        ),
+                        n,
+                        x,
+                    );
+                }
+            }
+            _ => {
+                // Generic bad-constant check: a variable-free subtree
+                // whose value is NaN (empty enclosure) or escapes to
+                // ±inf.
+                if self.is_const[n.index()] {
+                    let iv = self.enc[n.index()];
+                    if iv.is_empty() {
+                        self.push(
+                            "L006",
+                            Severity::Error,
+                            site,
+                            "constant subexpression has no real value (NaN)".to_string(),
+                            n,
+                            n,
+                        );
+                    } else if !iv.is_bounded() {
+                        self.push(
+                            "L006",
+                            Severity::Warn,
+                            site,
+                            format!("constant subexpression overflows to ±inf (enclosure {iv:?})"),
+                            n,
+                            n,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Splits a derivative into its top-level additive terms (through
+    /// `+`/`-` chains) and flags terms that are statically ⊆ {0} —
+    /// dead reaction rates that contribute nothing.
+    fn check_dead_terms(&mut self, site: &str, root: NodeId) {
+        let mut terms = Vec::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            match *self.cx.node(n) {
+                Node::Binary(BinOp::Add | BinOp::Sub, x, y) => {
+                    stack.push(x);
+                    stack.push(y);
+                }
+                Node::Unary(UnaryOp::Neg, x) => stack.push(x),
+                _ => terms.push(n),
+            }
+        }
+        if terms.len() < 2 {
+            return; // a single term is L104's business, not a dead rate
+        }
+        terms.sort_by_key(|n| n.index());
+        for t in terms {
+            let iv = self.enc[t.index()];
+            if iv == Interval::ZERO {
+                self.push(
+                    "L103",
+                    Severity::Warn,
+                    site,
+                    format!(
+                        "rate term `{}` is statically zero and contributes nothing",
+                        self.cx.display(t)
+                    ),
+                    t,
+                    t,
+                );
+            }
+        }
+    }
+
+    fn check_atoms(&mut self, site: &str, atoms: &[Atom], code: &str, severity: Severity) {
+        for a in atoms {
+            self.check_expr(site, a.expr);
+            if a.refuted_by(self.enc[a.expr.index()]) {
+                let witness = self.witness(a.expr, a.expr);
+                self.out.push(Diagnostic {
+                    code: code.to_string(),
+                    severity,
+                    site: site.to_string(),
+                    message: format!(
+                        "`{}` is statically unsatisfiable over the assumed boxes",
+                        a.display(self.cx)
+                    ),
+                    expr: Some(self.cx.display(a.expr)),
+                    witness,
+                });
+            }
+        }
+    }
+
+    /// L204 plus domain checks over every atom of a BLTL property.
+    fn check_property(&mut self, property: &Bltl, declared: &BTreeSet<VarId>) {
+        let mut stack = vec![property];
+        let mut atoms = Vec::new();
+        while let Some(f) = stack.pop() {
+            match f {
+                Bltl::Prop(a) => atoms.push(*a),
+                Bltl::Not(g) => stack.push(g),
+                Bltl::And(gs) | Bltl::Or(gs) => stack.extend(gs.iter()),
+                Bltl::Until { lhs, rhs, .. } => {
+                    stack.push(lhs);
+                    stack.push(rhs);
+                }
+            }
+        }
+        for a in atoms {
+            self.check_expr("property", a.expr);
+            for v in self.vars_of(a.expr) {
+                if !declared.contains(&v) {
+                    self.out.push(Diagnostic {
+                        code: "L204".to_string(),
+                        severity: Severity::Error,
+                        site: "property".to_string(),
+                        message: format!(
+                            "atom `{}` references undeclared variable `{}`",
+                            a.display(self.cx),
+                            self.cx.var_name(v)
+                        ),
+                        expr: Some(self.cx.display(a.expr)),
+                        witness: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// L101/L102 over the used-variable set of all dynamic roots.
+    fn check_unused(&mut self, states: &[VarId], declared: &[VarId], used: &BTreeSet<VarId>) {
+        let state_set: BTreeSet<VarId> = states.iter().copied().collect();
+        for &s in states {
+            if !used.contains(&s) {
+                self.out.push(Diagnostic {
+                    code: "L101".to_string(),
+                    severity: Severity::Info,
+                    site: format!("state `{}`", self.cx.var_name(s)),
+                    message: format!(
+                        "species `{}` influences no derivative, guard, or invariant",
+                        self.cx.var_name(s)
+                    ),
+                    expr: None,
+                    witness: Vec::new(),
+                });
+            }
+        }
+        for &d in declared {
+            if !state_set.contains(&d) && !used.contains(&d) {
+                self.out.push(Diagnostic {
+                    code: "L102".to_string(),
+                    severity: Severity::Warn,
+                    site: format!("declaration `{}`", self.cx.var_name(d)),
+                    message: format!(
+                        "parameter/constant `{}` is declared but never used",
+                        self.cx.var_name(d)
+                    ),
+                    expr: None,
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Diagnostic> {
+        self.out.sort_by_key(sort_key);
+        self.out.dedup();
+        self.out
+    }
+}
+
+/// Lints a single-mode ODE model.
+///
+/// `ranges` overrides the default `[0, ∞)` box per variable; `declared`
+/// lists every variable the model author declared (states and
+/// parameters) for the unused-entity checks; `property` optionally
+/// brings a BLTL formula into scope for atom checks.
+pub fn lint_ode(
+    cx: &Context,
+    sys: &OdeSystem,
+    ranges: &[(VarId, Interval)],
+    declared: &[VarId],
+    property: Option<&Bltl>,
+) -> Vec<Diagnostic> {
+    let mut a = Analyzer::new(cx, ranges);
+    let mut used = BTreeSet::new();
+    for (&s, &rhs) in sys.states.iter().zip(&sys.rhs) {
+        let site = format!("d({})/dt", cx.var_name(s));
+        a.check_expr(&site, rhs);
+        a.check_dead_terms(&site, rhs);
+        if a.enc[rhs.index()] == Interval::ZERO {
+            a.out.push(Diagnostic {
+                code: "L104".to_string(),
+                severity: Severity::Warn,
+                site: site.clone(),
+                message: format!("derivative of `{}` is statically zero", cx.var_name(s)),
+                expr: Some(cx.display(rhs)),
+                witness: vec![(cx.display(rhs), a.enc[rhs.index()])],
+            });
+        }
+        used.extend(a.vars_of(rhs));
+    }
+    let declared_set: BTreeSet<VarId> = declared
+        .iter()
+        .copied()
+        .chain(sys.states.iter().copied())
+        .collect();
+    if let Some(p) = property {
+        a.check_property(p, &declared_set);
+    }
+    a.check_unused(&sys.states, declared, &used);
+    a.finish()
+}
+
+/// Lints a hybrid automaton: every mode's flow, every guard, invariant,
+/// and reset, plus mode-graph reachability. Parameter boxes default to
+/// the automaton's declared synthesis ranges; `ranges` overrides them.
+pub fn lint_automaton(
+    ha: &HybridAutomaton,
+    ranges: &[(VarId, Interval)],
+    declared: &[VarId],
+    property: Option<&Bltl>,
+) -> Vec<Diagnostic> {
+    let mut merged: Vec<(VarId, Interval)> = ha.params.clone();
+    merged.extend_from_slice(ranges);
+    let mut a = Analyzer::new(&ha.cx, &merged);
+    let cx = &ha.cx;
+    let mut used = BTreeSet::new();
+
+    for m in &ha.modes {
+        for (&s, &rhs) in ha.states.iter().zip(&m.rhs) {
+            let site = format!("mode '{}' d({})/dt", m.name, cx.var_name(s));
+            a.check_expr(&site, rhs);
+            a.check_dead_terms(&site, rhs);
+            if a.enc[rhs.index()] == Interval::ZERO {
+                a.out.push(Diagnostic {
+                    code: "L104".to_string(),
+                    severity: Severity::Warn,
+                    site: site.clone(),
+                    message: format!(
+                        "derivative of `{}` is statically zero in mode '{}'",
+                        cx.var_name(s),
+                        m.name
+                    ),
+                    expr: Some(cx.display(rhs)),
+                    witness: vec![(cx.display(rhs), a.enc[rhs.index()])],
+                });
+            }
+            used.extend(a.vars_of(rhs));
+        }
+        let site = format!("mode '{}' invariant", m.name);
+        a.check_atoms(&site, &m.invariants, "L202", Severity::Error);
+        for inv in &m.invariants {
+            used.extend(a.vars_of(inv.expr));
+        }
+    }
+
+    // Jumps: guard satisfiability, reset domain checks, and whether a
+    // reset can land outside the target invariant.
+    let mut dead_jump = vec![false; ha.jumps.len()];
+    for (j, jump) in ha.jumps.iter().enumerate() {
+        let from = &ha.modes[jump.from].name;
+        let to = &ha.modes[jump.to].name;
+        let site = format!("jump '{from}'->'{to}' guard");
+        a.check_atoms(&site, &jump.guards, "L202", Severity::Warn);
+        for g in &jump.guards {
+            used.extend(a.vars_of(g.expr));
+            if g.refuted_by(a.enc[g.expr.index()]) {
+                dead_jump[j] = true;
+            }
+        }
+        for &(v, e) in &jump.resets {
+            let site = format!("jump '{from}'->'{to}' reset of `{}`", cx.var_name(v));
+            a.check_expr(&site, e);
+            used.extend(a.vars_of(e));
+        }
+        if !jump.resets.is_empty() && !ha.modes[jump.to].invariants.is_empty() {
+            // Post box: the pre-state box with reset slots replaced by
+            // the reset expressions' enclosures.
+            let saved = a.env.clone();
+            for &(v, e) in &jump.resets {
+                a.env[v.index()] = a.enc[e.index()];
+            }
+            a.recompute();
+            for inv in &ha.modes[jump.to].invariants {
+                if inv.refuted_by(a.enc[inv.expr.index()]) {
+                    let witness = a.witness(inv.expr, inv.expr);
+                    a.out.push(Diagnostic {
+                        code: "L203".to_string(),
+                        severity: Severity::Error,
+                        site: format!("jump '{from}'->'{to}' reset"),
+                        message: format!(
+                            "reset lands outside target invariant `{}` of mode '{to}'",
+                            inv.display(cx)
+                        ),
+                        expr: Some(cx.display(inv.expr)),
+                        witness,
+                    });
+                }
+            }
+            a.env = saved;
+            a.recompute();
+        }
+    }
+
+    // Init constraints: domain checks plus satisfiability.
+    a.check_atoms("init", &ha.init, "L202", Severity::Error);
+    for i in &ha.init {
+        used.extend(a.vars_of(i.expr));
+    }
+
+    // Mode reachability over jumps whose guards are not statically
+    // refuted.
+    let mut reachable = vec![false; ha.modes.len()];
+    let mut frontier = vec![ha.init_mode];
+    reachable[ha.init_mode] = true;
+    while let Some(m) = frontier.pop() {
+        for (j, jump) in ha.jumps.iter().enumerate() {
+            if jump.from == m && !dead_jump[j] && !reachable[jump.to] {
+                reachable[jump.to] = true;
+                frontier.push(jump.to);
+            }
+        }
+    }
+    for (i, m) in ha.modes.iter().enumerate() {
+        if !reachable[i] {
+            a.out.push(Diagnostic {
+                code: "L201".to_string(),
+                severity: Severity::Warn,
+                site: format!("mode '{}'", m.name),
+                message: format!(
+                    "mode '{}' is unreachable from initial mode '{}'",
+                    m.name, ha.modes[ha.init_mode].name
+                ),
+                expr: None,
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    let declared_all: Vec<VarId> = declared
+        .iter()
+        .copied()
+        .chain(ha.params.iter().map(|&(v, _)| v))
+        .collect();
+    let declared_set: BTreeSet<VarId> = declared_all
+        .iter()
+        .copied()
+        .chain(ha.states.iter().copied())
+        .collect();
+    if let Some(p) = property {
+        a.check_property(p, &declared_set);
+    }
+    a.check_unused(&ha.states, &declared_all, &used);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biocheck_expr::RelOp;
+
+    fn ode(src: &[(&str, &str)]) -> (Context, OdeSystem) {
+        let mut cx = Context::new();
+        let states: Vec<VarId> = src.iter().map(|(n, _)| cx.intern_var(n)).collect();
+        let rhs: Vec<NodeId> = src.iter().map(|(_, e)| cx.parse(e).unwrap()).collect();
+        (cx, OdeSystem::new(states, rhs))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_model_is_clean() {
+        let (cx, sys) = ode(&[("x", "-0.5*x"), ("y", "x - 0.1*y")]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn division_by_possible_zero_warns() {
+        let (cx, sys) = ode(&[("x", "1/(x - 1)")]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        assert_eq!(codes(&diags), ["L001"]);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(!diags[0].witness.is_empty());
+    }
+
+    #[test]
+    fn division_by_certain_zero_errors() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("x/(x - x)").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L001" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn tight_ranges_silence_division_warning() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("1/(x - 1)").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let ranges = [(x, Interval::new(2.0, 5.0))];
+        let diags = lint_ode(&cx, &sys, &ranges, &[], None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn ln_and_sqrt_domains() {
+        let (cx, sys) = ode(&[("x", "ln(x)"), ("y", "sqrt(y - 1)")]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        let cs = codes(&diags);
+        assert!(cs.contains(&"L002"), "{diags:?}");
+        assert!(cs.contains(&"L003"), "{diags:?}");
+        // With x in [0, inf) the log can hit 0 (Warn), not must (Error).
+        assert!(diags.iter().all(|d| d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn certain_ln_violation_is_error_with_witness() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let rhs = cx.parse("ln(-1 - x)").unwrap();
+        let sys = OdeSystem::new(vec![x], vec![rhs]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        let d = diags.iter().find(|d| d.code == "L002").unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        // Witness carries the offending operand's enclosure and the
+        // variable box it came from.
+        assert!(d.witness.iter().any(|(n, _)| n == "x"), "{d:?}");
+        assert!(d.witness[0].1.hi() <= 0.0, "{d:?}");
+    }
+
+    #[test]
+    fn non_integer_pow_of_negative_base() {
+        let (cx, sys) = ode(&[("x", "(x - 2)^2.5")]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L004" && d.severity == Severity::Warn),
+            "{diags:?}"
+        );
+        // Integer powers of negative bases are fine.
+        let (cx, sys) = ode(&[("x", "(x - 2)^3")]);
+        assert!(lint_ode(&cx, &sys, &[], &[], None).is_empty());
+    }
+
+    #[test]
+    fn unused_species_and_params_flagged() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let y = cx.intern_var("y");
+        let k = cx.intern_var("k");
+        let dead = cx.intern_var("dead");
+        let rx = cx.parse("-k*x").unwrap();
+        let ry = cx.parse("x").unwrap();
+        let sys = OdeSystem::new(vec![x, y], vec![rx, ry]);
+        let diags = lint_ode(&cx, &sys, &[], &[k, dead], None);
+        // y is a pure accumulator (influences nothing) → L101 Info;
+        // `dead` is declared but unused → L102 Warn; k is used.
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L101" && d.site.contains('y')),
+            "{diags:?}"
+        );
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L102" && d.site.contains("dead")),
+            "{diags:?}"
+        );
+        assert!(!diags.iter().any(|d| d.site.contains('k')), "{diags:?}");
+    }
+
+    #[test]
+    fn zero_derivative_and_dead_term() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let y = cx.intern_var("y");
+        let zero = cx.constant(0.0);
+        let ry = cx.parse("-y + x*0.0*y").unwrap();
+        let sys = OdeSystem::new(vec![x, y], vec![zero, ry]);
+        let diags = lint_ode(&cx, &sys, &[], &[], None);
+        let cs = codes(&diags);
+        assert!(cs.contains(&"L104"), "{diags:?}");
+        // x*0.0*y folds to 0 in the smart constructors, so the dead
+        // term is only visible when folding leaves it symbolic; accept
+        // either outcome but require the zero derivative.
+        let _ = cs;
+    }
+
+    #[test]
+    fn property_atom_undeclared_var() {
+        let (mut cx, sys) = ode(&[("x", "-x")]);
+        let e = cx.parse("ghost - 1").unwrap();
+        let states = sys.states.clone();
+        let prop = Bltl::Prop(Atom::new(e, RelOp::Ge));
+        let diags = lint_ode(&cx, &sys, &[], &states, Some(&prop));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L204" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    fn toy_automaton() -> HybridAutomaton {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let up = cx.parse("1").unwrap();
+        let down = cx.parse("0 - 1").unwrap();
+        let g = cx.parse("x - 5").unwrap();
+        let mut ha = HybridAutomaton::new(cx, vec![x]);
+        let rise = ha.add_mode("rise", vec![up], vec![]);
+        let fall = ha.add_mode("fall", vec![down], vec![]);
+        ha.add_jump(rise, fall, vec![Atom::new(g, RelOp::Ge)], vec![]);
+        ha.set_init(rise, vec![]);
+        ha
+    }
+
+    #[test]
+    fn reachable_automaton_is_clean() {
+        let ha = toy_automaton();
+        let diags = lint_automaton(&ha, &[], &[], None);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_mode_flagged() {
+        let mut ha = toy_automaton();
+        let rhs = ha.cx.parse("0 - x").unwrap();
+        ha.add_mode("island", vec![rhs], vec![]);
+        let diags = lint_automaton(&ha, &[], &[], None);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L201" && d.site.contains("island")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn refuted_guard_makes_target_unreachable() {
+        let mut ha = toy_automaton();
+        // x in [0, inf): the guard -1 - x >= 0 can never fire.
+        let g = ha.cx.parse("-1 - x").unwrap();
+        let rhs = ha.cx.parse("x").unwrap();
+        let m = ha.add_mode("gated", vec![rhs], vec![]);
+        ha.add_jump(0, m, vec![Atom::new(g, RelOp::Ge)], vec![]);
+        let diags = lint_automaton(&ha, &[], &[], None);
+        assert!(diags.iter().any(|d| d.code == "L202"), "{diags:?}");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L201" && d.site.contains("gated")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn contradictory_invariant_is_error() {
+        let mut ha = toy_automaton();
+        let e = ha.cx.parse("-1 - x^2").unwrap();
+        ha.modes[0].invariants.push(Atom::new(e, RelOp::Ge));
+        let diags = lint_automaton(&ha, &[], &[], None);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L202" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reset_leaving_invariant_is_error() {
+        let mut cx = Context::new();
+        let x = cx.intern_var("x");
+        let one = cx.parse("1").unwrap();
+        let inv = cx.parse("10 - x").unwrap(); // x <= 10
+        let reset = cx.parse("x + 100").unwrap(); // lands way outside
+        let g = cx.parse("x - 5").unwrap();
+        let mut ha = HybridAutomaton::new(cx, vec![x]);
+        let a = ha.add_mode("a", vec![one], vec![]);
+        let b = ha.add_mode("b", vec![one], vec![Atom::new(inv, RelOp::Ge)]);
+        ha.add_jump(a, b, vec![Atom::new(g, RelOp::Ge)], vec![(x, reset)]);
+        ha.set_init(a, vec![]);
+        // x in [5, 8] pre-jump: reset puts it in [105, 108], violating
+        // x <= 10 for certain.
+        let ranges = [(x, Interval::new(5.0, 8.0))];
+        let diags = lint_automaton(&ha, &ranges, &[], None);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "L203" && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_deterministic() {
+        let (cx, sys) = ode(&[("x", "1/(x - 1) + ln(x) + sqrt(x - 2)"), ("y", "0*1 + x")]);
+        let d1 = lint_ode(&cx, &sys, &[], &[], None);
+        let d2 = lint_ode(&cx, &sys, &[], &[], None);
+        assert_eq!(d1, d2);
+        let keys: Vec<_> = d1.iter().map(sort_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn severity_order_is_error_first() {
+        assert!(Severity::Error < Severity::Warn);
+        assert!(Severity::Warn < Severity::Info);
+    }
+}

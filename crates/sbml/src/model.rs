@@ -193,7 +193,36 @@ impl SbmlModel {
                 });
             }
         }
+        out.check_unique_ids()?;
         Ok(out)
+    }
+
+    /// Rejects duplicate ids. Species and global parameters share the
+    /// variable namespace of the generated ODE context, so a collision
+    /// in either list — or *between* the lists — would silently alias
+    /// two model entities onto one variable slot; duplicate reaction
+    /// ids would likewise alias their namespaced local parameters.
+    fn check_unique_ids(&self) -> Result<(), SbmlError> {
+        let mut vars = std::collections::HashSet::new();
+        for s in &self.species {
+            if !vars.insert(s.id.as_str()) {
+                return Err(SbmlError::new(format!("duplicate species id `{}`", s.id)));
+            }
+        }
+        for (p, _) in &self.parameters {
+            if !vars.insert(p.as_str()) {
+                return Err(SbmlError::new(format!(
+                    "duplicate id `{p}` (parameter collides with an earlier species or parameter)"
+                )));
+            }
+        }
+        let mut reactions = std::collections::HashSet::new();
+        for r in &self.reactions {
+            if !reactions.insert(r.id.as_str()) {
+                return Err(SbmlError::new(format!("duplicate reaction id `{}`", r.id)));
+            }
+        }
+        Ok(())
     }
 
     /// Converts the reaction network to an ODE system by mass balance:

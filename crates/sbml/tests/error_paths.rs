@@ -1,0 +1,129 @@
+//! Error-path coverage for the SBML front end: malformed, truncated,
+//! and duplicate-id documents must all surface as typed [`SbmlError`]s
+//! with actionable messages — never a panic, never a silently-aliased
+//! model.
+
+use biocheck_sbml::{SbmlError, SbmlModel};
+
+fn err(src: &str) -> SbmlError {
+    SbmlModel::parse(src).expect_err("document must be rejected")
+}
+
+#[test]
+fn malformed_xml_is_a_typed_error() {
+    for src in [
+        "",
+        "not xml at all",
+        "<sbml><model id='x'><listOfSpecies></sbml>",
+        "<sbml><model id=x></model></sbml>",
+        "<sbml><model id='x'>&bogus;</model></sbml>",
+    ] {
+        let e = err(src);
+        assert!(!e.message.is_empty(), "empty message for {src:?}");
+    }
+}
+
+#[test]
+fn truncated_document_is_a_typed_error() {
+    // A valid document cut mid-stream at various points: every prefix
+    // must fail cleanly (either malformed XML or a missing element).
+    let full = r#"<sbml><model id="t">
+      <listOfSpecies><species id="A" initialConcentration="1"/></listOfSpecies>
+      <listOfReactions><reaction id="r">
+        <listOfReactants><speciesReference species="A"/></listOfReactants>
+        <kineticLaw><math><ci>A</ci></math></kineticLaw>
+      </reaction></listOfReactions>
+    </model></sbml>"#;
+    for cut in [10, 40, 90, 160, full.len() - 8] {
+        assert!(
+            SbmlModel::parse(&full[..cut]).is_err(),
+            "truncation at byte {cut} must not parse"
+        );
+    }
+}
+
+#[test]
+fn missing_ids_are_typed_errors() {
+    let no_species_id = r#"<sbml><model id="x">
+      <listOfSpecies><species initialConcentration="1"/></listOfSpecies>
+    </model></sbml>"#;
+    assert!(err(no_species_id).message.contains("species without id"));
+    let bad_number = r#"<sbml><model id="x">
+      <listOfSpecies><species id="A" initialConcentration="lots"/></listOfSpecies>
+    </model></sbml>"#;
+    assert!(err(bad_number).message.contains("bad numeric attribute"));
+}
+
+#[test]
+fn duplicate_species_id_rejected() {
+    let src = r#"<sbml><model id="d">
+      <listOfSpecies>
+        <species id="A" initialConcentration="1"/>
+        <species id="A" initialConcentration="2"/>
+      </listOfSpecies>
+    </model></sbml>"#;
+    assert!(err(src).message.contains("duplicate species id `A`"));
+}
+
+#[test]
+fn duplicate_parameter_id_rejected() {
+    let src = r#"<sbml><model id="d">
+      <listOfParameters>
+        <parameter id="k" value="1"/>
+        <parameter id="k" value="2"/>
+      </listOfParameters>
+    </model></sbml>"#;
+    assert!(err(src).message.contains("duplicate id `k`"));
+}
+
+#[test]
+fn parameter_colliding_with_species_rejected() {
+    // Species and parameters share the ODE variable namespace; a
+    // parameter named after a species would alias its slot.
+    let src = r#"<sbml><model id="d">
+      <listOfSpecies><species id="A" initialConcentration="1"/></listOfSpecies>
+      <listOfParameters><parameter id="A" value="3"/></listOfParameters>
+    </model></sbml>"#;
+    assert!(err(src).message.contains("duplicate id `A`"));
+}
+
+#[test]
+fn duplicate_reaction_id_rejected() {
+    let src = r#"<sbml><model id="d">
+      <listOfSpecies><species id="A" initialConcentration="1"/></listOfSpecies>
+      <listOfReactions>
+        <reaction id="r">
+          <listOfReactants><speciesReference species="A"/></listOfReactants>
+          <kineticLaw><math><ci>A</ci></math></kineticLaw>
+        </reaction>
+        <reaction id="r">
+          <listOfProducts><speciesReference species="A"/></listOfProducts>
+          <kineticLaw><math><ci>A</ci></math></kineticLaw>
+        </reaction>
+      </listOfReactions>
+    </model></sbml>"#;
+    assert!(err(src).message.contains("duplicate reaction id `r`"));
+}
+
+#[test]
+fn valid_documents_still_parse() {
+    // The new uniqueness pass must not reject legitimate models.
+    let src = r#"<sbml><model id="ok">
+      <listOfSpecies>
+        <species id="A" initialConcentration="1"/>
+        <species id="B" initialConcentration="0"/>
+      </listOfSpecies>
+      <listOfParameters><parameter id="k" value="0.5"/></listOfParameters>
+      <listOfReactions>
+        <reaction id="r1">
+          <listOfReactants><speciesReference species="A"/></listOfReactants>
+          <listOfProducts><speciesReference species="B"/></listOfProducts>
+          <kineticLaw><math><apply><times/><ci>k</ci><ci>A</ci></apply></math></kineticLaw>
+        </reaction>
+      </listOfReactions>
+    </model></sbml>"#;
+    let m = SbmlModel::parse(src).expect("valid model parses");
+    assert_eq!(m.species.len(), 2);
+    assert_eq!(m.reactions.len(), 1);
+    m.to_ode().expect("valid model converts");
+}

@@ -5,6 +5,7 @@
 //! biocheck_client --connect HOST:PORT --selftest # scripted batch + fingerprint check
 //! biocheck_client --connect HOST:PORT --selftest --expect-warm # cache must already be hot
 //! biocheck_client --connect HOST:PORT --selftest --expect-warm --no-register # registry log must serve too
+//! biocheck_client --connect HOST:PORT --lint MODEL # static pre-flight of a case-study model
 //! biocheck_client --connect HOST:PORT --stats-watch [--interval-ms MS] [--count N]
 //! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
 //! ```
@@ -23,6 +24,12 @@
 //! selftest then passes only if the daemon's `--registry` log alone
 //! restored the model, proving a crash is fully transparent to clients
 //! (no re-registration, same fingerprints, warm cache).
+//!
+//! `--lint MODEL` registers one of the built-in case-study models
+//! (`prostate`, `cardiac`, `radiation` — rendered from
+//! `biocheck_models`) and prints the daemon's `{"op":"lint"}` report as
+//! a single canonical JSON line; CI diffs that line against the pinned
+//! `fixtures/lint_MODEL.json`.
 //!
 //! `--stats-watch` polls `{"op":"stats"}` on an interval (default
 //! 2000 ms) and pretty-prints one line per sample: **deltas** for the
@@ -107,7 +114,47 @@ fn selftest_requests() -> Vec<QueryRequest> {
             samples: 60,
         },
     });
+    // One static-analysis probe: lint is read-only and memoizes like any
+    // other count-budget query, so the two-pass loop checks the cold
+    // fingerprint against the direct session AND the warm cache hit (and
+    // under --expect-warm, that lint reports survive the persist codec).
+    out.push(QueryRequest {
+        model: "selftest".into(),
+        id: Some(92),
+        seed: 0,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Lint { ranges: vec![] },
+    });
     out
+}
+
+/// `--lint NAME`: registers the named built-in case-study model and
+/// prints the daemon's lint report as one canonical JSON line — the
+/// exact bytes pinned by `fixtures/lint_*.json` in CI (only the
+/// deterministic report parts; provenance carries wall-clock timings
+/// that would break a byte-for-byte diff).
+fn lint_model(addr: &str, name: &str) -> Result<(), String> {
+    let source = biocheck_serve::case_study_source(name).ok_or_else(|| {
+        format!("unknown case-study model {name:?} (expected prostate, cardiac, or radiation)")
+    })?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let model = format!("lint-{name}");
+    client.register(&model, &source)?;
+    let reply = client.query(&QueryRequest {
+        model,
+        id: None,
+        seed: 0,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Lint { ranges: vec![] },
+    })?;
+    let value = reply
+        .report
+        .get("value")
+        .cloned()
+        .unwrap_or(biocheck_serve::Json::Null);
+    let pinned = biocheck_serve::pinned_lint_json(name, value, reply.fingerprint);
+    println!("{}", pinned.render());
+    Ok(())
 }
 
 fn selftest(addr: &str, expect_warm: bool, no_register: bool) -> Result<(), String> {
@@ -318,6 +365,17 @@ fn main() {
         let no_register = args.iter().any(|a| a == "--no-register");
         if let Err(e) = selftest(&addr, expect_warm, no_register) {
             eprintln!("selftest FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(name) = args
+        .iter()
+        .position(|a| a == "--lint")
+        .and_then(|i| args.get(i + 1))
+    {
+        if let Err(e) = lint_model(&addr, name) {
+            eprintln!("lint: {e}");
             std::process::exit(1);
         }
         return;

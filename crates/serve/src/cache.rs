@@ -151,7 +151,7 @@ impl<V: Clone> ResultCache<V> {
             inner.bytes -= inner.slot(idx).cost;
             inner.bytes += cost;
             {
-                let slot = inner.slots[idx].as_mut().expect("live slot");
+                let slot = inner.slots[idx].as_mut().expect("live slot"); // lint: infallible
                 slot.value = value;
                 slot.cost = cost;
             }
@@ -220,7 +220,7 @@ impl<V: Clone> ResultCache<V> {
 
 impl<V> Inner<V> {
     fn slot(&self, idx: usize) -> &Slot<V> {
-        self.slots[idx].as_ref().expect("live slot")
+        self.slots[idx].as_ref().expect("live slot") // lint: infallible
     }
 
     fn alloc(&mut self, slot: Slot<V>) -> usize {
@@ -244,11 +244,11 @@ impl<V> Inner<V> {
         };
         match prev {
             NONE => self.head = next,
-            p => self.slots[p].as_mut().expect("live slot").next = next,
+            p => self.slots[p].as_mut().expect("live slot").next = next, // lint: infallible
         }
         match next {
             NONE => self.tail = prev,
-            n => self.slots[n].as_mut().expect("live slot").prev = prev,
+            n => self.slots[n].as_mut().expect("live slot").prev = prev, // lint: infallible
         }
     }
 
@@ -256,13 +256,13 @@ impl<V> Inner<V> {
     fn push_front(&mut self, idx: usize) {
         let old_head = self.head;
         {
-            let slot = self.slots[idx].as_mut().expect("live slot");
+            let slot = self.slots[idx].as_mut().expect("live slot"); // lint: infallible
             slot.prev = NONE;
             slot.next = old_head;
         }
         match old_head {
             NONE => self.tail = idx,
-            h => self.slots[h].as_mut().expect("live slot").prev = idx,
+            h => self.slots[h].as_mut().expect("live slot").prev = idx, // lint: infallible
         }
         self.head = idx;
     }
@@ -271,7 +271,7 @@ impl<V> Inner<V> {
     /// account.
     fn evict(&mut self, idx: usize) {
         self.unlink(idx);
-        let slot = self.slots[idx].take().expect("live slot");
+        let slot = self.slots[idx].take().expect("live slot"); // lint: infallible
         self.map.remove(&slot.key);
         self.bytes -= slot.cost;
         self.free.push(idx);

@@ -34,13 +34,17 @@
 //! restarts.
 //!
 //! Only wire-producible reports (`Estimate`, `Sprt`, `Robustness`,
-//! `Stability`) are persisted; in-process-only kinds are counted in
-//! [`PersistStats::unsupported`] and served from memory as usual.
+//! `Stability`, `Lint`) are persisted; in-process-only kinds are
+//! counted in [`PersistStats::unsupported`] and served from memory as
+//! usual.
 
 use crate::json::{parse_json, Json};
 use crate::registry::fingerprint64;
 use crate::wire::{u64_from_json, u64_to_json};
-use biocheck_engine::{Outcome, Provenance, QueryKind, Report, RobustnessSummary, Value};
+use biocheck_engine::{
+    Diagnostic, Outcome, Provenance, QueryKind, Report, RobustnessSummary, Severity, Value,
+};
+use biocheck_interval::Interval;
 use biocheck_smc::{Estimate, SprtOutcome, SprtResult};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -299,6 +303,47 @@ fn encode_report(report: &Report) -> Option<Json> {
                 ]),
             },
         ),
+        Value::Lint(diags) => (
+            "lint",
+            Json::Arr(
+                diags
+                    .iter()
+                    .map(|d| {
+                        Json::obj([
+                            ("code", Json::str(d.code.clone())),
+                            ("severity", Json::str(d.severity.name())),
+                            ("site", Json::str(d.site.clone())),
+                            ("message", Json::str(d.message.clone())),
+                            (
+                                "expr",
+                                match &d.expr {
+                                    Some(e) => Json::str(e.clone()),
+                                    None => Json::Null,
+                                },
+                            ),
+                            (
+                                "witness",
+                                Json::Arr(
+                                    d.witness
+                                        .iter()
+                                        .map(|(name, iv)| {
+                                            // Bit-exact endpoints: ±inf
+                                            // boxes and empty (NaN/NaN)
+                                            // enclosures round-trip.
+                                            Json::Arr(vec![
+                                                Json::str(name.clone()),
+                                                bits_json(iv.lo()),
+                                                bits_json(iv.hi()),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         // Falsify / Therapy / Calibrate never travel the wire, so the
         // serving cache only memoizes them in-process.
         _ => return None,
@@ -378,6 +423,16 @@ fn decode_report(v: &Json) -> Option<Report> {
                 }),
             }),
         ),
+        "lint" => (
+            QueryKind::Lint,
+            Value::Lint(
+                value
+                    .as_arr()?
+                    .iter()
+                    .map(decode_diagnostic)
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        ),
         _ => return None,
     };
     let outcome = match v.get("outcome")?.as_str()? {
@@ -399,6 +454,43 @@ fn decode_report(v: &Json) -> Option<Report> {
             // (it is excluded from fingerprints, so nothing is lost).
             ..Provenance::default()
         },
+    })
+}
+
+fn decode_diagnostic(v: &Json) -> Option<Diagnostic> {
+    let severity = match v.get("severity")?.as_str()? {
+        "error" => Severity::Error,
+        "warn" => Severity::Warn,
+        "info" => Severity::Info,
+        _ => return None,
+    };
+    let expr = match v.get("expr")? {
+        Json::Null => None,
+        e => Some(e.as_str()?.to_string()),
+    };
+    let witness = v
+        .get("witness")?
+        .as_arr()?
+        .iter()
+        .map(|triple| {
+            let t = triple.as_arr().filter(|t| t.len() == 3)?;
+            let [name, lo, hi] = t else { return None };
+            let (lo, hi) = (bits_from(lo)?, bits_from(hi)?);
+            let iv = if lo.is_nan() && hi.is_nan() {
+                Interval::EMPTY
+            } else {
+                Interval::checked(lo, hi)?
+            };
+            Some((name.as_str()?.to_string(), iv))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(Diagnostic {
+        code: v.get("code")?.as_str()?.to_string(),
+        severity,
+        site: v.get("site")?.as_str()?.to_string(),
+        message: v.get("message")?.as_str()?.to_string(),
+        expr,
+        witness,
     })
 }
 
@@ -479,6 +571,51 @@ mod tests {
                 "persisted report must be fingerprint-identical"
             );
         }
+    }
+
+    #[test]
+    fn lint_reports_roundtrip_bit_exactly() {
+        let report = Report {
+            kind: QueryKind::Lint,
+            outcome: Outcome::Complete,
+            value: Value::Lint(vec![
+                Diagnostic {
+                    code: "L002".into(),
+                    severity: Severity::Error,
+                    site: "d(x)/dt".into(),
+                    message: "`ln` argument `x - 5` is never positive".into(),
+                    expr: Some("ln(x - 5)".into()),
+                    witness: vec![
+                        ("x - 5".into(), Interval::new(-5.0, -4.0)),
+                        ("x".into(), Interval::new(0.0, f64::INFINITY)),
+                        ("bad".into(), Interval::EMPTY),
+                    ],
+                },
+                Diagnostic {
+                    code: "L101".into(),
+                    severity: Severity::Info,
+                    site: "state `y`".into(),
+                    message: "unused".into(),
+                    expr: None,
+                    witness: vec![],
+                },
+            ]),
+            provenance: Provenance {
+                seed: 0,
+                ..Provenance::default()
+            },
+        };
+        let line = encode_record("m|lint|seed=0|caps", 256, &report).expect("encodable");
+        let rec = decode_record(&line).expect("decodable");
+        assert_eq!(rec.report.fingerprint(), report.fingerprint());
+        let Value::Lint(diags) = &rec.report.value else {
+            panic!("wrong value kind")
+        };
+        // The witness boxes themselves (not just the fingerprint)
+        // survive: unbounded and empty intervals included.
+        assert_eq!(diags[0].witness[1].1, Interval::new(0.0, f64::INFINITY));
+        assert!(diags[0].witness[2].1.is_empty());
+        assert_eq!(diags[1].expr, None);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Built-in case-study model sources for the static pre-flight lint.
+//!
+//! The three DAC'20 case studies live in `biocheck_models` as built
+//! contexts; this module renders each back into the wire-level
+//! [`ModelSource`] through the display round-trip (a print→parse round
+//! trip is value-preserving, see `biocheck_expr`), so the model a client
+//! lints over the wire is *exactly* the library model — no hand-copied
+//! right-hand sides to drift out of sync.
+//!
+//! Two consumers share these definitions:
+//!
+//! * `biocheck_client --lint MODEL` registers the source against a live
+//!   daemon and prints the lint report as one canonical JSON line.
+//! * `tests/lint_fixtures.rs` runs the same lint on a direct in-process
+//!   session and asserts the line equals the pinned
+//!   `fixtures/lint_MODEL.json`.
+//!
+//! CI runs both, so daemon output, direct output, and the committed
+//! fixture are pairwise byte-identical.
+
+use crate::json::Json;
+use crate::wire::ModelSource;
+
+/// The case-study names `--lint` accepts, in fixture order.
+pub const CASE_STUDIES: [&str; 3] = ["prostate", "cardiac", "radiation"];
+
+fn from_ode(m: &biocheck_models::OdeModel) -> ModelSource {
+    ModelSource {
+        states: m
+            .sys
+            .states
+            .iter()
+            .zip(&m.sys.rhs)
+            .map(|(&s, &r)| (m.cx.var_name(s).to_string(), m.cx.display(r)))
+            .collect(),
+        // Non-state variables ride along as constants at their nominal
+        // env value — lint then sees them as declared-but-substituted,
+        // exactly the "unused parameter" shape SBML imports produce.
+        consts: m
+            .cx
+            .var_names()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !m.sys.states.iter().any(|s| s.index() == *i))
+            .map(|(i, n)| (n.clone(), m.env[i]))
+            .collect(),
+    }
+}
+
+/// Renders the named built-in case-study model as a registration
+/// payload. `None` for unknown names.
+pub fn case_study_source(name: &str) -> Option<ModelSource> {
+    match name {
+        "prostate" => Some(from_ode(&biocheck_models::prostate::cas_model(
+            &biocheck_models::prostate::PatientParams::default(),
+        ))),
+        "cardiac" => Some(from_ode(&biocheck_models::cardiac::fenton_karma())),
+        "radiation" => {
+            // The untreated-cell flow (mode "0") of the TBI automaton as
+            // a plain ODE source.
+            let ha = biocheck_models::radiation::tbi_automaton();
+            let m0 = ha.mode_by_name("0")?;
+            Some(ModelSource {
+                states: ha
+                    .states
+                    .iter()
+                    .zip(&ha.modes[m0].rhs)
+                    .map(|(&s, &r)| (ha.cx.var_name(s).to_string(), ha.cx.display(r)))
+                    .collect(),
+                consts: vec![],
+            })
+        }
+        _ => None,
+    }
+}
+
+/// The deterministic subset of a lint reply that `fixtures/lint_*.json`
+/// pins: the model name, the report's `value` object, and the report
+/// fingerprint. Provenance timings are deliberately excluded (wall-clock
+/// noise would break a byte-for-byte diff).
+pub fn pinned_lint_json(name: &str, report_value: Json, fingerprint: String) -> Json {
+    Json::obj([
+        ("model", Json::str(name)),
+        ("value", report_value),
+        ("fingerprint", Json::str(fingerprint)),
+    ])
+}

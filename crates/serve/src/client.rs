@@ -193,7 +193,7 @@ impl Client {
         }
         Err(Failure::Transport(format!(
             "connect: {}",
-            last.expect("at least one address")
+            last.expect("at least one address") // lint: infallible
         )))
     }
 
@@ -202,7 +202,7 @@ impl Client {
         if self.conn.is_none() {
             self.reconnect()?;
         }
-        let conn = self.conn.as_mut().expect("just connected");
+        let conn = self.conn.as_mut().expect("just connected"); // lint: infallible
         let line = request.to_json().render();
         let sent = conn
             .writer

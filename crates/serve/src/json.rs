@@ -316,7 +316,7 @@ impl<'a> Parser<'a> {
                                         .ok_or_else(|| self.err("bad surrogate pair"))?
                                 }
                                 0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
-                                _ => char::from_u32(hex).expect("BMP non-surrogate"),
+                                _ => char::from_u32(hex).expect("BMP non-surrogate"), // lint: infallible
                             };
                             out.push(ch);
                         }

@@ -92,6 +92,7 @@
 //! ```
 
 pub mod cache;
+pub mod case_studies;
 pub mod client;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
@@ -103,6 +104,7 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
+pub use case_studies::{case_study_source, pinned_lint_json, CASE_STUDIES};
 pub use client::{Client, ClientConfig, QueryReply};
 pub use json::{parse_json, Json};
 pub use metrics::ServeMetrics;

@@ -25,6 +25,7 @@
 //! | `execute`       | engine execution time (inside the panic boundary)           |
 //! | `compile`       | artifact-acquisition share of execution (from provenance)   |
 //! | `persist_append`| spill-file append time for memoized results                 |
+//! | `lint`          | execution time of static-analysis (`lint`) queries          |
 //!
 //! The request histograms cover successful replies; refused or failed
 //! requests are visible in the scheduler/cache/panic counters instead.
@@ -51,10 +52,14 @@ pub struct ServeMetrics {
     pub compile: Histogram,
     /// Persistence-log append latency.
     pub persist_append: Histogram,
+    /// Execution time of static-analysis (`lint`) queries — a subset
+    /// of `execute`, split out so the pre-flight path is visible on
+    /// its own.
+    pub lint: Histogram,
 }
 
 /// Phase name → histogram, the single place the phase list lives.
-fn phases(m: &ServeMetrics) -> [(&'static str, &Histogram); 6] {
+fn phases(m: &ServeMetrics) -> [(&'static str, &Histogram); 7] {
     [
         ("request_hit", &m.request_hit),
         ("request_miss", &m.request_miss),
@@ -62,6 +67,7 @@ fn phases(m: &ServeMetrics) -> [(&'static str, &Histogram); 6] {
         ("execute", &m.execute),
         ("compile", &m.compile),
         ("persist_append", &m.persist_append),
+        ("lint", &m.lint),
     ]
 }
 
@@ -82,7 +88,7 @@ fn phase_json(snap: &Snapshot) -> Json {
 
 impl ServeMetrics {
     /// The `latency` object of the stats reply: one entry per phase
-    /// (always all six, zeroed when nothing was recorded yet).
+    /// (always all seven, zeroed when nothing was recorded yet).
     pub fn latency_json(&self) -> Json {
         Json::obj(
             phases(self)
@@ -140,6 +146,7 @@ mod tests {
             "execute",
             "compile",
             "persist_append",
+            "lint",
         ] {
             assert!(j.get(phase).is_some(), "missing phase {phase}");
         }

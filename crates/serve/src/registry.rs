@@ -189,7 +189,7 @@ impl ModelEntry {
             let (cx, sys) = self
                 .source
                 .build()
-                .expect("canonical source validated at registration");
+                .expect("canonical source validated at registration"); // lint: infallible
             inner.cx = cx;
             inner.sys = sys;
             query = build(&mut inner.cx)?;

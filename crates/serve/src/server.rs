@@ -343,7 +343,7 @@ impl ServeCore {
             std::thread::Builder::new()
                 .name("biocheckd-watchdog".into())
                 .spawn(move || dog.run_ticks())
-                .expect("spawn watchdog thread")
+                .expect("spawn watchdog thread") // lint: infallible
         });
         ServeCore {
             registry,
@@ -541,6 +541,9 @@ impl ServeCore {
             let outcome = match run {
                 Ok(r) => {
                     self.metrics.execute.record(t_execute.elapsed());
+                    if matches!(&r, Ok(rep) if rep.kind == biocheck_engine::QueryKind::Lint) {
+                        self.metrics.lint.record(t_execute.elapsed());
+                    }
                     r
                 }
                 Err(payload) => {

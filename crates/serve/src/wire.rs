@@ -20,7 +20,7 @@
 use crate::json::Json;
 use biocheck_bltl::Bltl;
 use biocheck_engine::{Budget, EstimateMethod, Query, Report, SmcSpec, Value};
-use biocheck_expr::{Atom, Context, RelOp};
+use biocheck_expr::{Atom, Context, RelOp, VarId};
 use biocheck_interval::Interval;
 use biocheck_ode::OdeSystem;
 use biocheck_smc::Dist;
@@ -722,6 +722,16 @@ pub enum QuerySpec {
         /// Outer annulus radius.
         r_max: f64,
     },
+    /// Static pre-flight analysis (the `{"op":"lint"}` wire op): no
+    /// solving, no sampling, read-only against the session. Every
+    /// variable the model knows is in scope for the unused-entity
+    /// checks; `ranges` optionally tightens the default `[0, ∞)` box
+    /// per variable.
+    Lint {
+        /// Assumed `(variable, lo, hi)` boxes; unlisted variables keep
+        /// the nonnegative default.
+        ranges: Vec<(String, f64, f64)>,
+    },
 }
 
 impl QuerySpec {
@@ -735,7 +745,7 @@ impl QuerySpec {
             | QuerySpec::Robustness { smc, .. } => {
                 smc.params.iter().map(|(n, _)| n.as_str()).collect()
             }
-            QuerySpec::Stability { .. } => Vec::new(),
+            QuerySpec::Stability { .. } | QuerySpec::Lint { .. } => Vec::new(),
         }
     }
 
@@ -784,6 +794,33 @@ impl QuerySpec {
                 r_min: finite(*r_min, "r_min")?,
                 r_max: finite(*r_max, "r_max")?,
             },
+            QuerySpec::Lint { ranges } => {
+                let ranges = ranges
+                    .iter()
+                    .map(|(name, lo, hi)| {
+                        let vid = cx
+                            .var_id(name)
+                            .ok_or_else(|| format!("unknown variable {name:?}"))?;
+                        let lo = finite(*lo, "range lo")?;
+                        let hi = finite(*hi, "range hi")?;
+                        if lo > hi {
+                            return Err(format!("range [{lo}, {hi}] for {name:?} is empty"));
+                        }
+                        Ok((vid, Interval::new(lo, hi)))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                // Every variable the model interned is "declared" from
+                // the wire's perspective: registration interns states
+                // and constants, and strict parsing means queries never
+                // grow the set — so this list is deterministic per
+                // model and the canonical memoization key is stable.
+                let declared = (0..cx.num_vars()).map(VarId::from_index).collect();
+                Query::Lint {
+                    ranges,
+                    declared,
+                    property: None,
+                }
+            }
         })
     }
 
@@ -832,6 +869,10 @@ impl QuerySpec {
                 ),
                 ("r_min", Json::num(*r_min)),
                 ("r_max", Json::num(*r_max)),
+            ]),
+            QuerySpec::Lint { ranges } => Json::obj([
+                ("type", Json::str("lint")),
+                ("ranges", ranges_to_json(ranges)),
             ]),
         }
     }
@@ -887,8 +928,45 @@ impl QuerySpec {
                 r_min: f("r_min")?,
                 r_max: f("r_max")?,
             }),
+            Some("lint") => Ok(QuerySpec::Lint {
+                ranges: ranges_from_json(v)?,
+            }),
             other => Err(format!("unknown query type {other:?}")),
         }
+    }
+}
+
+fn ranges_to_json(ranges: &[(String, f64, f64)]) -> Json {
+    Json::Arr(
+        ranges
+            .iter()
+            .map(|(n, lo, hi)| {
+                Json::Arr(vec![Json::str(n.clone()), Json::num(*lo), Json::num(*hi)])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the optional `"ranges"` array of `[name, lo, hi]` triples
+/// shared by the `lint` op and the `lint` query type.
+fn ranges_from_json(v: &Json) -> Result<Vec<(String, f64, f64)>, String> {
+    match v.get("ranges") {
+        None | Some(Json::Null) => Ok(Vec::new()),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or("ranges must be an array")?
+            .iter()
+            .map(|triple| {
+                let t = triple.as_arr().filter(|t| t.len() == 3);
+                match t {
+                    Some([n, lo, hi]) => match (n.as_str(), lo.as_f64(), hi.as_f64()) {
+                        (Some(n), Some(lo), Some(hi)) => Ok((n.to_string(), lo, hi)),
+                        _ => Err("range entry must be [name, lo, hi]".to_string()),
+                    },
+                    _ => Err("range entry must be [name, lo, hi]".to_string()),
+                }
+            })
+            .collect(),
     }
 }
 
@@ -1016,7 +1094,7 @@ pub enum Request {
 /// names from (matched up to the closing `];`) and greps against
 /// `docs/OPERATIONS.md`.
 pub const OP_NAMES: &[&str] = &[
-    "register", "query", "cancel", "stats", "metrics", "ping", "shutdown",
+    "register", "query", "lint", "cancel", "stats", "metrics", "ping", "shutdown",
 ];
 
 impl Request {
@@ -1028,7 +1106,28 @@ impl Request {
                 ("model", Json::str(model.clone())),
                 ("source", source.to_json()),
             ]),
+            // The lint op has a dedicated flat form: no smc setup, no
+            // method, usually no seed or budget worth spelling out.
             Request::Query(q) => {
+                if let QuerySpec::Lint { ranges } = &q.query {
+                    let mut pairs = vec![
+                        ("op", Json::str("lint")),
+                        ("model", Json::str(q.model.clone())),
+                    ];
+                    if !ranges.is_empty() {
+                        pairs.push(("ranges", ranges_to_json(ranges)));
+                    }
+                    if q.seed != 0 {
+                        pairs.push(("seed", u64_to_json(q.seed)));
+                    }
+                    if q.budget != BudgetSpec::default() {
+                        pairs.push(("budget", q.budget.to_json()));
+                    }
+                    if let Some(id) = q.id {
+                        pairs.push(("id", u64_to_json(id)));
+                    }
+                    return Json::obj(pairs);
+                }
                 let mut pairs = vec![
                     ("op", Json::str("query")),
                     ("model", Json::str(q.model.clone())),
@@ -1086,6 +1185,37 @@ impl Request {
                     query: QuerySpec::from_json(v.get("query").ok_or("query missing query")?)?,
                 }))
             }
+            // Lint in flat form; seed and budget are optional because a
+            // static pass neither samples nor usually needs a budget,
+            // but both are honored when supplied (the query still runs
+            // through the ordinary scheduler and cache).
+            Some("lint") => Ok(Request::Query(QueryRequest {
+                model: v
+                    .get("model")
+                    .and_then(Json::as_str)
+                    .ok_or("lint missing model")?
+                    .to_string(),
+                id: match v.get("id") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => {
+                        Some(u64_from_json(j).ok_or(
+                            "lint id must be a u64 (numbers below 2^53, string form above)",
+                        )?)
+                    }
+                },
+                seed: match v.get("seed") {
+                    None | Some(Json::Null) => 0,
+                    Some(j) => u64_from_json(j)
+                        .ok_or("lint seed must be a u64 (numbers below 2^53, string form above)")?,
+                },
+                budget: match v.get("budget") {
+                    None => BudgetSpec::default(),
+                    Some(b) => BudgetSpec::from_json(b)?,
+                },
+                query: QuerySpec::Lint {
+                    ranges: ranges_from_json(v)?,
+                },
+            })),
             Some("cancel") => Ok(Request::Cancel {
                 id: v
                     .get("id")
@@ -1157,6 +1287,47 @@ pub fn report_to_json(report: &Report) -> Json {
                 ),
             ]),
         },
+        Value::Lint(diags) => Json::obj([
+            ("type", Json::str("lint")),
+            (
+                "diagnostics",
+                Json::Arr(
+                    diags
+                        .iter()
+                        .map(|d| {
+                            Json::obj([
+                                ("code", Json::str(d.code.clone())),
+                                ("severity", Json::str(d.severity.name())),
+                                ("site", Json::str(d.site.clone())),
+                                ("message", Json::str(d.message.clone())),
+                                (
+                                    "expr",
+                                    match &d.expr {
+                                        Some(e) => Json::str(e.clone()),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                (
+                                    "witness",
+                                    Json::Arr(
+                                        d.witness
+                                            .iter()
+                                            .map(|(name, iv)| {
+                                                Json::Arr(vec![
+                                                    Json::str(name.clone()),
+                                                    num_or_null(iv.lo()),
+                                                    num_or_null(iv.hi()),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
         // Not producible over the wire today; serialized as a debug
         // rendering so the payload is still total.
         other => Json::obj([
@@ -1299,6 +1470,87 @@ mod tests {
         }
     }
 
+    #[test]
+    fn lint_requests_roundtrip_through_json() {
+        // Flat form with every optional field absent, with ranges, and
+        // with a non-default seed/budget/id.
+        let bare = Request::Query(QueryRequest {
+            model: "m".into(),
+            id: None,
+            seed: 0,
+            budget: BudgetSpec::default(),
+            query: QuerySpec::Lint { ranges: vec![] },
+        });
+        let full = Request::Query(QueryRequest {
+            model: "m".into(),
+            id: Some(12),
+            seed: 3,
+            budget: BudgetSpec {
+                max_samples: Some(10),
+                ..BudgetSpec::default()
+            },
+            query: QuerySpec::Lint {
+                ranges: vec![("x".into(), 0.0, 5.0), ("k".into(), 0.1, 0.4)],
+            },
+        });
+        for req in [bare, full] {
+            let line = req.to_json().render();
+            assert!(line.contains("\"op\":\"lint\""), "{line}");
+            let back = Request::from_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, req, "{line}");
+        }
+        // Hand-written client form parses too.
+        let req =
+            Request::from_line(r#"{"op":"lint","model":"decay","ranges":[["x",0,2]]}"#).unwrap();
+        let Request::Query(qr) = req else {
+            unreachable!()
+        };
+        assert_eq!(qr.seed, 0);
+        assert_eq!(
+            qr.query,
+            QuerySpec::Lint {
+                ranges: vec![("x".into(), 0.0, 2.0)],
+            }
+        );
+    }
+
+    #[test]
+    fn lint_spec_builds_and_reports_serialize() {
+        let source = ModelSource {
+            states: vec![("x".into(), "-k*x".into())],
+            consts: vec![("k".into(), 1.0)],
+        };
+        let (mut cx, sys) = source.build().unwrap();
+        let spec = QuerySpec::Lint {
+            ranges: vec![("x".into(), 0.0, 2.0)],
+        };
+        let query = spec.build(&mut cx).unwrap();
+        let Query::Lint {
+            ranges, declared, ..
+        } = &query
+        else {
+            panic!("expected lint query")
+        };
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(declared.len(), cx.num_vars());
+        // Unknown variables are a parse-time error, not a silent skip.
+        let bad = QuerySpec::Lint {
+            ranges: vec![("nope".into(), 0.0, 1.0)],
+        };
+        assert!(bad.build(&mut cx).unwrap_err().contains("unknown"));
+        // Run it for real and check the typed serialization.
+        let session = biocheck_engine::Session::from_parts(cx, sys);
+        let report = session.query(query).run().unwrap();
+        let json = report_to_json(&report);
+        let value = json.get("value").unwrap();
+        assert_eq!(value.get("type").and_then(Json::as_str), Some("lint"));
+        assert!(value.get("diagnostics").and_then(Json::as_arr).is_some());
+        assert_eq!(
+            json.get("fingerprint").and_then(Json::as_str),
+            Some(report.fingerprint().as_str())
+        );
+    }
+
     /// `OP_NAMES` is the docs-drift source of truth: it must cover
     /// exactly the ops the parser accepts and the renderer emits.
     #[test]
@@ -1325,6 +1577,13 @@ mod tests {
                 },
             },
             Request::Cancel { id: 1 },
+            Request::Query(QueryRequest {
+                model: "m".into(),
+                id: None,
+                seed: 0,
+                budget: BudgetSpec::default(),
+                query: QuerySpec::Lint { ranges: vec![] },
+            }),
         ] {
             let op = req
                 .to_json()
@@ -1334,7 +1593,7 @@ mod tests {
                 .to_string();
             assert!(OP_NAMES.contains(&op.as_str()), "unlisted op {op}");
         }
-        assert_eq!(OP_NAMES.len(), 7);
+        assert_eq!(OP_NAMES.len(), 8);
     }
 
     #[test]

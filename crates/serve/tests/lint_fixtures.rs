@@ -1,0 +1,102 @@
+//! Pins the lint diagnostics of the three DAC'20 case-study models.
+//!
+//! Each fixture line in `fixtures/lint_*.json` was produced by
+//! `biocheck_client --lint MODEL` against a live daemon; this test
+//! recomputes the same line on a direct in-process [`Session`] and
+//! asserts byte equality. CI additionally diffs the daemon's output
+//! against the same files, so fixture == direct == daemon, pairwise.
+//!
+//! A diff here means the analyzer's verdict on a real model changed —
+//! sometimes intentional (new check, sharper enclosure), never silent:
+//! regenerate with `biocheck_client --lint MODEL > fixtures/lint_MODEL.json`
+//! and review the diagnostic delta in the PR.
+
+use biocheck_engine::Session;
+use biocheck_serve::wire::{report_to_json, QuerySpec};
+use biocheck_serve::{case_study_source, pinned_lint_json, CASE_STUDIES};
+
+fn direct_lint_line(name: &str) -> String {
+    let source = case_study_source(name).expect("known case study");
+    let (mut cx, sys) = source.build().expect("case-study source builds");
+    let query = QuerySpec::Lint { ranges: vec![] }
+        .build(&mut cx)
+        .expect("lint spec builds");
+    let session = Session::from_parts(cx, sys);
+    let report = session.query(query).seed(0).run().expect("lint runs");
+    let json = report_to_json(&report);
+    let value = json.get("value").cloned().expect("report has value");
+    pinned_lint_json(name, value, report.fingerprint()).render()
+}
+
+#[test]
+fn case_study_lint_matches_pinned_fixtures() {
+    for (name, fixture) in [
+        (
+            "prostate",
+            include_str!("../../../fixtures/lint_prostate.json"),
+        ),
+        (
+            "cardiac",
+            include_str!("../../../fixtures/lint_cardiac.json"),
+        ),
+        (
+            "radiation",
+            include_str!("../../../fixtures/lint_radiation.json"),
+        ),
+    ] {
+        assert_eq!(
+            direct_lint_line(name),
+            fixture.trim_end(),
+            "lint diagnostics for case study `{name}` diverged from \
+             fixtures/lint_{name}.json — regenerate and review the delta"
+        );
+    }
+}
+
+#[test]
+fn fixture_list_covers_every_case_study() {
+    assert_eq!(CASE_STUDIES, ["prostate", "cardiac", "radiation"]);
+    for name in CASE_STUDIES {
+        assert!(case_study_source(name).is_some(), "{name} must resolve");
+    }
+    assert!(case_study_source("nope").is_none());
+}
+
+#[test]
+fn case_study_diagnostics_have_expected_shape() {
+    // The pinned content, asserted structurally (independent of JSON
+    // rendering): prostate flags its two unused synthesis thresholds,
+    // cardiac its substituted stimulus parameter, radiation the damage
+    // accumulator that no mode-0 derivative feeds back on. None of the
+    // case studies has an Error-severity finding — they are servable.
+    let expect = [
+        ("prostate", vec![("L102", "r0"), ("L102", "r1")]),
+        ("cardiac", vec![("L102", "I_stim")]),
+        ("radiation", vec![("L101", "dmg")]),
+    ];
+    for (name, expected) in expect {
+        let source = case_study_source(name).unwrap();
+        let (mut cx, sys) = source.build().unwrap();
+        let query = QuerySpec::Lint { ranges: vec![] }.build(&mut cx).unwrap();
+        let session = Session::from_parts(cx, sys);
+        let report = session.query(query).seed(0).run().unwrap();
+        let biocheck_engine::Value::Lint(diags) = &report.value else {
+            panic!("lint must return Value::Lint");
+        };
+        let got: Vec<(String, String)> = diags
+            .iter()
+            .map(|d| (d.code.clone(), d.site.clone()))
+            .collect();
+        assert_eq!(got.len(), expected.len(), "{name}: {got:?}");
+        for ((code, site), (want_code, want_frag)) in got.iter().zip(&expected) {
+            assert_eq!(code, want_code, "{name}");
+            assert!(site.contains(want_frag), "{name}: site {site:?}");
+        }
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity != biocheck_engine::Severity::Error),
+            "{name} must stay servable (no Error diagnostics)"
+        );
+    }
+}

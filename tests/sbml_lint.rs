@@ -1,0 +1,80 @@
+//! SBML front end → static analyzer integration: entities an SBML
+//! document declares but never uses must surface as lint diagnostics on
+//! the converted ODE system — the "imported a curated model, half of it
+//! is dead" situation the pre-flight lint exists to catch.
+
+use biocheck_expr::VarId;
+use biocheck_lint::{lint_ode, Severity};
+use biocheck_sbml::SbmlModel;
+
+/// One reaction A→B at rate k·A, plus an orphan parameter `k_unused`
+/// and a boundary species `C` that feeds nothing.
+const DOC: &str = r#"<sbml><model id="partial">
+  <listOfSpecies>
+    <species id="A" initialConcentration="1"/>
+    <species id="B" initialConcentration="0"/>
+    <species id="C" initialConcentration="4" boundaryCondition="true"/>
+  </listOfSpecies>
+  <listOfParameters>
+    <parameter id="k" value="0.5"/>
+    <parameter id="k_unused" value="7"/>
+  </listOfParameters>
+  <listOfReactions>
+    <reaction id="r1">
+      <listOfReactants><speciesReference species="A"/></listOfReactants>
+      <listOfProducts><speciesReference species="B"/></listOfProducts>
+      <kineticLaw><math><apply><times/><ci>k</ci><ci>A</ci></apply></math></kineticLaw>
+    </reaction>
+  </listOfReactions>
+</model></sbml>"#;
+
+#[test]
+fn lint_flags_sbml_declared_but_unused_entities() {
+    let model = SbmlModel::parse(DOC).expect("document parses");
+    let (cx, sys, _init, _env) = model.to_ode().expect("document converts");
+    let declared: Vec<VarId> = (0..cx.num_vars()).map(VarId::from_index).collect();
+    let diags = lint_ode(&cx, &sys, &[], &declared, None);
+
+    // `k_unused` is declared in listOfParameters but feeds no rate law.
+    let unused_param = diags
+        .iter()
+        .find(|d| d.code == "L102" && d.site.contains("k_unused"))
+        .expect("unused SBML parameter must be flagged");
+    assert_eq!(unused_param.severity, Severity::Warn);
+
+    // `C` is a state with identically-zero derivative (boundary) that
+    // also influences nothing — both the dead-dynamics and the
+    // unused-species view of the same import problem.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "L104" && d.site.contains('C')),
+        "boundary species C has a constant-zero derivative: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "L101" && d.site.contains('C')),
+        "species C influences nothing: {diags:?}"
+    );
+
+    // The product `B` is a pure sink — nothing feeds back on it — so
+    // the influence check reports it too, at Info only.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == "L101" && d.site.contains("`B`") && d.severity == Severity::Info),
+        "sink species B is influence-free: {diags:?}"
+    );
+
+    // The live pathway stays clean: no diagnostic mentions A or k.
+    for live in ["`A`", "`k`"] {
+        assert!(
+            !diags.iter().any(|d| d.site.contains(live)),
+            "live entity {live} wrongly flagged: {diags:?}"
+        );
+    }
+
+    // Nothing here is an Error — the model is servable, just sloppy.
+    assert!(diags.iter().all(|d| d.severity != Severity::Error));
+}
