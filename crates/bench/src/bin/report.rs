@@ -31,6 +31,16 @@ fn run(name: &str, f: impl FnOnce() -> Vec<exp::Row>) -> Vec<exp::Row> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subprocess mode for the pool_scaling sweep: the pool width was
+    // fixed from BIOCHECK_THREADS at startup; time one parallel-path
+    // workload and print `wall_seconds p_hat fingerprint`.
+    if args.first().map(String::as_str) == Some("--pool-probe") {
+        let samples: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1000);
+        let seed: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(2020);
+        let (wall, p_hat, fingerprint) = exp::perf::pool_probe(samples, seed);
+        println!("{wall:.9} {p_hat} {fingerprint}");
+        return;
+    }
     let bench_only = args.iter().any(|a| a == "--bench-only");
     let bench_version: u32 = args
         .iter()
@@ -78,7 +88,14 @@ fn main() {
     // the gate tolerance.
     let t0 = Instant::now();
     let cal_before = exp::perf::calibration_score();
-    let perf = exp::perf::perf_workloads(1000, 2020);
+    let mut perf = exp::perf::perf_workloads(1000, 2020);
+    // Pool-width scaling sweep: re-exec this binary once per width
+    // (the pool is fixed at first use from BIOCHECK_THREADS, so each
+    // width needs a fresh process). A probe failure skips the row.
+    match std::env::current_exe() {
+        Ok(exe) => perf.extend(exp::perf::pool_scaling_workload(&exe, 1000, 2020)),
+        Err(e) => eprintln!("pool_scaling: cannot resolve current_exe: {e}"),
+    }
     let cal_after = exp::perf::calibration_score();
     let calibration = cal_before.max(cal_after);
     let cal_worst = cal_before.min(cal_after);

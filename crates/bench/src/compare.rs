@@ -257,6 +257,7 @@ mod tests {
             avg_steps: 10.0,
             early_stop_rate: 0.25,
             latency: None,
+            scaling: None,
         }
     }
 

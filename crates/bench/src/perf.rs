@@ -56,13 +56,28 @@ pub struct LatencySummary {
     pub miss_p99_us: f64,
 }
 
+/// Pool-width scaling of the parallel SMC path, measured in
+/// single-workload subprocesses (`pool_scaling` only): the vendored
+/// rayon pool fixes its width at first use from `BIOCHECK_THREADS`, so
+/// each width needs its own process.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingSummary {
+    /// Samples/sec with a 1-thread (fully inline) pool.
+    pub t1_samples_per_sec: f64,
+    /// Samples/sec with a 2-thread pool.
+    pub t2_samples_per_sec: f64,
+    /// Samples/sec with an 8-thread pool.
+    pub t8_samples_per_sec: f64,
+}
+
 /// One benchmark workload: sequential vs parallel SMC sampling, or
 /// cold- vs warm-cache batched querying (`engine_batch`,
-/// `serve_throughput`).
+/// `serve_throughput`), or the subprocess pool sweep (`pool_scaling`).
 #[derive(Clone, Debug)]
 pub struct PerfWorkload {
     /// Workload name (`smc_prostate`, `smc_cardiac`, `smc_radiation`,
-    /// `icp_pave_ring`, `engine_batch`, `serve_throughput`).
+    /// `icp_pave_ring`, `engine_batch`, `serve_throughput`,
+    /// `pool_scaling`).
     pub name: String,
     /// Number of Bernoulli samples drawn per mode (queries per batch
     /// for `engine_batch`).
@@ -89,6 +104,9 @@ pub struct PerfWorkload {
     /// Serving-layer latency percentiles (`serve_throughput` only;
     /// `None` elsewhere — the field is absent from their JSON rows).
     pub latency: Option<LatencySummary>,
+    /// Pool-width throughput sweep (`pool_scaling` only; `None`
+    /// elsewhere — the field is absent from their JSON rows).
+    pub scaling: Option<ScalingSummary>,
 }
 
 /// Prostate CAS therapy: P(PSA = x + y stays below 18 for 100 days) over
@@ -255,6 +273,7 @@ fn run_workload(
         avg_steps: par_report.provenance.avg_steps,
         early_stop_rate: par_report.provenance.early_stop_rate,
         latency: None,
+        scaling: None,
     }
 }
 
@@ -308,6 +327,7 @@ pub fn icp_pave_workload() -> PerfWorkload {
         avg_steps: 0.0,
         early_stop_rate: 0.0,
         latency: None,
+        scaling: None,
     }
 }
 
@@ -378,6 +398,7 @@ pub fn engine_batch_workload(samples_per_query: usize, seed: u64) -> PerfWorkloa
         avg_steps: 0.0,
         early_stop_rate: 0.0,
         latency: None,
+        scaling: None,
     }
 }
 
@@ -451,6 +472,7 @@ pub fn serve_throughput_workload(samples_per_query: usize, seed: u64) -> PerfWor
                 },
                 method: MethodSpec::Fixed { n },
             },
+            trace: false,
         })
         .collect();
 
@@ -525,13 +547,131 @@ pub fn serve_throughput_workload(samples_per_query: usize, seed: u64) -> PerfWor
         avg_steps: 0.0,
         early_stop_rate: 0.0,
         latency: Some(latency),
+        scaling: None,
     }
+}
+
+/// One pool-width probe, run inside a `--pool-probe` subprocess whose
+/// `BIOCHECK_THREADS` fixed the pool width at startup: times the
+/// parallel-path prostate estimate (artifact cache pre-populated, best
+/// of `REPEATS` runs) and returns `(wall_seconds, p_hat, fingerprint)` —
+/// the fingerprint lets the parent assert bit-identical reports across
+/// every width.
+pub fn pool_probe(samples: usize, seed: u64) -> (f64, f64, String) {
+    let (session, spec) = prostate_workload();
+    let query = Query::Estimate {
+        smc: spec.clone(),
+        method: EstimateMethod::Fixed { n: samples },
+    };
+    let _ = session
+        .query(Query::Estimate {
+            smc: spec,
+            method: EstimateMethod::Fixed { n: 1 },
+        })
+        .seed(seed)
+        .run()
+        .expect("valid workload");
+    let (wall, report) = best_of(|| {
+        session
+            .query(query.clone())
+            .seed(seed)
+            .run()
+            .expect("valid workload")
+    });
+    let Value::Estimate(est) = &report.value else {
+        unreachable!("estimate query returns an estimate");
+    };
+    (wall, est.p_hat, report.fingerprint())
+}
+
+/// The `pool_scaling` workload: the prostate SMC estimate swept over
+/// 1/2/8 pool threads. The vendored rayon pool fixes its width at
+/// first use from `BIOCHECK_THREADS`, so the sweep re-executes
+/// `probe_exe --pool-probe` once per width with the env var set; each
+/// subprocess prints `wall_seconds p_hat fingerprint`. The recorded
+/// row maps 1 thread to `sequential`, 8 threads to `parallel`
+/// (`speedup` is therefore the 8-way scaling factor), carries the full
+/// sweep in `scaling`, and sets `deterministic` only when all three
+/// widths produced bit-identical fingerprints. Returns `None` (with a
+/// diagnostic) if a subprocess fails — the suite then simply omits the
+/// row rather than poisoning the bench file.
+pub fn pool_scaling_workload(
+    probe_exe: &std::path::Path,
+    samples: usize,
+    seed: u64,
+) -> Option<PerfWorkload> {
+    let mut results: Vec<(usize, f64, f64, String)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let out = std::process::Command::new(probe_exe)
+            .args(["--pool-probe", &samples.to_string(), &seed.to_string()])
+            .env("BIOCHECK_THREADS", threads.to_string())
+            .env_remove("RAYON_NUM_THREADS")
+            .output();
+        let out = match out {
+            Ok(out) if out.status.success() => out,
+            Ok(out) => {
+                eprintln!(
+                    "pool_scaling: probe at {threads} threads exited {}: {}",
+                    out.status,
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                return None;
+            }
+            Err(e) => {
+                eprintln!("pool_scaling: cannot spawn probe at {threads} threads: {e}");
+                return None;
+            }
+        };
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let mut fields = stdout.split_whitespace();
+        let parsed = (|| {
+            let wall: f64 = fields.next()?.parse().ok()?;
+            let p_hat: f64 = fields.next()?.parse().ok()?;
+            let fingerprint = fields.next()?.to_string();
+            Some((wall, p_hat, fingerprint))
+        })();
+        match parsed {
+            Some((wall, p_hat, fingerprint)) => results.push((threads, wall, p_hat, fingerprint)),
+            None => {
+                eprintln!("pool_scaling: malformed probe output at {threads} threads: {stdout:?}");
+                return None;
+            }
+        }
+    }
+    let per_sec = |wall: f64| samples as f64 / wall;
+    let (t1, t2, t8) = (&results[0], &results[1], &results[2]);
+    Some(PerfWorkload {
+        name: "pool_scaling".to_string(),
+        samples,
+        seed,
+        sequential: ModeTiming {
+            wall_seconds: t1.1,
+            samples_per_sec: per_sec(t1.1),
+        },
+        parallel: ModeTiming {
+            wall_seconds: t8.1,
+            samples_per_sec: per_sec(t8.1),
+        },
+        p_hat: t1.2,
+        deterministic: results.iter().all(|r| r.3 == t1.3),
+        speedup: t1.1 / t8.1,
+        avg_steps: 0.0,
+        early_stop_rate: 0.0,
+        latency: None,
+        scaling: Some(ScalingSummary {
+            t1_samples_per_sec: per_sec(t1.1),
+            t2_samples_per_sec: per_sec(t2.1),
+            t8_samples_per_sec: per_sec(t8.1),
+        }),
+    })
 }
 
 /// Runs the perf workloads: three SMC samplers (`samples` Bernoulli
 /// draws each), the branch-and-prune paving workload, and the
 /// cold-vs-warm `engine_batch` and `serve_throughput` workloads
-/// (`samples`/20 draws per query).
+/// (`samples`/20 draws per query). The subprocess-based `pool_scaling`
+/// workload is appended separately by the `report` bin (it needs an
+/// executable to re-exec; see [`pool_scaling_workload`]).
 pub fn perf_workloads(samples: usize, seed: u64) -> Vec<PerfWorkload> {
     let (prostate_session, prostate_spec) = prostate_workload();
     let (cardiac_session, cardiac_spec) = cardiac_workload();
@@ -606,6 +746,15 @@ pub fn perf_to_json(rows: &[PerfWorkload], bench_version: u32, calibration: f64)
                 l.hit_p50_us, l.hit_p99_us, l.miss_p50_us, l.miss_p99_us
             ));
         }
+        // Pool-width sweep (pool_scaling workload only) — recorded
+        // trajectory, never gated.
+        if let Some(sc) = &w.scaling {
+            s.push_str(&format!(
+                ", \"scaling\": {{\"t1_samples_per_sec\": {:.2}, \"t2_samples_per_sec\": {:.2}, \
+                 \"t8_samples_per_sec\": {:.2}}}",
+                sc.t1_samples_per_sec, sc.t2_samples_per_sec, sc.t8_samples_per_sec
+            ));
+        }
         s.push_str(&format!(
             "}}{}\n",
             if i + 1 < rows.len() { "," } else { "" }
@@ -646,6 +795,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn pool_scaling_row_renders_the_sweep() {
+        let w = PerfWorkload {
+            name: "pool_scaling".to_string(),
+            samples: 100,
+            seed: 7,
+            sequential: ModeTiming {
+                wall_seconds: 0.2,
+                samples_per_sec: 500.0,
+            },
+            parallel: ModeTiming {
+                wall_seconds: 0.05,
+                samples_per_sec: 2000.0,
+            },
+            p_hat: 0.5,
+            deterministic: true,
+            speedup: 4.0,
+            avg_steps: 0.0,
+            early_stop_rate: 0.0,
+            latency: None,
+            scaling: Some(ScalingSummary {
+                t1_samples_per_sec: 500.0,
+                t2_samples_per_sec: 950.0,
+                t8_samples_per_sec: 2000.0,
+            }),
+        };
+        let json = perf_to_json(&[w], 10, 1.0e9);
+        for key in [
+            "pool_scaling",
+            "\"scaling\"",
+            "t1_samples_per_sec",
+            "t2_samples_per_sec",
+            "t8_samples_per_sec",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches("\"scaling\"").count(), 1);
     }
 
     #[test]
@@ -693,8 +881,10 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
-        // Only the serving workload carries the latency object.
+        // Only the serving workload carries the latency object, and no
+        // in-process workload carries the subprocess scaling sweep.
         assert_eq!(json.matches("\"latency\"").count(), 1);
+        assert_eq!(json.matches("\"scaling\"").count(), 0);
         let serve = rows.iter().find(|w| w.name == "serve_throughput").unwrap();
         let l = serve.latency.expect("serve workload records latency");
         assert!(l.hit_p50_us > 0.0 && l.hit_p99_us >= l.hit_p50_us);

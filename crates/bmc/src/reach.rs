@@ -6,7 +6,7 @@ use biocheck_hybrid::{HybridAutomaton, ModeId};
 use biocheck_icp::{BranchAndPrune, Contractor, DeltaResult, Witness};
 use biocheck_interval::{IBox, Interval};
 use biocheck_ode::FlowContractor;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,6 +47,13 @@ pub struct ReachOptions {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Wall-clock deadline, polled at the same points as `cancel`.
     pub deadline: Option<Instant>,
+    /// Live unrolling-depth gauge: [`check_reach`] stores the current
+    /// jump count `m` here as each depth opens. Purely observational,
+    /// never read back.
+    pub progress_depth: Option<Arc<AtomicU64>>,
+    /// Cumulative frontier-box counter, forwarded into every per-path
+    /// branch-and-prune run (same plumbing as `cancel`).
+    pub progress_boxes: Option<Arc<AtomicU64>>,
 }
 
 impl ReachOptions {
@@ -60,6 +67,8 @@ impl ReachOptions {
             max_paths: 10_000,
             cancel: None,
             deadline: None,
+            progress_depth: None,
+            progress_boxes: None,
         }
     }
 
@@ -137,6 +146,9 @@ pub fn check_reach(ha: &HybridAutomaton, spec: &ReachSpec, opts: &ReachOptions) 
     // exponential in dense jump graphs, so the interrupt flag is polled
     // per expanded node, not just per solved path.
     for m in 0..=spec.k_max {
+        if let Some(p) = &opts.progress_depth {
+            p.store(m as u64, Ordering::Relaxed);
+        }
         let mut stack: Vec<(Vec<ModeId>, Vec<usize>)> = vec![(vec![ha.init_mode], vec![])];
         let mut paths: Vec<(Vec<ModeId>, Vec<usize>)> = Vec::new();
         while let Some((path, jumps)) = stack.pop() {
@@ -265,6 +277,7 @@ pub(crate) fn solve_path(
     bp.max_splits = opts.max_splits;
     bp.cancel = opts.cancel.clone();
     bp.deadline = opts.deadline;
+    bp.progress_boxes = opts.progress_boxes.clone();
     bp.solve(&cx, &atoms, &extra, &init)
 }
 

@@ -6,7 +6,7 @@ use biocheck_icp::{BranchAndPrune, Contractor, DeltaResult};
 use biocheck_interval::{IBox, Interval};
 use biocheck_sat::{Lit, SolveResult, Solver};
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,6 +38,14 @@ pub struct DeltaSmt {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Wall-clock deadline, polled at the same points as `cancel`.
     pub deadline: Option<Instant>,
+    /// Live progress counters, forwarded the same way as `cancel`:
+    /// boxes into every branch-and-prune run, conflicts/restarts into
+    /// the CDCL core. Purely observational; `None` costs nothing.
+    pub progress_boxes: Option<Arc<AtomicU64>>,
+    /// Cumulative CDCL conflicts (see [`DeltaSmt::progress_boxes`]).
+    pub progress_conflicts: Option<Arc<AtomicU64>>,
+    /// Cumulative CDCL restarts (see [`DeltaSmt::progress_boxes`]).
+    pub progress_restarts: Option<Arc<AtomicU64>>,
 }
 
 impl DeltaSmt {
@@ -59,6 +67,9 @@ impl DeltaSmt {
             max_splits: 200_000,
             cancel: None,
             deadline: None,
+            progress_boxes: None,
+            progress_conflicts: None,
+            progress_restarts: None,
         }
     }
 
@@ -164,11 +175,15 @@ impl DeltaSmt {
         bp.max_splits = self.max_splits;
         bp.cancel = self.cancel.clone();
         bp.deadline = self.deadline;
+        bp.progress_boxes = self.progress_boxes.clone();
         // Raising the cancel flag also interrupts an in-flight CDCL
         // search, so `check` is responsive even while the Boolean core —
         // not just the theory solver — is the long pole.
         if let Some(flag) = &self.cancel {
             enc.sat.set_interrupt(Arc::clone(flag));
+        }
+        if let (Some(c), Some(r)) = (&self.progress_conflicts, &self.progress_restarts) {
+            enc.sat.set_progress(Arc::clone(c), Arc::clone(r));
         }
 
         for _ in 0..self.max_theory_checks {

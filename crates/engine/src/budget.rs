@@ -75,6 +75,14 @@ pub struct Budget {
     pub queue_deadline: Option<Duration>,
     /// Cooperative cancellation flag.
     pub cancel: Option<CancelToken>,
+    /// Request-scoped trace context. Strictly observational: the engine
+    /// opens phase spans on it and the solver loops publish progress
+    /// counters into it at their existing budget-poll points. Excluded
+    /// from [`Budget::canonical_caps`] (and thereby from memoization
+    /// keys) for the same reason as timings are excluded from report
+    /// fingerprints — tracing a query must never change its answer or
+    /// its cache identity.
+    pub trace: Option<Arc<biocheck_obs::TraceCtx>>,
 }
 
 impl Budget {
@@ -115,6 +123,13 @@ impl Budget {
     #[must_use]
     pub fn with_cancel(mut self, token: CancelToken) -> Budget {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a request-scoped trace context (see [`Budget::trace`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<biocheck_obs::TraceCtx>) -> Budget {
+        self.trace = Some(trace);
         self
     }
 

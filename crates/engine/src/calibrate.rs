@@ -173,6 +173,10 @@ pub(crate) fn run_calibrate(
     bp.max_splits = budget.max_paver_boxes.unwrap_or(50_000);
     bp.cancel = budget.cancel_flag();
     bp.deadline = deadline;
+    bp.progress_boxes = budget
+        .trace
+        .as_ref()
+        .map(|t| std::sync::Arc::clone(&t.progress.boxes));
     match bp.solve(&cx, &atoms, &refs, &init_box) {
         DeltaResult::DeltaSat(w) => (
             Some(Calibration {

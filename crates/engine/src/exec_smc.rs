@@ -124,6 +124,15 @@ where
             }
             self.generated += want;
             self.next = 0;
+            // Progress is published at the existing budget-poll point
+            // (once per speculative batch): one relaxed store, no
+            // allocation, invisible to the sample bodies themselves.
+            if let Some(trace) = &self.budget.trace {
+                trace
+                    .progress
+                    .samples
+                    .store(self.generated as u64, std::sync::atomic::Ordering::Relaxed);
+            }
         }
         let t = self.buf[self.next];
         self.next += 1;
@@ -179,6 +188,7 @@ pub(crate) fn run_estimate(
         deadline,
         stats_sample(seed),
     );
+    let progress = budget.trace.as_ref().map(|t| &t.progress);
     let (mut hits, mut drawn, mut steps, mut early) = (0usize, 0usize, 0usize, 0usize);
     while drawn < goal {
         let Some(st) = stream.take() else { break };
@@ -186,6 +196,10 @@ pub(crate) fn run_estimate(
         hits += st.sat as usize;
         steps += st.steps;
         early += st.early_stop as usize;
+        if let Some(p) = progress {
+            p.rk_steps
+                .store(steps as u64, std::sync::atomic::Ordering::Relaxed);
+        }
     }
     // A budget-truncated run did not draw enough samples to honor the
     // method's statistical guarantee: its partial estimate carries
@@ -233,6 +247,7 @@ pub(crate) fn run_sprt(
         deadline,
         stats_sample(seed),
     );
+    let progress = budget.trace.as_ref().map(|t| &t.progress);
     let mut state = SprtState::new(theta, indiff, alpha, beta);
     let (mut steps, mut early) = (0usize, 0usize);
     let mut decision = None;
@@ -241,6 +256,10 @@ pub(crate) fn run_sprt(
         steps += st.steps;
         early += st.early_stop as usize;
         decision = state.push(st.sat);
+        if let Some(p) = progress {
+            p.rk_steps
+                .store(steps as u64, std::sync::atomic::Ordering::Relaxed);
+        }
     }
     let drawn = state.samples();
     // An undecided test that did not reach the *query's* cap was cut by
@@ -281,6 +300,7 @@ fn run_bayes(
         deadline,
         stats_sample(seed),
     );
+    let progress = budget.trace.as_ref().map(|t| &t.progress);
     let mut state = BayesState::new(half_width, confidence);
     let (mut steps, mut early) = (0usize, 0usize);
     let mut decision = None;
@@ -289,6 +309,10 @@ fn run_bayes(
         steps += st.steps;
         early += st.early_stop as usize;
         decision = state.push(st.sat);
+        if let Some(p) = progress {
+            p.rk_steps
+                .store(steps as u64, std::sync::atomic::Ordering::Relaxed);
+        }
     }
     let drawn = state.samples();
     let exhausted = decision.is_none() && drawn < max_samples;

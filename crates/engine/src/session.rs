@@ -363,8 +363,10 @@ impl Session {
     fn timed_sampler(
         &self,
         smc: &SmcSpec,
+        budget: &Budget,
         compile: &mut Duration,
     ) -> Result<Arc<TraceSampler>, Error> {
+        let _tspan = budget.trace.as_ref().map(|t| t.span("engine.compile"));
         let t = Instant::now();
         let sampler = self.sampler(smc);
         *compile = t.elapsed();
@@ -464,6 +466,10 @@ impl Session {
         if let Some(flag) = budget.cancel_flag() {
             opts.cancel = Some(flag);
         }
+        if let Some(trace) = &budget.trace {
+            opts.progress_depth = Some(Arc::clone(&trace.progress.depth));
+            opts.progress_boxes = Some(Arc::clone(&trace.progress.boxes));
+        }
         opts.deadline = match (opts.deadline, deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -523,6 +529,7 @@ impl Session {
         parallel: bool,
     ) -> Result<Report, Error> {
         let _span = biocheck_obs::span!("engine.query");
+        let _tspan = budget.trace.as_ref().map(|t| t.span("engine.query"));
         let started = Instant::now();
         let mut compile = Duration::ZERO;
         let mut report =
@@ -542,10 +549,11 @@ impl Session {
         parallel: bool,
         compile: &mut Duration,
     ) -> Result<Report, Error> {
+        let _kind_span = budget.trace.as_ref().map(|t| t.span(kind_span_name(query)));
         match query {
             Query::Estimate { smc, method } => {
                 validate_method(method)?;
-                let sampler = self.timed_sampler(smc, compile)?;
+                let sampler = self.timed_sampler(smc, budget, compile)?;
                 let out =
                     exec_smc::run_estimate(&sampler, seed, *method, budget, deadline, parallel);
                 Ok(self.smc_report(query.kind(), seed, out))
@@ -572,7 +580,7 @@ impl Session {
                         detail: "error levels must be positive".into(),
                     });
                 }
-                let sampler = self.timed_sampler(smc, compile)?;
+                let sampler = self.timed_sampler(smc, budget, compile)?;
                 let out = exec_smc::run_sprt(
                     &sampler,
                     seed,
@@ -594,7 +602,7 @@ impl Session {
                         detail: "robustness needs at least one sample".into(),
                     });
                 }
-                let sampler = self.timed_sampler(smc, compile)?;
+                let sampler = self.timed_sampler(smc, budget, compile)?;
                 let out =
                     exec_smc::run_robustness(&sampler, seed, *samples, budget, deadline, parallel);
                 Ok(self.smc_report(query.kind(), seed, out))
@@ -714,6 +722,20 @@ impl Session {
                 Ok(self.delta_report(query.kind(), seed, false, Value::Lint(diags)))
             }
         }
+    }
+}
+
+/// Name of the kind-level trace span opened under `engine.query`.
+fn kind_span_name(query: &Query) -> &'static str {
+    match query {
+        Query::Estimate { .. } => "engine.smc.estimate",
+        Query::Sprt { .. } => "engine.smc.sprt",
+        Query::Robustness { .. } => "engine.smc.robustness",
+        Query::Falsify { .. } => "engine.falsify",
+        Query::Therapy { .. } => "engine.therapy",
+        Query::Calibrate { .. } => "engine.calibrate",
+        Query::Stability { .. } => "engine.stability",
+        Query::Lint { .. } => "engine.lint",
     }
 }
 

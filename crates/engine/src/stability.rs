@@ -87,6 +87,10 @@ pub(crate) fn run_stability(
     let mut syn = LyapunovSynthesizer::quadratic(cx, &shifted, r_min, r_max);
     syn.cancel = budget.cancel_flag();
     syn.deadline = deadline;
+    syn.progress_boxes = budget
+        .trace
+        .as_ref()
+        .map(|t| std::sync::Arc::clone(&t.progress.boxes));
     match syn.run(30) {
         Some(result) => (
             Some(StabilityReport {

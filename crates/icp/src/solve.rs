@@ -131,6 +131,11 @@ pub struct BranchAndPrune {
     /// budget trips depends on machine speed, so deterministic callers
     /// should prefer split budgets or an explicit cancellation flag.
     pub deadline: Option<Instant>,
+    /// Optional progress counter: frontier boxes processed, published
+    /// with one relaxed `fetch_add` per round (the same cadence as the
+    /// `cancel` poll). Purely observational — the search never reads
+    /// it — so attaching a counter cannot change any verdict.
+    pub progress_boxes: Option<Arc<std::sync::atomic::AtomicU64>>,
 }
 
 /// What happened to one box of the frontier.
@@ -165,6 +170,15 @@ impl BranchAndPrune {
             parallel_threshold: 64,
             cancel: None,
             deadline: None,
+            progress_boxes: None,
+        }
+    }
+
+    /// Publishes `n` newly processed frontier boxes to the progress
+    /// counter, if one is attached.
+    fn note_boxes(&self, n: usize) {
+        if let Some(p) = &self.progress_boxes {
+            p.fetch_add(n as u64, Ordering::Relaxed);
         }
     }
 
@@ -319,6 +333,7 @@ impl BranchAndPrune {
                 inner_delta,
                 &mut scratch,
             );
+            self.note_boxes(steps.len());
             // Scan stack-top-first so the answer matches depth-first order.
             for s in steps.iter().rev() {
                 if let BoxStep::Sat { bx, .. } = s {
@@ -381,6 +396,7 @@ impl BranchAndPrune {
                 Some(0.0),
                 &mut scratch,
             );
+            self.note_boxes(steps.len());
             for s in steps {
                 match s {
                     BoxStep::Pruned => {}

@@ -44,7 +44,7 @@ use biocheck_icp::{BranchAndPrune, DeltaResult};
 use biocheck_interval::{IBox, Interval};
 use biocheck_ode::OdeSystem;
 use std::collections::HashMap;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -97,6 +97,9 @@ pub struct LyapunovSynthesizer {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Wall-clock deadline, polled at the same points as `cancel`.
     pub deadline: Option<Instant>,
+    /// Live frontier-box counter, forwarded into every δ-search the
+    /// same way as `cancel`. Purely observational.
+    pub progress_boxes: Option<Arc<AtomicU64>>,
     counterexamples: Vec<Vec<f64>>,
 }
 
@@ -168,6 +171,7 @@ impl LyapunovSynthesizer {
             margin: 0.05,
             cancel: None,
             deadline: None,
+            progress_boxes: None,
             counterexamples: Vec::new(),
         }
     }
@@ -235,6 +239,7 @@ impl LyapunovSynthesizer {
         bp.max_splits = 50_000;
         bp.cancel = self.cancel.clone();
         bp.deadline = self.deadline;
+        bp.progress_boxes = self.progress_boxes.clone();
         match bp.solve(&self.cx, &atoms, &[], &init) {
             DeltaResult::DeltaSat(w) => {
                 Some(self.coeff_vars.iter().map(|c| w.point[c.index()]).collect())
@@ -287,6 +292,7 @@ impl LyapunovSynthesizer {
                     bp.max_splits = 50_000;
                     bp.cancel = self.cancel.clone();
                     bp.deadline = self.deadline;
+                    bp.progress_boxes = self.progress_boxes.clone();
                     match bp.solve(&self.cx, &[atom], &[], &init) {
                         DeltaResult::DeltaSat(w) => {
                             return Verification::Counterexample(

@@ -126,6 +126,19 @@ impl Histogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
+    /// Clears every counter back to the empty state. Intended for
+    /// epoch reuse (see [`crate::Windowed`]): the stores are relaxed,
+    /// so samples recorded concurrently with a reset may be lost —
+    /// callers own the coordination if they need better.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
     /// Copies the current counters into an immutable [`Snapshot`].
     /// Concurrent recorders may land between bucket reads; each sample
     /// is still counted exactly once in a later snapshot.

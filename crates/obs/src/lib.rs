@@ -1,6 +1,6 @@
 //! Observability primitives for the BioCheck serving stack.
 //!
-//! Two tools, both dependency-free and cheap enough to leave on in
+//! Four tools, all dependency-free and cheap enough to leave on in
 //! production:
 //!
 //! * [`Histogram`] — a lock-free, log-linear bucketed latency
@@ -18,6 +18,15 @@
 //!   recorder installed, each span reports its name and elapsed
 //!   nanoseconds on drop. [`event`] reports point-in-time occurrences
 //!   the same way.
+//!
+//! * [`TraceCtx`] — request-scoped tracing: a per-request span tree
+//!   collected into a lock-free bounded ring ([`SpanRing`]) plus live
+//!   [`Progress`] counters the solver loops publish at their existing
+//!   budget-poll points. Strictly observational: nothing here feeds a
+//!   fingerprint, a memoization key, or a persisted byte.
+//!
+//! * [`Windowed`] — a sliding-window view over [`Histogram`] (last-60s
+//!   percentiles for long-lived daemons whose lifetime p99 goes stale).
 //!
 //! The serving layer (`biocheck_serve`) aggregates histograms per
 //! request phase and exposes them via `{"op":"stats"}` and
@@ -39,6 +48,10 @@
 
 pub mod hist;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use hist::{Histogram, Snapshot};
 pub use span::{event, recorder_installed, set_recorder, Recorder, Span};
+pub use trace::{Progress, ProgressSnapshot, SpanRecord, SpanRing, TraceCtx, TraceSpan};
+pub use window::Windowed;

@@ -1,0 +1,188 @@
+//! Sliding-window view over [`Histogram`]: recent-percentile queries
+//! for long-lived daemons.
+//!
+//! A lifetime histogram's p99 goes stale after days of uptime — one
+//! slow hour a week ago dominates forever. [`Windowed`] keeps a ring
+//! of epoch histograms (e.g. 12 slots of 5 s for a 60 s window); each
+//! record lands in the slot for the current tick, slots falling out of
+//! the window are lazily reset on their next reuse, and a snapshot
+//! merges the live slots. Recording stays lock-free (one relaxed tag
+//! check plus a [`Histogram::record_ns`]); the windowed quantiles are
+//! monitoring-grade — a record racing a slot reset at a tick boundary
+//! may be lost, never double-counted.
+
+use crate::hist::{Histogram, Snapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One ring slot: the histogram for a single tick of the window.
+struct WindowSlot {
+    /// `tick + 1` of the data currently in `hist` (0 = never used).
+    tag: AtomicU64,
+    hist: Histogram,
+}
+
+/// A sliding window of recent samples with the same quantile API as a
+/// lifetime [`Histogram`] snapshot. See the [module docs](self).
+pub struct Windowed {
+    epoch: Instant,
+    slot_ns: u64,
+    slots: Vec<WindowSlot>,
+}
+
+impl Windowed {
+    /// A window covering `window`, resolved into `slots` ring slots
+    /// (both clamped to useful minima). The effective window is
+    /// `slots * (window / slots)`; a snapshot sees between
+    /// `window - window/slots` and `window` of history depending on
+    /// where the current tick stands.
+    pub fn new(window: Duration, slots: usize) -> Windowed {
+        let slots = slots.max(2);
+        let slot_ns = (u64::try_from(window.as_nanos()).unwrap_or(u64::MAX) / slots as u64).max(1);
+        Windowed {
+            epoch: Instant::now(),
+            slot_ns,
+            slots: (0..slots)
+                .map(|_| WindowSlot {
+                    tag: AtomicU64::new(0),
+                    hist: Histogram::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The standard daemon window: last 60 seconds in 5-second slots.
+    pub fn last_minute() -> Windowed {
+        Windowed::new(Duration::from_secs(60), 12)
+    }
+
+    /// The current tick number.
+    fn tick(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX) / self.slot_ns
+    }
+
+    /// Records one sample into the current tick's slot.
+    pub fn record_ns(&self, value: u64) {
+        self.record_at(self.tick(), value);
+    }
+
+    /// Records a [`Duration`] (saturating at `u64::MAX` ns).
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges the slots still inside the window into one [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot_at(self.tick())
+    }
+
+    /// Tick-explicit recording core (deterministic for tests).
+    fn record_at(&self, tick: u64, value: u64) {
+        let slot = &self.slots[(tick % self.slots.len() as u64) as usize];
+        let tag = tick + 1;
+        let cur = slot.tag.load(Ordering::Acquire);
+        if cur != tag {
+            // The slot still holds a previous lap. One thread wins the
+            // tag CAS and resets; losers record straight away (their
+            // tick is current either way — worst case a sample lands
+            // during the winner's reset and is dropped).
+            if cur < tag
+                && slot
+                    .tag
+                    .compare_exchange(cur, tag, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                slot.hist.reset();
+            }
+        }
+        slot.hist.record_ns(value);
+    }
+
+    /// Tick-explicit snapshot core (deterministic for tests).
+    fn snapshot_at(&self, tick: u64) -> Snapshot {
+        let n = self.slots.len() as u64;
+        let oldest_tag = (tick + 1).saturating_sub(n - 1);
+        let merged = Histogram::new();
+        for slot in &self.slots {
+            let tag = slot.tag.load(Ordering::Acquire);
+            if tag >= oldest_tag && tag <= tick + 1 {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Windowed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Windowed")
+            .field("slots", &self.slots.len())
+            .field("slot_ns", &self.slot_ns)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windowed(slots: usize) -> Windowed {
+        Windowed::new(Duration::from_secs(slots as u64), slots)
+    }
+
+    #[test]
+    fn window_sees_recent_ticks_only() {
+        let w = windowed(4);
+        w.record_at(0, 100);
+        w.record_at(1, 200);
+        w.record_at(2, 300);
+        // At tick 2 all three are inside the 4-slot window.
+        assert_eq!(w.snapshot_at(2).count(), 3);
+        // At tick 4 the window is ticks 1..=4: tick 0's sample aged out.
+        let snap = w.snapshot_at(4);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max_ns(), 300);
+        // Far in the future nothing remains.
+        assert_eq!(w.snapshot_at(40).count(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_resets_old_lap() {
+        let w = windowed(2);
+        w.record_at(0, 1_000);
+        w.record_at(0, 1_000);
+        // Tick 2 reuses slot 0; the old lap's samples must not leak in.
+        w.record_at(2, 5_000);
+        let snap = w.snapshot_at(2);
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.max_ns(), 5_000);
+    }
+
+    #[test]
+    fn quantiles_track_the_window_not_the_lifetime() {
+        let w = windowed(4);
+        // An ancient burst of slow samples…
+        for _ in 0..100 {
+            w.record_at(0, 1_000_000);
+        }
+        // …then a recent steady state of fast ones.
+        for tick in 10..13u64 {
+            for _ in 0..100 {
+                w.record_at(tick, 1_000);
+            }
+        }
+        let snap = w.snapshot_at(12);
+        assert_eq!(snap.count(), 300);
+        assert!(snap.quantile(0.99) < 2_000, "old burst must have aged out");
+    }
+
+    #[test]
+    fn wall_clock_api_smoke() {
+        let w = Windowed::last_minute();
+        w.record(Duration::from_millis(3));
+        w.record_ns(500);
+        let snap = w.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert!(snap.quantile(1.0) >= 3_000_000);
+    }
+}

@@ -1,7 +1,7 @@
 //! The CDCL solver proper.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A Boolean variable (dense index).
@@ -145,6 +145,11 @@ pub struct Solver {
     /// (every conflict and every decision), so a raised flag stops even
     /// a hopeless exponential search within microseconds.
     interrupt: Option<Arc<AtomicBool>>,
+    /// Live progress mirrors of `conflicts`/`restarts` (see
+    /// [`Solver::set_progress`]). One relaxed store each time the
+    /// internal counter moves; purely observational.
+    progress_conflicts: Option<Arc<AtomicU64>>,
+    progress_restarts: Option<Arc<AtomicU64>>,
 }
 
 impl Default for Solver {
@@ -172,6 +177,8 @@ impl Solver {
             conflicts: 0,
             restarts: 0,
             interrupt: None,
+            progress_conflicts: None,
+            progress_restarts: None,
         }
     }
 
@@ -186,6 +193,16 @@ impl Solver {
     /// Detaches the interrupt flag.
     pub fn clear_interrupt(&mut self) {
         self.interrupt = None;
+    }
+
+    /// Attaches live progress counters. The solver mirrors its
+    /// cumulative conflict and restart totals into the handles with
+    /// one relaxed store per event, at the same cadence as the
+    /// [`Solver::set_interrupt`] poll — cheap enough to leave on, and
+    /// strictly observational (never read back by the search).
+    pub fn set_progress(&mut self, conflicts: Arc<AtomicU64>, restarts: Arc<AtomicU64>) {
+        self.progress_conflicts = Some(conflicts);
+        self.progress_restarts = Some(restarts);
     }
 
     fn interrupted(&self) -> bool {
@@ -492,6 +509,9 @@ impl Solver {
             }
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
+                if let Some(p) = &self.progress_conflicts {
+                    p.store(self.conflicts, Ordering::Relaxed);
+                }
                 if self.trail_lim.is_empty() {
                     self.broken = true;
                     return SolveResult::Unsat;
@@ -519,6 +539,9 @@ impl Solver {
             } else {
                 if restart_budget == 0 {
                     self.restarts += 1;
+                    if let Some(p) = &self.progress_restarts {
+                        p.store(self.restarts, Ordering::Relaxed);
+                    }
                     restart_budget = 64 * Self::luby(self.restarts + 1);
                     self.cancel_until(0);
                     continue;

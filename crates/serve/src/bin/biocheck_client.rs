@@ -7,6 +7,7 @@
 //! biocheck_client --connect HOST:PORT --selftest --expect-warm --no-register # registry log must serve too
 //! biocheck_client --connect HOST:PORT --lint MODEL # static pre-flight of a case-study model
 //! biocheck_client --connect HOST:PORT --stats-watch [--interval-ms MS] [--count N]
+//! biocheck_client --connect HOST:PORT --trace-export # Chrome-trace JSON to stdout
 //! biocheck_client --connect HOST:PORT --shutdown # stop the daemon
 //! ```
 //!
@@ -34,10 +35,18 @@
 //! `--stats-watch` polls `{"op":"stats"}` on an interval (default
 //! 2000 ms) and pretty-prints one line per sample: **deltas** for the
 //! monotone counters (cache hits/misses, shed, expired) and current
-//! values for the gauges and latency percentiles, so a burst of
-//! traffic is visible as the change per interval rather than buried in
-//! lifetime totals. `--count N` stops after N samples (default:
-//! forever).
+//! values for the gauges and latency percentiles — both the lifetime
+//! execute percentiles and the last-60-seconds p99, so a burst of
+//! traffic is visible as the change per interval rather than buried
+//! in lifetime totals. When requests are in flight their `inflight`
+//! rows print underneath: model, kind, elapsed, and (for traced
+//! requests) the live solver progress counters. `--count N` stops
+//! after N samples (default: forever).
+//!
+//! `--trace-export` fetches `{"op":"trace_export"}` and prints the
+//! Chrome trace-event JSON (open in `chrome://tracing` or Perfetto)
+//! as one line to stdout; non-empty only when the daemon traces
+//! (`--trace` / `--trace-out`) or clients sent `"trace": true`.
 //!
 //! Every socket operation is timeout-bounded (see
 //! [`biocheck_serve::ClientConfig`]): a dead or hung daemon makes the
@@ -85,6 +94,7 @@ fn selftest_requests() -> Vec<QueryRequest> {
                 smc: smc(expr),
                 method: MethodSpec::Fixed { n: 120 },
             },
+            trace: false,
         });
     }
     out.push(QueryRequest {
@@ -103,6 +113,7 @@ fn selftest_requests() -> Vec<QueryRequest> {
             beta: 0.05,
             max_samples: 2_000,
         },
+        trace: false,
     });
     out.push(QueryRequest {
         model: "selftest".into(),
@@ -113,6 +124,7 @@ fn selftest_requests() -> Vec<QueryRequest> {
             smc: smc("u - 0.2"),
             samples: 60,
         },
+        trace: false,
     });
     // One static-analysis probe: lint is read-only and memoizes like any
     // other count-budget query, so the two-pass loop checks the cold
@@ -124,6 +136,7 @@ fn selftest_requests() -> Vec<QueryRequest> {
         seed: 0,
         budget: BudgetSpec::default(),
         query: QuerySpec::Lint { ranges: vec![] },
+        trace: false,
     });
     out
 }
@@ -146,6 +159,7 @@ fn lint_model(addr: &str, name: &str) -> Result<(), String> {
         seed: 0,
         budget: BudgetSpec::default(),
         query: QuerySpec::Lint { ranges: vec![] },
+        trace: false,
     })?;
     let value = reply
         .report
@@ -259,6 +273,7 @@ fn selftest(addr: &str, expect_warm: bool, no_register: bool) -> Result<(), Stri
     if !metrics.contains("biocheckd_request_latency_seconds") {
         return Err("metrics exposition missing biocheckd_request_latency_seconds".into());
     }
+    trace_smoke(&mut client)?;
     println!(
         "selftest OK: {} queries, daemon == direct session bit-for-bit, warm pass fully memoized{}",
         requests.len(),
@@ -267,6 +282,95 @@ fn selftest(addr: &str, expect_warm: bool, no_register: bool) -> Result<(), Stri
         } else {
             ""
         }
+    );
+    Ok(())
+}
+
+/// Request-scoped tracing smoke, run at the end of `--selftest`: one
+/// traced query must return a span tree whose root is `serve.request`
+/// with `engine.query` nested underneath, identical in fingerprint to
+/// its untraced twin from the earlier passes, and the subsequent
+/// `trace_export` must hold at least one complete Chrome trace event
+/// for it.
+fn trace_smoke(client: &mut Client) -> Result<(), String> {
+    use biocheck_serve::Json;
+    let requests = selftest_requests();
+    // A fresh seed, so the traced run misses the cache and actually
+    // exercises the engine span instrumentation.
+    let mut traced = requests[0].clone();
+    traced.id = None;
+    traced.seed = 9_901;
+    traced.trace = true;
+    let mut untraced = traced.clone();
+    untraced.trace = false;
+    let reply = client.request(&biocheck_serve::wire::Request::Query(traced))?;
+    let trace = reply
+        .get("trace")
+        .ok_or("traced query reply missing trace object")?;
+    let spans = match trace.get("spans") {
+        Some(Json::Arr(spans)) => spans,
+        _ => return Err("trace object missing spans array".into()),
+    };
+    let has = |name: &str| {
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some(name))
+    };
+    for name in ["serve.request", "serve.execute", "engine.query"] {
+        if !has(name) {
+            return Err(format!(
+                "traced reply has no {name} span: {}",
+                trace.render()
+            ));
+        }
+    }
+    let progress_samples = trace
+        .get("progress")
+        .and_then(|p| p.get("samples"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if progress_samples <= 0.0 {
+        return Err("traced estimate reports zero SMC samples drawn".into());
+    }
+    // Tracing must be purely observational: the untraced twin has the
+    // same fingerprint (and is a cache hit on the traced entry).
+    let fp = |reply: &Json| {
+        reply
+            .get("report")
+            .and_then(|r| r.get("fingerprint"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or("query reply missing fingerprint")
+    };
+    let traced_fp = fp(&reply)?;
+    let twin = client.request(&biocheck_serve::wire::Request::Query(untraced))?;
+    if fp(&twin)? != traced_fp {
+        return Err("traced and untraced fingerprints differ".into());
+    }
+    if twin.get("cached").and_then(Json::as_bool) != Some(true) {
+        return Err("untraced twin missed the cache entry of its traced run".into());
+    }
+    // And the daemon retained the trace for export.
+    let export = client.trace_export()?;
+    let events = match export.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => return Err("trace_export missing traceEvents".into()),
+    };
+    let complete = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("ts").is_some()
+                && e.get("dur").is_some()
+        })
+        .count();
+    if complete == 0 {
+        return Err("trace_export holds no complete span events".into());
+    }
+    eprintln!(
+        "selftest: tracing ok ({} spans in reply, {complete} exported events, {} samples counted)",
+        spans.len(),
+        progress_samples
     );
     Ok(())
 }
@@ -282,6 +386,7 @@ struct WatchSample {
     in_flight: f64,
     exec_p50_ms: f64,
     exec_p99_ms: f64,
+    exec_p99_60s_ms: f64,
     wait_p99_ms: f64,
 }
 
@@ -302,8 +407,40 @@ fn watch_sample(stats: &biocheck_serve::Json) -> WatchSample {
         in_flight: f(&["scheduler", "in_flight"]),
         exec_p50_ms: f(&["latency", "execute", "p50_ms"]),
         exec_p99_ms: f(&["latency", "execute", "p99_ms"]),
+        exec_p99_60s_ms: f(&["latency", "execute", "p99_60s_ms"]),
         wait_p99_ms: f(&["latency", "queue_wait", "p99_ms"]),
     }
+}
+
+/// Renders the `inflight` rows of a stats reply, one indented line per
+/// currently executing request: model, query kind, elapsed, and — for
+/// traced requests — the non-zero live solver progress counters.
+fn inflight_lines(stats: &biocheck_serve::Json) -> Vec<String> {
+    use biocheck_serve::Json;
+    let Some(Json::Arr(rows)) = stats.get("inflight") else {
+        return vec![];
+    };
+    rows.iter()
+        .map(|row| {
+            let s = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+            let mut line = format!(
+                "    ↳ {} {} {:.0}ms",
+                s("model"),
+                s("kind"),
+                row.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0)
+            );
+            if let Some(Json::Obj(progress)) = row.get("progress") {
+                for (name, value) in progress {
+                    let v = value.as_f64().unwrap_or(0.0);
+                    if v > 0.0 {
+                        let _ =
+                            std::fmt::Write::write_fmt(&mut line, format_args!(" {name}={v:.0}"));
+                    }
+                }
+            }
+            line
+        })
+        .collect()
 }
 
 /// Polls stats and prints per-interval deltas for the counters plus
@@ -317,7 +454,7 @@ fn stats_watch(
     let mut prev: Option<WatchSample> = None;
     let mut taken = 0u64;
     println!(
-        "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10} {:>10} {:>10}",
+        "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10} {:>10} {:>11} {:>10}",
         "Δhits",
         "Δmisses",
         "Δshed",
@@ -326,13 +463,15 @@ fn stats_watch(
         "running",
         "exec_p50ms",
         "exec_p99ms",
+        "p99_60s_ms",
         "wait_p99ms"
     );
     loop {
-        let s = watch_sample(&client.stats()?);
+        let stats = client.stats()?;
+        let s = watch_sample(&stats);
         let d = prev.unwrap_or(s);
         println!(
-            "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10.4} {:>10.4} {:>10.4}",
+            "{:>8} {:>8} {:>6} {:>8} {:>6} {:>7} {:>10.4} {:>10.4} {:>11.4} {:>10.4}",
             s.hits - d.hits,
             s.misses - d.misses,
             s.shed - d.shed,
@@ -341,8 +480,12 @@ fn stats_watch(
             s.in_flight,
             s.exec_p50_ms,
             s.exec_p99_ms,
+            s.exec_p99_60s_ms,
             s.wait_p99_ms,
         );
+        for line in inflight_lines(&stats) {
+            println!("{line}");
+        }
         prev = Some(s);
         taken += 1;
         if count.is_some_and(|n| taken >= n) {
@@ -391,6 +534,19 @@ fn main() {
         if let Err(e) = stats_watch(&addr, interval, num_flag("--count")) {
             eprintln!("stats-watch: {e}");
             std::process::exit(1);
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--trace-export") {
+        let result = Client::connect(addr.as_str())
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| c.trace_export());
+        match result {
+            Ok(json) => println!("{}", json.render()),
+            Err(e) => {
+                eprintln!("trace-export: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

@@ -4,7 +4,7 @@
 //! biocheckd [--addr 127.0.0.1:7878] [--concurrency 2] [--cache-bytes 67108864]
 //!           [--max-queue 16] [--persist PATH] [--registry PATH]
 //!           [--max-arena-nodes N] [--max-artifacts N] [--max-execute-ms N]
-//!           [--trace]
+//!           [--trace] [--trace-out PATH]
 //! ```
 //!
 //! Speaks the line-delimited JSON protocol documented in the README's
@@ -37,31 +37,24 @@
 //! wedged solver cannot pin an execution slot forever.
 //!
 //! Observability: `{"op":"stats"}` returns counters plus per-phase
-//! latency percentiles, `{"op":"metrics"}` returns a Prometheus-style
-//! text exposition (see `docs/OPERATIONS.md`). `--trace` additionally
-//! prints every instrumented span (`serve.request`, `engine.query`,
-//! ...) to stderr with its elapsed time — an interactive debugging
-//! aid, too verbose for production.
+//! latency percentiles (lifetime and last-60 s) and an `inflight`
+//! block of currently executing requests, `{"op":"metrics"}` returns
+//! a Prometheus-style text exposition (see `docs/OPERATIONS.md`).
+//! `--trace` additionally traces every request and prints each
+//! completed request's span tree (`serve.request`, `engine.query`,
+//! ...) to stderr as one indented block — emitted atomically per
+//! request, so concurrent connections never interleave lines. An
+//! interactive debugging aid, too verbose for production.
+//! `--trace-out PATH` also traces every request and writes the
+//! retained traces as Chrome trace-event JSON (loadable in
+//! `chrome://tracing` / Perfetto) to PATH at shutdown; the same JSON
+//! is available live over the wire via `{"op":"trace_export"}`.
 //!
 //! Prints `biocheckd listening on <addr>` on stdout once bound — with
 //! `--addr 127.0.0.1:0` the kernel-assigned port is in that line.
 
 use biocheck_serve::server::{serve, ServeConfig, ServeCore};
 use std::sync::Arc;
-
-/// `--trace` recorder: one stderr line per span/event. Runs inline on
-/// serving threads, so it is opt-in only.
-struct StderrTrace;
-
-impl biocheck_obs::Recorder for StderrTrace {
-    fn span(&self, name: &'static str, elapsed_ns: u64) {
-        eprintln!("trace: {name} {:.3} ms", elapsed_ns as f64 / 1e6);
-    }
-
-    fn event(&self, name: &'static str, detail: &str) {
-        eprintln!("trace: {name}: {detail}");
-    }
-}
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
     args.iter()
@@ -77,7 +70,7 @@ fn main() {
             "usage: biocheckd [--addr HOST:PORT] [--concurrency N] [--cache-bytes N]\n\
              \x20                [--max-queue N] [--persist PATH] [--registry PATH]\n\
              \x20                [--max-arena-nodes N] [--max-artifacts N]\n\
-             \x20                [--max-execute-ms N] [--trace]\n\
+             \x20                [--max-execute-ms N] [--trace] [--trace-out PATH]\n\
              protocol: line-delimited JSON (see README \"Serving\")"
         );
         return;
@@ -108,10 +101,17 @@ fn main() {
     if let Some(ms) = parse_flag::<u64>(&args, "--max-execute-ms") {
         config.max_execute = Some(std::time::Duration::from_millis(ms));
     }
-    if args.iter().any(|a| a == "--trace") {
-        let _ = biocheck_obs::set_recorder(Box::new(StderrTrace));
-    }
+    let trace_out = parse_flag::<String>(&args, "--trace-out").map(std::path::PathBuf::from);
     let core = Arc::new(ServeCore::new(config));
+    if args.iter().any(|a| a == "--trace") {
+        // Per-request echo: each completed request's whole span tree
+        // is rendered first and written in one stderr call, so blocks
+        // from concurrent connections never interleave line-by-line.
+        core.trace_hub().arm_echo();
+    }
+    if trace_out.is_some() {
+        core.trace_hub().arm();
+    }
     let daemon = match serve(Arc::clone(&core), addr.as_str()) {
         Ok(d) => d,
         Err(e) => {
@@ -121,5 +121,12 @@ fn main() {
     };
     println!("biocheckd listening on {}", daemon.addr);
     daemon.join();
+    if let Some(path) = trace_out {
+        let json = core.trace_hub().chrome_trace_json().render();
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("biocheckd: wrote trace timeline to {}", path.display()),
+            Err(e) => eprintln!("biocheckd: cannot write {}: {e}", path.display()),
+        }
+    }
     println!("biocheckd: shutdown");
 }

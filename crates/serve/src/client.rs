@@ -347,6 +347,15 @@ impl Client {
             .ok_or_else(|| "metrics response missing metrics".into())
     }
 
+    /// Fetches the Chrome-trace (`chrome://tracing`) JSON for recently
+    /// completed traced requests (`{"op":"trace_export"}`).
+    pub fn trace_export(&mut self) -> Result<Json, String> {
+        self.request(&Request::TraceExport)?
+            .get("trace")
+            .cloned()
+            .ok_or_else(|| "trace_export response missing trace".into())
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> Result<(), String> {
         self.request(&Request::Ping).map(|_| ())

@@ -71,6 +71,7 @@
 //!     id: None,
 //!     seed: 42,
 //!     budget: BudgetSpec::default(),
+//!     trace: false,
 //!     query: QuerySpec::Estimate {
 //!         smc: SmcSpecWire {
 //!             init: vec![DistSpec::Uniform(0.5, 1.5)],
@@ -101,6 +102,7 @@ pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod trace;
 pub mod wire;
 
 pub use cache::{CacheStats, ResultCache};
@@ -112,6 +114,7 @@ pub use registry::persist::{LoadedModel, RegistryLog, RegistryPersistStats};
 pub use registry::{fingerprint64, MemoryStats, ModelEntry, Registry, SessionCaps};
 pub use scheduler::{AdmitError, AdmitWait, Scheduler};
 pub use server::{serve, Daemon, ServeConfig, ServeCore, ServeError};
+pub use trace::{RequestTrace, TraceHub};
 pub use wire::{
     BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, Request,
     SmcSpecWire,

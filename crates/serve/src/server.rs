@@ -55,8 +55,10 @@ use crate::metrics::ServeMetrics;
 use crate::registry::persist::RegistryLog;
 use crate::registry::{Registry, SessionCaps};
 use crate::scheduler::{AdmitError, AdmitWait, Scheduler};
+use crate::trace::{trace_reply_json, TraceHub};
 use crate::wire::{report_to_json, ModelSource, QueryRequest, Request};
 use biocheck_engine::{CancelToken, Report};
+use biocheck_obs::TraceCtx;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -269,6 +271,7 @@ pub struct ServeCore {
     registry_log: Option<Mutex<RegistryLog>>,
     watchdog: Option<Arc<Watchdog>>,
     watchdog_thread: Option<std::thread::JoinHandle<()>>,
+    trace_hub: TraceHub,
     metrics: ServeMetrics,
     shutdown: AtomicBool,
     panics: AtomicU64,
@@ -354,6 +357,7 @@ impl ServeCore {
             registry_log,
             watchdog,
             watchdog_thread,
+            trace_hub: TraceHub::default(),
             metrics: ServeMetrics::default(),
             shutdown: AtomicBool::new(false),
             panics: AtomicU64::new(0),
@@ -410,6 +414,13 @@ impl ServeCore {
         &self.metrics
     }
 
+    /// The request-tracing hub: in-flight visibility (`inflight` stats
+    /// block) and retained span trees (`trace_export`). Arm it to
+    /// trace every request regardless of per-request `"trace"` flags.
+    pub fn trace_hub(&self) -> &TraceHub {
+        &self.trace_hub
+    }
+
     /// Has a shutdown request been handled?
     pub fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -447,7 +458,46 @@ impl ServeCore {
     /// path pays two clock reads and one histogram record — overhead
     /// the `serve_throughput` bench gate bounds.
     pub fn run_query(&self, qr: &QueryRequest) -> Result<(Arc<Report>, bool), ServeError> {
+        self.run_query_traced(qr)
+            .map(|(report, cached, _trace)| (report, cached))
+    }
+
+    /// [`ServeCore::run_query`] plus the request-scoped trace. The
+    /// third element is the `"trace"` reply payload — present only
+    /// when the request opted in with `"trace": true` (a daemon armed
+    /// via [`ServeCore::trace_hub`] records into the export ring
+    /// without inflating replies). Tracing is purely observational:
+    /// the report and its fingerprint are bit-identical with and
+    /// without it, and traced/untraced twins share one cache entry.
+    pub fn run_query_traced(
+        &self,
+        qr: &QueryRequest,
+    ) -> Result<(Arc<Report>, bool, Option<Json>), ServeError> {
+        let ctx =
+            (qr.trace || self.trace_hub.armed()).then(|| TraceCtx::new(TraceCtx::DEFAULT_CAPACITY));
+        let result = self.run_query_inner(qr, ctx.as_ref());
+        // Built after `run_query_inner` returned, so the root span is
+        // closed and the tree in the reply is complete.
+        let trace = match &ctx {
+            Some(ctx) if qr.trace => Some(trace_reply_json(ctx)),
+            _ => None,
+        };
+        result.map(|(report, cached)| (report, cached, trace))
+    }
+
+    fn run_query_inner(
+        &self,
+        qr: &QueryRequest,
+        trace: Option<&Arc<TraceCtx>>,
+    ) -> Result<(Arc<Report>, bool), ServeError> {
         let _span = biocheck_obs::span!("serve.request");
+        // The hub-guard slot is declared *before* the root span on
+        // purpose: locals drop in reverse order, so the root span
+        // closes (landing its record in the ring) before the guard
+        // publishes the completed trace — on success, error, and
+        // unwind alike.
+        let mut hub_guard: Option<crate::trace::TraceGuard<'_>> = None;
+        let _tspan = trace.map(|ctx| ctx.span("serve.request"));
         let t_request = Instant::now();
         let entry = self
             .registry
@@ -466,7 +516,13 @@ impl ServeCore {
         let (session, query, base_key) = entry
             .prepare(|cx| qr.query.build(cx))
             .map_err(ServeError::Invalid)?;
-        let budget = qr.budget.build();
+        let mut budget = qr.budget.build();
+        if let Some(ctx) = trace {
+            budget = budget.with_trace(Arc::clone(ctx));
+        }
+        // `canonical_caps` renders only the deterministic count caps —
+        // the attached trace context never reaches the key, so a traced
+        // request and its untraced twin share one cache entry.
         let key = format!("{base_key}|seed={}|{}", qr.seed, budget.canonical_caps());
         if let Some(hit) = self.cache.get(&key) {
             self.metrics.request_hit.record(t_request.elapsed());
@@ -494,12 +550,26 @@ impl ServeCore {
             }
             None => None,
         };
+        // Trace-hub registration: from here until completion the
+        // request is listed in the `inflight` stats block with its
+        // elapsed time and live progress counters. The guard
+        // deregisters — and, when traced, publishes the finished span
+        // tree for `trace_export` — on every exit path, panics
+        // included. The memoized hit path above never touches the hub.
+        hub_guard.replace(self.trace_hub.begin(
+            &qr.model,
+            qr.query.kind(),
+            qr.id,
+            trace.map(Arc::clone),
+        ));
         let result = {
             let t_queue = Instant::now();
+            let queue_span = trace.map(|ctx| ctx.span("serve.queue_wait"));
             let _permit = self.scheduler.admit(AdmitWait {
                 deadline: budget.queue_deadline,
                 cancel: Some(token.as_flag()),
             })?;
+            drop(queue_span);
             // Queue wait covers admitted requests; refused admissions
             // are visible in the shed/expired counters instead.
             self.metrics.queue_wait.record(t_queue.elapsed());
@@ -507,9 +577,13 @@ impl ServeCore {
             // while this one queued; recheck before paying for compute.
             if let Some(hit) = self.cache.get(&key) {
                 self.metrics.request_hit.record(t_request.elapsed());
+                if let Some(guard) = hub_guard.as_mut() {
+                    guard.set_ok();
+                }
                 return Ok((hit, true));
             }
             let t_execute = Instant::now();
+            let exec_span = trace.map(|ctx| ctx.span("serve.execute"));
             // The watchdog watches only the execute window: queue wait
             // is governed by its own deadline, and the guard deregisters
             // on every exit path, panics included.
@@ -538,6 +612,7 @@ impl ServeCore {
                     .budget(budget.clone().with_cancel(token.clone()))
                     .run()
             }));
+            drop(exec_span);
             let outcome = match run {
                 Ok(r) => {
                     self.metrics.execute.record(t_execute.elapsed());
@@ -581,13 +656,18 @@ impl ServeCore {
                 // Append errors are counted inside the log and must
                 // never fail the request: persistence is best-effort.
                 let t_append = Instant::now();
+                let append_span = trace.map(|ctx| ctx.span("serve.persist_append"));
                 log.lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .append(&key, cost, &report);
+                drop(append_span);
                 self.metrics.persist_append.record(t_append.elapsed());
             }
         }
         self.metrics.request_miss.record(t_request.elapsed());
+        if let Some(guard) = hub_guard.as_mut() {
+            guard.set_ok();
+        }
         Ok((report, false))
     }
 
@@ -714,6 +794,7 @@ impl ServeCore {
                     .collect(),
             ),
         ));
+        pairs.push(("inflight", self.trace_hub.inflight_json()));
         pairs.push(("latency", self.metrics.latency_json()));
         pairs.push(("threads", Json::num(rayon::current_num_threads() as f64)));
         Json::obj(pairs)
@@ -886,8 +967,8 @@ impl ServeCore {
                 ),
                 Err(e) => (error_json("invalid_request", &e, None), false),
             },
-            Request::Query(qr) => match self.run_query(qr) {
-                Ok((report, cached)) => {
+            Request::Query(qr) => match self.run_query_traced(qr) {
+                Ok((report, cached, trace)) => {
                     let mut pairs = vec![
                         ("ok", Json::Bool(true)),
                         ("model", Json::str(qr.model.clone())),
@@ -896,6 +977,9 @@ impl ServeCore {
                     ];
                     if let Some(id) = qr.id {
                         pairs.push(("id", crate::wire::u64_to_json(id)));
+                    }
+                    if let Some(trace) = trace {
+                        pairs.push(("trace", trace));
                     }
                     (Json::obj(pairs), false)
                 }
@@ -913,6 +997,13 @@ impl ServeCore {
             ),
             Request::Stats => (
                 Json::obj([("ok", Json::Bool(true)), ("stats", self.stats_json())]),
+                false,
+            ),
+            Request::TraceExport => (
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("trace", self.trace_hub.chrome_trace_json()),
+                ]),
                 false,
             ),
             Request::Metrics => (

@@ -749,6 +749,18 @@ impl QuerySpec {
         }
     }
 
+    /// Short kind label for observability surfaces (the `inflight`
+    /// stats block and trace exports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QuerySpec::Estimate { .. } => "estimate",
+            QuerySpec::Sprt { .. } => "sprt",
+            QuerySpec::Robustness { .. } => "robustness",
+            QuerySpec::Stability { .. } => "stability",
+            QuerySpec::Lint { .. } => "lint",
+        }
+    }
+
     /// Lowers the wire form into an engine [`Query`], parsing every
     /// expression into `cx` (the target model's context).
     pub fn build(&self, cx: &mut Context) -> Result<Query, String> {
@@ -1059,6 +1071,12 @@ pub struct QueryRequest {
     pub budget: BudgetSpec,
     /// The analysis.
     pub query: QuerySpec,
+    /// Opt-in request-scoped tracing: when `true`, the reply carries a
+    /// `"trace"` object with the span tree and final progress counters.
+    /// Strictly observational — excluded from memoization keys (a
+    /// traced query and its untraced twin share one cache entry and
+    /// one fingerprint).
+    pub trace: bool,
 }
 
 /// A wire request: one JSON object per line.
@@ -1080,6 +1098,8 @@ pub enum Request {
     },
     /// Cache/registry/scheduler statistics.
     Stats,
+    /// Chrome-trace JSON for recently completed traced requests.
+    TraceExport,
     /// Prometheus-style text metrics exposition.
     Metrics,
     /// Liveness check.
@@ -1094,7 +1114,15 @@ pub enum Request {
 /// names from (matched up to the closing `];`) and greps against
 /// `docs/OPERATIONS.md`.
 pub const OP_NAMES: &[&str] = &[
-    "register", "query", "lint", "cancel", "stats", "metrics", "ping", "shutdown",
+    "register",
+    "query",
+    "lint",
+    "cancel",
+    "stats",
+    "trace_export",
+    "metrics",
+    "ping",
+    "shutdown",
 ];
 
 impl Request {
@@ -1126,6 +1154,9 @@ impl Request {
                     if let Some(id) = q.id {
                         pairs.push(("id", u64_to_json(id)));
                     }
+                    if q.trace {
+                        pairs.push(("trace", Json::Bool(true)));
+                    }
                     return Json::obj(pairs);
                 }
                 let mut pairs = vec![
@@ -1138,12 +1169,16 @@ impl Request {
                 if let Some(id) = q.id {
                     pairs.push(("id", u64_to_json(id)));
                 }
+                if q.trace {
+                    pairs.push(("trace", Json::Bool(true)));
+                }
                 Json::obj(pairs)
             }
             Request::Cancel { id } => {
                 Json::obj([("op", Json::str("cancel")), ("id", u64_to_json(*id))])
             }
             Request::Stats => Json::obj([("op", Json::str("stats"))]),
+            Request::TraceExport => Json::obj([("op", Json::str("trace_export"))]),
             Request::Metrics => Json::obj([("op", Json::str("metrics"))]),
             Request::Ping => Json::obj([("op", Json::str("ping"))]),
             Request::Shutdown => Json::obj([("op", Json::str("shutdown"))]),
@@ -1183,6 +1218,7 @@ impl Request {
                         Some(b) => BudgetSpec::from_json(b)?,
                     },
                     query: QuerySpec::from_json(v.get("query").ok_or("query missing query")?)?,
+                    trace: v.get("trace").and_then(Json::as_bool).unwrap_or(false),
                 }))
             }
             // Lint in flat form; seed and budget are optional because a
@@ -1215,6 +1251,7 @@ impl Request {
                 query: QuerySpec::Lint {
                     ranges: ranges_from_json(v)?,
                 },
+                trace: v.get("trace").and_then(Json::as_bool).unwrap_or(false),
             })),
             Some("cancel") => Ok(Request::Cancel {
                 id: v
@@ -1223,6 +1260,7 @@ impl Request {
                     .ok_or("cancel missing id")?,
             }),
             Some("stats") => Ok(Request::Stats),
+            Some("trace_export") => Ok(Request::TraceExport),
             Some("metrics") => Ok(Request::Metrics),
             Some("ping") => Ok(Request::Ping),
             Some("shutdown") => Ok(Request::Shutdown),
@@ -1386,6 +1424,7 @@ mod tests {
             model: "decay".into(),
             id: Some(7),
             seed: 42,
+            trace: false,
             budget: BudgetSpec {
                 max_samples: Some(500),
                 max_paver_boxes: None,
@@ -1430,6 +1469,7 @@ mod tests {
                 model: "m".into(),
                 id: None,
                 seed: 0,
+                trace: false,
                 budget: BudgetSpec::default(),
                 query: QuerySpec::Stability {
                     region: vec![(-0.5, 0.5), (-1.0, 1.0)],
@@ -1441,6 +1481,7 @@ mod tests {
                 model: "m".into(),
                 id: None,
                 seed: 9,
+                trace: false,
                 budget: BudgetSpec::default(),
                 query: QuerySpec::Sprt {
                     smc: SmcSpecWire {
@@ -1478,6 +1519,7 @@ mod tests {
             model: "m".into(),
             id: None,
             seed: 0,
+            trace: false,
             budget: BudgetSpec::default(),
             query: QuerySpec::Lint { ranges: vec![] },
         });
@@ -1485,6 +1527,7 @@ mod tests {
             model: "m".into(),
             id: Some(12),
             seed: 3,
+            trace: false,
             budget: BudgetSpec {
                 max_samples: Some(10),
                 ..BudgetSpec::default()
@@ -1557,6 +1600,7 @@ mod tests {
     fn op_names_match_protocol() {
         let argless = [
             ("stats", Request::Stats),
+            ("trace_export", Request::TraceExport),
             ("metrics", Request::Metrics),
             ("ping", Request::Ping),
             ("shutdown", Request::Shutdown),
@@ -1581,6 +1625,7 @@ mod tests {
                 model: "m".into(),
                 id: None,
                 seed: 0,
+                trace: false,
                 budget: BudgetSpec::default(),
                 query: QuerySpec::Lint { ranges: vec![] },
             }),
@@ -1593,7 +1638,35 @@ mod tests {
                 .to_string();
             assert!(OP_NAMES.contains(&op.as_str()), "unlisted op {op}");
         }
-        assert_eq!(OP_NAMES.len(), 8);
+        assert_eq!(OP_NAMES.len(), 9);
+    }
+
+    /// The `trace` flag rides along on query and lint requests, is
+    /// omitted from the wire form when false, and round-trips when set.
+    #[test]
+    fn trace_flag_roundtrips_and_defaults_off() {
+        let Request::Query(mut qr) = sample_request() else {
+            unreachable!()
+        };
+        let plain = Request::Query(qr.clone()).to_json().render();
+        assert!(!plain.contains("\"trace\""), "{plain}");
+        qr.trace = true;
+        let traced = Request::Query(qr.clone());
+        let line = traced.to_json().render();
+        assert!(line.contains("\"trace\":true"), "{line}");
+        assert_eq!(Request::from_line(&line).unwrap(), traced);
+        // Flat lint form carries it too.
+        let lint = Request::Query(QueryRequest {
+            model: "m".into(),
+            id: None,
+            seed: 0,
+            trace: true,
+            budget: BudgetSpec::default(),
+            query: QuerySpec::Lint { ranges: vec![] },
+        });
+        let line = lint.to_json().render();
+        assert!(line.contains("\"op\":\"lint\"") && line.contains("\"trace\":true"));
+        assert_eq!(Request::from_line(&line).unwrap(), lint);
     }
 
     #[test]
@@ -1628,6 +1701,7 @@ mod tests {
             model: "m".into(),
             id: Some(u64::MAX - 7),
             seed: u64::MAX,
+            trace: false,
             budget: BudgetSpec::default(),
             query: QuerySpec::Stability {
                 region: vec![(-1.0, 1.0)],

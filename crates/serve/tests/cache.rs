@@ -101,6 +101,7 @@ fn decay_request(rhs_threshold: f64) -> QueryRequest {
             },
             method: MethodSpec::Fixed { n: 80 },
         },
+        trace: false,
     }
 }
 

@@ -73,6 +73,7 @@ fn estimate(expr: &str, seed: u64, n: usize) -> QueryRequest {
             },
             method: MethodSpec::Fixed { n },
         },
+        trace: false,
     }
 }
 
@@ -135,6 +136,58 @@ fn solver_panics_are_contained_and_poison_nothing() {
         let (b, _) = fresh.run_query(&qr).unwrap();
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
+}
+
+/// A panicking solver terminates its trace instead of leaking it: the
+/// unwind is caught at the panic boundary, so the hub publishes the
+/// request with an `error` outcome and a *closed* span tree (the
+/// `serve.execute` and `serve.request` records landed despite the
+/// unwind), and the `inflight` view drains to empty — no active entry
+/// is ever stranded.
+#[test]
+fn panicking_solver_publishes_terminated_trace_not_a_leak() {
+    let _serial = chaos_lock();
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap();
+    core.trace_hub().arm();
+
+    faults::install(FaultPlan {
+        seed: 0xDEAD,
+        exec_panic_rate: 1.0, // every execution panics
+        ..FaultPlan::default()
+    });
+    let _cleanup = FaultGuard;
+    let mut qr = estimate("x - 1", 3, 30);
+    qr.trace = true;
+    let err = core.run_query_traced(&qr).unwrap_err();
+    assert!(matches!(err, ServeError::Internal(_)), "{err}");
+    let stats = faults::clear();
+    assert_eq!(stats.exec_panics, 1, "the panic must actually fire");
+
+    match core.trace_hub().inflight_json() {
+        biocheck_serve::Json::Arr(rows) => {
+            assert!(rows.is_empty(), "panicked request leaked an inflight entry")
+        }
+        other => panic!("inflight must be an array, got {}", other.render()),
+    }
+    let recent = core.trace_hub().recent();
+    assert_eq!(recent.len(), 1, "the panicked request was published");
+    let t = &recent[0];
+    assert_eq!(t.outcome, "error", "contained panic surfaces as error");
+    for name in ["serve.request", "serve.execute"] {
+        assert!(
+            t.records.iter().any(|r| r.name == name),
+            "span {name} did not terminate: {:?}",
+            t.records.iter().map(|r| r.name).collect::<Vec<_>>()
+        );
+    }
+
+    // Faults off: the same core (and its hub) keep working.
+    let (_, cached, trace) = core.run_query_traced(&qr).unwrap();
+    assert!(!cached, "nothing half-computed was cached");
+    assert!(trace.is_some());
+    assert_eq!(core.trace_hub().recent().len(), 2);
+    assert_eq!(core.trace_hub().recent()[1].outcome, "ok");
 }
 
 /// Torn and delayed replies at the transport: the retrying client

@@ -41,6 +41,7 @@ fn estimate(expr: &str, seed: u64, n: usize) -> QueryRequest {
             },
             method: MethodSpec::Fixed { n },
         },
+        trace: false,
     }
 }
 
@@ -272,6 +273,7 @@ fn watchdog_cancels_overrunning_query() {
             },
             method: MethodSpec::Fixed { n: 400_000 },
         },
+        trace: false,
     };
     match core.run_query(&big) {
         Err(ServeError::WatchdogCancelled {

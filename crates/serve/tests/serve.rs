@@ -40,6 +40,7 @@ fn estimate(expr: &str, seed: u64, n: usize) -> QueryRequest {
             },
             method: MethodSpec::Fixed { n },
         },
+        trace: false,
     }
 }
 
@@ -110,6 +111,7 @@ fn daemon_matches_direct_session_runs() {
                 r_min: 0.1,
                 r_max: 0.4,
             },
+            trace: false,
         },
     ];
 
@@ -414,6 +416,7 @@ fn budgets_and_cancellation() {
             beta: 0.001,
             max_samples: usize::MAX / 2,
         },
+        trace: false,
     };
     let inserts_before = core.cache_stats().inserts;
     let runner = {

@@ -1,0 +1,217 @@
+//! Request-scoped tracing integration: traced and untraced twins share
+//! one cache entry and one fingerprint (tracing is purely
+//! observational), the reply's span tree covers the serve and engine
+//! layers, the hub's `inflight` view drains to empty, and the Chrome
+//! trace export round-trips the wire with complete span trees.
+
+use biocheck_serve::server::{ServeConfig, ServeCore};
+use biocheck_serve::wire::{
+    BudgetSpec, DistSpec, MethodSpec, ModelSource, PropSpec, QueryRequest, QuerySpec, SmcSpecWire,
+};
+use biocheck_serve::{Client, Json};
+use std::sync::Arc;
+
+fn decay_source() -> ModelSource {
+    ModelSource {
+        states: vec![("x".into(), "-k*x".into())],
+        consts: vec![("k".into(), 1.0)],
+    }
+}
+
+fn estimate(expr: &str, seed: u64, n: usize, trace: bool) -> QueryRequest {
+    QueryRequest {
+        model: "decay".into(),
+        id: None,
+        seed,
+        budget: BudgetSpec::default(),
+        query: QuerySpec::Estimate {
+            smc: SmcSpecWire {
+                init: vec![DistSpec::Uniform(0.5, 1.5)],
+                params: vec![],
+                property: PropSpec::Eventually {
+                    bound: 0.01,
+                    inner: Box::new(PropSpec::Prop {
+                        expr: expr.into(),
+                        rel: biocheck_expr::RelOp::Ge,
+                    }),
+                },
+                t_end: 0.01,
+            },
+            method: MethodSpec::Fixed { n },
+        },
+        trace,
+    }
+}
+
+fn span_names(trace: &Json) -> Vec<String> {
+    match trace.get("spans") {
+        Some(Json::Arr(spans)) => spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str).map(str::to_string))
+            .collect(),
+        _ => vec![],
+    }
+}
+
+/// The observational invariant: `"trace": true` changes only the reply
+/// envelope — the report, its fingerprint, and the memoization key are
+/// bit-identical to the untraced twin, and both directions of the
+/// traced/untraced order share one cache entry.
+#[test]
+fn traced_and_untraced_twins_share_one_cache_entry_and_fingerprint() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap();
+
+    // Traced first: computes, returns a full span tree.
+    let (cold, cached, trace) = core
+        .run_query_traced(&estimate("x - 1", 5, 150, true))
+        .unwrap();
+    assert!(!cached);
+    let trace = trace.expect("opted-in request must carry a trace");
+    let names = span_names(&trace);
+    for required in [
+        "serve.request",
+        "serve.execute",
+        "engine.query",
+        "engine.compile",
+    ] {
+        assert!(
+            names.contains(&required.to_string()),
+            "missing {required} in {names:?}"
+        );
+    }
+    let samples = trace
+        .get("progress")
+        .and_then(|p| p.get("samples"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(samples, 150.0, "progress counted every SMC trajectory");
+
+    // Untraced twin: cache hit, same fingerprint, no trace payload.
+    let (hit, cached, trace) = core
+        .run_query_traced(&estimate("x - 1", 5, 150, false))
+        .unwrap();
+    assert!(
+        cached,
+        "untraced twin must hit the traced run's cache entry"
+    );
+    assert_eq!(hit.fingerprint(), cold.fingerprint());
+    assert!(trace.is_none(), "untraced request must not carry a trace");
+    assert_eq!(core.cache_stats().inserts, 1, "one entry for both twins");
+
+    // The reverse order on a fresh core: untraced computes, the traced
+    // twin hits — and since the memoized path never runs the engine,
+    // its trace holds only the serve-layer root.
+    let fresh = ServeCore::new(ServeConfig::default());
+    fresh.register("decay", &decay_source()).unwrap();
+    let (cold2, _, _) = fresh
+        .run_query_traced(&estimate("x - 1", 5, 150, false))
+        .unwrap();
+    assert_eq!(cold2.fingerprint(), cold.fingerprint());
+    let (_, cached, trace) = fresh
+        .run_query_traced(&estimate("x - 1", 5, 150, true))
+        .unwrap();
+    assert!(
+        cached,
+        "traced twin must hit the untraced run's cache entry"
+    );
+    let names = span_names(&trace.unwrap());
+    assert!(names.contains(&"serve.request".to_string()));
+    assert!(
+        !names.contains(&"engine.query".to_string()),
+        "hit never ran the engine"
+    );
+    assert_eq!(fresh.cache_stats().inserts, 1);
+}
+
+/// An armed hub retains every request in the bounded `recent` ring with
+/// outcome `ok`, the `inflight` view is empty once the daemon is idle,
+/// and the Chrome export covers each retained request with a complete
+/// (`ph: "X"`) root event carrying the progress counters.
+#[test]
+fn armed_hub_retains_outcomes_and_drains_inflight() {
+    let core = ServeCore::new(ServeConfig::default());
+    core.register("decay", &decay_source()).unwrap();
+    core.trace_hub().arm();
+    for seed in 0..3u64 {
+        core.run_query(&estimate("x - 1", seed, 40, false)).unwrap();
+    }
+    match core.trace_hub().inflight_json() {
+        Json::Arr(rows) => assert!(rows.is_empty(), "idle daemon must list no inflight rows"),
+        other => panic!("inflight must be an array, got {}", other.render()),
+    }
+    let recent = core.trace_hub().recent();
+    assert_eq!(recent.len(), 3);
+    for t in &recent {
+        assert_eq!(t.outcome, "ok");
+        assert_eq!((t.model.as_str(), t.kind), ("decay", "estimate"));
+        assert!(t.records.iter().any(|r| r.name == "engine.query"));
+        let samples = t
+            .progress
+            .pairs()
+            .iter()
+            .find(|(n, _)| *n == "samples")
+            .unwrap()
+            .1;
+        assert_eq!(samples, 40);
+    }
+    let export = core.trace_hub().chrome_trace_json();
+    let events = match export.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        _ => panic!("export missing traceEvents"),
+    };
+    let roots: Vec<_> = events.iter().filter(|e| e.get("args").is_some()).collect();
+    assert_eq!(
+        roots.len(),
+        3,
+        "one args-carrying root per retained request"
+    );
+    for root in roots {
+        assert_eq!(root.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(
+            root.get("args")
+                .and_then(|a| a.get("outcome"))
+                .and_then(Json::as_str),
+            Some("ok")
+        );
+    }
+}
+
+/// Wire round-trip: a traced query's reply carries the span tree, and
+/// `trace_export` returns loadable Chrome trace JSON for it.
+#[test]
+fn trace_export_round_trips_the_wire() {
+    let core = Arc::new(ServeCore::new(ServeConfig::default()));
+    let daemon = biocheck_serve::server::serve(Arc::clone(&core), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(daemon.addr).unwrap();
+    client.register("decay", &decay_source()).unwrap();
+
+    let reply = client
+        .request(&biocheck_serve::wire::Request::Query(estimate(
+            "x - 1", 11, 60, true,
+        )))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let names = span_names(reply.get("trace").expect("reply must carry the trace"));
+    assert!(names.contains(&"serve.request".to_string()), "{names:?}");
+    assert!(names.contains(&"engine.query".to_string()), "{names:?}");
+
+    let export = client.trace_export().unwrap();
+    match export.get("traceEvents") {
+        Some(Json::Arr(events)) => {
+            assert!(!events.is_empty());
+            let root = events
+                .iter()
+                .find(|e| e.get("args").is_some())
+                .expect("export must hold the traced request's root event");
+            let args = root.get("args").unwrap();
+            assert_eq!(args.get("model").and_then(Json::as_str), Some("decay"));
+            assert_eq!(args.get("kind").and_then(Json::as_str), Some("estimate"));
+        }
+        _ => panic!("trace_export missing traceEvents: {}", export.render()),
+    }
+
+    let mut shut = Client::connect(daemon.addr).unwrap();
+    shut.shutdown().unwrap();
+    daemon.join();
+}

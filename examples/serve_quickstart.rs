@@ -61,6 +61,7 @@ fn main() {
                 smc: smc(expr),
                 method: MethodSpec::Fixed { n: 200 },
             },
+            trace: false,
         })
         .collect();
     requests.push(QueryRequest {
@@ -75,6 +76,7 @@ fn main() {
             smc: smc("u - v"),
             samples: 200,
         },
+        trace: false,
     });
 
     // ── 4. Direct in-process reference: same source, same queries.
